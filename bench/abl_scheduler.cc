@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: warp scheduler policy (GTO vs loose round-robin) under
+ * Base and RLPV. The paper uses GTO (Table II) and notes reuse can
+ * combine with warp-scheduling techniques; LRR spaces repeated
+ * computations differently in time, which shifts reuse-buffer hit
+ * rates.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Ablation: warp scheduler",
+                "GTO (baseline) vs loose round-robin");
+
+    auto abbrs = benchAbbrs();
+
+    std::printf("%6s %-6s | %10s %8s\n", "sched", "design",
+                "mean IPC", "reuse%");
+    for (auto policy : {WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr}) {
+        MachineConfig machine;
+        machine.schedPolicy = policy;
+        ResultCache cache(machine);
+        for (auto design : {designBase(), designRLPV()}) {
+            double ipc = 0, reuse = 0;
+            for (const auto &abbr : abbrs) {
+                const auto &r = cache.get(abbr, design);
+                ipc += r.ipc();
+                reuse += r.reuseRate();
+            }
+            double n = double(abbrs.size());
+            std::printf("%6s %-6s | %10.3f %7.2f%%\n",
+                        policy == WarpSchedPolicy::Gto ? "GTO"
+                                                       : "LRR",
+                        design.name.c_str(), ipc / n,
+                        100.0 * reuse / n);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 2: percentage of repeated warp computations, sampled for
+ * every 1K dynamic instructions on the baseline GPU, plus the
+ * fraction of computations repeated more than 10 times (Section
+ * III-A reports 31.4% and 16.0% on the paper's 34 applications).
+ * Also prints the Table I suite listing with the measured %FP.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 2 / Table I",
+                "Repeated warp computations per 1K-instruction "
+                "window (Base GPU)");
+
+    MachineConfig machine;
+    std::vector<std::string> abbrs;
+    std::vector<double> repeated, repeated10;
+
+    std::printf("%-14s %-5s %-8s %6s %10s %12s\n", "Name", "Abbr",
+                "Suite", "%FP", "%repeated", "%repeated>10x");
+    double fpSum = 0;
+    ResultCache cache(machine);
+    for (const auto &info : workloadRegistry()) {
+        bool quick = true;
+        for (const auto &a : benchAbbrs())
+            quick = quick && a != info.abbr;
+        if (quick)
+            continue;
+
+        auto prof = profileWorkload(info, machine);
+        const auto &base = cache.get(info.abbr, designBase());
+        double fp = base.stats.warpInstsCommitted
+            ? 100.0 * double(base.stats.fpInsts) /
+                  double(base.stats.warpInstsCommitted)
+            : 0.0;
+        fpSum += fp;
+        abbrs.push_back(info.abbr);
+        repeated.push_back(100.0 * prof.repeatedFraction);
+        repeated10.push_back(100.0 * prof.repeated10xFraction);
+        std::printf("%-14s %-5s %-8s %5.1f%% %9.1f%% %11.1f%%\n",
+                    info.name, info.abbr, info.suite, fp,
+                    repeated.back(), repeated10.back());
+    }
+    std::printf("%-14s %-5s %-8s %5.1f%% %9.1f%% %11.1f%%\n",
+                "AVERAGE", "", "", fpSum / double(abbrs.size()),
+                bench::average(repeated),
+                bench::average(repeated10));
+    std::printf("\n(paper: 31.4%% repeated, 16.0%% repeated >10x "
+                "across its 34 applications)\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12: relative instruction count processed in the backend
+ * execution pipeline, RLPV vs Base. The paper reports that 18.7% of
+ * warp instructions bypass backend execution while dummy MOVs add
+ * 1.6% on average.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 12",
+                "Relative backend-processed instruction count "
+                "(RLPV / Base)");
+
+    ResultCache cache;
+    std::vector<std::string> abbrs = benchAbbrs();
+    std::vector<double> relative, reused, dummies;
+
+    for (const auto &abbr : abbrs) {
+        const auto &base = cache.get(abbr, designBase());
+        const auto &rlpv = cache.get(abbr, designRLPV());
+        double baseOps = double(base.stats.warpInstsExecuted);
+        double rlpvOps = double(rlpv.stats.warpInstsExecuted) +
+                         double(rlpv.stats.dummyMovs);
+        relative.push_back(baseOps > 0 ? rlpvOps / baseOps : 1.0);
+        reused.push_back(100.0 * rlpv.reuseRate());
+        dummies.push_back(
+            100.0 * double(rlpv.stats.dummyMovs) /
+            double(rlpv.stats.warpInstsCommitted));
+    }
+
+    printSeries("backend instructions (RLPV relative to Base)",
+                abbrs, relative);
+    std::printf("\n");
+    printSeries("% of warp instructions reused (bypassed backend)",
+                abbrs, reused);
+    std::printf("\n");
+    printSeries("dummy MOV overhead (% of committed instructions)",
+                abbrs, dummies);
+    std::printf("\n(paper: 18.7%% of instructions bypass backend; "
+                "dummy MOVs +1.6%%)\n");
+    return 0;
+}

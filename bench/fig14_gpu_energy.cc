@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 14: GPU energy consumption breakdown for Base, RPV, and
+ * RLPV. The paper reports 7.6% GPU energy saving without load reuse
+ * (RPV) and 10.7% with it (RLPV), with the first half of the suite
+ * saving more (18.3%) than the second (4.3%).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 14",
+                "GPU energy relative to Base (a:Base, b:RPV, "
+                "c:RLPV) with component breakdown");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    for (auto design : {designRPV(), designRLPV()}) {
+        std::vector<double> rel;
+        for (const auto &abbr : abbrs) {
+            const auto &base = cache.get(abbr, designBase());
+            const auto &r = cache.get(abbr, design);
+            rel.push_back(r.energy.gpuTotal() /
+                          base.energy.gpuTotal());
+        }
+        printSeries("GPU energy " + design.name + " / Base", abbrs,
+                    rel);
+        std::printf("\n");
+    }
+
+    // Average breakdown per design (stacked-bar composition).
+    std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+                "design", "front", "RF", "SP", "SFU", "memPipe",
+                "reuse", "smStat", "L2", "NoC", "DRAM");
+    for (auto design : {designBase(), designRPV(), designRLPV()}) {
+        EnergyBreakdown sum;
+        double baseTotal = 0;
+        for (const auto &abbr : abbrs) {
+            const auto &r = cache.get(abbr, design);
+            const auto &b = cache.get(abbr, designBase());
+            baseTotal += b.energy.gpuTotal();
+            sum.frontend += r.energy.frontend;
+            sum.regFile += r.energy.regFile;
+            sum.fuSp += r.energy.fuSp;
+            sum.fuSfu += r.energy.fuSfu;
+            sum.memPipe += r.energy.memPipe;
+            sum.reuseStructs += r.energy.reuseStructs;
+            sum.smStatic += r.energy.smStatic;
+            sum.l2 += r.energy.l2;
+            sum.noc += r.energy.noc;
+            sum.dram += r.energy.dram;
+            sum.gpuStatic += r.energy.gpuStatic;
+        }
+        auto pct = [&](double v) { return 100.0 * v / baseTotal; };
+        std::printf("%-8s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% "
+                    "%7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+                    design.name.c_str(), pct(sum.frontend),
+                    pct(sum.regFile), pct(sum.fuSp), pct(sum.fuSfu),
+                    pct(sum.memPipe), pct(sum.reuseStructs),
+                    pct(sum.smStatic), pct(sum.l2), pct(sum.noc),
+                    pct(sum.dram));
+    }
+    std::printf("\n(paper: RPV saves 7.6%% GPU energy, RLPV 10.7%%)\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 16: relative SM energy consumption for RPV, RLPV, RLPVc,
+ * Affine, and Affine+RLPV. The paper reports RLPV saves 20.5% SM
+ * energy, beating the Affine GPU's 13.6%, while Affine+RLPV reaches
+ * 27.9% by also reusing non-affine computations.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 16", "SM energy relative to Base");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    std::vector<DesignConfig> designs = {designRPV(), designRLPV(),
+                                         designRLPVc(),
+                                         designAffine(),
+                                         designAffineRLPV()};
+    for (const auto &design : designs) {
+        std::vector<double> rel;
+        for (const auto &abbr : abbrs) {
+            const auto &base = cache.get(abbr, designBase());
+            const auto &r = cache.get(abbr, design);
+            rel.push_back(r.energy.smTotal() /
+                          base.energy.smTotal());
+        }
+        std::printf("%-12s AVG SM energy vs Base: %.4f "
+                    "(saving %.1f%%)\n",
+                    design.name.c_str(), average(rel),
+                    100.0 * (1.0 - average(rel)));
+    }
+
+    std::printf("\nPer-benchmark, RLPV:\n");
+    std::vector<double> rel;
+    for (const auto &abbr : abbrs) {
+        const auto &base = cache.get(abbr, designBase());
+        const auto &r = cache.get(abbr, designRLPV());
+        rel.push_back(r.energy.smTotal() / base.energy.smTotal());
+    }
+    printSeries("SM energy RLPV / Base", abbrs, rel);
+    std::printf("\n(paper: RLPV -20.5%%, Affine -13.6%%, "
+                "Affine+RLPV -27.9%%)\n");
+    return 0;
+}

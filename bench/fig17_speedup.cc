@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 17: speedup relative to Base for the four incremental reuse
+ * designs R, RL, RLP, RLPV (all with the 4-cycle extra backend
+ * delay). Most applications stay within 10% of Base; LK speeds up
+ * dramatically through load reuse; verify-cache-less designs suffer
+ * on bank-conflict-heavy benchmarks (GA, BO, BF).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 17", "Speedup relative to Base");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    for (auto design :
+         {designR(), designRL(), designRLP(), designRLPV()}) {
+        std::vector<double> speedup;
+        for (const auto &abbr : abbrs) {
+            const auto &base = cache.get(abbr, designBase());
+            const auto &r = cache.get(abbr, design);
+            speedup.push_back(double(base.stats.cycles) /
+                              double(r.stats.cycles));
+        }
+        printSeries("speedup " + design.name, abbrs, speedup);
+        std::printf("\n");
+    }
+    std::printf("(paper: most within +-10%%, LK ~2x with RLPV)\n");
+    return 0;
+}

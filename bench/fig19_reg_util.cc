@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 19: physical register utilization (average and peak of the
+ * 1024 registers) under Base, RLPV and RLPVc. Even Base does not
+ * reach full utilization (occupancy is capped by other resources),
+ * and register sharing lets RLPV use fewer registers on average than
+ * Base's one-to-one mapping.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 19",
+                "Physical warp-register utilization (of 1024)");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    std::printf("%-8s %10s %10s\n", "design", "average", "peak");
+    for (auto design : {designBase(), designRLPV(), designRLPVc()}) {
+        double avgSum = 0, peakSum = 0;
+        for (const auto &abbr : abbrs) {
+            const auto &r = cache.get(abbr, design);
+            double denom = double(r.stats.smCyclesTotal);
+            avgSum += denom > 0
+                ? double(r.stats.physRegsInUseAccum) / denom
+                : 0.0;
+            peakSum += double(r.stats.physRegsInUsePeak);
+        }
+        std::printf("%-8s %10.1f %10.1f\n", design.name.c_str(),
+                    avgSum / double(abbrs.size()),
+                    peakSum / double(abbrs.size()));
+    }
+    std::printf("\n(paper: RLPV averages below Base thanks to "
+                "register sharing)\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 20: value-signature-buffer entries vs hit rate (fraction of
+ * completed results whose value was already present in a physical
+ * register). The paper sees >50% of peak hits already at 128
+ * entries and saturation beyond 256.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 20",
+                "VSB entry count vs value-sharing hit rate");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    std::printf("%8s %10s %12s\n", "entries", "hit rate",
+                "shares/lookup");
+    for (unsigned entries : {16u, 32u, 64u, 128u, 256u, 512u}) {
+        DesignConfig design = designRLPV();
+        design.vsbEntries = entries;
+        design.name = "RLPV_vsb" + std::to_string(entries);
+        // Per-benchmark mean (the paper averages per application).
+        double rateSum = 0;
+        for (const auto &abbr : abbrs) {
+            const auto &r = cache.get(abbr, design);
+            if (r.stats.vsbLookups) {
+                rateSum += double(r.stats.vsbShares) /
+                           double(r.stats.vsbLookups);
+            }
+        }
+        double rate = rateSum / double(abbrs.size());
+        std::printf("%8u %9.2f%% %12.4f\n", entries, 100.0 * rate,
+                    rate);
+    }
+    std::printf("\n(paper: >50%% of hits with 128 entries; "
+                "saturates past 256)\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 21: reuse-buffer entry count vs the percentage of warp
+ * instructions that reuse prior results, split into direct hits and
+ * pending-retry hits. The paper reports 18.7% at 256 entries,
+ * >20% at 512, with pending-retry worth about a doubling of the
+ * buffer.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 21",
+                "Reuse-buffer entries vs reused-instruction "
+                "fraction");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    std::printf("%8s %10s %14s %14s\n", "entries", "reused%",
+                "direct-hit%", "pending-hit%");
+    for (unsigned entries : {32u, 64u, 128u, 256u, 512u}) {
+        DesignConfig design = designRLPV();
+        design.reuseBufferEntries = entries;
+        design.name = "RLPV_rb" + std::to_string(entries);
+        // Per-benchmark means (the paper averages per application).
+        double reused = 0, pending = 0;
+        for (const auto &abbr : abbrs) {
+            const auto &r = cache.get(abbr, design);
+            double c = double(r.stats.warpInstsCommitted);
+            reused += double(r.stats.warpInstsReused) / c;
+            pending += double(r.stats.reuseHitsPending) / c;
+        }
+        double n = double(abbrs.size());
+        std::printf("%8u %9.2f%% %13.2f%% %13.2f%%\n", entries,
+                    100.0 * reused / n,
+                    100.0 * (reused - pending) / n,
+                    100.0 * pending / n);
+    }
+    std::printf("\n(paper: 18.7%% at 256 entries; pending-retry "
+                "worth ~2x entries)\n");
+    return 0;
+}

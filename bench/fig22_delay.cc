@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 22: sensitivity of RLPV speedup to the extra backend
+ * pipeline delay introduced by the reuse stages (D3..D7 cycles).
+ * The paper's default is D4; beyond D7 performance dips below Base
+ * but never severely.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    using namespace wir::bench;
+
+    printHeader("Figure 22",
+                "Backend pipeline delay vs speedup (RLPV)");
+
+    ResultCache cache;
+    auto abbrs = benchAbbrs();
+
+    std::printf("%6s %10s\n", "delay", "speedup");
+    for (unsigned delay : {3u, 4u, 5u, 6u, 7u}) {
+        DesignConfig design = designRLPV();
+        design.extraBackendDelay = delay;
+        design.name = "RLPV_D" + std::to_string(delay);
+        std::vector<double> speedup;
+        for (const auto &abbr : abbrs) {
+            const auto &base = cache.get(abbr, designBase());
+            const auto &r = cache.get(abbr, design);
+            speedup.push_back(double(base.stats.cycles) /
+                              double(r.stats.cycles));
+        }
+        std::printf("    D%u %10.4f\n", delay, average(speedup));
+    }
+    std::printf("\n(paper: D4 default; slowdown grows gently with "
+                "delay)\n");
+    return 0;
+}

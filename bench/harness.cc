@@ -1,0 +1,97 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+namespace bench
+{
+
+ResultCache::ResultCache(MachineConfig machine)
+    : machineConfig(std::move(machine))
+{
+    setInformEnabled(false);
+}
+
+const RunResult &
+ResultCache::get(const std::string &abbr, const DesignConfig &design)
+{
+    std::string key = abbr + "/" + design.name;
+    auto it = results.find(key);
+    if (it != results.end())
+        return it->second;
+    std::fprintf(stderr, "  [sim] %-4s %s\n", abbr.c_str(),
+                 design.name.c_str());
+    RunResult result = runWorkload(makeWorkload(abbr), design,
+                                   machineConfig);
+    return results.emplace(key, std::move(result)).first->second;
+}
+
+std::vector<const RunResult *>
+ResultCache::suite(const DesignConfig &design)
+{
+    std::vector<const RunResult *> out;
+    for (const auto &abbr : benchAbbrs())
+        out.push_back(&get(abbr, design));
+    return out;
+}
+
+std::vector<std::string>
+selectedAbbrs()
+{
+    return {"SF", "BT", "GA", "BO", "S2", "KM", "SG", "MC", "HS",
+            "SN", "BF", "LK", "BS", "HW"};
+}
+
+std::vector<std::string>
+benchAbbrs()
+{
+    if (const char *quick = std::getenv("WIR_BENCH_QUICK");
+        quick && quick[0] == '1') {
+        return selectedAbbrs();
+    }
+    std::vector<std::string> out;
+    for (const auto &info : workloadRegistry())
+        out.push_back(info.abbr);
+    return out;
+}
+
+void
+printHeader(const std::string &figure, const std::string &caption)
+{
+    std::printf("==============================================="
+                "=============\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("%s\n", caption.c_str());
+    std::printf("==============================================="
+                "=============\n");
+}
+
+void
+printSeries(const std::string &metric,
+            const std::vector<std::string> &abbrs,
+            const std::vector<double> &values)
+{
+    wir_assert(abbrs.size() == values.size());
+    std::printf("%s:\n", metric.c_str());
+    for (size_t i = 0; i < abbrs.size(); i++)
+        std::printf("  %-4s %8.4f\n", abbrs[i].c_str(), values[i]);
+    std::printf("  %-4s %8.4f\n", "AVG", average(values));
+}
+
+double
+average(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+} // namespace bench
+} // namespace wir

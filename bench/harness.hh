@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared harness for the per-figure bench binaries: caches simulation
+ * results within a process so one binary can derive several series
+ * from the same runs, and provides table-formatting helpers matching
+ * the paper's presentation (per-benchmark bars + AVG).
+ */
+
+#ifndef WIR_BENCH_HARNESS_HH
+#define WIR_BENCH_HARNESS_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace bench
+{
+
+/** Runs (workload, design) pairs once each, memoized. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(MachineConfig machine = MachineConfig{});
+
+    const RunResult &get(const std::string &abbr,
+                         const DesignConfig &design);
+
+    /** Run every Table I workload under `design` (reporting
+     * progress), returning results in registry order. */
+    std::vector<const RunResult *> suite(const DesignConfig &design);
+
+    const MachineConfig &machine() const { return machineConfig; }
+
+  private:
+    MachineConfig machineConfig;
+    std::map<std::string, RunResult> results;
+};
+
+/** Benchmarks eligible for a reduced "quick" sweep (env
+ * WIR_BENCH_QUICK=1) -- a representative spread of Fig. 2 ranks. */
+std::vector<std::string> selectedAbbrs();
+
+/** All 34 abbreviations in registry order (or the quick subset). */
+std::vector<std::string> benchAbbrs();
+
+/** Print a header naming the figure being reproduced. */
+void printHeader(const std::string &figure,
+                 const std::string &caption);
+
+/**
+ * Print one row per benchmark plus the AVG row: the paper's standard
+ * bar-chart shape. Values are printed with 4 decimals.
+ */
+void printSeries(const std::string &metric,
+                 const std::vector<std::string> &abbrs,
+                 const std::vector<double> &values);
+
+/** Geometric-mean-free simple average, as the paper uses. */
+double average(const std::vector<double> &values);
+
+} // namespace bench
+} // namespace wir
+
+#endif // WIR_BENCH_HARNESS_HH

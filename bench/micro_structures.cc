@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the WIR hardware structures'
+ * software models: H3 hashing, VSB lookups, reuse-buffer lookups,
+ * rename-table access. These bound the simulator-side cost of the
+ * added stages (the hardware costs are Table III).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash_h3.hh"
+#include "reuse/rename_table.hh"
+#include "reuse/reuse_buffer.hh"
+#include "reuse/vsb.hh"
+
+namespace wir
+{
+namespace
+{
+
+void
+BM_HashH3(benchmark::State &state)
+{
+    WarpValue v;
+    for (unsigned lane = 0; lane < warpSize; lane++)
+        v[lane] = lane * 2654435761u;
+    for (auto _ : state) {
+        v[0]++;
+        benchmark::DoNotOptimize(hashH3(v));
+    }
+}
+BENCHMARK(BM_HashH3);
+
+void
+BM_VsbLookup(benchmark::State &state)
+{
+    SimStats stats;
+    Vsb vsb(256);
+    for (u32 i = 0; i < 256; i++)
+        vsb.insert(hashScalar(i), static_cast<PhysReg>(i & 0x3ff),
+                   stats);
+    u32 i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vsb.lookup(hashScalar(i++), stats));
+}
+BENCHMARK(BM_VsbLookup);
+
+void
+BM_ReuseBufferLookup(benchmark::State &state)
+{
+    SimStats stats;
+    ReuseBuffer rb(256);
+    std::vector<PhysReg> dropped;
+    ReuseTag tag;
+    tag.op = Op::IADD;
+    tag.srcKinds = {Operand::Kind::Reg, Operand::Kind::Reg,
+                    Operand::Kind::None};
+    for (u32 i = 0; i < 256; i++) {
+        tag.srcKeys = {i, i + 1, 0};
+        rb.update(tag, 0, nullTbid, static_cast<PhysReg>(i & 0x3ff),
+                  dropped, stats);
+        dropped.clear();
+    }
+    u32 i = 0;
+    for (auto _ : state) {
+        tag.srcKeys = {i & 0xff, (i & 0xff) + 1, 0};
+        i++;
+        benchmark::DoNotOptimize(rb.lookup(tag, 0, nullTbid, stats));
+    }
+}
+BENCHMARK(BM_ReuseBufferLookup);
+
+void
+BM_RenameTableAccess(benchmark::State &state)
+{
+    SimStats stats;
+    RenameTable table(63);
+    for (LogicalReg r = 0; r < 63; r++)
+        table.set(r, static_cast<PhysReg>(r * 7 % 1024), false,
+                  stats);
+    LogicalReg r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(r, stats));
+        r = static_cast<LogicalReg>((r + 1) % 63);
+    }
+}
+BENCHMARK(BM_RenameTableAccess);
+
+} // namespace
+} // namespace wir
+
+BENCHMARK_MAIN();

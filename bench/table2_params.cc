@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table II: simulation parameters of the modeled GPU.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    bench::printHeader("Table II", "Simulation parameters");
+    MachineConfig machine;
+    std::printf("%s", describeMachine(machine).c_str());
+    DesignConfig design = designRLPV();
+    std::printf("Reuse cache            : %u entries (varied)\n",
+                design.reuseBufferEntries);
+    std::printf("Value signature buffer : %u entries (varied)\n",
+                design.vsbEntries);
+    std::printf("Verify cache           : %u entries (varied)\n",
+                design.verifyCacheEntries);
+    return 0;
+}

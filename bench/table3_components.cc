@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Table III: estimated energy and latency impacts of the additional
+ * WIR components (values adopted from the paper and used verbatim by
+ * the energy model).
+ */
+
+#include <cstdio>
+
+#include "energy/energy_model.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace wir;
+    bench::printHeader(
+        "Table III",
+        "Estimated energy and latency impacts of additional "
+        "components");
+    std::printf("%s", describeComponentCosts().c_str());
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Design-space exploration from user code: sweep the reuse buffer
+ * and value-signature-buffer sizes of the full WIR design on one
+ * workload and watch the reuse rate and energy respond (the
+ * per-workload view of the paper's Figs. 20/21 sweeps).
+ */
+
+#include <cstdio>
+
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+using namespace wir;
+
+int
+main(int argc, char **argv)
+{
+    const char *abbr = argc > 1 ? argv[1] : "SF";
+    MachineConfig machine;
+
+    auto base = runWorkload(makeWorkload(abbr), designBase(),
+                            machine);
+    std::printf("workload %s: Base %llu cycles, %.2f uJ GPU\n\n",
+                abbr,
+                static_cast<unsigned long long>(base.stats.cycles),
+                base.energy.gpuTotal() / 1e6);
+
+    std::printf("reuse-buffer sweep (VSB fixed at 256):\n");
+    std::printf("%8s %8s %10s %12s\n", "entries", "reuse%",
+                "speedup", "GPU energy");
+    for (unsigned entries : {32u, 64u, 128u, 256u, 512u}) {
+        DesignConfig design = designRLPV();
+        design.reuseBufferEntries = entries;
+        auto r = runWorkload(makeWorkload(abbr), design, machine);
+        std::printf("%8u %7.1f%% %10.3f %11.3fx\n", entries,
+                    100.0 * r.reuseRate(),
+                    double(base.stats.cycles) /
+                        double(r.stats.cycles),
+                    r.energy.gpuTotal() / base.energy.gpuTotal());
+    }
+
+    std::printf("\nVSB sweep (reuse buffer fixed at 256):\n");
+    std::printf("%8s %10s %8s %12s\n", "entries", "VSB hit%",
+                "reuse%", "GPU energy");
+    for (unsigned entries : {16u, 64u, 256u}) {
+        DesignConfig design = designRLPV();
+        design.vsbEntries = entries;
+        auto r = runWorkload(makeWorkload(abbr), design, machine);
+        double hitRate = r.stats.vsbLookups
+            ? 100.0 * double(r.stats.vsbShares) /
+                  double(r.stats.vsbLookups)
+            : 0.0;
+        std::printf("%8u %9.1f%% %7.1f%% %11.3fx\n", entries,
+                    hitRate, 100.0 * r.reuseRate(),
+                    r.energy.gpuTotal() / base.energy.gpuTotal());
+    }
+    return 0;
+}

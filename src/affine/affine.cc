@@ -1,0 +1,36 @@
+#include "affine/affine.hh"
+
+namespace wir
+{
+
+bool
+isAffine(const WarpValue &value, WarpMask active)
+{
+    // Divergent values are treated as non-affine: inactive lanes hold
+    // unrelated stale data, so the compressed form cannot represent
+    // the register.
+    if (active != fullMask)
+        return false;
+    u32 stride = value[1] - value[0];
+    for (unsigned lane = 2; lane < warpSize; lane++) {
+        if (value[lane] - value[lane - 1] != stride)
+            return false;
+    }
+    return true;
+}
+
+bool
+affineExecutable(Op op, const WarpValue srcValues[3],
+                 unsigned numSrcs, const WarpValue &result,
+                 WarpMask active)
+{
+    if (!traits(op).affineCapable || active != fullMask)
+        return false;
+    for (unsigned s = 0; s < numSrcs; s++) {
+        if (!isAffine(srcValues[s], active))
+            return false;
+    }
+    return isAffine(result, active);
+}
+
+} // namespace wir

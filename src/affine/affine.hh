@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Affine value detection for the Affine baseline GPU (Section VII-A).
+ *
+ * A 1024-bit warp register value is affine when all adjacent thread
+ * register values share one stride: lane[i] == base + i*stride. An
+ * affine value can be stored as a 64-bit (base, stride) tuple in a
+ * single 128-bit bank (1/8 of the access energy), and affine-capable
+ * operations on affine inputs can execute at 1-FU-lane cost.
+ */
+
+#ifndef WIR_AFFINE_AFFINE_HH
+#define WIR_AFFINE_AFFINE_HH
+
+#include "common/hash_h3.hh"
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+/** Dynamic affine detection over the full active warp. */
+bool isAffine(const WarpValue &value, WarpMask active);
+
+/**
+ * Whether this executed instruction qualifies for affine-cost
+ * execution: convergent, affine-capable opcode, every register/imm
+ * input affine, and an affine result.
+ */
+bool affineExecutable(Op op, const WarpValue srcValues[3],
+                      unsigned numSrcs, const WarpValue &result,
+                      WarpMask active);
+
+} // namespace wir
+
+#endif // WIR_AFFINE_AFFINE_HH

@@ -1,0 +1,70 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+namespace wir
+{
+
+std::string
+describeMachine(const MachineConfig &config)
+{
+    std::ostringstream out;
+    out << "SM parameters          : 700 MHz, " << config.numSms
+        << " SMs, " << config.schedulersPerSm
+        << " schedulers/SM, GTO scheduling\n";
+    out << "Resource limits/SM     : " << config.physWarpRegs
+        << " warp registers ("
+        << config.physWarpRegs * warpSize << " thread registers), "
+        << config.maxWarpsPerSm << " warps, "
+        << config.maxBlocksPerSm << " thread blocks\n";
+    out << "Register file          : "
+        << config.physWarpRegs * warpSize * 4 / 1024 << " KB, "
+        << config.regBankGroups << " bank groups\n";
+    out << "Scratchpad memory      : "
+        << config.scratchpadBytes / 1024 << " KB\n";
+    out << "L1 D-cache             : " << config.l1dBytes / 1024
+        << " KB, " << config.l1dWays << "-way, "
+        << config.l1dMshrs << " MSHR, "
+        << config.lineBytes << " B lines\n";
+    out << "NoC                    : fully connected, "
+        << config.nocBytesPerCycle << " B/direction/cycle\n";
+    out << "L2 cache               : " << config.l2Partitions
+        << " partitions, "
+        << config.l2BytesPerPartition / 1024 << " KB "
+        << config.l2Ways << "-way, "
+        << config.l2Latency << " cycles latency\n";
+    out << "DRAM                   : " << config.dramQueueEntries
+        << " entry scheduling queue, "
+        << config.dramLatency << " cycles latency\n";
+    return out.str();
+}
+
+std::string
+describeDesign(const DesignConfig &design)
+{
+    std::ostringstream out;
+    out << design.name << " [";
+    if (!design.enableReuse) {
+        out << "no reuse";
+    } else {
+        out << "reuse";
+        if (design.enableLoadReuse)
+            out << "+load";
+        if (design.enablePendingRetry)
+            out << "+pending";
+        if (design.enableVerifyCache)
+            out << "+vcache";
+        if (!design.enableVsb)
+            out << ",noVSB";
+        out << ",RB=" << design.reuseBufferEntries
+            << ",VSB=" << design.vsbEntries
+            << "," << (design.policy == RegisterPolicy::MaxRegister
+                           ? "max-reg" : "capped-reg");
+    }
+    if (design.enableAffine)
+        out << (design.enableReuse ? "+affine" : "affine");
+    out << "]";
+    return out.str();
+}
+
+} // namespace wir

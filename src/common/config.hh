@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Machine and design-point configuration.
+ *
+ * MachineConfig mirrors Table II of the paper; DesignConfig selects
+ * which WIR mechanisms are enabled, mirroring the incremental designs
+ * of Section VII-A (R, RL, RLP, RLPV, RPV, RLPVc, NoVSB, Affine, ...).
+ */
+
+#ifndef WIR_COMMON_CONFIG_HH
+#define WIR_COMMON_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** Warp selection policy of the two per-SM schedulers. */
+enum class WarpSchedPolicy : u8
+{
+    Gto, ///< greedy-then-oldest (Table II baseline)
+    Lrr, ///< loose round-robin (ablation)
+};
+
+/** Physical-register management policy (Section V-E). */
+enum class RegisterPolicy
+{
+    /** Use every free physical register to maximize reuse. */
+    MaxRegister,
+    /** Cap usage at logical-register count x active warps. */
+    CappedRegister,
+};
+
+/** Baseline GPU parameters (Table II). */
+struct MachineConfig
+{
+    // SM organization.
+    unsigned numSms = 15;
+    unsigned schedulersPerSm = 2;
+    unsigned maxWarpsPerSm = 48;
+    unsigned maxBlocksPerSm = 8;
+    WarpSchedPolicy schedPolicy = WarpSchedPolicy::Gto;
+    unsigned logicalRegsPerWarp = 63;
+    unsigned physWarpRegs = 1024;
+    unsigned regBankGroups = 8;
+    unsigned ibufferEntries = 2;
+
+    // Execution latencies, in SM cycles (issue to writeback-ready).
+    unsigned spIntLatency = 8;
+    unsigned spFpLatency = 10;
+    unsigned sfuLatency = 20;
+    unsigned scratchpadLatency = 24;
+    unsigned constLatency = 12;
+
+    // Memories.
+    unsigned scratchpadBytes = 48 * 1024;
+    unsigned l1dBytes = 32 * 1024;
+    unsigned l1dWays = 4;
+    unsigned l1dMshrs = 64;
+    unsigned lineBytes = 128;
+    unsigned l2Partitions = 6;
+    unsigned l2BytesPerPartition = 128 * 1024;
+    unsigned l2Ways = 8;
+    unsigned l2Latency = 200;
+    unsigned dramLatency = 440;
+    unsigned dramQueueEntries = 32;
+    unsigned nocBytesPerCycle = 32;
+
+    // Safety valve for runaway kernels (0 = unlimited).
+    u64 maxCycles = 0;
+};
+
+/** Reuse design point (Section VII-A machine models). */
+struct DesignConfig
+{
+    std::string name = "Base";
+
+    /** Master switch: renaming + reuse buffer + VSB ("R"). */
+    bool enableReuse = false;
+    /** Allow loads to reuse prior loads (Section VI-A). */
+    bool enableLoadReuse = false;
+    /** Pending-retry queue on reuse-buffer misses (Section VI-B). */
+    bool enablePendingRetry = false;
+    /** Verify cache in front of register banks (Section VI-C). */
+    bool enableVerifyCache = false;
+    /** Value signature buffer; NoVSB model clears this. */
+    bool enableVsb = true;
+    /** Affine (base,stride) energy-optimized execution. */
+    bool enableAffine = false;
+
+    RegisterPolicy policy = RegisterPolicy::MaxRegister;
+
+    unsigned reuseBufferEntries = 256;
+    unsigned vsbEntries = 256;
+    /** Ways per set; 1 = directly indexed (the paper's choice). */
+    unsigned reuseBufferAssoc = 1;
+    unsigned vsbAssoc = 1;
+    unsigned verifyCacheEntries = 8;
+    unsigned pendingQueueEntries = 16;
+
+    /** Extra backend pipeline stages added by reuse (Section VII-E). */
+    unsigned extraBackendDelay = 4;
+};
+
+/** Render a MachineConfig as the Table II parameter listing. */
+std::string describeMachine(const MachineConfig &config);
+
+/** One-line summary of a design point for reports. */
+std::string describeDesign(const DesignConfig &design);
+
+} // namespace wir
+
+#endif // WIR_COMMON_CONFIG_HH

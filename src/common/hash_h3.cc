@@ -1,0 +1,82 @@
+#include "common/hash_h3.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+/**
+ * H3 lookup tables: one 256-entry table of 32-bit rows per input byte
+ * position. Entry T[pos][b] is the XOR of the H3 matrix columns
+ * selected by the set bits of byte value b at position pos, so
+ * XOR-folding table entries over all input bytes evaluates the full
+ * 32x1024 H3 matrix product.
+ */
+struct H3Tables
+{
+    static constexpr unsigned numBytes = warpSize * sizeof(u32);
+
+    u32 table[numBytes][256];
+
+    H3Tables()
+    {
+        // Deterministic xorshift64 so the hash function is stable
+        // across runs (the hardware matrix is hardwired, too).
+        u64 state = 0x9e3779b97f4a7c15ull;
+        auto next = [&state]() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            return static_cast<u32>(state >> 16);
+        };
+
+        for (unsigned pos = 0; pos < numBytes; pos++) {
+            // Random matrix column for each of the 8 bits of the byte.
+            u32 columns[8];
+            for (auto &col : columns)
+                col = next();
+            for (unsigned value = 0; value < 256; value++) {
+                u32 h = 0;
+                for (unsigned bit = 0; bit < 8; bit++) {
+                    if (value & (1u << bit))
+                        h ^= columns[bit];
+                }
+                table[pos][value] = h;
+            }
+        }
+    }
+};
+
+const H3Tables h3Tables;
+
+} // namespace
+
+u32
+hashH3(const WarpValue &value)
+{
+    u32 h = 0;
+    unsigned pos = 0;
+    for (u32 lane : value) {
+        h ^= h3Tables.table[pos + 0][lane & 0xff];
+        h ^= h3Tables.table[pos + 1][(lane >> 8) & 0xff];
+        h ^= h3Tables.table[pos + 2][(lane >> 16) & 0xff];
+        h ^= h3Tables.table[pos + 3][(lane >> 24) & 0xff];
+        pos += 4;
+    }
+    return h;
+}
+
+u32
+hashScalar(u64 key)
+{
+    // 64-bit finalizer (splitmix64-style) folded to 32 bits.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return static_cast<u32>(key ^ (key >> 32));
+}
+
+} // namespace wir

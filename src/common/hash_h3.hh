@@ -1,0 +1,42 @@
+/**
+ * @file
+ * H3 hash over a 1024-bit warp register value.
+ *
+ * The paper uses the H3 hardware hash family [Ramakrishna et al.] to
+ * produce a 32-bit signature of a 1024-bit result vector for the value
+ * signature buffer. H3 is a linear (XOR of selected input bits) hash;
+ * we implement it with per-input-byte lookup tables, which computes
+ * exactly the same function a cascade of XOR gates would.
+ */
+
+#ifndef WIR_COMMON_HASH_H3_HH
+#define WIR_COMMON_HASH_H3_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** One 1024-bit warp register value: 32 lanes of 32 bits. */
+using WarpValue = std::array<u32, warpSize>;
+
+/**
+ * Compute the 32-bit H3 signature of a warp register value.
+ *
+ * The function is linear over GF(2): hash(a ^ b) == hash(a) ^ hash(b),
+ * and hash(0) == 0. Tests rely on this to construct deliberate
+ * collisions that exercise the verify-read path.
+ */
+u32 hashH3(const WarpValue &value);
+
+/**
+ * Mix a 64-bit scalar into a 32-bit hash (used for reuse-buffer tag
+ * indexing, where the tag is opcode + physical register IDs + imm).
+ */
+u32 hashScalar(u64 key);
+
+} // namespace wir
+
+#endif // WIR_COMMON_HASH_H3_HH

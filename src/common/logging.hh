@@ -1,0 +1,57 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for simulator bugs (invariant violations) and aborts;
+ * fatal() is for user/configuration errors and exits cleanly; warn()
+ * and inform() report conditions without stopping the simulation.
+ */
+
+#ifndef WIR_COMMON_LOGGING_HH
+#define WIR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace wir
+{
+
+/** Abort the simulation due to an internal simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Terminate the simulation due to a user/configuration error. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning about suspicious but survivable behaviour. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace wir
+
+#define panic(...) ::wir::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::wir::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::wir::warnImpl(__VA_ARGS__)
+#define inform(...) ::wir::informImpl(__VA_ARGS__)
+
+/**
+ * Simulator-bug assertion: cheap enough to keep in release builds,
+ * reports through panic() so failures carry file/line context.
+ */
+#define wir_assert(cond) \
+    do { \
+        if (!(cond)) \
+            panic("assertion failed: %s", #cond); \
+    } while (0)
+
+#endif // WIR_COMMON_LOGGING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small deterministic RNG used by workload generators and eviction
+ * randomization. std::mt19937 is avoided so that simulation results
+ * are identical across standard library implementations.
+ */
+
+#ifndef WIR_COMMON_RNG_HH
+#define WIR_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** xorshift64* generator; cheap, reproducible, good enough. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x853c49e6748fea9bull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform 32-bit value. */
+    u32 nextU32() { return static_cast<u32>(next() >> 32); }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    u32
+    below(u32 bound)
+    {
+        return static_cast<u32>((u64{nextU32()} * bound) >> 32);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) *
+               (1.0f / 16777216.0f);
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace wir
+
+#endif // WIR_COMMON_RNG_HH

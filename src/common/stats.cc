@@ -1,0 +1,110 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wir
+{
+
+namespace
+{
+
+/** Table mapping counter names to members, shared by += and items(). */
+struct Field
+{
+    const char *name;
+    u64 SimStats::*member;
+    bool mergeMax; ///< merged with max() instead of + (peaks, cycles)
+};
+
+const Field fields[] = {
+    {"cycles", &SimStats::cycles, true},
+    {"sm_cycles_total", &SimStats::smCyclesTotal, false},
+    {"warp_insts_committed", &SimStats::warpInstsCommitted, false},
+    {"warp_insts_executed", &SimStats::warpInstsExecuted, false},
+    {"warp_insts_reused", &SimStats::warpInstsReused, false},
+    {"reuse_hits_pending", &SimStats::reuseHitsPending, false},
+    {"dummy_movs", &SimStats::dummyMovs, false},
+    {"divergent_insts", &SimStats::divergentInsts, false},
+    {"fp_insts", &SimStats::fpInsts, false},
+    {"sfu_insts", &SimStats::sfuInsts, false},
+    {"control_insts", &SimStats::controlInsts, false},
+    {"load_insts", &SimStats::loadInsts, false},
+    {"store_insts", &SimStats::storeInsts, false},
+    {"barriers", &SimStats::barriers, false},
+    {"sp_activations", &SimStats::spActivations, false},
+    {"sfu_activations", &SimStats::sfuActivations, false},
+    {"mem_activations", &SimStats::memActivations, false},
+    {"rf_bank_reads", &SimStats::rfBankReads, false},
+    {"rf_bank_writes", &SimStats::rfBankWrites, false},
+    {"rf_bank_requests", &SimStats::rfBankRequests, false},
+    {"rf_bank_retries", &SimStats::rfBankRetries, false},
+    {"verify_reads", &SimStats::verifyReads, false},
+    {"verify_mismatches", &SimStats::verifyMismatches, false},
+    {"verify_cache_hits", &SimStats::verifyCacheHits, false},
+    {"verify_cache_misses", &SimStats::verifyCacheMisses, false},
+    {"reuse_buf_lookups", &SimStats::reuseBufLookups, false},
+    {"reuse_buf_hits", &SimStats::reuseBufHits, false},
+    {"load_reuse_lookups", &SimStats::loadReuseLookups, false},
+    {"load_reuse_hits", &SimStats::loadReuseHits, false},
+    {"reuse_buf_updates", &SimStats::reuseBufUpdates, false},
+    {"pending_queue_full", &SimStats::pendingQueueFull, false},
+    {"vsb_lookups", &SimStats::vsbLookups, false},
+    {"vsb_hash_hits", &SimStats::vsbHashHits, false},
+    {"vsb_shares", &SimStats::vsbShares, false},
+    {"rename_reads", &SimStats::renameReads, false},
+    {"rename_writes", &SimStats::renameWrites, false},
+    {"refcount_ops", &SimStats::refcountOps, false},
+    {"reg_allocs", &SimStats::regAllocs, false},
+    {"reg_frees", &SimStats::regFrees, false},
+    {"low_reg_mode_cycles", &SimStats::lowRegModeCycles, false},
+    {"low_reg_evictions", &SimStats::lowRegEvictions, false},
+    {"alloc_stall_cycles", &SimStats::allocStallCycles, false},
+    {"phys_regs_in_use_accum", &SimStats::physRegsInUseAccum, false},
+    {"phys_regs_in_use_peak", &SimStats::physRegsInUsePeak, true},
+    {"l1_accesses", &SimStats::l1Accesses, false},
+    {"l1_hits", &SimStats::l1Hits, false},
+    {"l1_misses", &SimStats::l1Misses, false},
+    {"scratch_accesses", &SimStats::scratchAccesses, false},
+    {"const_accesses", &SimStats::constAccesses, false},
+    {"l2_accesses", &SimStats::l2Accesses, false},
+    {"l2_hits", &SimStats::l2Hits, false},
+    {"l2_misses", &SimStats::l2Misses, false},
+    {"dram_accesses", &SimStats::dramAccesses, false},
+    {"noc_flits", &SimStats::nocFlits, false},
+    {"affine_executions", &SimStats::affineExecutions, false},
+};
+
+} // namespace
+
+SimStats &
+SimStats::operator+=(const SimStats &other)
+{
+    for (const auto &field : fields) {
+        u64 &mine = this->*(field.member);
+        u64 theirs = other.*(field.member);
+        mine = field.mergeMax ? std::max(mine, theirs) : mine + theirs;
+    }
+    return *this;
+}
+
+std::vector<std::pair<std::string, u64>>
+SimStats::items() const
+{
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(std::size(fields));
+    for (const auto &field : fields)
+        out.emplace_back(field.name, this->*(field.member));
+    return out;
+}
+
+std::string
+SimStats::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : items())
+        out << name << " = " << value << "\n";
+    return out.str();
+}
+
+} // namespace wir

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Event counters collected during simulation.
+ *
+ * Every energy- or figure-relevant microarchitectural event increments
+ * exactly one counter here; the energy model (src/energy) and the
+ * bench harnesses derive all reported numbers from these counts, so a
+ * single struct keeps cross-design aggregation trivial.
+ */
+
+#ifndef WIR_COMMON_STATS_HH
+#define WIR_COMMON_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** All simulation counters for one SM (or aggregated over a GPU). */
+struct SimStats
+{
+    // Progress.
+    u64 cycles = 0;              ///< SM cycles (max over SMs when merged)
+    u64 smCyclesTotal = 0;       ///< sum of per-SM cycles (for leakage)
+
+    // Instruction stream.
+    u64 warpInstsCommitted = 0;  ///< all committed warp instructions
+    u64 warpInstsExecuted = 0;   ///< went through RF read + FU
+    u64 warpInstsReused = 0;     ///< bypassed backend via reuse hit
+    u64 reuseHitsPending = 0;    ///< reuse hits served by pending-retry
+    u64 dummyMovs = 0;           ///< injected divergence copy MOVs
+    u64 divergentInsts = 0;
+    u64 fpInsts = 0;
+    u64 sfuInsts = 0;
+    u64 controlInsts = 0;
+    u64 loadInsts = 0;
+    u64 storeInsts = 0;
+    u64 barriers = 0;
+
+    // Backend pipeline activations (one per executed warp instr).
+    u64 spActivations = 0;
+    u64 sfuActivations = 0;
+    u64 memActivations = 0;
+
+    // Register file (counted per 128-bit bank access).
+    u64 rfBankReads = 0;
+    u64 rfBankWrites = 0;
+    u64 rfBankRequests = 0;      ///< warp-level access requests
+    u64 rfBankRetries = 0;       ///< retries due to bank conflicts
+
+    // Verify-read path (Section VI-C).
+    u64 verifyReads = 0;         ///< writes substituted by verify-reads
+    u64 verifyMismatches = 0;    ///< hash false positives detected
+    u64 verifyCacheHits = 0;
+    u64 verifyCacheMisses = 0;
+
+    // Reuse buffer.
+    u64 reuseBufLookups = 0;
+    u64 reuseBufHits = 0;
+    u64 loadReuseLookups = 0;    ///< eligible load lookups
+    u64 loadReuseHits = 0;       ///< loads served by prior loads
+    u64 reuseBufUpdates = 0;
+    u64 pendingQueueFull = 0;
+
+    // Value signature buffer.
+    u64 vsbLookups = 0;
+    u64 vsbHashHits = 0;         ///< hash matched (needs verify)
+    u64 vsbShares = 0;           ///< verify succeeded, register shared
+
+    // Rename/refcount/allocation machinery.
+    u64 renameReads = 0;
+    u64 renameWrites = 0;
+    u64 refcountOps = 0;
+    u64 regAllocs = 0;
+    u64 regFrees = 0;
+    u64 lowRegModeCycles = 0;
+    u64 lowRegEvictions = 0;
+    u64 allocStallCycles = 0;
+
+    // Physical register utilization (Fig. 19).
+    u64 physRegsInUseAccum = 0;  ///< sum over cycles of in-use count
+    u64 physRegsInUsePeak = 0;
+
+    // Memory system.
+    u64 l1Accesses = 0;
+    u64 l1Hits = 0;
+    u64 l1Misses = 0;
+    u64 scratchAccesses = 0;
+    u64 constAccesses = 0;
+    u64 l2Accesses = 0;
+    u64 l2Hits = 0;
+    u64 l2Misses = 0;
+    u64 dramAccesses = 0;
+    u64 nocFlits = 0;
+
+    // Affine execution (Fig. 13/16 baselines).
+    u64 affineExecutions = 0;    ///< executed with 1-lane/1-bank cost
+
+    /** Merge counters from another SM/GPU run. */
+    SimStats &operator+=(const SimStats &other);
+
+    /** Name/value pairs for generic dumping. */
+    std::vector<std::pair<std::string, u64>> items() const;
+
+    /** Multi-line human-readable dump. */
+    std::string dump() const;
+};
+
+} // namespace wir
+
+#endif // WIR_COMMON_STATS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental fixed-width types and warp-level constants shared by the
+ * whole simulator.
+ */
+
+#ifndef WIR_COMMON_TYPES_HH
+#define WIR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wir
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Number of thread lanes in a warp (fixed, as in the baseline GPU). */
+constexpr unsigned warpSize = 32;
+
+/** A 32-bit active-lane mask for one warp. */
+using WarpMask = u32;
+
+/** Mask with all 32 lanes active. */
+constexpr WarpMask fullMask = 0xffffffffu;
+
+/** Logical warp register index inside a warp (0..62 usable). */
+using LogicalReg = u16;
+
+/** Physical warp register index inside an SM. */
+using PhysReg = u16;
+
+/** Sentinel meaning "no register". */
+constexpr u16 invalidReg = std::numeric_limits<u16>::max();
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Byte address in one of the simulated memory spaces. */
+using Addr = u64;
+
+/** Identifier types for SMs, warps, thread blocks. */
+using SmId = u16;
+using WarpId = u16;
+using BlockId = u32;
+
+/** Reinterpret a 32-bit payload as float (lane registers are 32-bit). */
+inline float
+asFloat(u32 bits)
+{
+    union { u32 u; float f; } cvt;
+    cvt.u = bits;
+    return cvt.f;
+}
+
+/** Reinterpret a float as its 32-bit payload. */
+inline u32
+asBits(float value)
+{
+    union { u32 u; float f; } cvt;
+    cvt.f = value;
+    return cvt.u;
+}
+
+/** Population count helper for warp masks. */
+inline unsigned
+popcount(WarpMask mask)
+{
+    return static_cast<unsigned>(__builtin_popcount(mask));
+}
+
+} // namespace wir
+
+#endif // WIR_COMMON_TYPES_HH

@@ -1,0 +1,146 @@
+#include "func/executor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+u32
+evalSpecial(SpecialReg sr, const WarpCtx &ctx, unsigned lane)
+{
+    u32 linear = ctx.warpInBlock * warpSize + lane;
+    switch (sr) {
+      case SpecialReg::TidX:
+        return linear % ctx.nTidX;
+      case SpecialReg::TidY:
+        return (linear / ctx.nTidX) % ctx.nTidY;
+      case SpecialReg::NTidX:
+        return ctx.nTidX;
+      case SpecialReg::NTidY:
+        return ctx.nTidY;
+      case SpecialReg::CtaIdX:
+        return ctx.ctaIdX;
+      case SpecialReg::CtaIdY:
+        return ctx.ctaIdY;
+      case SpecialReg::NCtaIdX:
+        return ctx.nCtaX;
+      case SpecialReg::NCtaIdY:
+        return ctx.nCtaY;
+      case SpecialReg::LaneId:
+        return lane;
+      case SpecialReg::WarpIdInBlock:
+        return ctx.warpInBlock;
+    }
+    panic("bad special register selector %u",
+          static_cast<unsigned>(sr));
+}
+
+u32
+evalLane(Op op, u32 a, u32 b, u32 c)
+{
+    auto fa = asFloat(a);
+    auto fb = asFloat(b);
+    auto fc = asFloat(c);
+    auto ia = static_cast<i32>(a);
+    auto ib = static_cast<i32>(b);
+
+    switch (op) {
+      case Op::IADD: return a + b;
+      case Op::ISUB: return a - b;
+      case Op::IMUL: return a * b;
+      case Op::IMAD: return a * b + c;
+      case Op::IMIN: return static_cast<u32>(ia < ib ? ia : ib);
+      case Op::IMAX: return static_cast<u32>(ia > ib ? ia : ib);
+      case Op::IABS: return static_cast<u32>(ia < 0 ? -ia : ia);
+      case Op::IAND: return a & b;
+      case Op::IOR: return a | b;
+      case Op::IXOR: return a ^ b;
+      case Op::INOT: return ~a;
+      case Op::SHL: return a << (b & 31);
+      case Op::SHR: return a >> (b & 31);
+      case Op::SRA: return static_cast<u32>(ia >> (b & 31));
+      case Op::IMOV: return a;
+      case Op::ISETLT: return ia < ib ? 1 : 0;
+      case Op::ISETLE: return ia <= ib ? 1 : 0;
+      case Op::ISETEQ: return a == b ? 1 : 0;
+      case Op::ISETNE: return a != b ? 1 : 0;
+      case Op::ISETLTU: return a < b ? 1 : 0;
+      case Op::SELP: return c != 0 ? a : b;
+
+      case Op::FADD: return asBits(fa + fb);
+      case Op::FSUB: return asBits(fa - fb);
+      case Op::FMUL: return asBits(fa * fb);
+      case Op::FFMA: return asBits(fa * fb + fc);
+      case Op::FMIN: return asBits(fa < fb ? fa : fb);
+      case Op::FMAX: return asBits(fa > fb ? fa : fb);
+      case Op::FABS: return a & 0x7fffffffu;
+      case Op::FNEG: return a ^ 0x80000000u;
+      case Op::FSETLT: return fa < fb ? 1 : 0;
+      case Op::FSETLE: return fa <= fb ? 1 : 0;
+      case Op::FSETEQ: return fa == fb ? 1 : 0;
+      case Op::F2I: return static_cast<u32>(static_cast<i32>(fa));
+      case Op::I2F: return asBits(static_cast<float>(ia));
+
+      case Op::FRCP: return asBits(1.0f / fa);
+      case Op::FSQRT: return asBits(std::sqrt(fa));
+      case Op::FRSQRT: return asBits(1.0f / std::sqrt(fa));
+      case Op::FEXP2: return asBits(std::exp2(fa));
+      case Op::FLOG2: return asBits(std::log2(fa));
+      case Op::FSIN: return asBits(std::sin(fa));
+      case Op::FCOS: return asBits(std::cos(fa));
+
+      default:
+        panic("evalLane: opcode %s is not an ALU/SFU op",
+              std::string(traits(op).name).c_str());
+    }
+}
+
+} // namespace
+
+WarpValue
+splat(u32 bits)
+{
+    WarpValue v;
+    v.fill(bits);
+    return v;
+}
+
+WarpValue
+evaluate(Op op, const ExecInputs &in)
+{
+    WarpValue result{};
+    if (op == Op::S2R) {
+        auto sr = static_cast<SpecialReg>(in.src[0][0]);
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            if (in.active & (1u << lane))
+                result[lane] = evalSpecial(sr, in.ctx, lane);
+        }
+        return result;
+    }
+
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if (in.active & (1u << lane)) {
+            result[lane] = evalLane(op, in.src[0][lane],
+                                    in.src[1][lane], in.src[2][lane]);
+        }
+    }
+    return result;
+}
+
+WarpMask
+branchTakenMask(const WarpValue &pred, WarpMask active)
+{
+    WarpMask taken = 0;
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if ((active & (1u << lane)) && pred[lane] == 0)
+            taken |= 1u << lane;
+    }
+    return taken;
+}
+
+} // namespace wir

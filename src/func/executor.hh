@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-lane functional evaluation of warp instructions.
+ *
+ * The timing model computes an instruction's result values at issue
+ * (legal because the scoreboard guarantees operands are retired) and
+ * carries them through the pipeline; this module is the pure
+ * value-computation core shared by the timing simulator, the Fig. 2
+ * motivation profiler, and the tests' reference interpreter.
+ */
+
+#ifndef WIR_FUNC_EXECUTOR_HH
+#define WIR_FUNC_EXECUTOR_HH
+
+#include "common/hash_h3.hh"
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+/** Thread-position context of one warp (for S2R). */
+struct WarpCtx
+{
+    u32 ctaIdX = 0, ctaIdY = 0;
+    u32 nCtaX = 1, nCtaY = 1;
+    u32 nTidX = 1, nTidY = 1;
+    u32 warpInBlock = 0;
+};
+
+/** Resolved inputs for a functional evaluation. */
+struct ExecInputs
+{
+    /** Source value vectors; immediates are pre-broadcast. */
+    WarpValue src[3]{};
+    WarpMask active = fullMask;
+    WarpCtx ctx;
+};
+
+/**
+ * Evaluate an ALU/SFU/S2R op. Inactive lanes of the result are left
+ * zero; the caller merges them with the old destination value.
+ * Panics for memory/control ops, which are handled by the pipeline.
+ */
+WarpValue evaluate(Op op, const ExecInputs &in);
+
+/** Lanes (within active) that take a BRA: predicate value == 0. */
+WarpMask branchTakenMask(const WarpValue &pred, WarpMask active);
+
+/** Broadcast an immediate to all lanes. */
+WarpValue splat(u32 bits);
+
+} // namespace wir
+
+#endif // WIR_FUNC_EXECUTOR_HH

@@ -1,0 +1,67 @@
+#include "func/memory_image.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+MemoryImage::MemoryImage(Addr globalBytes)
+{
+    allocGlobal(globalBytes);
+}
+
+Addr
+MemoryImage::allocGlobal(Addr bytes)
+{
+    Addr base = global.size() * 4;
+    global.resize(global.size() + (bytes + 3) / 4, 0);
+    return base;
+}
+
+std::size_t
+MemoryImage::wordIndex(Addr addr, std::size_t limit,
+                       const char *what)
+{
+    if (addr % 4 != 0)
+        panic("unaligned %s access at 0x%llx", what,
+              static_cast<unsigned long long>(addr));
+    size_t index = addr / 4;
+    if (index >= limit)
+        panic("%s access out of range at 0x%llx (limit 0x%llx)", what,
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(limit * 4));
+    return index;
+}
+
+u32
+MemoryImage::readGlobal(Addr addr) const
+{
+    return global[wordIndex(addr, global.size(), "global")];
+}
+
+void
+MemoryImage::writeGlobal(Addr addr, u32 value)
+{
+    global[wordIndex(addr, global.size(), "global")] = value;
+}
+
+void
+MemoryImage::fillGlobal(Addr addr, const std::vector<u32> &words)
+{
+    for (size_t i = 0; i < words.size(); i++)
+        writeGlobal(addr + i * 4, words[i]);
+}
+
+void
+MemoryImage::setConstSegment(std::vector<u32> words)
+{
+    constSeg = std::move(words);
+}
+
+u32
+MemoryImage::readConst(Addr addr) const
+{
+    return constSeg[wordIndex(addr, constSeg.size(), "const")];
+}
+
+} // namespace wir

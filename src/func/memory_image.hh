@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Backing storage for the simulated global and constant memory
+ * spaces. Scratchpad storage lives with each resident thread block in
+ * the SM model.
+ *
+ * All accesses are 32-bit and must be 4-byte aligned; the workloads
+ * in this repository only ever use word accesses, which keeps the
+ * coalescer and cache models simple without losing any behaviour the
+ * paper depends on.
+ */
+
+#ifndef WIR_FUNC_MEMORY_IMAGE_HH
+#define WIR_FUNC_MEMORY_IMAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+class MemoryImage
+{
+  public:
+    /** Create an image with the given global-memory size in bytes. */
+    explicit MemoryImage(Addr globalBytes = 0);
+
+    /** Grow/allocate the global segment; returns base address of the
+     * newly added region (word-aligned). */
+    Addr allocGlobal(Addr bytes);
+
+    u32 readGlobal(Addr addr) const;
+    void writeGlobal(Addr addr, u32 value);
+
+    /** Bulk helpers for workload setup and verification. */
+    void fillGlobal(Addr addr, const std::vector<u32> &words);
+    std::vector<u32> snapshotGlobal() const { return global; }
+
+    void setConstSegment(std::vector<u32> words);
+    u32 readConst(Addr addr) const;
+
+    Addr globalBytes() const { return global.size() * 4; }
+
+  private:
+    static std::size_t wordIndex(Addr addr, std::size_t limit,
+                                 const char *what);
+
+    std::vector<u32> global;
+    std::vector<u32> constSeg;
+};
+
+} // namespace wir
+
+#endif // WIR_FUNC_MEMORY_IMAGE_HH

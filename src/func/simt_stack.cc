@@ -1,0 +1,112 @@
+#include "func/simt_stack.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+void
+SimtStack::reset(WarpMask initialMask)
+{
+    entries.clear();
+    if (initialMask)
+        entries.push_back({0, noReconv, initialMask});
+}
+
+Pc
+SimtStack::pc() const
+{
+    wir_assert(!entries.empty());
+    return entries.back().pc;
+}
+
+WarpMask
+SimtStack::mask() const
+{
+    wir_assert(!entries.empty());
+    return entries.back().mask;
+}
+
+void
+SimtStack::advance()
+{
+    wir_assert(!entries.empty());
+    entries.back().pc++;
+    reconverge();
+}
+
+void
+SimtStack::reconverge()
+{
+    while (!entries.empty() &&
+           entries.back().pc == entries.back().rpc) {
+        entries.pop_back();
+    }
+}
+
+void
+SimtStack::pushPath(Pc pc, Pc rpc, WarpMask mask)
+{
+    if (!mask)
+        return;
+    if (pc == rpc)
+        return; // lanes are already at the reconvergence point
+
+    // Merge with an identical (pc, rpc) entry below to bound stack
+    // growth across divergent loop iterations.
+    if (!entries.empty() && entries.back().pc == pc &&
+        entries.back().rpc == rpc) {
+        entries.back().mask |= mask;
+        return;
+    }
+    entries.push_back({pc, rpc, mask});
+}
+
+void
+SimtStack::branch(const Instruction &inst, WarpMask takenMask)
+{
+    wir_assert(!entries.empty());
+    Entry &top = entries.back();
+    wir_assert((takenMask & ~top.mask) == 0);
+
+    Pc fallPc = inst.pc + 1;
+    WarpMask fallMask = top.mask & ~takenMask;
+
+    if (!fallMask) {
+        top.pc = inst.takenPc;
+        reconverge();
+        return;
+    }
+    if (!takenMask) {
+        top.pc = fallPc;
+        reconverge();
+        return;
+    }
+
+    // Divergent: the current entry becomes the reconvergence entry.
+    Pc rpc = inst.reconvPc;
+    WarpMask fullMaskHere = top.mask;
+    top.pc = rpc;
+
+    // If the reconvergence entry now matches the entry below, merge
+    // (keeps divergent loops from growing the stack each iteration).
+    if (entries.size() >= 2) {
+        Entry &below = entries[entries.size() - 2];
+        if (below.pc == rpc && below.rpc == top.rpc &&
+            (fullMaskHere & ~below.mask) == 0) {
+            entries.pop_back();
+        }
+    }
+
+    pushPath(inst.takenPc, rpc, takenMask);
+    pushPath(fallPc, rpc, fallMask);
+    reconverge();
+}
+
+void
+SimtStack::exit()
+{
+    entries.clear();
+}
+
+} // namespace wir

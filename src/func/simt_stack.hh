@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SIMT reconvergence stack (immediate post-dominator scheme).
+ *
+ * Each warp owns one stack. The top-of-stack entry gives the warp's
+ * current pc and active mask; divergent branches split the mask into
+ * taken/fall-through entries that reconverge at the branch's
+ * reconvergence pc computed by the structured-control-flow builder.
+ */
+
+#ifndef WIR_FUNC_SIMT_STACK_HH
+#define WIR_FUNC_SIMT_STACK_HH
+
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+class SimtStack
+{
+  public:
+    /** Reconvergence pc of the bottom entry (never reached). */
+    static constexpr Pc noReconv = ~Pc{0};
+
+    /** (Re)initialize for a warp starting at pc 0. */
+    void reset(WarpMask initialMask);
+
+    bool done() const { return entries.empty(); }
+    Pc pc() const;
+    WarpMask mask() const;
+
+    /** Step past a non-branch instruction. */
+    void advance();
+
+    /**
+     * Apply a branch: takenMask lanes (subset of the active mask)
+     * jump to inst.takenPc, the rest fall through; divergence splits
+     * the stack with reconvergence at inst.reconvPc.
+     */
+    void branch(const Instruction &inst, WarpMask takenMask);
+
+    /** Terminate the warp (EXIT executed). */
+    void exit();
+
+    /** Current depth, exposed for tests. */
+    size_t depth() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        Pc pc;
+        Pc rpc;
+        WarpMask mask;
+    };
+
+    /** Pop entries whose pc reached their reconvergence point. */
+    void reconverge();
+
+    /** Push unless the target is already the reconvergence point. */
+    void pushPath(Pc pc, Pc rpc, WarpMask mask);
+
+    std::vector<Entry> entries;
+};
+
+} // namespace wir
+
+#endif // WIR_FUNC_SIMT_STACK_HH

@@ -1,0 +1,250 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+KernelBuilder::KernelBuilder(std::string name, Dim blockDim,
+                             Dim gridDim)
+{
+    kernel.name = std::move(name);
+    kernel.blockDim = blockDim;
+    kernel.gridDim = gridDim;
+}
+
+Reg
+KernelBuilder::alloc()
+{
+    // Virtual register; linear scan in finish() maps these onto the
+    // 63 hardware logical registers.
+    if (kernel.numRegs >= 8192) {
+        panic("kernel '%s': out of virtual registers",
+              kernel.name.c_str());
+    }
+    return Reg{static_cast<LogicalReg>(kernel.numRegs++)};
+}
+
+void
+KernelBuilder::setScratchBytes(unsigned bytes)
+{
+    kernel.scratchBytesPerBlock = bytes;
+}
+
+u32
+KernelBuilder::addConst(const std::vector<u32> &words)
+{
+    u32 base = static_cast<u32>(kernel.constSegment.size() * 4);
+    kernel.constSegment.insert(kernel.constSegment.end(),
+                               words.begin(), words.end());
+    return base;
+}
+
+Instruction &
+KernelBuilder::at(Pc pc)
+{
+    wir_assert(pc < kernel.insts.size());
+    return kernel.insts[pc];
+}
+
+void
+KernelBuilder::pushInst(Instruction inst)
+{
+    wir_assert(!finished);
+    inst.pc = here();
+    switch (inst.op) {
+      case Op::LDG:
+      case Op::STG:
+        inst.space = MemSpace::Global;
+        break;
+      case Op::LDS:
+      case Op::STS:
+        inst.space = MemSpace::Shared;
+        break;
+      case Op::LDC:
+        inst.space = MemSpace::Const;
+        break;
+      default:
+        break;
+    }
+    kernel.insts.push_back(inst);
+}
+
+Reg
+KernelBuilder::emit(Op op, Operand a, Operand b, Operand c)
+{
+    Reg dst = alloc();
+    emitInto(dst, op, a, b, c);
+    return dst;
+}
+
+void
+KernelBuilder::emitInto(Reg dst, Op op, Operand a, Operand b,
+                        Operand c)
+{
+    wir_assert(dst.valid());
+    Instruction inst;
+    inst.op = op;
+    inst.dst = dst.id;
+    inst.srcs = {a, b, c};
+    pushInst(inst);
+}
+
+Reg
+KernelBuilder::s2r(SpecialReg sr)
+{
+    return emit(Op::S2R, Operand::imm(static_cast<u32>(sr)));
+}
+
+Reg
+KernelBuilder::immReg(u32 bits)
+{
+    return emit(Op::IMOV, Operand::imm(bits));
+}
+
+Reg
+KernelBuilder::immRegF(float value)
+{
+    return emit(Op::IMOV, Operand::immF(value));
+}
+
+void
+KernelBuilder::stg(Operand addr, Operand data)
+{
+    Instruction inst;
+    inst.op = Op::STG;
+    inst.srcs = {addr, data, Operand{}};
+    pushInst(inst);
+}
+
+void
+KernelBuilder::sts(Operand addr, Operand data)
+{
+    Instruction inst;
+    inst.op = Op::STS;
+    inst.srcs = {addr, data, Operand{}};
+    pushInst(inst);
+}
+
+void
+KernelBuilder::bar()
+{
+    pushInst(Instruction{.op = Op::BAR});
+}
+
+void
+KernelBuilder::membar()
+{
+    pushInst(Instruction{.op = Op::MEMBAR});
+}
+
+void
+KernelBuilder::iff(Operand pred)
+{
+    CfEntry entry{CfEntry::Kind::If, 0, here(), {}};
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.srcs = {pred, Operand{}, Operand{}};
+    pushInst(bra);
+    cfStack.push_back(entry);
+}
+
+void
+KernelBuilder::elseBranch()
+{
+    if (cfStack.empty() || cfStack.back().kind != CfEntry::Kind::If)
+        panic("elseBranch() without matching iff()");
+
+    // Unconditional jump over the else-block for the then-lanes.
+    Pc jumpPc = here();
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.srcs = {Operand::imm(0), Operand{}, Operand{}};
+    pushInst(bra);
+
+    // The iff branch targets the else-block start.
+    CfEntry &entry = cfStack.back();
+    at(entry.pendingBranchPc).takenPc = here();
+    entry.kind = CfEntry::Kind::Else;
+    entry.breakPcs.push_back(jumpPc);
+}
+
+void
+KernelBuilder::endIf()
+{
+    if (cfStack.empty() || cfStack.back().kind == CfEntry::Kind::Loop)
+        panic("endIf() without matching iff()");
+
+    CfEntry entry = cfStack.back();
+    cfStack.pop_back();
+    Pc end = here();
+
+    Instruction &ifBra = at(entry.pendingBranchPc);
+    ifBra.reconvPc = end;
+    if (entry.kind == CfEntry::Kind::If) {
+        ifBra.takenPc = end;
+    } else {
+        Instruction &elseJump = at(entry.breakPcs.front());
+        elseJump.takenPc = end;
+        elseJump.reconvPc = end;
+    }
+}
+
+void
+KernelBuilder::loopBegin()
+{
+    cfStack.push_back(CfEntry{CfEntry::Kind::Loop, here(), 0, {}});
+}
+
+void
+KernelBuilder::loopBreakIfZero(Operand pred)
+{
+    if (cfStack.empty() || cfStack.back().kind != CfEntry::Kind::Loop)
+        panic("loopBreakIfZero() outside a loop");
+
+    cfStack.back().breakPcs.push_back(here());
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.srcs = {pred, Operand{}, Operand{}};
+    pushInst(bra);
+}
+
+void
+KernelBuilder::loopEnd()
+{
+    if (cfStack.empty() || cfStack.back().kind != CfEntry::Kind::Loop)
+        panic("loopEnd() without matching loopBegin()");
+
+    CfEntry entry = cfStack.back();
+    cfStack.pop_back();
+
+    // Unconditional back edge to the loop head.
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.srcs = {Operand::imm(0), Operand{}, Operand{}};
+    bra.takenPc = entry.headPc;
+    bra.reconvPc = here() + 1;
+    pushInst(bra);
+
+    Pc exit = here();
+    for (Pc breakPc : entry.breakPcs) {
+        at(breakPc).takenPc = exit;
+        at(breakPc).reconvPc = exit;
+    }
+    loops.push_back({entry.headPc, exit});
+}
+
+Kernel
+KernelBuilder::finish()
+{
+    if (!cfStack.empty())
+        panic("kernel '%s': unclosed control flow",
+              kernel.name.c_str());
+    pushInst(Instruction{.op = Op::EXIT});
+    finished = true;
+    allocateRegisters(kernel, loops);
+    kernel.validate();
+    return std::move(kernel);
+}
+
+} // namespace wir

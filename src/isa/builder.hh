@@ -1,0 +1,149 @@
+/**
+ * @file
+ * KernelBuilder: a small assembler with structured control flow.
+ *
+ * Workloads are written directly against this builder. Control flow is
+ * structured (if/else and loops) so the builder can compute each
+ * branch's immediate post-dominator, which the SIMT reconvergence
+ * stack requires.
+ *
+ * Branch semantics: BRA jumps to takenPc for every active lane whose
+ * predicate source evaluates to zero ("branch if false"); other lanes
+ * fall through. An immediate-0 predicate therefore encodes an
+ * unconditional jump.
+ */
+
+#ifndef WIR_ISA_BUILDER_HH
+#define WIR_ISA_BUILDER_HH
+
+#include <vector>
+
+#include "isa/kernel.hh"
+#include "isa/regalloc.hh"
+
+namespace wir
+{
+
+/** Typed handle for a logical register allocated by the builder. */
+struct Reg
+{
+    LogicalReg id = invalidReg;
+
+    bool valid() const { return id != invalidReg; }
+};
+
+/** Build one operand from a register handle. */
+inline Operand
+use(Reg r)
+{
+    return Operand::reg(r.id);
+}
+
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, Dim blockDim, Dim gridDim);
+
+    /**
+     * Allocate a fresh virtual register. Kernels are written in
+     * SSA-ish form with unlimited virtual registers; finish() maps
+     * them onto the 63 logical warp registers by linear scan.
+     */
+    Reg alloc();
+
+    /** Set the per-block scratchpad requirement, in bytes. */
+    void setScratchBytes(unsigned bytes);
+
+    /** Append 32-bit words to the constant segment; returns the byte
+     * address of the first appended word. */
+    u32 addConst(const std::vector<u32> &words);
+
+    // ---- Generic emission -------------------------------------------
+
+    /** Emit op into a freshly allocated destination register. */
+    Reg emit(Op op, Operand a = {}, Operand b = {}, Operand c = {});
+
+    /** Emit op into an existing destination register. */
+    void emitInto(Reg dst, Op op, Operand a = {}, Operand b = {},
+                  Operand c = {});
+
+    // ---- Named helpers (thin wrappers over emit) ---------------------
+
+    Reg s2r(SpecialReg sr);
+    Reg immReg(u32 bits);       ///< IMOV of an immediate
+    Reg immRegF(float value);
+    Reg iadd(Operand a, Operand b) { return emit(Op::IADD, a, b); }
+    Reg isub(Operand a, Operand b) { return emit(Op::ISUB, a, b); }
+    Reg imul(Operand a, Operand b) { return emit(Op::IMUL, a, b); }
+    Reg imad(Operand a, Operand b, Operand c)
+    {
+        return emit(Op::IMAD, a, b, c);
+    }
+    Reg iand(Operand a, Operand b) { return emit(Op::IAND, a, b); }
+    Reg shl(Operand a, Operand b) { return emit(Op::SHL, a, b); }
+    Reg shr(Operand a, Operand b) { return emit(Op::SHR, a, b); }
+    Reg fadd(Operand a, Operand b) { return emit(Op::FADD, a, b); }
+    Reg fsub(Operand a, Operand b) { return emit(Op::FSUB, a, b); }
+    Reg fmul(Operand a, Operand b) { return emit(Op::FMUL, a, b); }
+    Reg ffma(Operand a, Operand b, Operand c)
+    {
+        return emit(Op::FFMA, a, b, c);
+    }
+    Reg mov(Operand a) { return emit(Op::IMOV, a); }
+    void movInto(Reg dst, Operand a) { emitInto(dst, Op::IMOV, a); }
+
+    /** Loads: address is a byte address in the given space. */
+    Reg ldg(Operand addr) { return emit(Op::LDG, addr); }
+    Reg lds(Operand addr) { return emit(Op::LDS, addr); }
+    Reg ldc(Operand addr) { return emit(Op::LDC, addr); }
+
+    /** Stores. */
+    void stg(Operand addr, Operand data);
+    void sts(Operand addr, Operand data);
+
+    void bar();
+    void membar();
+
+    // ---- Structured control flow -------------------------------------
+
+    /** Begin an if-block: lanes with pred==0 skip to else/endIf. */
+    void iff(Operand pred);
+    /** Switch to the else-block of the innermost if. */
+    void elseBranch();
+    /** Close the innermost if/else. */
+    void endIf();
+
+    /** Begin a loop; the head is the next emitted instruction. */
+    void loopBegin();
+    /** Exit the innermost loop for lanes whose pred is zero. */
+    void loopBreakIfZero(Operand pred);
+    /** Close the innermost loop (unconditional back-edge). */
+    void loopEnd();
+
+    /** Emit EXIT, validate, and return the finished kernel. */
+    Kernel finish();
+
+    /** Next instruction's pc (for tests). */
+    Pc here() const { return static_cast<Pc>(kernel.insts.size()); }
+
+  private:
+    struct CfEntry
+    {
+        enum class Kind { If, Else, Loop } kind;
+        Pc headPc = 0;                ///< loop head
+        Pc pendingBranchPc = 0;       ///< iff/else jump to patch
+        std::vector<Pc> breakPcs;     ///< loop-break branches to patch
+    };
+
+    Instruction &at(Pc pc);
+    void pushInst(Instruction inst);
+
+    Kernel kernel;
+    std::vector<CfEntry> cfStack;
+    std::vector<LoopExtent> loops;
+    bool finished = false;
+};
+
+} // namespace wir
+
+#endif // WIR_ISA_BUILDER_HH

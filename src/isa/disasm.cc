@@ -1,0 +1,66 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace wir
+{
+
+namespace
+{
+
+void
+renderOperand(std::ostringstream &out, const Operand &src)
+{
+    switch (src.kind) {
+      case Operand::Kind::Reg:
+        out << "r" << src.value;
+        break;
+      case Operand::Kind::Imm:
+        out << "#0x" << std::hex << src.value << std::dec;
+        break;
+      case Operand::Kind::None:
+        out << "-";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const auto &tr = traits(inst.op);
+    std::ostringstream out;
+    out << tr.name;
+    bool first = true;
+    if (inst.hasDst()) {
+        out << " r" << inst.dst;
+        first = false;
+    }
+    for (unsigned s = 0; s < tr.numSrcs; s++) {
+        out << (first ? " " : ", ");
+        first = false;
+        renderOperand(out, inst.srcs[s]);
+    }
+    if (inst.op == Op::BRA) {
+        out << " -> @" << inst.takenPc
+            << " (reconv @" << inst.reconvPc << ")";
+    }
+    return out.str();
+}
+
+std::string
+disassemble(const Kernel &kernel)
+{
+    std::ostringstream out;
+    out << "// kernel " << kernel.name << ": "
+        << kernel.numRegs << " regs, block "
+        << kernel.blockDim.x << "x" << kernel.blockDim.y
+        << ", grid " << kernel.gridDim.x << "x" << kernel.gridDim.y
+        << ", " << kernel.scratchBytesPerBlock << " B scratchpad\n";
+    for (const auto &inst : kernel.insts)
+        out << "  @" << inst.pc << ": " << disassemble(inst) << "\n";
+    return out.str();
+}
+
+} // namespace wir

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Textual disassembly of instructions and kernels, for debugging and
+ * example programs.
+ */
+
+#ifndef WIR_ISA_DISASM_HH
+#define WIR_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace wir
+{
+
+/** Render one instruction, e.g. "iadd r3, r1, r2". */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole kernel, one instruction per line with pcs. */
+std::string disassemble(const Kernel &kernel);
+
+} // namespace wir
+
+#endif // WIR_ISA_DISASM_HH

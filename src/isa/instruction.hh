@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Static warp-instruction encoding produced by the KernelBuilder.
+ */
+
+#ifndef WIR_ISA_INSTRUCTION_HH
+#define WIR_ISA_INSTRUCTION_HH
+
+#include <array>
+
+#include "isa/opcode.hh"
+
+namespace wir
+{
+
+/** One source operand: a logical register or a 32-bit immediate. */
+struct Operand
+{
+    enum class Kind : u8 { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    u32 value = 0; ///< logical register id, or immediate bits
+
+    static Operand reg(LogicalReg r)
+    {
+        return {Kind::Reg, r};
+    }
+    static Operand imm(u32 bits)
+    {
+        return {Kind::Imm, bits};
+    }
+    static Operand immF(float f)
+    {
+        return {Kind::Imm, asBits(f)};
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Program counter type: index into a kernel's instruction vector. */
+using Pc = u32;
+
+/** A statically encoded warp instruction. */
+struct Instruction
+{
+    Op op = Op::NOP;
+
+    /** Destination logical register, or invalidReg. */
+    LogicalReg dst = invalidReg;
+
+    /** Source operands (traits(op).numSrcs are meaningful). */
+    std::array<Operand, 3> srcs{};
+
+    /** Memory space for loads/stores. */
+    MemSpace space = MemSpace::None;
+
+    /** Branch target (BRA: taken when lane predicate != 0). */
+    Pc takenPc = 0;
+
+    /**
+     * Immediate post-dominator of a branch, where diverged lanes
+     * reconverge; filled in by the structured-control-flow builder.
+     */
+    Pc reconvPc = 0;
+
+    /** Instruction's own position in the kernel. */
+    Pc pc = 0;
+
+    bool hasDst() const { return dst != invalidReg; }
+};
+
+} // namespace wir
+
+#endif // WIR_ISA_INSTRUCTION_HH

@@ -1,0 +1,53 @@
+#include "isa/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+void
+Kernel::validate() const
+{
+    if (insts.empty())
+        panic("kernel '%s' has no instructions", name.c_str());
+    if (insts.back().op != Op::EXIT)
+        panic("kernel '%s' does not end with EXIT", name.c_str());
+    if (numRegs > 63)
+        panic("kernel '%s' uses %u logical registers (max 63)",
+              name.c_str(), numRegs);
+    if (blockDim.count() == 0 || blockDim.count() > 1024)
+        panic("kernel '%s' has invalid block size %u",
+              name.c_str(), blockDim.count());
+    if (gridDim.count() == 0)
+        panic("kernel '%s' has an empty grid", name.c_str());
+
+    for (const auto &inst : insts) {
+        const auto &tr = traits(inst.op);
+        for (unsigned s = 0; s < tr.numSrcs; s++) {
+            const Operand &src = inst.srcs[s];
+            if (src.isNone()) {
+                panic("kernel '%s' pc %u (%s): missing source %u",
+                      name.c_str(), inst.pc,
+                      std::string(tr.name).c_str(), s);
+            }
+            if (src.isReg() && src.value >= numRegs) {
+                panic("kernel '%s' pc %u: source register r%u out of "
+                      "range (%u regs)", name.c_str(), inst.pc,
+                      src.value, numRegs);
+            }
+        }
+        if (inst.hasDst() && inst.dst >= numRegs) {
+            panic("kernel '%s' pc %u: dest register r%u out of range",
+                  name.c_str(), inst.pc, inst.dst);
+        }
+        if (inst.op == Op::BRA) {
+            if (inst.takenPc >= insts.size() ||
+                inst.reconvPc > insts.size()) {
+                panic("kernel '%s' pc %u: branch target out of range",
+                      name.c_str(), inst.pc);
+            }
+        }
+    }
+}
+
+} // namespace wir

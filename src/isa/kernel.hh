@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A compiled kernel: instruction stream plus launch geometry and
+ * static resource requirements.
+ */
+
+#ifndef WIR_ISA_KERNEL_HH
+#define WIR_ISA_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+/** Launch geometry (2-D blocks and grids are sufficient here). */
+struct Dim
+{
+    u32 x = 1;
+    u32 y = 1;
+
+    u32 count() const { return x * y; }
+};
+
+/** A compiled kernel ready to launch. */
+struct Kernel
+{
+    std::string name;
+
+    std::vector<Instruction> insts;
+
+    /** Number of logical warp registers used (<= 63). */
+    unsigned numRegs = 0;
+
+    /** Scratchpad bytes required per thread block. */
+    unsigned scratchBytesPerBlock = 0;
+
+    /** Threads per block; blockDim.count() must be <= 1024. */
+    Dim blockDim;
+
+    /** Blocks in the grid. */
+    Dim gridDim;
+
+    /** Constant-memory segment contents (32-bit words). */
+    std::vector<u32> constSegment;
+
+    /** Warps needed per block. */
+    unsigned
+    warpsPerBlock() const
+    {
+        return (blockDim.count() + warpSize - 1) / warpSize;
+    }
+
+    /** Validate internal consistency; panics on builder bugs. */
+    void validate() const;
+};
+
+} // namespace wir
+
+#endif // WIR_ISA_KERNEL_HH

@@ -1,0 +1,122 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+constexpr OpTraits
+alu(std::string_view name, u8 srcs, bool fp, bool affine)
+{
+    return {name, Pipeline::SP, srcs, fp, false, false, false, false,
+            true, affine};
+}
+
+constexpr OpTraits
+sfu(std::string_view name)
+{
+    return {name, Pipeline::SFU, 1, true, false, false, false, false,
+            true, false};
+}
+
+constexpr OpTraits
+load(std::string_view name)
+{
+    return {name, Pipeline::MEM, 1, false, true, false, false, false,
+            true, false};
+}
+
+constexpr OpTraits
+store(std::string_view name)
+{
+    return {name, Pipeline::MEM, 2, false, false, true, false, false,
+            false, false};
+}
+
+const OpTraits opTable[] = {
+    // name       srcs fp affine
+    {"nop", Pipeline::CTRL, 0, false, false, false, false, false,
+     false, false},
+
+    alu("iadd", 2, false, true),
+    alu("isub", 2, false, true),
+    alu("imul", 2, false, true),
+    alu("imad", 3, false, true),
+    alu("imin", 2, false, false),
+    alu("imax", 2, false, false),
+    alu("iabs", 1, false, false),
+    alu("iand", 2, false, false),
+    alu("ior", 2, false, false),
+    alu("ixor", 2, false, false),
+    alu("inot", 1, false, false),
+    alu("shl", 2, false, true),
+    alu("shr", 2, false, false),
+    alu("sra", 2, false, false),
+    alu("imov", 1, false, true),
+    alu("isetlt", 2, false, false),
+    alu("isetle", 2, false, false),
+    alu("iseteq", 2, false, false),
+    alu("isetne", 2, false, false),
+    alu("isetltu", 2, false, false),
+    alu("selp", 3, false, false),
+
+    alu("fadd", 2, true, true),
+    alu("fsub", 2, true, true),
+    alu("fmul", 2, true, true),
+    alu("ffma", 3, true, true),
+    alu("fmin", 2, true, false),
+    alu("fmax", 2, true, false),
+    alu("fabs", 1, true, false),
+    alu("fneg", 1, true, true),
+    alu("fsetlt", 2, true, false),
+    alu("fsetle", 2, true, false),
+    alu("fseteq", 2, true, false),
+    alu("f2i", 1, true, false),
+    alu("i2f", 1, true, false),
+
+    sfu("frcp"),
+    sfu("fsqrt"),
+    sfu("frsqrt"),
+    sfu("fexp2"),
+    sfu("flog2"),
+    sfu("fsin"),
+    sfu("fcos"),
+
+    load("ld.global"),
+    load("ld.shared"),
+    load("ld.const"),
+    store("st.global"),
+    store("st.shared"),
+
+    // S2R reads thread-position registers: per-warp values, never
+    // reusable across warps (its tag has no register sources).
+    {"s2r", Pipeline::SP, 1, false, false, false, false, false,
+     false, false},
+
+    {"bra", Pipeline::CTRL, 1, false, false, false, false, true,
+     false, false},
+    {"bar", Pipeline::CTRL, 0, false, false, false, true, true,
+     false, false},
+    {"membar", Pipeline::CTRL, 0, false, false, false, true, true,
+     false, false},
+    {"exit", Pipeline::CTRL, 0, false, false, false, false, true,
+     false, false},
+};
+
+static_assert(std::size(opTable) == static_cast<size_t>(Op::NumOps),
+              "opTable must cover every opcode");
+
+} // namespace
+
+const OpTraits &
+traits(Op op)
+{
+    auto index = static_cast<size_t>(op);
+    wir_assert(index < std::size(opTable));
+    return opTable[index];
+}
+
+} // namespace wir

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Warp-instruction opcode set and static traits.
+ *
+ * The ISA is a compact PTX-like vector ISA: every instruction operates
+ * on 32 lanes of 32-bit values. Traits drive pipeline selection,
+ * latency, energy accounting, and the reuse rules (control-flow
+ * instructions, stores, and special-register reads are never reused;
+ * loads follow the memory-hazard rules of Section VI-A).
+ */
+
+#ifndef WIR_ISA_OPCODE_HH
+#define WIR_ISA_OPCODE_HH
+
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+enum class Op : u8
+{
+    NOP,
+    // Integer ALU (SP pipeline).
+    IADD, ISUB, IMUL, IMAD, IMIN, IMAX, IABS,
+    IAND, IOR, IXOR, INOT, SHL, SHR, SRA, IMOV,
+    ISETLT, ISETLE, ISETEQ, ISETNE, ISETLTU,
+    SELP,
+    // Floating point (SP pipeline).
+    FADD, FSUB, FMUL, FFMA, FMIN, FMAX, FABS, FNEG,
+    FSETLT, FSETLE, FSETEQ, F2I, I2F,
+    // Special function unit.
+    FRCP, FSQRT, FRSQRT, FEXP2, FLOG2, FSIN, FCOS,
+    // Memory.
+    LDG, LDS, LDC, STG, STS,
+    // Special-register read; selector in the immediate operand.
+    S2R,
+    // Control.
+    BRA, BAR, MEMBAR, EXIT,
+
+    NumOps,
+};
+
+/** Execution pipeline an opcode dispatches to (Section II). */
+enum class Pipeline : u8
+{
+    SP,    ///< two SP pipelines for int and fp
+    SFU,   ///< special functions
+    MEM,   ///< loads/stores
+    CTRL,  ///< branches, barriers; no backend execution
+};
+
+/** Memory space of a load/store. */
+enum class MemSpace : u8
+{
+    None,
+    Global,
+    Shared,  ///< per-thread-block scratchpad
+    Const,   ///< read-only constant memory
+};
+
+/** Selectors for S2R. */
+enum class SpecialReg : u8
+{
+    TidX, TidY, NTidX, NTidY,
+    CtaIdX, CtaIdY, NCtaIdX, NCtaIdY,
+    LaneId, WarpIdInBlock,
+};
+
+/** Static per-opcode properties. */
+struct OpTraits
+{
+    std::string_view name;
+    Pipeline pipeline;
+    u8 numSrcs;
+    bool isFp;       ///< counts toward the %FP statistic
+    bool isLoad;
+    bool isStore;
+    bool isBarrier;
+    bool isControl;  ///< branch/barrier/exit/membar
+    /**
+     * Eligible for warp instruction reuse. Arithmetic and SFU ops and
+     * loads are; control flow, stores, S2R and NOP are not
+     * (Section III-A counts them as never repeated).
+     */
+    bool reusable;
+    /**
+     * Affine baseline: with affine (base,stride) inputs this op
+     * produces an affine output and can execute at 1-lane cost
+     * (mov/add/sub/mul-type ops, per Section VII-A).
+     */
+    bool affineCapable;
+};
+
+/** Look up the traits of an opcode. */
+const OpTraits &traits(Op op);
+
+/** Convenience accessors. */
+inline Pipeline pipelineOf(Op op) { return traits(op).pipeline; }
+inline bool isLoad(Op op) { return traits(op).isLoad; }
+inline bool isStore(Op op) { return traits(op).isStore; }
+inline bool isMemOp(Op op) { return isLoad(op) || isStore(op); }
+inline bool isControl(Op op) { return traits(op).isControl; }
+inline bool isReusable(Op op) { return traits(op).reusable; }
+
+} // namespace wir
+
+#endif // WIR_ISA_OPCODE_HH

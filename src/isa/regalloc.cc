@@ -1,0 +1,135 @@
+#include "isa/regalloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+struct Range
+{
+    u32 vreg;
+    Pc begin;
+    Pc end; ///< inclusive
+};
+
+} // namespace
+
+void
+allocateRegisters(Kernel &kernel, const std::vector<LoopExtent> &loops,
+                  unsigned maxRegs)
+{
+    // 1. Collect live ranges over virtual register ids.
+    u32 numVregs = 0;
+    for (const auto &inst : kernel.insts) {
+        if (inst.hasDst())
+            numVregs = std::max(numVregs, u32{inst.dst} + 1);
+        for (const auto &src : inst.srcs) {
+            if (src.isReg())
+                numVregs = std::max(numVregs, src.value + 1);
+        }
+    }
+    if (numVregs == 0) {
+        kernel.numRegs = 0;
+        return;
+    }
+
+    constexpr Pc unset = ~Pc{0};
+    std::vector<Pc> first(numVregs, unset);
+    std::vector<Pc> last(numVregs, 0);
+    auto touch = [&](u32 vreg, Pc pc) {
+        first[vreg] = std::min(first[vreg], pc);
+        last[vreg] = std::max(last[vreg], pc);
+    };
+    for (const auto &inst : kernel.insts) {
+        if (inst.hasDst())
+            touch(inst.dst, inst.pc);
+        for (const auto &src : inst.srcs) {
+            if (src.isReg())
+                touch(src.value, inst.pc);
+        }
+    }
+
+    // 2. Extend ranges across loops they intersect: a value live
+    // anywhere inside a loop body may be read or written again on the
+    // next iteration. Iterate to a fixed point (nested loops).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 v = 0; v < numVregs; v++) {
+            if (first[v] == unset)
+                continue;
+            for (const auto &loop : loops) {
+                bool intersects = first[v] < loop.end &&
+                                  last[v] + 1 > loop.begin;
+                if (!intersects)
+                    continue;
+                Pc nb = std::min(first[v], loop.begin);
+                Pc ne = std::max<Pc>(last[v],
+                                     loop.end ? loop.end - 1 : 0);
+                if (nb != first[v] || ne != last[v]) {
+                    first[v] = nb;
+                    last[v] = ne;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // 3. Linear scan.
+    std::vector<Range> ranges;
+    ranges.reserve(numVregs);
+    for (u32 v = 0; v < numVregs; v++) {
+        if (first[v] != unset)
+            ranges.push_back({v, first[v], last[v]});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range &a, const Range &b) {
+                  return a.begin != b.begin ? a.begin < b.begin
+                                            : a.vreg < b.vreg;
+              });
+
+    std::vector<LogicalReg> assignment(numVregs, invalidReg);
+    std::vector<Pc> regBusyUntil(maxRegs, 0);
+    std::vector<bool> regEverUsed(maxRegs, false);
+    unsigned high = 0;
+
+    for (const auto &range : ranges) {
+        LogicalReg picked = invalidReg;
+        for (unsigned r = 0; r < maxRegs; r++) {
+            if (!regEverUsed[r] || regBusyUntil[r] < range.begin) {
+                picked = static_cast<LogicalReg>(r);
+                break;
+            }
+        }
+        if (picked == invalidReg) {
+            fatal("kernel '%s': register pressure exceeds %u logical "
+                  "registers", kernel.name.c_str(), maxRegs);
+        }
+        assignment[range.vreg] = picked;
+        regEverUsed[picked] = true;
+        regBusyUntil[picked] = range.end;
+        high = std::max(high, unsigned{picked} + 1);
+    }
+
+    // 4. Rewrite the instruction stream.
+    for (auto &inst : kernel.insts) {
+        if (inst.hasDst()) {
+            wir_assert(assignment[inst.dst] != invalidReg);
+            inst.dst = assignment[inst.dst];
+        }
+        for (auto &src : inst.srcs) {
+            if (src.isReg()) {
+                wir_assert(assignment[src.value] != invalidReg);
+                src.value = assignment[src.value];
+            }
+        }
+    }
+    kernel.numRegs = high;
+}
+
+} // namespace wir

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Linear-scan register allocation for kernels built via
+ * KernelBuilder.
+ *
+ * Workloads are written in SSA-ish form with unlimited virtual
+ * registers; this pass maps them onto the 63 logical warp registers
+ * the hardware provides (Section V-B), the same job the CUDA
+ * compiler's allocator performs for real kernels.
+ *
+ * Liveness is conservative: a virtual register's range spans its
+ * first definition to its last use, extended to cover any loop whose
+ * body it intersects (handles loop-carried values written with
+ * emitInto()).
+ */
+
+#ifndef WIR_ISA_REGALLOC_HH
+#define WIR_ISA_REGALLOC_HH
+
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace wir
+{
+
+/** [headPc, endPc) extent of one loop, from the builder. */
+struct LoopExtent
+{
+    Pc begin;
+    Pc end;
+};
+
+/**
+ * Rewrite kernel registers in place to use at most maxRegs logical
+ * registers; sets kernel.numRegs. Fatal when the kernel's live
+ * pressure exceeds maxRegs.
+ */
+void allocateRegisters(Kernel &kernel,
+                       const std::vector<LoopExtent> &loops,
+                       unsigned maxRegs = 63);
+
+} // namespace wir
+
+#endif // WIR_ISA_REGALLOC_HH

@@ -1,0 +1,127 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+TagArray::TagArray(unsigned totalBytes, unsigned ways_,
+                   unsigned lineBytes_)
+    : sets(std::max(1u, totalBytes / (ways_ * lineBytes_))),
+      ways(ways_), lineBytes(lineBytes_)
+{
+    wir_assert(ways >= 1 && lineBytes >= 4);
+    lines.assign(sets, std::vector<Line>(ways));
+}
+
+std::vector<TagArray::Line> &
+TagArray::setFor(Addr lineAddr)
+{
+    return lines[(lineAddr / lineBytes) % sets];
+}
+
+const std::vector<TagArray::Line> &
+TagArray::setFor(Addr lineAddr) const
+{
+    return lines[(lineAddr / lineBytes) % sets];
+}
+
+bool
+TagArray::access(Addr lineAddr)
+{
+    auto &set = setFor(lineAddr);
+    useClock++;
+    for (auto &line : set) {
+        if (line.valid && line.tag == lineAddr) {
+            line.lastUse = useClock;
+            return true;
+        }
+    }
+    // Miss: fill into the LRU way.
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = lineAddr;
+    victim->lastUse = useClock;
+    return false;
+}
+
+bool
+TagArray::probe(Addr lineAddr) const
+{
+    const auto &set = setFor(lineAddr);
+    return std::any_of(set.begin(), set.end(), [&](const Line &line) {
+        return line.valid && line.tag == lineAddr;
+    });
+}
+
+void
+TagArray::invalidate(Addr lineAddr)
+{
+    for (auto &line : setFor(lineAddr)) {
+        if (line.valid && line.tag == lineAddr)
+            line.valid = false;
+    }
+}
+
+void
+TagArray::flush()
+{
+    for (auto &set : lines) {
+        for (auto &line : set)
+            line.valid = false;
+    }
+}
+
+Mshr::Mshr(unsigned entries_)
+    : entries(entries_)
+{
+    wir_assert(entries >= 1);
+}
+
+void
+Mshr::expire(Cycle now)
+{
+    while (!heap.empty() && heap.top().first <= now) {
+        auto [ready, line] = heap.top();
+        heap.pop();
+        auto it = pending.find(line);
+        // Only erase if not superseded by a later request to the line.
+        if (it != pending.end() && it->second <= now)
+            pending.erase(it);
+    }
+}
+
+std::optional<Cycle>
+Mshr::lookup(Addr lineAddr) const
+{
+    auto it = pending.find(lineAddr);
+    if (it == pending.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Cycle
+Mshr::earliestReady() const
+{
+    wir_assert(!heap.empty());
+    return heap.top().first;
+}
+
+void
+Mshr::add(Addr lineAddr, Cycle readyCycle)
+{
+    pending[lineAddr] = readyCycle;
+    heap.emplace(readyCycle, lineAddr);
+}
+
+} // namespace wir

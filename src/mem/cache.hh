@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Set-associative tag array with LRU replacement, plus an MSHR table
+ * for tracking outstanding misses. Used for the per-SM L1 data cache
+ * and for each L2 partition.
+ *
+ * The timing model is latency-based: tag state is updated at access
+ * time and the miss latency is charged to the requester, with MSHRs
+ * bounding the number of outstanding misses and merging requests to
+ * the same line. This preserves hit-rate and contention behaviour
+ * without a full event-driven fill pipeline (see DESIGN.md).
+ */
+
+#ifndef WIR_MEM_CACHE_HH
+#define WIR_MEM_CACHE_HH
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** LRU set-associative tag array. */
+class TagArray
+{
+  public:
+    TagArray(unsigned totalBytes, unsigned ways, unsigned lineBytes);
+
+    /** Access a line: returns true on hit. Misses insert the line
+     * (fill-at-access) evicting the LRU way. */
+    bool access(Addr lineAddr);
+
+    /** Probe without updating LRU or inserting. */
+    bool probe(Addr lineAddr) const;
+
+    /** Drop a line if present (write-evict policy for stores). */
+    void invalidate(Addr lineAddr);
+
+    /** Empty all sets (kernel boundary). */
+    void flush();
+
+    unsigned numSets() const { return sets; }
+    unsigned numWays() const { return ways; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    std::vector<Line> &setFor(Addr lineAddr);
+    const std::vector<Line> &setFor(Addr lineAddr) const;
+
+    unsigned sets;
+    unsigned ways;
+    unsigned lineBytes;
+    u64 useClock = 0;
+    std::vector<std::vector<Line>> lines;
+};
+
+/** Miss status holding registers: bounded outstanding-miss tracking. */
+class Mshr
+{
+  public:
+    explicit Mshr(unsigned entries);
+
+    /** Drop entries whose fill completed at or before now. */
+    void expire(Cycle now);
+
+    /** Ready cycle of an outstanding request for this line, if any. */
+    std::optional<Cycle> lookup(Addr lineAddr) const;
+
+    bool full() const { return pending.size() >= entries; }
+
+    /** Earliest completion among outstanding misses (for stalls).
+     * Only valid when !pending.empty(). */
+    Cycle earliestReady() const;
+
+    /** Track a new outstanding miss completing at readyCycle. */
+    void add(Addr lineAddr, Cycle readyCycle);
+
+    size_t outstanding() const { return pending.size(); }
+
+  private:
+    unsigned entries;
+    std::unordered_map<Addr, Cycle> pending;
+    // Min-heap of (ready, line) for expiry.
+    using HeapItem = std::pair<Cycle, Addr>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<>> heap;
+};
+
+} // namespace wir
+
+#endif // WIR_MEM_CACHE_HH

@@ -1,0 +1,38 @@
+#include "mem/coalescer.hh"
+
+#include <algorithm>
+
+namespace wir
+{
+
+std::vector<Addr>
+coalesce(const WarpValue &laneAddrs, WarpMask active,
+         unsigned lineBytes)
+{
+    std::vector<Addr> lines;
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if (!(active & (1u << lane)))
+            continue;
+        Addr line = (Addr{laneAddrs[lane]} / lineBytes) * lineBytes;
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+unsigned
+scratchConflictDegree(const WarpValue &laneAddrs, WarpMask active)
+{
+    unsigned counts[warpSize] = {};
+    unsigned worst = 0;
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if (!(active & (1u << lane)))
+            continue;
+        unsigned bank = (laneAddrs[lane] / 4) % warpSize;
+        counts[bank]++;
+        worst = std::max(worst, counts[bank]);
+    }
+    return std::max(worst, 1u);
+}
+
+} // namespace wir

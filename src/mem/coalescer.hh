@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Memory access coalescer: reduces 32 per-lane byte addresses to the
+ * set of distinct cache lines (global) or the bank-conflict degree
+ * (scratchpad) a warp memory instruction touches.
+ */
+
+#ifndef WIR_MEM_COALESCER_HH
+#define WIR_MEM_COALESCER_HH
+
+#include <vector>
+
+#include "common/hash_h3.hh"
+
+namespace wir
+{
+
+/** Distinct line addresses touched by active lanes, in first-lane
+ * order. */
+std::vector<Addr> coalesce(const WarpValue &laneAddrs, WarpMask active,
+                           unsigned lineBytes);
+
+/**
+ * Scratchpad bank-conflict degree: the maximum number of active lanes
+ * mapping to the same 4-byte-interleaved bank (32 banks). 1 means
+ * conflict-free; N means the access is serialized over N cycles.
+ */
+unsigned scratchConflictDegree(const WarpValue &laneAddrs,
+                               WarpMask active);
+
+} // namespace wir
+
+#endif // WIR_MEM_COALESCER_HH

@@ -1,0 +1,44 @@
+#include "mem/dram.hh"
+
+namespace wir
+{
+
+DramChannel::DramChannel(unsigned queueEntries_, unsigned latency_,
+                         unsigned serviceCycles_)
+    : queueEntries(queueEntries_), latency(latency_),
+      serviceCycles(serviceCycles_)
+{
+}
+
+Cycle
+DramChannel::request(Cycle arrival, SimStats &stats)
+{
+    stats.dramAccesses++;
+
+    // Drain completed requests.
+    while (!inFlight.empty() && inFlight.top() <= arrival)
+        inFlight.pop();
+
+    // A full scheduling queue delays acceptance.
+    Cycle accepted = arrival;
+    while (inFlight.size() >= queueEntries) {
+        accepted = inFlight.top();
+        inFlight.pop();
+    }
+
+    Cycle start = std::max(accepted, channelFree);
+    channelFree = start + serviceCycles;
+    Cycle done = start + latency;
+    inFlight.push(done);
+    return done;
+}
+
+void
+DramChannel::reset()
+{
+    channelFree = 0;
+    while (!inFlight.empty())
+        inFlight.pop();
+}
+
+} // namespace wir

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DRAM channel model: a bounded scheduling queue in front of a
+ * fixed-latency, fixed-bandwidth channel (Table II: 32-entry queue,
+ * 440-cycle latency).
+ */
+
+#ifndef WIR_MEM_DRAM_HH
+#define WIR_MEM_DRAM_HH
+
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class DramChannel
+{
+  public:
+    DramChannel(unsigned queueEntries, unsigned latency,
+                unsigned serviceCycles);
+
+    /**
+     * Enqueue a line request arriving at `arrival`; returns the cycle
+     * the data is available at the L2 partition. A full queue delays
+     * acceptance until an older request completes.
+     */
+    Cycle request(Cycle arrival, SimStats &stats);
+
+    /** Reset between kernel launches. */
+    void reset();
+
+  private:
+    unsigned queueEntries;
+    unsigned latency;
+    unsigned serviceCycles;
+
+    Cycle channelFree = 0;
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<>> inFlight;
+};
+
+} // namespace wir
+
+#endif // WIR_MEM_DRAM_HH

@@ -1,0 +1,74 @@
+#include "mem/memory_partition.hh"
+
+namespace wir
+{
+
+namespace
+{
+constexpr unsigned nocHopLatency = 8;
+constexpr unsigned dramServiceCycles = 6;
+} // namespace
+
+MemoryPartition::MemoryPartition(const MachineConfig &config)
+    : lineBytes(config.lineBytes),
+      l2Latency(config.l2Latency),
+      tags(config.l2BytesPerPartition, config.l2Ways,
+           config.lineBytes),
+      requestLink(config.nocBytesPerCycle, nocHopLatency),
+      replyLink(config.nocBytesPerCycle, nocHopLatency),
+      dram(config.dramQueueEntries, config.dramLatency,
+           dramServiceCycles)
+{
+}
+
+Cycle
+MemoryPartition::access(Addr lineAddr, bool isWrite, Cycle arrival,
+                        SimStats &stats)
+{
+    // Request flit: header only for loads, header + data for stores.
+    unsigned requestBytes = isWrite ? 8 + lineBytes : 8;
+    Cycle atPartition = requestLink.transfer(arrival, requestBytes,
+                                             stats);
+
+    // L2 tag port is a serialized resource.
+    Cycle start = std::max(atPartition, portFree);
+    portFree = start + 1;
+
+    stats.l2Accesses++;
+    bool hit = tags.access(lineAddr);
+    Cycle dataReady;
+    if (hit) {
+        stats.l2Hits++;
+        dataReady = start + l2Latency;
+    } else {
+        stats.l2Misses++;
+        dataReady = dram.request(start + l2Latency, stats);
+    }
+
+    if (isWrite) {
+        // Write-through completes at L2/DRAM acceptance; the SM does
+        // not wait for a reply payload.
+        return dataReady;
+    }
+    unsigned replyBytes = 8 + lineBytes;
+    return replyLink.transfer(dataReady, replyBytes, stats);
+}
+
+void
+MemoryPartition::reset()
+{
+    tags.flush();
+    requestLink.reset();
+    replyLink.reset();
+    dram.reset();
+    portFree = 0;
+}
+
+unsigned
+partitionFor(Addr lineAddr, unsigned lineBytes, unsigned numPartitions)
+{
+    return static_cast<unsigned>((lineAddr / lineBytes) %
+                                 numPartitions);
+}
+
+} // namespace wir

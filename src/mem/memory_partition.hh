@@ -1,0 +1,52 @@
+/**
+ * @file
+ * One L2 partition with its DRAM channel and NoC links. Line
+ * addresses are interleaved across partitions by line index.
+ */
+
+#ifndef WIR_MEM_MEMORY_PARTITION_HH
+#define WIR_MEM_MEMORY_PARTITION_HH
+
+#include "common/config.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/noc.hh"
+
+namespace wir
+{
+
+class MemoryPartition
+{
+  public:
+    explicit MemoryPartition(const MachineConfig &config);
+
+    /**
+     * Service a line request from an SM that missed in L1.
+     * @param lineAddr line-aligned address
+     * @param isWrite stores write through L2
+     * @param arrival cycle the request leaves the SM
+     * @param stats counters (L2/NoC/DRAM events)
+     * @return cycle the reply reaches the SM
+     */
+    Cycle access(Addr lineAddr, bool isWrite, Cycle arrival,
+                 SimStats &stats);
+
+    void reset();
+
+  private:
+    unsigned lineBytes;
+    unsigned l2Latency;
+    TagArray tags;
+    NocLink requestLink;
+    NocLink replyLink;
+    DramChannel dram;
+    Cycle portFree = 0;
+};
+
+/** Partition index for a line (interleaved by line address). */
+unsigned partitionFor(Addr lineAddr, unsigned lineBytes,
+                      unsigned numPartitions);
+
+} // namespace wir
+
+#endif // WIR_MEM_MEMORY_PARTITION_HH

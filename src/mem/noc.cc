@@ -1,0 +1,21 @@
+#include "mem/noc.hh"
+
+namespace wir
+{
+
+NocLink::NocLink(unsigned bytesPerCycle_, unsigned hopLatency_)
+    : bytesPerCycle(bytesPerCycle_), hopLatency(hopLatency_)
+{
+}
+
+Cycle
+NocLink::transfer(Cycle arrival, unsigned bytes, SimStats &stats)
+{
+    unsigned flits = (bytes + bytesPerCycle - 1) / bytesPerCycle;
+    stats.nocFlits += flits;
+    Cycle start = std::max(arrival, linkFree);
+    linkFree = start + flits;
+    return start + flits + hopLatency;
+}
+
+} // namespace wir

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Interconnect model: fully connected, fixed per-direction bandwidth
+ * (Table II: 32 B/direction/cycle) and a small fixed hop latency.
+ * Each (SM group -> partition) link direction is a serialized
+ * resource.
+ */
+
+#ifndef WIR_MEM_NOC_HH
+#define WIR_MEM_NOC_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class NocLink
+{
+  public:
+    NocLink(unsigned bytesPerCycle, unsigned hopLatency);
+
+    /** Transfer `bytes` arriving at `arrival`; returns delivery cycle.
+     * Occupies the link for ceil(bytes/bandwidth) cycles. */
+    Cycle transfer(Cycle arrival, unsigned bytes, SimStats &stats);
+
+    void reset() { linkFree = 0; }
+
+  private:
+    unsigned bytesPerCycle;
+    unsigned hopLatency;
+    Cycle linkFree = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_MEM_NOC_HH

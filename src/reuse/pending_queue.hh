@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pending-retry queue (Section VI-B).
+ *
+ * Instructions that hit a reuse-buffer entry whose pending bit is set
+ * wait here instead of executing. When the reuse stage has no new
+ * instruction from rename, one queued instruction re-checks the
+ * buffer; if the result is still pending it re-queues at the tail.
+ * The queue stores in-flight instruction handles (indices into the
+ * SM's in-flight table).
+ */
+
+#ifndef WIR_REUSE_PENDING_QUEUE_HH
+#define WIR_REUSE_PENDING_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+class PendingQueue
+{
+  public:
+    explicit PendingQueue(unsigned capacity)
+        : cap(capacity)
+    {}
+
+    bool full() const { return queue.size() >= cap; }
+    bool empty() const { return queue.empty(); }
+    std::size_t size() const { return queue.size(); }
+
+    /** Enqueue an in-flight handle; returns false when full. */
+    bool
+    push(u32 handle)
+    {
+        if (full())
+            return false;
+        queue.push_back(handle);
+        return true;
+    }
+
+    /** Pop the head for a retry check. */
+    u32
+    pop()
+    {
+        u32 handle = queue.front();
+        queue.pop_front();
+        return handle;
+    }
+
+    void clear() { queue.clear(); }
+
+  private:
+    unsigned cap;
+    std::deque<u32> queue;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_PENDING_QUEUE_HH

@@ -1,0 +1,83 @@
+#include "reuse/phys_regfile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+PhysRegFile::PhysRegFile(unsigned numRegs)
+    : total(numRegs), freeCount(numRegs),
+      values(numRegs), isFree(numRegs, true)
+{
+    freeList.reserve(numRegs);
+    // Pop order: low register IDs first (matches a hardware priority
+    // encoder over the free bitmap).
+    for (unsigned reg = numRegs; reg-- > 0;)
+        freeList.push_back(static_cast<PhysReg>(reg));
+    for (auto &v : values)
+        v.fill(0xdeadbeef);
+}
+
+std::optional<PhysReg>
+PhysRegFile::alloc(SimStats &stats)
+{
+    if (freeList.empty())
+        return std::nullopt;
+    PhysReg reg = freeList.back();
+    freeList.pop_back();
+    wir_assert(isFree[reg]);
+    isFree[reg] = false;
+    freeCount--;
+    stats.regAllocs++;
+    stats.physRegsInUsePeak =
+        std::max<u64>(stats.physRegsInUsePeak, inUse());
+    return reg;
+}
+
+void
+PhysRegFile::free(PhysReg reg, SimStats &stats)
+{
+    wir_assert(reg < total);
+    if (isFree[reg])
+        panic("double free of physical register %u", reg);
+    isFree[reg] = true;
+    freeCount++;
+    freeList.push_back(reg);
+    values[reg].fill(0xdeadbeef); // poison: catch use-after-free
+    stats.regFrees++;
+}
+
+const WarpValue &
+PhysRegFile::value(PhysReg reg) const
+{
+    wir_assert(reg < total && !isFree[reg]);
+    return values[reg];
+}
+
+void
+PhysRegFile::write(PhysReg reg, const WarpValue &value)
+{
+    wir_assert(reg < total && !isFree[reg]);
+    values[reg] = value;
+}
+
+void
+PhysRegFile::writeMasked(PhysReg reg, const WarpValue &value,
+                         WarpMask lanes)
+{
+    wir_assert(reg < total && !isFree[reg]);
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if (lanes & (1u << lane))
+            values[reg][lane] = value[lane];
+    }
+}
+
+void
+PhysRegFile::sampleUtilization(SimStats &stats) const
+{
+    stats.physRegsInUseAccum += inUse();
+}
+
+} // namespace wir

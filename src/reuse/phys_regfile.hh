@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical warp register file with a free pool.
+ *
+ * Holds the 1024 x 1024-bit register values of one SM, the free list
+ * used by the register allocation stage, and utilization statistics
+ * for Fig. 19. Reference counting decides when registers return to
+ * the pool (see RefCount); this class only stores values and tracks
+ * the pool.
+ */
+
+#ifndef WIR_REUSE_PHYS_REGFILE_HH
+#define WIR_REUSE_PHYS_REGFILE_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/hash_h3.hh"
+#include "common/stats.hh"
+
+namespace wir
+{
+
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned numRegs);
+
+    /** Pop a register from the free pool; nullopt when empty. */
+    std::optional<PhysReg> alloc(SimStats &stats);
+
+    /** Return a register to the pool (its refcount reached zero). */
+    void free(PhysReg reg, SimStats &stats);
+
+    const WarpValue &value(PhysReg reg) const;
+
+    /** Overwrite the full register value. */
+    void write(PhysReg reg, const WarpValue &value);
+
+    /** Overwrite only the masked lanes. */
+    void writeMasked(PhysReg reg, const WarpValue &value,
+                     WarpMask lanes);
+
+    unsigned inUse() const { return total - freeCount; }
+    unsigned numFree() const { return freeCount; }
+    unsigned size() const { return total; }
+
+    /** Accumulate utilization stats; call once per SM cycle. */
+    void sampleUtilization(SimStats &stats) const;
+
+  private:
+    unsigned total;
+    unsigned freeCount;
+    std::vector<WarpValue> values;
+    std::vector<PhysReg> freeList;
+    std::vector<bool> isFree;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_PHYS_REGFILE_HH

@@ -1,0 +1,47 @@
+#include "reuse/refcount.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+RefCount::RefCount(unsigned numRegs)
+    : counts(numRegs, 0)
+{
+}
+
+void
+RefCount::addRef(PhysReg reg, SimStats &stats)
+{
+    wir_assert(reg < counts.size());
+    counts[reg]++;
+    stats.refcountOps++;
+}
+
+bool
+RefCount::dropRef(PhysReg reg, SimStats &stats)
+{
+    wir_assert(reg < counts.size());
+    if (counts[reg] == 0)
+        panic("refcount underflow on physical register %u", reg);
+    stats.refcountOps++;
+    return --counts[reg] == 0;
+}
+
+u32
+RefCount::count(PhysReg reg) const
+{
+    wir_assert(reg < counts.size());
+    return counts[reg];
+}
+
+bool
+RefCount::allZero() const
+{
+    return std::all_of(counts.begin(), counts.end(),
+                       [](u32 c) { return c == 0; });
+}
+
+} // namespace wir

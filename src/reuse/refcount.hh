@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Physical-register reference counting (Section V-E).
+ *
+ * Each physical warp register has a counter recording how many
+ * references exist in rename tables, the reuse buffer, the value
+ * signature buffer, and in-flight instructions. A register returns to
+ * the free pool when its count reaches zero. The hardware pipelines
+ * the counter updates; here the counts are exact and the pipelining
+ * is charged as energy/latency by the SM model.
+ */
+
+#ifndef WIR_REUSE_REFCOUNT_HH
+#define WIR_REUSE_REFCOUNT_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class RefCount
+{
+  public:
+    explicit RefCount(unsigned numRegs);
+
+    /** Increment the counter for reg. */
+    void addRef(PhysReg reg, SimStats &stats);
+
+    /** Decrement; returns true if the count reached zero. */
+    bool dropRef(PhysReg reg, SimStats &stats);
+
+    u32 count(PhysReg reg) const;
+
+    /** True when every counter is zero (end-of-kernel check). */
+    bool allZero() const;
+
+  private:
+    std::vector<u32> counts;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_REFCOUNT_HH

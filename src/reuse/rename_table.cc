@@ -1,0 +1,54 @@
+#include "reuse/rename_table.hh"
+
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+RenameTable::RenameTable(unsigned numEntries_)
+    : numEntries(numEntries_), entries(numEntries_)
+{
+}
+
+const RenameTable::Entry &
+RenameTable::lookup(LogicalReg logical, SimStats &stats) const
+{
+    wir_assert(logical < numEntries);
+    stats.renameReads++;
+    return entries[logical];
+}
+
+std::optional<PhysReg>
+RenameTable::set(LogicalReg logical, PhysReg phys, bool pin,
+                 SimStats &stats)
+{
+    wir_assert(logical < numEntries);
+    stats.renameWrites++;
+    Entry &entry = entries[logical];
+    // Return the previous mapping even when it equals the new one:
+    // the caller always pairs one addRef (new) with one dropRef (old),
+    // keeping exactly one table reference per valid entry.
+    std::optional<PhysReg> old;
+    if (entry.valid)
+        old = entry.phys;
+    entry.phys = phys;
+    entry.valid = true;
+    entry.pin = pin;
+    return old;
+}
+
+std::vector<PhysReg>
+RenameTable::clearAll()
+{
+    std::vector<PhysReg> released;
+    for (auto &entry : entries) {
+        if (entry.valid)
+            released.push_back(entry.phys);
+        entry = Entry{};
+    }
+    return released;
+}
+
+} // namespace wir

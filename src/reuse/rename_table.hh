@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-warp rename table (Section V-B).
+ *
+ * 63 entries, each a 10-bit physical register ID plus a valid bit and
+ * the pin bit used for branch-divergence handling (Section V-D). All
+ * entries are invalidated at warp initialization; mappings are written
+ * when warp instructions retire.
+ */
+
+#ifndef WIR_REUSE_RENAME_TABLE_HH
+#define WIR_REUSE_RENAME_TABLE_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class RenameTable
+{
+  public:
+    struct Entry
+    {
+        PhysReg phys = invalidReg;
+        bool valid = false;
+        bool pin = false;
+    };
+
+    explicit RenameTable(unsigned numEntries = 63);
+
+    /** Read a mapping (issue/rename stage). */
+    const Entry &lookup(LogicalReg logical, SimStats &stats) const;
+
+    /**
+     * Install a new mapping at retire; returns the previous physical
+     * register if one was mapped (caller drops its reference, after
+     * taking a reference for the new mapping).
+     */
+    std::optional<PhysReg> set(LogicalReg logical, PhysReg phys,
+                               bool pin, SimStats &stats);
+
+    /**
+     * Invalidate everything (warp completion); returns the physical
+     * registers that were mapped so the caller can drop references.
+     */
+    std::vector<PhysReg> clearAll();
+
+    unsigned size() const { return numEntries; }
+
+  private:
+    unsigned numEntries;
+    std::vector<Entry> entries;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_RENAME_TABLE_HH

@@ -1,0 +1,184 @@
+#include "reuse/reuse_buffer.hh"
+
+#include "common/hash_h3.hh"
+#include "common/logging.hh"
+
+namespace wir
+{
+
+ReuseBuffer::ReuseBuffer(unsigned numEntries_, unsigned assoc_)
+    : numEntries(numEntries_), assoc(assoc_), entries(numEntries_)
+{
+    if (!numEntries || (numEntries & (numEntries - 1)))
+        fatal("reuse buffer entry count %u is not a power of two",
+              numEntries);
+    if (!assoc || numEntries % assoc != 0)
+        fatal("reuse buffer associativity %u does not divide %u",
+              assoc, numEntries);
+}
+
+unsigned
+ReuseBuffer::indexOf(const ReuseTag &tag) const
+{
+    u64 key = static_cast<u64>(tag.op) |
+              (static_cast<u64>(tag.space) << 8);
+    u32 h = hashScalar(key);
+    for (unsigned s = 0; s < 3; s++) {
+        u64 part = static_cast<u64>(tag.srcKeys[s]) |
+                   (static_cast<u64>(tag.srcKinds[s]) << 32) |
+                   (u64{s} << 40);
+        h ^= hashScalar(part + h);
+    }
+    return h & (numEntries / assoc - 1);
+}
+
+const ReuseBuffer::Entry *
+ReuseBuffer::findTag(const ReuseTag &tag) const
+{
+    unsigned set = indexOf(tag);
+    for (unsigned w = 0; w < assoc; w++) {
+        const Entry &entry = entries[set * assoc + w];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+ReuseBuffer::Entry &
+ReuseBuffer::wayFor(const ReuseTag &tag)
+{
+    unsigned set = indexOf(tag);
+    Entry *victim = &entries[set * assoc];
+    for (unsigned w = 0; w < assoc; w++) {
+        Entry &entry = entries[set * assoc + w];
+        if (entry.valid && entry.tag == tag)
+            return entry;
+        if (!entry.valid)
+            victim = &entry;
+        else if (victim->valid && entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    return *victim;
+}
+
+ReuseBuffer::Lookup
+ReuseBuffer::lookup(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                    SimStats &stats)
+{
+    stats.reuseBufLookups++;
+    unsigned index = indexOf(tag);
+    const Entry *found = findTag(tag);
+    if (found)
+        const_cast<Entry *>(found)->lastUse = ++useClock;
+    bool match = found != nullptr;
+    const Entry &entry = found ? *found : entries[index * assoc];
+    if (match && isLoad(tag.op)) {
+        // Loads only reuse results produced in the same barrier
+        // interval (Section VI-A).
+        match = entry.barrierCount == barrierCount;
+        // Scratchpad loads additionally require the same block.
+        if (match && tag.space == MemSpace::Shared)
+            match = entry.tbid == tbid && tbid != nullTbid;
+    }
+
+    if (!match)
+        return {Lookup::Kind::Miss, invalidReg, index};
+    if (entry.pending)
+        return {Lookup::Kind::HitPending, invalidReg, index};
+    return {Lookup::Kind::Hit, entry.result, index};
+}
+
+void
+ReuseBuffer::collectRefs(const Entry &entry,
+                         std::vector<PhysReg> &dropped)
+{
+    if (!entry.valid)
+        return;
+    for (unsigned s = 0; s < 3; s++) {
+        if (entry.tag.srcKinds[s] == Operand::Kind::Reg)
+            dropped.push_back(static_cast<PhysReg>(entry.tag.srcKeys[s]));
+    }
+    if (entry.result != invalidReg)
+        dropped.push_back(entry.result);
+}
+
+void
+ReuseBuffer::reserve(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                     std::vector<PhysReg> &dropped, SimStats &stats)
+{
+    Entry &entry = wayFor(tag);
+    entry.lastUse = ++useClock;
+    collectRefs(entry, dropped);
+    entry.valid = true;
+    entry.pending = true;
+    entry.tag = tag;
+    entry.result = invalidReg;
+    entry.barrierCount = barrierCount;
+    entry.tbid = tbid;
+    stats.reuseBufUpdates++;
+}
+
+void
+ReuseBuffer::update(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                    PhysReg result, std::vector<PhysReg> &dropped,
+                    SimStats &stats)
+{
+    Entry &entry = wayFor(tag);
+    entry.lastUse = ++useClock;
+    collectRefs(entry, dropped);
+    entry.valid = true;
+    entry.pending = false;
+    entry.tag = tag;
+    entry.result = result;
+    entry.barrierCount = barrierCount;
+    entry.tbid = tbid;
+    stats.reuseBufUpdates++;
+}
+
+bool
+ReuseBuffer::pendingMatches(const ReuseTag &tag) const
+{
+    const Entry *entry = findTag(tag);
+    return entry && entry->pending;
+}
+
+void
+ReuseBuffer::evictSlot(unsigned slot, std::vector<PhysReg> &dropped)
+{
+    Entry &entry = entries[slot % numEntries];
+    collectRefs(entry, dropped);
+    entry = Entry{};
+}
+
+void
+ReuseBuffer::evictTbid(u8 tbid, std::vector<PhysReg> &dropped)
+{
+    for (auto &entry : entries) {
+        if (entry.valid && entry.tbid == tbid) {
+            collectRefs(entry, dropped);
+            entry = Entry{};
+        }
+    }
+}
+
+std::vector<PhysReg>
+ReuseBuffer::clearAll()
+{
+    std::vector<PhysReg> dropped;
+    for (auto &entry : entries) {
+        collectRefs(entry, dropped);
+        entry = Entry{};
+    }
+    return dropped;
+}
+
+unsigned
+ReuseBuffer::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &entry : entries)
+        count += entry.valid;
+    return count;
+}
+
+} // namespace wir

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reuse buffer (Sections V-C, VI-A, VI-B).
+ *
+ * A directly indexed, cache-like table whose tag is [opcode, physical
+ * register IDs / immediates of source operands]. A hit returns the
+ * physical register holding the previously computed result. Entries
+ * carry a pending bit (pending-retry mechanism), a 5-bit barrier
+ * count and a 4-bit thread-block ID for the load-reuse memory-hazard
+ * rules.
+ */
+
+#ifndef WIR_REUSE_REUSE_BUFFER_HH
+#define WIR_REUSE_REUSE_BUFFER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+/** Tag identifying one warp computation by IDs, not values. */
+struct ReuseTag
+{
+    Op op = Op::NOP;
+    MemSpace space = MemSpace::None;
+    std::array<Operand::Kind, 3> srcKinds{};
+    std::array<u32, 3> srcKeys{}; ///< physical reg ID or imm bits
+
+    bool operator==(const ReuseTag &other) const = default;
+};
+
+/** Null thread-block ID (non-scratchpad loads, arithmetic). */
+constexpr u8 nullTbid = 0xff;
+
+class ReuseBuffer
+{
+  public:
+    struct Lookup
+    {
+        enum class Kind { Miss, Hit, HitPending } kind;
+        PhysReg result = invalidReg;
+        unsigned index = 0;
+    };
+
+    /**
+     * @param numEntries total entries (power of two)
+     * @param assoc ways per set (1 = directly indexed, the paper's
+     *        default; Section V-C notes associative search "can be
+     *        designed" but found the benefit marginal)
+     */
+    explicit ReuseBuffer(unsigned numEntries, unsigned assoc = 1);
+
+    /** Set a tag maps to (times assoc = first slot index). */
+    unsigned indexOf(const ReuseTag &tag) const;
+
+    /**
+     * Search for a recorded result.
+     * @param barrierCount requester block's current barrier count
+     *        (checked for loads only)
+     * @param tbid requester's resident-block slot (checked for
+     *        scratchpad loads only)
+     */
+    Lookup lookup(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                  SimStats &stats);
+
+    /**
+     * Eagerly reserve a slot on a miss (pending-retry): installs the
+     * tag with the pending bit set. Registers referenced by the
+     * evicted entry are appended to `dropped`.
+     */
+    void reserve(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                 std::vector<PhysReg> &dropped, SimStats &stats);
+
+    /**
+     * Record a computed result at retire: installs tag + result and
+     * clears the pending bit. Evicted references go to `dropped`;
+     * references newly held by the entry (sources + result) are the
+     * caller's to add.
+     */
+    void update(const ReuseTag &tag, u8 barrierCount, u8 tbid,
+                PhysReg result, std::vector<PhysReg> &dropped,
+                SimStats &stats);
+
+    /** Whether the slot currently holds exactly this pending tag. */
+    bool pendingMatches(const ReuseTag &tag) const;
+
+    /** Low-register mode: drop one entry. */
+    void evictSlot(unsigned slot, std::vector<PhysReg> &dropped);
+
+    /** Flush entries belonging to a completed resident block. */
+    void evictTbid(u8 tbid, std::vector<PhysReg> &dropped);
+
+    /** Invalidate everything; returns referenced registers. */
+    std::vector<PhysReg> clearAll();
+
+    unsigned size() const { return numEntries; }
+    unsigned validCount() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool pending = false;
+        ReuseTag tag;
+        PhysReg result = invalidReg;
+        u8 barrierCount = 0;
+        u8 tbid = nullTbid;
+        u64 lastUse = 0;
+    };
+
+    /** Append the entry's referenced registers to `dropped`. */
+    static void collectRefs(const Entry &entry,
+                            std::vector<PhysReg> &dropped);
+
+    /** Way holding the tag, or the replacement victim. */
+    Entry &wayFor(const ReuseTag &tag);
+    const Entry *findTag(const ReuseTag &tag) const;
+
+    unsigned numEntries;
+    unsigned assoc;
+    u64 useClock = 0;
+    std::vector<Entry> entries;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_REUSE_BUFFER_HH

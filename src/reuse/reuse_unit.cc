@@ -1,0 +1,471 @@
+#include "reuse/reuse_unit.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+ReuseUnit::ReuseUnit(const MachineConfig &machine,
+                     const DesignConfig &design_, SimStats &stats_)
+    : design(design_), stats(stats_),
+      regs(machine.physWarpRegs),
+      refs(machine.physWarpRegs),
+      tables(machine.maxWarpsPerSm,
+             RenameTable(machine.logicalRegsPerWarp)),
+      vsb(design_.enableVsb ? design_.vsbEntries : 0,
+          design_.vsbAssoc),
+      rbuf(design_.reuseBufferEntries, design_.reuseBufferAssoc),
+      vcache(design_.enableVerifyCache ? design_.verifyCacheEntries
+                                       : 0),
+      evictRng(0x5eed1234u),
+      regCap(machine.physWarpRegs)
+{
+}
+
+void
+ReuseUnit::addRef(PhysReg reg)
+{
+    refs.addRef(reg, stats);
+}
+
+void
+ReuseUnit::dropRef(PhysReg reg)
+{
+    if (refs.dropRef(reg, stats)) {
+        vcache.onFree(reg);
+        regs.free(reg, stats);
+    }
+}
+
+void
+ReuseUnit::dropAll(std::vector<PhysReg> &list)
+{
+    for (PhysReg reg : list)
+        dropRef(reg);
+    list.clear();
+}
+
+ReuseUnit::Renamed
+ReuseUnit::rename(WarpId warp, const Instruction &inst)
+{
+    wir_assert(warp < tables.size());
+    Renamed ren;
+    const auto &tr = traits(inst.op);
+    for (unsigned s = 0; s < tr.numSrcs; s++) {
+        if (!inst.srcs[s].isReg())
+            continue;
+        const auto &entry = tables[warp].lookup(
+            static_cast<LogicalReg>(inst.srcs[s].value), stats);
+        if (!entry.valid) {
+            panic("warp %u reads undefined register r%u at pc %u",
+                  warp, inst.srcs[s].value, inst.pc);
+        }
+        ren.srcPhys[s] = entry.phys;
+        addRef(entry.phys);
+    }
+    if (inst.hasDst()) {
+        const auto &entry = tables[warp].lookup(inst.dst, stats);
+        if (entry.valid) {
+            ren.oldDst = entry.phys;
+            ren.dstPinned = entry.pin;
+            addRef(entry.phys);
+        }
+    }
+    return ren;
+}
+
+ReuseTag
+ReuseUnit::makeTag(const Instruction &inst, const Renamed &ren) const
+{
+    ReuseTag tag;
+    tag.op = inst.op;
+    tag.space = inst.space;
+    const auto &tr = traits(inst.op);
+    for (unsigned s = 0; s < tr.numSrcs; s++) {
+        tag.srcKinds[s] = inst.srcs[s].kind;
+        if (inst.srcs[s].isReg()) {
+            tag.srcKeys[s] = ren.srcPhys[s];
+        } else {
+            tag.srcKeys[s] = inst.srcs[s].value;
+        }
+    }
+    return tag;
+}
+
+ReuseBuffer::Lookup
+ReuseUnit::lookup(const ReuseTag &tag, u8 barrierCount, u8 tbid)
+{
+    auto result = rbuf.lookup(tag, barrierCount, tbid, stats);
+    if (result.kind == ReuseBuffer::Lookup::Kind::Hit) {
+        stats.reuseBufHits++;
+        // Keep the result register alive until the hit retires.
+        addRef(result.result);
+    }
+    return result;
+}
+
+void
+ReuseUnit::reserve(const ReuseTag &tag, u8 barrierCount, u8 tbid)
+{
+    // The reservation's tag sources must stay referenced.
+    const auto &tr = traits(tag.op);
+    for (unsigned s = 0; s < tr.numSrcs; s++) {
+        if (tag.srcKinds[s] == Operand::Kind::Reg)
+            addRef(static_cast<PhysReg>(tag.srcKeys[s]));
+    }
+    rbuf.reserve(tag, barrierCount, tbid, scratchDropped, stats);
+    dropAll(scratchDropped);
+}
+
+bool
+ReuseUnit::pendingMatches(const ReuseTag &tag) const
+{
+    return rbuf.pendingMatches(tag);
+}
+
+bool
+ReuseUnit::allocOk() const
+{
+    if (regs.numFree() == 0)
+        return false;
+    // Capped policy: committed (rename-table) mappings can never
+    // exceed the cap, but in-flight results transiently can; a small
+    // bounded overshoot is allowed while low-register mode drains
+    // buffer references, which guarantees forward progress (stalled
+    // warps could otherwise wait on each other's shared mappings).
+    constexpr unsigned inflightOvershoot = 32;
+    if (design.policy == RegisterPolicy::CappedRegister &&
+        regs.inUse() >= regCap + inflightOvershoot) {
+        return false;
+    }
+    return true;
+}
+
+std::optional<PhysReg>
+ReuseUnit::tryAlloc()
+{
+    if (!allocOk())
+        return std::nullopt;
+    return regs.alloc(stats);
+}
+
+void
+ReuseUnit::lowRegEvictStep()
+{
+    // Low register mode (Section V-E): entries are evicted from the
+    // reuse buffer and the value signature buffer until registers
+    // drain back to the free pool.
+    rbuf.evictSlot(evictRng.below(rbuf.size()), scratchDropped);
+    if (vsb.size()) {
+        if (auto evicted = vsb.evictSlot(evictRng.below(vsb.size())))
+            scratchDropped.push_back(*evicted);
+    }
+    stats.lowRegEvictions++;
+    dropAll(scratchDropped);
+}
+
+ReuseUnit::AllocResult
+ReuseUnit::allocate(const Instruction &inst, const Renamed &ren,
+                    const WarpValue &result, WarpMask active,
+                    bool divergent)
+{
+    AllocResult out;
+    (void)inst;
+
+    if (divergent) {
+        if (ren.dstPinned && ren.oldDst != invalidReg) {
+            // The logical register already owns a dedicated physical
+            // register: overwrite active lanes in place.
+            regs.writeMasked(ren.oldDst, result, active);
+            vcache.onWrite(ren.oldDst);
+            out.phys = ren.oldDst;
+            out.wrote = true;
+            out.pinned = true;
+            addRef(out.phys); // transient, released at commit
+            return out;
+        }
+        // First redefinition in diverged flow: allocate a dedicated
+        // register (not registered in the VSB) and pin it.
+        auto newReg = tryAlloc();
+        if (!newReg) {
+            lowRegMode = true;
+            lowRegEvictStep();
+            newReg = tryAlloc();
+        }
+        if (!newReg && ren.oldDst != invalidReg &&
+            refs.count(ren.oldDst) == 2) {
+            // Escape hatch under register pressure: the old mapping
+            // is held only by the rename table and this instruction,
+            // so it can become the dedicated register in place. The
+            // inactive lanes already hold their values -- no dummy
+            // MOV needed.
+            regs.writeMasked(ren.oldDst, result, active);
+            vcache.onWrite(ren.oldDst);
+            out.phys = ren.oldDst;
+            out.wrote = true;
+            out.pinned = true;
+            addRef(out.phys); // transient
+            return out;
+        }
+        if (!newReg) {
+            out.stalled = true;
+            stats.allocStallCycles++;
+            return out;
+        }
+        regs.writeMasked(*newReg, result, active);
+        vcache.onWrite(*newReg);
+        out.phys = *newReg;
+        out.wrote = true;
+        out.pinned = true;
+        addRef(out.phys); // transient
+        if (ren.oldDst != invalidReg && active != fullMask) {
+            // Dummy MOV: copy inactive lanes from the old register.
+            regs.writeMasked(*newReg, regs.value(ren.oldDst),
+                             fullMask & ~active);
+            out.dummyMov = true;
+            stats.dummyMovs++;
+        }
+        return out;
+    }
+
+    // Convergent path: hash + VSB lookup (Figure 6).
+    if (vsb.size()) {
+        u32 hash = hashH3(result);
+        auto candidate = vsb.lookup(hash, stats);
+        if (candidate) {
+            // Verify-read: a hash match can be a false positive.
+            out.verifyRead = true;
+            out.verifyTarget = *candidate;
+            stats.verifyReads++;
+            out.verifyCacheHit = vcache.access(*candidate, stats);
+            if (regs.value(*candidate) == result) {
+                // Share: remap instead of writing.
+                stats.vsbShares++;
+                out.phys = *candidate;
+                out.shared = true;
+                addRef(out.phys); // transient
+                return out;
+            }
+            out.falsePositive = true;
+            stats.verifyMismatches++;
+        }
+
+        auto newReg = tryAlloc();
+        if (!newReg && ren.oldDst != invalidReg &&
+            refs.count(ren.oldDst) == 2) {
+            // Escape hatch: the old mapping is referenced only by the
+            // rename table and this instruction, so it can be safely
+            // overwritten in place (prevents allocation deadlock).
+            lowRegMode = true;
+            regs.write(ren.oldDst, result);
+            vcache.onWrite(ren.oldDst);
+            out.phys = ren.oldDst;
+            out.wrote = true;
+            addRef(out.phys); // transient
+            if (auto evicted = vsb.insert(hash, out.phys, stats)) {
+                addRef(out.phys);
+                dropRef(*evicted);
+            } else {
+                addRef(out.phys);
+            }
+            return out;
+        }
+        if (!newReg) {
+            lowRegMode = true;
+            lowRegEvictStep();
+            newReg = tryAlloc();
+        }
+        if (!newReg) {
+            out.stalled = true;
+            stats.allocStallCycles++;
+            return out;
+        }
+        regs.write(*newReg, result);
+        vcache.onWrite(*newReg);
+        out.phys = *newReg;
+        out.wrote = true;
+        addRef(out.phys); // transient
+        addRef(out.phys); // VSB reference
+        if (auto evicted = vsb.insert(hash, out.phys, stats))
+            dropRef(*evicted);
+        return out;
+    }
+
+    // NoVSB model: a new register for every convergent write.
+    auto newReg = tryAlloc();
+    if (!newReg && ren.oldDst != invalidReg &&
+        refs.count(ren.oldDst) == 2) {
+        lowRegMode = true;
+        regs.write(ren.oldDst, result);
+        vcache.onWrite(ren.oldDst);
+        out.phys = ren.oldDst;
+        out.wrote = true;
+        addRef(out.phys);
+        return out;
+    }
+    if (!newReg) {
+        lowRegMode = true;
+        lowRegEvictStep();
+        newReg = tryAlloc();
+    }
+    if (!newReg) {
+        out.stalled = true;
+        stats.allocStallCycles++;
+        return out;
+    }
+    regs.write(*newReg, result);
+    vcache.onWrite(*newReg);
+    out.phys = *newReg;
+    out.wrote = true;
+    addRef(out.phys);
+    return out;
+}
+
+void
+ReuseUnit::commitReuseHit(WarpId warp, const Instruction &inst,
+                          const Renamed &ren, PhysReg result)
+{
+    wir_assert(inst.hasDst());
+    addRef(result); // rename-table reference
+    auto old = tables[warp].set(inst.dst, result, false, stats);
+    if (old)
+        dropRef(*old);
+    releaseInflight(ren);
+    dropRef(result); // transient taken at lookup()
+}
+
+void
+ReuseUnit::commitExecuted(WarpId warp, const Instruction &inst,
+                          const Renamed &ren, const AllocResult &alloc,
+                          bool updateRb, const ReuseTag &tag,
+                          u8 barrierCount, u8 tbid)
+{
+    if (inst.hasDst()) {
+        wir_assert(alloc.phys != invalidReg);
+        addRef(alloc.phys); // rename-table reference
+        auto old = tables[warp].set(inst.dst, alloc.phys, alloc.pinned,
+                                    stats);
+        if (old)
+            dropRef(*old);
+    }
+
+    if (updateRb) {
+        wir_assert(alloc.phys != invalidReg);
+        // New entry references its tag sources and the result.
+        const auto &tr = traits(tag.op);
+        for (unsigned s = 0; s < tr.numSrcs; s++) {
+            if (tag.srcKinds[s] == Operand::Kind::Reg)
+                addRef(static_cast<PhysReg>(tag.srcKeys[s]));
+        }
+        addRef(alloc.phys);
+        rbuf.update(tag, barrierCount, tbid, alloc.phys,
+                    scratchDropped, stats);
+        dropAll(scratchDropped);
+    }
+
+    releaseInflight(ren);
+    if (alloc.phys != invalidReg)
+        dropRef(alloc.phys); // transient taken at allocate()
+}
+
+void
+ReuseUnit::releaseInflight(const Renamed &ren)
+{
+    for (PhysReg src : ren.srcPhys) {
+        if (src != invalidReg)
+            dropRef(src);
+    }
+    if (ren.oldDst != invalidReg)
+        dropRef(ren.oldDst);
+}
+
+void
+ReuseUnit::initWarp(WarpId warp)
+{
+    wir_assert(warp < tables.size());
+    auto leftover = tables[warp].clearAll();
+    wir_assert(leftover.empty());
+}
+
+void
+ReuseUnit::finishWarp(WarpId warp)
+{
+    wir_assert(warp < tables.size());
+    auto released = tables[warp].clearAll();
+    for (PhysReg reg : released)
+        dropRef(reg);
+}
+
+void
+ReuseUnit::finishBlockSlot(u8 tbid)
+{
+    // Scratchpad-load entries of a completed block must not match a
+    // future block reusing the same resident slot.
+    rbuf.evictTbid(tbid, scratchDropped);
+    dropAll(scratchDropped);
+}
+
+void
+ReuseUnit::setRegCap(unsigned cap)
+{
+    regCap = cap;
+}
+
+void
+ReuseUnit::cycleTick()
+{
+    regs.sampleUtilization(stats);
+
+    // Capped policy: switch to low register mode proactively when
+    // utilization approaches the limit (Section V-E), so entries are
+    // already draining when an allocation would otherwise stall.
+    bool cappedTight =
+        design.policy == RegisterPolicy::CappedRegister &&
+        regs.inUse() + 8 >= regCap;
+    if (cappedTight)
+        lowRegMode = true;
+
+    if (lowRegMode) {
+        stats.lowRegModeCycles++;
+        // "An entry is randomly evicted if there was no access in a
+        // cycle": model as one eviction step per low-mode cycle.
+        lowRegEvictStep();
+        bool relaxed = regs.numFree() > 0 &&
+                       (design.policy == RegisterPolicy::MaxRegister ||
+                        regs.inUse() + 8 < regCap);
+        if (relaxed && !cappedTight)
+            lowRegMode = false;
+    }
+}
+
+const WarpValue &
+ReuseUnit::physValue(PhysReg reg) const
+{
+    return regs.value(reg);
+}
+
+const RenameTable::Entry &
+ReuseUnit::mapping(WarpId warp, LogicalReg logical) const
+{
+    SimStats scratch; // mapping queries outside the pipeline are free
+    return tables[warp].lookup(logical, scratch);
+}
+
+void
+ReuseUnit::drainBuffers()
+{
+    auto fromVsb = vsb.clearAll();
+    for (PhysReg reg : fromVsb)
+        dropRef(reg);
+    auto fromRbuf = rbuf.clearAll();
+    for (PhysReg reg : fromRbuf)
+        dropRef(reg);
+}
+
+bool
+ReuseUnit::quiescent() const
+{
+    return regs.inUse() == 0 && refs.allZero();
+}
+
+} // namespace wir

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ReuseUnit: the WIR state machine of one SM.
+ *
+ * Owns the physical register file, free pool, reference counters,
+ * per-warp rename tables, value signature buffer, reuse buffer and
+ * verify cache, and implements the state transitions of the rename,
+ * reuse, and register-allocation stages (Sections IV-VI). The SM
+ * timing model calls into this class and charges cycles/energy based
+ * on the returned action descriptors.
+ *
+ * Reference-count discipline: every holder of a physical register ID
+ * owns one count -- rename-table entries, VSB entries, reuse-buffer
+ * entries (sources and result), and in-flight instructions (their
+ * renamed sources, old destination, and any register picked up
+ * between allocation/hit and retire). A register returns to the free
+ * pool exactly when its count reaches zero.
+ */
+
+#ifndef WIR_REUSE_REUSE_UNIT_HH
+#define WIR_REUSE_REUSE_UNIT_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "reuse/phys_regfile.hh"
+#include "reuse/refcount.hh"
+#include "reuse/rename_table.hh"
+#include "reuse/reuse_buffer.hh"
+#include "reuse/verify_cache.hh"
+#include "reuse/vsb.hh"
+
+namespace wir
+{
+
+class ReuseUnit
+{
+  public:
+    ReuseUnit(const MachineConfig &machine, const DesignConfig &design,
+              SimStats &stats);
+
+    /** Rename-stage view of one instruction. */
+    struct Renamed
+    {
+        std::array<PhysReg, 3> srcPhys{invalidReg, invalidReg,
+                                       invalidReg};
+        PhysReg oldDst = invalidReg;
+        bool dstPinned = false;
+    };
+
+    /** Outcome of the register allocation stage. */
+    struct AllocResult
+    {
+        bool stalled = false;     ///< no register available; retry
+        PhysReg phys = invalidReg;
+        bool wrote = false;       ///< a register-bank write happened
+        bool verifyRead = false;
+        bool verifyCacheHit = false;
+        PhysReg verifyTarget = invalidReg; ///< register verify-read
+        bool falsePositive = false;
+        bool shared = false;      ///< destination remapped, no write
+        bool dummyMov = false;    ///< divergence copy injected
+        bool pinned = false;      ///< result register is dedicated
+    };
+
+    // ---- Rename stage -------------------------------------------------
+
+    /**
+     * Look up source/destination mappings and take in-flight
+     * references on every register involved.
+     */
+    Renamed rename(WarpId warp, const Instruction &inst);
+
+    /** Construct the reuse-buffer tag of a renamed instruction. */
+    ReuseTag makeTag(const Instruction &inst, const Renamed &ren) const;
+
+    // ---- Reuse stage --------------------------------------------------
+
+    /**
+     * Reuse-buffer lookup. On Hit the unit takes a transient
+     * reference on the result register (released by commitReuseHit).
+     */
+    ReuseBuffer::Lookup lookup(const ReuseTag &tag, u8 barrierCount,
+                               u8 tbid);
+
+    /** Eagerly reserve the slot on a miss (pending-retry designs). */
+    void reserve(const ReuseTag &tag, u8 barrierCount, u8 tbid);
+
+    /** Is the slot still holding this tag with the pending bit? */
+    bool pendingMatches(const ReuseTag &tag) const;
+
+    // ---- Register allocation stage -------------------------------------
+
+    /**
+     * Allocate/share a physical register for a completed result
+     * (Figure 6 flow). May return stalled=true when no register is
+     * available this cycle (the caller retries; each retry cycle the
+     * unit runs one low-register-mode eviction step).
+     */
+    AllocResult allocate(const Instruction &inst, const Renamed &ren,
+                         const WarpValue &result, WarpMask active,
+                         bool divergent);
+
+    // ---- Retire --------------------------------------------------------
+
+    /** Retire a reuse hit: remap dst and release transient refs. */
+    void commitReuseHit(WarpId warp, const Instruction &inst,
+                        const Renamed &ren, PhysReg result);
+
+    /**
+     * Retire an executed instruction: commit the rename mapping,
+     * optionally update the reuse buffer, release in-flight refs.
+     */
+    void commitExecuted(WarpId warp, const Instruction &inst,
+                        const Renamed &ren, const AllocResult &alloc,
+                        bool updateRb, const ReuseTag &tag,
+                        u8 barrierCount, u8 tbid);
+
+    /** Release in-flight refs of an instruction with no destination
+     * (stores) or one that bypassed allocation. */
+    void releaseInflight(const Renamed &ren);
+
+    // ---- Warp/block lifecycle ------------------------------------------
+
+    void initWarp(WarpId warp);
+    void finishWarp(WarpId warp);
+    void finishBlockSlot(u8 tbid);
+
+    /** Capped-register policy: limit = logical regs x active warps. */
+    void setRegCap(unsigned cap);
+
+    /** Per-cycle housekeeping (utilization sampling). */
+    void cycleTick();
+
+    // ---- Value access ----------------------------------------------------
+
+    const WarpValue &physValue(PhysReg reg) const;
+    const RenameTable::Entry &mapping(WarpId warp,
+                                      LogicalReg logical) const;
+
+    PhysRegFile &regFile() { return regs; }
+    bool inLowRegMode() const { return lowRegMode; }
+
+    /** Flush VSB and reuse buffer, dropping their references
+     * (end-of-kernel teardown, and a low-register safety valve). */
+    void drainBuffers();
+
+    /** All registers free and counters zero (end-of-kernel check). */
+    bool quiescent() const;
+
+  private:
+    void addRef(PhysReg reg);
+    void dropRef(PhysReg reg);
+    void dropAll(std::vector<PhysReg> &list);
+    bool allocOk() const;
+    std::optional<PhysReg> tryAlloc();
+    void lowRegEvictStep();
+
+    const DesignConfig &design;
+    SimStats &stats;
+
+    PhysRegFile regs;
+    RefCount refs;
+    std::vector<RenameTable> tables;
+    Vsb vsb;
+    ReuseBuffer rbuf;
+    VerifyCache vcache;
+    Rng evictRng;
+
+    unsigned regCap;
+    bool lowRegMode = false;
+    std::vector<PhysReg> scratchDropped;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_REUSE_UNIT_HH

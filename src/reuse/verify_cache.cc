@@ -1,0 +1,55 @@
+#include "reuse/verify_cache.hh"
+
+namespace wir
+{
+
+VerifyCache::VerifyCache(unsigned numEntries_)
+    : numEntries(numEntries_), lines(numEntries_)
+{
+}
+
+bool
+VerifyCache::access(PhysReg reg, SimStats &stats)
+{
+    if (!numEntries)
+        return false;
+    useClock++;
+    for (auto &line : lines) {
+        if (line.valid && line.reg == reg) {
+            line.lastUse = useClock;
+            stats.verifyCacheHits++;
+            return true;
+        }
+    }
+    // Miss: fill the first invalid line, else the LRU line.
+    Line *victim = &lines[0];
+    for (auto &line : lines) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    stats.verifyCacheMisses++;
+    *victim = {true, reg, useClock};
+    return false;
+}
+
+void
+VerifyCache::onWrite(PhysReg reg)
+{
+    for (auto &line : lines) {
+        if (line.valid && line.reg == reg)
+            line.valid = false;
+    }
+}
+
+void
+VerifyCache::clearAll()
+{
+    for (auto &line : lines)
+        line.valid = false;
+}
+
+} // namespace wir

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Verify cache (Section VI-C).
+ *
+ * A small fully associative cache tagged by physical register ID that
+ * serves verify-read operations so they do not contend with true
+ * register-bank reads. A miss fills the line after reading the banks;
+ * a register write evicts the associated line. Values are not
+ * duplicated here: by construction a valid line is always coherent
+ * with the register file (writes evict), so only the tag state needs
+ * modeling; the simulator reads values from the register file.
+ */
+
+#ifndef WIR_REUSE_VERIFY_CACHE_HH
+#define WIR_REUSE_VERIFY_CACHE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class VerifyCache
+{
+  public:
+    /** numEntries == 0 disables the cache (RLP model). */
+    explicit VerifyCache(unsigned numEntries);
+
+    /** Verify-read lookup; fills on miss. Returns true on hit
+     * (no bank access needed). */
+    bool access(PhysReg reg, SimStats &stats);
+
+    /** A register write invalidates its line. */
+    void onWrite(PhysReg reg);
+
+    /** A freed register must not linger in the cache. */
+    void onFree(PhysReg reg) { onWrite(reg); }
+
+    void clearAll();
+
+    unsigned size() const { return numEntries; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        PhysReg reg = invalidReg;
+        u64 lastUse = 0;
+    };
+
+    unsigned numEntries;
+    u64 useClock = 0;
+    std::vector<Line> lines;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_VERIFY_CACHE_HH

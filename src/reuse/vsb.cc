@@ -1,0 +1,96 @@
+#include "reuse/vsb.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+Vsb::Vsb(unsigned numEntries_, unsigned assoc_)
+    : numEntries(numEntries_), assoc(assoc_), entries(numEntries_)
+{
+    if (numEntries && (numEntries & (numEntries - 1)))
+        fatal("VSB entry count %u is not a power of two", numEntries);
+    if (!assoc || (numEntries && numEntries % assoc != 0))
+        fatal("VSB associativity %u does not divide %u", assoc,
+              numEntries);
+}
+
+std::optional<PhysReg>
+Vsb::lookup(u32 hash, SimStats &stats) const
+{
+    if (!numEntries)
+        return std::nullopt;
+    stats.vsbLookups++;
+    unsigned set = indexOf(hash);
+    for (unsigned w = 0; w < assoc; w++) {
+        const Entry &entry = entries[set * assoc + w];
+        if (entry.valid && entry.hash == hash) {
+            const_cast<Entry &>(entry).lastUse = ++useClock;
+            stats.vsbHashHits++;
+            return entry.phys;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<PhysReg>
+Vsb::insert(u32 hash, PhysReg phys, SimStats &stats)
+{
+    if (!numEntries)
+        return std::nullopt;
+    unsigned set = indexOf(hash);
+    Entry *victim = &entries[set * assoc];
+    for (unsigned w = 0; w < assoc; w++) {
+        Entry &entry = entries[set * assoc + w];
+        if (entry.valid && entry.hash == hash) {
+            victim = &entry;
+            break;
+        }
+        if (!entry.valid)
+            victim = &entry;
+        else if (victim->valid && entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    std::optional<PhysReg> evicted;
+    if (victim->valid)
+        evicted = victim->phys;
+    *victim = {true, hash, phys, ++useClock};
+    stats.refcountOps++;
+    return evicted;
+}
+
+std::optional<PhysReg>
+Vsb::evictSlot(unsigned slot)
+{
+    if (!numEntries)
+        return std::nullopt;
+    Entry &entry = entries[slot % numEntries];
+    if (!entry.valid)
+        return std::nullopt;
+    PhysReg phys = entry.phys;
+    entry = Entry{};
+    return phys;
+}
+
+std::vector<PhysReg>
+Vsb::clearAll()
+{
+    std::vector<PhysReg> released;
+    for (auto &entry : entries) {
+        if (entry.valid)
+            released.push_back(entry.phys);
+        entry = Entry{};
+    }
+    return released;
+}
+
+unsigned
+Vsb::validCount() const
+{
+    unsigned count = 0;
+    for (const auto &entry : entries)
+        count += entry.valid;
+    return count;
+}
+
+} // namespace wir

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Value signature buffer (Section V-A).
+ *
+ * Maps 32-bit H3 hashes of result values to the physical register
+ * already holding that value. Directly indexed by the lower hash bits
+ * (the paper found associative search unnecessary). A hash hit is
+ * only a candidate: the register allocation stage must verify-read
+ * the register value because of possible hash collisions.
+ */
+
+#ifndef WIR_REUSE_VSB_HH
+#define WIR_REUSE_VSB_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class Vsb
+{
+  public:
+    /**
+     * @param numEntries power of two (0 disables the buffer)
+     * @param assoc ways per set (1 = directly indexed, the default)
+     */
+    explicit Vsb(unsigned numEntries, unsigned assoc = 1);
+
+    /** Candidate register whose value may equal the hashed result. */
+    std::optional<PhysReg> lookup(u32 hash, SimStats &stats) const;
+
+    /**
+     * Register [hash -> phys]; returns the physical register of the
+     * evicted entry, if any (caller drops its reference after taking
+     * one for the inserted mapping).
+     */
+    std::optional<PhysReg> insert(u32 hash, PhysReg phys,
+                                  SimStats &stats);
+
+    /** Low-register mode: evict the entry at a given slot. */
+    std::optional<PhysReg> evictSlot(unsigned slot);
+
+    /** Invalidate everything; returns referenced registers. */
+    std::vector<PhysReg> clearAll();
+
+    unsigned size() const { return numEntries; }
+    unsigned validCount() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u32 hash = 0;
+        PhysReg phys = invalidReg;
+        u64 lastUse = 0;
+    };
+
+    unsigned
+    indexOf(u32 hash) const
+    {
+        return hash & (numEntries / assoc - 1);
+    }
+
+    unsigned numEntries;
+    unsigned assoc;
+    mutable u64 useClock = 0;
+    std::vector<Entry> entries;
+};
+
+} // namespace wir
+
+#endif // WIR_REUSE_VSB_HH

@@ -1,0 +1,115 @@
+#include "sim/designs.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+DesignConfig
+designBase()
+{
+    DesignConfig d;
+    d.name = "Base";
+    return d;
+}
+
+DesignConfig
+designR()
+{
+    DesignConfig d;
+    d.name = "R";
+    d.enableReuse = true;
+    return d;
+}
+
+DesignConfig
+designRL()
+{
+    DesignConfig d = designR();
+    d.name = "RL";
+    d.enableLoadReuse = true;
+    return d;
+}
+
+DesignConfig
+designRLP()
+{
+    DesignConfig d = designRL();
+    d.name = "RLP";
+    d.enablePendingRetry = true;
+    return d;
+}
+
+DesignConfig
+designRLPV()
+{
+    DesignConfig d = designRLP();
+    d.name = "RLPV";
+    d.enableVerifyCache = true;
+    return d;
+}
+
+DesignConfig
+designRPV()
+{
+    DesignConfig d = designRLPV();
+    d.name = "RPV";
+    d.enableLoadReuse = false;
+    return d;
+}
+
+DesignConfig
+designRLPVc()
+{
+    DesignConfig d = designRLPV();
+    d.name = "RLPVc";
+    d.policy = RegisterPolicy::CappedRegister;
+    return d;
+}
+
+DesignConfig
+designNoVSB()
+{
+    DesignConfig d = designR();
+    d.name = "NoVSB";
+    d.enableVsb = false;
+    return d;
+}
+
+DesignConfig
+designAffine()
+{
+    DesignConfig d;
+    d.name = "Affine";
+    d.enableAffine = true;
+    return d;
+}
+
+DesignConfig
+designAffineRLPV()
+{
+    DesignConfig d = designRLPV();
+    d.name = "Affine+RLPV";
+    d.enableAffine = true;
+    return d;
+}
+
+DesignConfig
+designByName(const std::string &name)
+{
+    for (const auto &design : allDesigns()) {
+        if (design.name == name)
+            return design;
+    }
+    fatal("unknown design '%s'", name.c_str());
+}
+
+std::vector<DesignConfig>
+allDesigns()
+{
+    return {designBase(), designR(), designRL(), designRLP(),
+            designRLPV(), designRPV(), designRLPVc(), designNoVSB(),
+            designAffine(), designAffineRLPV()};
+}
+
+} // namespace wir

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The evaluated machine models of Section VII-A: Base, R, RL, RLP,
+ * RLPV, RPV, RLPVc, NoVSB, Affine, Affine+RLPV.
+ */
+
+#ifndef WIR_SIM_DESIGNS_HH
+#define WIR_SIM_DESIGNS_HH
+
+#include <vector>
+
+#include "common/config.hh"
+
+namespace wir
+{
+
+DesignConfig designBase();
+DesignConfig designR();      ///< rename + reuse buffer + VSB
+DesignConfig designRL();     ///< R + load reuse
+DesignConfig designRLP();    ///< RL + pending-retry
+DesignConfig designRLPV();   ///< RLP + verify cache (the full design)
+DesignConfig designRPV();    ///< RLPV without load reuse
+DesignConfig designRLPVc();  ///< RLPV, capped-register policy
+DesignConfig designNoVSB();  ///< R without the value signature buffer
+DesignConfig designAffine(); ///< energy-optimized affine baseline
+DesignConfig designAffineRLPV();
+
+/** Look up a design by its paper name ("RLPV", "Base", ...). */
+DesignConfig designByName(const std::string &name);
+
+/** Every design, in the paper's presentation order. */
+std::vector<DesignConfig> allDesigns();
+
+} // namespace wir
+
+#endif // WIR_SIM_DESIGNS_HH

@@ -1,0 +1,94 @@
+#include "sim/gpu.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "mem/memory_partition.hh"
+#include "timing/sm.hh"
+
+namespace wir
+{
+
+Gpu::Gpu(MachineConfig machine_, DesignConfig design_)
+    : machine(std::move(machine_)), design(std::move(design_))
+{
+}
+
+SimStats
+Gpu::run(const Kernel &kernel, MemoryImage &image,
+         IssueObserver *observer)
+{
+    kernel.validate();
+    image.setConstSegment(kernel.constSegment);
+
+    std::vector<MemoryPartition> partitions;
+    partitions.reserve(machine.l2Partitions);
+    for (unsigned p = 0; p < machine.l2Partitions; p++)
+        partitions.emplace_back(machine);
+
+    std::vector<std::unique_ptr<Sm>> sms;
+    sms.reserve(machine.numSms);
+    for (unsigned s = 0; s < machine.numSms; s++) {
+        sms.push_back(std::make_unique<Sm>(
+            static_cast<SmId>(s), machine, design, kernel, image,
+            partitions, observer));
+    }
+
+    // CTA scheduler state: blocks issued in row-major grid order.
+    u32 totalBlocks = kernel.gridDim.count();
+    u32 nextBlock = 0;
+    auto tryLaunch = [&]() {
+        // Round-robin placement, same policy for every design so the
+        // comparisons in the evaluation are apples-to-apples.
+        bool progress = true;
+        while (progress && nextBlock < totalBlocks) {
+            progress = false;
+            for (auto &sm : sms) {
+                if (nextBlock >= totalBlocks)
+                    break;
+                if (sm->canAcceptBlock()) {
+                    u32 ctaX = nextBlock % kernel.gridDim.x;
+                    u32 ctaY = nextBlock / kernel.gridDim.x;
+                    sm->launchBlock(nextBlock, ctaX, ctaY);
+                    nextBlock++;
+                    progress = true;
+                }
+            }
+        }
+    };
+
+    tryLaunch();
+
+    Cycle now = 0;
+    u64 maxCycles = machine.maxCycles ? machine.maxCycles
+                                      : u64{200} * 1000 * 1000;
+    while (true) {
+        bool anyBusy = false;
+        for (auto &sm : sms) {
+            if (sm->busy()) {
+                sm->cycle(now);
+                anyBusy = true;
+            }
+        }
+        if (!anyBusy && nextBlock >= totalBlocks)
+            break;
+        if (nextBlock < totalBlocks)
+            tryLaunch();
+        now++;
+        if (now > maxCycles) {
+            fatal("kernel '%s' exceeded the cycle limit (%llu); "
+                  "likely an infinite loop or a barrier deadlock",
+                  kernel.name.c_str(),
+                  static_cast<unsigned long long>(maxCycles));
+        }
+    }
+
+    SimStats merged;
+    for (auto &sm : sms) {
+        sm->finalize();
+        merged += sm->smStats();
+    }
+    return merged;
+}
+
+} // namespace wir

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Whole-GPU simulation: SMs, shared L2 partitions/NoC/DRAM, and the
+ * thread-block (CTA) scheduler that fills SMs round-robin and
+ * backfills as blocks complete.
+ */
+
+#ifndef WIR_SIM_GPU_HH
+#define WIR_SIM_GPU_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "func/memory_image.hh"
+#include "isa/kernel.hh"
+#include "timing/observer.hh"
+
+namespace wir
+{
+
+class Gpu
+{
+  public:
+    Gpu(MachineConfig machine, DesignConfig design);
+
+    /**
+     * Run one kernel to completion against the given memory image
+     * (which receives all global-memory side effects).
+     * @return merged statistics (cycles = longest SM; counters summed)
+     */
+    SimStats run(const Kernel &kernel, MemoryImage &image,
+                 IssueObserver *observer = nullptr);
+
+    const MachineConfig &machineConfig() const { return machine; }
+    const DesignConfig &designConfig() const { return design; }
+
+  private:
+    MachineConfig machine;
+    DesignConfig design;
+};
+
+} // namespace wir
+
+#endif // WIR_SIM_GPU_HH

@@ -1,0 +1,127 @@
+#include "sim/profiler.hh"
+
+#include "common/hash_h3.hh"
+#include "common/logging.hh"
+
+namespace wir
+{
+
+ReuseProfiler::ReuseProfiler(unsigned numSms, unsigned window_)
+    : window(window_)
+{
+    wir_assert(numSms >= 1 && window >= 2);
+    sms.resize(numSms);
+    for (auto &sw : sms) {
+        sw.window = window;
+        sw.ring.assign(window, 0);
+        sw.counts.reserve(window * 2);
+    }
+}
+
+void
+ReuseProfiler::record(SmWindow &sw, u64 key, bool repeatable)
+{
+    if (repeatable) {
+        auto it = sw.counts.find(key);
+        u32 seen = it == sw.counts.end() ? 0 : it->second;
+        if (seen > 0)
+            sw.repeated++;
+        if (seen >= 10)
+            sw.repeated10x++;
+    }
+
+    // Slide the ring: retire the oldest entry, insert the new one.
+    u64 old = sw.ring[sw.head];
+    if (sw.sampled >= sw.window && old != 0) {
+        auto it = sw.counts.find(old);
+        wir_assert(it != sw.counts.end());
+        if (--it->second == 0)
+            sw.counts.erase(it);
+    }
+    sw.ring[sw.head] = repeatable ? key : 0;
+    sw.head = (sw.head + 1) % sw.window;
+    if (repeatable)
+        sw.counts[key]++;
+
+    sw.sampled++;
+    if (sw.sampled % sw.window == 0) {
+        sw.windows++;
+        sw.repeatedFracSum +=
+            double(sw.repeated) / double(sw.window);
+        sw.repeated10xFracSum +=
+            double(sw.repeated10x) / double(sw.window);
+        sw.repeated = 0;
+        sw.repeated10x = 0;
+    }
+}
+
+void
+ReuseProfiler::onIssue(SmId sm, const Instruction &inst,
+                       const WarpValue srcs[3],
+                       const WarpValue &result, WarpMask active)
+{
+    wir_assert(sm < sms.size());
+    SmWindow &sw = sms[sm];
+
+    const auto &tr = traits(inst.op);
+    bool repeatable = !tr.isControl && !tr.isStore &&
+                      inst.op != Op::NOP;
+
+    u64 key = 0;
+    if (repeatable) {
+        // Fold opcode, immediates, active input values and result
+        // values into one 64-bit signature of the warp computation.
+        u64 h = (u64{static_cast<u8>(inst.op)} << 8) ^
+                static_cast<u8>(inst.space) ^ (u64{active} << 16);
+        h = hashScalar(h) | (u64{hashScalar(h ^ 0x9e37u)} << 32);
+        auto mix = [&h](u64 v) {
+            u64 lo = hashScalar(h ^ v);
+            u64 hi = hashScalar(h ^ (v * 0x9e3779b97f4a7c15ull) ^ 1);
+            h = lo | (hi << 32);
+        };
+        for (unsigned s = 0; s < tr.numSrcs; s++) {
+            mix(u64{static_cast<u8>(inst.srcs[s].kind)} << 60);
+            for (unsigned lane = 0; lane < warpSize; lane++) {
+                if (active & (1u << lane))
+                    mix((u64{lane} << 32) | srcs[s][lane]);
+            }
+        }
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            if (active & (1u << lane))
+                mix((u64{lane} << 33) | result[lane]);
+        }
+        key = h | 1; // keep 0 reserved for "not repeatable"
+    }
+
+    record(sw, key, repeatable);
+}
+
+ReuseProfiler::Result
+ReuseProfiler::result() const
+{
+    Result out;
+    u64 windows = 0;
+    double fracSum = 0;
+    double frac10Sum = 0;
+    for (const auto &sw : sms) {
+        windows += sw.windows;
+        fracSum += sw.repeatedFracSum;
+        frac10Sum += sw.repeated10xFracSum;
+        out.sampled += sw.sampled;
+        // Fold the final partial window in as well so short kernels
+        // still report something.
+        u64 partial = sw.sampled % sw.window;
+        if (partial > sw.window / 4) {
+            windows++;
+            fracSum += double(sw.repeated) / double(partial);
+            frac10Sum += double(sw.repeated10x) / double(partial);
+        }
+    }
+    if (windows > 0) {
+        out.repeatedFraction = fracSum / double(windows);
+        out.repeated10xFraction = frac10Sum / double(windows);
+    }
+    return out;
+}
+
+} // namespace wir

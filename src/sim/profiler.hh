@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Repeated-computation profiler (Section III-A / Fig. 2).
+ *
+ * Attached to the issue stream, it samples per-SM windows of 1K
+ * dynamic warp instructions and, for each instruction, checks whether
+ * an identical warp computation (opcode + immediates + input values +
+ * result values over all lanes) appeared within the past 1K
+ * instructions. Control-flow instructions and stores always count as
+ * not repeated, as in the paper.
+ */
+
+#ifndef WIR_SIM_PROFILER_HH
+#define WIR_SIM_PROFILER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "timing/observer.hh"
+
+namespace wir
+{
+
+class ReuseProfiler : public IssueObserver
+{
+  public:
+    explicit ReuseProfiler(unsigned numSms, unsigned window = 1024);
+
+    void onIssue(SmId sm, const Instruction &inst,
+                 const WarpValue srcs[3], const WarpValue &result,
+                 WarpMask active) override;
+
+    struct Result
+    {
+        double repeatedFraction = 0;  ///< repeated within window
+        double repeated10xFraction = 0; ///< seen >= 10 times in window
+        u64 sampled = 0;
+    };
+
+    /** Global average over all completed windows of all SMs. */
+    Result result() const;
+
+  private:
+    struct SmWindow
+    {
+        unsigned window;
+        std::vector<u64> ring;
+        unsigned head = 0;
+        std::unordered_map<u64, u32> counts;
+        u64 sampled = 0;
+        u64 repeated = 0;
+        u64 repeated10x = 0;
+        // Completed-window accumulators.
+        u64 windows = 0;
+        double repeatedFracSum = 0;
+        double repeated10xFracSum = 0;
+    };
+
+    void record(SmWindow &sw, u64 key, bool repeatable);
+
+    unsigned window;
+    std::vector<SmWindow> sms;
+};
+
+} // namespace wir
+
+#endif // WIR_SIM_PROFILER_HH

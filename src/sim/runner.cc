@@ -1,0 +1,39 @@
+#include "sim/runner.hh"
+
+#include "sim/designs.hh"
+
+namespace wir
+{
+
+RunResult
+runWorkload(Workload &&workload, const DesignConfig &design,
+            const MachineConfig &machine)
+{
+    Gpu gpu(machine, design);
+    RunResult out;
+    out.workload = workload.abbr;
+    out.design = design.name;
+    out.stats = gpu.run(workload.kernel, workload.image);
+    out.energy = computeEnergy(out.stats);
+    out.finalMemory = workload.image.snapshotGlobal();
+    return out;
+}
+
+RunResult
+runOne(const WorkloadInfo &info, const DesignConfig &design,
+       const MachineConfig &machine)
+{
+    return runWorkload(info.make(), design, machine);
+}
+
+ReuseProfiler::Result
+profileWorkload(const WorkloadInfo &info, const MachineConfig &machine)
+{
+    Workload workload = info.make();
+    ReuseProfiler profiler(machine.numSms);
+    Gpu gpu(machine, designBase());
+    gpu.run(workload.kernel, workload.image, &profiler);
+    return profiler.result();
+}
+
+} // namespace wir

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Convenience harness: run (workload, design) pairs and collect
+ * statistics, energy, and profiler results. Used by the bench
+ * binaries, examples, and end-to-end tests.
+ */
+
+#ifndef WIR_SIM_RUNNER_HH
+#define WIR_SIM_RUNNER_HH
+
+#include "energy/energy_model.hh"
+#include "sim/gpu.hh"
+#include "sim/profiler.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+
+struct RunResult
+{
+    std::string workload;
+    std::string design;
+    SimStats stats;
+    EnergyBreakdown energy;
+    std::vector<u32> finalMemory; ///< global memory after the run
+
+    double
+    reuseRate() const
+    {
+        u64 total = stats.warpInstsCommitted;
+        return total ? double(stats.warpInstsReused) / double(total)
+                     : 0.0;
+    }
+
+    double ipc() const
+    {
+        return stats.cycles
+            ? double(stats.warpInstsCommitted) / double(stats.cycles)
+            : 0.0;
+    }
+};
+
+/** Run one workload instance under one design. */
+RunResult runOne(const WorkloadInfo &info, const DesignConfig &design,
+                 const MachineConfig &machine = MachineConfig{});
+
+/** Run an already-built workload (consumes its memory image). */
+RunResult runWorkload(Workload &&workload, const DesignConfig &design,
+                      const MachineConfig &machine = MachineConfig{});
+
+/** Profile a workload's repeated computations (Fig. 2). */
+ReuseProfiler::Result profileWorkload(
+    const WorkloadInfo &info,
+    const MachineConfig &machine = MachineConfig{});
+
+} // namespace wir
+
+#endif // WIR_SIM_RUNNER_HH

@@ -1,0 +1,44 @@
+#include "timing/fu_pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+FuKind
+fuFor(Op op, unsigned schedulerId)
+{
+    switch (pipelineOf(op)) {
+      case Pipeline::SP:
+        return schedulerId == 0 ? FuKind::SP0 : FuKind::SP1;
+      case Pipeline::SFU:
+        return FuKind::SFU;
+      case Pipeline::MEM:
+        return FuKind::MEM;
+      case Pipeline::CTRL:
+        panic("control instruction %s has no FU",
+              std::string(traits(op).name).c_str());
+    }
+    panic("bad pipeline");
+}
+
+unsigned
+fuLatency(Op op, const MachineConfig &config)
+{
+    switch (pipelineOf(op)) {
+      case Pipeline::SP:
+        return traits(op).isFp ? config.spFpLatency
+                               : config.spIntLatency;
+      case Pipeline::SFU:
+        return config.sfuLatency;
+      case Pipeline::MEM:
+        // Memory latency is computed per access by the LSU path; this
+        // is only the address-generation pipeline depth.
+        return 4;
+      case Pipeline::CTRL:
+        return 1;
+    }
+    panic("bad pipeline");
+}
+
+} // namespace wir

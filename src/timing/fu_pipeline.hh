@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Functional-unit pipeline timing: each execution pipeline (SP0, SP1,
+ * SFU, MEM) accepts one warp instruction per cycle and completes it
+ * after a fixed opcode-dependent latency.
+ */
+
+#ifndef WIR_TIMING_FU_PIPELINE_HH
+#define WIR_TIMING_FU_PIPELINE_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "isa/opcode.hh"
+
+namespace wir
+{
+
+/** Concrete execution pipelines of one SM. */
+enum class FuKind : u8 { SP0, SP1, SFU, MEM, NumFus };
+
+class FuPipeline
+{
+  public:
+    FuPipeline() = default;
+
+    /**
+     * Dispatch a warp instruction no earlier than `earliest`.
+     * @return completion cycle (dispatch grant + latency)
+     */
+    Cycle
+    dispatch(Cycle earliest, unsigned latency)
+    {
+        Cycle grant = std::max(earliest, nextFree);
+        nextFree = grant + 1;
+        return grant + latency;
+    }
+
+    /** Would a dispatch at `cycle` be granted immediately? */
+    bool available(Cycle cycle) const { return nextFree <= cycle; }
+
+    void reset() { nextFree = 0; }
+
+  private:
+    Cycle nextFree = 0;
+};
+
+/** Which FU executes an opcode; SP picks per-scheduler pipeline. */
+FuKind fuFor(Op op, unsigned schedulerId);
+
+/** Execution latency of an opcode under a machine config. */
+unsigned fuLatency(Op op, const MachineConfig &config);
+
+} // namespace wir
+
+#endif // WIR_TIMING_FU_PIPELINE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Issue-stream observer: receives every issued warp instruction with
+ * its resolved input and result values, in the SM's real temporal
+ * order. Used by the Fig. 2 motivation profiler.
+ */
+
+#ifndef WIR_TIMING_OBSERVER_HH
+#define WIR_TIMING_OBSERVER_HH
+
+#include "common/hash_h3.hh"
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+class IssueObserver
+{
+  public:
+    virtual ~IssueObserver() = default;
+
+    /**
+     * Called once per issued warp instruction.
+     * @param sm issuing SM
+     * @param inst static instruction
+     * @param srcs resolved source vectors (immediates broadcast)
+     * @param result computed result (zeros if no destination)
+     * @param active active-lane mask
+     */
+    virtual void onIssue(SmId sm, const Instruction &inst,
+                         const WarpValue srcs[3],
+                         const WarpValue &result,
+                         WarpMask active) = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_TIMING_OBSERVER_HH

@@ -1,0 +1,50 @@
+#include "timing/regfile_banks.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+RegFileBanks::RegFileBanks(unsigned numGroups_, unsigned banksPerGroup_)
+    : numGroups(numGroups_), banksPerGroup(banksPerGroup_),
+      readFree(numGroups_, 0), writeFree(numGroups_, 0)
+{
+    wir_assert(numGroups >= 1);
+}
+
+Cycle
+RegFileBanks::read(unsigned group, Cycle earliest, bool affine,
+                   SimStats &stats)
+{
+    wir_assert(group < numGroups);
+    Cycle grant = std::max(earliest, readFree[group]);
+    readFree[group] = grant + 1;
+    stats.rfBankRequests++;
+    stats.rfBankRetries += grant - earliest;
+    stats.rfBankReads += affine ? 1 : banksPerGroup;
+    return grant + 1;
+}
+
+Cycle
+RegFileBanks::write(unsigned group, Cycle earliest, bool affine,
+                    SimStats &stats)
+{
+    wir_assert(group < numGroups);
+    Cycle grant = std::max(earliest, writeFree[group]);
+    writeFree[group] = grant + 1;
+    stats.rfBankRequests++;
+    stats.rfBankRetries += grant - earliest;
+    stats.rfBankWrites += affine ? 1 : banksPerGroup;
+    return grant + 1;
+}
+
+void
+RegFileBanks::reset()
+{
+    std::fill(readFree.begin(), readFree.end(), 0);
+    std::fill(writeFree.begin(), writeFree.end(), 0);
+}
+
+} // namespace wir

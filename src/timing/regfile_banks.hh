@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Register-file bank-group timing model.
+ *
+ * The SM register file has 8 bank groups; a warp register lives
+ * entirely in one group (group = physical ID mod 8), and each group
+ * serves one 1024-bit read and one 1024-bit write per cycle (1r1w
+ * banks in lockstep, Section II). Contention is modeled with
+ * per-group next-free timestamps; every cycle an access waits counts
+ * as one retry (Fig. 18b's metric).
+ */
+
+#ifndef WIR_TIMING_REGFILE_BANKS_HH
+#define WIR_TIMING_REGFILE_BANKS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class RegFileBanks
+{
+  public:
+    RegFileBanks(unsigned numGroups, unsigned banksPerGroup = 8);
+
+    unsigned groupOf(PhysReg reg) const { return reg % numGroups; }
+
+    /**
+     * Schedule a 1024-bit read no earlier than `earliest`.
+     * @param affine access touches a single bank (1/8 energy) but
+     *        still occupies the group's read port
+     * @return the cycle the read completes (grant cycle + 1)
+     */
+    Cycle read(unsigned group, Cycle earliest, bool affine,
+               SimStats &stats);
+
+    /** Schedule a 1024-bit write; same contract as read(). */
+    Cycle write(unsigned group, Cycle earliest, bool affine,
+                SimStats &stats);
+
+    void reset();
+
+    unsigned groups() const { return numGroups; }
+
+  private:
+    unsigned numGroups;
+    unsigned banksPerGroup;
+    std::vector<Cycle> readFree;
+    std::vector<Cycle> writeFree;
+};
+
+} // namespace wir
+
+#endif // WIR_TIMING_REGFILE_BANKS_HH

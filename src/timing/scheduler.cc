@@ -1,0 +1,48 @@
+#include "timing/scheduler.hh"
+
+namespace wir
+{
+
+GtoScheduler::GtoScheduler(std::vector<WarpId> warpSlots,
+                           SchedulerPolicy policy_)
+    : policy(policy_), slots(std::move(warpSlots))
+{
+}
+
+std::optional<WarpId>
+GtoScheduler::pick(const std::function<bool(WarpId)> &ready,
+                   const std::function<u64(WarpId)> &age)
+{
+    if (policy == SchedulerPolicy::Lrr) {
+        // Rotate the search start one past the previous issuer.
+        for (size_t i = 0; i < slots.size(); i++) {
+            WarpId slot = slots[(rrCursor + i) % slots.size()];
+            if (ready(slot)) {
+                rrCursor = (rrCursor + i + 1) % slots.size();
+                return slot;
+            }
+        }
+        return std::nullopt;
+    }
+
+    // Greedy: stick with the last-issued warp while it can issue.
+    if (lastIssued && ready(*lastIssued))
+        return lastIssued;
+
+    // Oldest: smallest age value among ready warps.
+    std::optional<WarpId> best;
+    u64 bestAge = ~u64{0};
+    for (WarpId slot : slots) {
+        if (!ready(slot))
+            continue;
+        u64 a = age(slot);
+        if (!best || a < bestAge) {
+            best = slot;
+            bestAge = a;
+        }
+    }
+    lastIssued = best;
+    return best;
+}
+
+} // namespace wir

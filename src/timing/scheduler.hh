@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Warp schedulers.
+ *
+ * Each SM has two schedulers, one per 24-warp group. The default is
+ * greedy-then-oldest (GTO, Table II): keep issuing from the
+ * last-issued warp while it remains ready, else fall back to the
+ * oldest ready warp (age = block launch order, then warp slot).
+ * Loose round-robin (LRR) is available as an ablation: rotate the
+ * search start past the last issuer each cycle.
+ */
+
+#ifndef WIR_TIMING_SCHEDULER_HH
+#define WIR_TIMING_SCHEDULER_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** Warp selection policy. */
+enum class SchedulerPolicy : u8
+{
+    Gto, ///< greedy-then-oldest (baseline, Table II)
+    Lrr, ///< loose round-robin (ablation)
+};
+
+class GtoScheduler
+{
+  public:
+    /** @param warpSlots the warp slots this scheduler owns */
+    explicit GtoScheduler(std::vector<WarpId> warpSlots,
+                          SchedulerPolicy policy =
+                              SchedulerPolicy::Gto);
+
+    /**
+     * Select a warp to issue from.
+     * @param ready predicate: can this warp issue this cycle?
+     * @param age total order: smaller = older
+     */
+    std::optional<WarpId>
+    pick(const std::function<bool(WarpId)> &ready,
+         const std::function<u64(WarpId)> &age);
+
+    /** Reset greedy state (new kernel). */
+    void reset() { lastIssued.reset(); }
+
+  private:
+    SchedulerPolicy policy;
+    std::vector<WarpId> slots;
+    std::optional<WarpId> lastIssued;
+    size_t rrCursor = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_TIMING_SCHEDULER_HH

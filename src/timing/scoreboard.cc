@@ -1,0 +1,2 @@
+// Header-only; this translation unit anchors the module in the build.
+#include "timing/scoreboard.hh"

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-warp scoreboard (Section II).
+ *
+ * Tracks write-pending logical registers. An instruction may issue
+ * only when none of its source or destination registers is pending
+ * (RAW and WAW protection). As the paper notes (Section V-B), the
+ * scoreboard operates on logical IDs even in the reuse designs.
+ */
+
+#ifndef WIR_TIMING_SCOREBOARD_HH
+#define WIR_TIMING_SCOREBOARD_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace wir
+{
+
+class Scoreboard
+{
+  public:
+    /** Is any register this instruction touches write-pending? */
+    bool
+    hazard(const Instruction &inst) const
+    {
+        u64 used = 0;
+        const auto &tr = traits(inst.op);
+        for (unsigned s = 0; s < tr.numSrcs; s++) {
+            if (inst.srcs[s].isReg())
+                used |= u64{1} << inst.srcs[s].value;
+        }
+        if (inst.hasDst())
+            used |= u64{1} << inst.dst;
+        return (pending & used) != 0;
+    }
+
+    /** Register the destination at issue. */
+    void
+    reserve(const Instruction &inst)
+    {
+        if (inst.hasDst())
+            pending |= u64{1} << inst.dst;
+    }
+
+    /** Clear the destination at retire. */
+    void
+    release(const Instruction &inst)
+    {
+        if (inst.hasDst())
+            pending &= ~(u64{1} << inst.dst);
+    }
+
+    bool
+    isPending(LogicalReg reg) const
+    {
+        return (pending >> reg) & 1;
+    }
+
+    bool clean() const { return pending == 0; }
+
+    void clear() { pending = 0; }
+
+  private:
+    u64 pending = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_TIMING_SCOREBOARD_HH

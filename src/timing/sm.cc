@@ -1,0 +1,893 @@
+#include "timing/sm.hh"
+
+#include <algorithm>
+
+#include "affine/affine.hh"
+#include "common/logging.hh"
+#include "mem/coalescer.hh"
+
+namespace wir
+{
+
+namespace
+{
+constexpr unsigned inflightCapacity = 192;
+constexpr unsigned l1HitLatency = 30;
+} // namespace
+
+Sm::Sm(SmId id_, const MachineConfig &machine_,
+       const DesignConfig &design_, const Kernel &kernel_,
+       MemoryImage &image_, std::vector<MemoryPartition> &partitions_,
+       IssueObserver *observer_)
+    : id(id_), machine(machine_), design(design_), kernel(kernel_),
+      image(image_), partitions(partitions_), observer(observer_),
+      warps(machine_.maxWarpsPerSm),
+      blocks(machine_.maxBlocksPerSm),
+      banks(machine_.regBankGroups),
+      l1Tags(machine_.l1dBytes, machine_.l1dWays, machine_.lineBytes),
+      l1Mshr(machine_.l1dMshrs),
+      pendq(design_.pendingQueueEntries),
+      inflight(inflightCapacity)
+{
+    if (design.enableReuse) {
+        reuse = std::make_unique<ReuseUnit>(machine, design, stats);
+    } else {
+        baseRegs.assign(machine.maxWarpsPerSm *
+                        machine.logicalRegsPerWarp, WarpValue{});
+    }
+
+    // Two schedulers, each owning one contiguous half of the warps.
+    unsigned half = machine.maxWarpsPerSm / machine.schedulersPerSm;
+    for (unsigned s = 0; s < machine.schedulersPerSm; s++) {
+        std::vector<WarpId> slots;
+        for (unsigned w = s * half; w < (s + 1) * half; w++)
+            slots.push_back(static_cast<WarpId>(w));
+        auto policy = machine.schedPolicy == WarpSchedPolicy::Lrr
+            ? SchedulerPolicy::Lrr : SchedulerPolicy::Gto;
+        schedulers.emplace_back(std::move(slots), policy);
+    }
+
+    freeHandles.reserve(inflightCapacity);
+    for (unsigned h = inflightCapacity; h-- > 0;)
+        freeHandles.push_back(h);
+}
+
+unsigned
+Sm::blockLimit(const MachineConfig &machine, const Kernel &kernel)
+{
+    unsigned warpsPerBlock = kernel.warpsPerBlock();
+    unsigned byWarps = machine.maxWarpsPerSm / warpsPerBlock;
+    unsigned byBlocks = machine.maxBlocksPerSm;
+    unsigned byScratch = kernel.scratchBytesPerBlock
+        ? machine.scratchpadBytes / kernel.scratchBytesPerBlock
+        : machine.maxBlocksPerSm;
+    unsigned regsPerBlock = std::max(1u, kernel.numRegs) *
+                            warpsPerBlock;
+    unsigned byRegs = machine.physWarpRegs / regsPerBlock;
+    unsigned limit = std::min({byWarps, byBlocks, byScratch, byRegs});
+    if (limit == 0) {
+        fatal("kernel '%s' cannot fit on an SM (%u warps, %u regs, "
+              "%u B scratch per block)", kernel.name.c_str(),
+              warpsPerBlock, kernel.numRegs,
+              kernel.scratchBytesPerBlock);
+    }
+    return limit;
+}
+
+bool
+Sm::canAcceptBlock() const
+{
+    if (activeBlocks >= blockLimit(machine, kernel))
+        return false;
+    unsigned warpsPerBlock = kernel.warpsPerBlock();
+    unsigned freeWarps = 0;
+    for (const auto &warp : warps)
+        freeWarps += !warp.active;
+    if (freeWarps < warpsPerBlock)
+        return false;
+    return std::any_of(blocks.begin(), blocks.end(),
+                       [](const BlockSlot &b) { return !b.active; });
+}
+
+void
+Sm::launchBlock(BlockId blockId, u32 ctaX, u32 ctaY)
+{
+    wir_assert(canAcceptBlock());
+
+    u8 slot = 0;
+    while (blocks[slot].active)
+        slot++;
+
+    BlockSlot &block = blocks[slot];
+    block.active = true;
+    block.blockId = blockId;
+    block.launchSeq = launchSeq++;
+    block.ctaX = ctaX;
+    block.ctaY = ctaY;
+    block.warpsTotal = kernel.warpsPerBlock();
+    block.warpsExited = 0;
+    block.warpsLeft = block.warpsTotal;
+    block.warpsAtBarrier = 0;
+    block.barrierCount = 0;
+    block.loadReuseDisabled = false;
+    block.scratch.assign((kernel.scratchBytesPerBlock + 3) / 4, 0);
+    block.warps.clear();
+
+    unsigned threads = kernel.blockDim.count();
+    for (unsigned w = 0; w < block.warpsTotal; w++) {
+        WarpId slotId = 0;
+        while (warps[slotId].active)
+            slotId++;
+        WarpSlot &warp = warps[slotId];
+        warp = WarpSlot{};
+        warp.active = true;
+        warp.blockSlot = slot;
+        warp.age = block.launchSeq * 64 + w;
+        warp.ctx = {ctaX, ctaY, kernel.gridDim.x, kernel.gridDim.y,
+                    kernel.blockDim.x, kernel.blockDim.y, w};
+        unsigned firstThread = w * warpSize;
+        unsigned lanes = std::min(warpSize, threads - firstThread);
+        WarpMask mask = lanes == warpSize
+            ? fullMask : ((1u << lanes) - 1);
+        warp.stack.reset(mask);
+        if (reuse)
+            reuse->initWarp(slotId);
+        block.warps.push_back(slotId);
+        activeWarps++;
+    }
+    activeBlocks++;
+
+    if (reuse && design.policy == RegisterPolicy::CappedRegister)
+        reuse->setRegCap(kernel.numRegs * activeWarps);
+}
+
+bool
+Sm::busy() const
+{
+    return activeBlocks > 0;
+}
+
+unsigned
+Sm::baseRegIndex(WarpId warp, LogicalReg logical) const
+{
+    return warp * machine.logicalRegsPerWarp + logical;
+}
+
+WarpValue
+Sm::readOperand(WarpId warp, const Operand &src,
+                const ReuseUnit::Renamed &ren, unsigned s)
+{
+    if (src.isImm())
+        return splat(src.value);
+    wir_assert(src.isReg());
+    if (reuse)
+        return reuse->physValue(ren.srcPhys[s]);
+    return baseRegs[baseRegIndex(warp,
+                                 static_cast<LogicalReg>(src.value))];
+}
+
+unsigned
+Sm::bankGroupOfSrc(const InFlight &fly, unsigned s) const
+{
+    if (reuse)
+        return banks.groupOf(fly.ren.srcPhys[s]);
+    return baseRegIndex(fly.warp,
+                        static_cast<LogicalReg>(fly.inst->srcs[s].value))
+           % banks.groups();
+}
+
+unsigned
+Sm::bankGroupOfDst(const InFlight &fly) const
+{
+    if (reuse)
+        return banks.groupOf(fly.alloc.phys);
+    return baseRegIndex(fly.warp, fly.inst->dst) % banks.groups();
+}
+
+u32
+Sm::allocInflight()
+{
+    wir_assert(!freeHandles.empty());
+    u32 handle = freeHandles.back();
+    freeHandles.pop_back();
+    inflight[handle] = InFlight{};
+    inflight[handle].active = true;
+    return handle;
+}
+
+// --------------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------------
+
+bool
+Sm::warpReady(WarpId warpId, Cycle now) const
+{
+    const WarpSlot &warp = warps[warpId];
+    if (!warp.active || warp.exited || warp.atBarrier ||
+        warp.issueReady > now || warp.stack.done()) {
+        return false;
+    }
+    if (freeHandles.empty())
+        return false;
+
+    const Instruction &inst = kernel.insts[warp.stack.pc()];
+    if (warp.scoreboard.hazard(inst))
+        return false;
+
+    // Structural backpressure: target FU must accept this cycle.
+    if (!isControl(inst.op)) {
+        unsigned sched = warpId / (machine.maxWarpsPerSm /
+                                   machine.schedulersPerSm);
+        const FuPipeline &fu =
+            fus[static_cast<unsigned>(fuFor(inst.op, sched))];
+        if (!fu.available(now))
+            return false;
+    }
+    return true;
+}
+
+void
+Sm::handleControlAtIssue(WarpId warpId, const Instruction &inst,
+                         WarpMask active, const WarpValue &pred)
+{
+    WarpSlot &warp = warps[warpId];
+    BlockSlot &block = blocks[warp.blockSlot];
+
+    switch (inst.op) {
+      case Op::NOP:
+        warp.stack.advance();
+        break;
+      case Op::BRA:
+        warp.stack.branch(inst, branchTakenMask(pred, active));
+        break;
+      case Op::BAR:
+        stats.barriers++;
+        warp.stack.advance();
+        warp.atBarrier = true;
+        block.warpsAtBarrier++;
+        releaseBarrier(block);
+        break;
+      case Op::MEMBAR:
+        // Conservative reuse epoch boundary: clears this warp's store
+        // flags and retires the block's load-reuse epoch.
+        warp.stack.advance();
+        warp.storeFlagShared = false;
+        warp.storeFlagGlobal = false;
+        if (block.barrierCount >= 31)
+            block.loadReuseDisabled = true;
+        else
+            block.barrierCount++;
+        break;
+      case Op::EXIT:
+        warp.stack.exit();
+        warp.exited = true;
+        block.warpsExited++;
+        if (warp.inflightCount == 0)
+            warpDrained(warpId);
+        break;
+      default:
+        panic("unexpected control op");
+    }
+}
+
+void
+Sm::releaseBarrier(BlockSlot &block)
+{
+    if (block.warpsAtBarrier == 0)
+        return;
+    unsigned expected = block.warpsTotal - block.warpsExited;
+    if (block.warpsAtBarrier < expected)
+        return;
+
+    block.warpsAtBarrier = 0;
+    // 5-bit barrier counter (Section VI-A): when it saturates, load
+    // reuse is disabled for the rest of the block.
+    if (block.barrierCount >= 31)
+        block.loadReuseDisabled = true;
+    else
+        block.barrierCount++;
+
+    for (WarpId w : block.warps) {
+        if (warps[w].active) {
+            warps[w].atBarrier = false;
+            warps[w].storeFlagShared = false;
+            warps[w].storeFlagGlobal = false;
+        }
+    }
+}
+
+void
+Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
+{
+    WarpSlot &warp = warps[warpId];
+    BlockSlot &block = blocks[warp.blockSlot];
+    const Instruction &inst = kernel.insts[warp.stack.pc()];
+    const auto &tr = traits(inst.op);
+    WarpMask active = warp.stack.mask();
+    bool divergent = active != fullMask;
+
+    warp.issueReady = now + 1;
+
+    // Rename bookkeeping happens here (the 1-cycle rename stage is
+    // charged in the pipeline timing); the scoreboard guarantees the
+    // mappings are final.
+    ReuseUnit::Renamed ren;
+    if (reuse)
+        ren = reuse->rename(warpId, inst);
+
+    // Functional evaluation at issue.
+    ExecInputs in;
+    in.active = active;
+    in.ctx = warp.ctx;
+    for (unsigned s = 0; s < tr.numSrcs; s++)
+        in.src[s] = readOperand(warpId, inst.srcs[s], ren, s);
+
+    // Instruction-class statistics.
+    if (tr.isFp)
+        stats.fpInsts++;
+    if (pipelineOf(inst.op) == Pipeline::SFU)
+        stats.sfuInsts++;
+    if (tr.isControl)
+        stats.controlInsts++;
+    if (tr.isLoad)
+        stats.loadInsts++;
+    if (tr.isStore)
+        stats.storeInsts++;
+    if (divergent)
+        stats.divergentInsts++;
+
+    if (isControl(inst.op)) {
+        if (observer)
+            observer->onIssue(id, inst, in.src, WarpValue{}, active);
+        handleControlAtIssue(warpId, inst, active, in.src[0]);
+        stats.warpInstsCommitted++;
+        if (reuse)
+            reuse->releaseInflight(ren);
+        return;
+    }
+
+    u32 handle = allocInflight();
+    InFlight &fly = inflight[handle];
+    fly.warp = warpId;
+    fly.inst = &inst;
+    fly.schedulerId = schedulerId;
+    fly.activeMask = active;
+    fly.divergent = divergent;
+    fly.ren = ren;
+    fly.issueCycle = now;
+    fly.barrierCount = block.barrierCount;
+    fly.tbid = inst.space == MemSpace::Shared
+        ? warp.blockSlot : nullTbid;
+
+    // Functional execution.
+    if (isMemOp(inst.op)) {
+        fly.memAddrs = in.src[0];
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            if (!(active & (1u << lane)))
+                continue;
+            Addr addr = fly.memAddrs[lane];
+            switch (inst.space) {
+              case MemSpace::Global:
+                if (isStore(inst.op))
+                    image.writeGlobal(addr, in.src[1][lane]);
+                else
+                    fly.result[lane] = image.readGlobal(addr);
+                break;
+              case MemSpace::Shared: {
+                  if (addr % 4 != 0 || addr / 4 >= block.scratch.size())
+                      panic("kernel '%s': scratchpad access out of "
+                            "range at pc %u", kernel.name.c_str(),
+                            inst.pc);
+                  if (isStore(inst.op))
+                      block.scratch[addr / 4] = in.src[1][lane];
+                  else
+                      fly.result[lane] = block.scratch[addr / 4];
+                  break;
+              }
+              case MemSpace::Const:
+                fly.result[lane] = image.readConst(addr);
+                break;
+              default:
+                panic("memory op without a space");
+            }
+        }
+        if (isStore(inst.op)) {
+            if (inst.space == MemSpace::Global)
+                warp.storeFlagGlobal = true;
+            else if (inst.space == MemSpace::Shared)
+                warp.storeFlagShared = true;
+        }
+    } else {
+        fly.result = evaluate(inst.op, in);
+    }
+
+    // Merge inactive lanes for the Base design (writes only touch
+    // active lanes); the reuse design handles merging in the register
+    // allocation stage (pin bits + dummy MOVs).
+    if (!reuse && inst.hasDst()) {
+        WarpValue &dst = baseRegs[baseRegIndex(warpId, inst.dst)];
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            if (active & (1u << lane))
+                dst[lane] = fly.result[lane];
+        }
+        fly.result = dst;
+    }
+
+    if (observer)
+        observer->onIssue(id, inst, in.src, fly.result, active);
+
+    // Affine classification (Affine baseline, Section VII-A).
+    if (design.enableAffine) {
+        WarpValue srcVals[3];
+        for (unsigned s = 0; s < tr.numSrcs; s++) {
+            srcVals[s] = in.src[s];
+            fly.srcAffine[s] = isAffine(in.src[s], active);
+        }
+        fly.dstAffine = inst.hasDst() && isAffine(fly.result, active);
+        fly.affineOk = !isMemOp(inst.op) &&
+            affineExecutable(inst.op, srcVals, tr.numSrcs, fly.result,
+                             active);
+    }
+
+    // Reuse eligibility (Sections V-C/VI-A).
+    if (reuse && tr.reusable && !divergent && inst.hasDst()) {
+        bool ok = true;
+        if (tr.isLoad) {
+            ok = design.enableLoadReuse;
+            if (inst.space == MemSpace::Global) {
+                ok = ok && !warp.storeFlagGlobal &&
+                     !block.loadReuseDisabled;
+            } else if (inst.space == MemSpace::Shared) {
+                ok = ok && !warp.storeFlagShared &&
+                     !block.loadReuseDisabled;
+            }
+        }
+        fly.eligible = ok;
+        if (ok)
+            fly.tag = reuse->makeTag(inst, ren);
+    }
+
+    // Advance the warp and reserve the destination.
+    warp.stack.advance();
+    warp.scoreboard.reserve(inst);
+    warp.inflightCount++;
+
+    fly.stage = reuse ? Stage::Rename : Stage::OperandRead;
+    fly.ready = now + 1;
+}
+
+// --------------------------------------------------------------------------
+// Pipeline stages
+// --------------------------------------------------------------------------
+
+void
+Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
+{
+    reuseStageUsed = true;
+    if (!fly.eligible) {
+        fly.stage = Stage::OperandRead;
+        fly.ready = now + 1;
+        return;
+    }
+
+    if (isLoad(fly.inst->op))
+        stats.loadReuseLookups++;
+    auto hit = reuse->lookup(fly.tag, fly.barrierCount, fly.tbid);
+    switch (hit.kind) {
+      case ReuseBuffer::Lookup::Kind::Hit:
+        fly.isReuseHit = true;
+        fly.alloc.phys = hit.result;
+        fly.stage = Stage::Retire;
+        fly.ready = std::max<Cycle>(now + 1, fly.issueCycle +
+                                    design.extraBackendDelay);
+        return;
+      case ReuseBuffer::Lookup::Kind::HitPending:
+        if (design.enablePendingRetry && pendq.push(handle)) {
+            fly.stage = Stage::PendingWait;
+            fly.ready = ~Cycle{0};
+            return;
+        }
+        stats.pendingQueueFull++;
+        fly.stage = Stage::OperandRead;
+        fly.ready = now + 1;
+        return;
+      case ReuseBuffer::Lookup::Kind::Miss:
+        if (design.enablePendingRetry)
+            reuse->reserve(fly.tag, fly.barrierCount, fly.tbid);
+        fly.stage = Stage::OperandRead;
+        fly.ready = now + 1;
+        return;
+    }
+}
+
+void
+Sm::stageOperandRead(InFlight &fly, Cycle now)
+{
+    const auto &tr = traits(fly.inst->op);
+    Cycle done = now;
+    for (unsigned s = 0; s < tr.numSrcs; s++) {
+        if (!fly.inst->srcs[s].isReg())
+            continue;
+        bool affine = design.enableAffine && fly.srcAffine[s];
+        Cycle readDone = banks.read(bankGroupOfSrc(fly, s), now,
+                                    affine, stats);
+        done = std::max(done, readDone);
+    }
+    fly.stage = isMemOp(fly.inst->op) ? Stage::Memory : Stage::Execute;
+    fly.ready = std::max(done, now + 1);
+}
+
+void
+Sm::stageExecute(InFlight &fly, Cycle now)
+{
+    Op op = fly.inst->op;
+    FuPipeline &fu =
+        fus[static_cast<unsigned>(fuFor(op, fly.schedulerId))];
+    Cycle completion = fu.dispatch(now, fuLatency(op, machine));
+
+    stats.warpInstsExecuted++;
+    if (pipelineOf(op) == Pipeline::SFU)
+        stats.sfuActivations++;
+    else
+        stats.spActivations++;
+    if (fly.affineOk)
+        stats.affineExecutions++;
+
+    if (fly.inst->hasDst()) {
+        fly.stage = reuse ? Stage::RegAlloc : Stage::WritebackBase;
+    } else {
+        fly.stage = Stage::Retire;
+    }
+    fly.ready = completion;
+}
+
+Cycle
+Sm::globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
+                    Cycle start)
+{
+    Cycle done = start;
+    for (Addr line : lines) {
+        // One line per cycle through the L1 port.
+        Cycle grant = std::max(start, l1PortFree);
+        l1PortFree = grant + 1;
+
+        l1Mshr.expire(grant);
+        stats.l1Accesses++;
+
+        if (isWrite) {
+            // Write-evict L1, write-through to the partition.
+            l1Tags.invalidate(line);
+            unsigned part = partitionFor(line, machine.lineBytes,
+                                         partitions.size());
+            partitions[part].access(line, true, grant, stats);
+            // Stores complete at L1-port acceptance.
+            done = std::max(done, grant + 1);
+            continue;
+        }
+
+        if (l1Tags.access(line)) {
+            stats.l1Hits++;
+            done = std::max(done, grant + l1HitLatency);
+            continue;
+        }
+        stats.l1Misses++;
+
+        if (auto ready = l1Mshr.lookup(line)) {
+            // Merged into an outstanding miss: no new L2 request.
+            done = std::max(done, std::max(*ready, grant + 1));
+            continue;
+        }
+
+        Cycle sendAt = grant;
+        if (l1Mshr.full()) {
+            sendAt = std::max(sendAt, l1Mshr.earliestReady());
+            l1Mshr.expire(sendAt);
+        }
+        unsigned part = partitionFor(line, machine.lineBytes,
+                                     partitions.size());
+        Cycle ready = partitions[part].access(line, false, sendAt,
+                                              stats);
+        l1Mshr.add(line, ready);
+        done = std::max(done, ready);
+    }
+    return done;
+}
+
+void
+Sm::stageMemory(InFlight &fly, Cycle now)
+{
+    FuPipeline &fu = fus[static_cast<unsigned>(FuKind::MEM)];
+    Cycle aguDone = fu.dispatch(now, fuLatency(fly.inst->op, machine));
+
+    stats.warpInstsExecuted++;
+    stats.memActivations++;
+
+    Cycle done = aguDone;
+    switch (fly.inst->space) {
+      case MemSpace::Shared: {
+          unsigned degree = scratchConflictDegree(fly.memAddrs,
+                                                  fly.activeMask);
+          stats.scratchAccesses += degree;
+          done = aguDone + machine.scratchpadLatency + degree - 1;
+          break;
+      }
+      case MemSpace::Const:
+        stats.constAccesses++;
+        done = aguDone + machine.constLatency;
+        break;
+      case MemSpace::Global: {
+          auto lines = coalesce(fly.memAddrs, fly.activeMask,
+                                machine.lineBytes);
+          done = globalMemAccess(lines, isStore(fly.inst->op),
+                                 aguDone);
+          break;
+      }
+      default:
+        panic("memory op without a space");
+    }
+
+    if (fly.inst->hasDst()) {
+        fly.stage = reuse ? Stage::RegAlloc : Stage::WritebackBase;
+    } else {
+        fly.stage = Stage::Retire;
+    }
+    fly.ready = std::max(done, now + 1);
+}
+
+void
+Sm::stageRegAlloc(InFlight &fly, Cycle now)
+{
+    fly.alloc = reuse->allocate(*fly.inst, fly.ren, fly.result,
+                                fly.activeMask, fly.divergent);
+    if (fly.alloc.stalled) {
+        // Low-register mode: retry next cycle while evictions free
+        // registers back to the pool.
+        if (++fly.stallCount > 200000) {
+            panic("SM %u: register allocation livelocked at pc %u "
+                  "of kernel '%s'", id, fly.inst->pc,
+                  kernel.name.c_str());
+        }
+        fly.ready = now + 1;
+        return;
+    }
+    fly.stallCount = 0;
+
+    // Hash generation + VSB table access: 2 cycles (Section VII-E).
+    Cycle done = now + 2;
+
+    if (fly.alloc.verifyRead && !fly.alloc.verifyCacheHit) {
+        // Verify-read occupies a true register-bank read port.
+        unsigned group = banks.groupOf(fly.alloc.verifyTarget);
+        done = std::max(done, banks.read(group, done, false, stats));
+    }
+    if (fly.alloc.wrote) {
+        bool affine = design.enableAffine && fly.dstAffine;
+        done = std::max(done,
+                        banks.write(bankGroupOfDst(fly), done, affine,
+                                    stats));
+    }
+    if (fly.alloc.dummyMov) {
+        // The injected MOV reads the old register and writes the
+        // inactive lanes of the new one.
+        done = std::max(done,
+                        banks.read(banks.groupOf(fly.ren.oldDst), done,
+                                   false, stats));
+        done = std::max(done,
+                        banks.write(bankGroupOfDst(fly), done, false,
+                                    stats));
+    }
+
+    fly.stage = Stage::Retire;
+    fly.ready = done;
+}
+
+void
+Sm::stageWritebackBase(InFlight &fly, Cycle now)
+{
+    bool affine = design.enableAffine && fly.dstAffine;
+    Cycle done = banks.write(bankGroupOfDst(fly), now, affine, stats);
+    fly.stage = Stage::Retire;
+    fly.ready = done;
+}
+
+void
+Sm::retire(InFlight &fly, u32 handle, Cycle now)
+{
+    (void)now;
+    WarpSlot &warp = warps[fly.warp];
+
+    if (reuse) {
+        if (fly.isReuseHit) {
+            stats.warpInstsReused++;
+            if (fly.viaPending)
+                stats.reuseHitsPending++;
+            if (isLoad(fly.inst->op))
+                stats.loadReuseHits++;
+            reuse->commitReuseHit(fly.warp, *fly.inst, fly.ren,
+                                  fly.alloc.phys);
+        } else if (fly.inst->hasDst()) {
+            bool updateRb = fly.eligible && !fly.divergent;
+            reuse->commitExecuted(fly.warp, *fly.inst, fly.ren,
+                                  fly.alloc, updateRb, fly.tag,
+                                  fly.barrierCount, fly.tbid);
+        } else {
+            reuse->releaseInflight(fly.ren);
+        }
+    }
+
+    warp.scoreboard.release(*fly.inst);
+    stats.warpInstsCommitted++;
+
+    wir_assert(warp.inflightCount > 0);
+    warp.inflightCount--;
+    if (warp.exited && warp.inflightCount == 0)
+        warpDrained(fly.warp);
+
+    fly.active = false;
+    freeHandles.push_back(handle);
+}
+
+void
+Sm::warpDrained(WarpId warpId)
+{
+    WarpSlot &warp = warps[warpId];
+    wir_assert(warp.active && warp.exited);
+    BlockSlot &block = blocks[warp.blockSlot];
+
+    if (reuse)
+        reuse->finishWarp(warpId);
+    warp.active = false;
+    activeWarps--;
+
+    wir_assert(block.warpsLeft > 0);
+    block.warpsLeft--;
+    if (block.warpsLeft == 0)
+        blockCompleted(warp.blockSlot);
+
+    // A warp that exits early must not leave peers stuck at a
+    // barrier it will never reach.
+    releaseBarrier(block);
+
+    if (reuse && design.policy == RegisterPolicy::CappedRegister)
+        reuse->setRegCap(kernel.numRegs * std::max(1u, activeWarps));
+}
+
+void
+Sm::blockCompleted(u8 slot)
+{
+    BlockSlot &block = blocks[slot];
+    wir_assert(block.active);
+    if (reuse)
+        reuse->finishBlockSlot(slot);
+    block.active = false;
+    block.scratch.clear();
+    wir_assert(activeBlocks > 0);
+    activeBlocks--;
+}
+
+void
+Sm::retryPending(Cycle now)
+{
+    if (reuseStageUsed || pendq.empty())
+        return;
+
+    u32 handle = pendq.pop();
+    InFlight &fly = inflight[handle];
+    wir_assert(fly.active && fly.stage == Stage::PendingWait);
+
+    if (reuse->pendingMatches(fly.tag)) {
+        // Result still pending: re-queue at the tail.
+        pendq.push(handle);
+        return;
+    }
+
+    auto hit = reuse->lookup(fly.tag, fly.barrierCount, fly.tbid);
+    if (hit.kind == ReuseBuffer::Lookup::Kind::Hit) {
+        fly.isReuseHit = true;
+        fly.viaPending = true;
+        fly.alloc.phys = hit.result;
+        fly.stage = Stage::Retire;
+        fly.ready = now + 1;
+        return;
+    }
+    // The reservation was replaced: fall back to execution.
+    fly.stage = Stage::OperandRead;
+    fly.ready = now + 1;
+}
+
+void
+Sm::process(u32 handle, Cycle now)
+{
+    InFlight &fly = inflight[handle];
+    if (!fly.active || fly.ready > now)
+        return;
+
+    switch (fly.stage) {
+      case Stage::Rename:
+        // Bookkeeping already happened at issue; this stage charges
+        // the pipeline latency. The reuse stage runs at
+        // issue + (extraBackendDelay - 2), so the full reuse path
+        // (rename + reuse + 2-cycle register allocation) adds the
+        // configured backend delay (Fig. 22 sweeps it).
+        fly.stage = Stage::Reuse;
+        fly.ready = std::max<Cycle>(
+            now + 1,
+            fly.issueCycle +
+                std::max(2u, design.extraBackendDelay) - 2);
+        break;
+      case Stage::Reuse:
+        stageReuse(fly, handle, now);
+        break;
+      case Stage::PendingWait:
+        break; // woken by retryPending()
+      case Stage::OperandRead:
+        stageOperandRead(fly, now);
+        break;
+      case Stage::Execute:
+        stageExecute(fly, now);
+        break;
+      case Stage::Memory:
+        stageMemory(fly, now);
+        break;
+      case Stage::RegAlloc:
+        stageRegAlloc(fly, now);
+        break;
+      case Stage::WritebackBase:
+        stageWritebackBase(fly, now);
+        break;
+      case Stage::Retire:
+        retire(fly, handle, now);
+        break;
+    }
+}
+
+void
+Sm::cycle(Cycle now)
+{
+    lastCycle = now;
+    reuseStageUsed = false;
+
+    // Advance in-flight instructions.
+    for (u32 handle = 0; handle < inflightCapacity; handle++)
+        process(handle, now);
+
+    // Pending-retry gets the reuse-buffer port when rename delivered
+    // no new instruction this cycle.
+    if (reuse && design.enablePendingRetry)
+        retryPending(now);
+
+    // Dual GTO schedulers.
+    auto readyFn = [this, now](WarpId w) { return warpReady(w, now); };
+    auto ageFn = [this](WarpId w) { return warps[w].age; };
+    for (unsigned s = 0; s < schedulers.size(); s++) {
+        if (auto pick = schedulers[s].pick(readyFn, ageFn))
+            issueFrom(*pick, s, now);
+    }
+
+    if (reuse)
+        reuse->cycleTick();
+    else
+        stats.physRegsInUseAccum +=
+            u64{activeWarps} * kernel.numRegs;
+
+    if (!reuse) {
+        stats.physRegsInUsePeak =
+            std::max<u64>(stats.physRegsInUsePeak,
+                          u64{activeWarps} * kernel.numRegs);
+    }
+}
+
+void
+Sm::finalize()
+{
+    stats.cycles = lastCycle + 1;
+    stats.smCyclesTotal = lastCycle + 1;
+    if (reuse) {
+        reuse->drainBuffers();
+        if (!reuse->quiescent())
+            panic("SM %u: physical registers leaked at kernel end",
+                  id);
+    }
+}
+
+} // namespace wir

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Streaming multiprocessor timing model.
+ *
+ * Implements the baseline pipeline of Section II (dual GTO
+ * schedulers over 24-warp groups, per-warp scoreboards on logical
+ * registers, 8 register bank groups, SP/SFU/MEM pipelines, L1D with
+ * MSHRs, scratchpad, barriers) and, when the design enables it, the
+ * three extra WIR stages of Section V (rename, reuse, register
+ * allocation) via the ReuseUnit.
+ *
+ * Values are computed functionally at issue (the scoreboard
+ * guarantees operands are architecturally final by then); the
+ * pipeline then models when each microarchitectural event happens and
+ * which resources it occupies.
+ */
+
+#ifndef WIR_TIMING_SM_HH
+#define WIR_TIMING_SM_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "func/executor.hh"
+#include "func/memory_image.hh"
+#include "func/simt_stack.hh"
+#include "isa/kernel.hh"
+#include "mem/cache.hh"
+#include "mem/memory_partition.hh"
+#include "reuse/pending_queue.hh"
+#include "reuse/reuse_unit.hh"
+#include "timing/fu_pipeline.hh"
+#include "timing/observer.hh"
+#include "timing/regfile_banks.hh"
+#include "timing/scheduler.hh"
+#include "timing/scoreboard.hh"
+
+namespace wir
+{
+
+class Sm
+{
+  public:
+    Sm(SmId id, const MachineConfig &machine,
+       const DesignConfig &design, const Kernel &kernel,
+       MemoryImage &image, std::vector<MemoryPartition> &partitions,
+       IssueObserver *observer = nullptr);
+
+    /** Resident blocks a kernel allows per SM (occupancy limits). */
+    static unsigned blockLimit(const MachineConfig &machine,
+                               const Kernel &kernel);
+
+    bool canAcceptBlock() const;
+    void launchBlock(BlockId blockId, u32 ctaX, u32 ctaY);
+    unsigned residentBlocks() const { return activeBlocks; }
+
+    /** Any resident work or in-flight instructions? */
+    bool busy() const;
+
+    /** Advance one cycle. */
+    void cycle(Cycle now);
+
+    /** End-of-kernel teardown and internal consistency checks. */
+    void finalize();
+
+    SimStats &smStats() { return stats; }
+    const SimStats &smStats() const { return stats; }
+
+  private:
+    // ---- Internal records ------------------------------------------------
+
+    struct BlockSlot
+    {
+        bool active = false;
+        BlockId blockId = 0;
+        u64 launchSeq = 0;
+        u32 ctaX = 0, ctaY = 0;
+        unsigned warpsTotal = 0;
+        unsigned warpsExited = 0;
+        unsigned warpsLeft = 0; ///< not yet fully drained
+        unsigned warpsAtBarrier = 0;
+        u8 barrierCount = 0;
+        bool loadReuseDisabled = false;
+        std::vector<u32> scratch;
+        std::vector<WarpId> warps;
+    };
+
+    struct WarpSlot
+    {
+        bool active = false;
+        bool exited = false;
+        bool atBarrier = false;
+        u8 blockSlot = 0;
+        u64 age = 0;
+        SimtStack stack;
+        Scoreboard scoreboard;
+        WarpCtx ctx;
+        bool storeFlagShared = false;
+        bool storeFlagGlobal = false;
+        unsigned inflightCount = 0;
+        Cycle issueReady = 0;
+    };
+
+    enum class Stage : u8
+    {
+        Rename, Reuse, PendingWait, OperandRead, Execute, Memory,
+        RegAlloc, WritebackBase, Retire,
+    };
+
+    struct InFlight
+    {
+        bool active = false;
+        WarpId warp = 0;
+        const Instruction *inst = nullptr;
+        unsigned schedulerId = 0;
+        WarpMask activeMask = 0;
+        bool divergent = false;
+        WarpValue result{};
+        WarpValue memAddrs{};
+        ReuseUnit::Renamed ren;
+        ReuseTag tag;
+        bool eligible = false;
+        bool isReuseHit = false;
+        bool viaPending = false;
+        u8 barrierCount = 0;
+        u8 tbid = nullTbid;
+        bool srcAffine[3] = {false, false, false};
+        bool dstAffine = false;
+        bool affineOk = false;
+        Stage stage = Stage::Retire;
+        Cycle ready = 0;
+        Cycle issueCycle = 0;
+        u32 stallCount = 0;
+        ReuseUnit::AllocResult alloc;
+    };
+
+    // ---- Issue path -------------------------------------------------------
+
+    bool warpReady(WarpId warp, Cycle now) const;
+    void issueFrom(WarpId warp, unsigned schedulerId, Cycle now);
+    void handleControlAtIssue(WarpId warp, const Instruction &inst,
+                              WarpMask active, const WarpValue &pred);
+    void releaseBarrier(BlockSlot &block);
+
+    // ---- Pipeline stages --------------------------------------------------
+
+    void process(u32 handle, Cycle now);
+    void stageReuse(InFlight &fly, u32 handle, Cycle now);
+    void stageOperandRead(InFlight &fly, Cycle now);
+    void stageExecute(InFlight &fly, Cycle now);
+    void stageMemory(InFlight &fly, Cycle now);
+    void stageRegAlloc(InFlight &fly, Cycle now);
+    void stageWritebackBase(InFlight &fly, Cycle now);
+    void retire(InFlight &fly, u32 handle, Cycle now);
+    void retryPending(Cycle now);
+
+    // ---- Helpers ----------------------------------------------------------
+
+    WarpValue readOperand(WarpId warp, const Operand &src,
+                          const ReuseUnit::Renamed &ren, unsigned s);
+    unsigned baseRegIndex(WarpId warp, LogicalReg logical) const;
+    unsigned bankGroupOfSrc(const InFlight &fly, unsigned s) const;
+    unsigned bankGroupOfDst(const InFlight &fly) const;
+    Cycle globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
+                          Cycle start);
+    void warpDrained(WarpId warp);
+    void blockCompleted(u8 slot);
+    u32 allocInflight();
+
+    // ---- State ------------------------------------------------------------
+
+    SmId id;
+    const MachineConfig &machine;
+    const DesignConfig &design;
+    const Kernel &kernel;
+    MemoryImage &image;
+    std::vector<MemoryPartition> &partitions;
+    IssueObserver *observer;
+
+    SimStats stats;
+
+    std::unique_ptr<ReuseUnit> reuse; ///< null for Base/Affine designs
+    std::vector<WarpValue> baseRegs;  ///< Base-design register values
+
+    std::vector<WarpSlot> warps;
+    std::vector<BlockSlot> blocks;
+    std::vector<GtoScheduler> schedulers;
+    RegFileBanks banks;
+    std::array<FuPipeline, 4> fus;
+
+    TagArray l1Tags;
+    Mshr l1Mshr;
+    Cycle l1PortFree = 0;
+
+    PendingQueue pendq;
+
+    std::vector<InFlight> inflight;
+    std::vector<u32> freeHandles;
+
+    unsigned activeBlocks = 0;
+    unsigned activeWarps = 0;
+    u64 launchSeq = 0;
+    bool reuseStageUsed = false;
+    Cycle lastCycle = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_TIMING_SM_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Internal: per-benchmark factory functions and shared input
+ * generators for the Table I suite. One factory per benchmark,
+ * grouped into kernels_*.cc by application domain.
+ */
+
+#ifndef WIR_WORKLOADS_FACTORIES_HH
+#define WIR_WORKLOADS_FACTORIES_HH
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+// kernels_imaging.cc
+Workload makeSF(); ///< SobelFilter (SDK)
+Workload makeDC(); ///< dct8x8 (SDK)
+Workload makeWT(); ///< fastWalshTransform (SDK)
+Workload makeDW(); ///< dwt2d (Rodinia)
+Workload makeHT(); ///< hybridsort (Rodinia)
+Workload makeLK(); ///< leukocyte (Rodinia)
+
+// kernels_linalg.cc
+Workload makeGA(); ///< gaussian (Rodinia)
+Workload makeLU(); ///< lud (Rodinia)
+Workload makeSG(); ///< sgemm (Parboil)
+Workload makeMQ(); ///< mri-q (Parboil)
+Workload makeCU(); ///< cutcp (Parboil)
+Workload makeSV(); ///< spmv (Parboil)
+Workload makeKM(); ///< kmeans (Rodinia)
+
+// kernels_stencil.cc
+Workload makeST(); ///< stencil (Parboil)
+Workload makeS1(); ///< srad-v1 (Rodinia)
+Workload makeS2(); ///< srad-v2 (Rodinia)
+Workload makeHS(); ///< hotspot (Rodinia)
+Workload makeLB(); ///< lbm (Parboil)
+Workload makeFD(); ///< FDTD3d (SDK)
+Workload makeHW(); ///< heartwall (Rodinia)
+
+// kernels_graph.cc
+Workload makeBF(); ///< bfs (Rodinia)
+Workload makeBT(); ///< b+tree (Rodinia)
+Workload makeNW(); ///< nw (Rodinia)
+Workload makePF(); ///< pathfinder (Rodinia)
+Workload makeSD(); ///< sad (Parboil)
+Workload makeSN(); ///< scan (SDK)
+Workload makeDX(); ///< dxtc (SDK)
+
+// kernels_finance.cc
+Workload makeBO(); ///< binomialOptions (SDK)
+Workload makeBS(); ///< BlackScholes (SDK)
+Workload makeMC(); ///< MonteCarlo (SDK)
+Workload makeSQ(); ///< SobolQRNG (SDK)
+
+// kernels_misc.cc
+Workload makeBP(); ///< backprop (Rodinia)
+Workload makeCF(); ///< cfd (Rodinia)
+Workload makeSC(); ///< streamcluster (Rodinia)
+
+// ---- Shared input generators ---------------------------------------------
+
+/**
+ * Fill `words` values quantized to `levels` distinct values.
+ * Small level counts create the input-value redundancy that drives
+ * reuse (Section III-B's flat-image-region effect).
+ */
+std::vector<u32> quantizedInts(unsigned words, unsigned levels,
+                               u64 seed);
+
+/** Quantized floats in [lo, hi] with `levels` distinct values. */
+std::vector<u32> quantizedFloats(unsigned words, unsigned levels,
+                                 float lo, float hi, u64 seed);
+
+/** Fully random 32-bit values (low reuse). */
+std::vector<u32> randomInts(unsigned words, u64 seed);
+
+/** Fully random floats in [lo, hi] (low reuse). */
+std::vector<u32> randomFloats(unsigned words, float lo, float hi,
+                              u64 seed);
+
+/**
+ * Piecewise-constant data: runs of `runLen` identical values drawn
+ * from `levels` levels. Because warp instruction reuse matches whole
+ * 1024-bit vectors, *warp-uniform* data (flat image regions, constant
+ * tiles) is what creates data-driven repetition -- per-lane
+ * quantization alone never repeats a full vector.
+ */
+std::vector<u32> flatRegions(unsigned words, unsigned levels,
+                             unsigned runLen, u64 seed);
+
+/** Piecewise-constant floats in [lo, hi]. */
+std::vector<u32> flatRegionsF(unsigned words, unsigned levels,
+                              unsigned runLen, float lo, float hi,
+                              u64 seed);
+
+// ---- Shared builder idioms -------------------------------------------------
+
+/** blockIdx.x * blockDim.x + threadIdx.x */
+inline Reg
+globalThreadId(KernelBuilder &b)
+{
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg ctaid = b.s2r(SpecialReg::CtaIdX);
+    Reg ntid = b.s2r(SpecialReg::NTidX);
+    return b.imad(use(ctaid), use(ntid), use(tid));
+}
+
+/** Byte address base + index*4. */
+inline Reg
+wordAddr(KernelBuilder &b, Reg index, u32 base)
+{
+    return b.imad(use(index), Operand::imm(4), Operand::imm(base));
+}
+
+/** Byte address base + index*4 with a register base. */
+inline Reg
+wordAddr(KernelBuilder &b, Reg index, Reg base)
+{
+    return b.imad(use(index), Operand::imm(4), use(base));
+}
+
+} // namespace factories
+} // namespace wir
+
+#endif // WIR_WORKLOADS_FACTORIES_HH

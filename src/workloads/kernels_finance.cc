@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Finance/QRNG benchmarks of Table I: BO, BS, MC, SQ.
+ */
+
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+/**
+ * BO -- binomialOptions (SDK). Backward induction over a binomial
+ * tree staged in the scratchpad. Option parameters are quantized to
+ * a handful of (strike, volatility) combinations, so different
+ * blocks price identical trees (top-10 reusability); %FP ~ 31.
+ */
+Workload
+makeBO()
+{
+    constexpr unsigned options = 64;   // one block per option
+    constexpr unsigned steps = 48;     // tree depth
+    constexpr unsigned threads = 64;
+
+    Workload w;
+    w.name = "binomialOptions";
+    w.abbr = "BO";
+    Addr sBase = w.image.allocGlobal(options * 4); // spot prices
+    w.outputBase = w.image.allocGlobal(options * 4);
+    w.outputBytes = options * 4;
+    w.image.fillGlobal(sBase,
+                       quantizedFloats(options, 4, 90.f, 110.f,
+                                       0x9d01));
+
+    KernelBuilder b("binomial", {threads, 1}, {options, 1});
+    // Double-buffered value lattice: reads and writes of one
+    // induction step target different buffers, so warps cannot race
+    // within a step.
+    b.setScratchBytes(2 * (steps + 1) * 4);
+
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg sAddr = wordAddr(b, blk, static_cast<u32>(sBase));
+    Reg spot = b.ldg(use(sAddr));
+
+    // Leaf payoffs: v[i] = max(spot * u^i * d^(steps-i) - K, 0),
+    // approximated with a linear lattice to stay in 32-bit floats.
+    Reg limit = b.immReg(steps + 1);
+    Reg inTree = b.emit(Op::ISETLT, use(tid), use(limit));
+    b.iff(use(inTree));
+    {
+        Reg fi = b.emit(Op::I2F, use(tid));
+        // price = spot + (i - steps/2) * 2
+        Reg off = b.fsub(use(fi), Operand::immF(steps / 2.0f));
+        Reg price = b.ffma(use(off), Operand::immF(2.0f), use(spot));
+        Reg payoff = b.fsub(use(price), Operand::immF(100.0f));
+        Reg zero = b.immRegF(0.0f);
+        Reg v = b.emit(Op::FMAX, use(payoff), use(zero));
+        Reg vAddr = b.shl(use(tid), Operand::imm(2));
+        b.sts(use(vAddr), use(v));
+    }
+    b.endIf();
+    b.bar();
+
+    // Backward induction: v'[i] = df * (pu*v[i+1] + pd*v[i]),
+    // ping-ponging between the two lattice buffers.
+    constexpr unsigned bufBytes = (steps + 1) * 4;
+    unsigned inOff = 0;
+    for (unsigned step = steps; step >= 1; step--) {
+        unsigned outOff = bufBytes - inOff;
+        Reg lim = b.immReg(step);
+        Reg act = b.emit(Op::ISETLT, use(tid), use(lim));
+        b.iff(use(act));
+        {
+            Reg tid4 = b.shl(use(tid), Operand::imm(2));
+            Reg aAddr = b.iadd(use(tid4), Operand::imm(inOff));
+            Reg bAddr = b.iadd(use(tid4), Operand::imm(inOff + 4));
+            Reg vd = b.lds(use(aAddr));
+            Reg vu = b.lds(use(bAddr));
+            Reg blend = b.fmul(use(vu), Operand::immF(0.55f));
+            blend = b.ffma(use(vd), Operand::immF(0.45f), use(blend));
+            Reg disc = b.fmul(use(blend), Operand::immF(0.9995f));
+            Reg oAddr = b.iadd(use(tid4), Operand::imm(outOff));
+            b.sts(use(oAddr), use(disc));
+        }
+        b.endIf();
+        b.bar();
+        inOff = outOff;
+    }
+
+    // Thread 0 stores the option value.
+    Reg one = b.immReg(1);
+    Reg isZero = b.emit(Op::ISETLT, use(tid), use(one));
+    b.iff(use(isZero));
+    {
+        Reg rAddr = b.immReg(inOff);
+        Reg root = b.lds(use(rAddr));
+        Reg oAddr = wordAddr(b, blk, static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(root));
+    }
+    b.endIf();
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * BS -- BlackScholes (SDK). Closed-form option pricing on fully
+ * random market data: heavy SFU use (log, sqrt, exp) on unique
+ * inputs gives the near-lowest reusability in the suite; %FP ~ 74.
+ */
+Workload
+makeBS()
+{
+    constexpr unsigned options = 6144;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = options / threads;
+
+    Workload w;
+    w.name = "BlackScholes";
+    w.abbr = "BS";
+    Addr sBase = w.image.allocGlobal(options * 4);
+    Addr kBase = w.image.allocGlobal(options * 4);
+    Addr tBase = w.image.allocGlobal(options * 4);
+    w.outputBase = w.image.allocGlobal(options * 4);
+    w.outputBytes = options * 4;
+    w.image.fillGlobal(sBase, randomFloats(options, 10.f, 100.f,
+                                           0x9d02));
+    w.image.fillGlobal(kBase, randomFloats(options, 10.f, 100.f,
+                                           0x9d03));
+    w.image.fillGlobal(tBase, randomFloats(options, 0.25f, 2.f,
+                                           0x9d04));
+
+    KernelBuilder b("blackscholes", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg sAddr = wordAddr(b, gid, static_cast<u32>(sBase));
+    Reg s = b.ldg(use(sAddr));
+    Reg kAddr = wordAddr(b, gid, static_cast<u32>(kBase));
+    Reg k = b.ldg(use(kAddr));
+    Reg tAddr = wordAddr(b, gid, static_cast<u32>(tBase));
+    Reg t = b.ldg(use(tAddr));
+
+    // d1 = (log2(S/K)*ln2 + (r + v^2/2) T) / (v sqrt(T))
+    Reg kinv = b.emit(Op::FRCP, use(k));
+    Reg ratio = b.fmul(use(s), use(kinv));
+    Reg lg = b.emit(Op::FLOG2, use(ratio));
+    Reg ln = b.fmul(use(lg), Operand::immF(0.6931472f));
+    Reg drift = b.fmul(use(t), Operand::immF(0.145f));
+    Reg num = b.fadd(use(ln), use(drift));
+    Reg sqt = b.emit(Op::FSQRT, use(t));
+    Reg vol = b.fmul(use(sqt), Operand::immF(0.3f));
+    Reg vinv = b.emit(Op::FRCP, use(vol));
+    Reg d1 = b.fmul(use(num), use(vinv));
+    // CND approximation via the logistic function 1/(1+2^-3.32 d).
+    Reg scaled = b.fmul(use(d1), Operand::immF(-3.32f));
+    Reg p2 = b.emit(Op::FEXP2, use(scaled));
+    Reg denom = b.fadd(use(p2), Operand::immF(1.0f));
+    Reg cnd = b.emit(Op::FRCP, use(denom));
+    Reg call = b.fmul(use(s), use(cnd));
+    call = b.ffma(use(k), Operand::immF(-0.45f), use(call));
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(call));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * MC -- MonteCarlo (SDK). Per-thread xorshift path simulation with
+ * payoff accumulation: RNG state is unique per thread, so values
+ * rarely repeat (%FP ~ 49, mid-to-low reusability).
+ */
+Workload
+makeMC()
+{
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = 40;
+    constexpr unsigned paths = 24;
+
+    Workload w;
+    w.name = "MonteCarlo";
+    w.abbr = "MC";
+    w.outputBase = w.image.allocGlobal(blocks * threads * 4);
+    w.outputBytes = blocks * threads * 4;
+
+    KernelBuilder b("montecarlo", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    // Seed the per-thread xorshift32 state.
+    Reg state = b.iadd(use(gid), Operand::imm(0x2545f491));
+
+    Reg acc = b.immRegF(0.0f);
+    Reg p = b.immReg(0);
+    Reg limit = b.immReg(paths);
+    Reg zeroF = b.immRegF(0.0f); // hoisted loop invariant
+    b.loopBegin();
+    {
+        Reg more = b.emit(Op::ISETLT, use(p), use(limit));
+        b.loopBreakIfZero(use(more));
+        // xorshift32 step.
+        Reg s1 = b.shl(use(state), Operand::imm(13));
+        b.emitInto(state, Op::IXOR, use(state), use(s1));
+        Reg s2 = b.shr(use(state), Operand::imm(17));
+        b.emitInto(state, Op::IXOR, use(state), use(s2));
+        Reg s3 = b.shl(use(state), Operand::imm(5));
+        b.emitInto(state, Op::IXOR, use(state), use(s3));
+        // Uniform in [0,1): take the high 24 bits.
+        Reg hi = b.shr(use(state), Operand::imm(8));
+        Reg f = b.emit(Op::I2F, use(hi));
+        Reg uni = b.fmul(use(f), Operand::immF(1.0f / 16777216.0f));
+        // payoff = max(uni*120 - 100, 0)
+        Reg price = b.fmul(use(uni), Operand::immF(120.0f));
+        Reg pay = b.fadd(use(price), Operand::immF(-100.0f));
+        Reg clamped = b.emit(Op::FMAX, use(pay), use(zeroF));
+        b.emitInto(acc, Op::FADD, use(acc), use(clamped));
+        b.emitInto(p, Op::IADD, use(p), Operand::imm(1));
+    }
+    b.loopEnd();
+
+    Reg mean = b.fmul(use(acc), Operand::immF(1.0f / paths));
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(mean));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SQ -- SobolQRNG (SDK). Quasirandom sequence generation: XORs of
+ * direction vectors held in constant memory, driven by the gray code
+ * of the sequence index. Direction-vector loads are uniform across
+ * the grid; %FP ~ 5.
+ */
+Workload
+makeSQ()
+{
+    constexpr unsigned points = 6144;
+    constexpr unsigned dims = 32;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = points / threads;
+
+    Workload w;
+    w.name = "SobolQRNG";
+    w.abbr = "SQ";
+    w.outputBase = w.image.allocGlobal(points * 4);
+    w.outputBytes = points * 4;
+
+    KernelBuilder b("sobol", {threads, 1}, {blocks, 1});
+
+    std::vector<u32> directions(dims);
+    for (unsigned d = 0; d < dims; d++)
+        directions[d] = 1u << (31 - d);
+    u32 dirBase = b.addConst(directions);
+
+    Reg gid = globalThreadId(b);
+    // Gray code of the index selects which directions participate.
+    Reg shifted = b.shr(use(gid), Operand::imm(1));
+    Reg gray = b.emit(Op::IXOR, use(gid), use(shifted));
+
+    // Seed with the point index: outputs are unique per thread, so
+    // only the direction-vector fetches and bit extraction repeat.
+    Reg x = b.mov(use(gid));
+    Reg zero = b.immReg(0);
+    for (unsigned d = 0; d < dims / 4; d++) {
+        Reg v = b.ldc(Operand::imm(dirBase + d * 4));
+        Reg bit = b.shr(use(gray), Operand::imm(d));
+        Reg sel = b.iand(use(bit), Operand::imm(1));
+        // x ^= sel ? v : 0
+        Reg masked = b.emit(Op::SELP, use(v), use(zero), use(sel));
+        Reg nx = b.emit(Op::IXOR, use(x), use(masked));
+        x = nx;
+    }
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(x));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+} // namespace factories
+} // namespace wir

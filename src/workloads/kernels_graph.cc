@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Graph/search/DP benchmarks of Table I: BT, BF, NW, PF, SD, SN, DX.
+ */
+
+#include <algorithm>
+
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+/**
+ * BT -- b+tree (Rodinia). findK: each thread walks the tree from the
+ * root, comparing its query key against node separators. Query keys
+ * are drawn from a tiny dictionary (duplicate lookups dominate real
+ * batches), so whole root-to-leaf walks repeat across warps and
+ * blocks -- BT ranks second in Fig. 2. Integer only.
+ */
+Workload
+makeBT()
+{
+    constexpr unsigned fanout = 8;
+    constexpr unsigned levels = 4;
+    constexpr unsigned nodes =
+        1 + fanout + fanout * fanout + fanout * fanout * fanout;
+    constexpr unsigned queries = 6144;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = queries / threads;
+
+    Workload w;
+    w.name = "b+tree";
+    w.abbr = "BT";
+    // Node n holds `fanout` separator keys at keys[n*fanout ..].
+    Addr keyBase = w.image.allocGlobal(nodes * fanout * 4);
+    Addr qBase = w.image.allocGlobal(queries * 4);
+    w.outputBase = w.image.allocGlobal(queries * 4);
+    w.outputBytes = queries * 4;
+    {
+        // Separators: key k of node n separates at (n*7 + k*97) % 256
+        // -- deterministic and shared by all walks.
+        std::vector<u32> keys(nodes * fanout);
+        for (unsigned n = 0; n < nodes; n++) {
+            for (unsigned k = 0; k < fanout; k++)
+                keys[n * fanout + k] = (k + 1) * 256 / fanout;
+        }
+        w.image.fillGlobal(keyBase, keys);
+    }
+    // 12 distinct query values, sorted as a batched lookup would
+    // be: runs of equal keys make whole warps issue identical walks.
+    {
+        std::vector<u32> qs = quantizedInts(queries, 12, 0x8c01);
+        std::sort(qs.begin(), qs.end());
+        w.image.fillGlobal(qBase, qs);
+    }
+
+    KernelBuilder b("btree_findk", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg qAddr = wordAddr(b, gid, static_cast<u32>(qBase));
+    Reg query = b.ldg(use(qAddr));
+    // Scale the 12-level query into key space.
+    Reg key = b.imul(use(query), Operand::imm(21));
+
+    Reg node = b.immReg(0);
+    for (unsigned level = 0; level + 1 < levels; level++) {
+        // child slot = number of separators <= key
+        Reg slot = b.immReg(0);
+        Reg nodeKeys = b.imul(use(node), Operand::imm(fanout));
+        for (unsigned k = 0; k < fanout; k++) {
+            Reg kIdx = b.iadd(use(nodeKeys), Operand::imm(k));
+            Reg kAddr = wordAddr(b, kIdx, static_cast<u32>(keyBase));
+            Reg sep = b.ldg(use(kAddr));
+            Reg le = b.emit(Op::ISETLE, use(sep), use(key));
+            Reg nslot = b.iadd(use(slot), use(le));
+            slot = nslot;
+        }
+        // child = node*fanout + 1 + min(slot, fanout-1)
+        Reg clamped = b.emit(Op::IMIN, use(slot),
+                             Operand::imm(fanout - 1));
+        Reg child = b.imad(use(node), Operand::imm(fanout),
+                           use(clamped));
+        Reg next = b.iadd(use(child), Operand::imm(1));
+        node = next;
+    }
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(node));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * BF -- bfs (Rodinia). One frontier-expansion step: threads whose
+ * node is in the frontier visit their neighbors and write updated
+ * costs. Random graph structure makes execution divergent and
+ * value-unique (bottom-half reusability). Integer only.
+ */
+Workload
+makeBF()
+{
+    constexpr unsigned nodesN = 6144;
+    constexpr unsigned degree = 4;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = nodesN / threads;
+
+    Workload w;
+    w.name = "bfs";
+    w.abbr = "BF";
+    Addr edgeBase = w.image.allocGlobal(nodesN * degree * 4);
+    Addr maskBase = w.image.allocGlobal(nodesN * 4);
+    Addr costBase = w.image.allocGlobal(nodesN * 4);
+    w.outputBase = w.image.allocGlobal(nodesN * 4);
+    w.outputBytes = nodesN * 4;
+    {
+        Rng rng(0x8c02);
+        std::vector<u32> edges(nodesN * degree);
+        for (auto &e : edges)
+            e = rng.below(nodesN);
+        w.image.fillGlobal(edgeBase, edges);
+        // ~25% of nodes are in the current frontier.
+        std::vector<u32> mask(nodesN);
+        for (auto &m : mask)
+            m = rng.below(4) == 0 ? 1 : 0;
+        w.image.fillGlobal(maskBase, mask);
+    }
+    w.image.fillGlobal(costBase, quantizedInts(nodesN, 16, 0x8c03));
+
+    KernelBuilder b("bfs_step", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg mAddr = wordAddr(b, gid, static_cast<u32>(maskBase));
+    Reg inFrontier = b.ldg(use(mAddr));
+
+    Reg cAddr = wordAddr(b, gid, static_cast<u32>(costBase));
+    Reg myCost = b.ldg(use(cAddr));
+    // All frontier nodes carry the same BFS level, so concurrent
+    // stores to a shared neighbor are benign (order-independent), as
+    // in the real kernel. The per-node cost load still contributes
+    // memory traffic.
+    Reg masked = b.iand(use(myCost), Operand::imm(0));
+    Reg newCost = b.iadd(use(masked), Operand::imm(8));
+
+    b.iff(use(inFrontier));
+    {
+        Reg eBase = b.imul(use(gid), Operand::imm(degree));
+        for (unsigned e = 0; e < degree; e++) {
+            Reg eIdx = b.iadd(use(eBase), Operand::imm(e));
+            Reg eAddr = wordAddr(b, eIdx, static_cast<u32>(edgeBase));
+            Reg nbr = b.ldg(use(eAddr));
+            Reg oAddr = wordAddr(b, nbr,
+                                 static_cast<u32>(w.outputBase));
+            b.stg(use(oAddr), use(newCost));
+        }
+    }
+    b.endIf();
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * NW -- Needleman-Wunsch (Rodinia). One anti-diagonal DP sweep in
+ * the scratchpad: score = max(nw + sub, max(n, w) - penalty). The
+ * BLOSUM-style substitution values take few distinct values, so the
+ * max-chains repeat (mid/upper reusability). Integer only.
+ */
+Workload
+makeNW()
+{
+    constexpr unsigned tile = 32;
+    constexpr unsigned blocks = 48;
+
+    Workload w;
+    w.name = "nw";
+    w.abbr = "NW";
+    Addr subBase = w.image.allocGlobal(blocks * tile * tile * 4);
+    w.outputBase = w.image.allocGlobal(blocks * tile * tile * 4);
+    w.outputBytes = blocks * tile * tile * 4;
+    w.image.fillGlobal(subBase,
+                       quantizedInts(blocks * tile * tile, 5, 0x8c04));
+
+    KernelBuilder b("nw_diag", {tile, 1}, {blocks, 1});
+    // DP matrix (tile+1)^2 in scratch.
+    constexpr unsigned pitch = tile + 1;
+    b.setScratchBytes(pitch * pitch * 4);
+
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg tileBase = b.imul(use(blk), Operand::imm(tile * tile));
+
+    // Initialize first row and column: cell = -index.
+    Reg zero = b.immReg(0);
+    Reg negTid = b.isub(use(zero), use(tid));
+    Reg rowAddr = b.shl(use(tid), Operand::imm(2));
+    b.sts(use(rowAddr), use(negTid));
+    Reg colIdx = b.imul(use(tid), Operand::imm(pitch));
+    Reg colAddr = b.shl(use(colIdx), Operand::imm(2));
+    b.sts(use(colAddr), use(negTid));
+    b.bar();
+
+    // Anti-diagonal wavefront: diagonal d activates threads 0..d.
+    for (unsigned d = 0; d < tile; d++) {
+        Reg dReg = b.immReg(d);
+        Reg activeT = b.emit(Op::ISETLE, use(tid), use(dReg));
+        b.iff(use(activeT));
+        {
+            // cell (i, j) = (tid+1, d-tid+1) in the DP matrix.
+            Reg i = b.iadd(use(tid), Operand::imm(1));
+            Reg j = b.isub(use(dReg), use(tid));
+            Reg j1 = b.iadd(use(j), Operand::imm(1));
+            Reg ijIdx = b.imad(use(i), Operand::imm(pitch), use(j1));
+            Reg nwIdx = b.isub(use(ijIdx), Operand::imm(pitch + 1));
+            Reg nIdx = b.isub(use(ijIdx), Operand::imm(pitch));
+            Reg wIdx = b.isub(use(ijIdx), Operand::imm(1));
+            Reg nwAddr = b.shl(use(nwIdx), Operand::imm(2));
+            Reg nAddr = b.shl(use(nIdx), Operand::imm(2));
+            Reg wAddr = b.shl(use(wIdx), Operand::imm(2));
+            Reg vnw = b.lds(use(nwAddr));
+            Reg vn = b.lds(use(nAddr));
+            Reg vw = b.lds(use(wAddr));
+
+            Reg subIdx = b.imad(use(tid), Operand::imm(tile), use(j));
+            Reg subIdx2 = b.iadd(use(subIdx), use(tileBase));
+            Reg sAddr = wordAddr(b, subIdx2,
+                                 static_cast<u32>(subBase));
+            Reg sub = b.ldg(use(sAddr));
+
+            Reg diag = b.iadd(use(vnw), use(sub));
+            Reg side = b.emit(Op::IMAX, use(vn), use(vw));
+            Reg sideP = b.isub(use(side), Operand::imm(1));
+            Reg score = b.emit(Op::IMAX, use(diag), use(sideP));
+            Reg cAddr = b.shl(use(ijIdx), Operand::imm(2));
+            b.sts(use(cAddr), use(score));
+        }
+        b.endIf();
+        b.bar();
+    }
+
+    // Write the DP interior back.
+    Reg i = b.iadd(use(tid), Operand::imm(1));
+    for (unsigned j = 0; j < tile; j++) {
+        Reg ijIdx = b.imad(use(i), Operand::imm(pitch),
+                           Operand::imm(j + 1));
+        Reg sAddr = b.shl(use(ijIdx), Operand::imm(2));
+        Reg v = b.lds(use(sAddr));
+        Reg oIdx = b.imad(use(tid), Operand::imm(tile),
+                          Operand::imm(j));
+        Reg oIdx2 = b.iadd(use(oIdx), use(tileBase));
+        Reg oAddr = wordAddr(b, oIdx2,
+                             static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(v));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * PF -- pathfinder (Rodinia). Dynamic-programming row relaxation:
+ * next[j] = cost[j] + min(prev[j-1], prev[j], prev[j+1]). Costs are
+ * quantized to 4 levels, so min-chains repeat heavily across blocks
+ * (top-5 reusability). Integer only.
+ */
+Workload
+makePF()
+{
+    constexpr unsigned cols = 8192;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = cols / threads;
+    constexpr unsigned steps = 4;
+
+    Workload w;
+    w.name = "pathfinder";
+    w.abbr = "PF";
+    Addr costBase = w.image.allocGlobal(steps * cols * 4);
+    Addr prevBase = w.image.allocGlobal(cols * 4);
+    w.outputBase = w.image.allocGlobal(cols * 4);
+    w.outputBytes = cols * 4;
+    w.image.fillGlobal(costBase,
+                       flatRegions(steps * cols, 4, 128, 0x8c05));
+    w.image.fillGlobal(prevBase, flatRegions(cols, 4, 128, 0x8c06));
+
+    KernelBuilder b("pathfinder", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+
+    Reg acc = b.alloc();
+    {
+        Reg pAddr = wordAddr(b, gid, static_cast<u32>(prevBase));
+        Reg p = b.ldg(use(pAddr));
+        b.movInto(acc, use(p));
+    }
+    for (unsigned s = 0; s < steps; s++) {
+        // Clamped neighbors from the previous row.
+        Reg lIdx = b.isub(use(gid), Operand::imm(1));
+        Reg zero = b.immReg(0);
+        lIdx = b.emit(Op::IMAX, use(lIdx), use(zero));
+        Reg rIdx = b.iadd(use(gid), Operand::imm(1));
+        Reg top = b.immReg(cols - 1);
+        rIdx = b.emit(Op::IMIN, use(rIdx), use(top));
+        Reg lAddr = wordAddr(b, lIdx, static_cast<u32>(prevBase));
+        Reg left = b.ldg(use(lAddr));
+        Reg rAddr = wordAddr(b, rIdx, static_cast<u32>(prevBase));
+        Reg right = b.ldg(use(rAddr));
+
+        Reg m = b.emit(Op::IMIN, use(left), use(right));
+        m = b.emit(Op::IMIN, use(m), use(acc));
+        Reg cIdx = b.iadd(use(gid), Operand::imm(s * cols));
+        Reg cAddr = wordAddr(b, cIdx, static_cast<u32>(costBase));
+        Reg cost = b.ldg(use(cAddr));
+        b.emitInto(acc, Op::IADD, use(m), use(cost));
+    }
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SD -- sad (Parboil). Sum of absolute differences between a current
+ * and a reference macroblock row. Frames quantized to 16 levels;
+ * integer heavy, moderate-low reusability.
+ */
+Workload
+makeSD()
+{
+    constexpr unsigned mbs = 6144;
+    constexpr unsigned span = 8;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = mbs / threads;
+
+    Workload w;
+    w.name = "sad";
+    w.abbr = "SD";
+    Addr curBase = w.image.allocGlobal(mbs * span * 4);
+    Addr refBase = w.image.allocGlobal(mbs * span * 4);
+    w.outputBase = w.image.allocGlobal(mbs * 4);
+    w.outputBytes = mbs * 4;
+    w.image.fillGlobal(curBase,
+                       quantizedInts(mbs * span, 16, 0x8c07));
+    w.image.fillGlobal(refBase,
+                       quantizedInts(mbs * span, 16, 0x8c08));
+
+    KernelBuilder b("sad8", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg rowBase = b.imul(use(gid), Operand::imm(span));
+
+    Reg acc = b.immReg(0);
+    for (unsigned i = 0; i < span; i++) {
+        Reg idx = b.iadd(use(rowBase), Operand::imm(i));
+        Reg cAddr = wordAddr(b, idx, static_cast<u32>(curBase));
+        Reg cur = b.ldg(use(cAddr));
+        Reg rAddr = wordAddr(b, idx, static_cast<u32>(refBase));
+        Reg ref = b.ldg(use(rAddr));
+        Reg d = b.isub(use(cur), use(ref));
+        Reg ad = b.emit(Op::IABS, use(d));
+        Reg nacc = b.iadd(use(acc), use(ad));
+        acc = nacc;
+    }
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SN -- scan (SDK). Work-efficient Blelloch scan over a 256-element
+ * scratchpad tile (up-sweep + down-sweep with barriers). Random
+ * integers make partial sums unique (bottom-half reusability).
+ */
+Workload
+makeSN()
+{
+    constexpr unsigned blocks = 72;
+    constexpr unsigned n = 256;
+    constexpr unsigned threads = n / 2;
+
+    Workload w;
+    w.name = "scan";
+    w.abbr = "SN";
+    Addr inBase = w.image.allocGlobal(blocks * n * 4);
+    w.outputBase = w.image.allocGlobal(blocks * n * 4);
+    w.outputBytes = blocks * n * 4;
+    w.image.fillGlobal(inBase, randomInts(blocks * n, 0x8c09));
+
+    KernelBuilder b("scan_block", {threads, 1}, {blocks, 1});
+    b.setScratchBytes(n * 4);
+
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg gbase = b.imul(use(blk), Operand::imm(n));
+
+    for (unsigned half = 0; half < 2; half++) {
+        Reg lidx = b.iadd(use(tid), Operand::imm(half * threads));
+        Reg gidx = b.iadd(use(gbase), use(lidx));
+        Reg gaddr = wordAddr(b, gidx, static_cast<u32>(inBase));
+        Reg v = b.ldg(use(gaddr));
+        // Keep values small so scans do not overflow.
+        Reg vm = b.iand(use(v), Operand::imm(0xffff));
+        Reg saddr = b.shl(use(lidx), Operand::imm(2));
+        b.sts(use(saddr), use(vm));
+    }
+    b.bar();
+
+    // Up-sweep.
+    for (unsigned stride = 1; stride < n; stride *= 2) {
+        Reg limit = b.immReg(n / (2 * stride));
+        Reg activeT = b.emit(Op::ISETLT, use(tid), use(limit));
+        b.iff(use(activeT));
+        {
+            // ai = stride*(2*tid+1) - 1, bi = stride*(2*tid+2) - 1
+            Reg t2 = b.shl(use(tid), Operand::imm(1));
+            Reg aMul = b.iadd(use(t2), Operand::imm(1));
+            Reg ai = b.imad(use(aMul), Operand::imm(stride),
+                            Operand::imm(~u32{0}));
+            Reg bMul = b.iadd(use(t2), Operand::imm(2));
+            Reg bi = b.imad(use(bMul), Operand::imm(stride),
+                            Operand::imm(~u32{0}));
+            Reg aAddr = b.shl(use(ai), Operand::imm(2));
+            Reg bAddr = b.shl(use(bi), Operand::imm(2));
+            Reg av = b.lds(use(aAddr));
+            Reg bv = b.lds(use(bAddr));
+            Reg sum = b.iadd(use(av), use(bv));
+            b.sts(use(bAddr), use(sum));
+        }
+        b.endIf();
+        b.bar();
+    }
+
+    // Down-sweep (exclusive scan propagation), simplified: shift the
+    // reduction results down one level per stage.
+    for (unsigned stride = n / 4; stride >= 1; stride /= 2) {
+        Reg limit = b.immReg(n / (2 * stride) - 1);
+        Reg activeT = b.emit(Op::ISETLT, use(tid), use(limit));
+        b.iff(use(activeT));
+        {
+            // ai = stride*(2*tid+2) - 1, bi = ai + stride
+            Reg t2 = b.shl(use(tid), Operand::imm(1));
+            Reg aMul = b.iadd(use(t2), Operand::imm(2));
+            Reg ai = b.imad(use(aMul), Operand::imm(stride),
+                            Operand::imm(~u32{0}));
+            Reg bi = b.iadd(use(ai), Operand::imm(stride));
+            Reg aAddr = b.shl(use(ai), Operand::imm(2));
+            Reg bAddr = b.shl(use(bi), Operand::imm(2));
+            Reg av = b.lds(use(aAddr));
+            Reg bv = b.lds(use(bAddr));
+            Reg sum = b.iadd(use(av), use(bv));
+            b.sts(use(bAddr), use(sum));
+        }
+        b.endIf();
+        b.bar();
+        if (stride == 1)
+            break;
+    }
+
+    for (unsigned half = 0; half < 2; half++) {
+        Reg lidx = b.iadd(use(tid), Operand::imm(half * threads));
+        Reg saddr = b.shl(use(lidx), Operand::imm(2));
+        Reg v = b.lds(use(saddr));
+        Reg gidx = b.iadd(use(gbase), use(lidx));
+        Reg gaddr = wordAddr(b, gidx,
+                             static_cast<u32>(w.outputBase));
+        b.stg(use(gaddr), use(v));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * DX -- dxtc (SDK). DXT color compression: each thread reduces its
+ * 16-texel block to min/max colors and quantizes texels against the
+ * derived palette. 64-level colors (photographic), %FP ~ 43.
+ */
+Workload
+makeDX()
+{
+    constexpr unsigned texBlocks = 6144;
+    constexpr unsigned texels = 8;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = texBlocks / threads;
+
+    Workload w;
+    w.name = "dxtc";
+    w.abbr = "DX";
+    Addr inBase = w.image.allocGlobal(texBlocks * texels * 4);
+    w.outputBase = w.image.allocGlobal(texBlocks * 2 * 4);
+    w.outputBytes = texBlocks * 2 * 4;
+    w.image.fillGlobal(inBase,
+                       quantizedFloats(texBlocks * texels, 64,
+                                       0.f, 1.f, 0x8c0a));
+
+    KernelBuilder b("dxtc", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg base = b.imul(use(gid), Operand::imm(texels));
+
+    Reg lo = b.immRegF(1.0e30f);
+    Reg hi = b.immRegF(-1.0e30f);
+    for (unsigned t = 0; t < texels; t++) {
+        Reg idx = b.iadd(use(base), Operand::imm(t));
+        Reg addr = wordAddr(b, idx, static_cast<u32>(inBase));
+        Reg v = b.ldg(use(addr));
+        Reg nlo = b.emit(Op::FMIN, use(lo), use(v));
+        Reg nhi = b.emit(Op::FMAX, use(hi), use(v));
+        lo = nlo;
+        hi = nhi;
+    }
+    // Palette endpoints scaled to 5-bit precision.
+    Reg range = b.fsub(use(hi), use(lo));
+    Reg scale = b.fmul(use(range), Operand::immF(31.0f));
+    Reg loScaled = b.fmul(use(lo), Operand::immF(31.0f));
+    Reg qlo = b.emit(Op::F2I, use(loScaled));
+    Reg qhi = b.emit(Op::F2I, use(scale));
+
+    Reg oIdx = b.shl(use(gid), Operand::imm(1));
+    Reg oAddr = wordAddr(b, oIdx, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(qlo));
+    Reg oIdx2 = b.iadd(use(oIdx), Operand::imm(1));
+    Reg oAddr2 = wordAddr(b, oIdx2, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr2), use(qhi));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+} // namespace factories
+} // namespace wir

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Linear-algebra benchmarks of Table I: GA, LU, SG, MQ, CU, SV, KM.
+ */
+
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+/**
+ * GA -- gaussian (Rodinia). The Fan2 elimination step:
+ * a[i][j] -= m[i] * a[k][j] over the trailing submatrix. The matrix
+ * is quantized to 4 levels, so the per-row multipliers and most
+ * products repeat across blocks (GA ranks near the top of Fig. 2);
+ * %FP ~ 2 -- almost all dynamic instructions are 2-D index math.
+ */
+Workload
+makeGA()
+{
+    constexpr unsigned n = 160;     // matrix dimension (5 warps/row)
+    constexpr unsigned k = 8;       // pivot row of this step
+    constexpr unsigned blocks = n - k - 1;
+
+    Workload w;
+    w.name = "gaussian";
+    w.abbr = "GA";
+    Addr aBase = w.image.allocGlobal(n * n * 4);
+    Addr mBase = w.image.allocGlobal(n * 4);
+    w.outputBase = aBase;
+    w.outputBytes = n * n * 4;
+    w.image.fillGlobal(aBase,
+                       quantizedFloats(n * n, 4, 1.f, 4.f, 0x6a01));
+    w.image.fillGlobal(mBase,
+                       quantizedFloats(n, 4, 0.25f, 1.f, 0x6a02));
+
+    // One block per updated row; thread j updates column j.
+    KernelBuilder b("fan2", {n, 1}, {blocks, 1});
+
+    Reg j = b.s2r(SpecialReg::TidX);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg i = b.iadd(use(blk), Operand::imm(k + 1));
+
+    Reg mAddr = wordAddr(b, i, static_cast<u32>(mBase));
+    Reg m = b.ldg(use(mAddr));
+    Reg kIdx = b.iadd(use(j), Operand::imm(k * n));
+    Reg kAddr = wordAddr(b, kIdx, static_cast<u32>(aBase));
+    Reg akj = b.ldg(use(kAddr));
+    Reg ijIdx = b.imad(use(i), Operand::imm(n), use(j));
+    Reg ijAddr = wordAddr(b, ijIdx, static_cast<u32>(aBase));
+    Reg aij = b.ldg(use(ijAddr));
+
+    Reg prod = b.fmul(use(m), use(akj));
+    Reg res = b.fsub(use(aij), use(prod));
+    b.stg(use(ijAddr), use(res));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * LU -- lud (Rodinia). The perimeter/internal update of one tile:
+ * each thread accumulates -sum(l[i][t]*u[t][j]) over the tile's
+ * leading dimension from the scratchpad. Quantized input (8 levels);
+ * %FP ~ 19.
+ */
+Workload
+makeLU()
+{
+    constexpr unsigned tile = 16;
+    constexpr unsigned tiles = 48;
+    constexpr unsigned words = tiles * tile * tile;
+
+    Workload w;
+    w.name = "lud";
+    w.abbr = "LU";
+    Addr lBase = w.image.allocGlobal(words * 4);
+    Addr uBase = w.image.allocGlobal(words * 4);
+    w.outputBase = w.image.allocGlobal(words * 4);
+    w.outputBytes = words * 4;
+    w.image.fillGlobal(lBase,
+                       quantizedFloats(words, 8, -1.f, 1.f, 0x6a03));
+    w.image.fillGlobal(uBase,
+                       quantizedFloats(words, 8, -1.f, 1.f, 0x6a04));
+
+    KernelBuilder b("lud_internal", {tile * tile, 1}, {tiles, 1});
+    b.setScratchBytes(2 * tile * tile * 4);
+
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg tileBase = b.imul(use(blk), Operand::imm(tile * tile));
+
+    // Stage this tile's L and U panels into the scratchpad.
+    Reg gIdx = b.iadd(use(tileBase), use(tid));
+    Reg lAddr = wordAddr(b, gIdx, static_cast<u32>(lBase));
+    Reg lv = b.ldg(use(lAddr));
+    Reg sAddrL = b.shl(use(tid), Operand::imm(2));
+    b.sts(use(sAddrL), use(lv));
+    Reg uAddr = wordAddr(b, gIdx, static_cast<u32>(uBase));
+    Reg uv = b.ldg(use(uAddr));
+    Reg uOff = b.iadd(use(tid), Operand::imm(tile * tile));
+    Reg sAddrU = b.shl(use(uOff), Operand::imm(2));
+    b.sts(use(sAddrU), use(uv));
+    b.bar();
+
+    Reg i = b.shr(use(tid), Operand::imm(4)); // row
+    Reg j = b.iand(use(tid), Operand::imm(15)); // col
+    Reg rowBase = b.imul(use(i), Operand::imm(tile));
+
+    Reg acc = b.immRegF(0.0f);
+    for (unsigned t = 0; t < tile; t++) {
+        Reg lIdx = b.iadd(use(rowBase), Operand::imm(t));
+        Reg lsAddr = b.shl(use(lIdx), Operand::imm(2));
+        Reg l = b.lds(use(lsAddr));
+        Reg uIdx = b.iadd(use(j),
+                          Operand::imm(tile * tile + t * tile));
+        Reg usAddr = b.shl(use(uIdx), Operand::imm(2));
+        Reg u = b.lds(use(usAddr));
+        Reg nacc = b.ffma(use(l), use(u), use(acc));
+        acc = nacc;
+    }
+    Reg neg = b.emit(Op::FNEG, use(acc));
+
+    Reg oIdx = b.iadd(use(tileBase), use(tid));
+    Reg oAddr = wordAddr(b, oIdx, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(neg));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SG -- sgemm (Parboil). Classic scratchpad-tiled matrix multiply:
+ * 16x16 thread blocks stage A and B tiles and run the inner-product
+ * loop from the scratchpad. 32-level quantized matrices give
+ * moderate redundancy; %FP ~ 69.
+ */
+Workload
+makeSG()
+{
+    constexpr unsigned tile = 16;
+    constexpr unsigned matN = 64;      // C is matN x matN
+    constexpr unsigned matK = 64;
+    constexpr unsigned gridSide = matN / tile;
+
+    Workload w;
+    w.name = "sgemm";
+    w.abbr = "SG";
+    Addr aBase = w.image.allocGlobal(matN * matK * 4);
+    Addr bBase = w.image.allocGlobal(matK * matN * 4);
+    w.outputBase = w.image.allocGlobal(matN * matN * 4);
+    w.outputBytes = matN * matN * 4;
+    w.image.fillGlobal(aBase, quantizedFloats(matN * matK, 32,
+                                              -2.f, 2.f, 0x6a05));
+    w.image.fillGlobal(bBase, quantizedFloats(matK * matN, 32,
+                                              -2.f, 2.f, 0x6a06));
+
+    KernelBuilder b("sgemm_tiled", {tile, tile},
+                    {gridSide, gridSide});
+    b.setScratchBytes(2 * tile * tile * 4);
+
+    Reg tx = b.s2r(SpecialReg::TidX);
+    Reg ty = b.s2r(SpecialReg::TidY);
+    Reg bx = b.s2r(SpecialReg::CtaIdX);
+    Reg by = b.s2r(SpecialReg::CtaIdY);
+
+    Reg rowC = b.imad(use(by), Operand::imm(tile), use(ty));
+    Reg colC = b.imad(use(bx), Operand::imm(tile), use(tx));
+    Reg tIdx = b.imad(use(ty), Operand::imm(tile), use(tx));
+    Reg sAddrA = b.shl(use(tIdx), Operand::imm(2));
+    Reg tIdxB = b.iadd(use(tIdx), Operand::imm(tile * tile));
+    Reg sAddrB = b.shl(use(tIdxB), Operand::imm(2));
+
+    Reg acc = b.immRegF(0.0f);
+    for (unsigned kt = 0; kt < matK / tile; kt++) {
+        // A[rowC][kt*tile + tx], B[kt*tile + ty][colC]
+        Reg aIdx = b.imad(use(rowC), Operand::imm(matK), use(tx));
+        Reg aIdx2 = b.iadd(use(aIdx), Operand::imm(kt * tile));
+        Reg aAddr = wordAddr(b, aIdx2, static_cast<u32>(aBase));
+        Reg av = b.ldg(use(aAddr));
+        b.sts(use(sAddrA), use(av));
+
+        Reg bRow = b.iadd(use(ty), Operand::imm(kt * tile));
+        Reg bIdx = b.imad(use(bRow), Operand::imm(matN), use(colC));
+        Reg bAddr = wordAddr(b, bIdx, static_cast<u32>(bBase));
+        Reg bv = b.ldg(use(bAddr));
+        b.sts(use(sAddrB), use(bv));
+        b.bar();
+
+        for (unsigned t = 0; t < tile; t++) {
+            Reg aIdxS = b.imad(use(ty), Operand::imm(tile),
+                               Operand::imm(t));
+            Reg aS = b.shl(use(aIdxS), Operand::imm(2));
+            Reg a = b.lds(use(aS));
+            Reg bOffS = b.iadd(use(tx),
+                               Operand::imm(tile * tile + t * tile));
+            Reg bS = b.shl(use(bOffS), Operand::imm(2));
+            Reg bb = b.lds(use(bS));
+            Reg nacc = b.ffma(use(a), use(bb), use(acc));
+            acc = nacc;
+        }
+        b.bar();
+    }
+
+    Reg cIdx = b.imad(use(rowC), Operand::imm(matN), use(colC));
+    Reg cAddr = wordAddr(b, cIdx, static_cast<u32>(w.outputBase));
+    b.stg(use(cAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * MQ -- mri-q (Parboil). The ComputeQ kernel: each thread sweeps the
+ * k-space sample table (uniform loads shared by every thread) and
+ * accumulates phi*cos/sin of the phase. SFU-heavy, %FP ~ 64; the
+ * shared sample table repeats across warps and blocks.
+ */
+Workload
+makeMQ()
+{
+    constexpr unsigned blocks = 40;
+    constexpr unsigned threads = 128;
+    constexpr unsigned kPoints = 48;
+
+    Workload w;
+    w.name = "mri-q";
+    w.abbr = "MQ";
+    Addr kBase = w.image.allocGlobal(kPoints * 2 * 4); // (kx, phi)
+    Addr xBase = w.image.allocGlobal(blocks * threads * 4);
+    w.outputBase = w.image.allocGlobal(blocks * threads * 2 * 4);
+    w.outputBytes = blocks * threads * 2 * 4;
+    w.image.fillGlobal(kBase, quantizedFloats(kPoints * 2, 16,
+                                              -1.f, 1.f, 0x6a07));
+    w.image.fillGlobal(xBase, quantizedFloats(blocks * threads, 64,
+                                              -4.f, 4.f, 0x6a08));
+
+    KernelBuilder b("computeQ", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg xAddr = wordAddr(b, gid, static_cast<u32>(xBase));
+    Reg x = b.ldg(use(xAddr));
+
+    Reg qr = b.immRegF(0.0f);
+    Reg qi = b.immRegF(0.0f);
+    Reg j = b.immReg(0);
+    Reg limit = b.immReg(kPoints);
+    b.loopBegin();
+    {
+        Reg more = b.emit(Op::ISETLT, use(j), use(limit));
+        b.loopBreakIfZero(use(more));
+        Reg kIdx = b.shl(use(j), Operand::imm(1));
+        Reg kAddr = wordAddr(b, kIdx, static_cast<u32>(kBase));
+        Reg kx = b.ldg(use(kAddr));
+        Reg pIdx = b.iadd(use(kIdx), Operand::imm(1));
+        Reg pAddr = wordAddr(b, pIdx, static_cast<u32>(kBase));
+        Reg phi = b.ldg(use(pAddr));
+
+        Reg phase = b.fmul(use(kx), use(x));
+        Reg c = b.emit(Op::FCOS, use(phase));
+        Reg s = b.emit(Op::FSIN, use(phase));
+        b.emitInto(qr, Op::FFMA, use(phi), use(c), use(qr));
+        b.emitInto(qi, Op::FFMA, use(phi), use(s), use(qi));
+        b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+    }
+    b.loopEnd();
+
+    Reg oIdx = b.shl(use(gid), Operand::imm(1));
+    Reg oAddr = wordAddr(b, oIdx, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(qr));
+    Reg oIdx2 = b.iadd(use(oIdx), Operand::imm(1));
+    Reg oAddr2 = wordAddr(b, oIdx2, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr2), use(qi));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * CU -- cutcp (Parboil). Cutoff Coulomb potential: each thread sums
+ * q/r over an atom list with an in-cutoff test. Atom coordinates
+ * snap to a coarse lattice, so distance terms repeat across blocks;
+ * %FP ~ 74 with FRSQRT on the SFU.
+ */
+Workload
+makeCU()
+{
+    constexpr unsigned blocks = 40;
+    constexpr unsigned threads = 128;
+    constexpr unsigned atoms = 40;
+
+    Workload w;
+    w.name = "cutcp";
+    w.abbr = "CU";
+    Addr atomBase = w.image.allocGlobal(atoms * 2 * 4); // (x, q)
+    w.outputBase = w.image.allocGlobal(blocks * threads * 4);
+    w.outputBytes = blocks * threads * 4;
+    w.image.fillGlobal(atomBase, quantizedFloats(atoms * 2, 8,
+                                                 0.5f, 8.f, 0x6a09));
+
+    KernelBuilder b("cutcp", {threads, 1}, {blocks, 1});
+
+    // Lattice point coordinate: unique per warp (as real lattice
+    // points are), snapped to 4-point cells. The reuse CU does get
+    // comes from the shared atom-table fetches and the uniform loop
+    // bookkeeping, which places it mid-table as in Fig. 2.
+    Reg gid0 = globalThreadId(b);
+    Reg cell = b.iand(use(gid0), Operand::imm(~3u));
+    Reg px = b.emit(Op::I2F, use(cell));
+
+    Reg acc = b.immRegF(0.0f);
+    Reg j = b.immReg(0);
+    Reg limit = b.immReg(atoms);
+    Reg cutoff = b.immRegF(16.0f); // hoisted loop invariants
+    Reg zero = b.immRegF(0.0f);
+    b.loopBegin();
+    {
+        Reg more = b.emit(Op::ISETLT, use(j), use(limit));
+        b.loopBreakIfZero(use(more));
+        Reg aIdx = b.shl(use(j), Operand::imm(1));
+        Reg aAddr = wordAddr(b, aIdx, static_cast<u32>(atomBase));
+        Reg ax = b.ldg(use(aAddr));
+        Reg qIdx = b.iadd(use(aIdx), Operand::imm(1));
+        Reg qAddr = wordAddr(b, qIdx, static_cast<u32>(atomBase));
+        Reg q = b.ldg(use(qAddr));
+
+        Reg dx = b.fsub(use(px), use(ax));
+        Reg r2 = b.fmul(use(dx), use(dx));
+        Reg r2e = b.fadd(use(r2), Operand::immF(0.01f));
+        Reg rinv = b.emit(Op::FRSQRT, use(r2e));
+        Reg term = b.fmul(use(q), use(rinv));
+        // In-cutoff test: r2 < 16.0 ? term : 0.
+        Reg inCut = b.emit(Op::FSETLT, use(r2e), use(cutoff));
+        Reg sel = b.emit(Op::SELP, use(term), use(zero), use(inCut));
+        b.emitInto(acc, Op::FADD, use(acc), use(sel));
+        b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+    }
+    b.loopEnd();
+
+    Reg gid = globalThreadId(b);
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SV -- spmv (Parboil). CSR sparse matrix-vector product: one thread
+ * per row walks its nonzeros through index indirection. Values are
+ * quantized but column indices are irregular; %FP ~ 6 (dominated by
+ * pointer chasing).
+ */
+Workload
+makeSV()
+{
+    constexpr unsigned rows = 4096;
+    constexpr unsigned nnzPerRow = 8;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = rows / threads;
+    constexpr unsigned nnz = rows * nnzPerRow;
+
+    Workload w;
+    w.name = "spmv";
+    w.abbr = "SV";
+    Addr valBase = w.image.allocGlobal(nnz * 4);
+    Addr colBase = w.image.allocGlobal(nnz * 4);
+    Addr vecBase = w.image.allocGlobal(rows * 4);
+    w.outputBase = w.image.allocGlobal(rows * 4);
+    w.outputBytes = rows * 4;
+    {
+        // Values repeat with the same 64-row period as the patterns.
+        std::vector<u32> vpat =
+            quantizedFloats(64 * nnzPerRow, 8, -1.f, 1.f, 0x6a0a);
+        std::vector<u32> vals(nnz);
+        for (unsigned r = 0; r < rows; r++) {
+            for (unsigned e = 0; e < nnzPerRow; e++)
+                vals[r * nnzPerRow + e] =
+                    vpat[(r % 64) * nnzPerRow + e];
+        }
+        w.image.fillGlobal(valBase, vals);
+    }
+    {
+        // 64 distinct sparsity patterns: rows repeat structurally,
+        // as banded/stencil matrices do, so row computations repeat
+        // across warps once values are shared through the VSB.
+        Rng rng(0x6a0b);
+        std::vector<u32> pattern(64 * nnzPerRow);
+        for (auto &c : pattern)
+            c = rng.below(rows);
+        std::vector<u32> cols(nnz);
+        for (unsigned r = 0; r < rows; r++) {
+            for (unsigned e = 0; e < nnzPerRow; e++)
+                cols[r * nnzPerRow + e] =
+                    pattern[(r % 64) * nnzPerRow + e];
+        }
+        w.image.fillGlobal(colBase, cols);
+    }
+    w.image.fillGlobal(vecBase,
+                       quantizedFloats(rows, 8, -1.f, 1.f, 0x6a0c));
+
+    KernelBuilder b("spmv_csr", {threads, 1}, {blocks, 1});
+
+    Reg row = globalThreadId(b);
+    Reg nzBase = b.imul(use(row), Operand::imm(nnzPerRow));
+
+    Reg acc = b.immRegF(0.0f);
+    for (unsigned e = 0; e < nnzPerRow; e++) {
+        Reg nzIdx = b.iadd(use(nzBase), Operand::imm(e));
+        Reg cAddr = wordAddr(b, nzIdx, static_cast<u32>(colBase));
+        Reg col = b.ldg(use(cAddr));
+        Reg vAddr = wordAddr(b, nzIdx, static_cast<u32>(valBase));
+        Reg val = b.ldg(use(vAddr));
+        Reg xAddr = wordAddr(b, col, static_cast<u32>(vecBase));
+        Reg x = b.ldg(use(xAddr));
+        Reg nacc = b.ffma(use(val), use(x), use(acc));
+        acc = nacc;
+    }
+
+    Reg oAddr = wordAddr(b, row, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * KM -- kmeans (Rodinia). Nearest-centroid assignment: each thread
+ * computes squared distances from its feature vector to every
+ * centroid (centroids in constant memory) and stores the argmin.
+ * Deliberately cache-sensitive: the feature array is strided so the
+ * working set contends for the L1, matching the paper's observation
+ * that KM's cache behaviour is fragile; %FP ~ 18.
+ */
+Workload
+makeKM()
+{
+    constexpr unsigned points = 3072;
+    constexpr unsigned features = 8;
+    constexpr unsigned clusters = 5;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = points / threads;
+
+    Workload w;
+    w.name = "kmeans";
+    w.abbr = "KM";
+    Addr featBase = w.image.allocGlobal(points * features * 4);
+    w.outputBase = w.image.allocGlobal(points * 4);
+    w.outputBytes = points * 4;
+    w.image.fillGlobal(featBase,
+                       quantizedFloats(points * features, 16,
+                                       0.f, 1.f, 0x6a0d));
+
+    KernelBuilder b("kmeans_assign", {threads, 1}, {blocks, 1});
+
+    std::vector<u32> centroids(clusters * features);
+    {
+        Rng rng(0x6a0e);
+        for (auto &c : centroids)
+            c = asBits(rng.nextFloat());
+    }
+    u32 centBase = b.addConst(centroids);
+
+    Reg pid = globalThreadId(b);
+
+    Reg best = b.immRegF(1.0e30f);
+    Reg bestIdx = b.immReg(0);
+    for (unsigned c = 0; c < clusters; c++) {
+        Reg dist = b.immRegF(0.0f);
+        for (unsigned f = 0; f < features; f++) {
+            // Feature-major layout: feat[f * points + pid] (strided,
+            // cache-hostile like the real kernel's transposed array).
+            Reg fIdx = b.iadd(use(pid),
+                              Operand::imm(f * points));
+            Reg fAddr = wordAddr(b, fIdx, static_cast<u32>(featBase));
+            Reg fv = b.ldg(use(fAddr));
+            Reg cv = b.ldc(Operand::imm(centBase +
+                                        (c * features + f) * 4));
+            Reg d = b.fsub(use(fv), use(cv));
+            Reg nd = b.ffma(use(d), use(d), use(dist));
+            dist = nd;
+        }
+        Reg closer = b.emit(Op::FSETLT, use(dist), use(best));
+        Reg cIdx = b.immReg(c);
+        Reg nBest = b.emit(Op::SELP, use(dist), use(best),
+                           use(closer));
+        Reg nBestIdx = b.emit(Op::SELP, use(cIdx), use(bestIdx),
+                              use(closer));
+        best = nBest;
+        bestIdx = nBestIdx;
+    }
+
+    Reg oAddr = wordAddr(b, pid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(bestIdx));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+} // namespace factories
+} // namespace wir

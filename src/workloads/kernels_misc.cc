@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Remaining benchmarks of Table I: BP, CF, SC.
+ */
+
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+/**
+ * BP -- backprop (Rodinia). The layer-forward kernel: a 16x16 thread
+ * block stages input activations in the scratchpad and accumulates
+ * w[i][j]*in[i] partial sums. Weights quantized to 4 levels and
+ * activations to 8 make the products heavily repeated (top-5
+ * reusability); %FP ~ 15.
+ */
+Workload
+makeBP()
+{
+    constexpr unsigned tile = 16;
+    constexpr unsigned blocks = 56;
+    constexpr unsigned inputs = blocks * tile;
+
+    Workload w;
+    w.name = "backprop";
+    w.abbr = "BP";
+    Addr inBase = w.image.allocGlobal(inputs * 4);
+    Addr wBase = w.image.allocGlobal(inputs * tile * 4);
+    w.outputBase = w.image.allocGlobal(inputs * tile * 4);
+    w.outputBytes = inputs * tile * 4;
+    w.image.fillGlobal(inBase,
+                       flatRegionsF(inputs, 8, 16, 0.f, 1.f, 0xae01));
+    w.image.fillGlobal(wBase,
+                       flatRegionsF(inputs * tile, 4, 32,
+                                    -0.5f, 0.5f, 0xae02));
+
+    KernelBuilder b("bp_layerforward", {tile, tile}, {blocks, 1});
+    b.setScratchBytes(tile * 4);
+
+    Reg tx = b.s2r(SpecialReg::TidX);
+    Reg ty = b.s2r(SpecialReg::TidY);
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+
+    // Row 0 stages the activation slice.
+    Reg zero = b.immReg(0);
+    Reg isRow0 = b.emit(Op::ISETEQ, use(ty), use(zero));
+    b.iff(use(isRow0));
+    {
+        Reg gIdx = b.imad(use(blk), Operand::imm(tile), use(tx));
+        Reg gAddr = wordAddr(b, gIdx, static_cast<u32>(inBase));
+        Reg v = b.ldg(use(gAddr));
+        Reg sAddr = b.shl(use(tx), Operand::imm(2));
+        b.sts(use(sAddr), use(v));
+    }
+    b.endIf();
+    b.bar();
+
+    // Each thread multiplies its weight with the staged activation.
+    Reg sAddr = b.shl(use(ty), Operand::imm(2));
+    Reg act = b.lds(use(sAddr));
+    Reg wIdx = b.imad(use(blk), Operand::imm(tile * tile),
+                      use(zero));
+    Reg tIdx = b.imad(use(ty), Operand::imm(tile), use(tx));
+    Reg wIdx2 = b.iadd(use(wIdx), use(tIdx));
+    Reg wAddr = wordAddr(b, wIdx2, static_cast<u32>(wBase));
+    Reg weight = b.ldg(use(wAddr));
+    Reg prod = b.fmul(use(weight), use(act));
+    // Squashing function approximation: x / (1 + |x|).
+    Reg mag = b.emit(Op::FABS, use(prod));
+    Reg denom = b.fadd(use(mag), Operand::immF(1.0f));
+    Reg rcp = b.emit(Op::FRCP, use(denom));
+    Reg squash = b.fmul(use(prod), use(rcp));
+
+    Reg oAddr = wordAddr(b, wIdx2, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(squash));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * CF -- cfd (Rodinia). Euler flux computation: each thread loads the
+ * five conserved variables of its cell and a neighbor, computes flux
+ * contributions (%FP ~ 63) on fully random state -- low reusability.
+ */
+Workload
+makeCF()
+{
+    constexpr unsigned cells = 4096;
+    constexpr unsigned vars = 5;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = cells / threads;
+
+    Workload w;
+    w.name = "cfd";
+    w.abbr = "CF";
+    Addr vBase = w.image.allocGlobal(cells * vars * 4);
+    Addr nbrBase = w.image.allocGlobal(cells * 4);
+    w.outputBase = w.image.allocGlobal(cells * vars * 4);
+    w.outputBytes = cells * vars * 4;
+    w.image.fillGlobal(vBase,
+                       randomFloats(cells * vars, 0.5f, 2.f, 0xae03));
+    {
+        Rng rng(0xae04);
+        std::vector<u32> nbrs(cells);
+        for (auto &n : nbrs)
+            n = rng.below(cells);
+        w.image.fillGlobal(nbrBase, nbrs);
+    }
+
+    KernelBuilder b("cfd_flux", {threads, 1}, {blocks, 1});
+
+    Reg cell = globalThreadId(b);
+    Reg nAddr = wordAddr(b, cell, static_cast<u32>(nbrBase));
+    Reg nbr = b.ldg(use(nAddr));
+
+    Reg myBase = b.imul(use(cell), Operand::imm(vars));
+    Reg nbBase = b.imul(use(nbr), Operand::imm(vars));
+
+    // density / momentum / energy of both cells.
+    Reg rhoAddr = wordAddr(b, myBase, static_cast<u32>(vBase));
+    Reg rho = b.ldg(use(rhoAddr));
+    Reg rhoInv = b.emit(Op::FRCP, use(rho));
+
+    for (unsigned v = 1; v < vars; v++) {
+        Reg mIdx = b.iadd(use(myBase), Operand::imm(v));
+        Reg mAddr = wordAddr(b, mIdx, static_cast<u32>(vBase));
+        Reg mine = b.ldg(use(mAddr));
+        Reg nIdx = b.iadd(use(nbBase), Operand::imm(v));
+        Reg nbrAddr = wordAddr(b, nIdx, static_cast<u32>(vBase));
+        Reg theirs = b.ldg(use(nbrAddr));
+
+        Reg vel = b.fmul(use(mine), use(rhoInv));
+        Reg avg = b.fadd(use(mine), use(theirs));
+        avg = b.fmul(use(avg), Operand::immF(0.5f));
+        Reg flux = b.ffma(use(vel), use(avg), use(mine));
+        flux = b.fmul(use(flux), Operand::immF(0.25f));
+
+        Reg oIdx = b.iadd(use(myBase), Operand::imm(v));
+        Reg oAddr = wordAddr(b, oIdx, static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(flux));
+    }
+    // Density flux.
+    Reg dFlux = b.fmul(use(rho), Operand::immF(0.9f));
+    Reg oAddr = wordAddr(b, myBase, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(dFlux));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * SC -- streamcluster (Rodinia). Cost-of-opening evaluation: each
+ * thread computes the distance from its point to a candidate center
+ * and the weighted assignment change. Random coordinates keep reuse
+ * low; %FP ~ 22.
+ */
+Workload
+makeSC()
+{
+    constexpr unsigned points = 4096;
+    constexpr unsigned dims = 6;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = points / threads;
+
+    Workload w;
+    w.name = "strmcluster";
+    w.abbr = "SC";
+    Addr pBase = w.image.allocGlobal(points * dims * 4);
+    Addr costBase = w.image.allocGlobal(points * 4);
+    w.outputBase = w.image.allocGlobal(points * 4);
+    w.outputBytes = points * 4;
+    w.image.fillGlobal(pBase,
+                       randomFloats(points * dims, 0.f, 1.f, 0xae05));
+    w.image.fillGlobal(costBase,
+                       randomFloats(points, 0.f, 4.f, 0xae06));
+
+    KernelBuilder b("sc_pgain", {threads, 1}, {blocks, 1});
+
+    std::vector<u32> center(dims);
+    {
+        Rng rng(0xae07);
+        for (auto &c : center)
+            c = asBits(rng.nextFloat());
+    }
+    u32 centerBase = b.addConst(center);
+
+    Reg pid = globalThreadId(b);
+    Reg base = b.imul(use(pid), Operand::imm(dims));
+
+    Reg dist = b.immRegF(0.0f);
+    for (unsigned d = 0; d < dims; d++) {
+        Reg idx = b.iadd(use(base), Operand::imm(d));
+        Reg addr = wordAddr(b, idx, static_cast<u32>(pBase));
+        Reg coord = b.ldg(use(addr));
+        Reg c = b.ldc(Operand::imm(centerBase + d * 4));
+        Reg diff = b.fsub(use(coord), use(c));
+        Reg nd = b.ffma(use(diff), use(diff), use(dist));
+        dist = nd;
+    }
+
+    Reg cAddr = wordAddr(b, pid, static_cast<u32>(costBase));
+    Reg oldCost = b.ldg(use(cAddr));
+    // gain = oldCost - dist when positive, else 0 (divergent SELP).
+    Reg gain = b.fsub(use(oldCost), use(dist));
+    Reg zero = b.immRegF(0.0f);
+    Reg pos = b.emit(Op::FSETLT, use(zero), use(gain));
+    Reg res = b.emit(Op::SELP, use(gain), use(zero), use(pos));
+
+    Reg oAddr = wordAddr(b, pid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(res));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+} // namespace factories
+} // namespace wir

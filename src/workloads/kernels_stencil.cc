@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Stencil/CFD benchmarks of Table I: ST, S1, S2, HS, LB, FD, HW.
+ */
+
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace factories
+{
+
+/**
+ * ST -- stencil (Parboil). 7-point Jacobi step over a 3-D grid
+ * quantized to 4 levels: flat regions make the weighted sums repeat
+ * across blocks (upper-half reusability); %FP ~ 9.
+ */
+Workload
+makeST()
+{
+    constexpr unsigned nx = 32, ny = 32, nz = 18;
+    constexpr unsigned threads = 128;
+    constexpr unsigned interior = nx * ny * (nz - 2);
+    constexpr unsigned blocks = interior / threads;
+
+    Workload w;
+    w.name = "stencil";
+    w.abbr = "ST";
+    Addr inBase = w.image.allocGlobal(nx * ny * nz * 4);
+    w.outputBase = w.image.allocGlobal(nx * ny * nz * 4);
+    w.outputBytes = nx * ny * nz * 4;
+    w.image.fillGlobal(inBase,
+                       flatRegionsF(nx * ny * nz, 4, 512, 0.f, 1.f,
+                                    0x7b01));
+
+    KernelBuilder b("stencil7", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg idx = b.iadd(use(gid), Operand::imm(nx * ny)); // skip z=0
+
+    auto load = [&](int offset) {
+        Reg nIdx = b.iadd(use(idx),
+                          Operand::imm(static_cast<u32>(offset)));
+        Reg addr = wordAddr(b, nIdx, static_cast<u32>(inBase));
+        return b.ldg(use(addr));
+    };
+    Reg c = load(0);
+    Reg xm = load(-1), xp = load(1);
+    Reg ym = load(-static_cast<int>(nx)), yp = load(nx);
+    Reg zm = load(-static_cast<int>(nx * ny)), zp = load(nx * ny);
+
+    Reg sum = b.fadd(use(xm), use(xp));
+    sum = b.fadd(use(sum), use(ym));
+    sum = b.fadd(use(sum), use(yp));
+    sum = b.fadd(use(sum), use(zm));
+    sum = b.fadd(use(sum), use(zp));
+    Reg res = b.ffma(use(c), Operand::immF(-6.0f), use(sum));
+    res = b.fmul(use(res), Operand::immF(0.1666667f));
+
+    Reg oAddr = wordAddr(b, idx, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(res));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * S2 -- srad-v2 (Rodinia). Anisotropic diffusion step: 4-neighbor
+ * differences, divergence, and the diffusion coefficient
+ * 1/(1 + d*d). The speckle image is quantized to 8 levels; %FP ~ 25.
+ * S2 also responds to load reuse (Fig. 15): neighbor loads repeat
+ * between adjacent threads' windows.
+ */
+Workload
+makeS2()
+{
+    constexpr unsigned side = 98;
+    constexpr unsigned threads = 96;      // interior columns
+    constexpr unsigned rowsPerBlock = 4;
+    constexpr unsigned blocks = (side - 2) / rowsPerBlock;
+
+    Workload w;
+    w.name = "srad-v2";
+    w.abbr = "S2";
+    Addr inBase = w.image.allocGlobal(side * side * 4);
+    w.outputBase = w.image.allocGlobal(side * side * 4);
+    w.outputBytes = side * side * 4;
+    // Speckle image with flat patches: warp-uniform windows repeat
+    // the diffusion arithmetic across blocks.
+    w.image.fillGlobal(inBase,
+                       flatRegionsF(side * side, 6, 256, 0.1f, 1.f,
+                                    0x7b02));
+
+    // Each block sweeps rowsPerBlock adjacent rows: row i's south
+    // neighbors are row i+1's centers, so the loads repeat within
+    // the warp (the load-reuse effect of Fig. 15).
+    KernelBuilder b("srad2", {threads, 1}, {blocks, 1});
+
+    Reg jc0 = b.s2r(SpecialReg::TidX);
+    Reg jc = b.iadd(use(jc0), Operand::imm(1));
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg row0 = b.imul(use(blk), Operand::imm(rowsPerBlock));
+
+    for (unsigned r = 0; r < rowsPerBlock; r++) {
+        Reg row = b.iadd(use(row0), Operand::imm(r + 1));
+        Reg idx = b.imad(use(row), Operand::imm(side), use(jc));
+        auto load = [&](int offset) {
+            Reg nIdx = b.iadd(use(idx),
+                              Operand::imm(static_cast<u32>(offset)));
+            Reg addr = wordAddr(b, nIdx, static_cast<u32>(inBase));
+            return b.ldg(use(addr));
+        };
+        Reg c = load(0);
+        Reg n = load(-static_cast<int>(side));
+        Reg s = load(side);
+        Reg west = load(-1);
+        Reg e = load(1);
+
+        Reg dn = b.fsub(use(n), use(c));
+        Reg ds = b.fsub(use(s), use(c));
+        Reg dw = b.fsub(use(west), use(c));
+        Reg de = b.fsub(use(e), use(c));
+        Reg g2 = b.fmul(use(dn), use(dn));
+        g2 = b.ffma(use(ds), use(ds), use(g2));
+        g2 = b.ffma(use(dw), use(dw), use(g2));
+        g2 = b.ffma(use(de), use(de), use(g2));
+        // cN = 1 / (1 + g2)
+        Reg denom = b.fadd(use(g2), Operand::immF(1.0f));
+        Reg coeff = b.emit(Op::FRCP, use(denom));
+        Reg div = b.fadd(use(dn), use(ds));
+        div = b.fadd(use(div), use(dw));
+        div = b.fadd(use(div), use(de));
+        Reg upd = b.fmul(use(coeff), use(div));
+        Reg res = b.ffma(use(upd), Operand::immF(0.25f), use(c));
+
+        Reg oAddr = wordAddr(b, idx, static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(res));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * S1 -- srad-v1 (Rodinia). The extract/statistics flavor of SRAD:
+ * log-compress, accumulate mean/variance partials. Wider value range
+ * (64 levels) than S2, placing it in the lower half; %FP ~ 16.
+ */
+Workload
+makeS1()
+{
+    constexpr unsigned n = 8192;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = n / threads;
+
+    Workload w;
+    w.name = "srad-v1";
+    w.abbr = "S1";
+    Addr inBase = w.image.allocGlobal(n * 4);
+    w.outputBase = w.image.allocGlobal(n * 2 * 4);
+    w.outputBytes = n * 2 * 4;
+    w.image.fillGlobal(inBase,
+                       quantizedFloats(n, 64, 0.1f, 10.f, 0x7b03));
+
+    KernelBuilder b("srad1_extract", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg addr = wordAddr(b, gid, static_cast<u32>(inBase));
+    Reg v = b.ldg(use(addr));
+    // Log-compression and partial statistics.
+    Reg lg = b.emit(Op::FLOG2, use(v));
+    Reg sq = b.fmul(use(lg), use(lg));
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(lg));
+    Reg oIdx2 = b.iadd(use(gid), Operand::imm(n));
+    Reg oAddr2 = wordAddr(b, oIdx2, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr2), use(sq));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * HS -- hotspot (Rodinia). Thermal simulation step over a scratchpad
+ * tile: temperature + power grids, 4-neighbor Laplacian. Listed by
+ * the paper among the benchmarks where load reuse visibly cuts L1
+ * traffic; %FP ~ 18.
+ */
+Workload
+makeHS()
+{
+    constexpr unsigned side = 66;
+    constexpr unsigned threads = 64;      // interior columns
+    constexpr unsigned rowsPerBlock = 4;
+    constexpr unsigned blocks = (side - 2) / rowsPerBlock;
+
+    Workload w;
+    w.name = "hotspot";
+    w.abbr = "HS";
+    Addr tBase = w.image.allocGlobal(side * side * 4);
+    Addr pBase = w.image.allocGlobal(side * side * 4);
+    w.outputBase = w.image.allocGlobal(side * side * 4);
+    w.outputBytes = side * side * 4;
+    w.image.fillGlobal(tBase,
+                       quantizedFloats(side * side, 16, 320.f, 340.f,
+                                       0x7b04));
+    w.image.fillGlobal(pBase,
+                       quantizedFloats(side * side, 8, 0.f, 1.f,
+                                       0x7b05));
+
+    // Multi-row blocks: adjacent rows' temperature loads repeat
+    // within the warp across iterations (Fig. 15's HS effect).
+    KernelBuilder b("hotspot", {threads, 1}, {blocks, 1});
+
+    Reg jc0 = b.s2r(SpecialReg::TidX);
+    Reg jc = b.iadd(use(jc0), Operand::imm(1));
+    Reg blk = b.s2r(SpecialReg::CtaIdX);
+    Reg row0 = b.imul(use(blk), Operand::imm(rowsPerBlock));
+
+    for (unsigned r = 0; r < rowsPerBlock; r++) {
+        Reg row = b.iadd(use(row0), Operand::imm(r + 1));
+        Reg idx = b.imad(use(row), Operand::imm(side), use(jc));
+        auto loadT = [&](int offset) {
+            Reg nIdx = b.iadd(use(idx),
+                              Operand::imm(static_cast<u32>(offset)));
+            Reg addr = wordAddr(b, nIdx, static_cast<u32>(tBase));
+            return b.ldg(use(addr));
+        };
+        Reg c = loadT(0);
+        Reg n = loadT(-static_cast<int>(side));
+        Reg s = loadT(side);
+        Reg west = loadT(-1);
+        Reg e = loadT(1);
+        Reg pAddr = wordAddr(b, idx, static_cast<u32>(pBase));
+        Reg p = b.ldg(use(pAddr));
+
+        Reg lap = b.fadd(use(n), use(s));
+        lap = b.fadd(use(lap), use(west));
+        lap = b.fadd(use(lap), use(e));
+        lap = b.ffma(use(c), Operand::immF(-4.0f), use(lap));
+        Reg delta = b.ffma(use(lap), Operand::immF(0.05f), use(p));
+        Reg res = b.ffma(use(delta), Operand::immF(0.5f), use(c));
+
+        Reg oAddr = wordAddr(b, idx, static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(res));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * LB -- lbm (Parboil). Lattice-Boltzmann collision: loads several
+ * distribution components per cell, computes equilibrium relaxation
+ * (%FP ~ 54), stores them back. Random-valued distributions keep
+ * value reuse low.
+ */
+Workload
+makeLB()
+{
+    constexpr unsigned cells = 6144;
+    constexpr unsigned dirs = 8;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = cells / threads;
+
+    Workload w;
+    w.name = "lbm";
+    w.abbr = "LB";
+    Addr fBase = w.image.allocGlobal(cells * dirs * 4);
+    w.outputBase = fBase; // in-place collision
+    w.outputBytes = cells * dirs * 4;
+    w.image.fillGlobal(fBase,
+                       randomFloats(cells * dirs, 0.f, 1.f, 0x7b06));
+
+    KernelBuilder b("lbm_collide", {threads, 1}, {blocks, 1});
+
+    Reg cell = globalThreadId(b);
+    Reg base = b.imul(use(cell), Operand::imm(dirs));
+
+    // rho = sum(f_i)
+    Reg rho = b.immRegF(0.0f);
+    Reg fs[dirs];
+    for (unsigned d = 0; d < dirs; d++) {
+        Reg fIdx = b.iadd(use(base), Operand::imm(d));
+        Reg fAddr = wordAddr(b, fIdx, static_cast<u32>(fBase));
+        fs[d] = b.ldg(use(fAddr));
+        Reg nrho = b.fadd(use(rho), use(fs[d]));
+        rho = nrho;
+    }
+    Reg feq = b.fmul(use(rho), Operand::immF(1.0f / dirs));
+    for (unsigned d = 0; d < dirs; d++) {
+        // f' = f + omega * (feq - f)
+        Reg diff = b.fsub(use(feq), use(fs[d]));
+        Reg res = b.ffma(use(diff), Operand::immF(0.6f), use(fs[d]));
+        Reg fIdx = b.iadd(use(base), Operand::imm(d));
+        Reg fAddr = wordAddr(b, fIdx, static_cast<u32>(fBase));
+        b.stg(use(fAddr), use(res));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * FD -- FDTD3d (SDK). Radius-2 finite difference along z with
+ * register rotation, sweeping a z-column per thread. Coefficients in
+ * constant memory; 16-level grid; %FP ~ 33.
+ */
+Workload
+makeFD()
+{
+    constexpr unsigned plane = 1024;  // x*y points
+    constexpr unsigned depth = 12;
+    constexpr unsigned threads = 128;
+    constexpr unsigned blocks = plane / threads;
+
+    Workload w;
+    w.name = "FDTD3d";
+    w.abbr = "FD";
+    Addr inBase = w.image.allocGlobal(plane * depth * 4);
+    w.outputBase = w.image.allocGlobal(plane * depth * 4);
+    w.outputBytes = plane * depth * 4;
+    w.image.fillGlobal(inBase,
+                       quantizedFloats(plane * depth, 16, -1.f, 1.f,
+                                       0x7b07));
+
+    KernelBuilder b("fdtd3d", {threads, 1}, {blocks, 1});
+    u32 coefBase = b.addConst({asBits(0.5f), asBits(0.25f),
+                               asBits(0.125f)});
+
+    Reg gid = globalThreadId(b);
+
+    // Rotating window over z: behind, center, front.
+    Reg behind = b.alloc();
+    Reg center = b.alloc();
+    Reg front = b.alloc();
+    auto loadZ = [&](Reg dst, unsigned z) {
+        Reg zIdx = b.iadd(use(gid), Operand::imm(z * plane));
+        Reg addr = wordAddr(b, zIdx, static_cast<u32>(inBase));
+        Reg v = b.ldg(use(addr));
+        b.movInto(dst, use(v));
+    };
+    loadZ(behind, 0);
+    loadZ(center, 1);
+
+    Reg c0 = b.ldc(Operand::imm(coefBase + 0));
+    Reg c1 = b.ldc(Operand::imm(coefBase + 4));
+
+    for (unsigned z = 1; z + 1 < depth; z++) {
+        loadZ(front, z + 1);
+        Reg sum = b.fadd(use(behind), use(front));
+        Reg res = b.fmul(use(sum), use(c1));
+        res = b.ffma(use(center), use(c0), use(res));
+        Reg oIdx = b.iadd(use(gid), Operand::imm(z * plane));
+        Reg oAddr = wordAddr(b, oIdx, static_cast<u32>(w.outputBase));
+        b.stg(use(oAddr), use(res));
+        b.movInto(behind, use(center));
+        b.movInto(center, use(front));
+    }
+
+    w.kernel = b.finish();
+    return w;
+}
+
+/**
+ * HW -- heartwall (Rodinia). Template correlation: every thread
+ * correlates its own image window against a per-block template, all
+ * on fully random data with block-unique offsets -- the paper's
+ * lowest-reusability benchmark; %FP ~ 9.
+ */
+Workload
+makeHW()
+{
+    constexpr unsigned blocks = 48;
+    constexpr unsigned threads = 128;
+    constexpr unsigned windows = blocks * threads;
+    constexpr unsigned wlen = 10;
+
+    Workload w;
+    w.name = "heartwall";
+    w.abbr = "HW";
+    Addr imgBase = w.image.allocGlobal(windows * wlen * 4);
+    Addr tplBase = w.image.allocGlobal(windows * wlen * 4);
+    w.outputBase = w.image.allocGlobal(windows * 4);
+    w.outputBytes = windows * 4;
+    w.image.fillGlobal(imgBase, randomInts(windows * wlen, 0x7b08));
+    // Per-sample-point templates: nothing repeats across threads,
+    // matching HW's bottom rank in Fig. 2.
+    w.image.fillGlobal(tplBase, randomInts(windows * wlen, 0x7b09));
+
+    KernelBuilder b("heartwall_corr", {threads, 1}, {blocks, 1});
+
+    Reg gid = globalThreadId(b);
+    Reg wBase = b.imul(use(gid), Operand::imm(wlen));
+    Reg tBase = wBase;
+
+    Reg acc = b.immReg(0);
+    for (unsigned i = 0; i < wlen; i++) {
+        Reg iIdx = b.iadd(use(wBase), Operand::imm(i));
+        Reg iAddr = wordAddr(b, iIdx, static_cast<u32>(imgBase));
+        Reg img = b.ldg(use(iAddr));
+        Reg tIdx = b.iadd(use(tBase), Operand::imm(i));
+        Reg tAddr = wordAddr(b, tIdx, static_cast<u32>(tplBase));
+        Reg tpl = b.ldg(use(tAddr));
+        // Clamp to 16 bits so |img - tpl|^2 stays informative.
+        Reg imgC = b.iand(use(img), Operand::imm(0xffff));
+        Reg tplC = b.iand(use(tpl), Operand::imm(0xffff));
+        Reg d = b.isub(use(imgC), use(tplC));
+        Reg ad = b.emit(Op::IABS, use(d));
+        Reg nacc = b.iadd(use(acc), use(ad));
+        acc = nacc;
+    }
+
+    Reg oAddr = wordAddr(b, gid, static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(acc));
+
+    w.kernel = b.finish();
+    return w;
+}
+
+} // namespace factories
+} // namespace wir

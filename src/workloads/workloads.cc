@@ -1,0 +1,147 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+
+using namespace factories;
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    // Table I order: the left column (SF..FD) characterizes as more
+    // reusable than the right (MC..HW), matching Fig. 2's ranking.
+    static const std::vector<WorkloadInfo> registry = {
+        {"SobelFilter", "SF", "SDK", makeSF},
+        {"b+tree", "BT", "Rodinia", makeBT},
+        {"gaussian", "GA", "Rodinia", makeGA},
+        {"backprop", "BP", "Rodinia", makeBP},
+        {"pathfinder", "PF", "Rodinia", makePF},
+        {"binomialOptions", "BO", "SDK", makeBO},
+        {"stencil", "ST", "Parboil", makeST},
+        {"srad-v2", "S2", "Rodinia", makeS2},
+        {"lud", "LU", "Rodinia", makeLU},
+        {"kmeans", "KM", "Rodinia", makeKM},
+        {"dwt2d", "DW", "Rodinia", makeDW},
+        {"nw", "NW", "Rodinia", makeNW},
+        {"spmv", "SV", "Parboil", makeSV},
+        {"cutcp", "CU", "Parboil", makeCU},
+        {"mri-q", "MQ", "Parboil", makeMQ},
+        {"sgemm", "SG", "Parboil", makeSG},
+        {"FDTD3d", "FD", "SDK", makeFD},
+        {"MonteCarlo", "MC", "SDK", makeMC},
+        {"sad", "SD", "Parboil", makeSD},
+        {"srad-v1", "S1", "Rodinia", makeS1},
+        {"SobolQRNG", "SQ", "SDK", makeSQ},
+        {"lbm", "LB", "Parboil", makeLB},
+        {"hotspot", "HS", "Rodinia", makeHS},
+        {"hybridsort", "HT", "Rodinia", makeHT},
+        {"scan", "SN", "SDK", makeSN},
+        {"dct8x8", "DC", "SDK", makeDC},
+        {"fastWalshTf", "WT", "SDK", makeWT},
+        {"bfs", "BF", "Rodinia", makeBF},
+        {"cfd", "CF", "Rodinia", makeCF},
+        {"dxtc", "DX", "SDK", makeDX},
+        {"strmcluster", "SC", "Rodinia", makeSC},
+        {"leukocyte", "LK", "Rodinia", makeLK},
+        {"BlackScholes", "BS", "SDK", makeBS},
+        {"heartwall", "HW", "Rodinia", makeHW},
+    };
+    return registry;
+}
+
+Workload
+makeWorkload(const std::string &abbr)
+{
+    for (const auto &info : workloadRegistry()) {
+        if (abbr == info.abbr)
+            return info.make();
+    }
+    fatal("unknown workload '%s'", abbr.c_str());
+}
+
+namespace factories
+{
+
+std::vector<u32>
+quantizedInts(unsigned words, unsigned levels, u64 seed)
+{
+    wir_assert(levels >= 1);
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    for (auto &word : out)
+        word = rng.below(levels);
+    return out;
+}
+
+std::vector<u32>
+quantizedFloats(unsigned words, unsigned levels, float lo, float hi,
+                u64 seed)
+{
+    wir_assert(levels >= 2);
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    float step = (hi - lo) / float(levels - 1);
+    for (auto &word : out)
+        word = asBits(lo + step * float(rng.below(levels)));
+    return out;
+}
+
+std::vector<u32>
+randomInts(unsigned words, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    for (auto &word : out)
+        word = rng.nextU32();
+    return out;
+}
+
+std::vector<u32>
+randomFloats(unsigned words, float lo, float hi, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    for (auto &word : out)
+        word = asBits(lo + (hi - lo) * rng.nextFloat());
+    return out;
+}
+
+std::vector<u32>
+flatRegions(unsigned words, unsigned levels, unsigned runLen,
+            u64 seed)
+{
+    wir_assert(levels >= 1 && runLen >= 1);
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    u32 value = rng.below(levels);
+    for (unsigned i = 0; i < words; i++) {
+        if (i % runLen == 0)
+            value = rng.below(levels);
+        out[i] = value;
+    }
+    return out;
+}
+
+std::vector<u32>
+flatRegionsF(unsigned words, unsigned levels, unsigned runLen,
+             float lo, float hi, u64 seed)
+{
+    wir_assert(levels >= 2 && runLen >= 1);
+    Rng rng(seed);
+    std::vector<u32> out(words);
+    float step = (hi - lo) / float(levels - 1);
+    u32 value = asBits(lo);
+    for (unsigned i = 0; i < words; i++) {
+        if (i % runLen == 0)
+            value = asBits(lo + step * float(rng.below(levels)));
+        out[i] = value;
+    }
+    return out;
+}
+
+} // namespace factories
+
+} // namespace wir

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The 34-benchmark suite of Table I.
+ *
+ * Each workload is a miniature kernel reproducing the dominant loop
+ * structure, instruction mix (%FP), and value-redundancy character of
+ * the corresponding Parboil / Rodinia / CUDA-SDK application (see
+ * DESIGN.md for the substitution rationale). A factory builds both
+ * the kernel and a fresh memory image with deterministic inputs, plus
+ * an optional result checker used by the test suite.
+ */
+
+#ifndef WIR_WORKLOADS_WORKLOADS_HH
+#define WIR_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "func/memory_image.hh"
+#include "isa/kernel.hh"
+
+namespace wir
+{
+
+/** A runnable benchmark instance. */
+struct Workload
+{
+    std::string name;
+    std::string abbr;
+    Kernel kernel;
+    MemoryImage image;
+
+    /** Byte range of the output region (for equivalence checks). */
+    Addr outputBase = 0;
+    Addr outputBytes = 0;
+};
+
+/** Registry entry for one of the 34 benchmarks. */
+struct WorkloadInfo
+{
+    const char *name;
+    const char *abbr;
+    const char *suite; ///< "SDK", "Rodinia", or "Parboil"
+    Workload (*make)();
+};
+
+/** All benchmarks, in the paper's Table I order (reusability rank). */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** Build a fresh instance by abbreviation (e.g. "SF"). */
+Workload makeWorkload(const std::string &abbr);
+
+} // namespace wir
+
+#endif // WIR_WORKLOADS_WORKLOADS_HH

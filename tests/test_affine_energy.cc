@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for affine value detection and the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "affine/affine.hh"
+#include "energy/energy_model.hh"
+#include "func/executor.hh"
+
+namespace wir
+{
+namespace
+{
+
+WarpValue
+affineValue(u32 base, u32 stride)
+{
+    WarpValue v;
+    for (unsigned lane = 0; lane < warpSize; lane++)
+        v[lane] = base + lane * stride;
+    return v;
+}
+
+TEST(Affine, DetectsUniformAndStrided)
+{
+    EXPECT_TRUE(isAffine(splat(7), fullMask));
+    EXPECT_TRUE(isAffine(affineValue(100, 4), fullMask));
+    EXPECT_TRUE(isAffine(affineValue(0, u32(-1)), fullMask));
+
+    WarpValue broken = affineValue(0, 1);
+    broken[17] = 0;
+    EXPECT_FALSE(isAffine(broken, fullMask));
+}
+
+TEST(Affine, DivergentValuesAreNotAffine)
+{
+    EXPECT_FALSE(isAffine(splat(7), 0x0000ffff));
+}
+
+TEST(Affine, ExecutableRequiresCapableOpAndAffineResult)
+{
+    WarpValue srcs[3] = {affineValue(0, 1), splat(2), splat(0)};
+    WarpValue result = affineValue(0, 2);
+    EXPECT_TRUE(affineExecutable(Op::IMUL, srcs, 2, result,
+                                 fullMask));
+    // Non-capable op (min) never qualifies.
+    EXPECT_FALSE(affineExecutable(Op::IMIN, srcs, 2, result,
+                                  fullMask));
+    // Non-affine result disqualifies.
+    WarpValue junk = result;
+    junk[3] ^= 0x80;
+    EXPECT_FALSE(affineExecutable(Op::IMUL, srcs, 2, junk,
+                                  fullMask));
+    // Non-affine source disqualifies.
+    WarpValue srcs2[3] = {junk, splat(2), splat(0)};
+    EXPECT_FALSE(affineExecutable(Op::IMUL, srcs2, 2, result,
+                                  fullMask));
+}
+
+TEST(Energy, ZeroStatsZeroEnergy)
+{
+    SimStats stats;
+    EnergyBreakdown e = computeEnergy(stats);
+    EXPECT_DOUBLE_EQ(e.gpuTotal(), 0.0);
+}
+
+TEST(Energy, ComponentsScaleWithEvents)
+{
+    EnergyParams p;
+    SimStats stats;
+    stats.rfBankReads = 100;
+    EnergyBreakdown e1 = computeEnergy(stats, p);
+    EXPECT_DOUBLE_EQ(e1.regFile, 100 * p.rfPerBankAccess);
+
+    stats.rfBankReads = 200;
+    EnergyBreakdown e2 = computeEnergy(stats, p);
+    EXPECT_DOUBLE_EQ(e2.regFile, 2 * e1.regFile);
+}
+
+TEST(Energy, AffineExecutionSavesFuLanes)
+{
+    SimStats base;
+    base.spActivations = 10;
+    SimStats affine = base;
+    affine.affineExecutions = 10;
+
+    EnergyParams p;
+    EnergyBreakdown eBase = computeEnergy(base, p);
+    EnergyBreakdown eAffine = computeEnergy(affine, p);
+    EXPECT_DOUBLE_EQ(eBase.fuSp, 10.0 * warpSize * p.spPerLane);
+    EXPECT_DOUBLE_EQ(eAffine.fuSp, 10.0 * p.spPerLane);
+}
+
+TEST(Energy, ReuseStructuresUseTableIIICosts)
+{
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(p.renamePerOp, 3.50);
+    EXPECT_DOUBLE_EQ(p.reuseBufPerOp, 4.71);
+    EXPECT_DOUBLE_EQ(p.hashPerOp, 4.85);
+    EXPECT_DOUBLE_EQ(p.vsbPerOp, 4.96);
+    EXPECT_DOUBLE_EQ(p.regAllocPerOp, 1.35);
+    EXPECT_DOUBLE_EQ(p.refcountPerOp, 0.32);
+    EXPECT_DOUBLE_EQ(p.verifyCachePerOp, 2.93);
+
+    SimStats stats;
+    stats.renameReads = 4;
+    stats.renameWrites = 1;
+    EnergyBreakdown e = computeEnergy(stats, p);
+    EXPECT_DOUBLE_EQ(e.reuseStructs, 5 * 3.50);
+}
+
+TEST(Energy, GroupTotalsAreConsistent)
+{
+    SimStats stats;
+    stats.warpInstsCommitted = 100;
+    stats.rfBankReads = 800;
+    stats.spActivations = 80;
+    stats.l2Accesses = 10;
+    stats.dramAccesses = 5;
+    stats.cycles = 1000;
+    stats.smCyclesTotal = 15000;
+    EnergyBreakdown e = computeEnergy(stats);
+    EXPECT_GT(e.smTotal(), 0.0);
+    EXPECT_GT(e.gpuTotal(), e.smTotal());
+    EXPECT_NEAR(e.gpuTotal(),
+                e.smTotal() + e.l2 + e.noc + e.dram + e.gpuStatic,
+                1e-9);
+    EXPECT_FALSE(e.describe().empty());
+}
+
+TEST(Energy, ComponentCostTableRendersTableIII)
+{
+    std::string table = describeComponentCosts();
+    EXPECT_NE(table.find("3.50 pJ"), std::string::npos);
+    EXPECT_NE(table.find("Verify cache"), std::string::npos);
+    EXPECT_NE(table.find("24i 2o"), std::string::npos);
+}
+
+} // namespace
+} // namespace wir

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for src/common: H3 hashing, RNG, stats merging, config
+ * description.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "common/hash_h3.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace wir
+{
+namespace
+{
+
+TEST(HashH3, ZeroInputHashesToZero)
+{
+    WarpValue zero{};
+    EXPECT_EQ(hashH3(zero), 0u);
+}
+
+TEST(HashH3, IsDeterministic)
+{
+    WarpValue v;
+    for (unsigned lane = 0; lane < warpSize; lane++)
+        v[lane] = lane * 0x01010101u + 7;
+    EXPECT_EQ(hashH3(v), hashH3(v));
+}
+
+TEST(HashH3, IsLinearOverXor)
+{
+    // H3 is a GF(2)-linear map: h(a ^ b) == h(a) ^ h(b).
+    Rng rng(42);
+    for (int trial = 0; trial < 50; trial++) {
+        WarpValue a, b, x;
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            a[lane] = rng.nextU32();
+            b[lane] = rng.nextU32();
+            x[lane] = a[lane] ^ b[lane];
+        }
+        EXPECT_EQ(hashH3(x), hashH3(a) ^ hashH3(b));
+    }
+}
+
+TEST(HashH3, SingleBitChangesHash)
+{
+    WarpValue v{};
+    u32 base = hashH3(v);
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        for (unsigned bit = 0; bit < 32; bit += 7) {
+            WarpValue w{};
+            w[lane] = 1u << bit;
+            EXPECT_NE(hashH3(w), base)
+                << "lane " << lane << " bit " << bit;
+        }
+    }
+}
+
+TEST(HashH3, SpreadsValues)
+{
+    // Sequential values should produce many distinct hashes.
+    std::set<u32> hashes;
+    for (u32 i = 0; i < 1000; i++) {
+        WarpValue v;
+        for (unsigned lane = 0; lane < warpSize; lane++)
+            v[lane] = i + lane;
+        hashes.insert(hashH3(v));
+    }
+    EXPECT_GT(hashes.size(), 995u);
+}
+
+TEST(HashScalar, MixesInputs)
+{
+    std::set<u32> hashes;
+    for (u64 i = 0; i < 1000; i++)
+        hashes.insert(hashScalar(i));
+    EXPECT_GT(hashes.size(), 995u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    EXPECT_EQ(a.nextU32(), b.nextU32());
+    Rng a2(7);
+    EXPECT_NE(a2.nextU32(), c.nextU32());
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(123);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, FloatInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Stats, MergeSumsCountersAndMaxesCycles)
+{
+    SimStats a, b;
+    a.cycles = 100;
+    b.cycles = 250;
+    a.warpInstsCommitted = 10;
+    b.warpInstsCommitted = 5;
+    a.physRegsInUsePeak = 40;
+    b.physRegsInUsePeak = 20;
+    a += b;
+    EXPECT_EQ(a.cycles, 250u);
+    EXPECT_EQ(a.warpInstsCommitted, 15u);
+    EXPECT_EQ(a.physRegsInUsePeak, 40u);
+}
+
+TEST(Stats, ItemsCoversEveryDumpLine)
+{
+    SimStats stats;
+    stats.l1Misses = 3;
+    auto items = stats.items();
+    bool found = false;
+    for (const auto &[name, value] : items) {
+        if (name == "l1_misses") {
+            EXPECT_EQ(value, 3u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_FALSE(stats.dump().empty());
+}
+
+TEST(Config, DescribeMachineMentionsTableIIValues)
+{
+    MachineConfig config;
+    std::string text = describeMachine(config);
+    EXPECT_NE(text.find("15 SMs"), std::string::npos);
+    EXPECT_NE(text.find("48 warps"), std::string::npos);
+    EXPECT_NE(text.find("128 KB"), std::string::npos);
+}
+
+TEST(Config, DescribeDesignShowsFeatures)
+{
+    DesignConfig d;
+    d.name = "RLPV";
+    d.enableReuse = true;
+    d.enableLoadReuse = true;
+    d.enablePendingRetry = true;
+    d.enableVerifyCache = true;
+    std::string text = describeDesign(d);
+    EXPECT_NE(text.find("RLPV"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+    EXPECT_NE(text.find("vcache"), std::string::npos);
+}
+
+} // namespace
+} // namespace wir

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Deterministic nested-control-flow correctness: loop-in-if,
+ * if-in-loop, nested ifs, divergent breaks -- each checked against a
+ * CPU-computed expectation on Base and RLPV (the pin-bit/dummy-MOV
+ * machinery must preserve per-lane merges through every shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace
+{
+
+MachineConfig
+oneSm()
+{
+    MachineConfig machine;
+    machine.numSms = 1;
+    return machine;
+}
+
+Workload
+wrap(Kernel kernel, unsigned words)
+{
+    Workload w;
+    w.name = kernel.name;
+    w.abbr = "CF";
+    w.kernel = std::move(kernel);
+    w.image.allocGlobal(words * 4);
+    w.outputBase = 0;
+    w.outputBytes = words * 4;
+    return w;
+}
+
+void
+checkBoth(Workload (*make)(), const std::vector<u32> &expected)
+{
+    for (const auto &design : {designBase(), designRLPV()}) {
+        auto result = runWorkload(make(), design, oneSm());
+        for (size_t i = 0; i < expected.size(); i++) {
+            ASSERT_EQ(result.finalMemory[i], expected[i])
+                << design.name << " word " << i;
+        }
+    }
+}
+
+TEST(ControlFlow, LoopInsideIf)
+{
+    // if (tid & 1) { acc = sum 0..tid } else { acc = 7 }
+    auto make = []() {
+        KernelBuilder b("loop_in_if", {64, 1}, {1, 1});
+        Reg tid = b.s2r(SpecialReg::TidX);
+        Reg odd = b.iand(use(tid), Operand::imm(1));
+        Reg acc = b.immReg(7);
+        b.iff(use(odd));
+        {
+            b.movInto(acc, Operand::imm(0));
+            Reg j = b.immReg(0);
+            b.loopBegin();
+            Reg more = b.emit(Op::ISETLE, use(j), use(tid));
+            b.loopBreakIfZero(use(more));
+            b.emitInto(acc, Op::IADD, use(acc), use(j));
+            b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+            b.loopEnd();
+        }
+        b.endIf();
+        Reg addr = factories::wordAddr(b, tid, 0u);
+        b.stg(use(addr), use(acc));
+        return wrap(b.finish(), 64);
+    };
+
+    std::vector<u32> expected(64);
+    for (u32 t = 0; t < 64; t++)
+        expected[t] = (t & 1) ? t * (t + 1) / 2 : 7;
+    checkBoth(make, expected);
+}
+
+TEST(ControlFlow, IfInsideLoop)
+{
+    // acc = sum over j<8 of (j odd ? j*tid : j)
+    auto make = []() {
+        KernelBuilder b("if_in_loop", {64, 1}, {1, 1});
+        Reg tid = b.s2r(SpecialReg::TidX);
+        Reg acc = b.immReg(0);
+        Reg j = b.immReg(0);
+        b.loopBegin();
+        Reg more = b.emit(Op::ISETLT, use(j), Operand::imm(8));
+        b.loopBreakIfZero(use(more));
+        Reg jodd = b.iand(use(j), Operand::imm(1));
+        b.iff(use(jodd));
+        {
+            Reg prod = b.imul(use(j), use(tid));
+            b.emitInto(acc, Op::IADD, use(acc), use(prod));
+        }
+        b.elseBranch();
+        {
+            b.emitInto(acc, Op::IADD, use(acc), use(j));
+        }
+        b.endIf();
+        b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+        b.loopEnd();
+        Reg addr = factories::wordAddr(b, tid, 0u);
+        b.stg(use(addr), use(acc));
+        return wrap(b.finish(), 64);
+    };
+
+    std::vector<u32> expected(64);
+    for (u32 t = 0; t < 64; t++) {
+        u32 acc = 0;
+        for (u32 j = 0; j < 8; j++)
+            acc += (j & 1) ? j * t : j;
+        expected[t] = acc;
+    }
+    checkBoth(make, expected);
+}
+
+TEST(ControlFlow, NestedIfs)
+{
+    // v = tid<32 ? (tid<16 ? 1 : 2) : (tid<48 ? 3 : 4)
+    auto make = []() {
+        KernelBuilder b("nested_ifs", {64, 1}, {1, 1});
+        Reg tid = b.s2r(SpecialReg::TidX);
+        Reg v = b.alloc();
+        Reg lo = b.emit(Op::ISETLT, use(tid), Operand::imm(32));
+        b.iff(use(lo));
+        {
+            Reg lolo = b.emit(Op::ISETLT, use(tid),
+                              Operand::imm(16));
+            b.iff(use(lolo));
+            b.movInto(v, Operand::imm(1));
+            b.elseBranch();
+            b.movInto(v, Operand::imm(2));
+            b.endIf();
+        }
+        b.elseBranch();
+        {
+            Reg hilo = b.emit(Op::ISETLT, use(tid),
+                              Operand::imm(48));
+            b.iff(use(hilo));
+            b.movInto(v, Operand::imm(3));
+            b.elseBranch();
+            b.movInto(v, Operand::imm(4));
+            b.endIf();
+        }
+        b.endIf();
+        Reg addr = factories::wordAddr(b, tid, 0u);
+        b.stg(use(addr), use(v));
+        return wrap(b.finish(), 64);
+    };
+
+    std::vector<u32> expected(64);
+    for (u32 t = 0; t < 64; t++)
+        expected[t] = t < 16 ? 1 : t < 32 ? 2 : t < 48 ? 3 : 4;
+    checkBoth(make, expected);
+}
+
+TEST(ControlFlow, PerLaneLoopTripCounts)
+{
+    // Every lane runs a different trip count: acc = tid iterations.
+    auto make = []() {
+        KernelBuilder b("ragged_loop", {96, 1}, {2, 1});
+        Reg tid = b.s2r(SpecialReg::TidX);
+        Reg acc = b.immReg(0);
+        Reg j = b.immReg(0);
+        b.loopBegin();
+        Reg more = b.emit(Op::ISETLT, use(j), use(tid));
+        b.loopBreakIfZero(use(more));
+        b.emitInto(acc, Op::IADD, use(acc), Operand::imm(3));
+        b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+        b.loopEnd();
+        Reg gid = factories::globalThreadId(b);
+        Reg addr = factories::wordAddr(b, gid, 0u);
+        b.stg(use(addr), use(acc));
+        return wrap(b.finish(), 192);
+    };
+
+    std::vector<u32> expected(192);
+    for (u32 g = 0; g < 192; g++)
+        expected[g] = (g % 96) * 3;
+    checkBoth(make, expected);
+}
+
+TEST(ControlFlow, DeepLoopNest)
+{
+    // acc = sum_{i<3} sum_{j<=i} (i*4 + j), identical per lane so the
+    // reuse design should reuse almost the whole kernel across warps.
+    auto make = []() {
+        KernelBuilder b("deep_nest", {64, 1}, {2, 1});
+        Reg acc = b.immReg(0);
+        Reg i = b.immReg(0);
+        b.loopBegin();
+        Reg omore = b.emit(Op::ISETLT, use(i), Operand::imm(3));
+        b.loopBreakIfZero(use(omore));
+        Reg j = b.immReg(0);
+        b.loopBegin();
+        Reg imore = b.emit(Op::ISETLE, use(j), use(i));
+        b.loopBreakIfZero(use(imore));
+        Reg term = b.imad(use(i), Operand::imm(4), use(j));
+        b.emitInto(acc, Op::IADD, use(acc), use(term));
+        b.emitInto(j, Op::IADD, use(j), Operand::imm(1));
+        b.loopEnd();
+        b.emitInto(i, Op::IADD, use(i), Operand::imm(1));
+        b.loopEnd();
+        Reg gid = factories::globalThreadId(b);
+        Reg addr = factories::wordAddr(b, gid, 0u);
+        b.stg(use(addr), use(acc));
+        return wrap(b.finish(), 128);
+    };
+
+    u32 want = 0;
+    for (u32 i = 0; i < 3; i++) {
+        for (u32 j = 0; j <= i; j++)
+            want += i * 4 + j;
+    }
+    std::vector<u32> expected(128, want);
+    checkBoth(make, expected);
+
+    // The uniform computation should be heavily reused under RLPV.
+    auto rlpv = runWorkload(make(), designRLPV(), oneSm());
+    EXPECT_GT(rlpv.reuseRate(), 0.3);
+}
+
+} // namespace
+} // namespace wir

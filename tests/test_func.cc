@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for src/func: per-lane evaluation, SIMT reconvergence
+ * stack, memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/executor.hh"
+#include "func/memory_image.hh"
+#include "func/simt_stack.hh"
+
+namespace wir
+{
+namespace
+{
+
+ExecInputs
+inputs(u32 a, u32 b, u32 c = 0)
+{
+    ExecInputs in;
+    in.src[0] = splat(a);
+    in.src[1] = splat(b);
+    in.src[2] = splat(c);
+    return in;
+}
+
+TEST(Executor, IntegerAlu)
+{
+    EXPECT_EQ(evaluate(Op::IADD, inputs(3, 4))[0], 7u);
+    EXPECT_EQ(evaluate(Op::ISUB, inputs(3, 4))[0], u32(-1));
+    EXPECT_EQ(evaluate(Op::IMUL, inputs(3, 4))[0], 12u);
+    EXPECT_EQ(evaluate(Op::IMAD, inputs(3, 4, 5))[0], 17u);
+    EXPECT_EQ(evaluate(Op::IMIN, inputs(u32(-2), 4))[0], u32(-2));
+    EXPECT_EQ(evaluate(Op::IMAX, inputs(u32(-2), 4))[0], 4u);
+    EXPECT_EQ(evaluate(Op::IABS, inputs(u32(-9), 0))[0], 9u);
+    EXPECT_EQ(evaluate(Op::IAND, inputs(0xf0f0, 0xff00))[0], 0xf000u);
+    EXPECT_EQ(evaluate(Op::IOR, inputs(0xf0f0, 0x0f00))[0], 0xfff0u);
+    EXPECT_EQ(evaluate(Op::IXOR, inputs(0xff, 0x0f))[0], 0xf0u);
+    EXPECT_EQ(evaluate(Op::INOT, inputs(0, 0))[0], 0xffffffffu);
+    EXPECT_EQ(evaluate(Op::SHL, inputs(1, 4))[0], 16u);
+    EXPECT_EQ(evaluate(Op::SHR, inputs(0x80000000u, 31))[0], 1u);
+    EXPECT_EQ(evaluate(Op::SRA, inputs(0x80000000u, 31))[0],
+              0xffffffffu);
+    EXPECT_EQ(evaluate(Op::IMOV, inputs(77, 0))[0], 77u);
+}
+
+TEST(Executor, Comparisons)
+{
+    EXPECT_EQ(evaluate(Op::ISETLT, inputs(u32(-1), 0))[0], 1u);
+    EXPECT_EQ(evaluate(Op::ISETLTU, inputs(u32(-1), 0))[0], 0u);
+    EXPECT_EQ(evaluate(Op::ISETLE, inputs(5, 5))[0], 1u);
+    EXPECT_EQ(evaluate(Op::ISETEQ, inputs(5, 5))[0], 1u);
+    EXPECT_EQ(evaluate(Op::ISETNE, inputs(5, 5))[0], 0u);
+    EXPECT_EQ(evaluate(Op::SELP, inputs(10, 20, 1))[0], 10u);
+    EXPECT_EQ(evaluate(Op::SELP, inputs(10, 20, 0))[0], 20u);
+}
+
+TEST(Executor, FloatAlu)
+{
+    auto f = [](float x) { return asBits(x); };
+    EXPECT_EQ(evaluate(Op::FADD, inputs(f(1.5f), f(2.5f)))[0],
+              f(4.0f));
+    EXPECT_EQ(evaluate(Op::FSUB, inputs(f(1.5f), f(2.5f)))[0],
+              f(-1.0f));
+    EXPECT_EQ(evaluate(Op::FMUL, inputs(f(3.0f), f(2.0f)))[0],
+              f(6.0f));
+    EXPECT_EQ(evaluate(Op::FFMA, inputs(f(3.f), f(2.f), f(1.f)))[0],
+              f(7.0f));
+    EXPECT_EQ(evaluate(Op::FMIN, inputs(f(3.f), f(2.f)))[0], f(2.f));
+    EXPECT_EQ(evaluate(Op::FMAX, inputs(f(3.f), f(2.f)))[0], f(3.f));
+    EXPECT_EQ(evaluate(Op::FABS, inputs(f(-3.f), 0))[0], f(3.f));
+    EXPECT_EQ(evaluate(Op::FNEG, inputs(f(3.f), 0))[0], f(-3.f));
+    EXPECT_EQ(evaluate(Op::FSETLT, inputs(f(1.f), f(2.f)))[0], 1u);
+    EXPECT_EQ(evaluate(Op::F2I, inputs(f(-2.7f), 0))[0], u32(-2));
+    EXPECT_EQ(evaluate(Op::I2F, inputs(u32(-3), 0))[0], f(-3.f));
+}
+
+TEST(Executor, SpecialFunctions)
+{
+    auto f = [](float x) { return asBits(x); };
+    EXPECT_FLOAT_EQ(asFloat(evaluate(Op::FRCP, inputs(f(4.f), 0))[0]),
+                    0.25f);
+    EXPECT_FLOAT_EQ(
+        asFloat(evaluate(Op::FSQRT, inputs(f(9.f), 0))[0]), 3.0f);
+    EXPECT_FLOAT_EQ(
+        asFloat(evaluate(Op::FRSQRT, inputs(f(4.f), 0))[0]), 0.5f);
+    EXPECT_FLOAT_EQ(
+        asFloat(evaluate(Op::FEXP2, inputs(f(3.f), 0))[0]), 8.0f);
+    EXPECT_FLOAT_EQ(
+        asFloat(evaluate(Op::FLOG2, inputs(f(8.f), 0))[0]), 3.0f);
+    EXPECT_NEAR(asFloat(evaluate(Op::FSIN, inputs(f(0.5f), 0))[0]),
+                std::sin(0.5f), 1e-6);
+}
+
+TEST(Executor, InactiveLanesStayZero)
+{
+    ExecInputs in = inputs(2, 3);
+    in.active = 0x0000ffff;
+    WarpValue r = evaluate(Op::IADD, in);
+    EXPECT_EQ(r[0], 5u);
+    EXPECT_EQ(r[15], 5u);
+    EXPECT_EQ(r[16], 0u);
+    EXPECT_EQ(r[31], 0u);
+}
+
+TEST(Executor, SpecialRegisters)
+{
+    ExecInputs in;
+    in.src[0] = splat(static_cast<u32>(SpecialReg::TidX));
+    in.ctx = {3, 1, 8, 2, 64, 2, 1}; // warp 1 of a 64x2 block
+    WarpValue tidx = evaluate(Op::S2R, in);
+    // Warp 1 covers linear threads 32..63: tid.x = linear % 64.
+    EXPECT_EQ(tidx[0], 32u);
+    EXPECT_EQ(tidx[31], 63u);
+
+    in.src[0] = splat(static_cast<u32>(SpecialReg::TidY));
+    WarpValue tidy = evaluate(Op::S2R, in);
+    EXPECT_EQ(tidy[0], 0u);
+
+    in.src[0] = splat(static_cast<u32>(SpecialReg::CtaIdX));
+    EXPECT_EQ(evaluate(Op::S2R, in)[5], 3u);
+    in.src[0] = splat(static_cast<u32>(SpecialReg::LaneId));
+    EXPECT_EQ(evaluate(Op::S2R, in)[7], 7u);
+}
+
+TEST(Executor, BranchTakenMaskSelectsZeroLanes)
+{
+    WarpValue pred{};
+    pred[0] = 1;
+    pred[5] = 7;
+    WarpMask taken = branchTakenMask(pred, fullMask);
+    // Lanes with pred==0 take the branch.
+    EXPECT_FALSE(taken & (1u << 0));
+    EXPECT_FALSE(taken & (1u << 5));
+    EXPECT_TRUE(taken & (1u << 1));
+    EXPECT_EQ(popcount(taken), 30u);
+
+    // Inactive lanes never take.
+    EXPECT_EQ(branchTakenMask(pred, 0x1), 0u);
+}
+
+TEST(SimtStack, LinearAdvance)
+{
+    SimtStack stack;
+    stack.reset(fullMask);
+    EXPECT_EQ(stack.pc(), 0u);
+    stack.advance();
+    stack.advance();
+    EXPECT_EQ(stack.pc(), 2u);
+    EXPECT_EQ(stack.mask(), fullMask);
+    stack.exit();
+    EXPECT_TRUE(stack.done());
+}
+
+TEST(SimtStack, UniformBranch)
+{
+    SimtStack stack;
+    stack.reset(fullMask);
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.pc = 0;
+    bra.takenPc = 10;
+    bra.reconvPc = 10;
+    stack.branch(bra, fullMask);
+    EXPECT_EQ(stack.pc(), 10u);
+    EXPECT_EQ(stack.depth(), 1u);
+
+    stack.branch(bra, 0); // nobody takes: fall through to pc+1
+    EXPECT_EQ(stack.pc(), 1u);
+}
+
+TEST(SimtStack, DivergeAndReconverge)
+{
+    SimtStack stack;
+    stack.reset(fullMask);
+    // if (lane < 16) {pc 1..2} else {pc 3..4}; reconverge at 5.
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.pc = 0;
+    bra.takenPc = 3;
+    bra.reconvPc = 5;
+    WarpMask taken = 0xffff0000; // upper lanes go to else
+    stack.branch(bra, taken);
+
+    // Fall-through (then) path runs first.
+    EXPECT_EQ(stack.pc(), 1u);
+    EXPECT_EQ(stack.mask(), 0x0000ffffu);
+    stack.advance(); // pc 2
+    stack.advance(); // pc 3... but then-path jumps to reconv via
+                     // an unconditional branch in real code; emulate:
+    Instruction jump;
+    jump.op = Op::BRA;
+    jump.pc = 2;
+    jump.takenPc = 5;
+    jump.reconvPc = 5;
+    // Rewind: construct the situation precisely instead.
+    SimtStack s2;
+    s2.reset(fullMask);
+    s2.branch(bra, taken);
+    EXPECT_EQ(s2.pc(), 1u);
+    s2.advance(); // pc 2 (the jump's slot)
+    s2.branch(jump, s2.mask()); // then-lanes jump to 5 == rpc: pop
+    // Else path now runs.
+    EXPECT_EQ(s2.pc(), 3u);
+    EXPECT_EQ(s2.mask(), 0xffff0000u);
+    s2.advance(); // 4
+    s2.advance(); // 5 == rpc: pop, full mask resumes
+    EXPECT_EQ(s2.pc(), 5u);
+    EXPECT_EQ(s2.mask(), fullMask);
+}
+
+TEST(SimtStack, DivergentLoopKeepsBoundedDepth)
+{
+    // Loop at pc 0 (break), 1 (body), 2 (back edge); exit at 3.
+    SimtStack stack;
+    stack.reset(fullMask);
+
+    Instruction breakBra;
+    breakBra.op = Op::BRA;
+    breakBra.pc = 0;
+    breakBra.takenPc = 3;
+    breakBra.reconvPc = 3;
+
+    Instruction backEdge;
+    backEdge.op = Op::BRA;
+    backEdge.pc = 2;
+    backEdge.takenPc = 0;
+    backEdge.reconvPc = 3;
+
+    // Each iteration one more lane leaves.
+    WarpMask remaining = fullMask;
+    for (unsigned iter = 0; iter < 31; iter++) {
+        ASSERT_EQ(stack.pc(), 0u);
+        WarpMask leaving = 1u << iter;
+        stack.branch(breakBra, leaving);
+        remaining &= ~leaving;
+        ASSERT_EQ(stack.pc(), 1u);
+        ASSERT_EQ(stack.mask(), remaining);
+        stack.advance();
+        stack.branch(backEdge, stack.mask());
+        ASSERT_LE(stack.depth(), 4u) << "stack must stay bounded";
+    }
+    // Last lane leaves: everything reconverges at 3.
+    stack.branch(breakBra, remaining);
+    EXPECT_EQ(stack.pc(), 3u);
+    EXPECT_EQ(stack.mask(), fullMask);
+    EXPECT_EQ(stack.depth(), 1u);
+}
+
+TEST(MemoryImage, ReadWriteRoundTrip)
+{
+    MemoryImage image(64);
+    image.writeGlobal(0, 0x12345678);
+    image.writeGlobal(60, 42);
+    EXPECT_EQ(image.readGlobal(0), 0x12345678u);
+    EXPECT_EQ(image.readGlobal(60), 42u);
+    EXPECT_EQ(image.readGlobal(4), 0u);
+}
+
+TEST(MemoryImage, AllocGrowsAndReturnsBase)
+{
+    MemoryImage image;
+    Addr a = image.allocGlobal(16);
+    Addr b = image.allocGlobal(16);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 16u);
+    EXPECT_EQ(image.globalBytes(), 32u);
+}
+
+TEST(MemoryImage, OutOfRangePanics)
+{
+    MemoryImage image(16);
+    EXPECT_DEATH(image.readGlobal(16), "out of range");
+    EXPECT_DEATH(image.readGlobal(2), "unaligned");
+}
+
+TEST(MemoryImage, ConstSegment)
+{
+    MemoryImage image;
+    image.setConstSegment({10, 20, 30});
+    EXPECT_EQ(image.readConst(4), 20u);
+    EXPECT_DEATH(image.readConst(12), "out of range");
+}
+
+} // namespace
+} // namespace wir

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * GPU-level orchestration tests: occupancy limits, CTA backfill,
+ * barrier release across warps, watchdog behaviour, and issue-stream
+ * observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/designs.hh"
+#include "sim/gpu.hh"
+#include "sim/runner.hh"
+#include "timing/sm.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace
+{
+
+Kernel
+trivialKernel(Dim blockDim, Dim gridDim, unsigned scratchBytes = 0,
+              unsigned extraRegs = 0)
+{
+    KernelBuilder b("trivial", blockDim, gridDim);
+    if (scratchBytes)
+        b.setScratchBytes(scratchBytes);
+    Reg gid = factories::globalThreadId(b);
+    // Optionally inflate register pressure with live values.
+    std::vector<Reg> live;
+    for (unsigned i = 0; i < extraRegs; i++)
+        live.push_back(b.iadd(use(gid), Operand::imm(i)));
+    Reg acc = gid;
+    for (auto &r : live)
+        acc = b.iadd(use(acc), use(r));
+    Reg addr = factories::wordAddr(b, gid, 0u);
+    b.stg(use(addr), use(acc));
+    return b.finish();
+}
+
+TEST(Occupancy, LimitedByBlocksSlots)
+{
+    MachineConfig machine;
+    Kernel k = trivialKernel({32, 1}, {64, 1});
+    // Tiny blocks: the 8-block slot limit binds before warps.
+    EXPECT_EQ(Sm::blockLimit(machine, k), machine.maxBlocksPerSm);
+}
+
+TEST(Occupancy, LimitedByWarps)
+{
+    MachineConfig machine;
+    Kernel k = trivialKernel({512, 1}, {4, 1});
+    // 16 warps per block: 48/16 = 3 blocks.
+    EXPECT_EQ(Sm::blockLimit(machine, k), 3u);
+}
+
+TEST(Occupancy, LimitedByScratchpad)
+{
+    MachineConfig machine;
+    Kernel k = trivialKernel({32, 1}, {64, 1}, 20 * 1024);
+    // 48 KB scratchpad / 20 KB per block = 2 blocks.
+    EXPECT_EQ(Sm::blockLimit(machine, k), 2u);
+}
+
+TEST(Occupancy, LimitedByRegisters)
+{
+    MachineConfig machine;
+    // ~40 live registers x 8 warps/block: 1024/(40*8) = 3 blocks.
+    Kernel k = trivialKernel({256, 1}, {4, 1}, 0, 36);
+    ASSERT_GE(k.numRegs, 36u);
+    unsigned expect =
+        machine.physWarpRegs / (k.numRegs * k.warpsPerBlock());
+    EXPECT_EQ(Sm::blockLimit(machine, k), expect);
+}
+
+TEST(CtaScheduler, BackfillsManyBlocks)
+{
+    // Far more blocks than the GPU can hold at once: they must all
+    // run to completion (each block writes its own slots).
+    constexpr unsigned blocks = 120;
+    Workload w;
+    w.name = "backfill";
+    w.abbr = "BK";
+    w.image.allocGlobal(blocks * 32 * 4);
+    w.outputBase = 0;
+    w.outputBytes = blocks * 32 * 4;
+    w.kernel = trivialKernel({32, 1}, {blocks, 1});
+
+    MachineConfig machine;
+    machine.numSms = 2;
+    auto result = runWorkload(std::move(w), designRLPV(), machine);
+    for (unsigned blk = 0; blk < blocks; blk++) {
+        for (unsigned t = 0; t < 32; t++) {
+            unsigned gid = blk * 32 + t;
+            ASSERT_EQ(result.finalMemory[gid], gid)
+                << "block " << blk << " thread " << t;
+        }
+    }
+}
+
+TEST(Barriers, MultiWarpBlocksSynchronize)
+{
+    // Producer/consumer across warps through the scratchpad: warp 0
+    // writes, everyone barriers, warp 1 reads. Without a working
+    // barrier the consumer would read zeros.
+    KernelBuilder b("barrier_sync", {64, 1}, {4, 1});
+    b.setScratchBytes(64 * 4);
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg addr = b.shl(use(tid), Operand::imm(2));
+    Reg val = b.iadd(use(tid), Operand::imm(1000));
+    b.sts(use(addr), use(val));
+    b.bar();
+    // Read the partner thread's slot (tid ^ 32: the other warp).
+    Reg partner = b.emit(Op::IXOR, use(tid), Operand::imm(32));
+    Reg pAddr = b.shl(use(partner), Operand::imm(2));
+    Reg got = b.lds(use(pAddr));
+    Reg gid = factories::globalThreadId(b);
+    Reg outAddr = factories::wordAddr(b, gid, 0u);
+    b.stg(use(outAddr), use(got));
+
+    Workload w;
+    w.name = "barrier_sync";
+    w.abbr = "BR";
+    w.kernel = b.finish();
+    w.image.allocGlobal(4 * 64 * 4);
+    w.outputBase = 0;
+    w.outputBytes = 4 * 64 * 4;
+
+    MachineConfig machine;
+    machine.numSms = 1;
+    for (const auto &design : {designBase(), designRLPV()}) {
+        Workload fresh;
+        fresh.kernel = w.kernel;
+        fresh.image = w.image;
+        auto result = runWorkload(std::move(fresh), design, machine);
+        for (unsigned blk = 0; blk < 4; blk++) {
+            for (unsigned t = 0; t < 64; t++) {
+                u32 expect = (t ^ 32) + 1000;
+                ASSERT_EQ(result.finalMemory[blk * 64 + t], expect)
+                    << design.name << " t " << t;
+            }
+        }
+    }
+}
+
+TEST(Watchdog, InfiniteLoopHitsCycleLimit)
+{
+    KernelBuilder b("spin", {32, 1}, {1, 1});
+    Reg zero = b.immReg(0);
+    b.loopBegin();
+    Reg never = b.emit(Op::ISETEQ, use(zero), Operand::imm(0));
+    b.loopBreakIfZero(use(never)); // never breaks
+    b.emitInto(zero, Op::IAND, use(zero), Operand::imm(0));
+    b.loopEnd();
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(zero));
+    Kernel k = b.finish();
+
+    MachineConfig machine;
+    machine.numSms = 1;
+    machine.maxCycles = 20000;
+    MemoryImage image(64);
+    Gpu gpu(machine, designBase());
+    EXPECT_EXIT(gpu.run(k, image), testing::ExitedWithCode(1),
+                "cycle limit");
+}
+
+TEST(Observer, SeesEveryCommittedInstruction)
+{
+    struct Counter : IssueObserver
+    {
+        u64 count = 0;
+        void
+        onIssue(SmId, const Instruction &, const WarpValue[3],
+                const WarpValue &, WarpMask) override
+        {
+            count++;
+        }
+    };
+
+    Workload w = makeWorkload("PF");
+    Counter counter;
+    MachineConfig machine;
+    machine.numSms = 4;
+    Gpu gpu(machine, designBase());
+    SimStats stats = gpu.run(w.kernel, w.image, &counter);
+    EXPECT_EQ(counter.count, stats.warpInstsCommitted);
+}
+
+TEST(MultiSm, MoreSmsNeverSlower)
+{
+    MachineConfig one;
+    one.numSms = 1;
+    MachineConfig four;
+    four.numSms = 4;
+    auto r1 = runWorkload(makeWorkload("SD"), designBase(), one);
+    auto r4 = runWorkload(makeWorkload("SD"), designBase(), four);
+    EXPECT_LT(r4.stats.cycles, r1.stats.cycles);
+    EXPECT_EQ(r1.finalMemory, r4.finalMemory);
+}
+
+} // namespace
+} // namespace wir

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for src/isa: opcode traits, KernelBuilder structured
+ * control flow, the linear-scan register allocator, disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "isa/opcode.hh"
+
+namespace wir
+{
+namespace
+{
+
+TEST(OpTraits, EveryOpcodeHasAName)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); i++) {
+        const auto &tr = traits(static_cast<Op>(i));
+        EXPECT_FALSE(tr.name.empty());
+    }
+}
+
+TEST(OpTraits, ReuseEligibilityMatchesThePaper)
+{
+    // Arithmetic and SFU ops and loads are reusable.
+    EXPECT_TRUE(isReusable(Op::IADD));
+    EXPECT_TRUE(isReusable(Op::FFMA));
+    EXPECT_TRUE(isReusable(Op::FSIN));
+    EXPECT_TRUE(isReusable(Op::LDG));
+    EXPECT_TRUE(isReusable(Op::LDS));
+    EXPECT_TRUE(isReusable(Op::LDC));
+    // Control flow, stores, and special-register reads are not
+    // (Section III-A).
+    EXPECT_FALSE(isReusable(Op::BRA));
+    EXPECT_FALSE(isReusable(Op::BAR));
+    EXPECT_FALSE(isReusable(Op::STG));
+    EXPECT_FALSE(isReusable(Op::STS));
+    EXPECT_FALSE(isReusable(Op::S2R));
+    EXPECT_FALSE(isReusable(Op::NOP));
+}
+
+TEST(OpTraits, PipelineAssignment)
+{
+    EXPECT_EQ(pipelineOf(Op::IADD), Pipeline::SP);
+    EXPECT_EQ(pipelineOf(Op::FFMA), Pipeline::SP);
+    EXPECT_EQ(pipelineOf(Op::FSIN), Pipeline::SFU);
+    EXPECT_EQ(pipelineOf(Op::LDG), Pipeline::MEM);
+    EXPECT_EQ(pipelineOf(Op::STS), Pipeline::MEM);
+    EXPECT_EQ(pipelineOf(Op::BRA), Pipeline::CTRL);
+}
+
+TEST(Builder, StraightLineKernel)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    Reg a = b.immReg(5);
+    Reg c = b.iadd(use(a), Operand::imm(7));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(c));
+    Kernel k = b.finish();
+
+    ASSERT_EQ(k.insts.size(), 5u); // 2 imov, iadd, stg, exit
+    EXPECT_EQ(k.insts.back().op, Op::EXIT);
+    EXPECT_GE(k.numRegs, 2u);
+    EXPECT_LE(k.numRegs, 3u);
+}
+
+TEST(Builder, IfElsePatchesTargets)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    Reg p = b.immReg(1);
+    b.iff(use(p));
+    Reg x = b.immReg(10);
+    (void)x;
+    b.elseBranch();
+    Reg y = b.immReg(20);
+    (void)y;
+    b.endIf();
+    Kernel k = b.finish();
+
+    // Find the conditional branch.
+    const Instruction *ifBra = nullptr;
+    const Instruction *elseJump = nullptr;
+    for (const auto &inst : k.insts) {
+        if (inst.op != Op::BRA)
+            continue;
+        if (inst.srcs[0].isReg())
+            ifBra = &inst;
+        else
+            elseJump = &inst;
+    }
+    ASSERT_NE(ifBra, nullptr);
+    ASSERT_NE(elseJump, nullptr);
+    // The if-branch targets the else block (after the else jump).
+    EXPECT_EQ(ifBra->takenPc, elseJump->pc + 1);
+    // Both reconverge at the same endif pc.
+    EXPECT_EQ(ifBra->reconvPc, elseJump->takenPc);
+    EXPECT_EQ(elseJump->reconvPc, elseJump->takenPc);
+}
+
+TEST(Builder, LoopBackEdgeAndBreak)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    Reg i = b.immReg(0);
+    b.loopBegin();
+    Reg limit = b.immReg(4);
+    Reg more = b.emit(Op::ISETLT, use(i), use(limit));
+    b.loopBreakIfZero(use(more));
+    b.emitInto(i, Op::IADD, use(i), Operand::imm(1));
+    b.loopEnd();
+    Kernel k = b.finish();
+
+    // The last BRA before EXIT is the back edge.
+    const Instruction *backEdge = nullptr;
+    const Instruction *breakBra = nullptr;
+    for (const auto &inst : k.insts) {
+        if (inst.op != Op::BRA)
+            continue;
+        if (inst.srcs[0].isImm())
+            backEdge = &inst;
+        else
+            breakBra = &inst;
+    }
+    ASSERT_NE(backEdge, nullptr);
+    ASSERT_NE(breakBra, nullptr);
+    EXPECT_LT(backEdge->takenPc, backEdge->pc); // backward
+    EXPECT_EQ(breakBra->takenPc, backEdge->pc + 1); // to loop exit
+    EXPECT_EQ(breakBra->reconvPc, backEdge->pc + 1);
+}
+
+TEST(Builder, MismatchedControlFlowPanics)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    EXPECT_DEATH(b.endIf(), "endIf");
+    KernelBuilder b2("t", {32, 1}, {1, 1});
+    EXPECT_DEATH(b2.loopEnd(), "loopEnd");
+    KernelBuilder b3("t", {32, 1}, {1, 1});
+    b3.iff(Operand::imm(1));
+    EXPECT_DEATH(b3.finish(), "unclosed");
+}
+
+TEST(Builder, ConstSegmentAddressing)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    u32 a0 = b.addConst({1, 2, 3});
+    u32 a1 = b.addConst({4});
+    EXPECT_EQ(a0, 0u);
+    EXPECT_EQ(a1, 12u);
+    Reg v = b.ldc(Operand::imm(a1));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(v));
+    Kernel k = b.finish();
+    EXPECT_EQ(k.constSegment.size(), 4u);
+}
+
+TEST(RegAlloc, ReusesDeadRegisters)
+{
+    // A long chain of single-use temporaries must fit in few
+    // registers.
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    Reg v = b.immReg(1);
+    for (int i = 0; i < 200; i++)
+        v = b.iadd(use(v), Operand::imm(1));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(v));
+    Kernel k = b.finish();
+    EXPECT_LE(k.numRegs, 4u);
+}
+
+TEST(RegAlloc, KeepsOverlappingValuesApart)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    std::vector<Reg> live;
+    for (int i = 0; i < 20; i++)
+        live.push_back(b.immReg(i));
+    // All 20 still live here: sum them.
+    Reg acc = b.immReg(0);
+    for (auto &r : live)
+        acc = b.iadd(use(acc), use(r));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(acc));
+    Kernel k = b.finish();
+    EXPECT_GE(k.numRegs, 20u);
+}
+
+TEST(RegAlloc, ExtendsRangesAcrossLoops)
+{
+    // A value defined before the loop and used inside must survive
+    // the whole loop even though temporaries churn inside.
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    Reg keep = b.immReg(42);
+    Reg i = b.immReg(0);
+    b.loopBegin();
+    Reg limit = b.immReg(4);
+    Reg more = b.emit(Op::ISETLT, use(i), use(limit));
+    b.loopBreakIfZero(use(more));
+    Reg t = b.iadd(use(keep), use(i));
+    Reg addr = b.shl(use(i), Operand::imm(2));
+    b.stg(use(addr), use(t));
+    b.emitInto(i, Op::IADD, use(i), Operand::imm(1));
+    b.loopEnd();
+    Kernel k = b.finish();
+
+    // keep, i must not share registers with loop temporaries.
+    // Functional check happens in the end-to-end tests; here we just
+    // sanity-check the assignment is within bounds and valid.
+    k.validate();
+    EXPECT_LE(k.numRegs, 63u);
+}
+
+TEST(RegAlloc, PressureBeyond63IsFatal)
+{
+    KernelBuilder b("t", {32, 1}, {1, 1});
+    std::vector<Reg> live;
+    for (int i = 0; i < 70; i++)
+        live.push_back(b.immReg(i));
+    Reg acc = b.immReg(0);
+    for (auto &r : live)
+        acc = b.iadd(use(acc), use(r));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(acc));
+    EXPECT_EXIT(b.finish(), testing::ExitedWithCode(1),
+                "register pressure");
+}
+
+TEST(Disasm, RendersInstructionAndKernel)
+{
+    KernelBuilder b("demo", {32, 1}, {2, 1});
+    Reg a = b.immReg(3);
+    Reg c = b.iadd(use(a), Operand::imm(4));
+    Reg addr = b.immReg(0);
+    b.stg(use(addr), use(c));
+    Kernel k = b.finish();
+
+    std::string text = disassemble(k);
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("iadd"), std::string::npos);
+    EXPECT_NE(text.find("st.global"), std::string::npos);
+    EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+TEST(Kernel, ValidateRejectsBadRegisters)
+{
+    Kernel k;
+    k.name = "bad";
+    k.blockDim = {32, 1};
+    k.gridDim = {1, 1};
+    k.numRegs = 1;
+    Instruction inst;
+    inst.op = Op::IADD;
+    inst.dst = 0;
+    inst.srcs = {Operand::reg(5), Operand::imm(0), Operand{}};
+    inst.pc = 0;
+    k.insts.push_back(inst);
+    Instruction exitInst;
+    exitInst.op = Op::EXIT;
+    exitInst.pc = 1;
+    k.insts.push_back(exitInst);
+    EXPECT_DEATH(k.validate(), "out of range");
+}
+
+} // namespace
+} // namespace wir

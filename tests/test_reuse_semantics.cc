@@ -1,0 +1,279 @@
+/**
+ * @file
+ * SM-level tests of the paper's reuse semantics: the load-reuse
+ * memory-hazard rules of Section VI-A (store flags, barrier epochs,
+ * per-block scratchpad spaces), the pending-retry mechanism of
+ * Section VI-B, partial-warp handling, and the Fig. 2 profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "sim/designs.hh"
+#include "sim/profiler.hh"
+#include "sim/runner.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace
+{
+
+MachineConfig
+oneSmMachine()
+{
+    MachineConfig machine;
+    machine.numSms = 1;
+    return machine;
+}
+
+/** Workload shell with one scratch global word array. */
+Workload
+shell(Kernel kernel, unsigned globalWords)
+{
+    Workload w;
+    w.name = kernel.name;
+    w.abbr = "T";
+    w.kernel = std::move(kernel);
+    w.image.allocGlobal(globalWords * 4);
+    w.outputBase = 0;
+    w.outputBytes = globalWords * 4;
+    return w;
+}
+
+TEST(LoadReuseHazards, StoreBlocksReuseWithinWarp)
+{
+    // ld A[0]; st B; ld A[0] -- the second load must not reuse the
+    // first (Section VI-A rule 1: a store taints all later loads of
+    // the warp until the next barrier).
+    KernelBuilder b("store_blocks", {32, 1}, {1, 1});
+    Reg addr = b.immReg(0);
+    Reg v1 = b.ldg(use(addr));
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg stAddr = b.imad(use(tid), Operand::imm(4),
+                        Operand::imm(128));
+    b.stg(use(stAddr), use(v1));
+    Reg v2 = b.ldg(use(addr));
+    Reg outAddr = b.imad(use(tid), Operand::imm(4),
+                         Operand::imm(384));
+    b.stg(use(outAddr), use(v2));
+
+    auto result = runWorkload(shell(b.finish(), 256),
+                              designRLPV(), oneSmMachine());
+    EXPECT_EQ(result.stats.loadReuseHits, 0u);
+}
+
+TEST(LoadReuseHazards, IdenticalLoadsReuseWithoutStores)
+{
+    // Without an intervening store, the second identical load
+    // reuses the first.
+    KernelBuilder b("loads_reuse", {32, 1}, {1, 1});
+    Reg addr = b.immReg(0);
+    Reg v1 = b.ldg(use(addr));
+    Reg v2 = b.ldg(use(addr));
+    Reg sum = b.iadd(use(v1), use(v2));
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg outAddr = b.imad(use(tid), Operand::imm(4),
+                         Operand::imm(128));
+    b.stg(use(outAddr), use(sum));
+
+    auto result = runWorkload(shell(b.finish(), 256),
+                              designRLPV(), oneSmMachine());
+    EXPECT_GE(result.stats.loadReuseHits, 1u);
+}
+
+TEST(LoadReuseHazards, BarrierOpensNewEpoch)
+{
+    // ld; st; bar; ld; ld -- after the barrier the store taint is
+    // cleared, but the post-barrier load must not reuse the
+    // pre-barrier one (rule 2); only the final load can reuse the
+    // third.
+    KernelBuilder b("barrier_epoch", {32, 1}, {1, 1});
+    Reg addr = b.immReg(0);
+    Reg v1 = b.ldg(use(addr));
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg stAddr = b.imad(use(tid), Operand::imm(4),
+                        Operand::imm(128));
+    b.stg(use(stAddr), use(v1));
+    b.bar();
+    Reg v3 = b.ldg(use(addr)); // new epoch: cannot reuse v1
+    Reg v4 = b.ldg(use(addr)); // same epoch: reuses v3
+    Reg sum = b.iadd(use(v3), use(v4));
+    Reg outAddr = b.imad(use(tid), Operand::imm(4),
+                         Operand::imm(384));
+    b.stg(use(outAddr), use(sum));
+
+    auto result = runWorkload(shell(b.finish(), 256),
+                              designRLPV(), oneSmMachine());
+    EXPECT_EQ(result.stats.loadReuseHits, 1u);
+}
+
+TEST(LoadReuseHazards, MembarActsAsEpochBoundary)
+{
+    KernelBuilder b("membar_epoch", {32, 1}, {1, 1});
+    Reg addr = b.immReg(0);
+    Reg v1 = b.ldg(use(addr));
+    Reg tid = b.s2r(SpecialReg::TidX);
+    Reg stAddr = b.imad(use(tid), Operand::imm(4),
+                        Operand::imm(128));
+    b.stg(use(stAddr), use(v1));
+    b.membar();
+    Reg v3 = b.ldg(use(addr)); // store flag cleared, new epoch
+    Reg v4 = b.ldg(use(addr)); // reuses v3
+    Reg sum = b.iadd(use(v3), use(v4));
+    Reg outAddr = b.imad(use(tid), Operand::imm(4),
+                         Operand::imm(384));
+    b.stg(use(outAddr), use(sum));
+
+    auto result = runWorkload(shell(b.finish(), 256),
+                              designRLPV(), oneSmMachine());
+    EXPECT_EQ(result.stats.loadReuseHits, 1u);
+}
+
+TEST(LoadReuseHazards, ScratchpadReuseStaysWithinBlock)
+{
+    // Two blocks each load scratch[0] twice (same logical address,
+    // physically different memories). The within-block repeat
+    // reuses; the cross-block repeat must not (TBID field).
+    KernelBuilder b("scratch_blocks", {32, 1}, {2, 1});
+    b.setScratchBytes(64);
+    Reg addr = b.immReg(0);
+    Reg v1 = b.lds(use(addr));
+    Reg v2 = b.lds(use(addr));
+    Reg sum = b.iadd(use(v1), use(v2));
+    Reg gid = factories::globalThreadId(b);
+    Reg outAddr = factories::wordAddr(b, gid, 0u);
+    b.stg(use(outAddr), use(sum));
+
+    auto result = runWorkload(shell(b.finish(), 64), designRLPV(),
+                              oneSmMachine());
+    // Exactly one reuse per block: 2 total.
+    EXPECT_EQ(result.stats.loadReuseHits, 2u);
+}
+
+TEST(LoadReuseHazards, RacyStoreIsNotObservedEarly)
+{
+    // Fig. 10's i8/i9 case: a warp stores a new value and reloads
+    // the same address; the reload must see the stored value, never
+    // a stale reuse of the earlier load.
+    auto make = []() {
+        KernelBuilder b("racy", {32, 1}, {1, 1});
+        Reg tid = b.s2r(SpecialReg::TidX);
+        Reg addr = b.imad(use(tid), Operand::imm(4),
+                          Operand::imm(0));
+        Reg v1 = b.ldg(use(addr)); // old values (zeros)
+        Reg newVal = b.iadd(use(tid), Operand::imm(100));
+        b.stg(use(addr), use(newVal));
+        Reg v2 = b.ldg(use(addr)); // must observe the store
+        Reg sum = b.iadd(use(v1), use(v2));
+        Reg outAddr = b.imad(use(tid), Operand::imm(4),
+                             Operand::imm(128));
+        b.stg(use(outAddr), use(sum));
+        return shell(b.finish(), 64);
+    };
+
+    for (const auto &design : {designBase(), designRLPV()}) {
+        auto result = runWorkload(make(), design, oneSmMachine());
+        for (unsigned t = 0; t < 32; t++) {
+            EXPECT_EQ(result.finalMemory[32 + t], t + 100)
+                << design.name << " lane " << t;
+        }
+    }
+}
+
+TEST(PendingRetry, BackToBackIssuesHitViaQueue)
+{
+    // Fig. 11: many warps issue the identical computation in
+    // back-to-back cycles; without pending-retry most of them miss
+    // (the first result is not ready yet).
+    auto make = []() {
+        KernelBuilder b("backtoback", {256, 1}, {4, 1});
+        // Identical long-latency computation in every warp.
+        Reg x = b.immRegF(1.5f);
+        for (int i = 0; i < 8; i++)
+            x = b.emit(Op::FSIN, use(x));
+        Reg tid = factories::globalThreadId(b);
+        Reg outAddr = factories::wordAddr(b, tid, 0u);
+        b.stg(use(outAddr), use(x));
+        return shell(b.finish(), 1024);
+    };
+
+    MachineConfig machine = oneSmMachine();
+    auto rlpv = runWorkload(make(), designRLPV(), machine);
+    auto rl = runWorkload(make(), designRL(), machine);
+    EXPECT_GT(rlpv.stats.reuseHitsPending, 0u);
+    EXPECT_EQ(rl.stats.reuseHitsPending, 0u);
+    EXPECT_GT(rlpv.stats.warpInstsReused,
+              rl.stats.warpInstsReused);
+    EXPECT_EQ(rlpv.finalMemory, rl.finalMemory);
+}
+
+TEST(PartialWarps, DivergentBlocksStayCorrect)
+{
+    // blockDim 48: the second warp of each block has only 16 active
+    // lanes, so every instruction in it is divergent (pin-bit path).
+    auto make = []() {
+        KernelBuilder b("partial", {48, 1}, {4, 1});
+        Reg gid = factories::globalThreadId(b);
+        Reg doubled = b.shl(use(gid), Operand::imm(1));
+        Reg outAddr = factories::wordAddr(b, gid, 0u);
+        b.stg(use(outAddr), use(doubled));
+        return shell(b.finish(), 256);
+    };
+
+    MachineConfig machine = oneSmMachine();
+    auto base = runWorkload(make(), designBase(), machine);
+    auto rlpv = runWorkload(make(), designRLPV(), machine);
+    for (unsigned blk = 0; blk < 4; blk++) {
+        for (unsigned t = 0; t < 48; t++) {
+            unsigned gid = blk * 48 + t;
+            ASSERT_EQ(base.finalMemory[gid], 2 * gid);
+        }
+    }
+    EXPECT_EQ(base.finalMemory, rlpv.finalMemory);
+}
+
+TEST(Profiler, SeparatesRepeatedFromUniqueStreams)
+{
+    // Repeated stream: every warp computes identical values.
+    auto makeRepeated = []() {
+        KernelBuilder b("repeated", {64, 1}, {8, 1});
+        Reg lane = b.s2r(SpecialReg::LaneId);
+        Reg x = b.iadd(use(lane), Operand::imm(1));
+        for (int i = 0; i < 40; i++)
+            x = b.imul(use(x), Operand::imm(3));
+        Reg gid = factories::globalThreadId(b);
+        Reg outAddr = factories::wordAddr(b, gid, 0u);
+        b.stg(use(outAddr), use(x));
+        return shell(b.finish(), 1024);
+    };
+    // Unique stream: every warp's values differ (gid-seeded).
+    auto makeUnique = []() {
+        KernelBuilder b("unique", {64, 1}, {8, 1});
+        Reg gid = factories::globalThreadId(b);
+        Reg x = b.iadd(use(gid), Operand::imm(1));
+        for (int i = 0; i < 40; i++)
+            x = b.imad(use(x), Operand::imm(2654435761u), use(gid));
+        Reg outAddr = factories::wordAddr(b, gid, 0u);
+        b.stg(use(outAddr), use(x));
+        return shell(b.finish(), 1024);
+    };
+
+    MachineConfig machine = oneSmMachine();
+    Workload rep = makeRepeated();
+    ReuseProfiler profRep(machine.numSms);
+    Gpu(machine, designBase()).run(rep.kernel, rep.image, &profRep);
+
+    Workload uniq = makeUnique();
+    ReuseProfiler profUniq(machine.numSms);
+    Gpu(machine, designBase()).run(uniq.kernel, uniq.image,
+                                   &profUniq);
+
+    EXPECT_GT(profRep.result().repeatedFraction, 0.5);
+    EXPECT_LT(profUniq.result().repeatedFraction, 0.2);
+    EXPECT_GT(profRep.result().repeatedFraction,
+              profUniq.result().repeatedFraction + 0.3);
+}
+
+} // namespace
+} // namespace wir

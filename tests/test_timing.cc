@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for src/timing: scoreboard, GTO scheduler, register
+ * banks, FU pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/fu_pipeline.hh"
+#include "timing/regfile_banks.hh"
+#include "timing/scheduler.hh"
+#include "timing/scoreboard.hh"
+
+namespace wir
+{
+namespace
+{
+
+Instruction
+makeAdd(LogicalReg dst, LogicalReg a, LogicalReg b)
+{
+    Instruction inst;
+    inst.op = Op::IADD;
+    inst.dst = dst;
+    inst.srcs = {Operand::reg(a), Operand::reg(b), Operand{}};
+    return inst;
+}
+
+TEST(Scoreboard, RawHazard)
+{
+    Scoreboard sb;
+    Instruction producer = makeAdd(3, 1, 2);
+    Instruction consumer = makeAdd(4, 3, 2);
+    EXPECT_FALSE(sb.hazard(producer));
+    sb.reserve(producer);
+    EXPECT_TRUE(sb.hazard(consumer));
+    sb.release(producer);
+    EXPECT_FALSE(sb.hazard(consumer));
+    EXPECT_TRUE(sb.clean());
+}
+
+TEST(Scoreboard, WawHazard)
+{
+    Scoreboard sb;
+    Instruction first = makeAdd(3, 1, 2);
+    Instruction second = makeAdd(3, 4, 5);
+    sb.reserve(first);
+    EXPECT_TRUE(sb.hazard(second));
+    EXPECT_TRUE(sb.isPending(3));
+    EXPECT_FALSE(sb.isPending(4));
+}
+
+TEST(Scoreboard, IndependentInstructionsPass)
+{
+    Scoreboard sb;
+    sb.reserve(makeAdd(3, 1, 2));
+    EXPECT_FALSE(sb.hazard(makeAdd(6, 4, 5)));
+}
+
+TEST(Gto, GreedyPrefersLastIssued)
+{
+    GtoScheduler sched({0, 1, 2});
+    auto age = [](WarpId w) { return u64{w}; };
+    auto allReady = [](WarpId) { return true; };
+
+    // First pick: the oldest.
+    EXPECT_EQ(*sched.pick(allReady, age), 0);
+    // Stays greedy on warp 0.
+    EXPECT_EQ(*sched.pick(allReady, age), 0);
+
+    // When 0 stalls, fall back to the next-oldest.
+    auto notZero = [](WarpId w) { return w != 0; };
+    EXPECT_EQ(*sched.pick(notZero, age), 1);
+    // Greedy sticks to 1 even with 0 ready again.
+    EXPECT_EQ(*sched.pick(allReady, age), 1);
+}
+
+TEST(Gto, ReturnsNulloptWhenNothingReady)
+{
+    GtoScheduler sched({0, 1});
+    auto age = [](WarpId w) { return u64{w}; };
+    auto none = [](WarpId) { return false; };
+    EXPECT_FALSE(sched.pick(none, age).has_value());
+}
+
+TEST(Lrr, RotatesAcrossReadyWarps)
+{
+    GtoScheduler sched({0, 1, 2}, SchedulerPolicy::Lrr);
+    auto age = [](WarpId w) { return u64{w}; };
+    auto allReady = [](WarpId) { return true; };
+    EXPECT_EQ(*sched.pick(allReady, age), 0);
+    EXPECT_EQ(*sched.pick(allReady, age), 1);
+    EXPECT_EQ(*sched.pick(allReady, age), 2);
+    EXPECT_EQ(*sched.pick(allReady, age), 0);
+
+    // Skips stalled warps but keeps rotating.
+    auto notOne = [](WarpId w) { return w != 1; };
+    EXPECT_EQ(*sched.pick(notOne, age), 2);
+    EXPECT_EQ(*sched.pick(notOne, age), 0);
+}
+
+TEST(RegBanks, ConflictFreeAccessesProceed)
+{
+    SimStats stats;
+    RegFileBanks banks(8);
+    EXPECT_EQ(banks.read(0, 10, false, stats), 11u);
+    EXPECT_EQ(banks.read(1, 10, false, stats), 11u);
+    EXPECT_EQ(banks.write(0, 10, false, stats), 11u);
+    EXPECT_EQ(stats.rfBankRetries, 0u);
+    EXPECT_EQ(stats.rfBankReads, 16u); // two 8-bank reads
+    EXPECT_EQ(stats.rfBankWrites, 8u);
+}
+
+TEST(RegBanks, SameGroupConflictsRetry)
+{
+    SimStats stats;
+    RegFileBanks banks(8);
+    EXPECT_EQ(banks.read(3, 10, false, stats), 11u);
+    EXPECT_EQ(banks.read(3, 10, false, stats), 12u);
+    EXPECT_EQ(banks.read(3, 10, false, stats), 13u);
+    EXPECT_EQ(stats.rfBankRetries, 3u); // 0 + 1 + 2
+    EXPECT_EQ(stats.rfBankRequests, 3u);
+}
+
+TEST(RegBanks, AffineAccessTouchesOneBank)
+{
+    SimStats stats;
+    RegFileBanks banks(8);
+    banks.read(0, 0, true, stats);
+    banks.write(1, 0, true, stats);
+    EXPECT_EQ(stats.rfBankReads, 1u);
+    EXPECT_EQ(stats.rfBankWrites, 1u);
+}
+
+TEST(RegBanks, GroupMapping)
+{
+    RegFileBanks banks(8);
+    EXPECT_EQ(banks.groupOf(0), 0u);
+    EXPECT_EQ(banks.groupOf(9), 1u);
+    EXPECT_EQ(banks.groupOf(1023), 1023u % 8);
+}
+
+TEST(FuPipeline, ThroughputOnePerCycle)
+{
+    FuPipeline fu;
+    EXPECT_EQ(fu.dispatch(5, 10), 15u);
+    EXPECT_EQ(fu.dispatch(5, 10), 16u); // second waits a cycle
+    EXPECT_FALSE(fu.available(6));
+    EXPECT_TRUE(fu.available(7));
+}
+
+TEST(FuPipeline, OpcodeRouting)
+{
+    EXPECT_EQ(fuFor(Op::IADD, 0), FuKind::SP0);
+    EXPECT_EQ(fuFor(Op::IADD, 1), FuKind::SP1);
+    EXPECT_EQ(fuFor(Op::FSIN, 0), FuKind::SFU);
+    EXPECT_EQ(fuFor(Op::LDG, 1), FuKind::MEM);
+}
+
+TEST(FuPipeline, LatenciesFollowConfig)
+{
+    MachineConfig config;
+    EXPECT_EQ(fuLatency(Op::IADD, config), config.spIntLatency);
+    EXPECT_EQ(fuLatency(Op::FFMA, config), config.spFpLatency);
+    EXPECT_EQ(fuLatency(Op::FSIN, config), config.sfuLatency);
+}
+
+} // namespace
+} // namespace wir

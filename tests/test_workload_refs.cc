@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Independent CPU reference implementations for a cross-section of
+ * the Table I workloads. Cross-design equivalence (test_end2end)
+ * proves all designs agree; these tests prove they agree on the
+ * *right answer*. Layout constants mirror the factories in
+ * src/workloads -- if a kernel changes shape, these tests catch the
+ * drift.
+ *
+ * Float kernels are compared with a small relative tolerance: the
+ * reference is compiled from the same expressions but the compiler
+ * may contract multiplies and adds differently than the simulator's
+ * interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace
+{
+
+MachineConfig
+testMachine()
+{
+    MachineConfig machine;
+    machine.numSms = 4;
+    return machine;
+}
+
+float
+f(u32 bits)
+{
+    return asFloat(bits);
+}
+
+void
+expectNearF(u32 gotBits, float want, const char *what, unsigned i)
+{
+    float got = f(gotBits);
+    float tol = 1e-4f * (std::fabs(want) + 1.0f);
+    EXPECT_NEAR(got, want, tol) << what << " element " << i;
+}
+
+/** Run under RLPV (the strictest path) and return memory. */
+std::pair<std::vector<u32>, std::vector<u32>>
+runAndSnapshot(const char *abbr)
+{
+    Workload before = makeWorkload(abbr);
+    std::vector<u32> input = before.image.snapshotGlobal();
+    auto result = runWorkload(std::move(before), designRLPV(),
+                              testMachine());
+    return {input, result.finalMemory};
+}
+
+TEST(WorkloadRefs, GaussianFan2)
+{
+    constexpr unsigned n = 160, k = 8;
+    auto [input, output] = runAndSnapshot("GA");
+    // Layout: a at word 0, m at word n*n.
+    for (unsigned i = k + 1; i < n; i++) {
+        float m = f(input[n * n + i]);
+        for (unsigned j = 0; j < n; j++) {
+            float akj = f(input[k * n + j]);
+            float aij = f(input[i * n + j]);
+            float want = aij - m * akj;
+            expectNearF(output[i * n + j], want, "GA", i * n + j);
+        }
+    }
+}
+
+TEST(WorkloadRefs, PathfinderDp)
+{
+    constexpr unsigned cols = 8192, steps = 4;
+    auto [input, output] = runAndSnapshot("PF");
+    // Layout: cost [0, steps*cols), prev at steps*cols, out after.
+    const u32 *cost = input.data();
+    const u32 *prev = input.data() + steps * cols;
+    for (unsigned g = 0; g < cols; g++) {
+        u32 acc = prev[g];
+        for (unsigned s = 0; s < steps; s++) {
+            u32 left = prev[g == 0 ? 0 : g - 1];
+            u32 right = prev[g == cols - 1 ? cols - 1 : g + 1];
+            u32 m = std::min(std::min(left, right), acc);
+            acc = m + cost[s * cols + g];
+        }
+        ASSERT_EQ(output[(steps + 1) * cols + g], acc)
+            << "PF column " << g;
+    }
+}
+
+TEST(WorkloadRefs, SumOfAbsoluteDifferences)
+{
+    constexpr unsigned mbs = 6144, span = 8;
+    auto [input, output] = runAndSnapshot("SD");
+    const u32 *cur = input.data();
+    const u32 *ref = input.data() + mbs * span;
+    for (unsigned g = 0; g < mbs; g++) {
+        u32 acc = 0;
+        for (unsigned i = 0; i < span; i++) {
+            i32 d = static_cast<i32>(cur[g * span + i]) -
+                    static_cast<i32>(ref[g * span + i]);
+            acc += static_cast<u32>(d < 0 ? -d : d);
+        }
+        ASSERT_EQ(output[2 * mbs * span + g], acc) << "SD mb " << g;
+    }
+}
+
+TEST(WorkloadRefs, HaarWavelet)
+{
+    constexpr unsigned samples = 80 * 128 * 2;
+    auto [input, output] = runAndSnapshot("DW");
+    for (unsigned g = 0; g < samples / 2; g++) {
+        i32 a = static_cast<i32>(input[2 * g]);
+        i32 b = static_cast<i32>(input[2 * g + 1]);
+        u32 avg = static_cast<u32>((a + b) >> 1);
+        u32 diff = static_cast<u32>(a - b);
+        ASSERT_EQ(output[samples + g], avg) << "DW avg " << g;
+        ASSERT_EQ(output[samples + samples / 2 + g], diff)
+            << "DW diff " << g;
+    }
+}
+
+TEST(WorkloadRefs, HeartwallCorrelation)
+{
+    constexpr unsigned blocks = 48, threads = 128, wlen = 10;
+    constexpr unsigned windows = blocks * threads;
+    auto [input, output] = runAndSnapshot("HW");
+    const u32 *img = input.data();
+    const u32 *tpl = input.data() + windows * wlen;
+    for (unsigned g = 0; g < windows; g++) {
+        u32 acc = 0;
+        for (unsigned i = 0; i < wlen; i++) {
+            i32 a = static_cast<i32>(img[g * wlen + i] & 0xffff);
+            i32 b = static_cast<i32>(tpl[g * wlen + i] & 0xffff);
+            i32 d = a - b;
+            acc += static_cast<u32>(d < 0 ? -d : d);
+        }
+        ASSERT_EQ(output[2 * windows * wlen + g], acc)
+            << "HW window " << g;
+    }
+}
+
+TEST(WorkloadRefs, SpmvCsr)
+{
+    constexpr unsigned rows = 4096, nnzPerRow = 8;
+    constexpr unsigned nnz = rows * nnzPerRow;
+    auto [input, output] = runAndSnapshot("SV");
+    const u32 *val = input.data();
+    const u32 *col = input.data() + nnz;
+    const u32 *x = input.data() + 2 * nnz;
+    for (unsigned r = 0; r < rows; r += 7) { // sample rows
+        float acc = 0.0f;
+        for (unsigned e = 0; e < nnzPerRow; e++) {
+            unsigned idx = r * nnzPerRow + e;
+            acc = f(val[idx]) * f(x[col[idx]]) + acc;
+        }
+        expectNearF(output[2 * nnz + rows + r], acc, "SV", r);
+    }
+}
+
+TEST(WorkloadRefs, StencilJacobi)
+{
+    constexpr unsigned nx = 32, ny = 32, nz = 18;
+    constexpr unsigned plane = nx * ny;
+    auto [input, output] = runAndSnapshot("ST");
+    for (unsigned idx = plane; idx < plane * (nz - 1); idx += 13) {
+        float sum = f(input[idx - 1]) + f(input[idx + 1]) +
+                    f(input[idx - nx]) + f(input[idx + nx]) +
+                    f(input[idx - plane]) + f(input[idx + plane]);
+        // Mirror the kernel's operation order exactly.
+        float sum2 = f(input[idx - 1]) + f(input[idx + 1]);
+        sum2 = sum2 + f(input[idx - nx]);
+        sum2 = sum2 + f(input[idx + nx]);
+        sum2 = sum2 + f(input[idx - plane]);
+        sum2 = sum2 + f(input[idx + plane]);
+        (void)sum;
+        float res = f(input[idx]) * -6.0f + sum2;
+        res = res * 0.1666667f;
+        expectNearF(output[plane * nz + idx], res, "ST", idx);
+    }
+}
+
+TEST(WorkloadRefs, BlackScholesFormula)
+{
+    constexpr unsigned options = 6144;
+    auto [input, output] = runAndSnapshot("BS");
+    const u32 *sArr = input.data();
+    const u32 *kArr = input.data() + options;
+    const u32 *tArr = input.data() + 2 * options;
+    for (unsigned g = 0; g < options; g += 17) {
+        float s = f(sArr[g]), k = f(kArr[g]), t = f(tArr[g]);
+        float ratio = s * (1.0f / k);
+        float ln = std::log2(ratio) * 0.6931472f;
+        float num = ln + t * 0.145f;
+        float vol = std::sqrt(t) * 0.3f;
+        float d1 = num * (1.0f / vol);
+        float p2 = std::exp2(d1 * -3.32f);
+        float cnd = 1.0f / (p2 + 1.0f);
+        float call = s * cnd + k * -0.45f;
+        expectNearF(output[3 * options + g], call, "BS", g);
+    }
+}
+
+TEST(WorkloadRefs, KmeansAssignsNearestCentroid)
+{
+    constexpr unsigned points = 3072, features = 8, clusters = 5;
+    auto [input, output] = runAndSnapshot("KM");
+    // Centroids live in const memory; regenerate them the same way
+    // the factory does.
+    Rng rng(0x6a0e);
+    float centroids[clusters * features];
+    for (auto &c : centroids)
+        c = rng.nextFloat();
+
+    unsigned checked = 0, agreed = 0;
+    for (unsigned p = 0; p < points; p += 11) {
+        float best = 1.0e30f;
+        u32 bestIdx = 0;
+        for (unsigned c = 0; c < clusters; c++) {
+            float dist = 0.0f;
+            for (unsigned fe = 0; fe < features; fe++) {
+                float d = f(input[fe * points + p]) -
+                          centroids[c * features + fe];
+                dist = d * d + dist;
+            }
+            if (dist < best) {
+                best = dist;
+                bestIdx = c;
+            }
+        }
+        checked++;
+        if (output[points * features + p] == bestIdx)
+            agreed++;
+    }
+    // Floating-point contraction can flip near-ties; demand almost
+    // perfect agreement rather than bit equality.
+    EXPECT_GE(agreed, checked - 2);
+}
+
+TEST(WorkloadRefs, BtreeWalksMatchReference)
+{
+    constexpr unsigned fanout = 8, levels = 4, queries = 6144;
+    auto [input, output] = runAndSnapshot("BT");
+    constexpr unsigned nodes =
+        1 + fanout + fanout * fanout + fanout * fanout * fanout;
+    const u32 *keys = input.data();
+    const u32 *qs = input.data() + nodes * fanout;
+    for (unsigned q = 0; q < queries; q += 23) {
+        u32 key = qs[q] * 21;
+        u32 node = 0;
+        for (unsigned level = 0; level + 1 < levels; level++) {
+            u32 slot = 0;
+            for (unsigned k = 0; k < fanout; k++) {
+                if (keys[node * fanout + k] <= key)
+                    slot++;
+            }
+            slot = std::min(slot, fanout - 1);
+            node = node * fanout + slot + 1;
+        }
+        ASSERT_EQ(output[nodes * fanout + queries + q], node)
+            << "BT query " << q;
+    }
+}
+
+} // namespace
+} // namespace wir

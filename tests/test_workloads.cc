@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the Table I workload suite: registry completeness, kernel
+ * validity, resource limits, determinism of input generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "isa/disasm.hh"
+#include "timing/sm.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace
+{
+
+TEST(Workloads, RegistryHasAll34TableIBenchmarks)
+{
+    const auto &registry = workloadRegistry();
+    EXPECT_EQ(registry.size(), 34u);
+
+    std::set<std::string> abbrs;
+    std::set<std::string> suites;
+    for (const auto &info : registry) {
+        abbrs.insert(info.abbr);
+        suites.insert(info.suite);
+    }
+    EXPECT_EQ(abbrs.size(), 34u) << "duplicate abbreviation";
+    EXPECT_TRUE(suites.count("SDK"));
+    EXPECT_TRUE(suites.count("Rodinia"));
+    EXPECT_TRUE(suites.count("Parboil"));
+
+    for (const char *abbr : {"SF", "BT", "GA", "KM", "LK", "BS",
+                             "HW", "SG", "MQ", "BO"}) {
+        EXPECT_TRUE(abbrs.count(abbr)) << abbr;
+    }
+}
+
+TEST(Workloads, LookupByAbbreviation)
+{
+    Workload w = makeWorkload("SF");
+    EXPECT_EQ(w.abbr, "SF");
+    EXPECT_EQ(w.name, "SobelFilter");
+    EXPECT_DEATH(makeWorkload("XX"), "unknown workload");
+}
+
+class WorkloadParam
+    : public ::testing::TestWithParam<const WorkloadInfo *>
+{
+};
+
+TEST_P(WorkloadParam, BuildsValidKernel)
+{
+    const WorkloadInfo &info = *GetParam();
+    Workload w = info.make();
+    EXPECT_EQ(w.abbr, info.abbr);
+    w.kernel.validate();
+    EXPECT_GE(w.kernel.insts.size(), 5u);
+    EXPECT_LE(w.kernel.numRegs, 63u);
+    EXPECT_GT(w.outputBytes, 0u);
+    EXPECT_LE(w.outputBase + w.outputBytes, w.image.globalBytes());
+    // Block dimensions are full warps (partial warps would disable
+    // reuse and pin registers everywhere; the real suites use
+    // warp-multiple blocks too).
+    EXPECT_EQ(w.kernel.blockDim.count() % warpSize, 0u);
+    // The kernel must fit on an SM under Table II limits.
+    MachineConfig machine;
+    EXPECT_GE(Sm::blockLimit(machine, w.kernel), 1u);
+    // Disassembly smoke check.
+    EXPECT_FALSE(disassemble(w.kernel).empty());
+}
+
+TEST_P(WorkloadParam, InputGenerationIsDeterministic)
+{
+    const WorkloadInfo &info = *GetParam();
+    Workload a = info.make();
+    Workload b = info.make();
+    EXPECT_EQ(a.image.snapshotGlobal(), b.image.snapshotGlobal());
+    EXPECT_EQ(a.kernel.insts.size(), b.kernel.insts.size());
+}
+
+std::vector<const WorkloadInfo *>
+allInfos()
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const auto &info : workloadRegistry())
+        out.push_back(&info);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadParam, ::testing::ValuesIn(allInfos()),
+    [](const ::testing::TestParamInfo<const WorkloadInfo *> &info) {
+        return std::string(info.param->abbr);
+    });
+
+} // namespace
+} // namespace wir

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * wirsim: command-line driver for the WIR simulator.
+ *
+ *   wirsim list
+ *   wirsim run <ABBR|all> [options]
+ *   wirsim profile <ABBR|all>
+ *
+ * Options for `run`:
+ *   --design NAME   design point (Base, R, RL, RLP, RLPV, RPV,
+ *                   RLPVc, NoVSB, Affine, Affine+RLPV; default RLPV)
+ *   --sms N         number of SMs (default 15)
+ *   --sched P       warp scheduler: gto | lrr (default gto)
+ *   --rb N          reuse-buffer entries (power of two)
+ *   --vsb N         value-signature-buffer entries (power of two)
+ *   --assoc N       ways per set for both tables (default 1)
+ *   --delay N       extra backend delay in cycles (default 4)
+ *   --stats         dump every raw counter
+ *   --energy        print the energy breakdown
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+using namespace wir;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wirsim list\n"
+                 "       wirsim run <ABBR|all> [--design NAME] "
+                 "[--sms N] [--sched gto|lrr]\n"
+                 "                  [--rb N] [--vsb N] [--assoc N] "
+                 "[--delay N] [--stats] [--energy]\n"
+                 "       wirsim profile <ABBR|all>\n");
+    std::exit(2);
+}
+
+int
+cmdList()
+{
+    std::printf("%-5s %-16s %-8s\n", "abbr", "name", "suite");
+    for (const auto &info : workloadRegistry())
+        std::printf("%-5s %-16s %-8s\n", info.abbr, info.name,
+                    info.suite);
+    std::printf("\ndesigns:");
+    for (const auto &design : allDesigns())
+        std::printf(" %s", design.name.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+std::vector<std::string>
+resolveTargets(const std::string &what)
+{
+    std::vector<std::string> targets;
+    if (what == "all") {
+        for (const auto &info : workloadRegistry())
+            targets.push_back(info.abbr);
+    } else {
+        targets.push_back(what);
+    }
+    return targets;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        usage();
+    std::string what = argv[0];
+
+    MachineConfig machine;
+    DesignConfig design = designRLPV();
+    bool dumpStats = false, dumpEnergy = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--design") {
+            design = designByName(next());
+        } else if (arg == "--sms") {
+            machine.numSms = std::atoi(next());
+        } else if (arg == "--sched") {
+            std::string p = next();
+            machine.schedPolicy = p == "lrr" ? WarpSchedPolicy::Lrr
+                                             : WarpSchedPolicy::Gto;
+        } else if (arg == "--rb") {
+            design.reuseBufferEntries = std::atoi(next());
+        } else if (arg == "--vsb") {
+            design.vsbEntries = std::atoi(next());
+        } else if (arg == "--assoc") {
+            design.reuseBufferAssoc = std::atoi(next());
+            design.vsbAssoc = design.reuseBufferAssoc;
+        } else if (arg == "--delay") {
+            design.extraBackendDelay = std::atoi(next());
+        } else if (arg == "--stats") {
+            dumpStats = true;
+        } else if (arg == "--energy") {
+            dumpEnergy = true;
+        } else {
+            usage();
+        }
+    }
+
+    std::printf("machine: %u SMs, %s scheduler; design: %s\n\n",
+                machine.numSms,
+                machine.schedPolicy == WarpSchedPolicy::Lrr
+                    ? "LRR" : "GTO",
+                describeDesign(design).c_str());
+    std::printf("%-5s %9s %10s %8s %8s %9s %10s\n", "abbr",
+                "cycles", "committed", "IPC", "reuse%", "L1miss",
+                "GPU uJ");
+
+    for (const auto &abbr : resolveTargets(what)) {
+        auto result = runWorkload(makeWorkload(abbr), design,
+                                  machine);
+        std::printf("%-5s %9llu %10llu %8.2f %7.1f%% %9llu %10.2f\n",
+                    abbr.c_str(),
+                    static_cast<unsigned long long>(
+                        result.stats.cycles),
+                    static_cast<unsigned long long>(
+                        result.stats.warpInstsCommitted),
+                    result.ipc(), 100.0 * result.reuseRate(),
+                    static_cast<unsigned long long>(
+                        result.stats.l1Misses),
+                    result.energy.gpuTotal() / 1e6);
+        if (dumpStats)
+            std::printf("%s", result.stats.dump().c_str());
+        if (dumpEnergy)
+            std::printf("%s", result.energy.describe().c_str());
+    }
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    if (argc < 1)
+        usage();
+    MachineConfig machine;
+    std::printf("%-5s %12s %15s\n", "abbr", "%repeated",
+                "%repeated>10x");
+    for (const auto &abbr : resolveTargets(argv[0])) {
+        for (const auto &info : workloadRegistry()) {
+            if (abbr != info.abbr)
+                continue;
+            auto prof = profileWorkload(info, machine);
+            std::printf("%-5s %11.1f%% %14.1f%%\n", info.abbr,
+                        100.0 * prof.repeatedFraction,
+                        100.0 * prof.repeated10xFraction);
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "profile")
+        return cmdProfile(argc - 2, argv + 2);
+    usage();
+}
