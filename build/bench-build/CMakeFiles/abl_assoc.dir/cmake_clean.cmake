@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_assoc"
+  "../bench/abl_assoc.pdb"
+  "CMakeFiles/abl_assoc.dir/abl_assoc.cc.o"
+  "CMakeFiles/abl_assoc.dir/abl_assoc.cc.o.d"
+  "CMakeFiles/abl_assoc.dir/harness.cc.o"
+  "CMakeFiles/abl_assoc.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

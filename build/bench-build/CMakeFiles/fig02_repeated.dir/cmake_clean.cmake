@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_repeated"
+  "../bench/fig02_repeated.pdb"
+  "CMakeFiles/fig02_repeated.dir/fig02_repeated.cc.o"
+  "CMakeFiles/fig02_repeated.dir/fig02_repeated.cc.o.d"
+  "CMakeFiles/fig02_repeated.dir/harness.cc.o"
+  "CMakeFiles/fig02_repeated.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_repeated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

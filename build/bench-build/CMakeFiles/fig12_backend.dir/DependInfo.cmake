@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_backend.cc" "bench-build/CMakeFiles/fig12_backend.dir/fig12_backend.cc.o" "gcc" "bench-build/CMakeFiles/fig12_backend.dir/fig12_backend.cc.o.d"
+  "/root/repo/bench/harness.cc" "bench-build/CMakeFiles/fig12_backend.dir/harness.cc.o" "gcc" "bench-build/CMakeFiles/fig12_backend.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

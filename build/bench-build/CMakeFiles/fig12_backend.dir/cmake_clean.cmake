@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_backend"
+  "../bench/fig12_backend.pdb"
+  "CMakeFiles/fig12_backend.dir/fig12_backend.cc.o"
+  "CMakeFiles/fig12_backend.dir/fig12_backend.cc.o.d"
+  "CMakeFiles/fig12_backend.dir/harness.cc.o"
+  "CMakeFiles/fig12_backend.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_ops"
+  "../bench/fig13_ops.pdb"
+  "CMakeFiles/fig13_ops.dir/fig13_ops.cc.o"
+  "CMakeFiles/fig13_ops.dir/fig13_ops.cc.o.d"
+  "CMakeFiles/fig13_ops.dir/harness.cc.o"
+  "CMakeFiles/fig13_ops.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

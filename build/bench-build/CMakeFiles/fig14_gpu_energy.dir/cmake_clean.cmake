@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_gpu_energy"
+  "../bench/fig14_gpu_energy.pdb"
+  "CMakeFiles/fig14_gpu_energy.dir/fig14_gpu_energy.cc.o"
+  "CMakeFiles/fig14_gpu_energy.dir/fig14_gpu_energy.cc.o.d"
+  "CMakeFiles/fig14_gpu_energy.dir/harness.cc.o"
+  "CMakeFiles/fig14_gpu_energy.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_gpu_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_l1"
+  "../bench/fig15_l1.pdb"
+  "CMakeFiles/fig15_l1.dir/fig15_l1.cc.o"
+  "CMakeFiles/fig15_l1.dir/fig15_l1.cc.o.d"
+  "CMakeFiles/fig15_l1.dir/harness.cc.o"
+  "CMakeFiles/fig15_l1.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

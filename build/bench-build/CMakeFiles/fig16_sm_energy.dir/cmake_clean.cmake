@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_sm_energy"
+  "../bench/fig16_sm_energy.pdb"
+  "CMakeFiles/fig16_sm_energy.dir/fig16_sm_energy.cc.o"
+  "CMakeFiles/fig16_sm_energy.dir/fig16_sm_energy.cc.o.d"
+  "CMakeFiles/fig16_sm_energy.dir/harness.cc.o"
+  "CMakeFiles/fig16_sm_energy.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_speedup"
+  "../bench/fig17_speedup.pdb"
+  "CMakeFiles/fig17_speedup.dir/fig17_speedup.cc.o"
+  "CMakeFiles/fig17_speedup.dir/fig17_speedup.cc.o.d"
+  "CMakeFiles/fig17_speedup.dir/harness.cc.o"
+  "CMakeFiles/fig17_speedup.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

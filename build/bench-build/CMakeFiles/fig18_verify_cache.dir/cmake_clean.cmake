@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_verify_cache"
+  "../bench/fig18_verify_cache.pdb"
+  "CMakeFiles/fig18_verify_cache.dir/fig18_verify_cache.cc.o"
+  "CMakeFiles/fig18_verify_cache.dir/fig18_verify_cache.cc.o.d"
+  "CMakeFiles/fig18_verify_cache.dir/harness.cc.o"
+  "CMakeFiles/fig18_verify_cache.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_verify_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_reg_util"
+  "../bench/fig19_reg_util.pdb"
+  "CMakeFiles/fig19_reg_util.dir/fig19_reg_util.cc.o"
+  "CMakeFiles/fig19_reg_util.dir/fig19_reg_util.cc.o.d"
+  "CMakeFiles/fig19_reg_util.dir/harness.cc.o"
+  "CMakeFiles/fig19_reg_util.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_reg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_vsb"
+  "../bench/fig20_vsb.pdb"
+  "CMakeFiles/fig20_vsb.dir/fig20_vsb.cc.o"
+  "CMakeFiles/fig20_vsb.dir/fig20_vsb.cc.o.d"
+  "CMakeFiles/fig20_vsb.dir/harness.cc.o"
+  "CMakeFiles/fig20_vsb.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_vsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

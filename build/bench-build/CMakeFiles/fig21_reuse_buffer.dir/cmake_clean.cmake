@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_reuse_buffer"
+  "../bench/fig21_reuse_buffer.pdb"
+  "CMakeFiles/fig21_reuse_buffer.dir/fig21_reuse_buffer.cc.o"
+  "CMakeFiles/fig21_reuse_buffer.dir/fig21_reuse_buffer.cc.o.d"
+  "CMakeFiles/fig21_reuse_buffer.dir/harness.cc.o"
+  "CMakeFiles/fig21_reuse_buffer.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_reuse_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

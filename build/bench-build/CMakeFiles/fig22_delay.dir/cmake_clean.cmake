@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_delay"
+  "../bench/fig22_delay.pdb"
+  "CMakeFiles/fig22_delay.dir/fig22_delay.cc.o"
+  "CMakeFiles/fig22_delay.dir/fig22_delay.cc.o.d"
+  "CMakeFiles/fig22_delay.dir/harness.cc.o"
+  "CMakeFiles/fig22_delay.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

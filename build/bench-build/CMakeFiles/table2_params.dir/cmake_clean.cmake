@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_params"
+  "../bench/table2_params.pdb"
+  "CMakeFiles/table2_params.dir/harness.cc.o"
+  "CMakeFiles/table2_params.dir/harness.cc.o.d"
+  "CMakeFiles/table2_params.dir/table2_params.cc.o"
+  "CMakeFiles/table2_params.dir/table2_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table3_components"
+  "../bench/table3_components.pdb"
+  "CMakeFiles/table3_components.dir/harness.cc.o"
+  "CMakeFiles/table3_components.dir/harness.cc.o.d"
+  "CMakeFiles/table3_components.dir/table3_components.cc.o"
+  "CMakeFiles/table3_components.dir/table3_components.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

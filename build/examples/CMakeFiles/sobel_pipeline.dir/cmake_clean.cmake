@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobel_pipeline.dir/sobel_pipeline.cpp.o"
+  "CMakeFiles/sobel_pipeline.dir/sobel_pipeline.cpp.o.d"
+  "sobel_pipeline"
+  "sobel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affine/affine.cc" "src/CMakeFiles/wir.dir/affine/affine.cc.o" "gcc" "src/CMakeFiles/wir.dir/affine/affine.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/wir.dir/common/config.cc.o" "gcc" "src/CMakeFiles/wir.dir/common/config.cc.o.d"
+  "/root/repo/src/common/hash_h3.cc" "src/CMakeFiles/wir.dir/common/hash_h3.cc.o" "gcc" "src/CMakeFiles/wir.dir/common/hash_h3.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/wir.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/wir.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/wir.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/wir.dir/common/stats.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/wir.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/wir.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/func/executor.cc" "src/CMakeFiles/wir.dir/func/executor.cc.o" "gcc" "src/CMakeFiles/wir.dir/func/executor.cc.o.d"
+  "/root/repo/src/func/memory_image.cc" "src/CMakeFiles/wir.dir/func/memory_image.cc.o" "gcc" "src/CMakeFiles/wir.dir/func/memory_image.cc.o.d"
+  "/root/repo/src/func/simt_stack.cc" "src/CMakeFiles/wir.dir/func/simt_stack.cc.o" "gcc" "src/CMakeFiles/wir.dir/func/simt_stack.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/wir.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/wir.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/wir.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/wir.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/kernel.cc" "src/CMakeFiles/wir.dir/isa/kernel.cc.o" "gcc" "src/CMakeFiles/wir.dir/isa/kernel.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/wir.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/wir.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/regalloc.cc" "src/CMakeFiles/wir.dir/isa/regalloc.cc.o" "gcc" "src/CMakeFiles/wir.dir/isa/regalloc.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/wir.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/wir.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/CMakeFiles/wir.dir/mem/coalescer.cc.o" "gcc" "src/CMakeFiles/wir.dir/mem/coalescer.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/wir.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/wir.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_partition.cc" "src/CMakeFiles/wir.dir/mem/memory_partition.cc.o" "gcc" "src/CMakeFiles/wir.dir/mem/memory_partition.cc.o.d"
+  "/root/repo/src/mem/noc.cc" "src/CMakeFiles/wir.dir/mem/noc.cc.o" "gcc" "src/CMakeFiles/wir.dir/mem/noc.cc.o.d"
+  "/root/repo/src/reuse/pending_queue.cc" "src/CMakeFiles/wir.dir/reuse/pending_queue.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/pending_queue.cc.o.d"
+  "/root/repo/src/reuse/phys_regfile.cc" "src/CMakeFiles/wir.dir/reuse/phys_regfile.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/phys_regfile.cc.o.d"
+  "/root/repo/src/reuse/refcount.cc" "src/CMakeFiles/wir.dir/reuse/refcount.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/refcount.cc.o.d"
+  "/root/repo/src/reuse/rename_table.cc" "src/CMakeFiles/wir.dir/reuse/rename_table.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/rename_table.cc.o.d"
+  "/root/repo/src/reuse/reuse_buffer.cc" "src/CMakeFiles/wir.dir/reuse/reuse_buffer.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/reuse_buffer.cc.o.d"
+  "/root/repo/src/reuse/reuse_unit.cc" "src/CMakeFiles/wir.dir/reuse/reuse_unit.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/reuse_unit.cc.o.d"
+  "/root/repo/src/reuse/verify_cache.cc" "src/CMakeFiles/wir.dir/reuse/verify_cache.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/verify_cache.cc.o.d"
+  "/root/repo/src/reuse/vsb.cc" "src/CMakeFiles/wir.dir/reuse/vsb.cc.o" "gcc" "src/CMakeFiles/wir.dir/reuse/vsb.cc.o.d"
+  "/root/repo/src/sim/designs.cc" "src/CMakeFiles/wir.dir/sim/designs.cc.o" "gcc" "src/CMakeFiles/wir.dir/sim/designs.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/CMakeFiles/wir.dir/sim/gpu.cc.o" "gcc" "src/CMakeFiles/wir.dir/sim/gpu.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/CMakeFiles/wir.dir/sim/profiler.cc.o" "gcc" "src/CMakeFiles/wir.dir/sim/profiler.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/wir.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/wir.dir/sim/runner.cc.o.d"
+  "/root/repo/src/timing/fu_pipeline.cc" "src/CMakeFiles/wir.dir/timing/fu_pipeline.cc.o" "gcc" "src/CMakeFiles/wir.dir/timing/fu_pipeline.cc.o.d"
+  "/root/repo/src/timing/regfile_banks.cc" "src/CMakeFiles/wir.dir/timing/regfile_banks.cc.o" "gcc" "src/CMakeFiles/wir.dir/timing/regfile_banks.cc.o.d"
+  "/root/repo/src/timing/scheduler.cc" "src/CMakeFiles/wir.dir/timing/scheduler.cc.o" "gcc" "src/CMakeFiles/wir.dir/timing/scheduler.cc.o.d"
+  "/root/repo/src/timing/scoreboard.cc" "src/CMakeFiles/wir.dir/timing/scoreboard.cc.o" "gcc" "src/CMakeFiles/wir.dir/timing/scoreboard.cc.o.d"
+  "/root/repo/src/timing/sm.cc" "src/CMakeFiles/wir.dir/timing/sm.cc.o" "gcc" "src/CMakeFiles/wir.dir/timing/sm.cc.o.d"
+  "/root/repo/src/workloads/kernels_finance.cc" "src/CMakeFiles/wir.dir/workloads/kernels_finance.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_finance.cc.o.d"
+  "/root/repo/src/workloads/kernels_graph.cc" "src/CMakeFiles/wir.dir/workloads/kernels_graph.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_graph.cc.o.d"
+  "/root/repo/src/workloads/kernels_imaging.cc" "src/CMakeFiles/wir.dir/workloads/kernels_imaging.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_imaging.cc.o.d"
+  "/root/repo/src/workloads/kernels_linalg.cc" "src/CMakeFiles/wir.dir/workloads/kernels_linalg.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_linalg.cc.o.d"
+  "/root/repo/src/workloads/kernels_misc.cc" "src/CMakeFiles/wir.dir/workloads/kernels_misc.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_misc.cc.o.d"
+  "/root/repo/src/workloads/kernels_stencil.cc" "src/CMakeFiles/wir.dir/workloads/kernels_stencil.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/kernels_stencil.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/wir.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/wir.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

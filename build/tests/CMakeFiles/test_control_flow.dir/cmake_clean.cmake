@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_flow.dir/test_control_flow.cc.o"
+  "CMakeFiles/test_control_flow.dir/test_control_flow.cc.o.d"
+  "test_control_flow"
+  "test_control_flow.pdb"
+  "test_control_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

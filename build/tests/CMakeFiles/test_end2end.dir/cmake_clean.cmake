@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_end2end.dir/test_end2end.cc.o"
+  "CMakeFiles/test_end2end.dir/test_end2end.cc.o.d"
+  "test_end2end"
+  "test_end2end.pdb"
+  "test_end2end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

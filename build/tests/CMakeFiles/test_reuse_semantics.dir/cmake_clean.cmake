@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_semantics.dir/test_reuse_semantics.cc.o"
+  "CMakeFiles/test_reuse_semantics.dir/test_reuse_semantics.cc.o.d"
+  "test_reuse_semantics"
+  "test_reuse_semantics.pdb"
+  "test_reuse_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_structs.dir/test_reuse_structs.cc.o"
+  "CMakeFiles/test_reuse_structs.dir/test_reuse_structs.cc.o.d"
+  "test_reuse_structs"
+  "test_reuse_structs.pdb"
+  "test_reuse_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

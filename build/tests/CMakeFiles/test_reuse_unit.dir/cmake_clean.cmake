@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_unit.dir/test_reuse_unit.cc.o"
+  "CMakeFiles/test_reuse_unit.dir/test_reuse_unit.cc.o.d"
+  "test_reuse_unit"
+  "test_reuse_unit.pdb"
+  "test_reuse_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

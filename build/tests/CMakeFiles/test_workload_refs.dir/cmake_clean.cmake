@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_refs.dir/test_workload_refs.cc.o"
+  "CMakeFiles/test_workload_refs.dir/test_workload_refs.cc.o.d"
+  "test_workload_refs"
+  "test_workload_refs.pdb"
+  "test_workload_refs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

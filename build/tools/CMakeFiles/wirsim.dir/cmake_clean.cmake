@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wirsim.dir/wirsim.cc.o"
+  "CMakeFiles/wirsim.dir/wirsim.cc.o.d"
+  "wirsim"
+  "wirsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wirsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
