@@ -25,8 +25,20 @@ ResultCache::get(const std::string &abbr, const DesignConfig &design)
         return it->second;
     std::fprintf(stderr, "  [sim] %-4s %s\n", abbr.c_str(),
                  design.name.c_str());
-    RunResult result = runWorkload(makeWorkload(abbr), design,
-                                   machineConfig);
+    RunResult result;
+    try {
+        result = runWorkload(makeWorkload(abbr), design,
+                             machineConfig);
+    } catch (const SimError &err) {
+        // One broken (workload, design) pair must not take down the
+        // whole sweep: record the failure and keep going.
+        warn("%s/%s failed: %s", abbr.c_str(), design.name.c_str(),
+             err.what());
+        result.workload = abbr;
+        result.design = design.name;
+        result.failed = true;
+        result.error = err.what();
+    }
     return results.emplace(key, std::move(result)).first->second;
 }
 

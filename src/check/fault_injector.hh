@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fault-injection harness for robustness testing.
+ *
+ * Applies one deliberate corruption (a CheckConfig plan: fault class,
+ * cycle, target SM) so tests can prove the invariant auditor, shadow
+ * oracle, and watchdog actually detect each failure class. A fault
+ * may not be applicable the cycle it comes due (e.g. the reuse buffer
+ * is still empty), so the injector keeps retrying every cycle until
+ * one application succeeds.
+ */
+
+#ifndef WIR_CHECK_FAULT_INJECTOR_HH
+#define WIR_CHECK_FAULT_INJECTOR_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+class FaultInjector
+{
+  public:
+    FaultInjector(const CheckConfig &cfg, SmId sm)
+        : plan(cfg), target(sm)
+    {
+    }
+
+    /** Should this SM try to apply the fault this cycle? */
+    bool
+    due(Cycle now) const
+    {
+        return plan.inject != FaultClass::None && !done &&
+               target == plan.injectSm && now >= plan.injectCycle;
+    }
+
+    /** The fault landed; stop retrying. */
+    void markApplied() { done = true; }
+
+    bool applied() const { return done; }
+    FaultClass cls() const { return plan.inject; }
+
+  private:
+    CheckConfig plan;
+    SmId target;
+    bool done = false;
+};
+
+} // namespace wir
+
+#endif // WIR_CHECK_FAULT_INJECTOR_HH

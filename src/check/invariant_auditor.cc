@@ -1,0 +1,114 @@
+#include "check/invariant_auditor.hh"
+
+#include <cstdio>
+
+#include "reuse/reuse_unit.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+std::string
+format(const char *fmt, auto... args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+InvariantAuditor::Report::summary() const
+{
+    std::string out;
+    for (const auto &violation : violations) {
+        if (!out.empty())
+            out += "; ";
+        out += violation;
+    }
+    return out;
+}
+
+InvariantAuditor::Report
+InvariantAuditor::audit(const ReuseUnit &unit,
+                        const std::vector<u32> &inflightRefs) const
+{
+    Report report;
+    const PhysRegFile &regs = unit.physRegs();
+    const RefCount &refs = unit.refCounts();
+    const unsigned numRegs = regs.size();
+
+    // Enumerate every reference the reuse structures hold. Any
+    // out-of-range or freed register found along the way is a
+    // dangling reference in its own right.
+    std::vector<u32> expected(numRegs, 0);
+    auto holdRef = [&](PhysReg reg, const char *holder) {
+        if (reg >= numRegs) {
+            report.violations.push_back(format(
+                "%s references out-of-range physical register %u",
+                holder, unsigned(reg)));
+            return;
+        }
+        if (regs.isFreeReg(reg)) {
+            report.violations.push_back(format(
+                "%s references freed physical register %u", holder,
+                unsigned(reg)));
+        }
+        expected[reg]++;
+    };
+
+    unsigned warp = 0;
+    for (const auto &table : unit.renameTables()) {
+        for (const auto &entry : table.entriesView()) {
+            if (entry.valid)
+                holdRef(entry.phys, "rename table");
+        }
+        warp++;
+    }
+
+    std::vector<PhysReg> held;
+    unit.reuseBuf().collectAllRefs(held);
+    for (PhysReg reg : held)
+        holdRef(reg, "reuse buffer");
+
+    held.clear();
+    unit.valueSigBuffer().collectAllRefs(held);
+    for (PhysReg reg : held)
+        holdRef(reg, "value signature buffer");
+
+    for (PhysReg reg = 0; reg < inflightRefs.size() && reg < numRegs;
+         reg++) {
+        for (u32 i = 0; i < inflightRefs[reg]; i++)
+            holdRef(reg, "in-flight instruction");
+    }
+
+    // Conservation: the counter of each register must equal the
+    // number of holders just enumerated, and a register is free
+    // exactly when its count is zero.
+    for (PhysReg reg = 0; reg < numRegs; reg++) {
+        u32 counted = refs.count(reg);
+        if (counted != expected[reg]) {
+            report.violations.push_back(format(
+                "physical register %u refcount %u but %u holders "
+                "enumerated", unsigned(reg), counted, expected[reg]));
+        }
+        bool isFree = regs.isFreeReg(reg);
+        if (isFree && counted != 0) {
+            report.violations.push_back(format(
+                "physical register %u is in the free pool with "
+                "refcount %u", unsigned(reg), counted));
+        }
+        if (!isFree && counted == 0) {
+            report.violations.push_back(format(
+                "physical register %u is allocated with refcount 0",
+                unsigned(reg)));
+        }
+    }
+
+    return report;
+}
+
+} // namespace wir

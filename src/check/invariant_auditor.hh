@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Invariant auditor for the WIR reuse machinery.
+ *
+ * Cross-checks the reference-count discipline documented in
+ * reuse_unit.hh: every holder of a physical register (rename-table
+ * entries, reuse-buffer sources/results, VSB entries, and in-flight
+ * instructions) owns exactly one count, and a register is in the free
+ * pool exactly when its count is zero. The SM runs an audit every
+ * `--audit N` cycles and at kernel end; any discrepancy is reported
+ * as a list of violations the SM either panics on or answers with a
+ * reuse-fallback quarantine (see Sm::handleViolation).
+ *
+ * The auditor is deliberately read-only: it never mutates simulator
+ * state, so running it at interval 1 changes results only in time.
+ */
+
+#ifndef WIR_CHECK_INVARIANT_AUDITOR_HH
+#define WIR_CHECK_INVARIANT_AUDITOR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+
+class ReuseUnit;
+
+class InvariantAuditor
+{
+  public:
+    struct Report
+    {
+        std::vector<std::string> violations;
+
+        bool ok() const { return violations.empty(); }
+
+        /** All violations joined for a log line or panic message. */
+        std::string summary() const;
+    };
+
+    /**
+     * Audit one SM's reuse state.
+     *
+     * @param unit the SM's reuse unit (read-only)
+     * @param inflightRefs per-physical-register reference counts
+     *        owned by the SM's in-flight instructions (renamed
+     *        sources, old destination, allocated/hit result), indexed
+     *        by PhysReg; may be shorter than the register file.
+     */
+    Report audit(const ReuseUnit &unit,
+                 const std::vector<u32> &inflightRefs) const;
+};
+
+} // namespace wir
+
+#endif // WIR_CHECK_INVARIANT_AUDITOR_HH

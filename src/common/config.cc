@@ -2,8 +2,125 @@
 
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace wir
 {
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+validateConfig(const MachineConfig &machine)
+{
+    if (machine.numSms == 0)
+        fatal("machine needs at least one SM (--sms 0 given?)");
+    if (machine.schedulersPerSm == 0)
+        fatal("machine needs at least one warp scheduler per SM");
+    if (machine.maxWarpsPerSm == 0 ||
+        machine.maxWarpsPerSm % machine.schedulersPerSm != 0) {
+        fatal("warp count %u must be a nonzero multiple of the "
+              "%u schedulers per SM", machine.maxWarpsPerSm,
+              machine.schedulersPerSm);
+    }
+    if (machine.maxBlocksPerSm == 0)
+        fatal("machine needs at least one resident block per SM");
+    if (machine.logicalRegsPerWarp == 0 ||
+        machine.logicalRegsPerWarp > 64) {
+        fatal("logical register count %u must be in 1..64 (the "
+              "scoreboard packs pending bits into 64 bits)",
+              machine.logicalRegsPerWarp);
+    }
+    if (machine.physWarpRegs == 0 ||
+        machine.physWarpRegs >= invalidReg) {
+        fatal("physical register count %u must be in 1..%u",
+              machine.physWarpRegs, invalidReg - 1);
+    }
+    if (machine.regBankGroups == 0)
+        fatal("machine needs at least one register bank group");
+    if (!isPowerOfTwo(machine.lineBytes))
+        fatal("cache line size %u B is not a power of two",
+              machine.lineBytes);
+    if (machine.l2Partitions == 0)
+        fatal("machine needs at least one L2 partition");
+}
+
+void
+validateConfig(const DesignConfig &design)
+{
+    if (!design.enableReuse)
+        return;
+    if (!isPowerOfTwo(design.reuseBufferEntries)) {
+        fatal("design '%s': reuse buffer entry count %u is not a "
+              "power of two (--rb)", design.name.c_str(),
+              design.reuseBufferEntries);
+    }
+    if (design.reuseBufferAssoc == 0 ||
+        design.reuseBufferEntries % design.reuseBufferAssoc != 0) {
+        fatal("design '%s': reuse buffer associativity %u does not "
+              "divide %u entries (--assoc)", design.name.c_str(),
+              design.reuseBufferAssoc, design.reuseBufferEntries);
+    }
+    if (design.enableVsb) {
+        if (!isPowerOfTwo(design.vsbEntries)) {
+            fatal("design '%s': VSB entry count %u is not a power of "
+                  "two (--vsb)", design.name.c_str(),
+                  design.vsbEntries);
+        }
+        if (design.vsbAssoc == 0 ||
+            design.vsbEntries % design.vsbAssoc != 0) {
+            fatal("design '%s': VSB associativity %u does not divide "
+                  "%u entries (--assoc)", design.name.c_str(),
+                  design.vsbAssoc, design.vsbEntries);
+        }
+    }
+    if (design.enablePendingRetry && design.pendingQueueEntries == 0) {
+        fatal("design '%s': pending-retry enabled with a zero-entry "
+              "pending queue", design.name.c_str());
+    }
+}
+
+FaultClass
+faultClassByName(const std::string &name)
+{
+    if (name == "rb-tag-flip")
+        return FaultClass::RbTagFlip;
+    if (name == "refcount-drop")
+        return FaultClass::RefcountDrop;
+    if (name == "stale-rename")
+        return FaultClass::StaleRename;
+    if (name == "warp-stall")
+        return FaultClass::WarpStall;
+    if (name == "rb-value-flip")
+        return FaultClass::RbValueFlip;
+    if (name == "none")
+        return FaultClass::None;
+    fatal("unknown fault class '%s' (expected rb-tag-flip, "
+          "refcount-drop, stale-rename, warp-stall, or rb-value-flip)",
+          name.c_str());
+}
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::None: return "none";
+      case FaultClass::RbTagFlip: return "rb-tag-flip";
+      case FaultClass::RefcountDrop: return "refcount-drop";
+      case FaultClass::StaleRename: return "stale-rename";
+      case FaultClass::WarpStall: return "warp-stall";
+      case FaultClass::RbValueFlip: return "rb-value-flip";
+    }
+    return "?";
+}
 
 std::string
 describeMachine(const MachineConfig &config)

@@ -33,6 +33,49 @@ enum class RegisterPolicy
     CappedRegister,
 };
 
+/** Deliberate state corruptions the fault-injection harness can
+ * apply, to prove the invariant auditor / watchdog detects them. */
+enum class FaultClass : u8
+{
+    None,
+    RbTagFlip,     ///< flip a bit in a reuse-buffer tag source key
+    RefcountDrop,  ///< lose one reference-count decrement
+    StaleRename,   ///< point a rename entry at the wrong register
+    WarpStall,     ///< stop issuing from one warp (hang)
+    RbValueFlip,   ///< flip a bit in a cached result value (shadow
+                   ///  oracle territory: refcounts stay consistent)
+};
+
+/** Robustness/self-checking knobs (see src/check and DESIGN.md
+ * "Robustness & self-checking"). */
+struct CheckConfig
+{
+    /** Audit reuse-structure invariants every N cycles and at kernel
+     * end (0 = off). Smaller intervals detect corruption before it
+     * can reach architectural state. */
+    unsigned auditInterval = 0;
+
+    /** Shadow oracle: compare every reuse hit's 1024-bit result
+     * against the functionally computed value, lane by lane. */
+    bool shadowCheck = false;
+
+    /** On a detected reuse-side violation, quarantine the SM (flush
+     * reuse state, fall back to Base execution) instead of throwing
+     * SimError. */
+    bool reuseFallback = true;
+
+    /** Forward-progress watchdog: if no instruction commits GPU-wide
+     * for this many cycles, dump per-warp diagnostics and throw
+     * SimError (0 = off). */
+    u64 watchdogCycles = u64{1} << 20;
+
+    /** Fault injection: which corruption to apply, at/after which
+     * cycle, on which SM. */
+    FaultClass inject = FaultClass::None;
+    Cycle injectCycle = 0;
+    unsigned injectSm = 0;
+};
+
 /** Baseline GPU parameters (Table II). */
 struct MachineConfig
 {
@@ -70,6 +113,9 @@ struct MachineConfig
 
     // Safety valve for runaway kernels (0 = unlimited).
     u64 maxCycles = 0;
+
+    // Robustness subsystem knobs (auditing, watchdog, injection).
+    CheckConfig check;
 };
 
 /** Reuse design point (Section VII-A machine models). */
@@ -109,6 +155,26 @@ std::string describeMachine(const MachineConfig &config);
 
 /** One-line summary of a design point for reports. */
 std::string describeDesign(const DesignConfig &design);
+
+/**
+ * Reject impossible machine parameters (zero SMs/warps/registers,
+ * non-power-of-two line size, schedulers that do not divide the warp
+ * count) with a ConfigError before they become undefined behavior
+ * deep in table indexing. Gpu construction validates automatically.
+ */
+void validateConfig(const MachineConfig &machine);
+
+/** Same for a design point (table sizes must be powers of two,
+ * associativity must divide the entry count, ...). */
+void validateConfig(const DesignConfig &design);
+
+/** Parse a fault class name ("rb-tag-flip", "refcount-drop",
+ * "stale-rename", "warp-stall", "rb-value-flip"); ConfigError on
+ * anything else. */
+FaultClass faultClassByName(const std::string &name);
+
+/** Inverse of faultClassByName (for reports). */
+const char *faultClassName(FaultClass cls);
 
 } // namespace wir
 

@@ -19,28 +19,46 @@ vreport(const char *tag, const char *fmt, va_list args)
 }
 } // namespace
 
+namespace
+{
+
+std::string
+formatMessage(const char *file, int line, const char *fmt,
+              va_list args)
+{
+    char prefix[512];
+    std::snprintf(prefix, sizeof prefix, "%s:%d: ", file, line);
+
+    va_list copy;
+    va_copy(copy, args);
+    int bodyLen = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+
+    std::string body(bodyLen > 0 ? bodyLen : 0, '\0');
+    std::vsnprintf(body.data(), body.size() + 1, fmt, args);
+    return prefix + body;
+}
+
+} // namespace
+
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::string msg = formatMessage(file, line, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::abort();
+    throw SimError(msg);
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::string msg = formatMessage(file, line, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::exit(1);
+    throw ConfigError(msg);
 }
 
 void

@@ -2,26 +2,47 @@
  * @file
  * gem5-style status and error reporting helpers.
  *
- * panic() is for simulator bugs (invariant violations) and aborts;
- * fatal() is for user/configuration errors and exits cleanly; warn()
- * and inform() report conditions without stopping the simulation.
+ * panic() reports simulator bugs (invariant violations) by throwing
+ * SimError; fatal() reports user/configuration errors by throwing
+ * ConfigError. Both exceptions carry the formatted message with
+ * file:line context, so a multi-run harness can fail one
+ * (workload, design) pair and keep going instead of killing the
+ * process. warn() and inform() report conditions without stopping
+ * the simulation.
  */
 
 #ifndef WIR_COMMON_LOGGING_HH
 #define WIR_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace wir
 {
 
-/** Abort the simulation due to an internal simulator bug. */
+/** A simulation failed at runtime (internal bug, invariant violation,
+ * watchdog, cycle limit). Catchable: one bad run is containable. */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The user asked for an impossible machine/design/CLI configuration.
+ * Tools report these and exit with status 2. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Report an internal simulator bug by throwing SimError. */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
-/** Terminate the simulation due to a user/configuration error. */
+/** Report a user/configuration error by throwing ConfigError. */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));

@@ -73,6 +73,12 @@ const Field fields[] = {
     {"dram_accesses", &SimStats::dramAccesses, false},
     {"noc_flits", &SimStats::nocFlits, false},
     {"affine_executions", &SimStats::affineExecutions, false},
+    {"invariant_audits", &SimStats::invariantAudits, false},
+    {"invariant_violations", &SimStats::invariantViolations, false},
+    {"shadow_checks", &SimStats::shadowChecks, false},
+    {"shadow_mismatches", &SimStats::shadowMismatches, false},
+    {"faults_injected", &SimStats::faultsInjected, false},
+    {"reuse_fallbacks", &SimStats::reuseFallbacks, false},
 };
 
 } // namespace

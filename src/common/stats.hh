@@ -99,6 +99,14 @@ struct SimStats
     // Affine execution (Fig. 13/16 baselines).
     u64 affineExecutions = 0;    ///< executed with 1-lane/1-bank cost
 
+    // Robustness subsystem (src/check).
+    u64 invariantAudits = 0;     ///< auditor passes executed
+    u64 invariantViolations = 0; ///< violations detected (audit+shadow)
+    u64 shadowChecks = 0;        ///< reuse hits re-verified lane-by-lane
+    u64 shadowMismatches = 0;    ///< hits whose cached value was wrong
+    u64 faultsInjected = 0;      ///< deliberate corruptions applied
+    u64 reuseFallbacks = 0;      ///< SMs quarantined to Base execution
+
     /** Merge counters from another SM/GPU run. */
     SimStats &operator+=(const SimStats &other);
 

@@ -53,6 +53,9 @@ class PendingQueue
 
     void clear() { queue.clear(); }
 
+    /** Read-only view for the invariant auditor (src/check). */
+    const std::deque<u32> &contents() const { return queue; }
+
   private:
     unsigned cap;
     std::deque<u32> queue;

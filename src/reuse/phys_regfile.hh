@@ -45,6 +45,14 @@ class PhysRegFile
     unsigned numFree() const { return freeCount; }
     unsigned size() const { return total; }
 
+    /** Is this register currently in the free pool? (Used by the
+     * invariant auditor's dangling-reference check.) */
+    bool
+    isFreeReg(PhysReg reg) const
+    {
+        return reg < total && isFree[reg];
+    }
+
     /** Accumulate utilization stats; call once per SM cycle. */
     void sampleUtilization(SimStats &stats) const;
 

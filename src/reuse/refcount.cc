@@ -38,6 +38,18 @@ RefCount::count(PhysReg reg) const
 }
 
 bool
+RefCount::injectDrop()
+{
+    for (auto &count : counts) {
+        if (count > 0) {
+            count--;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 RefCount::allZero() const
 {
     return std::all_of(counts.begin(), counts.end(),

@@ -37,6 +37,16 @@ class RefCount
     /** True when every counter is zero (end-of-kernel check). */
     bool allZero() const;
 
+    unsigned size() const { return static_cast<unsigned>(counts.size()); }
+
+    /**
+     * Fault injection: silently lose one decrement on the first
+     * nonzero counter (the register is NOT freed, so the counter now
+     * under-represents the true holders). Returns false when every
+     * counter is zero.
+     */
+    bool injectDrop();
+
   private:
     std::vector<u32> counts;
 };

@@ -39,6 +39,23 @@ RenameTable::set(LogicalReg logical, PhysReg phys, bool pin,
     return old;
 }
 
+bool
+RenameTable::injectStaleEntry()
+{
+    Entry *first = nullptr;
+    for (auto &entry : entries) {
+        if (!entry.valid)
+            continue;
+        if (!first) {
+            first = &entry;
+        } else if (entry.phys != first->phys) {
+            first->phys = entry.phys;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<PhysReg>
 RenameTable::clearAll()
 {

@@ -51,6 +51,17 @@ class RenameTable
 
     unsigned size() const { return numEntries; }
 
+    /** Read-only entry view for the invariant auditor (src/check). */
+    const std::vector<Entry> &entriesView() const { return entries; }
+
+    /**
+     * Fault injection: repoint the first valid entry at the physical
+     * register of another valid entry, without touching refcounts —
+     * the stale-rename corruption the auditor must detect. Returns
+     * false when the table holds fewer than two distinct mappings.
+     */
+    bool injectStaleEntry();
+
   private:
     unsigned numEntries;
     std::vector<Entry> entries;

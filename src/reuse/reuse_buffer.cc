@@ -172,6 +172,41 @@ ReuseBuffer::clearAll()
     return dropped;
 }
 
+void
+ReuseBuffer::collectAllRefs(std::vector<PhysReg> &out) const
+{
+    for (const auto &entry : entries)
+        collectRefs(entry, out);
+}
+
+bool
+ReuseBuffer::injectTagFlip()
+{
+    for (auto &entry : entries) {
+        if (!entry.valid)
+            continue;
+        for (unsigned s = 0; s < 3; s++) {
+            if (entry.tag.srcKinds[s] == Operand::Kind::Reg) {
+                entry.tag.srcKeys[s] ^= 1u;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+PhysReg
+ReuseBuffer::anyResultReg() const
+{
+    for (const auto &entry : entries) {
+        if (entry.valid && !entry.pending &&
+            entry.result != invalidReg) {
+            return entry.result;
+        }
+    }
+    return invalidReg;
+}
+
 unsigned
 ReuseBuffer::validCount() const
 {

@@ -99,6 +99,23 @@ class ReuseBuffer
     unsigned size() const { return numEntries; }
     unsigned validCount() const;
 
+    /** Append every register the buffer currently references (tag
+     * sources of valid entries, results of non-pending ones) for the
+     * invariant auditor's refcount conservation check. */
+    void collectAllRefs(std::vector<PhysReg> &out) const;
+
+    /**
+     * Fault injection: flip the low bit of the first register-kind
+     * source key in a valid entry, desynchronizing the tag from the
+     * references the entry holds. Returns false when no entry
+     * qualifies.
+     */
+    bool injectTagFlip();
+
+    /** First valid non-pending entry's result register (fault
+     * injection target for value corruption); invalidReg if none. */
+    PhysReg anyResultReg() const;
+
   private:
     struct Entry
     {

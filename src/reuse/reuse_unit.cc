@@ -468,4 +468,34 @@ ReuseUnit::quiescent() const
     return regs.inUse() == 0 && refs.allZero();
 }
 
+bool
+ReuseUnit::injectFault(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::RbTagFlip:
+        return rbuf.injectTagFlip();
+      case FaultClass::RefcountDrop:
+        return refs.injectDrop();
+      case FaultClass::StaleRename:
+        for (auto &table : tables) {
+            if (table.injectStaleEntry())
+                return true;
+        }
+        return false;
+      case FaultClass::RbValueFlip: {
+        PhysReg victim = rbuf.anyResultReg();
+        if (victim == invalidReg || !physValid(victim))
+            return false;
+        WarpValue corrupted = regs.value(victim);
+        corrupted[0] ^= 1;
+        regs.write(victim, corrupted);
+        return true;
+      }
+      case FaultClass::WarpStall:
+      case FaultClass::None:
+        break;
+    }
+    return false;
+}
+
 } // namespace wir

@@ -149,6 +149,33 @@ class ReuseUnit
     /** All registers free and counters zero (end-of-kernel check). */
     bool quiescent() const;
 
+    // ---- Robustness hooks (src/check) ------------------------------------
+
+    /** Read-only views for the invariant auditor. */
+    const PhysRegFile &physRegs() const { return regs; }
+    const RefCount &refCounts() const { return refs; }
+    const std::vector<RenameTable> &renameTables() const
+    {
+        return tables;
+    }
+    const ReuseBuffer &reuseBuf() const { return rbuf; }
+    const Vsb &valueSigBuffer() const { return vsb; }
+
+    /** Register exists and is currently allocated (safe to read). */
+    bool
+    physValid(PhysReg reg) const
+    {
+        return reg < regs.size() && !regs.isFreeReg(reg);
+    }
+
+    /**
+     * Fault injection: apply one deliberate corruption of the given
+     * class to the reuse-side state. Returns false when no state
+     * qualifies yet (the caller retries next cycle). WarpStall is
+     * the SM's to apply, not ours.
+     */
+    bool injectFault(FaultClass cls);
+
   private:
     void addRef(PhysReg reg);
     void dropRef(PhysReg reg);

@@ -50,6 +50,17 @@ class Vsb
     unsigned size() const { return numEntries; }
     unsigned validCount() const;
 
+    /** Append every register the buffer references (invariant
+     * auditor's refcount conservation check). */
+    void
+    collectAllRefs(std::vector<PhysReg> &out) const
+    {
+        for (const auto &entry : entries) {
+            if (entry.valid)
+                out.push_back(entry.phys);
+        }
+    }
+
   private:
     struct Entry
     {

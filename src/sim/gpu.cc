@@ -12,6 +12,8 @@ namespace wir
 Gpu::Gpu(MachineConfig machine_, DesignConfig design_)
     : machine(std::move(machine_)), design(std::move(design_))
 {
+    validateConfig(machine);
+    validateConfig(design);
 }
 
 SimStats
@@ -62,6 +64,15 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     Cycle now = 0;
     u64 maxCycles = machine.maxCycles ? machine.maxCycles
                                       : u64{200} * 1000 * 1000;
+
+    // Forward-progress watchdog: if no instruction commits anywhere
+    // on the GPU for watchdogCycles, the machine is deadlocked (e.g.
+    // a barrier some warp can never reach) -- dump per-warp pipeline
+    // diagnostics instead of spinning to the cycle limit.
+    u64 watchdog = machine.check.watchdogCycles;
+    u64 lastCommitted = 0;
+    Cycle lastProgress = 0;
+
     while (true) {
         bool anyBusy = false;
         for (auto &sm : sms) {
@@ -74,9 +85,29 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
             break;
         if (nextBlock < totalBlocks)
             tryLaunch();
+
+        if (watchdog && anyBusy) {
+            u64 committed = 0;
+            for (auto &sm : sms)
+                committed += sm->smStats().warpInstsCommitted;
+            if (committed != lastCommitted) {
+                lastCommitted = committed;
+                lastProgress = now;
+            } else if (now - lastProgress >= watchdog) {
+                for (auto &sm : sms) {
+                    if (sm->busy())
+                        warn("%s", sm->progressReport().c_str());
+                }
+                panic("kernel '%s': watchdog fired -- no instruction "
+                      "committed GPU-wide for %llu cycles (deadlock)",
+                      kernel.name.c_str(),
+                      static_cast<unsigned long long>(watchdog));
+            }
+        }
+
         now++;
         if (now > maxCycles) {
-            fatal("kernel '%s' exceeded the cycle limit (%llu); "
+            panic("kernel '%s' exceeded the cycle limit (%llu); "
                   "likely an infinite loop or a barrier deadlock",
                   kernel.name.c_str(),
                   static_cast<unsigned long long>(maxCycles));

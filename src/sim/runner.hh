@@ -23,6 +23,8 @@ struct RunResult
     SimStats stats;
     EnergyBreakdown energy;
     std::vector<u32> finalMemory; ///< global memory after the run
+    bool failed = false;          ///< the run threw a SimError
+    std::string error;            ///< its message, when failed
 
     double
     reuseRate() const

@@ -1,6 +1,7 @@
 #include "timing/sm.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "affine/affine.hh"
 #include "common/logging.hh"
@@ -27,7 +28,8 @@ Sm::Sm(SmId id_, const MachineConfig &machine_,
       l1Tags(machine_.l1dBytes, machine_.l1dWays, machine_.lineBytes),
       l1Mshr(machine_.l1dMshrs),
       pendq(design_.pendingQueueEntries),
-      inflight(inflightCapacity)
+      inflight(inflightCapacity),
+      injector(machine_.check, id_)
 {
     if (design.enableReuse) {
         reuse = std::make_unique<ReuseUnit>(machine, design, stats);
@@ -203,6 +205,8 @@ bool
 Sm::warpReady(WarpId warpId, Cycle now) const
 {
     const WarpSlot &warp = warps[warpId];
+    if (warpId == stalledWarp)
+        return false; // WarpStall fault injection
     if (!warp.active || warp.exited || warp.atBarrier ||
         warp.issueReady > now || warp.stack.done()) {
         return false;
@@ -355,6 +359,12 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
     fly.divergent = divergent;
     fly.ren = ren;
     fly.issueCycle = now;
+    if (machine.check.shadowCheck) {
+        // Keep the issue-time inputs so the shadow oracle can re-run
+        // the functional executor when this instruction retires.
+        for (unsigned s = 0; s < tr.numSrcs; s++)
+            fly.shadowSrc[s] = in.src[s];
+    }
     fly.barrierCount = block.barrierCount;
     fly.tbid = inst.space == MemSpace::Shared
         ? warp.blockSlot : nullTbid;
@@ -693,8 +703,13 @@ Sm::stageWritebackBase(InFlight &fly, Cycle now)
 void
 Sm::retire(InFlight &fly, u32 handle, Cycle now)
 {
-    (void)now;
     WarpSlot &warp = warps[fly.warp];
+
+    // Shadow oracle: cross-check the reuse-buffer result against the
+    // value computed functionally at issue. May quarantine the SM
+    // (nulling `reuse` and converting `fly` to the base-design path).
+    if (reuse && fly.isReuseHit && machine.check.shadowCheck)
+        shadowCheckHit(fly, now);
 
     if (reuse) {
         if (fly.isReuseHit) {
@@ -875,6 +890,14 @@ Sm::cycle(Cycle now)
             std::max<u64>(stats.physRegsInUsePeak,
                           u64{activeWarps} * kernel.numRegs);
     }
+
+    // Robustness hooks run at cycle end, injection first, so a
+    // corruption is audited before any stage can consume it.
+    if (injector.due(now))
+        tryInjectFault(now);
+    unsigned interval = machine.check.auditInterval;
+    if (reuse && interval && now % interval == 0)
+        auditNow(now);
 }
 
 void
@@ -883,11 +906,285 @@ Sm::finalize()
     stats.cycles = lastCycle + 1;
     stats.smCyclesTotal = lastCycle + 1;
     if (reuse) {
-        reuse->drainBuffers();
-        if (!reuse->quiescent())
-            panic("SM %u: physical registers leaked at kernel end",
-                  id);
+        if (machine.check.auditInterval)
+            auditNow(lastCycle);
+        if (reuse) { // auditNow may have quarantined the SM
+            reuse->drainBuffers();
+            if (!reuse->quiescent())
+                panic("SM %u: physical registers leaked at kernel "
+                      "end", id);
+        }
     }
+}
+
+// --------------------------------------------------------------------------
+// Robustness: fault injection, invariant audit, quarantine
+// --------------------------------------------------------------------------
+
+void
+Sm::tryInjectFault(Cycle now)
+{
+    bool landed = false;
+    if (injector.cls() == FaultClass::WarpStall) {
+        for (WarpId w = 0; w < warps.size(); w++) {
+            if (warps[w].active && !warps[w].exited) {
+                stalledWarp = w;
+                landed = true;
+                break;
+            }
+        }
+    } else if (reuse) {
+        landed = reuse->injectFault(injector.cls());
+    }
+    if (landed) {
+        injector.markApplied();
+        stats.faultsInjected++;
+        warn("SM %u: injected fault '%s' at cycle %llu", id,
+             faultClassName(injector.cls()),
+             static_cast<unsigned long long>(now));
+    }
+}
+
+void
+Sm::auditNow(Cycle now)
+{
+    stats.invariantAudits++;
+
+    // References owned by in-flight instructions: renamed sources,
+    // the old destination, and any result register picked up between
+    // allocation/hit and retire (see reuse_unit.hh).
+    std::vector<u32> inflightRefs(reuse->physRegs().size(), 0);
+    std::vector<u32> warpInflight(warps.size(), 0);
+    auto holdRef = [&](PhysReg reg) {
+        if (reg != invalidReg && reg < inflightRefs.size())
+            inflightRefs[reg]++;
+    };
+    for (const auto &fly : inflight) {
+        if (!fly.active)
+            continue;
+        warpInflight[fly.warp]++;
+        for (PhysReg src : fly.ren.srcPhys)
+            holdRef(src);
+        holdRef(fly.ren.oldDst);
+        holdRef(fly.alloc.phys);
+    }
+
+    auto report = auditor.audit(*reuse, inflightRefs);
+
+    // Pipeline-side consistency rides along with the structure audit.
+    for (WarpId w = 0; w < warps.size(); w++) {
+        unsigned counted = warps[w].active ? warps[w].inflightCount : 0;
+        if (counted != warpInflight[w]) {
+            char buf[96];
+            std::snprintf(buf, sizeof buf,
+                          "warp %u inflightCount %u but %u in-flight "
+                          "entries", unsigned(w), counted,
+                          warpInflight[w]);
+            report.violations.push_back(buf);
+        }
+    }
+
+    // Scoreboard consistency: an in-flight instruction with a
+    // destination must still hold its write-pending bit (released
+    // only at retire).
+    unsigned pendingStage = 0;
+    for (const auto &fly : inflight) {
+        if (!fly.active)
+            continue;
+        if (fly.stage == Stage::PendingWait)
+            pendingStage++;
+        if (fly.inst->hasDst() &&
+            !warps[fly.warp].scoreboard.isPending(fly.inst->dst)) {
+            char buf[96];
+            std::snprintf(buf, sizeof buf,
+                          "warp %u pc %u in flight but r%u not "
+                          "write-pending on the scoreboard",
+                          unsigned(fly.warp), fly.inst->pc,
+                          unsigned(fly.inst->dst));
+            report.violations.push_back(buf);
+        }
+    }
+
+    // Pending-queue consistency: queued handles must be live
+    // PendingWait instructions and vice versa.
+    for (u32 handle : pendq.contents()) {
+        if (handle >= inflight.size() || !inflight[handle].active ||
+            inflight[handle].stage != Stage::PendingWait) {
+            char buf[96];
+            std::snprintf(buf, sizeof buf,
+                          "pending queue holds handle %u which is not "
+                          "a live PendingWait instruction", handle);
+            report.violations.push_back(buf);
+        }
+    }
+    if (pendq.size() != pendingStage) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "pending queue holds %u handles but %u "
+                      "instructions are in PendingWait",
+                      unsigned(pendq.size()), pendingStage);
+        report.violations.push_back(buf);
+    }
+
+    if (!report.ok())
+        handleViolation(report.summary(), now);
+}
+
+void
+Sm::shadowCheckHit(InFlight &fly, Cycle now)
+{
+    stats.shadowChecks++;
+
+    // Recompute the instruction through the functional executor from
+    // its issue-time inputs. Memory ops cannot safely be re-read at
+    // retire (an intervening store may have changed the location), so
+    // they fall back to the issue-time functional result, which was
+    // itself read from memory at issue.
+    WarpValue expected;
+    if (isMemOp(fly.inst->op)) {
+        expected = fly.result;
+    } else {
+        ExecInputs in;
+        in.active = fly.activeMask;
+        in.ctx = warps[fly.warp].ctx;
+        for (unsigned s = 0; s < 3; s++)
+            in.src[s] = fly.shadowSrc[s];
+        expected = evaluate(fly.inst->op, in);
+    }
+
+    const WarpValue &stored = reuse->physValue(fly.alloc.phys);
+    for (unsigned lane = 0; lane < warpSize; lane++) {
+        if (!(fly.activeMask & (1u << lane)))
+            continue;
+        if (stored[lane] != expected[lane]) {
+            stats.shadowMismatches++;
+            char buf[128];
+            std::snprintf(buf, sizeof buf,
+                          "shadow oracle: reuse hit at pc %u lane %u "
+                          "reads 0x%08x, recomputed result 0x%08x",
+                          fly.inst->pc, lane, stored[lane],
+                          expected[lane]);
+            handleViolation(buf, now);
+            return;
+        }
+    }
+}
+
+void
+Sm::handleViolation(const std::string &why, Cycle now)
+{
+    stats.invariantViolations++;
+    if (!machine.check.reuseFallback) {
+        panic("SM %u: reuse invariant violated at cycle %llu: %s", id,
+              static_cast<unsigned long long>(now), why.c_str());
+    }
+    quarantine(why, now);
+}
+
+void
+Sm::quarantine(const std::string &why, Cycle now)
+{
+    wir_assert(reuse && !quarantined);
+    quarantined = true;
+    stats.reuseFallbacks++;
+    warn("SM %u: reuse invariant violated at cycle %llu, falling "
+         "back to base execution: %s", id,
+         static_cast<unsigned long long>(now), why.c_str());
+
+    // Rebuild the base-design register file from the committed
+    // rename mappings...
+    baseRegs.assign(machine.maxWarpsPerSm * machine.logicalRegsPerWarp,
+                    WarpValue{});
+    for (WarpId w = 0; w < warps.size(); w++) {
+        if (!warps[w].active)
+            continue;
+        const auto &entries = reuse->renameTables()[w].entriesView();
+        for (LogicalReg r = 0; r < entries.size(); r++) {
+            const auto &entry = entries[r];
+            if (entry.valid && reuse->physValid(entry.phys))
+                baseRegs[baseRegIndex(w, r)] =
+                    reuse->physValue(entry.phys);
+        }
+    }
+
+    // ...then overlay in-flight results (their mappings only commit
+    // at retire). The scoreboard allows at most one in-flight writer
+    // per logical register, so the merge order does not matter.
+    for (auto &fly : inflight) {
+        if (!fly.active)
+            continue;
+        // Note: fly.result is trustworthy even for reuse hits -- it
+        // was computed functionally at issue, independently of the
+        // (possibly corrupted) buffered value.
+        if (fly.inst->hasDst()) {
+            WarpValue &dst =
+                baseRegs[baseRegIndex(fly.warp, fly.inst->dst)];
+            for (unsigned lane = 0; lane < warpSize; lane++) {
+                if (fly.activeMask & (1u << lane))
+                    dst[lane] = fly.result[lane];
+            }
+            fly.result = dst;
+        }
+        // Re-route through the base pipeline stages.
+        switch (fly.stage) {
+          case Stage::Rename:
+          case Stage::Reuse:
+          case Stage::PendingWait:
+            fly.stage = Stage::OperandRead;
+            fly.ready = now + 1;
+            break;
+          case Stage::RegAlloc:
+            fly.stage = Stage::WritebackBase;
+            fly.ready = now + 1;
+            break;
+          default:
+            break; // OperandRead/Execute/Memory/WritebackBase/Retire
+        }
+        fly.isReuseHit = false;
+        fly.viaPending = false;
+        fly.eligible = false;
+        fly.ren = ReuseUnit::Renamed{};
+        fly.alloc = ReuseUnit::AllocResult{};
+    }
+
+    pendq.clear();
+    reuse.reset();
+}
+
+std::string
+Sm::progressReport() const
+{
+    std::string out;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "SM %u: %u blocks, %u warps active%s\n", id,
+                  activeBlocks, activeWarps,
+                  quarantined ? " (quarantined)" : "");
+    out += buf;
+    for (WarpId w = 0; w < warps.size(); w++) {
+        const WarpSlot &warp = warps[w];
+        if (!warp.active)
+            continue;
+        std::snprintf(buf, sizeof buf,
+                      "  warp %u: pc=%u mask=0x%08x%s%s%s inflight=%u "
+                      "issueReady=%llu scoreboard=%s\n", unsigned(w),
+                      warp.stack.done() ? ~0u : warp.stack.pc(),
+                      warp.stack.done() ? 0u : warp.stack.mask(),
+                      warp.exited ? " exited" : "",
+                      warp.atBarrier ? " atBarrier" : "",
+                      w == stalledWarp ? " STALLED(injected)" : "",
+                      warp.inflightCount,
+                      static_cast<unsigned long long>(warp.issueReady),
+                      warp.scoreboard.clean() ? "clean" : "pending");
+        out += buf;
+    }
+    if (!pendq.empty()) {
+        std::snprintf(buf, sizeof buf,
+                      "  pending-retry queue: %zu waiting\n",
+                      pendq.size());
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace wir

@@ -20,7 +20,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
+#include "check/fault_injector.hh"
+#include "check/invariant_auditor.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "func/executor.hh"
@@ -39,6 +42,8 @@
 
 namespace wir
 {
+
+constexpr WarpId invalidWarp = std::numeric_limits<WarpId>::max();
 
 class Sm
 {
@@ -67,6 +72,12 @@ class Sm
 
     SimStats &smStats() { return stats; }
     const SimStats &smStats() const { return stats; }
+
+    /** Did a detected violation force this SM back to Base mode? */
+    bool isQuarantined() const { return quarantined; }
+
+    /** Per-warp/pipeline state dump for the watchdog diagnostics. */
+    std::string progressReport() const;
 
   private:
     // ---- Internal records ------------------------------------------------
@@ -128,6 +139,9 @@ class Sm
         u8 tbid = nullTbid;
         bool srcAffine[3] = {false, false, false};
         bool dstAffine = false;
+        /** Issue-time source values, kept only under --shadow-check
+         * so reuse hits can be recomputed at retire. */
+        std::array<WarpValue, 3> shadowSrc{};
         bool affineOk = false;
         Stage stage = Stage::Retire;
         Cycle ready = 0;
@@ -169,6 +183,14 @@ class Sm
     void blockCompleted(u8 slot);
     u32 allocInflight();
 
+    // ---- Robustness (src/check) -------------------------------------------
+
+    void tryInjectFault(Cycle now);
+    void auditNow(Cycle now);
+    void shadowCheckHit(InFlight &fly, Cycle now);
+    void handleViolation(const std::string &why, Cycle now);
+    void quarantine(const std::string &why, Cycle now);
+
     // ---- State ------------------------------------------------------------
 
     SmId id;
@@ -204,6 +226,11 @@ class Sm
     u64 launchSeq = 0;
     bool reuseStageUsed = false;
     Cycle lastCycle = 0;
+
+    InvariantAuditor auditor;
+    FaultInjector injector;
+    WarpId stalledWarp = invalidWarp; ///< WarpStall injection target
+    bool quarantined = false;
 };
 
 } // namespace wir

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Robustness subsystem tests: invariant auditor, fault injection,
+ * shadow oracle, graceful reuse-fallback quarantine, forward-progress
+ * watchdog, and config validation.
+ *
+ * Each injected fault class must be detected within one audit
+ * interval; for faults that corrupt only bookkeeping state (not
+ * architectural values), the quarantined run must still produce final
+ * memory identical to the Base golden run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "sim/designs.hh"
+#include "sim/gpu.hh"
+#include "sim/runner.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace
+{
+
+/** Small machine with the auditor running every cycle. */
+MachineConfig
+checkedMachine()
+{
+    MachineConfig machine;
+    machine.numSms = 2;
+    machine.check.auditInterval = 1;
+    return machine;
+}
+
+std::vector<u32>
+goldenMemory(const char *abbr)
+{
+    MachineConfig machine;
+    machine.numSms = 2;
+    return runWorkload(makeWorkload(abbr), designBase(), machine)
+        .finalMemory;
+}
+
+// ---- Healthy runs ----------------------------------------------------------
+
+TEST(InvariantAuditor, HealthyRunHasNoViolations)
+{
+    MachineConfig machine = checkedMachine();
+    machine.check.shadowCheck = true;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GT(r.stats.invariantAudits, 0u);
+    EXPECT_EQ(r.stats.invariantViolations, 0u);
+    EXPECT_GT(r.stats.shadowChecks, 0u);
+    EXPECT_EQ(r.stats.shadowMismatches, 0u);
+    EXPECT_EQ(r.stats.reuseFallbacks, 0u);
+    EXPECT_EQ(r.finalMemory, goldenMemory("SF"));
+}
+
+TEST(InvariantAuditor, AuditsAtKernelEndEvenWithLongInterval)
+{
+    MachineConfig machine;
+    machine.numSms = 2;
+    machine.check.auditInterval = 1u << 30; // never fires mid-run
+    auto r = runWorkload(makeWorkload("BT"), designRLPV(), machine);
+    EXPECT_GE(r.stats.invariantAudits, 1u); // the finalize() audit
+    EXPECT_EQ(r.stats.invariantViolations, 0u);
+}
+
+// ---- Fault classes detected by the refcount-conservation audit -------------
+
+TEST(FaultInjection, RbTagFlipDetectedAndMemoryStaysGolden)
+{
+    MachineConfig machine = checkedMachine();
+    machine.check.inject = FaultClass::RbTagFlip;
+    machine.check.injectCycle = 100;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GE(r.stats.faultsInjected, 1u);
+    EXPECT_GE(r.stats.invariantViolations, 1u);
+    EXPECT_GE(r.stats.reuseFallbacks, 1u);
+    // The flipped tag never corrupted an architectural value, so the
+    // quarantined run must still match the Base golden memory.
+    EXPECT_EQ(r.finalMemory, goldenMemory("SF"));
+}
+
+TEST(FaultInjection, RefcountDropDetectedAndMemoryStaysGolden)
+{
+    MachineConfig machine = checkedMachine();
+    machine.check.inject = FaultClass::RefcountDrop;
+    machine.check.injectCycle = 100;
+    auto r = runWorkload(makeWorkload("BT"), designRLPV(), machine);
+    EXPECT_GE(r.stats.faultsInjected, 1u);
+    EXPECT_GE(r.stats.invariantViolations, 1u);
+    EXPECT_GE(r.stats.reuseFallbacks, 1u);
+    MachineConfig clean;
+    clean.numSms = 2;
+    auto golden = runWorkload(makeWorkload("BT"), designBase(),
+                              clean);
+    EXPECT_EQ(r.finalMemory, golden.finalMemory);
+}
+
+TEST(FaultInjection, StaleRenameDetectedWithinOneInterval)
+{
+    // A stale rename entry destroys a logical->physical mapping, so
+    // the pre-fault value is unrecoverable by design; the contract
+    // here is detection + contained completion, not golden output.
+    MachineConfig machine = checkedMachine();
+    machine.check.inject = FaultClass::StaleRename;
+    machine.check.injectCycle = 100;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GE(r.stats.faultsInjected, 1u);
+    EXPECT_GE(r.stats.invariantViolations, 1u);
+    EXPECT_GE(r.stats.reuseFallbacks, 1u);
+    EXPECT_GT(r.stats.warpInstsCommitted, 0u); // run completed
+}
+
+// ---- Shadow oracle ---------------------------------------------------------
+
+TEST(ShadowOracle, DetectsCorruptedReuseBufferValue)
+{
+    // Flip a bit in a buffered result value: invisible to refcount
+    // conservation, caught only by re-checking reuse hits against
+    // the functional result.
+    MachineConfig machine;
+    machine.numSms = 2;
+    machine.check.shadowCheck = true;
+    machine.check.inject = FaultClass::RbValueFlip;
+    machine.check.injectCycle = 100;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GE(r.stats.faultsInjected, 1u);
+    EXPECT_GT(r.stats.shadowChecks, 0u);
+    EXPECT_GE(r.stats.shadowMismatches, 1u);
+    EXPECT_GE(r.stats.reuseFallbacks, 1u);
+}
+
+// ---- Fallback policy -------------------------------------------------------
+
+TEST(FaultInjection, NoFallbackEscalatesToSimError)
+{
+    MachineConfig machine = checkedMachine();
+    machine.check.inject = FaultClass::RefcountDrop;
+    machine.check.reuseFallback = false;
+    EXPECT_THROW(
+        runWorkload(makeWorkload("SF"), designRLPV(), machine),
+        SimError);
+}
+
+TEST(FaultInjection, FailedRunDoesNotPoisonSubsequentRuns)
+{
+    MachineConfig machine = checkedMachine();
+    machine.check.inject = FaultClass::RefcountDrop;
+    machine.check.reuseFallback = false;
+    EXPECT_THROW(
+        runWorkload(makeWorkload("SF"), designRLPV(), machine),
+        SimError);
+
+    // A multi-run harness catches the SimError and keeps going; the
+    // next (clean) run must be unaffected.
+    MachineConfig clean;
+    clean.numSms = 2;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), clean);
+    EXPECT_EQ(r.finalMemory, goldenMemory("SF"));
+    EXPECT_EQ(r.stats.invariantViolations, 0u);
+}
+
+// ---- Watchdog --------------------------------------------------------------
+
+/** Two warps that both must reach a barrier before storing. */
+Workload
+barrierWorkload()
+{
+    Workload w;
+    w.name = "bar2";
+    w.abbr = "B2";
+    constexpr unsigned n = 64;
+    w.outputBase = w.image.allocGlobal(n * 4);
+    w.outputBytes = n * 4;
+
+    KernelBuilder b("bar2", {n, 1}, {1, 1});
+    Reg gid = factories::globalThreadId(b);
+    Reg v = b.iadd(use(gid), Operand::imm(1));
+    for (int i = 0; i < 8; i++)
+        v = b.iadd(use(v), Operand::imm(1));
+    b.bar();
+    Reg oAddr = factories::wordAddr(b, gid,
+                                    static_cast<u32>(w.outputBase));
+    b.stg(use(oAddr), use(v));
+    w.kernel = b.finish();
+    return w;
+}
+
+TEST(Watchdog, FiresOnDeadlockedBarrier)
+{
+    // Stall one warp before it reaches the barrier: its peer waits
+    // forever and no instruction ever commits again. The watchdog
+    // must catch this long before the cycle limit.
+    MachineConfig machine;
+    machine.numSms = 1;
+    machine.check.inject = FaultClass::WarpStall;
+    machine.check.injectCycle = 0;
+    machine.check.watchdogCycles = 2000;
+    machine.maxCycles = 2u * 1000 * 1000;
+    try {
+        runWorkload(barrierWorkload(), designRLPV(), machine);
+        FAIL() << "expected the watchdog to fire";
+    } catch (const SimError &err) {
+        EXPECT_NE(std::string(err.what()).find("watchdog"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Watchdog, QuietOnHealthyRun)
+{
+    MachineConfig machine;
+    machine.numSms = 2;
+    machine.check.watchdogCycles = 10000;
+    auto r = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GT(r.stats.warpInstsCommitted, 0u);
+}
+
+// ---- Config validation -----------------------------------------------------
+
+TEST(ConfigValidation, RejectsZeroSms)
+{
+    MachineConfig machine;
+    machine.numSms = 0;
+    EXPECT_THROW(validateConfig(machine), ConfigError);
+    EXPECT_THROW(Gpu(machine, designBase()), ConfigError);
+}
+
+TEST(ConfigValidation, RejectsNonPowerOfTwoTables)
+{
+    DesignConfig design = designRLPV();
+    design.reuseBufferEntries = 48;
+    EXPECT_THROW(validateConfig(design), ConfigError);
+
+    design = designRLPV();
+    design.vsbEntries = 100;
+    EXPECT_THROW(validateConfig(design), ConfigError);
+}
+
+TEST(ConfigValidation, RejectsUnknownDesignAndFaultClass)
+{
+    EXPECT_THROW(designByName("bogus"), ConfigError);
+    EXPECT_THROW(faultClassByName("bogus"), ConfigError);
+    EXPECT_EQ(faultClassByName("rb-tag-flip"), FaultClass::RbTagFlip);
+    EXPECT_EQ(faultClassByName("none"), FaultClass::None);
+}
+
+TEST(ConfigValidation, AcceptsEveryShippedDesign)
+{
+    MachineConfig machine;
+    EXPECT_NO_THROW(validateConfig(machine));
+    for (const auto &design : allDesigns())
+        EXPECT_NO_THROW(validateConfig(design)) << design.name;
+}
+
+} // namespace
+} // namespace wir

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
+
 #include "isa/builder.hh"
 #include "sim/designs.hh"
 #include "sim/gpu.hh"
@@ -162,8 +164,7 @@ TEST(Watchdog, InfiniteLoopHitsCycleLimit)
     machine.maxCycles = 20000;
     MemoryImage image(64);
     Gpu gpu(machine, designBase());
-    EXPECT_EXIT(gpu.run(k, image), testing::ExitedWithCode(1),
-                "cycle limit");
+    EXPECT_THROW(gpu.run(k, image), SimError);
 }
 
 TEST(Observer, SeesEveryCommittedInstruction)

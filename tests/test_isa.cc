@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
+
 #include <set>
 
 #include "isa/builder.hh"
@@ -135,12 +137,12 @@ TEST(Builder, LoopBackEdgeAndBreak)
 TEST(Builder, MismatchedControlFlowPanics)
 {
     KernelBuilder b("t", {32, 1}, {1, 1});
-    EXPECT_DEATH(b.endIf(), "endIf");
+    EXPECT_THROW(b.endIf(), SimError);
     KernelBuilder b2("t", {32, 1}, {1, 1});
-    EXPECT_DEATH(b2.loopEnd(), "loopEnd");
+    EXPECT_THROW(b2.loopEnd(), SimError);
     KernelBuilder b3("t", {32, 1}, {1, 1});
     b3.iff(Operand::imm(1));
-    EXPECT_DEATH(b3.finish(), "unclosed");
+    EXPECT_THROW(b3.finish(), SimError);
 }
 
 TEST(Builder, ConstSegmentAddressing)
@@ -223,8 +225,7 @@ TEST(RegAlloc, PressureBeyond63IsFatal)
         acc = b.iadd(use(acc), use(r));
     Reg addr = b.immReg(0);
     b.stg(use(addr), use(acc));
-    EXPECT_EXIT(b.finish(), testing::ExitedWithCode(1),
-                "register pressure");
+    EXPECT_THROW(b.finish(), ConfigError);
 }
 
 TEST(Disasm, RendersInstructionAndKernel)
@@ -260,7 +261,7 @@ TEST(Kernel, ValidateRejectsBadRegisters)
     exitInst.op = Op::EXIT;
     exitInst.pc = 1;
     k.insts.push_back(exitInst);
-    EXPECT_DEATH(k.validate(), "out of range");
+    EXPECT_THROW(k.validate(), SimError);
 }
 
 } // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
+
 #include "func/executor.hh"
 #include "reuse/pending_queue.hh"
 #include "reuse/phys_regfile.hh"
@@ -53,7 +55,7 @@ TEST(PhysRegFile, DoubleFreePanics)
     PhysRegFile regs(4);
     PhysReg reg = *regs.alloc(stats);
     regs.free(reg, stats);
-    EXPECT_DEATH(regs.free(reg, stats), "double free");
+    EXPECT_THROW(regs.free(reg, stats), SimError);
 }
 
 TEST(PhysRegFile, PoisonsFreedValues)
@@ -63,7 +65,7 @@ TEST(PhysRegFile, PoisonsFreedValues)
     PhysReg reg = *regs.alloc(stats);
     regs.write(reg, splat(7));
     regs.free(reg, stats);
-    EXPECT_DEATH((void)regs.value(reg), "");
+    EXPECT_THROW((void)regs.value(reg), SimError);
 }
 
 TEST(PhysRegFile, MaskedWrites)
@@ -97,7 +99,7 @@ TEST(RefCount, ZeroDetection)
     EXPECT_FALSE(refs.dropRef(2, stats));
     EXPECT_TRUE(refs.dropRef(2, stats));
     EXPECT_TRUE(refs.allZero());
-    EXPECT_DEATH(refs.dropRef(2, stats), "underflow");
+    EXPECT_THROW(refs.dropRef(2, stats), SimError);
 }
 
 TEST(RenameTable, SetReturnsOldMapping)

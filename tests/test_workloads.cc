@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
+
 #include <set>
 
 #include "common/config.hh"
@@ -45,7 +47,7 @@ TEST(Workloads, LookupByAbbreviation)
     Workload w = makeWorkload("SF");
     EXPECT_EQ(w.abbr, "SF");
     EXPECT_EQ(w.name, "SobelFilter");
-    EXPECT_DEATH(makeWorkload("XX"), "unknown workload");
+    EXPECT_THROW(makeWorkload("XX"), ConfigError);
 }
 
 class WorkloadParam

@@ -17,6 +17,21 @@
  *   --delay N       extra backend delay in cycles (default 4)
  *   --stats         dump every raw counter
  *   --energy        print the energy breakdown
+ *
+ * Robustness options for `run`:
+ *   --audit N       run the reuse invariant auditor every N cycles
+ *   --shadow-check  re-verify every reuse hit against the functional
+ *                   result (shadow oracle)
+ *   --watchdog K    abort when no instruction commits for K cycles
+ *   --no-fallback   panic on a detected violation instead of falling
+ *                   back to base (no-reuse) execution
+ *   --inject CLASS  inject one fault: rb-tag-flip | refcount-drop |
+ *                   stale-rename | warp-stall | rb-value-flip
+ *   --inject-cycle C  earliest cycle to apply the fault (default 0)
+ *   --inject-sm S   SM to corrupt (default 0)
+ *
+ * Exit codes: 0 success, 1 simulation failure (SimError), 2 bad
+ * usage or configuration (ConfigError).
  */
 
 #include <cstdio>
@@ -43,8 +58,34 @@ usage()
                  "[--sms N] [--sched gto|lrr]\n"
                  "                  [--rb N] [--vsb N] [--assoc N] "
                  "[--delay N] [--stats] [--energy]\n"
+                 "                  [--audit N] [--shadow-check] "
+                 "[--watchdog K] [--no-fallback]\n"
+                 "                  [--inject CLASS] "
+                 "[--inject-cycle C] [--inject-sm S]\n"
                  "       wirsim profile <ABBR|all>\n");
     std::exit(2);
+}
+
+/** Strict numeric parsing: atoi-style silent zeros on garbage would
+ * defeat the config validation downstream. */
+u64
+parseNumber(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s expects a non-negative integer, got '%s'", flag,
+              text);
+    return value;
+}
+
+unsigned
+parseUnsigned(const char *flag, const char *text)
+{
+    u64 value = parseNumber(flag, text);
+    if (value > 0xffffffffull)
+        fatal("%s value %s is out of range", flag, text);
+    return static_cast<unsigned>(value);
 }
 
 int
@@ -95,20 +136,43 @@ cmdRun(int argc, char **argv)
         if (arg == "--design") {
             design = designByName(next());
         } else if (arg == "--sms") {
-            machine.numSms = std::atoi(next());
+            machine.numSms = parseUnsigned("--sms", next());
         } else if (arg == "--sched") {
             std::string p = next();
+            if (p != "gto" && p != "lrr")
+                fatal("--sched expects 'gto' or 'lrr', got '%s'",
+                      p.c_str());
             machine.schedPolicy = p == "lrr" ? WarpSchedPolicy::Lrr
                                              : WarpSchedPolicy::Gto;
         } else if (arg == "--rb") {
-            design.reuseBufferEntries = std::atoi(next());
+            design.reuseBufferEntries = parseUnsigned("--rb", next());
         } else if (arg == "--vsb") {
-            design.vsbEntries = std::atoi(next());
+            design.vsbEntries = parseUnsigned("--vsb", next());
         } else if (arg == "--assoc") {
-            design.reuseBufferAssoc = std::atoi(next());
+            design.reuseBufferAssoc =
+                parseUnsigned("--assoc", next());
             design.vsbAssoc = design.reuseBufferAssoc;
         } else if (arg == "--delay") {
-            design.extraBackendDelay = std::atoi(next());
+            design.extraBackendDelay =
+                parseUnsigned("--delay", next());
+        } else if (arg == "--audit") {
+            machine.check.auditInterval =
+                parseUnsigned("--audit", next());
+        } else if (arg == "--shadow-check") {
+            machine.check.shadowCheck = true;
+        } else if (arg == "--watchdog") {
+            machine.check.watchdogCycles =
+                parseNumber("--watchdog", next());
+        } else if (arg == "--no-fallback") {
+            machine.check.reuseFallback = false;
+        } else if (arg == "--inject") {
+            machine.check.inject = faultClassByName(next());
+        } else if (arg == "--inject-cycle") {
+            machine.check.injectCycle =
+                parseNumber("--inject-cycle", next());
+        } else if (arg == "--inject-sm") {
+            machine.check.injectSm =
+                parseUnsigned("--inject-sm", next());
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--energy") {
@@ -117,6 +181,9 @@ cmdRun(int argc, char **argv)
             usage();
         }
     }
+
+    validateConfig(machine);
+    validateConfig(design);
 
     std::printf("machine: %u SMs, %s scheduler; design: %s\n\n",
                 machine.numSms,
@@ -127,9 +194,18 @@ cmdRun(int argc, char **argv)
                 "cycles", "committed", "IPC", "reuse%", "L1miss",
                 "GPU uJ");
 
+    int failures = 0;
     for (const auto &abbr : resolveTargets(what)) {
-        auto result = runWorkload(makeWorkload(abbr), design,
-                                  machine);
+        RunResult result;
+        try {
+            result = runWorkload(makeWorkload(abbr), design, machine);
+        } catch (const SimError &err) {
+            // Keep sweeping the remaining workloads.
+            std::printf("%-5s FAILED: %s\n", abbr.c_str(),
+                        err.what());
+            failures++;
+            continue;
+        }
         std::printf("%-5s %9llu %10llu %8.2f %7.1f%% %9llu %10.2f\n",
                     abbr.c_str(),
                     static_cast<unsigned long long>(
@@ -145,7 +221,7 @@ cmdRun(int argc, char **argv)
         if (dumpEnergy)
             std::printf("%s", result.energy.describe().c_str());
     }
-    return 0;
+    return failures ? 1 : 0;
 }
 
 int
@@ -178,11 +254,19 @@ main(int argc, char **argv)
     if (argc < 2)
         usage();
     std::string cmd = argv[1];
-    if (cmd == "list")
-        return cmdList();
-    if (cmd == "run")
-        return cmdRun(argc - 2, argv + 2);
-    if (cmd == "profile")
-        return cmdProfile(argc - 2, argv + 2);
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run")
+            return cmdRun(argc - 2, argv + 2);
+        if (cmd == "profile")
+            return cmdProfile(argc - 2, argv + 2);
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "wirsim: %s\n", err.what());
+        return 2;
+    } catch (const SimError &err) {
+        std::fprintf(stderr, "wirsim: %s\n", err.what());
+        return 1;
+    }
     usage();
 }
