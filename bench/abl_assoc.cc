@@ -11,17 +11,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+abl_assoc(FigureContext &ctx)
+{
     printHeader("Ablation: table associativity",
                 "Reuse rate and VSB hit rate vs ways per set "
                 "(256 entries each)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::printf("%6s %6s | %8s %10s %10s\n", "RBway", "VSBway",
@@ -41,15 +43,20 @@ main()
                 vsbHit += double(r.stats.vsbShares) /
                           double(r.stats.vsbLookups);
             }
-            speedup += double(base.stats.cycles) /
-                       double(r.stats.cycles);
+            speedup += r.stats.cycles
+                ? double(base.stats.cycles) / double(r.stats.cycles)
+                : 1.0;
         }
         double n = double(abbrs.size());
         std::printf("%6u %6u | %7.2f%% %9.2f%% %10.4f\n", ways,
                     ways, 100.0 * reuse / n, 100.0 * vsbHit / n,
                     speedup / n);
+        ctx.metric("reuse_pct_a" + std::to_string(ways),
+                   100.0 * reuse / n);
     }
     std::printf("\n(paper: associative search considered, benefit "
                 "marginal -> direct indexing chosen)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

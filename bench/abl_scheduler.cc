@@ -11,12 +11,14 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+abl_scheduler(FigureContext &ctx)
+{
     printHeader("Ablation: warp scheduler",
                 "GTO (baseline) vs loose round-robin");
 
@@ -27,7 +29,11 @@ main()
     for (auto policy : {WarpSchedPolicy::Gto, WarpSchedPolicy::Lrr}) {
         MachineConfig machine;
         machine.schedPolicy = policy;
-        ResultCache cache(machine);
+        // Both machines share the pool's executor and disk store, so
+        // the LRR runs land in the same sweep and persistent cache.
+        ResultCache &cache = ctx.caches.forMachine(machine);
+        const char *sched =
+            policy == WarpSchedPolicy::Gto ? "GTO" : "LRR";
         for (auto design : {designBase(), designRLPV()}) {
             double ipc = 0, reuse = 0;
             for (const auto &abbr : abbrs) {
@@ -36,12 +42,15 @@ main()
                 reuse += r.reuseRate();
             }
             double n = double(abbrs.size());
-            std::printf("%6s %-6s | %10.3f %7.2f%%\n",
-                        policy == WarpSchedPolicy::Gto ? "GTO"
-                                                       : "LRR",
+            std::printf("%6s %-6s | %10.3f %7.2f%%\n", sched,
                         design.name.c_str(), ipc / n,
                         100.0 * reuse / n);
+            ctx.metric(std::string("ipc_") + sched + "_" +
+                           design.name,
+                       ipc / n);
         }
     }
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

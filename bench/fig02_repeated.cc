@@ -11,24 +11,25 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig02_repeated(FigureContext &ctx)
+{
     printHeader("Figure 2 / Table I",
                 "Repeated warp computations per 1K-instruction "
                 "window (Base GPU)");
 
-    MachineConfig machine;
+    ResultCache &cache = ctx.cache;
     std::vector<std::string> abbrs;
     std::vector<double> repeated, repeated10;
 
     std::printf("%-14s %-5s %-8s %6s %10s %12s\n", "Name", "Abbr",
                 "Suite", "%FP", "%repeated", "%repeated>10x");
     double fpSum = 0;
-    ResultCache cache(machine);
     for (const auto &info : workloadRegistry()) {
         bool quick = true;
         for (const auto &a : benchAbbrs())
@@ -36,7 +37,7 @@ main()
         if (quick)
             continue;
 
-        auto prof = profileWorkload(info, machine);
+        const auto &prof = cache.profile(info.abbr);
         const auto &base = cache.get(info.abbr, designBase());
         double fp = base.stats.warpInstsCommitted
             ? 100.0 * double(base.stats.fpInsts) /
@@ -52,9 +53,14 @@ main()
     }
     std::printf("%-14s %-5s %-8s %5.1f%% %9.1f%% %11.1f%%\n",
                 "AVERAGE", "", "", fpSum / double(abbrs.size()),
-                bench::average(repeated),
-                bench::average(repeated10));
+                average(repeated), average(repeated10));
     std::printf("\n(paper: 31.4%% repeated, 16.0%% repeated >10x "
                 "across its 34 applications)\n");
-    return 0;
+
+    ctx.metric("repeated_pct_avg", average(repeated));
+    ctx.metric("repeated_gt10x_pct_avg", average(repeated10));
+    ctx.metric("fp_pct_avg", fpSum / double(abbrs.size()));
 }
+
+} // namespace bench
+} // namespace wir

@@ -10,17 +10,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig12_backend(FigureContext &ctx)
+{
     printHeader("Figure 12",
                 "Relative backend-processed instruction count "
                 "(RLPV / Base)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     std::vector<std::string> abbrs = benchAbbrs();
     std::vector<double> relative, reused, dummies;
 
@@ -47,5 +49,11 @@ main()
                 abbrs, dummies);
     std::printf("\n(paper: 18.7%% of instructions bypass backend; "
                 "dummy MOVs +1.6%%)\n");
-    return 0;
+
+    ctx.metric("backend_rel_avg", average(relative));
+    ctx.metric("reused_pct_avg", average(reused));
+    ctx.metric("dummy_mov_pct_avg", average(dummies));
 }
+
+} // namespace bench
+} // namespace wir

@@ -32,17 +32,19 @@ counts(const wir::SimStats &stats)
 
 } // namespace
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig13_ops(FigureContext &ctx)
+{
     printHeader("Figure 13",
                 "Relative backend operation counts (per design, "
                 "relative to Base)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
     std::vector<DesignConfig> designs = {
         designBase(), designAffine(), designNoVSB(), designRPV(),
@@ -80,6 +82,8 @@ main()
                     rel(sum.rfReads, baseSum.rfReads),
                     rel(sum.rfWrites, baseSum.rfWrites),
                     100.0 * reusedFrac / double(abbrs.size()));
+        ctx.metric("bypass_pct_" + design.name,
+                   100.0 * reusedFrac / double(abbrs.size()));
     }
 
     // Per-benchmark total backend activations for the full design.
@@ -96,5 +100,9 @@ main()
                 perBench);
     std::printf("\n(paper: NoVSB bypasses <2%%; RLPV cuts MEM "
                 "activations up to 32.4%% vs RPV)\n");
-    return 0;
+
+    ctx.metric("rlpv_fu_rel_avg", average(perBench));
 }
+
+} // namespace bench
+} // namespace wir

@@ -10,17 +10,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig14_gpu_energy(FigureContext &ctx)
+{
     printHeader("Figure 14",
                 "GPU energy relative to Base (a:Base, b:RPV, "
                 "c:RLPV) with component breakdown");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     for (auto design : {designRPV(), designRLPV()}) {
@@ -34,6 +36,8 @@ main()
         printSeries("GPU energy " + design.name + " / Base", abbrs,
                     rel);
         std::printf("\n");
+        ctx.metric("gpu_energy_rel_avg_" + design.name,
+                   average(rel));
     }
 
     // Average breakdown per design (stacked-bar composition).
@@ -69,5 +73,7 @@ main()
                     pct(sum.dram));
     }
     std::printf("\n(paper: RPV saves 7.6%% GPU energy, RLPV 10.7%%)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

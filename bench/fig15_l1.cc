@@ -11,17 +11,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig15_l1(FigureContext &ctx)
+{
     printHeader("Figure 15",
                 "L1 accesses and misses, RLPV relative to Base "
                 "accesses (a: Base, b: RLPV)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     std::vector<std::string> selected = {"SF", "BT", "HS", "S2",
                                          "LK", "KM"};
 
@@ -54,7 +56,13 @@ main()
         rm += double(rlpv.stats.l1Misses);
     }
     std::printf("%-5s %12.0f %12.0f %12.0f %12.0f | %10.3f %10.3f\n",
-                "AVG", ba, bm, ra, rm, ra / ba, rm / bm);
+                "AVG", ba, bm, ra, rm, ba > 0 ? ra / ba : 1.0,
+                bm > 0 ? rm / bm : 1.0);
     std::printf("\n(paper: LK misses drop 61.5%%; KM can regress)\n");
-    return 0;
+
+    ctx.metric("l1_access_ratio_avg", ba > 0 ? ra / ba : 1.0);
+    ctx.metric("l1_miss_ratio_avg", bm > 0 ? rm / bm : 1.0);
 }
+
+} // namespace bench
+} // namespace wir

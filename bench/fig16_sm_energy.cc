@@ -10,15 +10,17 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig16_sm_energy(FigureContext &ctx)
+{
     printHeader("Figure 16", "SM energy relative to Base");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::vector<DesignConfig> designs = {designRPV(), designRLPV(),
@@ -37,6 +39,7 @@ main()
                     "(saving %.1f%%)\n",
                     design.name.c_str(), average(rel),
                     100.0 * (1.0 - average(rel)));
+        ctx.metric("sm_energy_rel_avg_" + design.name, average(rel));
     }
 
     std::printf("\nPer-benchmark, RLPV:\n");
@@ -49,5 +52,7 @@ main()
     printSeries("SM energy RLPV / Base", abbrs, rel);
     std::printf("\n(paper: RLPV -20.5%%, Affine -13.6%%, "
                 "Affine+RLPV -27.9%%)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

@@ -11,15 +11,17 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig17_speedup(FigureContext &ctx)
+{
     printHeader("Figure 17", "Speedup relative to Base");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     for (auto design :
@@ -28,12 +30,17 @@ main()
         for (const auto &abbr : abbrs) {
             const auto &base = cache.get(abbr, designBase());
             const auto &r = cache.get(abbr, design);
-            speedup.push_back(double(base.stats.cycles) /
-                              double(r.stats.cycles));
+            speedup.push_back(r.stats.cycles
+                                  ? double(base.stats.cycles) /
+                                        double(r.stats.cycles)
+                                  : 1.0);
         }
         printSeries("speedup " + design.name, abbrs, speedup);
         std::printf("\n");
+        ctx.metric("speedup_avg_" + design.name, average(speedup));
     }
     std::printf("(paper: most within +-10%%, LK ~2x with RLPV)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

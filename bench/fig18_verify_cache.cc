@@ -13,17 +13,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig18_verify_cache(FigureContext &ctx)
+{
     printHeader("Figure 18",
                 "Verify-cache effects on the register file "
                 "(subscripts = cache entries)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     // The paper calls out GA, BO, BF as bank-conflict sensitive.
     std::vector<std::string> abbrs = {"GA", "BO", "BF", "SF", "LU",
                                       "SN", "WT"};
@@ -55,6 +57,8 @@ main()
             vbank += vb;
             vcache += double(r.stats.verifyCacheHits);
         }
+        if (baseTotal <= 0)
+            baseTotal = 1;
         std::printf("%-8s %8.3f %9.3f %12.3f %12.3f\n",
                     design.name.c_str(), reads / baseTotal,
                     writes / baseTotal, vbank / baseTotal,
@@ -69,11 +73,14 @@ main()
             retries += double(r.stats.rfBankRetries);
             requests += double(r.stats.rfBankRequests);
         }
-        std::printf("%-8s %.4f\n", design.name.c_str(),
-                    requests > 0 ? retries / requests : 0.0);
+        double perReq = requests > 0 ? retries / requests : 0.0;
+        std::printf("%-8s %.4f\n", design.name.c_str(), perReq);
+        ctx.metric("rf_retries_per_req_" + design.name, perReq);
     }
     std::printf("\n(paper: RLP turns ~48%% of writes into "
                 "verify-reads; an 8-entry cache removes ~50%% of the "
                 "extra conflicts)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

@@ -11,16 +11,18 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig19_reg_util(FigureContext &ctx)
+{
     printHeader("Figure 19",
                 "Physical warp-register utilization (of 1024)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::printf("%-8s %10s %10s\n", "design", "average", "peak");
@@ -37,8 +39,14 @@ main()
         std::printf("%-8s %10.1f %10.1f\n", design.name.c_str(),
                     avgSum / double(abbrs.size()),
                     peakSum / double(abbrs.size()));
+        ctx.metric("avg_regs_" + design.name,
+                   avgSum / double(abbrs.size()));
+        ctx.metric("peak_regs_" + design.name,
+                   peakSum / double(abbrs.size()));
     }
     std::printf("\n(paper: RLPV averages below Base thanks to "
                 "register sharing)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

@@ -10,16 +10,18 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig20_vsb(FigureContext &ctx)
+{
     printHeader("Figure 20",
                 "VSB entry count vs value-sharing hit rate");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::printf("%8s %10s %12s\n", "entries", "hit rate",
@@ -40,8 +42,11 @@ main()
         double rate = rateSum / double(abbrs.size());
         std::printf("%8u %9.2f%% %12.4f\n", entries, 100.0 * rate,
                     rate);
+        ctx.metric("vsb_hit_rate_" + std::to_string(entries), rate);
     }
     std::printf("\n(paper: >50%% of hits with 128 entries; "
                 "saturates past 256)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

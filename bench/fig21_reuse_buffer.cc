@@ -11,17 +11,19 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig21_reuse_buffer(FigureContext &ctx)
+{
     printHeader("Figure 21",
                 "Reuse-buffer entries vs reused-instruction "
                 "fraction");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::printf("%8s %10s %14s %14s\n", "entries", "reused%",
@@ -35,6 +37,8 @@ main()
         for (const auto &abbr : abbrs) {
             const auto &r = cache.get(abbr, design);
             double c = double(r.stats.warpInstsCommitted);
+            if (c <= 0)
+                continue;
             reused += double(r.stats.warpInstsReused) / c;
             pending += double(r.stats.reuseHitsPending) / c;
         }
@@ -43,8 +47,12 @@ main()
                     100.0 * reused / n,
                     100.0 * (reused - pending) / n,
                     100.0 * pending / n);
+        ctx.metric("reused_pct_rb" + std::to_string(entries),
+                   100.0 * reused / n);
     }
     std::printf("\n(paper: 18.7%% at 256 entries; pending-retry "
                 "worth ~2x entries)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

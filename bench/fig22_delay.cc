@@ -10,16 +10,18 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    using namespace wir::bench;
+namespace bench
+{
 
+void
+fig22_delay(FigureContext &ctx)
+{
     printHeader("Figure 22",
                 "Backend pipeline delay vs speedup (RLPV)");
 
-    ResultCache cache;
+    ResultCache &cache = ctx.cache;
     auto abbrs = benchAbbrs();
 
     std::printf("%6s %10s\n", "delay", "speedup");
@@ -31,12 +33,18 @@ main()
         for (const auto &abbr : abbrs) {
             const auto &base = cache.get(abbr, designBase());
             const auto &r = cache.get(abbr, design);
-            speedup.push_back(double(base.stats.cycles) /
-                              double(r.stats.cycles));
+            speedup.push_back(r.stats.cycles
+                                  ? double(base.stats.cycles) /
+                                        double(r.stats.cycles)
+                                  : 1.0);
         }
         std::printf("    D%u %10.4f\n", delay, average(speedup));
+        ctx.metric("speedup_D" + std::to_string(delay),
+                   average(speedup));
     }
     std::printf("\n(paper: D4 default; slowdown grows gently with "
                 "delay)\n");
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

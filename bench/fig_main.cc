@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Entry point shared by every standalone figure binary. CMake
+ * compiles this file once per binary with WIR_FIG_ID set to the
+ * figure's registry id; all figure logic lives in the wir_figures
+ * library so run_all links the exact same code.
+ */
+
+#include "harness.hh"
+
+#ifndef WIR_FIG_ID
+#error "compile fig_main.cc with -DWIR_FIG_ID=\"<figure id>\""
+#endif
+
+int
+main(int argc, char **argv)
+{
+    return wir::bench::standaloneMain(WIR_FIG_ID, argc, argv);
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The figure registry: every reproduction the suite can run, in the
+ * paper's presentation order. run_all iterates this; the standalone
+ * binaries look themselves up in it by id (see fig_main.cc). The
+ * table is explicit -- no static-registrar tricks -- so linking any
+ * user of figureRegistry() pulls in every figure translation unit.
+ */
+
+#include "harness.hh"
+
+namespace wir
+{
+namespace bench
+{
+
+const std::vector<FigureInfo> &
+figureRegistry()
+{
+    static const std::vector<FigureInfo> registry = {
+        {"fig02_repeated",
+         "Repeated warp computations per 1K-instruction window",
+         fig02_repeated},
+        {"fig12_backend",
+         "Relative backend-processed instruction count",
+         fig12_backend},
+        {"fig13_ops", "Relative backend operation counts per design",
+         fig13_ops},
+        {"fig14_gpu_energy", "GPU energy breakdown vs Base",
+         fig14_gpu_energy},
+        {"fig15_l1", "L1 access/miss deltas under load reuse",
+         fig15_l1},
+        {"fig16_sm_energy", "SM energy relative to Base",
+         fig16_sm_energy},
+        {"fig17_speedup", "Speedup relative to Base", fig17_speedup},
+        {"fig18_verify_cache",
+         "Verify-cache effects on the register file",
+         fig18_verify_cache},
+        {"fig19_reg_util", "Physical register utilization",
+         fig19_reg_util},
+        {"fig20_vsb", "VSB entries vs value-sharing hit rate",
+         fig20_vsb},
+        {"fig21_reuse_buffer",
+         "Reuse-buffer entries vs reused fraction",
+         fig21_reuse_buffer},
+        {"fig22_delay", "Backend pipeline delay vs speedup",
+         fig22_delay},
+        {"abl_assoc", "Ablation: table associativity", abl_assoc},
+        {"abl_scheduler", "Ablation: warp scheduler policy",
+         abl_scheduler},
+        {"table2_params", "Table II simulation parameters",
+         table2_params},
+        {"table3_components", "Table III component costs",
+         table3_components},
+    };
+    return registry;
+}
+
+const FigureInfo *
+findFigure(const std::string &id)
+{
+    for (const auto &figure : figureRegistry()) {
+        if (id == figure.id)
+            return &figure;
+    }
+    return nullptr;
+}
+
+} // namespace bench
+} // namespace wir

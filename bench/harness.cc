@@ -1,7 +1,11 @@
 #include "harness.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -10,45 +14,148 @@ namespace wir
 namespace bench
 {
 
-ResultCache::ResultCache(MachineConfig machine)
-    : machineConfig(std::move(machine))
+namespace
 {
-    setInformEnabled(false);
-}
 
-const RunResult &
-ResultCache::get(const std::string &abbr, const DesignConfig &design)
+/**
+ * Mute stdout for the current scope (used by the plan pass, which
+ * re-runs figure code purely for its cache requests). fd-level, so
+ * it catches std::printf from the figure bodies.
+ */
+class StdoutSilencer
 {
-    std::string key = abbr + "/" + design.name;
-    auto it = results.find(key);
-    if (it != results.end())
-        return it->second;
-    std::fprintf(stderr, "  [sim] %-4s %s\n", abbr.c_str(),
-                 design.name.c_str());
-    RunResult result;
-    try {
-        result = runWorkload(makeWorkload(abbr), design,
-                             machineConfig);
-    } catch (const SimError &err) {
-        // One broken (workload, design) pair must not take down the
-        // whole sweep: record the failure and keep going.
-        warn("%s/%s failed: %s", abbr.c_str(), design.name.c_str(),
-             err.what());
-        result.workload = abbr;
-        result.design = design.name;
-        result.failed = true;
-        result.error = err.what();
+  public:
+    StdoutSilencer()
+    {
+        std::fflush(stdout);
+        saved = dup(STDOUT_FILENO);
+        int null = open("/dev/null", O_WRONLY);
+        if (saved < 0 || null < 0) {
+            // Can't mute: plan output will leak, but stay correct.
+            if (null >= 0)
+                close(null);
+            active = false;
+            return;
+        }
+        dup2(null, STDOUT_FILENO);
+        close(null);
     }
-    return results.emplace(key, std::move(result)).first->second;
+
+    ~StdoutSilencer()
+    {
+        if (!active)
+            return;
+        std::fflush(stdout);
+        dup2(saved, STDOUT_FILENO);
+        close(saved);
+    }
+
+  private:
+    int saved = -1;
+    bool active = true;
+};
+
+unsigned
+parseJobs(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || value == 0 || value > 4096)
+        fatal("%s expects a positive job count, got '%s'", flag,
+              text);
+    return unsigned(value);
 }
 
-std::vector<const RunResult *>
-ResultCache::suite(const DesignConfig &design)
+} // namespace
+
+void
+planFigures(CachePool &caches,
+            const std::vector<const FigureInfo *> &figures)
 {
-    std::vector<const RunResult *> out;
-    for (const auto &abbr : benchAbbrs())
-        out.push_back(&get(abbr, design));
-    return out;
+    // Plan pass: the figures run against placeholder results with
+    // stdout muted; their only effect is enqueueing every (workload,
+    // design) pair they will need, so the pool is saturated before
+    // the real pass blocks on the first result.
+    caches.setPlanMode(true);
+    {
+        StdoutSilencer mute;
+        FigureContext planCtx{caches, caches.defaultCache(),
+                              nullptr};
+        for (const FigureInfo *figure : figures) {
+            try {
+                figure->run(planCtx);
+            } catch (...) {
+                // Diagnose in the real pass, with output visible.
+            }
+        }
+    }
+    caches.setPlanMode(false);
+}
+
+void
+runFigurePlanned(CachePool &caches, const FigureInfo &figure,
+                 std::map<std::string, double> *metrics)
+{
+    planFigures(caches, {&figure});
+
+    FigureContext ctx{caches, caches.defaultCache(), metrics};
+    figure.run(ctx);
+}
+
+int
+standaloneMain(const char *figureId, int argc, char **argv)
+{
+    const FigureInfo *figure = findFigure(figureId);
+    if (!figure) {
+        std::fprintf(stderr, "%s: not in the figure registry\n",
+                     figureId);
+        return 2;
+    }
+
+    try {
+        sweep::Options opts;
+        for (int i = 1; i < argc; i++) {
+            std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("%s expects a value", arg.c_str());
+                return argv[++i];
+            };
+            if (arg == "--jobs") {
+                opts.jobs = parseJobs("--jobs", next());
+            } else if (arg == "--cache-dir") {
+                opts.cacheDir = next();
+            } else if (arg == "--no-cache") {
+                opts.useDiskCache = false;
+            } else {
+                fatal("usage: %s [--jobs N] [--cache-dir DIR] "
+                      "[--no-cache]", figureId);
+            }
+        }
+
+        CachePool caches(std::move(opts));
+        runFigurePlanned(caches, *figure, nullptr);
+
+        auto totals = caches.totalStats();
+        std::fprintf(stderr,
+                     "  [sweep] %llu simulated, %llu from disk "
+                     "cache, %llu deduplicated, %.1f s sim time on "
+                     "%u jobs\n",
+                     static_cast<unsigned long long>(
+                         totals.simulated),
+                     static_cast<unsigned long long>(
+                         totals.diskHits),
+                     static_cast<unsigned long long>(
+                         totals.memoryHits),
+                     totals.simSeconds, caches.jobs());
+        return 0;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "%s: %s\n", figureId, err.what());
+        return 2;
+    } catch (const SimError &err) {
+        std::fprintf(stderr, "%s: %s\n", figureId, err.what());
+        return 1;
+    }
 }
 
 std::vector<std::string>

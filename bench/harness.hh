@@ -1,46 +1,95 @@
 /**
  * @file
- * Shared harness for the per-figure bench binaries: caches simulation
- * results within a process so one binary can derive several series
- * from the same runs, and provides table-formatting helpers matching
- * the paper's presentation (per-benchmark bars + AVG).
+ * Shared harness for the figure suite.
+ *
+ * Every figure is a function of a FigureContext: it pulls simulation
+ * results from the context's sweep caches (parallel, memoized,
+ * disk-persistent -- see src/sweep) and prints the paper's
+ * presentation (per-benchmark bars + AVG) to stdout. The same
+ * function backs a standalone per-figure binary (via fig_main.cc)
+ * and the run_all driver, which runs the whole suite against one
+ * deduplicated sweep.
  */
 
 #ifndef WIR_BENCH_HARNESS_HH
 #define WIR_BENCH_HARNESS_HH
 
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "sim/designs.hh"
-#include "sim/runner.hh"
+#include "sweep/result_cache.hh"
 
 namespace wir
 {
 namespace bench
 {
 
-/** Runs (workload, design) pairs once each, memoized. */
-class ResultCache
+using sweep::CachePool;
+using ResultCache = sweep::ResultCache;
+
+/** Execution environment handed to every figure function. */
+struct FigureContext
 {
-  public:
-    explicit ResultCache(MachineConfig machine = MachineConfig{});
+    /** All caches of this sweep (one per machine config), sharing a
+     * job pool and a persistent store. Figures that vary the
+     * machine (e.g. the scheduler ablation) call
+     * caches.forMachine(...). */
+    CachePool &caches;
 
-    const RunResult &get(const std::string &abbr,
-                         const DesignConfig &design);
+    /** Shortcut: the cache for the default Table II machine. */
+    ResultCache &cache;
 
-    /** Run every Table I workload under `design` (reporting
-     * progress), returning results in registry order. */
-    std::vector<const RunResult *> suite(const DesignConfig &design);
+    /** Headline-metric sink for run_all --json; null when unused. */
+    std::map<std::string, double> *metrics = nullptr;
 
-    const MachineConfig &machine() const { return machineConfig; }
-
-  private:
-    MachineConfig machineConfig;
-    std::map<std::string, RunResult> results;
+    void
+    metric(const std::string &name, double value)
+    {
+        if (metrics)
+            (*metrics)[name] = value;
+    }
 };
+
+/** A figure/table reproduction runnable under a FigureContext. */
+struct FigureInfo
+{
+    const char *id;   ///< binary and registry name ("fig17_speedup")
+    const char *what; ///< one-line description for --list
+    void (*run)(FigureContext &ctx);
+};
+
+/** All figures, in presentation order (see figures.cc). */
+const std::vector<FigureInfo> &figureRegistry();
+
+/** Look up by id; null when unknown. */
+const FigureInfo *findFigure(const std::string &id);
+
+/**
+ * Plan pass over several figures: execute each in plan mode with
+ * stdout muted, which enqueues their union of deduplicated (workload,
+ * design) pairs on the pool without blocking. run_all plans the whole
+ * suite at once so the pool is saturated before any figure blocks.
+ */
+void planFigures(CachePool &caches,
+                 const std::vector<const FigureInfo *> &figures);
+
+/**
+ * Run one figure with a prefetching plan pass: first execute it in
+ * plan mode with stdout muted, which enqueues the figure's entire
+ * deduplicated work list on the pool without blocking, then run it
+ * for real. Output is byte-identical to a direct run; wall clock
+ * drops to the critical path of the slowest simulation chain.
+ */
+void runFigurePlanned(CachePool &caches, const FigureInfo &figure,
+                      std::map<std::string, double> *metrics);
+
+/** Shared main for the standalone binaries (see fig_main.cc):
+ * parses --jobs/--cache-dir/--no-cache, builds the cache pool, runs
+ * the figure via runFigurePlanned, reports sweep totals on stderr.
+ * Exit codes: 0 ok, 1 SimError, 2 usage/ConfigError. */
+int standaloneMain(const char *figureId, int argc, char **argv);
 
 /** Benchmarks eligible for a reduced "quick" sweep (env
  * WIR_BENCH_QUICK=1) -- a representative spread of Fig. 2 ranks. */
@@ -63,6 +112,24 @@ void printSeries(const std::string &metric,
 
 /** Geometric-mean-free simple average, as the paper uses. */
 double average(const std::vector<double> &values);
+
+// Figure functions (one per bench/figNN.cc translation unit).
+void fig02_repeated(FigureContext &ctx);
+void fig12_backend(FigureContext &ctx);
+void fig13_ops(FigureContext &ctx);
+void fig14_gpu_energy(FigureContext &ctx);
+void fig15_l1(FigureContext &ctx);
+void fig16_sm_energy(FigureContext &ctx);
+void fig17_speedup(FigureContext &ctx);
+void fig18_verify_cache(FigureContext &ctx);
+void fig19_reg_util(FigureContext &ctx);
+void fig20_vsb(FigureContext &ctx);
+void fig21_reuse_buffer(FigureContext &ctx);
+void fig22_delay(FigureContext &ctx);
+void abl_assoc(FigureContext &ctx);
+void abl_scheduler(FigureContext &ctx);
+void table2_params(FigureContext &ctx);
+void table3_components(FigureContext &ctx);
 
 } // namespace bench
 } // namespace wir

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * run_all: produce every figure and table of the suite from a single
+ * deduplicated parallel sweep.
+ *
+ * A muted plan pass over all selected figures collects the union of
+ * (workload, design) pairs and saturates the job pool; the real pass
+ * then prints each figure in registry order, drawing from the shared
+ * cache. Figure stdout is byte-identical to the standalone binaries
+ * and to any other job count; all volatile data (timings, throughput,
+ * cache hit counts) goes to stderr and, with --json, under the
+ * "sweep" key so consumers can compare runs with it stripped.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness.hh"
+
+namespace
+{
+
+using namespace wir;
+using namespace wir::bench;
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: run_all [options]\n"
+        "  --jobs N                 worker threads (default: "
+        "WIR_BENCH_JOBS or hardware concurrency)\n"
+        "  --figures a,b,c          run only these registry ids\n"
+        "  --list                   list registry ids and exit\n"
+        "  --json PATH              write per-figure metrics + sweep "
+        "stats as JSON\n"
+        "  --cache-dir DIR          persistent result cache location "
+        "(default: WIR_CACHE_DIR or ~/.cache/wirsim)\n"
+        "  --no-cache               disable the persistent result "
+        "cache\n"
+        "  --assert-warm-hit-rate P fail (exit 3) unless >= P%% of "
+        "results came from the disk cache\n");
+}
+
+unsigned
+parseUnsigned(const char *flag, const char *text, unsigned long max)
+{
+    char *end = nullptr;
+    unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || value > max)
+        fatal("%s expects an integer in [0, %lu], got '%s'", flag,
+              max, text);
+    return unsigned(value);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        if (comma > start)
+            out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue; // metric names never contain control chars
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<std::pair<std::string,
+                                      std::map<std::string, double>>>
+              &figureMetrics,
+          const sweep::SweepStats &totals, unsigned jobs,
+          double wallSeconds)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("--json: cannot write '%s'", path.c_str());
+
+    std::fprintf(out, "{\n  \"figures\": {\n");
+    for (size_t i = 0; i < figureMetrics.size(); i++) {
+        const auto &[id, metrics] = figureMetrics[i];
+        std::fprintf(out, "    \"%s\": {", jsonEscape(id).c_str());
+        size_t j = 0;
+        for (const auto &[name, value] : metrics) {
+            std::fprintf(out, "%s\n      \"%s\": %.17g",
+                         j++ ? "," : "", jsonEscape(name).c_str(),
+                         value);
+        }
+        std::fprintf(out, "%s}%s\n", metrics.empty() ? "" : "\n    ",
+                     i + 1 < figureMetrics.size() ? "," : "");
+    }
+    std::fprintf(out, "  },\n");
+
+    // Everything below varies run to run (timing, cache state):
+    // compare two runs with the "sweep" key deleted.
+    auto u = [](u64 v) { return static_cast<unsigned long long>(v); };
+    std::fprintf(out, "  \"sweep\": {\n");
+    std::fprintf(out, "    \"jobs\": %u,\n", jobs);
+    std::fprintf(out, "    \"requests\": %llu,\n", u(totals.requests));
+    std::fprintf(out, "    \"memory_hits\": %llu,\n",
+                 u(totals.memoryHits));
+    std::fprintf(out, "    \"disk_hits\": %llu,\n", u(totals.diskHits));
+    std::fprintf(out, "    \"simulated\": %llu,\n", u(totals.simulated));
+    std::fprintf(out, "    \"failures\": %llu,\n", u(totals.failures));
+    std::fprintf(out, "    \"disk_poisoned\": %llu,\n",
+                 u(totals.diskPoisoned));
+    std::fprintf(out, "    \"disk_stores\": %llu,\n",
+                 u(totals.diskStores));
+    std::fprintf(out, "    \"cycles_simulated\": %llu,\n",
+                 u(totals.cyclesSimulated));
+    std::fprintf(out, "    \"warp_insts_simulated\": %llu,\n",
+                 u(totals.warpInstsSimulated));
+    std::fprintf(out, "    \"sim_seconds\": %.6f,\n",
+                 totals.simSeconds);
+    std::fprintf(out, "    \"wall_seconds\": %.6f,\n", wallSeconds);
+    std::fprintf(out, "    \"cycles_per_second\": %.1f,\n",
+                 wallSeconds > 0 ? double(totals.cyclesSimulated) /
+                                       wallSeconds
+                                 : 0.0);
+    std::fprintf(out, "    \"warp_insts_per_second\": %.1f\n",
+                 wallSeconds > 0
+                     ? double(totals.warpInstsSimulated) / wallSeconds
+                     : 0.0);
+    std::fprintf(out, "  }\n}\n");
+    if (std::fclose(out) != 0)
+        fatal("--json: error writing '%s'", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    std::vector<std::string> only;
+    unsigned assertWarmRate = 0;
+    bool haveAssert = false;
+    sweep::Options opts;
+
+    try {
+        for (int i = 1; i < argc; i++) {
+            std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                if (i + 1 >= argc)
+                    fatal("%s expects a value", arg.c_str());
+                return argv[++i];
+            };
+            if (arg == "--jobs") {
+                opts.jobs = parseUnsigned("--jobs", next(), 4096);
+                if (opts.jobs == 0)
+                    fatal("--jobs expects a positive job count");
+            } else if (arg == "--figures") {
+                only = splitCommas(next());
+            } else if (arg == "--list") {
+                for (const auto &figure : figureRegistry())
+                    std::printf("%-20s %s\n", figure.id, figure.what);
+                return 0;
+            } else if (arg == "--json") {
+                jsonPath = next();
+            } else if (arg == "--cache-dir") {
+                opts.cacheDir = next();
+            } else if (arg == "--no-cache") {
+                opts.useDiskCache = false;
+            } else if (arg == "--assert-warm-hit-rate") {
+                assertWarmRate = parseUnsigned(
+                    "--assert-warm-hit-rate", next(), 100);
+                haveAssert = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(stdout);
+                return 0;
+            } else {
+                usage(stderr);
+                return 2;
+            }
+        }
+
+        std::vector<const FigureInfo *> selected;
+        if (only.empty()) {
+            for (const auto &figure : figureRegistry())
+                selected.push_back(&figure);
+        } else {
+            for (const auto &id : only) {
+                const FigureInfo *figure = findFigure(id);
+                if (!figure)
+                    fatal("--figures: '%s' is not in the registry "
+                          "(see --list)", id.c_str());
+                selected.push_back(figure);
+            }
+        }
+
+        auto start = std::chrono::steady_clock::now();
+        CachePool caches(std::move(opts));
+
+        // One plan pass over the whole selection: the pool sees the
+        // union of all deduplicated work before any figure blocks.
+        planFigures(caches, selected);
+
+        std::vector<std::pair<std::string,
+                              std::map<std::string, double>>>
+            figureMetrics;
+        for (const FigureInfo *figure : selected) {
+            figureMetrics.emplace_back(figure->id,
+                                       std::map<std::string,
+                                                double>{});
+            FigureContext ctx{caches, caches.defaultCache(),
+                              &figureMetrics.back().second};
+            figure->run(ctx);
+            std::printf("\n");
+        }
+
+        auto totals = caches.totalStats();
+        double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        std::fprintf(
+            stderr,
+            "[sweep] %llu results: %llu simulated, %llu from disk "
+            "cache, %llu deduplicated, %llu failed\n"
+            "[sweep] %.1f s wall on %u jobs, %.1f s summed sim time; "
+            "%.3g cycles/s, %.3g warp-instr/s\n",
+            static_cast<unsigned long long>(totals.requests),
+            static_cast<unsigned long long>(totals.simulated),
+            static_cast<unsigned long long>(totals.diskHits),
+            static_cast<unsigned long long>(totals.memoryHits),
+            static_cast<unsigned long long>(totals.failures),
+            wallSeconds, caches.jobs(), totals.simSeconds,
+            wallSeconds > 0
+                ? double(totals.cyclesSimulated) / wallSeconds
+                : 0.0,
+            wallSeconds > 0
+                ? double(totals.warpInstsSimulated) / wallSeconds
+                : 0.0);
+
+        if (!jsonPath.empty())
+            writeJson(jsonPath, figureMetrics, totals, caches.jobs(),
+                      wallSeconds);
+
+        if (haveAssert) {
+            u64 resolved = totals.diskHits + totals.simulated;
+            double rate = resolved
+                ? 100.0 * double(totals.diskHits) / double(resolved)
+                : 100.0;
+            if (rate < double(assertWarmRate)) {
+                std::fprintf(stderr,
+                             "[sweep] warm hit rate %.1f%% below "
+                             "required %u%%\n",
+                             rate, assertWarmRate);
+                return 3;
+            }
+            std::fprintf(stderr, "[sweep] warm hit rate %.1f%% "
+                                 "(required >= %u%%)\n",
+                         rate, assertWarmRate);
+        }
+        return totals.failures ? 1 : 0;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "run_all: %s\n", err.what());
+        return 2;
+    } catch (const SimError &err) {
+        std::fprintf(stderr, "run_all: %s\n", err.what());
+        return 1;
+    }
+}

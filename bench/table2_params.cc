@@ -7,11 +7,16 @@
 
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    bench::printHeader("Table II", "Simulation parameters");
+namespace bench
+{
+
+void
+table2_params(FigureContext &ctx)
+{
+    (void)ctx; // pure print, no simulations
+    printHeader("Table II", "Simulation parameters");
     MachineConfig machine;
     std::printf("%s", describeMachine(machine).c_str());
     DesignConfig design = designRLPV();
@@ -21,5 +26,7 @@ main()
                 design.vsbEntries);
     std::printf("Verify cache           : %u entries (varied)\n",
                 design.verifyCacheEntries);
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

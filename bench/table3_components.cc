@@ -10,14 +10,20 @@
 #include "energy/energy_model.hh"
 #include "harness.hh"
 
-int
-main()
+namespace wir
 {
-    using namespace wir;
-    bench::printHeader(
-        "Table III",
-        "Estimated energy and latency impacts of additional "
-        "components");
+namespace bench
+{
+
+void
+table3_components(FigureContext &ctx)
+{
+    (void)ctx; // pure print, no simulations
+    printHeader("Table III",
+                "Estimated energy and latency impacts of additional "
+                "components");
     std::printf("%s", describeComponentCosts().c_str());
-    return 0;
 }
+
+} // namespace bench
+} // namespace wir

@@ -88,6 +88,72 @@ validateConfig(const DesignConfig &design)
     }
 }
 
+std::string
+canonicalKey(const MachineConfig &m)
+{
+    // Every result-affecting field, in declaration order. When you
+    // add a MachineConfig/CheckConfig field, list it here; the
+    // sizeof() terms catch forgetting to (on a given build, a new
+    // field changes the struct size and thus every cache key).
+    std::ostringstream out;
+    out << "machine{sz=" << sizeof(MachineConfig)
+        << ",csz=" << sizeof(CheckConfig)
+        << ",sms=" << m.numSms
+        << ",sched/sm=" << m.schedulersPerSm
+        << ",warps=" << m.maxWarpsPerSm
+        << ",blocks=" << m.maxBlocksPerSm
+        << ",pol=" << (m.schedPolicy == WarpSchedPolicy::Lrr
+                           ? "lrr" : "gto")
+        << ",lregs=" << m.logicalRegsPerWarp
+        << ",pregs=" << m.physWarpRegs
+        << ",banks=" << m.regBankGroups
+        << ",ibuf=" << m.ibufferEntries
+        << ",latI=" << m.spIntLatency
+        << ",latF=" << m.spFpLatency
+        << ",latS=" << m.sfuLatency
+        << ",latSp=" << m.scratchpadLatency
+        << ",latC=" << m.constLatency
+        << ",spad=" << m.scratchpadBytes
+        << ",l1=" << m.l1dBytes << "/" << m.l1dWays << "/"
+        << m.l1dMshrs
+        << ",line=" << m.lineBytes
+        << ",l2=" << m.l2Partitions << "x" << m.l2BytesPerPartition
+        << "/" << m.l2Ways << "@" << m.l2Latency
+        << ",dram=" << m.dramLatency << "/" << m.dramQueueEntries
+        << ",noc=" << m.nocBytesPerCycle
+        << ",maxcyc=" << m.maxCycles
+        << ",audit=" << m.check.auditInterval
+        << ",shadow=" << m.check.shadowCheck
+        << ",fallback=" << m.check.reuseFallback
+        << ",wdog=" << m.check.watchdogCycles
+        << ",inject=" << faultClassName(m.check.inject)
+        << "@" << m.check.injectCycle << "/sm" << m.check.injectSm
+        << "}";
+    return out.str();
+}
+
+std::string
+canonicalKey(const DesignConfig &d)
+{
+    std::ostringstream out;
+    out << "design{sz=" << sizeof(DesignConfig)
+        << ",reuse=" << d.enableReuse
+        << ",load=" << d.enableLoadReuse
+        << ",pend=" << d.enablePendingRetry
+        << ",verify=" << d.enableVerifyCache
+        << ",vsb=" << d.enableVsb
+        << ",affine=" << d.enableAffine
+        << ",pol=" << (d.policy == RegisterPolicy::CappedRegister
+                           ? "capped" : "max")
+        << ",rb=" << d.reuseBufferEntries << "/" << d.reuseBufferAssoc
+        << ",vsbe=" << d.vsbEntries << "/" << d.vsbAssoc
+        << ",vc=" << d.verifyCacheEntries
+        << ",pq=" << d.pendingQueueEntries
+        << ",delay=" << d.extraBackendDelay
+        << "}";
+    return out.str();
+}
+
 FaultClass
 faultClassByName(const std::string &name)
 {

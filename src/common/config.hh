@@ -66,7 +66,8 @@ struct CheckConfig
 
     /** Forward-progress watchdog: if no instruction commits GPU-wide
      * for this many cycles, dump per-warp diagnostics and throw
-     * SimError (0 = off). */
+     * SimError (0 = off). Progress is sampled on a 64-cycle stride,
+     * so detection lands within [N, N+64) cycles of the stall. */
     u64 watchdogCycles = u64{1} << 20;
 
     /** Fault injection: which corruption to apply, at/after which
@@ -167,6 +168,19 @@ void validateConfig(const MachineConfig &machine);
 /** Same for a design point (table sizes must be powers of two,
  * associativity must divide the entry count, ...). */
 void validateConfig(const DesignConfig &design);
+
+/**
+ * Canonical key=value rendering of every result-affecting machine
+ * field, for persistent-cache keying (src/sweep). Two machines with
+ * equal strings simulate identically; any field change -- value or
+ * schema -- produces a different string. The struct's sizeof is
+ * folded in as a tripwire for fields added without updating the
+ * renderer.
+ */
+std::string canonicalKey(const MachineConfig &machine);
+
+/** Same for a design point. */
+std::string canonicalKey(const DesignConfig &design);
 
 /** Parse a fault class name ("rb-tag-flip", "refcount-drop",
  * "stale-rename", "warp-stall", "rb-value-flip"); ConfigError on

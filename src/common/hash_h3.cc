@@ -79,4 +79,22 @@ hashScalar(u64 key)
     return static_cast<u32>(key ^ (key >> 32));
 }
 
+u64
+fnv1a64(const void *data, std::size_t len, u64 seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    u64 h = seed;
+    for (std::size_t i = 0; i < len; i++) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+u64
+fnv1a64(const void *data, std::size_t len)
+{
+    return fnv1a64(data, len, 0xcbf29ce484222325ull);
+}
+
 } // namespace wir

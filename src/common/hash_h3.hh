@@ -13,6 +13,7 @@
 #define WIR_COMMON_HASH_H3_HH
 
 #include <array>
+#include <cstddef>
 
 #include "common/types.hh"
 
@@ -36,6 +37,16 @@ u32 hashH3(const WarpValue &value);
  * indexing, where the tag is opcode + physical register IDs + imm).
  */
 u32 hashScalar(u64 key);
+
+/**
+ * FNV-1a over an arbitrary byte range. Not a hardware structure --
+ * used host-side by the sweep subsystem for cache-key fingerprints,
+ * payload checksums, and final-memory digests.
+ */
+u64 fnv1a64(const void *data, std::size_t len);
+
+/** Continue an FNV-1a hash (chain multiple ranges). */
+u64 fnv1a64(const void *data, std::size_t len, u64 seed);
 
 } // namespace wir
 

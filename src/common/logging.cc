@@ -1,21 +1,42 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace wir
 {
 
 namespace
 {
-bool informEnabled = true;
+std::atomic<bool> informEnabled{true};
 
+/** Nesting depth of InformSilencer scopes on this thread. */
+thread_local unsigned informSuppressDepth = 0;
+
+/**
+ * Format the whole "tag: message\n" line into one buffer and emit it
+ * with a single stdio call, so lines from concurrent sweep workers
+ * cannot interleave mid-line.
+ */
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    va_list copy;
+    va_copy(copy, args);
+    int bodyLen = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (bodyLen < 0)
+        bodyLen = 0;
+
+    std::vector<char> line;
+    line.resize(std::snprintf(nullptr, 0, "%s: ", tag) + bodyLen + 2);
+    int off = std::snprintf(line.data(), line.size(), "%s: ", tag);
+    std::vsnprintf(line.data() + off, line.size() - off, fmt, args);
+    line[off + bodyLen] = '\n';
+    line[off + bodyLen + 1] = '\0';
+    std::fputs(line.data(), stderr);
 }
 } // namespace
 
@@ -73,7 +94,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informCurrentlyEnabled())
         return;
     va_list args;
     va_start(args, fmt);
@@ -84,7 +105,24 @@ informImpl(const char *fmt, ...)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+informCurrentlyEnabled()
+{
+    return informSuppressDepth == 0 &&
+           informEnabled.load(std::memory_order_relaxed);
+}
+
+InformSilencer::InformSilencer()
+{
+    informSuppressDepth++;
+}
+
+InformSilencer::~InformSilencer()
+{
+    informSuppressDepth--;
 }
 
 } // namespace wir

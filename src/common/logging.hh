@@ -55,8 +55,32 @@ void warnImpl(const char *fmt, ...)
 void informImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Enable/disable inform() output (benches silence it). */
+/**
+ * Enable/disable inform() output process-wide (tools that want a
+ * quiet run, e.g. wirsim, flip this once at startup). Thread-safe:
+ * the flag is atomic, but prefer InformSilencer for anything
+ * scoped -- a global toggle from library code silences unrelated
+ * callers and races with concurrent sweeps.
+ */
 void setInformEnabled(bool enabled);
+
+/**
+ * RAII, per-thread inform() suppression. The sweep executor wraps
+ * each simulation task in one of these so bench progress output
+ * stays clean without mutating the process-wide flag: other threads
+ * (and the caller after scope exit) keep their verbosity. Nests.
+ */
+class InformSilencer
+{
+  public:
+    InformSilencer();
+    ~InformSilencer();
+    InformSilencer(const InformSilencer &) = delete;
+    InformSilencer &operator=(const InformSilencer &) = delete;
+};
+
+/** Would inform() currently print on this thread? (For tests.) */
+bool informCurrentlyEnabled();
 
 } // namespace wir
 

@@ -3,21 +3,17 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/hash_h3.hh"
+
 namespace wir
 {
 
-namespace
+/** Table mapping counter names to members, shared by += , items()
+ * and the sweep result store's (de)serializer. */
+const std::vector<SimStatsField> &
+simStatsFields()
 {
-
-/** Table mapping counter names to members, shared by += and items(). */
-struct Field
-{
-    const char *name;
-    u64 SimStats::*member;
-    bool mergeMax; ///< merged with max() instead of + (peaks, cycles)
-};
-
-const Field fields[] = {
+    static const std::vector<SimStatsField> fields = {
     {"cycles", &SimStats::cycles, true},
     {"sm_cycles_total", &SimStats::smCyclesTotal, false},
     {"warp_insts_committed", &SimStats::warpInstsCommitted, false},
@@ -79,14 +75,28 @@ const Field fields[] = {
     {"shadow_mismatches", &SimStats::shadowMismatches, false},
     {"faults_injected", &SimStats::faultsInjected, false},
     {"reuse_fallbacks", &SimStats::reuseFallbacks, false},
-};
+    };
+    return fields;
+}
 
-} // namespace
+u64
+simStatsSchemaHash()
+{
+    static const u64 hash = [] {
+        std::string names;
+        for (const auto &field : simStatsFields()) {
+            names += field.name;
+            names += ';';
+        }
+        return fnv1a64(names.data(), names.size());
+    }();
+    return hash;
+}
 
 SimStats &
 SimStats::operator+=(const SimStats &other)
 {
-    for (const auto &field : fields) {
+    for (const auto &field : simStatsFields()) {
         u64 &mine = this->*(field.member);
         u64 theirs = other.*(field.member);
         mine = field.mergeMax ? std::max(mine, theirs) : mine + theirs;
@@ -98,7 +108,8 @@ std::vector<std::pair<std::string, u64>>
 SimStats::items() const
 {
     std::vector<std::pair<std::string, u64>> out;
-    out.reserve(std::size(fields));
+    const auto &fields = simStatsFields();
+    out.reserve(fields.size());
     for (const auto &field : fields)
         out.emplace_back(field.name, this->*(field.member));
     return out;

@@ -117,6 +117,25 @@ struct SimStats
     std::string dump() const;
 };
 
+/** One row of the counter schema: name + member + merge rule. */
+struct SimStatsField
+{
+    const char *name;
+    u64 SimStats::*member;
+    bool mergeMax; ///< merged with max() instead of + (peaks, cycles)
+};
+
+/** The full counter schema, in a stable serialization order. The
+ * sweep result store writes counters in exactly this order. */
+const std::vector<SimStatsField> &simStatsFields();
+
+/**
+ * Hash of the counter schema (field names, in order). Part of every
+ * persistent cache key, so adding/renaming/reordering a counter
+ * automatically invalidates stale on-disk results.
+ */
+u64 simStatsSchemaHash();
+
 } // namespace wir
 
 #endif // WIR_COMMON_STATS_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Simulator behavior version.
+ *
+ * The persistent sweep result cache (src/sweep) keys every stored
+ * RunResult on this string: bump it whenever a change can alter
+ * simulation *results* (timing model, energy model, workload inputs,
+ * ISA semantics, stats definitions), so stale entries are never
+ * served. Pure refactors, logging, and harness changes do not need a
+ * bump -- the cache key also covers the configuration structs and the
+ * stats schema, which catch most accidental drift automatically.
+ */
+
+#ifndef WIR_COMMON_VERSION_HH
+#define WIR_COMMON_VERSION_HH
+
+namespace wir
+{
+
+/** Bump on any behavior-visible simulator change (see above). */
+inline constexpr const char kSimVersion[] = "wir-3";
+
+} // namespace wir
+
+#endif // WIR_COMMON_VERSION_HH

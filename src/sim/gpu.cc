@@ -69,6 +69,13 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     // on the GPU for watchdogCycles, the machine is deadlocked (e.g.
     // a barrier some warp can never reach) -- dump per-warp pipeline
     // diagnostics instead of spinning to the cycle limit.
+    //
+    // Summing warpInstsCommitted across SMs is O(numSms); doing it
+    // every cycle made the base simulation loop pay for the watchdog
+    // even when it never fires, so the check runs on a stride. A hung
+    // machine is detected within watchdogCycles + kWatchdogStride
+    // cycles, which is noise against the default 2^20-cycle budget.
+    constexpr Cycle kWatchdogStride = 64;
     u64 watchdog = machine.check.watchdogCycles;
     u64 lastCommitted = 0;
     Cycle lastProgress = 0;
@@ -86,7 +93,7 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         if (nextBlock < totalBlocks)
             tryLaunch();
 
-        if (watchdog && anyBusy) {
+        if (watchdog && anyBusy && now % kWatchdogStride == 0) {
             u64 committed = 0;
             for (auto &sm : sms)
                 committed += sm->smStats().warpInstsCommitted;

@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include "common/hash_h3.hh"
 #include "sim/designs.hh"
 
 namespace wir
@@ -16,6 +17,9 @@ runWorkload(Workload &&workload, const DesignConfig &design,
     out.stats = gpu.run(workload.kernel, workload.image);
     out.energy = computeEnergy(out.stats);
     out.finalMemory = workload.image.snapshotGlobal();
+    out.finalMemoryDigest =
+        fnv1a64(out.finalMemory.data(),
+                out.finalMemory.size() * sizeof(u32));
     return out;
 }
 

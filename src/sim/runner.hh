@@ -23,6 +23,11 @@ struct RunResult
     SimStats stats;
     EnergyBreakdown energy;
     std::vector<u32> finalMemory; ///< global memory after the run
+    /** FNV-1a over finalMemory words. Persisted by the sweep result
+     * cache in place of the full image (results served from disk
+     * carry the digest but an empty finalMemory vector), and used by
+     * the determinism tests to compare end states cheaply. */
+    u64 finalMemoryDigest = 0;
     bool failed = false;          ///< the run threw a SimError
     std::string error;            ///< its message, when failed
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Persistent on-disk store for sweep results.
+ *
+ * One file per (machine, design, workload, simulator-version) key,
+ * named by the key's FNV-1a fingerprint. Each file embeds the full
+ * canonical key string (so fingerprint collisions are detected, not
+ * served), a format version, and a trailing checksum over the whole
+ * record (so truncated or bit-rotted files are detected, not
+ * served). Any validation failure counts as `poisoned` and reads as
+ * a miss -- the caller re-simulates and overwrites the entry.
+ *
+ * Writes go to a temp file followed by an atomic rename, so
+ * concurrent sweep processes sharing a cache directory can only ever
+ * observe complete records.
+ */
+
+#ifndef WIR_SWEEP_DISK_STORE_HH
+#define WIR_SWEEP_DISK_STORE_HH
+
+#include <atomic>
+#include <string>
+
+#include "sim/profiler.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+/**
+ * Cache directory resolution: $WIR_CACHE_DIR if set, else
+ * $XDG_CACHE_HOME/wirsim, else $HOME/.cache/wirsim, else ./.wir-cache.
+ */
+std::string defaultCacheDir();
+
+class DiskStore
+{
+  public:
+    /** Empty `dir` disables the store (all loads miss, stores drop). */
+    explicit DiskStore(std::string dir);
+
+    bool enabled() const { return !directory.empty(); }
+    const std::string &dir() const { return directory; }
+
+    /** Load a RunResult payload (stats, energy, final-memory
+     * digest); workload/design labels are the caller's. True on a
+     * valid hit. */
+    bool loadRun(const std::string &key, RunResult &out);
+    void storeRun(const std::string &key, const RunResult &result);
+
+    bool loadProfile(const std::string &key,
+                     ReuseProfiler::Result &out);
+    void storeProfile(const std::string &key,
+                      const ReuseProfiler::Result &result);
+
+    // Counters (cumulative over this store's lifetime).
+    u64 hits() const { return hitCount.load(); }
+    u64 misses() const { return missCount.load(); }
+    /** Files that existed but failed validation (stale format,
+     * wrong key, truncation, checksum mismatch). */
+    u64 poisoned() const { return poisonedCount.load(); }
+    u64 stores() const { return storeCount.load(); }
+
+  private:
+    enum class Kind : u8 { Run = 1, Profile = 2 };
+
+    std::string pathFor(const std::string &key, Kind kind) const;
+    bool loadRecord(const std::string &key, Kind kind,
+                    std::string &payload);
+    /** A structurally valid record carried a malformed payload:
+     * retract the hit, count it poisoned, drop the file. */
+    bool poisonPayload(const std::string &key, Kind kind);
+    void storeRecord(const std::string &key, Kind kind,
+                     const std::string &payload);
+
+    std::string directory;
+    std::atomic<u64> hitCount{0};
+    std::atomic<u64> missCount{0};
+    std::atomic<u64> poisonedCount{0};
+    std::atomic<u64> storeCount{0};
+};
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_DISK_STORE_HH

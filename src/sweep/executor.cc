@@ -1,0 +1,97 @@
+#include "sweep/executor.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("WIR_BENCH_JOBS");
+        env && env[0]) {
+        char *end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0' || value == 0 ||
+            value > 4096) {
+            fatal("WIR_BENCH_JOBS expects a positive job count, "
+                  "got '%s'", env);
+        }
+        return unsigned(value);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+Executor::Executor(unsigned jobs)
+{
+    // Touch lazily-initialized registries once, on this thread,
+    // before any worker can race to be the first user. Magic statics
+    // make the init thread-safe anyway; doing it eagerly keeps the
+    // first parallel sweep off that path entirely.
+    workloadRegistry();
+
+    unsigned count = resolveJobs(jobs);
+    workers.reserve(count);
+    for (unsigned i = 0; i < count; i++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+std::future<void>
+Executor::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        wir_assert(!stopping);
+        queue.push_back(std::move(packaged));
+    }
+    available.notify_one();
+    return future;
+}
+
+void
+Executor::workerLoop()
+{
+    // Simulations report through warn()/inform(); keep workers quiet
+    // by default so a 200-run sweep does not interleave status noise
+    // with the figure output. warn() still prints (single write per
+    // line, so concurrent warnings stay readable).
+    InformSilencer silence;
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping, and fully drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace sweep
+} // namespace wir

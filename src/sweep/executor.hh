@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size thread-pool executor for the sweep subsystem.
+ *
+ * Every (workload, design) simulation in a sweep is independent --
+ * each Gpu::run owns its SMs, memory partitions, and memory image --
+ * so the pool simply drains a FIFO of submitted tasks. Determinism
+ * is the caller's job: tasks must be pure functions of their inputs
+ * (ResultCache guarantees this by keying results, never sharing
+ * mutable simulation state between tasks).
+ */
+
+#ifndef WIR_SWEEP_EXECUTOR_HH
+#define WIR_SWEEP_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wir
+{
+namespace sweep
+{
+
+/**
+ * Resolve a job count: `requested` if nonzero, else the
+ * WIR_BENCH_JOBS environment variable, else hardware concurrency
+ * (minimum 1). ConfigError on a malformed environment value.
+ */
+unsigned resolveJobs(unsigned requested);
+
+class Executor
+{
+  public:
+    /** `jobs` as for resolveJobs(). Threads start immediately. */
+    explicit Executor(unsigned jobs = 0);
+
+    /** Drains remaining tasks, then joins all workers. */
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Enqueue a task; the future carries any thrown exception. */
+    std::future<void> submit(std::function<void()> task);
+
+    unsigned jobs() const { return unsigned(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex;
+    std::condition_variable available;
+    std::deque<std::packaged_task<void()>> queue;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_EXECUTOR_HH

@@ -1,0 +1,364 @@
+#include "sweep/result_cache.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "sim/designs.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+namespace
+{
+
+/** Shared prefix of every persistent key: simulator version plus
+ * schema tripwires, so behavior or layout drift invalidates all
+ * stored entries at once. */
+std::string
+keyPrefix()
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s|stats=%016llx|esz=%zu|",
+                  kSimVersion,
+                  static_cast<unsigned long long>(
+                      simStatsSchemaHash()),
+                  sizeof(EnergyBreakdown));
+    return buf;
+}
+
+const RunResult &
+planPlaceholderRun()
+{
+    static const RunResult zero{};
+    return zero;
+}
+
+const ReuseProfiler::Result &
+planPlaceholderProfile()
+{
+    static const ReuseProfiler::Result zero{};
+    return zero;
+}
+
+} // namespace
+
+SweepStats &
+SweepStats::operator+=(const SweepStats &other)
+{
+    requests += other.requests;
+    memoryHits += other.memoryHits;
+    diskHits += other.diskHits;
+    simulated += other.simulated;
+    failures += other.failures;
+    diskPoisoned += other.diskPoisoned;
+    diskStores += other.diskStores;
+    cyclesSimulated += other.cyclesSimulated;
+    warpInstsSimulated += other.warpInstsSimulated;
+    simSeconds += other.simSeconds;
+    return *this;
+}
+
+ResultCache::ResultCache(Options options_)
+    : options(std::move(options_))
+{
+    validateConfig(options.machine);
+    if (!options.executor)
+        options.executor =
+            std::make_shared<Executor>(options.jobs);
+    if (!options.disk && options.useDiskCache) {
+        std::string dir = options.cacheDir.empty()
+                              ? defaultCacheDir()
+                              : options.cacheDir;
+        options.disk = std::make_shared<DiskStore>(std::move(dir));
+    }
+}
+
+ResultCache::ResultCache(MachineConfig machine)
+    : ResultCache([&] {
+          Options opts;
+          opts.machine = std::move(machine);
+          return opts;
+      }())
+{
+}
+
+ResultCache::~ResultCache()
+{
+    // No task may outlive the entry it writes into. Tasks never
+    // create entries, so a snapshot of the futures is complete.
+    std::vector<std::shared_future<void>> pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto &[key, entry] : runs)
+            pending.push_back(entry.done);
+        for (auto &[key, entry] : profiles)
+            pending.push_back(entry.done);
+    }
+    for (auto &future : pending)
+        future.wait();
+}
+
+std::string
+ResultCache::runKey(const DesignConfig &design,
+                    const std::string &abbr) const
+{
+    return keyPrefix() + canonicalKey(options.machine) + "|" +
+           canonicalKey(design) + "|wl=" + abbr;
+}
+
+std::string
+ResultCache::profileKey(const std::string &abbr) const
+{
+    // Profiles run under the Base design with the profiler's default
+    // 1K-instruction window (see profileWorkload).
+    return keyPrefix() + canonicalKey(options.machine) + "|" +
+           canonicalKey(designBase()) + "|profile=" + abbr +
+           "|window=1024";
+}
+
+ResultCache::Entry<RunResult> &
+ResultCache::ensureRun(const std::string &abbr,
+                       const DesignConfig &design)
+{
+    std::string mapKey = canonicalKey(design) + "\x1f" + abbr;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = runs.find(mapKey);
+    if (it != runs.end()) {
+        memoryHits++;
+        return it->second;
+    }
+
+    Entry<RunResult> &entry = runs[mapKey];
+    // Labels come from the first requester, never from the disk
+    // payload; with serial enqueue (all our drivers) this is
+    // deterministic even though parameter-equal designs share entry.
+    entry.result.workload = abbr;
+    entry.result.design = design.name;
+
+    std::string key = runKey(design, abbr);
+    entry.done =
+        options.executor
+            ->submit([this, &entry, key, abbr, design] {
+                if (options.disk &&
+                    options.disk->loadRun(key, entry.result)) {
+                    diskHits++;
+                    return;
+                }
+                if (options.progress) {
+                    char line[128];
+                    std::snprintf(line, sizeof line,
+                                  "  [sim] %-4s %s\n", abbr.c_str(),
+                                  design.name.c_str());
+                    std::fputs(line, stderr);
+                }
+                auto start = std::chrono::steady_clock::now();
+                try {
+                    RunResult run = runWorkload(makeWorkload(abbr),
+                                                design,
+                                                options.machine);
+                    run.design = design.name;
+                    entry.result = std::move(run);
+                } catch (const SimError &err) {
+                    // One broken (workload, design) pair must not
+                    // take down the whole sweep: record the failure
+                    // and keep going.
+                    warn("%s/%s failed: %s", abbr.c_str(),
+                         design.name.c_str(), err.what());
+                    entry.result.failed = true;
+                    entry.result.error = err.what();
+                    failures++;
+                }
+                auto end = std::chrono::steady_clock::now();
+                simNanos +=
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(end - start)
+                        .count();
+                simulated++;
+                cyclesSimulated += entry.result.stats.cycles;
+                warpInstsSimulated +=
+                    entry.result.stats.warpInstsCommitted;
+                // Failures are never persisted: they are cheap to
+                // reproduce and keeping them out of the store means
+                // a fixed simulator heals the cache by itself.
+                if (options.disk && !entry.result.failed)
+                    options.disk->storeRun(key, entry.result);
+            })
+            .share();
+    return entry;
+}
+
+ResultCache::Entry<ReuseProfiler::Result> &
+ResultCache::ensureProfile(const std::string &abbr)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = profiles.find(abbr);
+    if (it != profiles.end()) {
+        memoryHits++;
+        return it->second;
+    }
+
+    const WorkloadInfo *info = nullptr;
+    for (const auto &candidate : workloadRegistry()) {
+        if (abbr == candidate.abbr)
+            info = &candidate;
+    }
+    if (!info)
+        fatal("unknown workload '%s'", abbr.c_str());
+
+    Entry<ReuseProfiler::Result> &entry = profiles[abbr];
+    std::string key = profileKey(abbr);
+    entry.done =
+        options.executor
+            ->submit([this, &entry, key, abbr, info] {
+                if (options.disk &&
+                    options.disk->loadProfile(key, entry.result)) {
+                    diskHits++;
+                    return;
+                }
+                if (options.progress) {
+                    char line[128];
+                    std::snprintf(line, sizeof line,
+                                  "  [sim] %-4s profile\n",
+                                  abbr.c_str());
+                    std::fputs(line, stderr);
+                }
+                auto start = std::chrono::steady_clock::now();
+                entry.result = profileWorkload(*info, options.machine);
+                auto end = std::chrono::steady_clock::now();
+                simNanos +=
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(end - start)
+                        .count();
+                simulated++;
+                if (options.disk)
+                    options.disk->storeProfile(key, entry.result);
+            })
+            .share();
+    return entry;
+}
+
+const RunResult &
+ResultCache::get(const std::string &abbr, const DesignConfig &design)
+{
+    Entry<RunResult> &entry = ensureRun(abbr, design);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        requests++;
+    }
+    if (planMode.load())
+        return planPlaceholderRun();
+    entry.done.get(); // rethrows ConfigError from the task
+    return entry.result;
+}
+
+const ReuseProfiler::Result &
+ResultCache::profile(const std::string &abbr)
+{
+    Entry<ReuseProfiler::Result> &entry = ensureProfile(abbr);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        requests++;
+    }
+    if (planMode.load())
+        return planPlaceholderProfile();
+    entry.done.get();
+    return entry.result;
+}
+
+void
+ResultCache::prefetch(const std::string &abbr,
+                      const DesignConfig &design)
+{
+    ensureRun(abbr, design);
+}
+
+void
+ResultCache::prefetchProfile(const std::string &abbr)
+{
+    ensureProfile(abbr);
+}
+
+SweepStats
+ResultCache::sweepStats() const
+{
+    SweepStats out;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        out.requests = requests;
+        out.memoryHits = memoryHits;
+    }
+    out.diskHits = diskHits.load();
+    out.simulated = simulated.load();
+    out.failures = failures.load();
+    out.cyclesSimulated = cyclesSimulated.load();
+    out.warpInstsSimulated = warpInstsSimulated.load();
+    out.simSeconds = double(simNanos.load()) * 1e-9;
+    // Store-wide counters; when the store is shared across a pool's
+    // caches, CachePool::totalStats overwrites these after summing so
+    // they are never multiple-counted.
+    if (options.disk) {
+        out.diskPoisoned = options.disk->poisoned();
+        out.diskStores = options.disk->stores();
+    }
+    return out;
+}
+
+CachePool::CachePool(Options base_)
+    : base(std::move(base_))
+{
+    if (!base.executor)
+        base.executor = std::make_shared<Executor>(base.jobs);
+    if (!base.disk && base.useDiskCache) {
+        std::string dir = base.cacheDir.empty() ? defaultCacheDir()
+                                                : base.cacheDir;
+        base.disk = std::make_shared<DiskStore>(std::move(dir));
+    }
+}
+
+ResultCache &
+CachePool::forMachine(const MachineConfig &machine)
+{
+    std::string key = canonicalKey(machine);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = caches.find(key);
+    if (it != caches.end())
+        return *it->second;
+    Options opts = base;
+    opts.machine = machine;
+    auto cache = std::make_unique<ResultCache>(std::move(opts));
+    ResultCache &ref = *cache;
+    ref.setPlanMode(planDefault);
+    caches.emplace(std::move(key), std::move(cache));
+    order.push_back(&ref);
+    return ref;
+}
+
+void
+CachePool::setPlanMode(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (ResultCache *cache : order)
+        cache->setPlanMode(on);
+    planDefault = on;
+}
+
+SweepStats
+CachePool::totalStats() const
+{
+    SweepStats out;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const ResultCache *cache : order)
+        out += cache->sweepStats();
+    if (base.disk) {
+        out.diskPoisoned = base.disk->poisoned();
+        out.diskStores = base.disk->stores();
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace wir

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Parallel, memoizing, optionally disk-persistent result cache for
+ * simulation sweeps.
+ *
+ * ResultCache::get() hands back the RunResult for a (workload,
+ * design) pair under this cache's machine configuration, running the
+ * simulation at most once per distinct *parameter set*: design names
+ * are labels, so `RLPV_D4` and `RLPV` (identical parameters) share
+ * one simulation. Runs execute on a thread-pool executor; a get()
+ * for an entry that is still in flight blocks only on that entry.
+ *
+ * Determinism guarantee: every simulation is a pure function of
+ * (MachineConfig, DesignConfig, workload, simulator version) -- each
+ * Gpu::run owns its SMs, partitions, and memory image, and shared
+ * process state (logging, registries) is thread-safe and
+ * result-neutral. Results are therefore bit-identical regardless of
+ * job count or task completion order; only stderr progress-line
+ * interleaving varies.
+ *
+ * Plan mode supports the run_all driver's two-pass shape: while
+ * planning, get() enqueues the entry and returns a zeroed
+ * placeholder immediately, so one silenced dry pass over the figure
+ * code discovers the whole deduplicated work list and saturates the
+ * pool before the first real figure blocks on anything.
+ */
+
+#ifndef WIR_SWEEP_RESULT_CACHE_HH
+#define WIR_SWEEP_RESULT_CACHE_HH
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sweep/disk_store.hh"
+#include "sweep/executor.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+/** Aggregate accounting for one sweep (see run_all --json). */
+struct SweepStats
+{
+    u64 requests = 0;    ///< get()/profile() calls
+    u64 memoryHits = 0;  ///< served an already-requested entry
+    u64 diskHits = 0;    ///< entries loaded from the on-disk store
+    u64 simulated = 0;   ///< entries actually simulated
+    u64 failures = 0;    ///< simulations that threw SimError
+    u64 diskPoisoned = 0; ///< invalid on-disk entries re-simulated
+    u64 diskStores = 0;  ///< entries persisted this run
+    u64 cyclesSimulated = 0;       ///< GPU cycles actually simulated
+    u64 warpInstsSimulated = 0;    ///< committed warp instructions
+    double simSeconds = 0;         ///< summed per-task wall time
+
+    SweepStats &operator+=(const SweepStats &other);
+};
+
+struct Options
+{
+    MachineConfig machine;
+    /** 0 = WIR_BENCH_JOBS env, else hardware concurrency. */
+    unsigned jobs = 0;
+    /** Persist results on disk (keyed by config + sim version). */
+    bool useDiskCache = true;
+    /** Cache directory; empty = defaultCacheDir(). */
+    std::string cacheDir;
+    /** Print one "[sim] ABBR design" stderr line per simulation. */
+    bool progress = true;
+    /** Share an executor across caches; created here when null. */
+    std::shared_ptr<Executor> executor;
+    /** Share a disk store across caches; created here when null
+     * (and useDiskCache). */
+    std::shared_ptr<DiskStore> disk;
+};
+
+class ResultCache
+{
+  public:
+    explicit ResultCache(Options options = {});
+    /** Convenience: default options under a specific machine. */
+    explicit ResultCache(MachineConfig machine);
+
+    /** Blocks until all in-flight entries of this cache finished. */
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Result for (workload, design) under this cache's machine.
+     * Blocks until available (plan mode: placeholder, immediately).
+     * References stay valid for the cache's lifetime. Rethrows a
+     * task's ConfigError (e.g. unknown workload); simulation
+     * failures are recorded in RunResult::failed instead.
+     */
+    const RunResult &get(const std::string &abbr,
+                         const DesignConfig &design);
+
+    /** Fig. 2 repeated-computation profile (Base design), same
+     * caching/parallelism/persistence as get(). */
+    const ReuseProfiler::Result &profile(const std::string &abbr);
+
+    /** Enqueue without blocking (idempotent). */
+    void prefetch(const std::string &abbr,
+                  const DesignConfig &design);
+    void prefetchProfile(const std::string &abbr);
+
+    const MachineConfig &machine() const
+    {
+        return options.machine;
+    }
+
+    /** See class comment. Flipping plan mode off does not discard
+     * anything: planned entries keep computing and later get()s
+     * block on the same futures. */
+    void setPlanMode(bool on) { planMode.store(on); }
+
+    SweepStats sweepStats() const;
+
+    /** The persistent key for (machine, design, abbr) -- exposed so
+     * tests can poke at on-disk entries directly. */
+    std::string runKey(const DesignConfig &design,
+                       const std::string &abbr) const;
+    std::string profileKey(const std::string &abbr) const;
+
+    const std::shared_ptr<DiskStore> &diskStore() const
+    {
+        return options.disk;
+    }
+    const std::shared_ptr<Executor> &executor() const
+    {
+        return options.executor;
+    }
+
+  private:
+    template <typename Result> struct Entry
+    {
+        std::shared_future<void> done;
+        Result result;
+    };
+
+    Entry<RunResult> &ensureRun(const std::string &abbr,
+                                const DesignConfig &design);
+    Entry<ReuseProfiler::Result> &
+    ensureProfile(const std::string &abbr);
+
+    Options options;
+    std::atomic<bool> planMode{false};
+
+    mutable std::mutex mutex; ///< guards entry maps and counters
+    /** Keyed by canonical design parameters + workload, so
+     * same-parameter designs under different names share entries.
+     * std::map for node stability: get() returns long-lived refs. */
+    std::map<std::string, Entry<RunResult>> runs;
+    std::map<std::string, Entry<ReuseProfiler::Result>> profiles;
+
+    // Counters (mutex-guarded unless noted).
+    u64 requests = 0;
+    u64 memoryHits = 0;
+    std::atomic<u64> diskHits{0};
+    std::atomic<u64> simulated{0};
+    std::atomic<u64> failures{0};
+    std::atomic<u64> cyclesSimulated{0};
+    std::atomic<u64> warpInstsSimulated{0};
+    std::atomic<u64> simNanos{0};
+};
+
+/**
+ * A family of ResultCaches -- one per machine configuration --
+ * sharing one executor and one disk store, so a multi-machine sweep
+ * (e.g. the scheduler ablation) still draws from a single job pool
+ * and reports one set of cache statistics.
+ */
+class CachePool
+{
+  public:
+    explicit CachePool(Options base = {});
+
+    /** The cache for `machine` (created on first use; stable). */
+    ResultCache &forMachine(const MachineConfig &machine);
+
+    /** Cache for the options' base machine. */
+    ResultCache &defaultCache() { return forMachine(base.machine); }
+
+    void setPlanMode(bool on);
+
+    /** Totals across all member caches (disk counters once). */
+    SweepStats totalStats() const;
+
+    unsigned jobs() const { return base.executor->jobs(); }
+    const std::shared_ptr<DiskStore> &diskStore() const
+    {
+        return base.disk;
+    }
+
+  private:
+    Options base;
+    mutable std::mutex mutex;
+    bool planDefault = false; ///< inherited by caches created later
+    std::map<std::string, std::unique_ptr<ResultCache>> caches;
+    std::vector<ResultCache *> order; ///< creation order, for stats
+};
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_RESULT_CACHE_HH

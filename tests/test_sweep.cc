@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for the sweep subsystem (src/sweep): executor behavior,
+ * result-cache determinism across job counts, parameter-level
+ * deduplication, and the persistent disk store's validation of
+ * poisoned entries (stale format, truncation, bit rot).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "sim/designs.hh"
+#include "sweep/disk_store.hh"
+#include "sweep/executor.hh"
+#include "sweep/result_cache.hh"
+
+namespace fs = std::filesystem;
+using namespace wir;
+using namespace wir::sweep;
+
+namespace
+{
+
+MachineConfig
+testMachine()
+{
+    MachineConfig machine;
+    machine.numSms = 4;
+    return machine;
+}
+
+Options
+testOptions(unsigned jobs, const std::string &cacheDir = "")
+{
+    Options opts;
+    opts.machine = testMachine();
+    opts.jobs = jobs;
+    opts.useDiskCache = !cacheDir.empty();
+    opts.cacheDir = cacheDir;
+    opts.progress = false;
+    return opts;
+}
+
+/** Self-removing unique temp directory for disk-store tests. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        path = (fs::temp_directory_path() /
+                ("wir-sweep-test-" +
+                 std::to_string(::getpid()) + "-" +
+                 std::to_string(counter++)))
+                   .string();
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string path;
+
+  private:
+    static std::atomic<int> counter;
+};
+
+std::atomic<int> TempDir::counter{0};
+
+/** The single *.run file in `dir` (expects exactly one). */
+fs::path
+onlyRunFile(const std::string &dir)
+{
+    fs::path found;
+    int matches = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".run") {
+            found = entry.path();
+            matches++;
+        }
+    }
+    EXPECT_EQ(matches, 1) << "expected exactly one .run entry";
+    return found;
+}
+
+} // namespace
+
+TEST(Executor, ResolveJobsPrefersExplicitRequest)
+{
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(Executor, ResolveJobsReadsEnvironment)
+{
+    ::setenv("WIR_BENCH_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(0), 5u);
+    EXPECT_EQ(resolveJobs(2), 2u); // explicit beats env
+    ::setenv("WIR_BENCH_JOBS", "bogus", 1);
+    EXPECT_THROW(resolveJobs(0), ConfigError);
+    ::unsetenv("WIR_BENCH_JOBS");
+}
+
+TEST(Executor, RunsAllTasksAndPropagatesExceptions)
+{
+    Executor pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; i++)
+        futures.push_back(pool.submit([&] { ran++; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(ran.load(), 64);
+
+    auto boom = pool.submit(
+        [] { throw SimError("executor test failure"); });
+    EXPECT_THROW(boom.get(), SimError);
+}
+
+TEST(ResultCache, BitIdenticalAcrossJobCounts)
+{
+    const std::vector<std::string> abbrs = {"SF", "BO", "HW"};
+    const std::vector<DesignConfig> designs = {designBase(),
+                                               designRLPV()};
+
+    ResultCache serial(testOptions(1));
+    ResultCache parallel(testOptions(8));
+    // Enqueue everything on the parallel cache first so results
+    // really complete out of order relative to the serial baseline.
+    for (const auto &design : designs)
+        for (const auto &abbr : abbrs)
+            parallel.prefetch(abbr, design);
+
+    for (const auto &design : designs) {
+        for (const auto &abbr : abbrs) {
+            const RunResult &a = serial.get(abbr, design);
+            const RunResult &b = parallel.get(abbr, design);
+            ASSERT_FALSE(a.failed);
+            ASSERT_FALSE(b.failed);
+            EXPECT_EQ(a.stats.items(), b.stats.items())
+                << abbr << "/" << design.name;
+            EXPECT_EQ(a.finalMemory, b.finalMemory)
+                << abbr << "/" << design.name;
+            EXPECT_EQ(a.finalMemoryDigest, b.finalMemoryDigest)
+                << abbr << "/" << design.name;
+        }
+    }
+    EXPECT_EQ(serial.sweepStats().simulated,
+              parallel.sweepStats().simulated);
+}
+
+TEST(ResultCache, DeduplicatesRenamedParameterTwins)
+{
+    ResultCache cache(testOptions(2));
+
+    DesignConfig alias = designRLPV();
+    alias.name = "RLPV_relabeled";
+
+    const RunResult &a = cache.get("SF", designRLPV());
+    const RunResult &b = cache.get("SF", alias);
+    EXPECT_EQ(&a, &b) << "same parameters must share one entry";
+    EXPECT_EQ(cache.sweepStats().simulated, 1u);
+    EXPECT_EQ(cache.sweepStats().memoryHits, 1u);
+
+    DesignConfig different = designRLPV();
+    different.reuseBufferEntries *= 2;
+    different.name = "RLPV"; // same label, different parameters
+    const RunResult &c = cache.get("SF", different);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(cache.sweepStats().simulated, 2u);
+
+    EXPECT_NE(cache.runKey(designRLPV(), "SF"),
+              cache.runKey(different, "SF"));
+    EXPECT_EQ(cache.runKey(designRLPV(), "SF"),
+              cache.runKey(alias, "SF"));
+    EXPECT_NE(cache.runKey(designRLPV(), "SF"),
+              cache.runKey(designRLPV(), "BO"));
+    // The simulator version is part of every persistent key.
+    EXPECT_NE(cache.runKey(designRLPV(), "SF").find(kSimVersion),
+              std::string::npos);
+}
+
+TEST(ResultCache, UnknownWorkloadThrowsConfigError)
+{
+    ResultCache cache(testOptions(1));
+    EXPECT_THROW(cache.get("NOPE", designBase()), ConfigError);
+}
+
+TEST(ResultCache, WarmStartServesFromDiskWithoutResimulating)
+{
+    TempDir dir;
+    RunResult fresh;
+    {
+        ResultCache cold(testOptions(2, dir.path));
+        fresh = cold.get("SF", designRLPV());
+        auto stats = cold.sweepStats();
+        EXPECT_EQ(stats.simulated, 1u);
+        EXPECT_EQ(stats.diskHits, 0u);
+        EXPECT_EQ(stats.diskStores, 1u);
+    }
+
+    ResultCache warm(testOptions(2, dir.path));
+    const RunResult &served = warm.get("SF", designRLPV());
+    auto stats = warm.sweepStats();
+    EXPECT_EQ(stats.simulated, 0u);
+    EXPECT_EQ(stats.diskHits, 1u);
+
+    EXPECT_EQ(served.stats.items(), fresh.stats.items());
+    EXPECT_EQ(served.finalMemoryDigest, fresh.finalMemoryDigest);
+    EXPECT_DOUBLE_EQ(served.energy.gpuTotal(),
+                     fresh.energy.gpuTotal());
+    // Disk entries persist the digest, not the full image.
+    EXPECT_TRUE(served.finalMemory.empty());
+}
+
+TEST(ResultCache, ProfileRoundTripsThroughDisk)
+{
+    TempDir dir;
+    ReuseProfiler::Result fresh;
+    {
+        ResultCache cold(testOptions(1, dir.path));
+        fresh = cold.profile("SF");
+    }
+    ResultCache warm(testOptions(1, dir.path));
+    const auto &served = warm.profile("SF");
+    EXPECT_EQ(warm.sweepStats().simulated, 0u);
+    EXPECT_DOUBLE_EQ(served.repeatedFraction, fresh.repeatedFraction);
+    EXPECT_DOUBLE_EQ(served.repeated10xFraction,
+                     fresh.repeated10xFraction);
+}
+
+namespace
+{
+
+/** Corrupt the sole cached .run entry, then check that a new cache
+ * re-simulates (counting the entry poisoned) and still produces
+ * results identical to the pristine run. */
+void
+expectPoisonRecovered(const std::string &cacheDir,
+                      const RunResult &pristine)
+{
+    ResultCache cache(testOptions(1, cacheDir));
+    const RunResult &again = cache.get("SF", designRLPV());
+    auto stats = cache.sweepStats();
+    EXPECT_EQ(stats.simulated, 1u) << "poisoned entry must not be "
+                                      "served";
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.diskPoisoned, 1u);
+    EXPECT_EQ(again.stats.items(), pristine.stats.items());
+    EXPECT_EQ(again.finalMemoryDigest, pristine.finalMemoryDigest);
+    // The poisoned file was replaced by a fresh store; a third cache
+    // must now hit cleanly.
+    ResultCache healed(testOptions(1, cacheDir));
+    healed.get("SF", designRLPV());
+    EXPECT_EQ(healed.sweepStats().diskHits, 1u);
+    EXPECT_EQ(healed.sweepStats().simulated, 0u);
+}
+
+RunResult
+populate(const std::string &cacheDir)
+{
+    ResultCache cache(testOptions(1, cacheDir));
+    return cache.get("SF", designRLPV());
+}
+
+} // namespace
+
+TEST(DiskStore, TruncatedEntryIsPoisonedAndResimulated)
+{
+    TempDir dir;
+    RunResult pristine = populate(dir.path);
+
+    fs::path file = onlyRunFile(dir.path);
+    auto size = fs::file_size(file);
+    fs::resize_file(file, size / 2);
+
+    expectPoisonRecovered(dir.path, pristine);
+}
+
+TEST(DiskStore, StaleFormatVersionIsPoisonedAndResimulated)
+{
+    TempDir dir;
+    RunResult pristine = populate(dir.path);
+
+    // Format version is the u32 after the 4-byte "WIRC" magic.
+    fs::path file = onlyRunFile(dir.path);
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(4);
+    const char bumped[4] = {char(0xff), char(0xff), char(0xff),
+                            char(0xff)};
+    f.write(bumped, 4);
+    f.close();
+
+    expectPoisonRecovered(dir.path, pristine);
+}
+
+TEST(DiskStore, BitFlippedPayloadFailsChecksumAndResimulates)
+{
+    TempDir dir;
+    RunResult pristine = populate(dir.path);
+
+    fs::path file = onlyRunFile(dir.path);
+    auto size = fs::file_size(file);
+    std::fstream f(file, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(long(size) - 12); // inside the payload/checksum tail
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = char(byte ^ 0x40);
+    f.seekp(long(size) - 12);
+    f.write(&byte, 1);
+    f.close();
+
+    expectPoisonRecovered(dir.path, pristine);
+}
+
+TEST(DiskStore, MissingDirectoryDisablesStoreGracefully)
+{
+    DiskStore disabled("");
+    EXPECT_FALSE(disabled.enabled());
+    RunResult out;
+    EXPECT_FALSE(disabled.loadRun("key", out));
+    disabled.storeRun("key", out); // must be a no-op, not a crash
+    EXPECT_EQ(disabled.stores(), 0u);
+}
+
+TEST(CachePool, SharesExecutorAndDiskAcrossMachines)
+{
+    TempDir dir;
+    Options opts = testOptions(2, dir.path);
+    CachePool pool(opts);
+
+    MachineConfig lrr = testMachine();
+    lrr.schedPolicy = WarpSchedPolicy::Lrr;
+
+    ResultCache &a = pool.defaultCache();
+    ResultCache &b = pool.forMachine(lrr);
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(&pool.defaultCache(), &a) << "caches must be stable";
+    EXPECT_EQ(a.executor().get(), b.executor().get());
+    EXPECT_EQ(a.diskStore().get(), b.diskStore().get());
+
+    a.get("HW", designBase());
+    b.get("HW", designBase());
+    EXPECT_EQ(pool.totalStats().simulated, 2u)
+        << "different machines are distinct cache entries";
+    EXPECT_NE(a.runKey(designBase(), "HW"),
+              b.runKey(designBase(), "HW"));
+}

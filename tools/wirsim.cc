@@ -18,6 +18,13 @@
  *   --stats         dump every raw counter
  *   --energy        print the energy breakdown
  *
+ * Sweep options for `run` and `profile`:
+ *   --jobs N        simulate up to N workloads concurrently
+ *                   (default: WIR_BENCH_JOBS or hardware threads)
+ *   --cache         reuse/persist results in the sweep result cache
+ *                   (WIR_CACHE_DIR or ~/.cache/wirsim)
+ *   --cache-dir DIR same, at an explicit location
+ *
  * Robustness options for `run`:
  *   --audit N       run the reuse invariant auditor every N cycles
  *   --shadow-check  re-verify every reuse hit against the functional
@@ -37,12 +44,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "sim/designs.hh"
 #include "sim/runner.hh"
+#include "sweep/result_cache.hh"
 
 using namespace wir;
 
@@ -62,7 +71,10 @@ usage()
                  "[--watchdog K] [--no-fallback]\n"
                  "                  [--inject CLASS] "
                  "[--inject-cycle C] [--inject-sm S]\n"
-                 "       wirsim profile <ABBR|all>\n");
+                 "                  [--jobs N] [--cache] "
+                 "[--cache-dir DIR]\n"
+                 "       wirsim profile <ABBR|all> [--jobs N] "
+                 "[--cache] [--cache-dir DIR]\n");
     std::exit(2);
 }
 
@@ -115,6 +127,48 @@ resolveTargets(const std::string &what)
     return targets;
 }
 
+/** Sweep flags shared by `run` and `profile` (--jobs/--cache/
+ * --cache-dir). The disk cache is opt-in from the CLI: a plain
+ * `wirsim run` always simulates. */
+struct SweepFlags
+{
+    unsigned jobs = 0; ///< 0 = env/hardware default
+    bool useDisk = false;
+    std::string cacheDir;
+
+    /** Consume the argument if it is a sweep flag. */
+    bool
+    consume(const std::string &arg,
+            const std::function<const char *()> &next)
+    {
+        if (arg == "--jobs") {
+            jobs = parseUnsigned("--jobs", next());
+            if (jobs == 0)
+                fatal("--jobs expects a positive job count");
+        } else if (arg == "--cache") {
+            useDisk = true;
+        } else if (arg == "--cache-dir") {
+            cacheDir = next();
+            useDisk = true;
+        } else {
+            return false;
+        }
+        return true;
+    }
+
+    sweep::Options
+    options(const MachineConfig &machine) const
+    {
+        sweep::Options opts;
+        opts.machine = machine;
+        opts.jobs = jobs;
+        opts.useDiskCache = useDisk;
+        opts.cacheDir = cacheDir;
+        opts.progress = false; // wirsim prints its own rows
+        return opts;
+    }
+};
+
 int
 cmdRun(int argc, char **argv)
 {
@@ -125,6 +179,7 @@ cmdRun(int argc, char **argv)
     MachineConfig machine;
     DesignConfig design = designRLPV();
     bool dumpStats = false, dumpEnergy = false;
+    SweepFlags sweepFlags;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -177,7 +232,7 @@ cmdRun(int argc, char **argv)
             dumpStats = true;
         } else if (arg == "--energy") {
             dumpEnergy = true;
-        } else {
+        } else if (!sweepFlags.consume(arg, next)) {
             usage();
         }
     }
@@ -194,15 +249,21 @@ cmdRun(int argc, char **argv)
                 "cycles", "committed", "IPC", "reuse%", "L1miss",
                 "GPU uJ");
 
+    // All runs go through the sweep cache: deduplicated, executed on
+    // --jobs workers, optionally persisted (--cache). Results print
+    // in target order regardless of completion order.
+    sweep::ResultCache cache(sweepFlags.options(machine));
+    auto targets = resolveTargets(what);
+    for (const auto &abbr : targets)
+        cache.prefetch(abbr, design);
+
     int failures = 0;
-    for (const auto &abbr : resolveTargets(what)) {
-        RunResult result;
-        try {
-            result = runWorkload(makeWorkload(abbr), design, machine);
-        } catch (const SimError &err) {
+    for (const auto &abbr : targets) {
+        const RunResult &result = cache.get(abbr, design);
+        if (result.failed) {
             // Keep sweeping the remaining workloads.
             std::printf("%-5s FAILED: %s\n", abbr.c_str(),
-                        err.what());
+                        result.error.c_str());
             failures++;
             continue;
         }
@@ -230,17 +291,30 @@ cmdProfile(int argc, char **argv)
     if (argc < 1)
         usage();
     MachineConfig machine;
+    SweepFlags sweepFlags;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (!sweepFlags.consume(arg, next))
+            usage();
+    }
+
+    sweep::ResultCache cache(sweepFlags.options(machine));
+    auto targets = resolveTargets(argv[0]);
+    for (const auto &abbr : targets)
+        cache.prefetchProfile(abbr);
+
     std::printf("%-5s %12s %15s\n", "abbr", "%repeated",
                 "%repeated>10x");
-    for (const auto &abbr : resolveTargets(argv[0])) {
-        for (const auto &info : workloadRegistry()) {
-            if (abbr != info.abbr)
-                continue;
-            auto prof = profileWorkload(info, machine);
-            std::printf("%-5s %11.1f%% %14.1f%%\n", info.abbr,
-                        100.0 * prof.repeatedFraction,
-                        100.0 * prof.repeated10xFraction);
-        }
+    for (const auto &abbr : targets) {
+        const auto &prof = cache.profile(abbr);
+        std::printf("%-5s %11.1f%% %14.1f%%\n", abbr.c_str(),
+                    100.0 * prof.repeatedFraction,
+                    100.0 * prof.repeated10xFraction);
     }
     return 0;
 }
