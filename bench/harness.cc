@@ -136,6 +136,8 @@ standaloneMain(const char *figureId, int argc, char **argv)
         CachePool caches(std::move(opts));
         runFigurePlanned(caches, *figure, nullptr);
 
+        size_t failedCells =
+            reportFailures(caches.drainNewFailures(), figureId, "");
         auto totals = caches.totalStats();
         std::fprintf(stderr,
                      "  [sweep] %llu simulated, %llu from disk "
@@ -148,7 +150,7 @@ standaloneMain(const char *figureId, int argc, char **argv)
                      static_cast<unsigned long long>(
                          totals.memoryHits),
                      totals.simSeconds, caches.jobs());
-        return 0;
+        return failedCells ? 1 : 0;
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "%s: %s\n", figureId, err.what());
         return 2;
@@ -156,6 +158,47 @@ standaloneMain(const char *figureId, int argc, char **argv)
         std::fprintf(stderr, "%s: %s\n", figureId, err.what());
         return 1;
     }
+}
+
+size_t
+reportFailures(const std::vector<sweep::FailedCell> &cells,
+               const std::string &context,
+               const std::string &bundleDir)
+{
+    for (const auto &cell : cells) {
+        std::fprintf(stderr, "  [FAILED] %s %s/%s (%s): %s\n",
+                     context.c_str(), cell.workload.c_str(),
+                     cell.design.c_str(), failKindName(cell.kind),
+                     cell.reason.c_str());
+        if (!cell.repro.empty())
+            std::fprintf(stderr, "           repro: %s\n",
+                         cell.repro.c_str());
+        if (bundleDir.empty())
+            continue;
+        std::string path = bundleDir + "/repro-" + cell.workload +
+                           "-" + cell.design + ".txt";
+        std::FILE *out = std::fopen(path.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr,
+                         "           (cannot write repro bundle "
+                         "%s)\n", path.c_str());
+            continue;
+        }
+        std::fprintf(out,
+                     "# wirsim repro bundle\n"
+                     "workload: %s\n"
+                     "design: %s\n"
+                     "kind: %s\n"
+                     "reason: %s\n"
+                     "key: %s\n"
+                     "replay: %s\n",
+                     cell.workload.c_str(), cell.design.c_str(),
+                     failKindName(cell.kind), cell.reason.c_str(),
+                     cell.key.c_str(), cell.repro.c_str());
+        std::fclose(out);
+        std::fprintf(stderr, "           bundle: %s\n", path.c_str());
+    }
+    return cells.size();
 }
 
 std::vector<std::string>

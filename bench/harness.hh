@@ -91,6 +91,19 @@ void runFigurePlanned(CachePool &caches, const FigureInfo &figure,
  * Exit codes: 0 ok, 1 SimError, 2 usage/ConfigError. */
 int standaloneMain(const char *figureId, int argc, char **argv);
 
+/**
+ * Report failed sweep cells on stderr -- one
+ * `[FAILED] <context> WL/design (kind): reason` line each -- and,
+ * when `bundleDir` is non-empty, write one repro bundle
+ * (`repro-WL-DESIGN.txt`: keys, failure metadata, and a one-line
+ * wirsim replay command) per cell into it. Reports go to stderr so
+ * figure stdout stays byte-identical across clean and degraded
+ * runs. Returns the number of cells reported.
+ */
+size_t reportFailures(const std::vector<sweep::FailedCell> &cells,
+                      const std::string &context,
+                      const std::string &bundleDir);
+
 /** Benchmarks eligible for a reduced "quick" sweep (env
  * WIR_BENCH_QUICK=1) -- a representative spread of Fig. 2 ranks. */
 std::vector<std::string> selectedAbbrs();

@@ -8,18 +8,35 @@
  * then prints each figure in registry order, drawing from the shared
  * cache. Figure stdout is byte-identical to the standalone binaries
  * and to any other job count; all volatile data (timings, throughput,
- * cache hit counts) goes to stderr and, with --json, under the
- * "sweep" key so consumers can compare runs with it stripped.
+ * cache hit counts, FAILED-cell reports) goes to stderr and, with
+ * --json, under the "sweep" key so consumers can compare runs with
+ * it stripped.
+ *
+ * Robustness (see DESIGN.md "Sandboxed execution & recovery"): each
+ * simulation runs in a forked sandbox child by default, so a crash,
+ * hang (--run-timeout), or injected fault (--inject-cell) costs one
+ * cell, reported per figure as FAILED(kind) with a repro bundle,
+ * while every unaffected figure still renders; the exit code is then
+ * nonzero. A crash-safe journal makes an interrupted sweep resumable
+ * with --resume: finished cells replay from the persistent store,
+ * in-flight cells re-queue, and deterministic failures are
+ * blocklisted instead of re-run.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/logging.hh"
 #include "harness.hh"
+#include "sweep/signals.hh"
 
 namespace
 {
@@ -44,7 +61,28 @@ usage(std::FILE *to)
         "  --no-cache               disable the persistent result "
         "cache\n"
         "  --assert-warm-hit-rate P fail (exit 3) unless >= P%% of "
-        "results came from the disk cache\n");
+        "results came from the disk cache\n"
+        "  --run-timeout SECS       SIGKILL any single simulation "
+        "after SECS wall-clock seconds (0 = unlimited)\n"
+        "  --retries N              extra attempts per failed cell "
+        "before giving up (default 2; identical failures stop "
+        "retrying early)\n"
+        "  --no-sandbox             run simulations in-process "
+        "instead of forked children (timeouts unenforceable)\n"
+        "  --journal PATH           crash-safe sweep journal "
+        "(default: <cache-dir>/sweep.journal when caching)\n"
+        "  --resume                 replay the journal: skip "
+        "finished cells, re-queue in-flight ones, blocklist "
+        "deterministic failures\n"
+        "  --inject-cell WL/DES=C   inject fault class C into that "
+        "one cell (repeatable; cell keys stay distinct from clean "
+        "runs)\n"
+        "  --inject-cycle C         earliest cycle for injected "
+        "faults (default 0)\n"
+        "  --inject-sm S            SM to corrupt (default 0)\n"
+        "  --watchdog K             watchdog cycles for injected "
+        "cells (e.g. 0 to let a warp-stall hang until the "
+        "timeout)\n");
 }
 
 unsigned
@@ -93,8 +131,9 @@ writeJson(const std::string &path,
           const std::vector<std::pair<std::string,
                                       std::map<std::string, double>>>
               &figureMetrics,
-          const sweep::SweepStats &totals, unsigned jobs,
-          double wallSeconds)
+          const sweep::SweepStats &totals,
+          const std::vector<sweep::FailedCell> &failedCells,
+          unsigned jobs, double wallSeconds)
 {
     std::FILE *out = std::fopen(path.c_str(), "w");
     if (!out)
@@ -126,6 +165,25 @@ writeJson(const std::string &path,
     std::fprintf(out, "    \"disk_hits\": %llu,\n", u(totals.diskHits));
     std::fprintf(out, "    \"simulated\": %llu,\n", u(totals.simulated));
     std::fprintf(out, "    \"failures\": %llu,\n", u(totals.failures));
+    std::fprintf(out, "    \"crashed\": %llu,\n", u(totals.crashed));
+    std::fprintf(out, "    \"timed_out\": %llu,\n",
+                 u(totals.timedOut));
+    std::fprintf(out, "    \"blocklisted\": %llu,\n",
+                 u(totals.blocklisted));
+    std::fprintf(out, "    \"retried_attempts\": %llu,\n",
+                 u(totals.retriedAttempts));
+    std::fprintf(out, "    \"failed_cells\": [");
+    for (size_t i = 0; i < failedCells.size(); i++) {
+        const auto &cell = failedCells[i];
+        std::fprintf(out,
+                     "%s\n      {\"workload\": \"%s\", \"design\": "
+                     "\"%s\", \"kind\": \"%s\", \"reason\": \"%s\"}",
+                     i ? "," : "", jsonEscape(cell.workload).c_str(),
+                     jsonEscape(cell.design).c_str(),
+                     failKindName(cell.kind),
+                     jsonEscape(cell.reason).c_str());
+    }
+    std::fprintf(out, "%s],\n", failedCells.empty() ? "" : "\n    ");
     std::fprintf(out, "    \"disk_poisoned\": %llu,\n",
                  u(totals.diskPoisoned));
     std::fprintf(out, "    \"disk_stores\": %llu,\n",
@@ -160,6 +218,17 @@ main(int argc, char **argv)
     unsigned assertWarmRate = 0;
     bool haveAssert = false;
     sweep::Options opts;
+    // Sandboxed execution is the default: one crashed or hung cell
+    // must never take down the whole suite.
+    opts.isolate = true;
+    opts.sandbox.enabled = sweep::sandboxSupported();
+    std::string journalPath;
+    bool resume = false;
+    std::map<std::string, FaultClass> injections;
+    u64 injectCycle = 0;
+    unsigned injectSm = 0;
+    bool haveWatchdog = false;
+    u64 watchdogCycles = 0;
 
     try {
         for (int i = 1; i < argc; i++) {
@@ -189,6 +258,39 @@ main(int argc, char **argv)
                 assertWarmRate = parseUnsigned(
                     "--assert-warm-hit-rate", next(), 100);
                 haveAssert = true;
+            } else if (arg == "--run-timeout") {
+                opts.sandbox.timeoutMs =
+                    u64(parseUnsigned("--run-timeout", next(),
+                                      7 * 86400)) *
+                    1000;
+            } else if (arg == "--retries") {
+                opts.sandbox.retries =
+                    parseUnsigned("--retries", next(), 1000);
+            } else if (arg == "--no-sandbox") {
+                opts.sandbox.enabled = false;
+            } else if (arg == "--journal") {
+                journalPath = next();
+            } else if (arg == "--resume") {
+                resume = true;
+            } else if (arg == "--inject-cell") {
+                std::string spec = next();
+                size_t eq = spec.rfind('=');
+                if (eq == std::string::npos || eq == 0 ||
+                    spec.find('/') == std::string::npos ||
+                    spec.find('/') > eq)
+                    fatal("--inject-cell expects WL/DESIGN=CLASS, "
+                          "got '%s'", spec.c_str());
+                injections[spec.substr(0, eq)] =
+                    faultClassByName(spec.substr(eq + 1));
+            } else if (arg == "--inject-cycle") {
+                injectCycle = parseUnsigned("--inject-cycle", next(),
+                                            0xffffffffUL);
+            } else if (arg == "--inject-sm") {
+                injectSm = parseUnsigned("--inject-sm", next(), 4096);
+            } else if (arg == "--watchdog") {
+                watchdogCycles = parseUnsigned("--watchdog", next(),
+                                               0xffffffffUL);
+                haveWatchdog = true;
             } else if (arg == "--help" || arg == "-h") {
                 usage(stdout);
                 return 0;
@@ -212,24 +314,132 @@ main(int argc, char **argv)
             }
         }
 
+        sweep::installInterruptHandlers();
+
+        // Fault injection targets individual cells through the
+        // machine hook; injected cells carry the fault in their
+        // cache keys, so they can never pollute clean entries.
+        if (!injections.empty()) {
+            opts.cellMachineHook =
+                [injections, injectCycle, injectSm, haveWatchdog,
+                 watchdogCycles](const std::string &abbr,
+                                 const DesignConfig &design,
+                                 MachineConfig &machine) {
+                    auto it =
+                        injections.find(abbr + "/" + design.name);
+                    if (it == injections.end())
+                        return false;
+                    machine.check.inject = it->second;
+                    machine.check.injectCycle = injectCycle;
+                    machine.check.injectSm = injectSm;
+                    // Make the fault terminal instead of letting the
+                    // quarantine fallback absorb it.
+                    machine.check.reuseFallback = false;
+                    if (haveWatchdog)
+                        machine.check.watchdogCycles = watchdogCycles;
+                    return true;
+                };
+        }
+
+        if (journalPath.empty() && opts.useDiskCache) {
+            std::string dir = opts.cacheDir.empty()
+                                  ? sweep::defaultCacheDir()
+                                  : opts.cacheDir;
+            journalPath = dir + "/sweep.journal";
+        }
+        auto journal = std::make_shared<sweep::Journal>();
+        std::string bundleDir;
+        if (!journalPath.empty()) {
+            size_t slash = journalPath.rfind('/');
+            bundleDir = slash == std::string::npos
+                            ? std::string(".")
+                            : journalPath.substr(0, slash);
+            std::error_code ec;
+            std::filesystem::create_directories(bundleDir, ec);
+            sweep::Journal::Replay replay;
+            if (resume) {
+                replay = sweep::Journal::replay(journalPath);
+                opts.blocklist = replay.blocklisted;
+                std::fprintf(
+                    stderr,
+                    "[sweep] resume: %zu cells done, %zu in-flight "
+                    "re-queued, %zu blocklisted%s\n",
+                    replay.done.size(), replay.inFlight.size(),
+                    replay.blocklisted.size(),
+                    replay.completed
+                        ? " (previous sweep completed cleanly)"
+                        : "");
+            }
+            std::string error;
+            if (!journal->open(journalPath, resume, &error))
+                fatal("journal: %s", error.c_str());
+            sweep::setInterruptJournalFd(journal->rawFd());
+            if (resume)
+                journal->resumed(replay.done.size(),
+                                 replay.inFlight.size(),
+                                 replay.blocklisted.size());
+            opts.journal = journal;
+        } else if (resume) {
+            fatal("--resume needs a journal: give --journal PATH or "
+                  "enable the result cache");
+        }
+
         auto start = std::chrono::steady_clock::now();
         CachePool caches(std::move(opts));
-
-        // One plan pass over the whole selection: the pool sees the
-        // union of all deduplicated work before any figure blocks.
-        planFigures(caches, selected);
 
         std::vector<std::pair<std::string,
                               std::map<std::string, double>>>
             figureMetrics;
-        for (const FigureInfo *figure : selected) {
-            figureMetrics.emplace_back(figure->id,
-                                       std::map<std::string,
-                                                double>{});
-            FigureContext ctx{caches, caches.defaultCache(),
-                              &figureMetrics.back().second};
-            figure->run(ctx);
-            std::printf("\n");
+        std::vector<sweep::FailedCell> allFailed;
+        unsigned figureErrors = 0;
+        try {
+            // One plan pass over the whole selection: the pool sees
+            // the union of all deduplicated work before any figure
+            // blocks.
+            planFigures(caches, selected);
+
+            for (const FigureInfo *figure : selected) {
+                if (sweep::interruptRequested())
+                    break;
+                figureMetrics.emplace_back(figure->id,
+                                           std::map<std::string,
+                                                    double>{});
+                FigureContext ctx{caches, caches.defaultCache(),
+                                  &figureMetrics.back().second};
+                try {
+                    figure->run(ctx);
+                } catch (const SimError &err) {
+                    // Graceful degradation: this figure could not
+                    // render (e.g. a profile died terminally), the
+                    // remaining ones still do.
+                    std::fprintf(stderr, "  [FAILED] %s: %s\n",
+                                 figure->id, err.what());
+                    figureErrors++;
+                } catch (const std::future_error &) {
+                    // Our pending tasks were cancelled under us:
+                    // interrupt shutdown in progress.
+                    break;
+                }
+                std::printf("\n");
+                auto cells = caches.drainNewFailures();
+                reportFailures(cells, figure->id, bundleDir);
+                allFailed.insert(allFailed.end(), cells.begin(),
+                                 cells.end());
+            }
+        } catch (...) {
+            // Fatal error mid-suite: drop the queued work so the
+            // pool drains now, not after hundreds more simulations.
+            caches.cancelPending();
+            throw;
+        }
+
+        bool interrupted = sweep::interruptRequested();
+        if (interrupted) {
+            size_t dropped = caches.cancelPending();
+            std::fprintf(stderr,
+                         "[sweep] interrupted by signal %d: %zu "
+                         "queued tasks dropped, journal flushed\n",
+                         sweep::interruptSignal(), dropped);
         }
 
         auto totals = caches.totalStats();
@@ -256,10 +466,32 @@ main(int argc, char **argv)
             wallSeconds > 0
                 ? double(totals.warpInstsSimulated) / wallSeconds
                 : 0.0);
+        if (totals.failures) {
+            std::fprintf(
+                stderr,
+                "[sweep] failed cells: %llu (%llu crashed, %llu "
+                "timed out, %llu blocklisted); %llu retry "
+                "attempt%s%s%s\n",
+                static_cast<unsigned long long>(totals.failures),
+                static_cast<unsigned long long>(totals.crashed),
+                static_cast<unsigned long long>(totals.timedOut),
+                static_cast<unsigned long long>(totals.blocklisted),
+                static_cast<unsigned long long>(
+                    totals.retriedAttempts),
+                totals.retriedAttempts == 1 ? "" : "s",
+                bundleDir.empty() ? "" : "; repro bundles in ",
+                bundleDir.c_str());
+        }
 
         if (!jsonPath.empty())
-            writeJson(jsonPath, figureMetrics, totals, caches.jobs(),
-                      wallSeconds);
+            writeJson(jsonPath, figureMetrics, totals, allFailed,
+                      caches.jobs(), wallSeconds);
+
+        if (interrupted) {
+            journal->interrupted(sweep::interruptSignal());
+            return sweep::interruptExitCode();
+        }
+        journal->completed();
 
         if (haveAssert) {
             u64 resolved = totals.diskHits + totals.simulated;
@@ -277,7 +509,7 @@ main(int argc, char **argv)
                                  "(required >= %u%%)\n",
                          rate, assertWarmRate);
         }
-        return totals.failures ? 1 : 0;
+        return totals.failures || figureErrors ? 1 : 0;
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "run_all: %s\n", err.what());
         return 2;

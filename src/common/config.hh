@@ -182,6 +182,19 @@ std::string canonicalKey(const MachineConfig &machine);
 /** Same for a design point. */
 std::string canonicalKey(const DesignConfig &design);
 
+/**
+ * One-line `wirsim run` invocation that replays (machine, design,
+ * abbr) -- the command-line half of a failed cell's repro bundle.
+ * Emits only the flags that differ from the defaults. Machine or
+ * design deltas the wirsim CLI cannot express are flagged with a
+ * trailing `#` note; the bundle's canonical keys stay exact
+ * regardless. Defined in sim/designs.cc (it consults the design
+ * registry to name the --design point).
+ */
+std::string reproCommand(const MachineConfig &machine,
+                         const DesignConfig &design,
+                         const std::string &abbr);
+
 /** Parse a fault class name ("rb-tag-flip", "refcount-drop",
  * "stale-rename", "warp-stall", "rb-value-flip"); ConfigError on
  * anything else. */

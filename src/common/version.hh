@@ -17,8 +17,9 @@
 namespace wir
 {
 
-/** Bump on any behavior-visible simulator change (see above). */
-inline constexpr const char kSimVersion[] = "wir-3";
+/** Bump on any behavior-visible simulator change (see above).
+ * wir-4: record format v2 (failure metadata in run payloads). */
+inline constexpr const char kSimVersion[] = "wir-4";
 
 } // namespace wir
 

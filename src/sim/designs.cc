@@ -1,5 +1,7 @@
 #include "sim/designs.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace wir
@@ -110,6 +112,93 @@ allDesigns()
     return {designBase(), designR(), designRL(), designRLP(),
             designRLPV(), designRPV(), designRLPVc(), designNoVSB(),
             designAffine(), designAffineRLPV()};
+}
+
+// Declared in common/config.hh; lives here because it consults the
+// design registry to name the --design point.
+std::string
+reproCommand(const MachineConfig &machine, const DesignConfig &design,
+             const std::string &abbr)
+{
+    std::ostringstream out;
+    std::vector<std::string> notes;
+    out << "wirsim run " << abbr;
+
+    // Design flags: anchor on the registered design of the same name
+    // (what --design NAME reconstructs), then emit the per-table
+    // overrides the CLI supports on top of it.
+    DesignConfig base = designRLPV(); // the cmdRun default
+    bool registered = false;
+    for (const auto &cand : allDesigns()) {
+        if (cand.name == design.name) {
+            base = cand;
+            registered = true;
+            break;
+        }
+    }
+    if (!registered)
+        notes.push_back("design '" + design.name +
+                        "' is not a registered --design name");
+    else if (design.name != "RLPV")
+        out << " --design " << design.name;
+    if (design.reuseBufferEntries != base.reuseBufferEntries)
+        out << " --rb " << design.reuseBufferEntries;
+    if (design.vsbEntries != base.vsbEntries)
+        out << " --vsb " << design.vsbEntries;
+    if (design.reuseBufferAssoc != base.reuseBufferAssoc)
+        out << " --assoc " << design.reuseBufferAssoc;
+    if (design.extraBackendDelay != base.extraBackendDelay)
+        out << " --delay " << design.extraBackendDelay;
+
+    // Residual check: replay the emitted overrides onto the base and
+    // compare canonical keys. Anything left over (reuse toggles,
+    // split RB/VSB associativity, queue sizes, ...) has no flag.
+    DesignConfig check = base;
+    check.reuseBufferEntries = design.reuseBufferEntries;
+    check.vsbEntries = design.vsbEntries;
+    check.reuseBufferAssoc = design.reuseBufferAssoc;
+    check.vsbAssoc = design.reuseBufferAssoc; // --assoc sets both
+    check.extraBackendDelay = design.extraBackendDelay;
+    check.name = design.name;
+    if (registered && canonicalKey(check) != canonicalKey(design))
+        notes.push_back("design deltas not expressible as flags; "
+                        "see the design key in the bundle");
+
+    // Machine flags, against the Table II defaults.
+    MachineConfig def;
+    if (machine.numSms != def.numSms)
+        out << " --sms " << machine.numSms;
+    if (machine.schedPolicy != def.schedPolicy)
+        out << " --sched "
+            << (machine.schedPolicy == WarpSchedPolicy::Lrr ? "lrr"
+                                                            : "gto");
+    if (machine.check.auditInterval != def.check.auditInterval)
+        out << " --audit " << machine.check.auditInterval;
+    if (machine.check.shadowCheck)
+        out << " --shadow-check";
+    if (machine.check.watchdogCycles != def.check.watchdogCycles)
+        out << " --watchdog " << machine.check.watchdogCycles;
+    if (!machine.check.reuseFallback)
+        out << " --no-fallback";
+    if (machine.check.inject != FaultClass::None) {
+        out << " --inject " << faultClassName(machine.check.inject);
+        if (machine.check.injectCycle)
+            out << " --inject-cycle " << machine.check.injectCycle;
+        if (machine.check.injectSm)
+            out << " --inject-sm " << machine.check.injectSm;
+    }
+
+    MachineConfig mcheck = def;
+    mcheck.numSms = machine.numSms;
+    mcheck.schedPolicy = machine.schedPolicy;
+    mcheck.check = machine.check;
+    if (canonicalKey(mcheck) != canonicalKey(machine))
+        notes.push_back("machine deltas not expressible as flags; "
+                        "see the machine key in the bundle");
+
+    for (size_t i = 0; i < notes.size(); i++)
+        out << (i ? "; " : "  # ") << notes[i];
+    return out.str();
 }
 
 } // namespace wir

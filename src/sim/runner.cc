@@ -1,10 +1,25 @@
 #include "sim/runner.hh"
 
 #include "common/hash_h3.hh"
+#include "common/logging.hh"
 #include "sim/designs.hh"
 
 namespace wir
 {
+
+const char *
+failKindName(FailKind kind)
+{
+    switch (kind) {
+      case FailKind::None: return "none";
+      case FailKind::Sim: return "sim";
+      case FailKind::Crash: return "crash";
+      case FailKind::Timeout: return "timeout";
+      case FailKind::Blocklisted: return "blocklisted";
+      case FailKind::Cancelled: return "cancelled";
+    }
+    return "?";
+}
 
 RunResult
 runWorkload(Workload &&workload, const DesignConfig &design,
@@ -28,6 +43,23 @@ runOne(const WorkloadInfo &info, const DesignConfig &design,
        const MachineConfig &machine)
 {
     return runWorkload(info.make(), design, machine);
+}
+
+RunResult
+runWorkloadSafe(const std::string &abbr, const DesignConfig &design,
+                const MachineConfig &machine)
+{
+    try {
+        return runWorkload(makeWorkload(abbr), design, machine);
+    } catch (const SimError &err) {
+        RunResult out;
+        out.workload = abbr;
+        out.design = design.name;
+        out.failed = true;
+        out.failKind = FailKind::Sim;
+        out.error = err.what();
+        return out;
+    }
 }
 
 ReuseProfiler::Result

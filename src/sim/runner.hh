@@ -16,6 +16,22 @@
 namespace wir
 {
 
+/** How a failed run failed -- recorded so drivers can report
+ * FAILED(kind) per cell and the sandbox layer can classify
+ * deterministic vs. transient failures. */
+enum class FailKind : u8
+{
+    None = 0,    ///< the run succeeded
+    Sim = 1,     ///< the simulation threw SimError
+    Crash = 2,   ///< the sandboxed child died (signal/bad exit)
+    Timeout = 3, ///< the child exceeded the wall-clock budget
+    Blocklisted = 4, ///< skipped: failed identically in prior runs
+    Cancelled = 5,   ///< never ran: the sweep was interrupted
+};
+
+/** Human-readable kind tag ("sim", "crash", "timeout", ...). */
+const char *failKindName(FailKind kind);
+
 struct RunResult
 {
     std::string workload;
@@ -28,8 +44,14 @@ struct RunResult
      * carry the digest but an empty finalMemory vector), and used by
      * the determinism tests to compare end states cheaply. */
     u64 finalMemoryDigest = 0;
-    bool failed = false;          ///< the run threw a SimError
-    std::string error;            ///< its message, when failed
+    bool failed = false;          ///< the run did not complete
+    FailKind failKind = FailKind::None;
+    std::string error;            ///< failure message, when failed
+    /** Attempts the sandbox layer spent producing this result (1 for
+     * in-process or first-try runs). */
+    unsigned attempts = 1;
+    /** One-line replay command for failed cells (repro bundle). */
+    std::string repro;
 
     double
     reuseRate() const
@@ -54,6 +76,18 @@ RunResult runOne(const WorkloadInfo &info, const DesignConfig &design,
 /** Run an already-built workload (consumes its memory image). */
 RunResult runWorkload(Workload &&workload, const DesignConfig &design,
                       const MachineConfig &machine = MachineConfig{});
+
+/**
+ * Build and run `abbr`, converting a SimError into a failed
+ * RunResult (failKind=Sim) instead of propagating it. This is the
+ * entry point the sandbox child uses: nothing a simulation can throw
+ * escapes, so any nonzero child exit really is a crash. ConfigError
+ * (unknown workload, invalid machine) still propagates -- callers
+ * validate configuration before forking.
+ */
+RunResult runWorkloadSafe(const std::string &abbr,
+                          const DesignConfig &design,
+                          const MachineConfig &machine);
 
 /** Profile a workload's repeated computations (Fig. 2). */
 ReuseProfiler::Result profileWorkload(

@@ -4,7 +4,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -15,105 +14,6 @@ namespace wir
 {
 namespace sweep
 {
-
-namespace
-{
-
-constexpr char kMagic[4] = {'W', 'I', 'R', 'C'};
-constexpr u32 kFormatVersion = 1;
-
-void
-putU32(std::string &out, u32 v)
-{
-    char bytes[4];
-    std::memcpy(bytes, &v, 4);
-    out.append(bytes, 4);
-}
-
-void
-putU64(std::string &out, u64 v)
-{
-    char bytes[8];
-    std::memcpy(bytes, &v, 8);
-    out.append(bytes, 8);
-}
-
-void
-putDouble(std::string &out, double v)
-{
-    u64 bits;
-    std::memcpy(&bits, &v, 8);
-    putU64(out, bits);
-}
-
-/** Bounds-checked little reader; ok() goes false on any overrun and
- * stays false, so callers can validate once at the end. */
-struct Reader
-{
-    const std::string &data;
-    size_t pos = 0;
-    bool valid = true;
-
-    bool
-    take(void *out, size_t n)
-    {
-        if (!valid || data.size() - pos < n) {
-            valid = false;
-            return false;
-        }
-        std::memcpy(out, data.data() + pos, n);
-        pos += n;
-        return true;
-    }
-
-    u32
-    u32le()
-    {
-        u32 v = 0;
-        take(&v, 4);
-        return v;
-    }
-
-    u64
-    u64le()
-    {
-        u64 v = 0;
-        take(&v, 8);
-        return v;
-    }
-
-    double
-    f64le()
-    {
-        u64 bits = u64le();
-        double v = 0;
-        std::memcpy(&v, &bits, 8);
-        return v;
-    }
-
-    bool ok() const { return valid; }
-    bool atEnd() const { return valid && pos == data.size(); }
-};
-
-/** The energy fields, once, for serializer/deserializer symmetry. */
-template <typename B, typename F>
-void
-forEachEnergyField(B &&breakdown, F &&fn)
-{
-    fn(breakdown.frontend);
-    fn(breakdown.regFile);
-    fn(breakdown.fuSp);
-    fn(breakdown.fuSfu);
-    fn(breakdown.memPipe);
-    fn(breakdown.reuseStructs);
-    fn(breakdown.smStatic);
-    fn(breakdown.l2);
-    fn(breakdown.noc);
-    fn(breakdown.dram);
-    fn(breakdown.gpuStatic);
-}
-
-} // namespace
 
 std::string
 defaultCacheDir()
@@ -144,18 +44,18 @@ DiskStore::DiskStore(std::string dir)
 }
 
 std::string
-DiskStore::pathFor(const std::string &key, Kind kind) const
+DiskStore::pathFor(const std::string &key, RecordKind kind) const
 {
     char name[32];
     std::snprintf(name, sizeof name, "%016llx.%s",
                   static_cast<unsigned long long>(
                       fnv1a64(key.data(), key.size())),
-                  kind == Kind::Run ? "run" : "prof");
+                  kind == RecordKind::Run ? "run" : "prof");
     return directory + "/" + name;
 }
 
 bool
-DiskStore::loadRecord(const std::string &key, Kind kind,
+DiskStore::loadRecord(const std::string &key, RecordKind kind,
                       std::string &payload)
 {
     if (!enabled())
@@ -170,80 +70,38 @@ DiskStore::loadRecord(const std::string &key, Kind kind,
                      std::istreambuf_iterator<char>());
     in.close();
 
-    // Layout: magic | checksummed region [version u32 | kind u8 |
-    // keyLen u32 | key | payloadLen u32 | payload] | fnv1a64.
-    auto poisonedMiss = [&](const char *why) {
+    if (const char *why = decodeRecord(blob, kind, key, payload)) {
         warn("result cache: dropping invalid entry %s (%s); "
              "re-simulating", path.c_str(), why);
         poisonedCount++;
         missCount++;
+        // Hold the entry lock while removing, so we cannot yank a
+        // fresh record another process is just publishing: rename
+        // and remove serialize on the same .lock file.
+        FileLock lock(path + ".lock");
         std::error_code ec;
         std::filesystem::remove(path, ec);
         return false;
-    };
-
-    Reader r{blob};
-    char magic[4] = {};
-    r.take(magic, 4);
-    if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0)
-        return poisonedMiss("bad magic");
-    size_t checksummedFrom = r.pos;
-    if (r.u32le() != kFormatVersion)
-        return poisonedMiss("stale format version");
-    u8 kindByte = 0;
-    r.take(&kindByte, 1);
-    if (!r.ok() || kindByte != static_cast<u8>(kind))
-        return poisonedMiss("wrong record kind");
-    u32 keyLen = r.u32le();
-    if (!r.ok() || blob.size() - r.pos < keyLen)
-        return poisonedMiss("truncated key");
-    if (std::string_view(blob.data() + r.pos, keyLen) != key) {
-        // A different configuration hashed to the same file name
-        // (or the simulator version moved on): never serve it.
-        return poisonedMiss("key mismatch (stale version or "
-                            "fingerprint collision)");
     }
-    r.pos += keyLen;
-    u32 payloadLen = r.u32le();
-    if (!r.ok() || blob.size() - r.pos < payloadLen)
-        return poisonedMiss("truncated payload");
-    size_t payloadFrom = r.pos;
-    r.pos += payloadLen;
-    u64 want = r.u64le();
-    if (!r.atEnd())
-        return poisonedMiss("truncated checksum or trailing bytes");
-    u64 got = fnv1a64(blob.data() + checksummedFrom,
-                      payloadFrom + payloadLen - checksummedFrom);
-    if (got != want)
-        return poisonedMiss("checksum mismatch");
-
-    payload.assign(blob, payloadFrom, payloadLen);
     hitCount++;
     return true;
 }
 
 void
-DiskStore::storeRecord(const std::string &key, Kind kind,
+DiskStore::storeRecord(const std::string &key, RecordKind kind,
                        const std::string &payload)
 {
     if (!enabled())
         return;
-    std::string record;
-    record.reserve(payload.size() + key.size() + 32);
-    record.append(kMagic, 4);
-    putU32(record, kFormatVersion);
-    record.push_back(static_cast<char>(kind));
-    putU32(record, u32(key.size()));
-    record += key;
-    putU32(record, u32(payload.size()));
-    record += payload;
-    putU64(record, fnv1a64(record.data() + 4, record.size() - 4));
+    std::string record = encodeRecord(kind, key, payload);
 
-    // Temp file + rename: readers only ever see complete records,
-    // even with several sweep processes sharing the directory.
+    // Temp file + rename under a per-entry flock: readers only ever
+    // see complete records, and two drivers sharing the directory
+    // publish the same entry strictly one after the other.
     std::string path = pathFor(key, kind);
     std::string tmp = path + ".tmp" +
                       std::to_string(u64(::getpid()));
+    FileLock lock(path + ".lock");
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
@@ -270,7 +128,7 @@ DiskStore::storeRecord(const std::string &key, Kind kind,
 }
 
 bool
-DiskStore::poisonPayload(const std::string &key, Kind kind)
+DiskStore::poisonPayload(const std::string &key, RecordKind kind)
 {
     std::string path = pathFor(key, kind);
     warn("result cache: dropping entry %s with malformed payload; "
@@ -278,6 +136,7 @@ DiskStore::poisonPayload(const std::string &key, Kind kind)
     hitCount--;
     missCount++;
     poisonedCount++;
+    FileLock lock(path + ".lock");
     std::error_code ec;
     std::filesystem::remove(path, ec);
     return false;
@@ -287,43 +146,19 @@ bool
 DiskStore::loadRun(const std::string &key, RunResult &out)
 {
     std::string payload;
-    if (!loadRecord(key, Kind::Run, payload))
+    if (!loadRecord(key, RecordKind::Run, payload))
         return false;
-
-    Reader r{payload};
-    u32 nFields = r.u32le();
-    const auto &fields = simStatsFields();
-    if (!r.ok() || nFields != fields.size()) {
-        // Schema drift is already part of the key; treat any
-        // residual mismatch as poison rather than misassign counters.
-        return poisonPayload(key, Kind::Run);
-    }
-    for (const auto &field : fields)
-        out.stats.*(field.member) = r.u64le();
-    forEachEnergyField(out.energy,
-                       [&](double &v) { v = r.f64le(); });
-    out.finalMemoryDigest = r.u64le();
-    out.finalMemory.clear();
-    out.failed = false;
-    out.error.clear();
-    if (!r.atEnd())
-        return poisonPayload(key, Kind::Run);
+    // Schema drift is already part of the key; treat any residual
+    // mismatch as poison rather than misassign counters.
+    if (!decodeRunPayload(payload, out))
+        return poisonPayload(key, RecordKind::Run);
     return true;
 }
 
 void
 DiskStore::storeRun(const std::string &key, const RunResult &result)
 {
-    const auto &fields = simStatsFields();
-    std::string payload;
-    payload.reserve(4 + fields.size() * 8 + 12 * 8);
-    putU32(payload, u32(fields.size()));
-    for (const auto &field : fields)
-        putU64(payload, result.stats.*(field.member));
-    forEachEnergyField(result.energy,
-                       [&](const double &v) { putDouble(payload, v); });
-    putU64(payload, result.finalMemoryDigest);
-    storeRecord(key, Kind::Run, payload);
+    storeRecord(key, RecordKind::Run, encodeRunPayload(result));
 }
 
 bool
@@ -331,14 +166,10 @@ DiskStore::loadProfile(const std::string &key,
                        ReuseProfiler::Result &out)
 {
     std::string payload;
-    if (!loadRecord(key, Kind::Profile, payload))
+    if (!loadRecord(key, RecordKind::Profile, payload))
         return false;
-    Reader r{payload};
-    out.repeatedFraction = r.f64le();
-    out.repeated10xFraction = r.f64le();
-    out.sampled = r.u64le();
-    if (!r.atEnd())
-        return poisonPayload(key, Kind::Profile);
+    if (!decodeProfilePayload(payload, out))
+        return poisonPayload(key, RecordKind::Profile);
     return true;
 }
 
@@ -346,11 +177,8 @@ void
 DiskStore::storeProfile(const std::string &key,
                         const ReuseProfiler::Result &result)
 {
-    std::string payload;
-    putDouble(payload, result.repeatedFraction);
-    putDouble(payload, result.repeated10xFraction);
-    putU64(payload, result.sampled);
-    storeRecord(key, Kind::Profile, payload);
+    storeRecord(key, RecordKind::Profile,
+                encodeProfilePayload(result));
 }
 
 } // namespace sweep

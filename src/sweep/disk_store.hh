@@ -12,7 +12,12 @@
  *
  * Writes go to a temp file followed by an atomic rename, so
  * concurrent sweep processes sharing a cache directory can only ever
- * observe complete records.
+ * observe complete records. On top of that, every publish and
+ * poison-removal holds an flock on a per-entry `.lock` file, so two
+ * drivers (or a resumed run racing a stale child) publishing the
+ * same entry serialize instead of interleaving temp/rename/remove
+ * steps. Record framing and payload codecs live in sweep/record.hh,
+ * shared with the sandbox result pipe.
  */
 
 #ifndef WIR_SWEEP_DISK_STORE_HH
@@ -21,8 +26,7 @@
 #include <atomic>
 #include <string>
 
-#include "sim/profiler.hh"
-#include "sim/runner.hh"
+#include "sweep/record.hh"
 
 namespace wir
 {
@@ -64,15 +68,14 @@ class DiskStore
     u64 stores() const { return storeCount.load(); }
 
   private:
-    enum class Kind : u8 { Run = 1, Profile = 2 };
-
-    std::string pathFor(const std::string &key, Kind kind) const;
-    bool loadRecord(const std::string &key, Kind kind,
+    std::string pathFor(const std::string &key,
+                        RecordKind kind) const;
+    bool loadRecord(const std::string &key, RecordKind kind,
                     std::string &payload);
     /** A structurally valid record carried a malformed payload:
      * retract the hit, count it poisoned, drop the file. */
-    bool poisonPayload(const std::string &key, Kind kind);
-    void storeRecord(const std::string &key, Kind kind,
+    bool poisonPayload(const std::string &key, RecordKind kind);
+    void storeRecord(const std::string &key, RecordKind kind,
                      const std::string &payload);
 
     std::string directory;

@@ -69,6 +69,20 @@ Executor::submit(std::function<void()> task)
     return future;
 }
 
+size_t
+Executor::cancelPending()
+{
+    std::deque<std::packaged_task<void()>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        dropped.swap(queue);
+    }
+    // Destroying a packaged_task whose future is still outstanding
+    // stores broken_promise into it -- exactly the wake-up a caller
+    // blocked in get() needs.
+    return dropped.size();
+}
+
 void
 Executor::workerLoop()
 {

@@ -48,6 +48,17 @@ class Executor
     /** Enqueue a task; the future carries any thrown exception. */
     std::future<void> submit(std::function<void()> task);
 
+    /**
+     * Drop every task that has not started yet; their futures become
+     * ready immediately with std::future_error (broken_promise), so
+     * a blocked get() wakes instead of deadlocking. Tasks already
+     * running finish normally. Used by the drivers so a fatal first
+     * failure or an interrupt stops draining the queue instead of
+     * uselessly simulating the remaining cells during destruction.
+     * Returns the number of cancelled tasks.
+     */
+    size_t cancelPending();
+
     unsigned jobs() const { return unsigned(workers.size()); }
 
   private:

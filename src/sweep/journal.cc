@@ -1,0 +1,239 @@
+#include "sweep/journal.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace wir
+{
+namespace sweep
+{
+
+namespace
+{
+
+std::string
+escapeField(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\t': out += "\\t"; break;
+          case '\n': out += "\\n"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); i++) {
+        if (text[i] != '\\' || i + 1 == text.size()) {
+            out.push_back(text[i]);
+            continue;
+        }
+        char next = text[++i];
+        out.push_back(next == 't' ? '\t'
+                      : next == 'n' ? '\n'
+                                    : next);
+    }
+    return out;
+}
+
+constexpr char kDeterministicPrefix[] = "deterministic: ";
+
+} // namespace
+
+Journal::~Journal()
+{
+    if (fd >= 0) {
+        ::flock(fd, LOCK_UN);
+        ::close(fd);
+    }
+}
+
+bool
+Journal::open(const std::string &path, bool preserve,
+              std::string *error)
+{
+    int flags = O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (!preserve)
+        flags |= O_TRUNC;
+    int newFd = ::open(path.c_str(), flags, 0644);
+    if (newFd < 0) {
+        if (error)
+            *error = std::string("cannot open '") + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    if (::flock(newFd, LOCK_EX | LOCK_NB) != 0) {
+        if (error)
+            *error = std::string("journal '") + path +
+                     "' is locked by another live sweep process";
+        ::close(newFd);
+        return false;
+    }
+    if (preserve) {
+        // Heal a torn tail: a writer killed mid-append leaves a
+        // final line with no newline, and the next record appended
+        // here would glue onto it -- losing both to replay. Close
+        // the torn line first so resumed records stay intact.
+        off_t size = ::lseek(newFd, 0, SEEK_END);
+        char last = '\n';
+        if (size > 0 &&
+            ::pread(newFd, &last, 1, size - 1) == 1 &&
+            last != '\n') {
+            ssize_t ignored = ::write(newFd, "\n", 1);
+            (void)ignored;
+        }
+    }
+    fd = newFd;
+    filePath = path;
+    return true;
+}
+
+void
+Journal::append(const char *status, const std::string &key,
+                const std::string &detail)
+{
+    if (fd < 0)
+        return;
+    std::string line;
+    line.reserve(key.size() + detail.size() + 16);
+    line += status;
+    line.push_back('\t');
+    line += escapeField(key);
+    line.push_back('\t');
+    line += escapeField(detail);
+    line.push_back('\n');
+    // One write() per record on an O_APPEND fd: records never
+    // interleave, and a crash mid-append tears at most this line,
+    // which replay() skips.
+    std::lock_guard<std::mutex> lock(mutex);
+    ssize_t ignored = ::write(fd, line.data(), line.size());
+    (void)ignored;
+}
+
+void
+Journal::queued(const std::string &key, const std::string &label)
+{
+    append("queued", key, label);
+}
+
+void
+Journal::started(const std::string &key)
+{
+    append("started", key, "");
+}
+
+void
+Journal::done(const std::string &key, const char *how)
+{
+    append("done", key, how);
+}
+
+void
+Journal::failed(const std::string &key, bool deterministic,
+                const std::string &reason)
+{
+    append("failed", key,
+           (deterministic ? kDeterministicPrefix : "transient: ") +
+               reason);
+}
+
+void
+Journal::resumed(u64 doneCells, u64 inFlight, u64 blocklisted)
+{
+    char detail[96];
+    std::snprintf(detail, sizeof detail,
+                  "done=%llu inflight=%llu blocklisted=%llu",
+                  static_cast<unsigned long long>(doneCells),
+                  static_cast<unsigned long long>(inFlight),
+                  static_cast<unsigned long long>(blocklisted));
+    append("resume", "", detail);
+}
+
+void
+Journal::completed()
+{
+    append("complete", "", "");
+}
+
+void
+Journal::interrupted(int sig)
+{
+    char detail[32];
+    std::snprintf(detail, sizeof detail, "signal %d", sig);
+    append("interrupted", "", detail);
+}
+
+Journal::Replay
+Journal::replay(const std::string &path)
+{
+    Replay out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+
+    enum class State { InFlight, Done, Blocklisted, Transient };
+    std::map<std::string, State> state;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t t1 = line.find('\t');
+        if (t1 == std::string::npos)
+            continue; // torn or foreign line
+        size_t t2 = line.find('\t', t1 + 1);
+        if (t2 == std::string::npos)
+            continue;
+        std::string status = line.substr(0, t1);
+        std::string key =
+            unescapeField(line.substr(t1 + 1, t2 - t1 - 1));
+        std::string detail = unescapeField(line.substr(t2 + 1));
+        out.records++;
+        if (status == "queued") {
+            out.queued++;
+        } else if (status == "started") {
+            state[key] = State::InFlight;
+        } else if (status == "done") {
+            state[key] = State::Done;
+        } else if (status == "failed") {
+            state[key] = detail.rfind(kDeterministicPrefix, 0) == 0
+                             ? State::Blocklisted
+                             : State::Transient;
+        } else if (status == "complete") {
+            out.completed = true;
+        } else if (status == "interrupted") {
+            out.wasInterrupted = true;
+        } else if (status != "resume") {
+            out.records--; // unknown status: treat as torn
+        }
+    }
+
+    for (const auto &[key, s] : state) {
+        switch (s) {
+          case State::Done: out.done.insert(key); break;
+          case State::Blocklisted:
+            out.blocklisted.insert(key);
+            break;
+          case State::InFlight: out.inFlight.insert(key); break;
+          case State::Transient: break; // re-simulated on resume
+        }
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace wir

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Crash-safe sweep journal.
+ *
+ * One text line per lifecycle event of every sweep cell --
+ * queued/started/done/failed -- appended with a single O_APPEND
+ * write() each, so records from a crashed or concurrently-running
+ * process never interleave mid-line and a torn final line (power
+ * loss, SIGKILL mid-append) is simply ignored by replay. The journal
+ * plus the persistent DiskStore make a sweep resumable: `--resume`
+ * replays the journal to learn which cells finished (served from the
+ * store), which were in-flight (re-queued), and which failed
+ * deterministically (blocklisted, not retried forever).
+ *
+ * The journal fd holds a non-blocking flock for the writer's
+ * lifetime: a second driver pointed at the same journal fails fast
+ * instead of corrupting the record stream, and the lock vanishes
+ * automatically when a crashed writer's fd is closed by the kernel.
+ *
+ * Line format (tab-separated, \t/\n/\\ escaped inside fields):
+ *   <status> \t <key> \t <detail> \n
+ * where status is one of queued | started | done | failed | resume |
+ * complete | interrupted.
+ */
+
+#ifndef WIR_SWEEP_JOURNAL_HH
+#define WIR_SWEEP_JOURNAL_HH
+
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+class Journal
+{
+  public:
+    /** Disabled journal: every append is a no-op. */
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open `path` for appending, creating it if missing. With
+     * `preserve` (the --resume path) existing records are kept;
+     * otherwise the file is truncated for a fresh sweep. False (with
+     * `*error` set) when the file cannot be opened or another live
+     * process holds its lock.
+     */
+    bool open(const std::string &path, bool preserve,
+              std::string *error);
+
+    bool enabled() const { return fd >= 0; }
+    const std::string &path() const { return filePath; }
+    /** The raw fd, for the force-exit signal path. */
+    int rawFd() const { return fd; }
+
+    void queued(const std::string &key, const std::string &label);
+    void started(const std::string &key);
+    /** `how` is "sim" or "disk" (diagnostic only). */
+    void done(const std::string &key, const char *how);
+    void failed(const std::string &key, bool deterministic,
+                const std::string &reason);
+    /** Mark a resumed sweep's replay point. */
+    void resumed(u64 doneCells, u64 inFlight, u64 blocklisted);
+    /** The sweep finished; a later --resume is a no-op warm run. */
+    void completed();
+    /** The driver is exiting on SIGINT/SIGTERM. */
+    void interrupted(int sig);
+
+    /** What a journal says about a previous (possibly crashed)
+     * sweep. */
+    struct Replay
+    {
+        std::set<std::string> done;        ///< finished cells
+        std::set<std::string> blocklisted; ///< deterministic failures
+        std::set<std::string> inFlight; ///< started, never finished
+        u64 queued = 0;                 ///< queued records seen
+        u64 records = 0;                ///< well-formed lines
+        bool completed = false;         ///< clean end-of-sweep marker
+        bool wasInterrupted = false;
+    };
+
+    /** Parse `path`; malformed/torn lines are skipped, a missing
+     * file yields an empty replay. */
+    static Replay replay(const std::string &path);
+
+  private:
+    void append(const char *status, const std::string &key,
+                const std::string &detail);
+
+    int fd = -1;
+    std::string filePath;
+    std::mutex mutex; ///< serializes line formatting, not the write
+};
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_JOURNAL_HH

@@ -1,0 +1,288 @@
+#include "sweep/record.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/hash_h3.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'W', 'I', 'R', 'C'};
+constexpr u32 kFormatVersion = 2;
+
+void
+putU32(std::string &out, u32 v)
+{
+    char bytes[4];
+    std::memcpy(bytes, &v, 4);
+    out.append(bytes, 4);
+}
+
+void
+putU64(std::string &out, u64 v)
+{
+    char bytes[8];
+    std::memcpy(bytes, &v, 8);
+    out.append(bytes, 8);
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, u32(s.size()));
+    out += s;
+}
+
+/** Bounds-checked little reader; ok() goes false on any overrun and
+ * stays false, so callers can validate once at the end. */
+struct Reader
+{
+    const std::string &data;
+    size_t pos = 0;
+    bool valid = true;
+
+    bool
+    take(void *out, size_t n)
+    {
+        if (!valid || data.size() - pos < n) {
+            valid = false;
+            return false;
+        }
+        std::memcpy(out, data.data() + pos, n);
+        pos += n;
+        return true;
+    }
+
+    u32
+    u32le()
+    {
+        u32 v = 0;
+        take(&v, 4);
+        return v;
+    }
+
+    u64
+    u64le()
+    {
+        u64 v = 0;
+        take(&v, 8);
+        return v;
+    }
+
+    double
+    f64le()
+    {
+        u64 bits = u64le();
+        double v = 0;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        u32 len = u32le();
+        if (!valid || data.size() - pos < len) {
+            valid = false;
+            return {};
+        }
+        std::string out(data, pos, len);
+        pos += len;
+        return out;
+    }
+
+    bool ok() const { return valid; }
+    bool atEnd() const { return valid && pos == data.size(); }
+};
+
+/** The energy fields, once, for serializer/deserializer symmetry. */
+template <typename B, typename F>
+void
+forEachEnergyField(B &&breakdown, F &&fn)
+{
+    fn(breakdown.frontend);
+    fn(breakdown.regFile);
+    fn(breakdown.fuSp);
+    fn(breakdown.fuSfu);
+    fn(breakdown.memPipe);
+    fn(breakdown.reuseStructs);
+    fn(breakdown.smStatic);
+    fn(breakdown.l2);
+    fn(breakdown.noc);
+    fn(breakdown.dram);
+    fn(breakdown.gpuStatic);
+}
+
+} // namespace
+
+std::string
+encodeRecord(RecordKind kind, const std::string &key,
+             const std::string &payload)
+{
+    std::string record;
+    record.reserve(payload.size() + key.size() + 32);
+    record.append(kMagic, 4);
+    putU32(record, kFormatVersion);
+    record.push_back(static_cast<char>(kind));
+    putU32(record, u32(key.size()));
+    record += key;
+    putU32(record, u32(payload.size()));
+    record += payload;
+    putU64(record, fnv1a64(record.data() + 4, record.size() - 4));
+    return record;
+}
+
+const char *
+decodeRecord(const std::string &blob, RecordKind kind,
+             const std::string &key, std::string &payload)
+{
+    Reader r{blob};
+    char magic[4] = {};
+    r.take(magic, 4);
+    if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0)
+        return "bad magic";
+    size_t checksummedFrom = r.pos;
+    if (r.u32le() != kFormatVersion)
+        return "stale format version";
+    u8 kindByte = 0;
+    r.take(&kindByte, 1);
+    if (!r.ok() || kindByte != static_cast<u8>(kind))
+        return "wrong record kind";
+    u32 keyLen = r.u32le();
+    if (!r.ok() || blob.size() - r.pos < keyLen)
+        return "truncated key";
+    if (std::string_view(blob.data() + r.pos, keyLen) != key) {
+        // A different configuration hashed to the same file name
+        // (or the simulator version moved on): never serve it.
+        return "key mismatch (stale version or fingerprint "
+               "collision)";
+    }
+    r.pos += keyLen;
+    u32 payloadLen = r.u32le();
+    if (!r.ok() || blob.size() - r.pos < payloadLen)
+        return "truncated payload";
+    size_t payloadFrom = r.pos;
+    r.pos += payloadLen;
+    u64 want = r.u64le();
+    if (!r.atEnd())
+        return "truncated checksum or trailing bytes";
+    u64 got = fnv1a64(blob.data() + checksummedFrom,
+                      payloadFrom + payloadLen - checksummedFrom);
+    if (got != want)
+        return "checksum mismatch";
+    payload.assign(blob, payloadFrom, payloadLen);
+    return nullptr;
+}
+
+std::string
+encodeRunPayload(const RunResult &result)
+{
+    const auto &fields = simStatsFields();
+    std::string payload;
+    payload.reserve(4 + fields.size() * 8 + 12 * 8 +
+                    result.error.size() + result.repro.size() + 16);
+    putU32(payload, u32(fields.size()));
+    for (const auto &field : fields)
+        putU64(payload, result.stats.*(field.member));
+    forEachEnergyField(result.energy,
+                       [&](const double &v) { putDouble(payload, v); });
+    putU64(payload, result.finalMemoryDigest);
+    payload.push_back(result.failed ? 1 : 0);
+    payload.push_back(static_cast<char>(result.failKind));
+    putU32(payload, result.attempts);
+    putString(payload, result.error);
+    putString(payload, result.repro);
+    return payload;
+}
+
+bool
+decodeRunPayload(const std::string &payload, RunResult &out)
+{
+    Reader r{payload};
+    u32 nFields = r.u32le();
+    const auto &fields = simStatsFields();
+    if (!r.ok() || nFields != fields.size())
+        return false;
+    for (const auto &field : fields)
+        out.stats.*(field.member) = r.u64le();
+    forEachEnergyField(out.energy,
+                       [&](double &v) { v = r.f64le(); });
+    out.finalMemoryDigest = r.u64le();
+    out.finalMemory.clear();
+    u8 failed = 0, kind = 0;
+    r.take(&failed, 1);
+    r.take(&kind, 1);
+    if (kind > static_cast<u8>(FailKind::Cancelled))
+        return false;
+    out.failed = failed != 0;
+    out.failKind = static_cast<FailKind>(kind);
+    out.attempts = r.u32le();
+    out.error = r.str();
+    out.repro = r.str();
+    return r.atEnd();
+}
+
+std::string
+encodeProfilePayload(const ReuseProfiler::Result &result)
+{
+    std::string payload;
+    putDouble(payload, result.repeatedFraction);
+    putDouble(payload, result.repeated10xFraction);
+    putU64(payload, result.sampled);
+    return payload;
+}
+
+bool
+decodeProfilePayload(const std::string &payload,
+                     ReuseProfiler::Result &out)
+{
+    Reader r{payload};
+    out.repeatedFraction = r.f64le();
+    out.repeated10xFraction = r.f64le();
+    out.sampled = r.u64le();
+    return r.atEnd();
+}
+
+FileLock::FileLock(const std::string &path)
+{
+    fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return;
+    int rc;
+    do {
+        rc = ::flock(fd, LOCK_EX);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+FileLock::~FileLock()
+{
+    if (fd >= 0) {
+        ::flock(fd, LOCK_UN);
+        ::close(fd);
+    }
+}
+
+} // namespace sweep
+} // namespace wir

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared binary record codec for the sweep subsystem.
+ *
+ * One framing format serves two transports: DiskStore files and the
+ * sandbox result pipe (a forked child streams its RunResult back to
+ * the parent in exactly the on-disk shape). A record embeds the full
+ * canonical key (fingerprint collisions are detected, not served), a
+ * format version, and a trailing FNV-1a checksum over the whole
+ * checksummed region, so truncation -- whether from bit rot on disk
+ * or a child killed mid-write -- is detected, never decoded.
+ *
+ * Layout: magic "WIRC" | checksummed [version u32 | kind u8 |
+ * keyLen u32 | key | payloadLen u32 | payload] | fnv1a64.
+ */
+
+#ifndef WIR_SWEEP_RECORD_HH
+#define WIR_SWEEP_RECORD_HH
+
+#include <string>
+
+#include "sim/profiler.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+enum class RecordKind : u8
+{
+    Run = 1,
+    Profile = 2,
+};
+
+/** Frame a payload for disk or pipe transport. */
+std::string encodeRecord(RecordKind kind, const std::string &key,
+                         const std::string &payload);
+
+/**
+ * Validate and unwrap a framed record. Returns nullptr on success;
+ * otherwise a static human-readable reason ("bad magic", "truncated
+ * payload", "checksum mismatch", ...) and `payload` is untouched.
+ */
+const char *decodeRecord(const std::string &blob, RecordKind kind,
+                         const std::string &key,
+                         std::string &payload);
+
+/**
+ * RunResult payload: stats counters (schema-counted), energy fields,
+ * final-memory digest, and the failure metadata (failed flag, kind,
+ * attempts, error, repro). The full finalMemory image is never
+ * serialized -- decoded results carry the digest only.
+ */
+std::string encodeRunPayload(const RunResult &result);
+
+/** False on any structural mismatch (caller treats as poison). Does
+ * not touch `out.workload`/`out.design`: labels belong to the
+ * requester, not the payload. */
+bool decodeRunPayload(const std::string &payload, RunResult &out);
+
+std::string encodeProfilePayload(const ReuseProfiler::Result &result);
+bool decodeProfilePayload(const std::string &payload,
+                          ReuseProfiler::Result &out);
+
+/**
+ * RAII advisory file lock (flock). Creates `path` if missing and
+ * blocks until the exclusive lock is granted. Lock files are never
+ * unlinked: removing them would let a third process lock a fresh
+ * inode while a second still waits on the old one, defeating the
+ * exclusion. A failed open/lock degrades to "not held" -- callers
+ * that only need best-effort serialization can proceed unlocked.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path);
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    bool held() const { return fd >= 0; }
+
+  private:
+    int fd = -1;
+};
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_RECORD_HH

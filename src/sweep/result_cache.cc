@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "sim/designs.hh"
+#include "sweep/signals.hh"
 
 namespace wir
 {
@@ -54,6 +56,10 @@ SweepStats::operator+=(const SweepStats &other)
     diskHits += other.diskHits;
     simulated += other.simulated;
     failures += other.failures;
+    crashed += other.crashed;
+    timedOut += other.timedOut;
+    blocklisted += other.blocklisted;
+    retriedAttempts += other.retriedAttempts;
     diskPoisoned += other.diskPoisoned;
     diskStores += other.diskStores;
     cyclesSimulated += other.cyclesSimulated;
@@ -103,11 +109,19 @@ ResultCache::~ResultCache()
 }
 
 std::string
+ResultCache::runKeyFor(const MachineConfig &machine,
+                       const DesignConfig &design,
+                       const std::string &abbr) const
+{
+    return keyPrefix() + canonicalKey(machine) + "|" +
+           canonicalKey(design) + "|wl=" + abbr;
+}
+
+std::string
 ResultCache::runKey(const DesignConfig &design,
                     const std::string &abbr) const
 {
-    return keyPrefix() + canonicalKey(options.machine) + "|" +
-           canonicalKey(design) + "|wl=" + abbr;
+    return runKeyFor(options.machine, design, abbr);
 }
 
 std::string
@@ -124,7 +138,28 @@ ResultCache::Entry<RunResult> &
 ResultCache::ensureRun(const std::string &abbr,
                        const DesignConfig &design)
 {
+    // Validate the workload eagerly: in isolate mode the task body
+    // runs in a forked child, and an uncaught ConfigError there
+    // would read as a crash instead of a usage error.
+    bool known = false;
+    for (const auto &info : workloadRegistry())
+        known = known || abbr == info.abbr;
+    if (!known)
+        fatal("unknown workload '%s'", abbr.c_str());
+
+    MachineConfig machine = options.machine;
+    bool hooked = options.cellMachineHook &&
+                  options.cellMachineHook(abbr, design, machine);
+    if (hooked)
+        validateConfig(machine);
+
     std::string mapKey = canonicalKey(design) + "\x1f" + abbr;
+    // A hooked cell runs under a different machine: it must never
+    // share a memo entry (or a persistent key -- runKeyFor covers
+    // the machine) with the clean cell of the same (design, abbr).
+    if (hooked)
+        mapKey += "\x1f" + canonicalKey(machine);
+
     std::lock_guard<std::mutex> lock(mutex);
     auto it = runs.find(mapKey);
     if (it != runs.end()) {
@@ -139,56 +174,214 @@ ResultCache::ensureRun(const std::string &abbr,
     entry.result.workload = abbr;
     entry.result.design = design.name;
 
-    std::string key = runKey(design, abbr);
+    std::string key = runKeyFor(machine, design, abbr);
+    if (options.journal)
+        options.journal->queued(key, abbr + " " + design.name);
     entry.done =
         options.executor
-            ->submit([this, &entry, key, abbr, design] {
-                if (options.disk &&
-                    options.disk->loadRun(key, entry.result)) {
-                    diskHits++;
-                    return;
-                }
-                if (options.progress) {
-                    char line[128];
-                    std::snprintf(line, sizeof line,
-                                  "  [sim] %-4s %s\n", abbr.c_str(),
-                                  design.name.c_str());
-                    std::fputs(line, stderr);
-                }
-                auto start = std::chrono::steady_clock::now();
-                try {
-                    RunResult run = runWorkload(makeWorkload(abbr),
-                                                design,
-                                                options.machine);
-                    run.design = design.name;
-                    entry.result = std::move(run);
-                } catch (const SimError &err) {
-                    // One broken (workload, design) pair must not
-                    // take down the whole sweep: record the failure
-                    // and keep going.
-                    warn("%s/%s failed: %s", abbr.c_str(),
-                         design.name.c_str(), err.what());
-                    entry.result.failed = true;
-                    entry.result.error = err.what();
-                    failures++;
-                }
-                auto end = std::chrono::steady_clock::now();
-                simNanos +=
-                    std::chrono::duration_cast<
-                        std::chrono::nanoseconds>(end - start)
-                        .count();
-                simulated++;
-                cyclesSimulated += entry.result.stats.cycles;
-                warpInstsSimulated +=
-                    entry.result.stats.warpInstsCommitted;
-                // Failures are never persisted: they are cheap to
-                // reproduce and keeping them out of the store means
-                // a fixed simulator heals the cache by itself.
-                if (options.disk && !entry.result.failed)
-                    options.disk->storeRun(key, entry.result);
+            ->submit([this, &entry, key, abbr, design, machine] {
+                runTask(entry, key, abbr, design, machine);
             })
             .share();
     return entry;
+}
+
+void
+ResultCache::noteFailure(const std::string &abbr,
+                         const std::string &designName,
+                         const std::string &key,
+                         const RunResult &result)
+{
+    FailedCell cell;
+    cell.workload = abbr;
+    cell.design = designName;
+    cell.key = key;
+    cell.kind = result.failKind;
+    cell.reason = result.error;
+    cell.repro = result.repro;
+    std::lock_guard<std::mutex> lock(mutex);
+    failedCells.push_back(std::move(cell));
+}
+
+void
+ResultCache::runTask(Entry<RunResult> &entry, const std::string &key,
+                     const std::string &abbr,
+                     const DesignConfig &design,
+                     const MachineConfig &machine)
+{
+    if (options.blocklist.count(key)) {
+        // Known-deterministic failure from a previous sweep: report
+        // it without burning a single cycle on it again.
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Blocklisted;
+        entry.result.error = "blocklisted: failed deterministically "
+                             "in the interrupted sweep";
+        entry.result.attempts = 0;
+        entry.result.repro = reproCommand(machine, design, abbr);
+        blocklisted++;
+        failures++;
+        if (options.journal)
+            options.journal->failed(key, true,
+                                    "blocklisted (replayed)");
+        noteFailure(abbr, design.name, key, entry.result);
+        return;
+    }
+    if (interruptRequested()) {
+        // Don't journal anything: the cell stays `queued`, so a
+        // --resume re-queues it.
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Cancelled;
+        entry.result.error = "cancelled: sweep interrupted";
+        entry.result.attempts = 0;
+        return;
+    }
+    if (options.disk && options.disk->loadRun(key, entry.result)) {
+        diskHits++;
+        if (options.journal)
+            options.journal->done(key, "disk");
+        return;
+    }
+    if (options.journal)
+        options.journal->started(key);
+    if (options.progress) {
+        char line[128];
+        std::snprintf(line, sizeof line, "  [sim] %-4s %s\n",
+                      abbr.c_str(), design.name.c_str());
+        std::fputs(line, stderr);
+    }
+    auto start = std::chrono::steady_clock::now();
+    // SimError from a direct run is deterministic by construction
+    // (the simulation is a pure function of its configuration); the
+    // sandbox path classifies by repeated failure signature.
+    bool deterministic = true;
+    if (options.isolate) {
+        deterministic = runIsolated(entry, key, abbr, design,
+                                    machine);
+    } else {
+        try {
+            RunResult run = runWorkload(makeWorkload(abbr), design,
+                                        machine);
+            run.design = design.name;
+            entry.result = std::move(run);
+        } catch (const SimError &err) {
+            // One broken (workload, design) pair must not take down
+            // the whole sweep: record the failure and keep going.
+            warn("%s/%s failed: %s", abbr.c_str(),
+                 design.name.c_str(), err.what());
+            entry.result.failed = true;
+            entry.result.failKind = FailKind::Sim;
+            entry.result.error = err.what();
+        }
+    }
+    auto end = std::chrono::steady_clock::now();
+    simNanos += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end - start)
+                    .count();
+    simulated++;
+    cyclesSimulated += entry.result.stats.cycles;
+    warpInstsSimulated += entry.result.stats.warpInstsCommitted;
+    if (entry.result.failed) {
+        failures++;
+        if (entry.result.repro.empty())
+            entry.result.repro = reproCommand(machine, design, abbr);
+        noteFailure(abbr, design.name, key, entry.result);
+    }
+    // Failures are never persisted: they are cheap to reproduce and
+    // keeping them out of the store means a fixed simulator heals
+    // the cache by itself.
+    if (options.disk && !entry.result.failed)
+        options.disk->storeRun(key, entry.result);
+    if (options.journal) {
+        if (entry.result.failed) {
+            // Cancelled cells are deliberately left `started` so a
+            // resume re-queues them.
+            if (entry.result.failKind != FailKind::Cancelled)
+                options.journal->failed(key, deterministic,
+                                        entry.result.error);
+        } else {
+            options.journal->done(key, "sim");
+        }
+    }
+}
+
+bool
+ResultCache::runIsolated(Entry<RunResult> &entry,
+                         const std::string &key,
+                         const std::string &abbr,
+                         const DesignConfig &design,
+                         const MachineConfig &machine)
+{
+    SandboxTask task;
+    task.key = key;
+    task.kind = RecordKind::Run;
+    task.produce = [abbr, design, machine] {
+        return encodeRunPayload(
+            runWorkloadSafe(abbr, design, machine));
+    };
+    task.classify = [](const std::string &payload) -> std::string {
+        RunResult probe;
+        if (!decodeRunPayload(payload, probe))
+            return "malformed result payload";
+        if (probe.failed)
+            return std::string("SimError: ") + probe.error;
+        return "";
+    };
+
+    std::string payload;
+    SandboxOutcome outcome =
+        runSandboxed(task, options.sandbox, payload);
+    if (outcome.attempts > 1)
+        retriedAttempts += outcome.attempts - 1;
+    entry.result.attempts = outcome.attempts ? outcome.attempts : 1;
+
+    switch (outcome.status) {
+      case SandboxStatus::Ok:
+        // decodeRunPayload leaves the workload/design labels alone.
+        if (decodeRunPayload(payload, entry.result)) {
+            entry.result.attempts = outcome.attempts;
+            break;
+        }
+        // Frame validated but the payload did not: schema drift
+        // between parent and child is impossible (same binary), so
+        // treat it like a protocol error.
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Crash;
+        entry.result.error = "malformed result payload";
+        crashed++;
+        break;
+      case SandboxStatus::Failure:
+        // The simulation itself failed (SimError in the child);
+        // stats up to the failure point are in the payload.
+        decodeRunPayload(payload, entry.result);
+        entry.result.attempts = outcome.attempts;
+        warn("%s/%s failed: %s", abbr.c_str(), design.name.c_str(),
+             entry.result.error.c_str());
+        break;
+      case SandboxStatus::Crash:
+      case SandboxStatus::Protocol:
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Crash;
+        entry.result.error = outcome.signature;
+        crashed++;
+        warn("%s/%s crashed: %s (%u attempt%s)", abbr.c_str(),
+             design.name.c_str(), outcome.signature.c_str(),
+             outcome.attempts, outcome.attempts == 1 ? "" : "s");
+        break;
+      case SandboxStatus::Timeout:
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Timeout;
+        entry.result.error = outcome.signature;
+        timedOut++;
+        warn("%s/%s timed out: %s", abbr.c_str(),
+             design.name.c_str(), outcome.signature.c_str());
+        break;
+      case SandboxStatus::Interrupted:
+        entry.result.failed = true;
+        entry.result.failKind = FailKind::Cancelled;
+        entry.result.error = "cancelled: sweep interrupted";
+        break;
+    }
+    return outcome.deterministic;
 }
 
 ResultCache::Entry<ReuseProfiler::Result> &
@@ -211,14 +404,20 @@ ResultCache::ensureProfile(const std::string &abbr)
 
     Entry<ReuseProfiler::Result> &entry = profiles[abbr];
     std::string key = profileKey(abbr);
+    if (options.journal)
+        options.journal->queued(key, abbr + " profile");
     entry.done =
         options.executor
             ->submit([this, &entry, key, abbr, info] {
                 if (options.disk &&
                     options.disk->loadProfile(key, entry.result)) {
                     diskHits++;
+                    if (options.journal)
+                        options.journal->done(key, "disk");
                     return;
                 }
+                if (options.journal)
+                    options.journal->started(key);
                 if (options.progress) {
                     char line[128];
                     std::snprintf(line, sizeof line,
@@ -227,7 +426,11 @@ ResultCache::ensureProfile(const std::string &abbr)
                     std::fputs(line, stderr);
                 }
                 auto start = std::chrono::steady_clock::now();
-                entry.result = profileWorkload(*info, options.machine);
+                if (options.isolate)
+                    profileIsolated(entry, key, abbr, info);
+                else
+                    entry.result =
+                        profileWorkload(*info, options.machine);
                 auto end = std::chrono::steady_clock::now();
                 simNanos +=
                     std::chrono::duration_cast<
@@ -236,9 +439,60 @@ ResultCache::ensureProfile(const std::string &abbr)
                 simulated++;
                 if (options.disk)
                     options.disk->storeProfile(key, entry.result);
+                if (options.journal)
+                    options.journal->done(key, "sim");
             })
             .share();
     return entry;
+}
+
+void
+ResultCache::profileIsolated(Entry<ReuseProfiler::Result> &entry,
+                             const std::string &key,
+                             const std::string &abbr,
+                             const WorkloadInfo *info)
+{
+    SandboxTask task;
+    task.key = key;
+    task.kind = RecordKind::Profile;
+    MachineConfig machine = options.machine;
+    task.produce = [info, machine] {
+        return encodeProfilePayload(profileWorkload(*info, machine));
+    };
+    task.classify = [](const std::string &payload) -> std::string {
+        ReuseProfiler::Result probe;
+        return decodeProfilePayload(payload, probe)
+                   ? ""
+                   : "malformed profile payload";
+    };
+    std::string payload;
+    SandboxOutcome outcome =
+        runSandboxed(task, options.sandbox, payload);
+    if (outcome.attempts > 1)
+        retriedAttempts += outcome.attempts - 1;
+    if (outcome.status == SandboxStatus::Ok &&
+        decodeProfilePayload(payload, entry.result))
+        return;
+    // Profiles have no failed-result representation; a terminal
+    // sandbox failure surfaces as the SimError the in-process path
+    // would have thrown (after journaling it, since the throw skips
+    // the caller's done record).
+    if (outcome.status == SandboxStatus::Interrupted) {
+        // No journal record: the cell stays `started`, so a resume
+        // re-queues it.
+        throw SimError("profile " + abbr + ": sweep interrupted");
+    }
+    std::string reason = outcome.signature.empty()
+                             ? "malformed profile payload"
+                             : outcome.signature;
+    if (outcome.status == SandboxStatus::Timeout)
+        timedOut++;
+    else
+        crashed++;
+    failures++;
+    if (options.journal)
+        options.journal->failed(key, outcome.deterministic, reason);
+    throw SimError("profile " + abbr + ": " + reason);
 }
 
 const RunResult &
@@ -294,6 +548,10 @@ ResultCache::sweepStats() const
     out.diskHits = diskHits.load();
     out.simulated = simulated.load();
     out.failures = failures.load();
+    out.crashed = crashed.load();
+    out.timedOut = timedOut.load();
+    out.blocklisted = blocklisted.load();
+    out.retriedAttempts = retriedAttempts.load();
     out.cyclesSimulated = cyclesSimulated.load();
     out.warpInstsSimulated = warpInstsSimulated.load();
     out.simSeconds = double(simNanos.load()) * 1e-9;
@@ -304,6 +562,15 @@ ResultCache::sweepStats() const
         out.diskPoisoned = options.disk->poisoned();
         out.diskStores = options.disk->stores();
     }
+    return out;
+}
+
+std::vector<FailedCell>
+ResultCache::drainNewFailures()
+{
+    std::vector<FailedCell> out;
+    std::lock_guard<std::mutex> lock(mutex);
+    out.swap(failedCells);
     return out;
 }
 
@@ -344,6 +611,26 @@ CachePool::setPlanMode(bool on)
     for (ResultCache *cache : order)
         cache->setPlanMode(on);
     planDefault = on;
+}
+
+std::vector<FailedCell>
+CachePool::drainNewFailures()
+{
+    std::vector<FailedCell> out;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (ResultCache *cache : order) {
+        auto cells = cache->drainNewFailures();
+        out.insert(out.end(),
+                   std::make_move_iterator(cells.begin()),
+                   std::make_move_iterator(cells.end()));
+    }
+    return out;
+}
+
+size_t
+CachePool::cancelPending()
+{
+    return base.executor->cancelPending();
 }
 
 SweepStats

@@ -29,15 +29,19 @@
 #define WIR_SWEEP_RESULT_CACHE_HH
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "sweep/disk_store.hh"
 #include "sweep/executor.hh"
+#include "sweep/journal.hh"
+#include "sweep/sandbox.hh"
 
 namespace wir
 {
@@ -51,7 +55,11 @@ struct SweepStats
     u64 memoryHits = 0;  ///< served an already-requested entry
     u64 diskHits = 0;    ///< entries loaded from the on-disk store
     u64 simulated = 0;   ///< entries actually simulated
-    u64 failures = 0;    ///< simulations that threw SimError
+    u64 failures = 0;    ///< cells that ended in a failed result
+    u64 crashed = 0;     ///< sandboxed children that died/misframed
+    u64 timedOut = 0;    ///< sandboxed children SIGKILLed on timeout
+    u64 blocklisted = 0; ///< cells skipped via the resume blocklist
+    u64 retriedAttempts = 0; ///< extra sandbox attempts beyond the 1st
     u64 diskPoisoned = 0; ///< invalid on-disk entries re-simulated
     u64 diskStores = 0;  ///< entries persisted this run
     u64 cyclesSimulated = 0;       ///< GPU cycles actually simulated
@@ -59,6 +67,19 @@ struct SweepStats
     double simSeconds = 0;         ///< summed per-task wall time
 
     SweepStats &operator+=(const SweepStats &other);
+};
+
+/** One cell that ended in a failed result, reported out-of-band so
+ * drivers can print FAILED(kind) summaries and write repro bundles
+ * without rescanning every entry. */
+struct FailedCell
+{
+    std::string workload;
+    std::string design;
+    std::string key; ///< persistent run key (journal/blocklist key)
+    FailKind kind = FailKind::Sim;
+    std::string reason;
+    std::string repro; ///< one-line wirsim replay command
 };
 
 struct Options
@@ -77,6 +98,38 @@ struct Options
     /** Share a disk store across caches; created here when null
      * (and useDiskCache). */
     std::shared_ptr<DiskStore> disk;
+
+    /**
+     * Route every simulation through the sandbox/retry engine
+     * (sweep/sandbox.hh). `sandbox.enabled` then selects forked
+     * attempts (crash/timeout containment) vs. in-process attempts
+     * (the --no-sandbox fallback: retries and failure classification
+     * still work, timeouts are unenforceable). Off (the default) is
+     * the legacy direct path: one in-process attempt, SimError
+     * folded into the result.
+     */
+    bool isolate = false;
+    SandboxPolicy sandbox;
+
+    /** Crash-safe lifecycle journal (shared; null = no journal). */
+    std::shared_ptr<Journal> journal;
+
+    /** Run keys that failed deterministically in a previous sweep
+     * (from Journal::replay): served immediately as failed results
+     * with FailKind::Blocklisted instead of ever re-running. */
+    std::set<std::string> blocklist;
+
+    /**
+     * Per-cell machine override (the chaos/fault-injection hook).
+     * Called once per distinct cell; return true after mutating
+     * `machine` to run that cell under the altered configuration.
+     * Hooked cells get distinct memo and persistent keys (the key
+     * covers the effective machine), so they can never pollute clean
+     * cache entries.
+     */
+    std::function<bool(const std::string &abbr,
+                       const DesignConfig &design,
+                       MachineConfig &machine)> cellMachineHook;
 };
 
 class ResultCache
@@ -123,8 +176,15 @@ class ResultCache
 
     SweepStats sweepStats() const;
 
+    /** Failed cells finalized since the last drain (task-completion
+     * order). Call after the get()s you care about have returned, so
+     * the corresponding tasks have finished. */
+    std::vector<FailedCell> drainNewFailures();
+
     /** The persistent key for (machine, design, abbr) -- exposed so
-     * tests can poke at on-disk entries directly. */
+     * tests can poke at on-disk entries directly. Note: a
+     * cellMachineHook can give individual cells a different
+     * effective machine and therefore a different key. */
     std::string runKey(const DesignConfig &design,
                        const std::string &abbr) const;
     std::string profileKey(const std::string &abbr) const;
@@ -150,6 +210,30 @@ class ResultCache
     Entry<ReuseProfiler::Result> &
     ensureProfile(const std::string &abbr);
 
+    /** runKey under an explicit (possibly hooked) machine. */
+    std::string runKeyFor(const MachineConfig &machine,
+                          const DesignConfig &design,
+                          const std::string &abbr) const;
+    /** Task body for one run cell (executes on a worker). */
+    void runTask(Entry<RunResult> &entry, const std::string &key,
+                 const std::string &abbr, const DesignConfig &design,
+                 const MachineConfig &machine);
+    /** Sandbox/retry path of runTask; returns whether a failure was
+     * classified deterministic (for the journal/blocklist). */
+    bool runIsolated(Entry<RunResult> &entry, const std::string &key,
+                     const std::string &abbr,
+                     const DesignConfig &design,
+                     const MachineConfig &machine);
+    /** Sandbox/retry path of a profile task; throws SimError on a
+     * terminal sandbox failure. */
+    void profileIsolated(Entry<ReuseProfiler::Result> &entry,
+                         const std::string &key,
+                         const std::string &abbr,
+                         const WorkloadInfo *info);
+    void noteFailure(const std::string &abbr,
+                     const std::string &designName,
+                     const std::string &key, const RunResult &result);
+
     Options options;
     std::atomic<bool> planMode{false};
 
@@ -166,9 +250,15 @@ class ResultCache
     std::atomic<u64> diskHits{0};
     std::atomic<u64> simulated{0};
     std::atomic<u64> failures{0};
+    std::atomic<u64> crashed{0};
+    std::atomic<u64> timedOut{0};
+    std::atomic<u64> blocklisted{0};
+    std::atomic<u64> retriedAttempts{0};
     std::atomic<u64> cyclesSimulated{0};
     std::atomic<u64> warpInstsSimulated{0};
     std::atomic<u64> simNanos{0};
+
+    std::vector<FailedCell> failedCells; ///< mutex-guarded, drained
 };
 
 /**
@@ -192,6 +282,16 @@ class CachePool
 
     /** Totals across all member caches (disk counters once). */
     SweepStats totalStats() const;
+
+    /** Failed cells finalized since the last drain, across all
+     * member caches. */
+    std::vector<FailedCell> drainNewFailures();
+
+    /** Drop every not-yet-started task on the shared executor
+     * (fatal-first-failure / interrupt shutdown). Blocked get()s on
+     * dropped entries throw std::future_error (broken_promise).
+     * Returns the number of tasks dropped. */
+    size_t cancelPending();
 
     unsigned jobs() const { return base.executor->jobs(); }
     const std::shared_ptr<DiskStore> &diskStore() const

@@ -1,0 +1,332 @@
+#include "sweep/sandbox.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+#include "sweep/signals.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One attempt's raw outcome, before retry classification. */
+struct Attempt
+{
+    SandboxStatus status = SandboxStatus::Ok;
+    std::string payload;   ///< unwrapped, on Ok
+    std::string signature; ///< non-Ok classification
+    bool interrupted = false;
+    int termSignal = 0;
+    int exitCode = 0;
+};
+
+/**
+ * Close every inherited descriptor except std streams and `keep`.
+ * Without this, a child forked by one worker would inherit the pipe
+ * write-ends of children forked concurrently by other workers -- and
+ * those parents would never see EOF until *this* child also exited.
+ */
+void
+closeInheritedFds(int keep)
+{
+    long openMax = ::sysconf(_SC_OPEN_MAX);
+    int limit = (openMax > 0 && openMax < 4096) ? int(openMax) : 4096;
+    for (int fd = 3; fd < limit; fd++) {
+        if (fd != keep)
+            ::close(fd);
+    }
+}
+
+/** Sleep `ms`, waking early (and often) to honor an interrupt. */
+void
+interruptibleSleep(u64 ms)
+{
+    auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    while (!interruptRequested() && Clock::now() < deadline) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+}
+
+Attempt
+attemptInProcess(const SandboxTask &task)
+{
+    Attempt a;
+    try {
+        a.payload = task.produce();
+    } catch (const ConfigError &) {
+        // Configuration errors are caller bugs, not run failures:
+        // keep the historical behavior of rethrowing through the
+        // executor future.
+        throw;
+    } catch (const std::exception &err) {
+        a.status = SandboxStatus::Crash;
+        a.signature = std::string("exception: ") + err.what();
+    } catch (...) {
+        a.status = SandboxStatus::Crash;
+        a.signature = "unknown exception";
+    }
+    return a;
+}
+
+Attempt
+attemptForked(const SandboxTask &task, u64 timeoutMs)
+{
+    Attempt a;
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        a.status = SandboxStatus::Protocol;
+        a.signature = std::string("pipe failed: ") +
+                      std::strerror(errno);
+        return a;
+    }
+
+    // Flush before forking so buffered output is not emitted twice.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        a.status = SandboxStatus::Protocol;
+        a.signature = std::string("fork failed: ") +
+                      std::strerror(errno);
+        return a;
+    }
+
+    if (pid == 0) {
+        // Child: default signal dispositions (a driver-level ^C must
+        // kill the run, not trip the parent's graceful handler), own
+        // pipe end only, then simulate and stream the framed record.
+        ::signal(SIGINT, SIG_DFL);
+        ::signal(SIGTERM, SIG_DFL);
+        ::signal(SIGPIPE, SIG_DFL);
+        ::close(fds[0]);
+        closeInheritedFds(fds[1]);
+        std::string record;
+        try {
+            record = encodeRecord(task.kind, task.key,
+                                  task.produce());
+        } catch (...) {
+            _exit(4); // produce() threw: report as a crash
+        }
+        size_t off = 0;
+        while (off < record.size()) {
+            ssize_t n = ::write(fds[1], record.data() + off,
+                                record.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                _exit(3); // parent gone / pipe error
+            }
+            off += size_t(n);
+        }
+        _exit(0);
+    }
+
+    // Parent: read to EOF with a wall-clock deadline.
+    ::close(fds[1]);
+    std::string blob;
+    bool timedOut = false;
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    char buf[1 << 16];
+    while (true) {
+        if (interruptRequested()) {
+            a.interrupted = true;
+            break;
+        }
+        int waitMs = 200;
+        if (timeoutMs) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       Clock::now())
+                            .count();
+            if (left <= 0) {
+                timedOut = true;
+                break;
+            }
+            waitMs = int(std::min<long long>(left, 200));
+        }
+        struct pollfd p = {fds[0], POLLIN, 0};
+        int rc = ::poll(&p, 1, waitMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll error: fall through to EOF handling
+        }
+        if (rc == 0)
+            continue; // deadline/interrupt re-check
+        ssize_t n = ::read(fds[0], buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // EOF: child closed its end
+        blob.append(buf, size_t(n));
+    }
+    ::close(fds[0]);
+
+    if (timedOut || a.interrupted)
+        ::kill(pid, SIGKILL);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+
+    if (a.interrupted) {
+        a.status = SandboxStatus::Interrupted;
+        a.signature = "interrupted";
+        return a;
+    }
+    if (timedOut) {
+        a.status = SandboxStatus::Timeout;
+        char msg[64];
+        std::snprintf(msg, sizeof msg,
+                      "timeout after %llu ms (SIGKILL)",
+                      static_cast<unsigned long long>(timeoutMs));
+        a.signature = msg;
+        return a;
+    }
+    if (WIFSIGNALED(status)) {
+        a.status = SandboxStatus::Crash;
+        a.termSignal = WTERMSIG(status);
+        char msg[96];
+        std::snprintf(msg, sizeof msg, "signal %d (%s)",
+                      a.termSignal, strsignal(a.termSignal));
+        a.signature = msg;
+        return a;
+    }
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (code != 0) {
+        a.status = SandboxStatus::Crash;
+        a.exitCode = code;
+        char msg[96];
+        std::snprintf(msg, sizeof msg, "exit %d%s", code,
+                      code == 4 ? " (uncaught exception)"
+                      : code == 3 ? " (short pipe write)"
+                                  : "");
+        a.signature = msg;
+        return a;
+    }
+
+    // Clean exit: the record must validate, same as a disk read.
+    if (const char *why =
+            decodeRecord(blob, task.kind, task.key, a.payload)) {
+        a.status = SandboxStatus::Protocol;
+        a.signature = std::string("invalid result record (") + why +
+                      ")";
+    }
+    return a;
+}
+
+} // namespace
+
+const char *
+sandboxStatusName(SandboxStatus status)
+{
+    switch (status) {
+      case SandboxStatus::Ok: return "ok";
+      case SandboxStatus::Failure: return "failure";
+      case SandboxStatus::Crash: return "crash";
+      case SandboxStatus::Timeout: return "timeout";
+      case SandboxStatus::Protocol: return "protocol";
+      case SandboxStatus::Interrupted: return "interrupted";
+    }
+    return "?";
+}
+
+bool
+sandboxSupported()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+SandboxOutcome
+runSandboxed(const SandboxTask &task, const SandboxPolicy &policy,
+             std::string &payload)
+{
+    constexpr u64 kBackoffCapMs = 30'000;
+    payload.clear();
+    SandboxOutcome out;
+    u64 backoff = policy.backoffMs ? policy.backoffMs : 1;
+    std::string prevSignature;
+    bool havePrev = false;
+
+    for (unsigned attempt = 1; attempt <= policy.retries + 1;
+         attempt++) {
+        if (interruptRequested()) {
+            out.status = SandboxStatus::Interrupted;
+            out.signature = "interrupted";
+            break;
+        }
+        out.attempts = attempt;
+
+        Attempt a = (policy.enabled && sandboxSupported())
+                        ? attemptForked(task, policy.timeoutMs)
+                        : attemptInProcess(task);
+
+        std::string signature;
+        if (a.status == SandboxStatus::Ok) {
+            signature =
+                task.classify ? task.classify(a.payload) : "";
+            if (signature.empty()) {
+                payload = std::move(a.payload);
+                out.status = SandboxStatus::Ok;
+                out.signature.clear();
+                return out;
+            }
+            out.status = SandboxStatus::Failure;
+            payload = std::move(a.payload);
+        } else {
+            out.status = a.status;
+            out.termSignal = a.termSignal;
+            out.exitCode = a.exitCode;
+            signature = a.signature;
+            payload.clear();
+        }
+        out.signature = signature;
+        if (a.interrupted || out.status == SandboxStatus::Interrupted)
+            break;
+
+        // The same signature twice in a row is a deterministic
+        // failure: blocklist material, never worth more attempts.
+        if (havePrev && prevSignature == signature) {
+            out.deterministic = true;
+            break;
+        }
+        havePrev = true;
+        prevSignature = signature;
+
+        if (attempt == policy.retries + 1)
+            break;
+        interruptibleSleep(backoff);
+        backoff = std::min(backoff * 2, kBackoffCapMs);
+    }
+    return out;
+}
+
+} // namespace sweep
+} // namespace wir

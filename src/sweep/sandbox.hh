@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Crash-isolated execution of one sweep task in a forked child.
+ *
+ * A hung Gpu::run, an OOM kill, or a stray crash (including faults
+ * deliberately planted with --inject) must cost exactly one cell of
+ * a sweep, never the whole figure suite. runSandboxed() forks, runs
+ * the task's `produce` callback in the child, and streams the result
+ * back over a pipe framed in the DiskStore record format (magic,
+ * key, checksum) -- so a child killed mid-write is detected exactly
+ * like a truncated cache file. The parent enforces a per-attempt
+ * wall-clock timeout (SIGKILL on expiry) and retries failures with
+ * exponential backoff, classifying them by signature: a task that
+ * fails identically twice in a row is deterministic and gets
+ * blocklisted instead of retried forever.
+ *
+ * With policy.enabled == false every attempt runs in-process (the
+ * --no-sandbox path for non-POSIX builds and unit tests); timeouts
+ * are then unenforceable, but classification and retry still work.
+ */
+
+#ifndef WIR_SWEEP_SANDBOX_HH
+#define WIR_SWEEP_SANDBOX_HH
+
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+#include "sweep/record.hh"
+
+namespace wir
+{
+namespace sweep
+{
+
+/** Containment and retry knobs (config/CLI: --run-timeout,
+ * --retries, --no-sandbox). */
+struct SandboxPolicy
+{
+    /** Fork a child per attempt. Off = run in-process. */
+    bool enabled = false;
+    /** Per-attempt wall-clock budget in ms; 0 = unlimited. Expiry
+     * SIGKILLs the child (sandboxed attempts only). */
+    u64 timeoutMs = 0;
+    /** Extra attempts after the first failure. */
+    unsigned retries = 2;
+    /** Delay before the first retry; doubles per retry. */
+    u64 backoffMs = 100;
+};
+
+enum class SandboxStatus : u8
+{
+    Ok,          ///< an attempt produced a payload classified clean
+    Failure,     ///< payload produced, but classified as a failure
+    Crash,       ///< child died on a signal or nonzero exit
+    Timeout,     ///< child SIGKILLed after exceeding timeoutMs
+    Protocol,    ///< child exited 0 but the pipe record was invalid
+    Interrupted, ///< retrying was abandoned on SIGINT/SIGTERM
+};
+
+const char *sandboxStatusName(SandboxStatus status);
+
+struct SandboxOutcome
+{
+    SandboxStatus status = SandboxStatus::Ok;
+    /** Attempts actually made (>= 1 unless interrupted before the
+     * first). */
+    unsigned attempts = 0;
+    /** Two consecutive attempts failed with the same signature: the
+     * failure is deterministic; callers should blocklist the key
+     * rather than ever re-running it. */
+    bool deterministic = false;
+    int termSignal = 0; ///< signal that killed the child, if any
+    int exitCode = 0;   ///< child exit code, when it exited
+    /** Classification of the final failure ("signal 11 (...)",
+     * "timeout after 5000 ms", a SimError message); empty on Ok. */
+    std::string signature;
+};
+
+struct SandboxTask
+{
+    /** Diagnostic label and pipe-record key (typically the run key);
+     * the child's record must echo it back verbatim. */
+    std::string key;
+    RecordKind kind = RecordKind::Run;
+    /** Produces the result payload. Sandboxed: runs in the CHILD --
+     * it must not rely on mutating parent state, and everything a
+     * simulation can throw should already be folded into the payload
+     * (see runWorkloadSafe). */
+    std::function<std::string()> produce;
+    /** Classify a produced payload: empty string = success, anything
+     * else is the failure signature used for deterministic-vs-
+     * transient classification (e.g. the decoded SimError message). */
+    std::function<std::string(const std::string &payload)> classify;
+};
+
+/**
+ * Run `task` under `policy` until it succeeds, is classified
+ * deterministic, exhausts its retries, or the process is
+ * interrupted. On Ok and Failure, `payload` holds the last
+ * attempt's payload; on Crash/Timeout/Protocol it is empty.
+ */
+SandboxOutcome runSandboxed(const SandboxTask &task,
+                            const SandboxPolicy &policy,
+                            std::string &payload);
+
+/** True when fork-based sandboxing is available on this platform. */
+bool sandboxSupported();
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_SANDBOX_HH

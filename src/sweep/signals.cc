@@ -1,0 +1,85 @@
+#include "sweep/signals.hh"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace wir
+{
+namespace sweep
+{
+
+namespace
+{
+
+volatile sig_atomic_t g_signal = 0;
+volatile sig_atomic_t g_count = 0;
+volatile sig_atomic_t g_journalFd = -1;
+
+extern "C" void
+interruptHandler(int sig)
+{
+    g_signal = sig;
+    g_count = g_count + 1;
+    if (g_count == 1) {
+        // Everything here must be async-signal-safe: write() only.
+        static const char note[] =
+            "\n[sweep] interrupt: finishing in-flight work and "
+            "flushing the journal; signal again to exit now\n";
+        ssize_t ignored =
+            ::write(STDERR_FILENO, note, sizeof note - 1);
+        (void)ignored;
+        return;
+    }
+    // Second signal: the graceful path is itself stuck. Leave an
+    // "interrupted" record (a single atomic append) and die.
+    int fd = g_journalFd;
+    if (fd >= 0) {
+        static const char line[] =
+            "interrupted\t\tsecond signal, forced exit\n";
+        ssize_t ignored = ::write(fd, line, sizeof line - 1);
+        (void)ignored;
+    }
+    _exit(128 + sig);
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = interruptHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: blocking poll()/sleep loops in the sandbox
+    // layer should wake with EINTR and observe the flag promptly.
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+setInterruptJournalFd(int fd)
+{
+    g_journalFd = fd;
+}
+
+bool
+interruptRequested()
+{
+    return g_signal != 0;
+}
+
+int
+interruptSignal()
+{
+    return g_signal;
+}
+
+int
+interruptExitCode()
+{
+    return g_signal ? 128 + g_signal : 0;
+}
+
+} // namespace sweep
+} // namespace wir

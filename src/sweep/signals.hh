@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for the sweep drivers.
+ *
+ * The first signal only raises a flag: workers abandon retries, the
+ * driver stops scheduling figures, cancels the pending queue, flushes
+ * the journal and partial stats, and exits with 128+signal -- instead
+ * of dying mid-write. A second signal force-exits immediately (after
+ * appending an "interrupted" journal record with a single
+ * async-signal-safe write), for the case where the remaining work is
+ * itself hung.
+ */
+
+#ifndef WIR_SWEEP_SIGNALS_HH
+#define WIR_SWEEP_SIGNALS_HH
+
+namespace wir
+{
+namespace sweep
+{
+
+/** Install the handlers (idempotent). Call once from the driver's
+ * main() before any sweep work starts. */
+void installInterruptHandlers();
+
+/** Journal fd the force-exit path appends its "interrupted" record
+ * to (-1 = none). The fd must stay open for the process lifetime. */
+void setInterruptJournalFd(int fd);
+
+/** Has SIGINT/SIGTERM been received? Sweep loops poll this. */
+bool interruptRequested();
+
+/** The signal received (0 if none). */
+int interruptSignal();
+
+/** Conventional exit code for the received signal (128 + sig). */
+int interruptExitCode();
+
+} // namespace sweep
+} // namespace wir
+
+#endif // WIR_SWEEP_SIGNALS_HH

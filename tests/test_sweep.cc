@@ -2,8 +2,11 @@
  * @file
  * Tests for the sweep subsystem (src/sweep): executor behavior,
  * result-cache determinism across job counts, parameter-level
- * deduplication, and the persistent disk store's validation of
- * poisoned entries (stale format, truncation, bit rot).
+ * deduplication, the persistent disk store's validation of poisoned
+ * entries (stale format, truncation, bit rot), and the
+ * crash-isolation layer (sandboxed attempts, timeout enforcement,
+ * deterministic-vs-transient retry classification, the crash-safe
+ * journal, and blocklist-based resume).
  */
 
 #include <gtest/gtest.h>
@@ -11,10 +14,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,7 +30,10 @@
 #include "sim/designs.hh"
 #include "sweep/disk_store.hh"
 #include "sweep/executor.hh"
+#include "sweep/journal.hh"
+#include "sweep/record.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/sandbox.hh"
 
 namespace fs = std::filesystem;
 using namespace wir;
@@ -360,4 +370,395 @@ TEST(CachePool, SharesExecutorAndDiskAcrossMachines)
         << "different machines are distinct cache entries";
     EXPECT_NE(a.runKey(designBase(), "HW"),
               b.runKey(designBase(), "HW"));
+}
+
+TEST(Record, RunPayloadRoundTripsFailureMetadata)
+{
+    RunResult in;
+    in.failed = true;
+    in.failKind = FailKind::Timeout;
+    in.error = "timeout after 200 ms (SIGKILL)";
+    in.attempts = 3;
+    in.repro = "wirsim run SF --inject warp-stall";
+    in.finalMemoryDigest = 0x1234abcd5678ef90ull;
+
+    RunResult out;
+    out.workload = "SF";
+    out.design = "RLPV";
+    ASSERT_TRUE(decodeRunPayload(encodeRunPayload(in), out));
+    EXPECT_TRUE(out.failed);
+    EXPECT_EQ(out.failKind, FailKind::Timeout);
+    EXPECT_EQ(out.error, in.error);
+    EXPECT_EQ(out.attempts, 3u);
+    EXPECT_EQ(out.repro, in.repro);
+    EXPECT_EQ(out.finalMemoryDigest, in.finalMemoryDigest);
+    // Labels belong to the requester, not the payload.
+    EXPECT_EQ(out.workload, "SF");
+    EXPECT_EQ(out.design, "RLPV");
+}
+
+TEST(Record, FrameRejectsKeyMismatchAndTruncation)
+{
+    std::string blob =
+        encodeRecord(RecordKind::Run, "key-a", "payload");
+    std::string payload;
+    EXPECT_EQ(decodeRecord(blob, RecordKind::Run, "key-a", payload),
+              nullptr);
+    EXPECT_EQ(payload, "payload");
+
+    std::string ignored;
+    EXPECT_NE(decodeRecord(blob, RecordKind::Run, "key-b", ignored),
+              nullptr)
+        << "a record must only decode under its own key";
+    EXPECT_NE(decodeRecord(blob, RecordKind::Profile, "key-a",
+                           ignored),
+              nullptr)
+        << "kind is part of the frame";
+    std::string torn = blob.substr(0, blob.size() - 5);
+    EXPECT_NE(decodeRecord(torn, RecordKind::Run, "key-a", ignored),
+              nullptr)
+        << "a child killed mid-write must read as truncation";
+}
+
+TEST(Sandbox, CrashRetriedOnceThenClassifiedDeterministic)
+{
+    if (!sandboxSupported())
+        GTEST_SKIP() << "fork-based sandboxing unavailable";
+
+    SandboxTask task;
+    task.key = "crash-task";
+    task.produce = []() -> std::string {
+        ::raise(SIGSEGV);
+        return "unreachable";
+    };
+    SandboxPolicy policy;
+    policy.enabled = true;
+    policy.retries = 5;
+    policy.backoffMs = 1;
+
+    std::string payload;
+    SandboxOutcome out = runSandboxed(task, policy, payload);
+    EXPECT_EQ(out.status, SandboxStatus::Crash);
+    EXPECT_EQ(out.attempts, 2u)
+        << "identical signature twice must stop retrying";
+    EXPECT_TRUE(out.deterministic);
+    EXPECT_EQ(out.termSignal, SIGSEGV);
+    EXPECT_TRUE(payload.empty());
+}
+
+TEST(Sandbox, TimeoutSigkillsChild)
+{
+    if (!sandboxSupported())
+        GTEST_SKIP() << "fork-based sandboxing unavailable";
+
+    SandboxTask task;
+    task.key = "sleepy-task";
+    task.produce = []() -> std::string {
+        ::sleep(60); // SIGKILLed long before this returns
+        return "";
+    };
+    SandboxPolicy policy;
+    policy.enabled = true;
+    policy.timeoutMs = 200;
+    policy.retries = 0;
+
+    auto start = std::chrono::steady_clock::now();
+    std::string payload;
+    SandboxOutcome out = runSandboxed(task, policy, payload);
+    auto elapsedMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    EXPECT_EQ(out.status, SandboxStatus::Timeout);
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_NE(out.signature.find("timeout"), std::string::npos);
+    EXPECT_LT(elapsedMs, 30000)
+        << "the child must be killed at the timeout, not joined";
+}
+
+TEST(Sandbox, TransientCrashRecoversOnRetry)
+{
+    if (!sandboxSupported())
+        GTEST_SKIP() << "fork-based sandboxing unavailable";
+
+    TempDir dir;
+    // The marker outlives the first (crashing) child, making the
+    // fault transient: attempt 1 crashes, attempt 2 succeeds.
+    std::string marker = dir.path + "/first-attempt-done";
+    SandboxTask task;
+    task.key = "flaky-task";
+    task.produce = [marker]() -> std::string {
+        if (!fs::exists(marker)) {
+            std::ofstream(marker) << "1";
+            ::raise(SIGKILL);
+        }
+        return "recovered";
+    };
+    SandboxPolicy policy;
+    policy.enabled = true;
+    policy.retries = 3;
+    policy.backoffMs = 1;
+
+    std::string payload;
+    SandboxOutcome out = runSandboxed(task, policy, payload);
+    EXPECT_EQ(out.status, SandboxStatus::Ok);
+    EXPECT_EQ(out.attempts, 2u);
+    EXPECT_FALSE(out.deterministic);
+    EXPECT_EQ(payload, "recovered");
+}
+
+TEST(Sandbox, DeterministicFailureSignatureStopsRetries)
+{
+    // policy.enabled = false: attempts run in-process, which both
+    // exercises the --no-sandbox path and lets the test observe the
+    // attempt count directly.
+    int calls = 0;
+    SandboxTask task;
+    task.key = "failing-task";
+    task.produce = [&calls]() -> std::string {
+        calls++;
+        return "partial-payload";
+    };
+    task.classify = [](const std::string &) {
+        return std::string("SimError: boom");
+    };
+    SandboxPolicy policy;
+    policy.retries = 7;
+    policy.backoffMs = 1;
+
+    std::string payload;
+    SandboxOutcome out = runSandboxed(task, policy, payload);
+    EXPECT_EQ(out.status, SandboxStatus::Failure);
+    EXPECT_TRUE(out.deterministic);
+    EXPECT_EQ(out.attempts, 2u);
+    EXPECT_EQ(calls, 2) << "in-process attempts must run inline";
+    EXPECT_EQ(payload, "partial-payload")
+        << "the classified payload is preserved for diagnostics";
+    EXPECT_EQ(out.signature, "SimError: boom");
+}
+
+TEST(Journal, ReplayClassifiesCellsAndToleratesTornLines)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, false, &error)) << error;
+        j.queued("cell-done", "SF RLPV");
+        j.started("cell-done");
+        j.done("cell-done", "sim");
+        j.queued("cell-inflight", "BO RLPV");
+        j.started("cell-inflight");
+        j.queued("cell-bad", "HW RLPV");
+        j.started("cell-bad");
+        j.failed("cell-bad", true, "SimError: refcount underflow");
+        j.queued("cell-transient", "KM RLPV");
+        j.started("cell-transient");
+        j.failed("cell-transient", false, "signal 9 (Killed)");
+    } // journal closed: flock released
+    {
+        // Simulate a writer SIGKILLed mid-append: the torn final
+        // line must be ignored, not break replay.
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "started\tcell-torn";
+    }
+
+    Journal::Replay replay = Journal::replay(path);
+    EXPECT_EQ(replay.done.count("cell-done"), 1u);
+    EXPECT_EQ(replay.blocklisted.count("cell-bad"), 1u);
+    EXPECT_EQ(replay.inFlight.count("cell-inflight"), 1u);
+    // Transient failures are neither done nor blocklisted nor
+    // in-flight: resume just re-queues them like fresh cells.
+    EXPECT_EQ(replay.done.count("cell-transient"), 0u);
+    EXPECT_EQ(replay.blocklisted.count("cell-transient"), 0u);
+    EXPECT_EQ(replay.inFlight.count("cell-transient"), 0u);
+    EXPECT_EQ(replay.inFlight.count("cell-torn"), 0u)
+        << "a torn line must not be replayed";
+    EXPECT_EQ(replay.queued, 4u);
+    EXPECT_FALSE(replay.completed);
+    EXPECT_FALSE(replay.wasInterrupted);
+
+    // Re-open preserving records (the --resume path) and finish.
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, true, &error)) << error;
+        j.done("cell-inflight", "sim");
+        j.completed();
+    }
+    replay = Journal::replay(path);
+    EXPECT_TRUE(replay.completed);
+    EXPECT_EQ(replay.done.count("cell-inflight"), 1u);
+    EXPECT_TRUE(replay.inFlight.empty());
+}
+
+TEST(Journal, SecondWriterFailsFastWhileLockHeld)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    Journal first;
+    std::string error;
+    ASSERT_TRUE(first.open(path, false, &error)) << error;
+
+    Journal second;
+    EXPECT_FALSE(second.open(path, true, &error))
+        << "two live writers would interleave records";
+    EXPECT_NE(error.find("locked"), std::string::npos);
+}
+
+TEST(Executor, CancelPendingBreaksQueuedFutures)
+{
+    Executor pool(1);
+    std::mutex m;
+    std::condition_variable cv;
+    bool running = false;
+    bool release = false;
+    auto blocker = pool.submit([&] {
+        std::unique_lock<std::mutex> lock(m);
+        running = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    {
+        // Wait until the blocker occupies the only worker, so the
+        // next submissions are guaranteed to still be queued.
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return running; });
+    }
+
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 4; i++)
+        queued.push_back(pool.submit([] {}));
+    EXPECT_EQ(pool.cancelPending(), 4u);
+    for (auto &f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    blocker.get(); // the in-flight task still completes normally
+}
+
+TEST(ResultCache, BlocklistedCellFailsWithoutSimulating)
+{
+    std::string key;
+    {
+        ResultCache probe(testOptions(1));
+        key = probe.runKey(designRLPV(), "SF");
+    }
+
+    Options opts = testOptions(1);
+    opts.blocklist.insert(key);
+    ResultCache cache(opts);
+    const RunResult &result = cache.get("SF", designRLPV());
+    EXPECT_TRUE(result.failed);
+    EXPECT_EQ(result.failKind, FailKind::Blocklisted);
+    EXPECT_EQ(result.attempts, 0u);
+    EXPECT_FALSE(result.repro.empty());
+
+    auto stats = cache.sweepStats();
+    EXPECT_EQ(stats.simulated, 0u)
+        << "a blocklisted cell must never re-run";
+    EXPECT_EQ(stats.blocklisted, 1u);
+    EXPECT_EQ(stats.failures, 1u);
+
+    auto failedCells = cache.drainNewFailures();
+    ASSERT_EQ(failedCells.size(), 1u);
+    EXPECT_EQ(failedCells[0].workload, "SF");
+    EXPECT_EQ(failedCells[0].kind, FailKind::Blocklisted);
+    EXPECT_TRUE(cache.drainNewFailures().empty())
+        << "drain must be consuming";
+}
+
+TEST(ResultCache, SandboxedRunMatchesInProcessRun)
+{
+    Options sandboxed = testOptions(2);
+    sandboxed.isolate = true;
+    sandboxed.sandbox.enabled = sandboxSupported();
+    ResultCache a(sandboxed);
+    ResultCache b(testOptions(2));
+
+    const RunResult &x = a.get("SF", designRLPV());
+    const RunResult &y = b.get("SF", designRLPV());
+    ASSERT_FALSE(x.failed);
+    ASSERT_FALSE(y.failed);
+    EXPECT_EQ(x.attempts, 1u);
+    EXPECT_EQ(x.stats.items(), y.stats.items());
+    EXPECT_EQ(x.finalMemoryDigest, y.finalMemoryDigest);
+    EXPECT_DOUBLE_EQ(x.energy.gpuTotal(), y.energy.gpuTotal());
+    if (sandboxed.sandbox.enabled) {
+        EXPECT_TRUE(x.finalMemory.empty())
+            << "the pipe payload carries the digest, not the image";
+    }
+}
+
+TEST(ResultCache, CellMachineHookIsolatesInjectedCell)
+{
+    TempDir dir;
+    Options opts = testOptions(2, dir.path);
+    opts.isolate = true;
+    opts.sandbox.enabled = sandboxSupported();
+    opts.sandbox.retries = 0;
+    opts.cellMachineHook = [](const std::string &abbr,
+                              const DesignConfig &design,
+                              MachineConfig &machine) {
+        if (abbr != "SF" || design.name != "RLPV")
+            return false;
+        machine.check.inject = FaultClass::RbTagFlip;
+        machine.check.reuseFallback = false;
+        return true;
+    };
+    ResultCache chaos(opts);
+    const RunResult &hurt = chaos.get("SF", designRLPV());
+    EXPECT_TRUE(hurt.failed)
+        << "a tag flip with fallback disabled must fail the cell";
+    const RunResult &spared = chaos.get("BO", designRLPV());
+    EXPECT_FALSE(spared.failed) << "unhooked cells run clean";
+
+    // The injected cell ran under a distinct key, so a clean cache
+    // over the same store must miss and simulate it fresh.
+    ResultCache clean(testOptions(1, dir.path));
+    const RunResult &good = clean.get("SF", designRLPV());
+    EXPECT_FALSE(good.failed);
+    EXPECT_EQ(clean.sweepStats().simulated, 1u)
+        << "injected results must never pollute clean cache keys";
+}
+
+TEST(ResultCache, ResumeServesJournaledDoneCellsFromDisk)
+{
+    TempDir dir;
+    std::string journalPath = dir.path + "/sweep.journal";
+    std::string key;
+    {
+        Options opts = testOptions(1, dir.path);
+        opts.journal = std::make_shared<Journal>();
+        std::string error;
+        ASSERT_TRUE(opts.journal->open(journalPath, false, &error))
+            << error;
+        ResultCache cold(opts);
+        cold.get("SF", designRLPV());
+        key = cold.runKey(designRLPV(), "SF");
+    }
+
+    Journal::Replay replay = Journal::replay(journalPath);
+    EXPECT_EQ(replay.done.count(key), 1u);
+    EXPECT_TRUE(replay.inFlight.empty());
+    EXPECT_TRUE(replay.blocklisted.empty());
+
+    Options resume = testOptions(1, dir.path);
+    resume.journal = std::make_shared<Journal>();
+    std::string error;
+    ASSERT_TRUE(resume.journal->open(journalPath, true, &error))
+        << error;
+    resume.blocklist = replay.blocklisted;
+    ResultCache warm(resume);
+    const RunResult &served = warm.get("SF", designRLPV());
+    EXPECT_FALSE(served.failed);
+    EXPECT_EQ(warm.sweepStats().simulated, 0u)
+        << "resume must serve journaled-done cells from disk";
+    EXPECT_EQ(warm.sweepStats().diskHits, 1u);
 }

@@ -24,6 +24,15 @@
  *   --cache         reuse/persist results in the sweep result cache
  *                   (WIR_CACHE_DIR or ~/.cache/wirsim)
  *   --cache-dir DIR same, at an explicit location
+ *   --sandbox       fork a crash-isolated child per simulation
+ *   --run-timeout S SIGKILL a simulation after S seconds (implies
+ *                   --sandbox)
+ *   --retries N     extra attempts per failed run (implies
+ *                   retry/classification mode; identical failures
+ *                   stop early)
+ *   --no-sandbox    with --run-timeout/--retries: classify and retry
+ *                   in-process instead of forking (timeouts are then
+ *                   unenforceable)
  *
  * Robustness options for `run`:
  *   --audit N       run the reuse invariant auditor every N cycles
@@ -38,7 +47,8 @@
  *   --inject-sm S   SM to corrupt (default 0)
  *
  * Exit codes: 0 success, 1 simulation failure (SimError), 2 bad
- * usage or configuration (ConfigError).
+ * usage or configuration (ConfigError), 128+sig when interrupted by
+ * SIGINT/SIGTERM.
  */
 
 #include <cstdio>
@@ -52,6 +62,7 @@
 #include "sim/designs.hh"
 #include "sim/runner.hh"
 #include "sweep/result_cache.hh"
+#include "sweep/signals.hh"
 
 using namespace wir;
 
@@ -73,8 +84,12 @@ usage()
                  "[--inject-cycle C] [--inject-sm S]\n"
                  "                  [--jobs N] [--cache] "
                  "[--cache-dir DIR]\n"
+                 "                  [--sandbox|--no-sandbox] "
+                 "[--run-timeout S] [--retries N]\n"
                  "       wirsim profile <ABBR|all> [--jobs N] "
-                 "[--cache] [--cache-dir DIR]\n");
+                 "[--cache] [--cache-dir DIR]\n"
+                 "                  [--sandbox|--no-sandbox] "
+                 "[--run-timeout S] [--retries N]\n");
     std::exit(2);
 }
 
@@ -135,6 +150,9 @@ struct SweepFlags
     unsigned jobs = 0; ///< 0 = env/hardware default
     bool useDisk = false;
     std::string cacheDir;
+    bool isolate = false; ///< any sandbox/retry flag given
+    bool noSandbox = false;
+    sweep::SandboxPolicy sandbox;
 
     /** Consume the argument if it is a sweep flag. */
     bool
@@ -150,6 +168,18 @@ struct SweepFlags
         } else if (arg == "--cache-dir") {
             cacheDir = next();
             useDisk = true;
+        } else if (arg == "--sandbox") {
+            isolate = true;
+        } else if (arg == "--no-sandbox") {
+            isolate = true;
+            noSandbox = true;
+        } else if (arg == "--run-timeout") {
+            sandbox.timeoutMs =
+                u64(parseUnsigned("--run-timeout", next())) * 1000;
+            isolate = true;
+        } else if (arg == "--retries") {
+            sandbox.retries = parseUnsigned("--retries", next());
+            isolate = true;
         } else {
             return false;
         }
@@ -165,6 +195,12 @@ struct SweepFlags
         opts.useDiskCache = useDisk;
         opts.cacheDir = cacheDir;
         opts.progress = false; // wirsim prints its own rows
+        opts.isolate = isolate;
+        opts.sandbox = sandbox;
+        opts.sandbox.enabled =
+            !noSandbox && sweep::sandboxSupported();
+        if (isolate && sandbox.timeoutMs && noSandbox)
+            warn("--run-timeout is unenforceable with --no-sandbox");
         return opts;
     }
 };
@@ -262,8 +298,15 @@ cmdRun(int argc, char **argv)
         const RunResult &result = cache.get(abbr, design);
         if (result.failed) {
             // Keep sweeping the remaining workloads.
-            std::printf("%-5s FAILED: %s\n", abbr.c_str(),
+            std::printf("%-5s FAILED(%s): %s\n", abbr.c_str(),
+                        failKindName(result.failKind),
                         result.error.c_str());
+            if (result.attempts > 1)
+                std::fprintf(stderr, "wirsim: %s took %u attempts\n",
+                             abbr.c_str(), result.attempts);
+            if (!result.repro.empty())
+                std::fprintf(stderr, "wirsim: repro: %s\n",
+                             result.repro.c_str());
             failures++;
             continue;
         }
@@ -282,6 +325,8 @@ cmdRun(int argc, char **argv)
         if (dumpEnergy)
             std::printf("%s", result.energy.describe().c_str());
     }
+    if (sweep::interruptRequested())
+        return sweep::interruptExitCode();
     return failures ? 1 : 0;
 }
 
@@ -325,6 +370,7 @@ int
 main(int argc, char **argv)
 {
     setInformEnabled(false);
+    sweep::installInterruptHandlers();
     if (argc < 2)
         usage();
     std::string cmd = argv[1];
