@@ -35,7 +35,10 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/version.hh"
 #include "harness.hh"
+#include "obs/registry.hh"
 #include "sweep/signals.hh"
 
 namespace
@@ -139,7 +142,24 @@ writeJson(const std::string &path,
     if (!out)
         fatal("--json: cannot write '%s'", path.c_str());
 
-    std::fprintf(out, "{\n  \"figures\": {\n");
+    // Deterministic identity block: which simulator and which metric
+    // schema produced these numbers. Unlike "sweep" below it is
+    // byte-identical across runs of the same build, so it survives
+    // the CI cold/warm comparison (which deletes only "sweep").
+    std::fprintf(out, "{\n  \"schema\": {\n");
+    std::fprintf(out, "    \"sim_version\": \"%s\",\n", kSimVersion);
+    std::fprintf(out, "    \"stats_schema\": \"0x%016llx\",\n",
+                 static_cast<unsigned long long>(simStatsSchemaHash()));
+    std::fprintf(out, "    \"metrics_schema\": \"0x%016llx\",\n",
+                 static_cast<unsigned long long>(
+                     obs::metricsSchemaHash()));
+    std::fprintf(out, "    \"snapshot_format\": %u,\n",
+                 obs::kSnapshotFormatVersion);
+    std::fprintf(out, "    \"counters\": %zu\n",
+                 simStatsFields().size());
+    std::fprintf(out, "  },\n");
+
+    std::fprintf(out, "  \"figures\": {\n");
     for (size_t i = 0; i < figureMetrics.size(); i++) {
         const auto &[id, metrics] = figureMetrics[i];
         std::fprintf(out, "    \"%s\": {", jsonEscape(id).c_str());

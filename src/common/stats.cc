@@ -8,73 +8,198 @@
 namespace wir
 {
 
-/** Table mapping counter names to members, shared by += , items()
- * and the sweep result store's (de)serializer. */
+/** Table mapping counter names to members, shared by += , items(),
+ * the sweep result store's (de)serializer, and the observability
+ * registry (which publishes each counter under its hierarchical
+ * `metric` name). Figure lists use the bench binary's short id;
+ * fig14/fig16 read counters indirectly through the energy model. */
 const std::vector<SimStatsField> &
 simStatsFields()
 {
     static const std::vector<SimStatsField> fields = {
-    {"cycles", &SimStats::cycles, true},
-    {"sm_cycles_total", &SimStats::smCyclesTotal, false},
-    {"warp_insts_committed", &SimStats::warpInstsCommitted, false},
-    {"warp_insts_executed", &SimStats::warpInstsExecuted, false},
-    {"warp_insts_reused", &SimStats::warpInstsReused, false},
-    {"reuse_hits_pending", &SimStats::reuseHitsPending, false},
-    {"dummy_movs", &SimStats::dummyMovs, false},
-    {"divergent_insts", &SimStats::divergentInsts, false},
-    {"fp_insts", &SimStats::fpInsts, false},
-    {"sfu_insts", &SimStats::sfuInsts, false},
-    {"control_insts", &SimStats::controlInsts, false},
-    {"load_insts", &SimStats::loadInsts, false},
-    {"store_insts", &SimStats::storeInsts, false},
-    {"barriers", &SimStats::barriers, false},
-    {"sp_activations", &SimStats::spActivations, false},
-    {"sfu_activations", &SimStats::sfuActivations, false},
-    {"mem_activations", &SimStats::memActivations, false},
-    {"rf_bank_reads", &SimStats::rfBankReads, false},
-    {"rf_bank_writes", &SimStats::rfBankWrites, false},
-    {"rf_bank_requests", &SimStats::rfBankRequests, false},
-    {"rf_bank_retries", &SimStats::rfBankRetries, false},
-    {"verify_reads", &SimStats::verifyReads, false},
-    {"verify_mismatches", &SimStats::verifyMismatches, false},
-    {"verify_cache_hits", &SimStats::verifyCacheHits, false},
-    {"verify_cache_misses", &SimStats::verifyCacheMisses, false},
-    {"reuse_buf_lookups", &SimStats::reuseBufLookups, false},
-    {"reuse_buf_hits", &SimStats::reuseBufHits, false},
-    {"load_reuse_lookups", &SimStats::loadReuseLookups, false},
-    {"load_reuse_hits", &SimStats::loadReuseHits, false},
-    {"reuse_buf_updates", &SimStats::reuseBufUpdates, false},
-    {"pending_queue_full", &SimStats::pendingQueueFull, false},
-    {"vsb_lookups", &SimStats::vsbLookups, false},
-    {"vsb_hash_hits", &SimStats::vsbHashHits, false},
-    {"vsb_shares", &SimStats::vsbShares, false},
-    {"rename_reads", &SimStats::renameReads, false},
-    {"rename_writes", &SimStats::renameWrites, false},
-    {"refcount_ops", &SimStats::refcountOps, false},
-    {"reg_allocs", &SimStats::regAllocs, false},
-    {"reg_frees", &SimStats::regFrees, false},
-    {"low_reg_mode_cycles", &SimStats::lowRegModeCycles, false},
-    {"low_reg_evictions", &SimStats::lowRegEvictions, false},
-    {"alloc_stall_cycles", &SimStats::allocStallCycles, false},
-    {"phys_regs_in_use_accum", &SimStats::physRegsInUseAccum, false},
-    {"phys_regs_in_use_peak", &SimStats::physRegsInUsePeak, true},
-    {"l1_accesses", &SimStats::l1Accesses, false},
-    {"l1_hits", &SimStats::l1Hits, false},
-    {"l1_misses", &SimStats::l1Misses, false},
-    {"scratch_accesses", &SimStats::scratchAccesses, false},
-    {"const_accesses", &SimStats::constAccesses, false},
-    {"l2_accesses", &SimStats::l2Accesses, false},
-    {"l2_hits", &SimStats::l2Hits, false},
-    {"l2_misses", &SimStats::l2Misses, false},
-    {"dram_accesses", &SimStats::dramAccesses, false},
-    {"noc_flits", &SimStats::nocFlits, false},
-    {"affine_executions", &SimStats::affineExecutions, false},
-    {"invariant_audits", &SimStats::invariantAudits, false},
-    {"invariant_violations", &SimStats::invariantViolations, false},
-    {"shadow_checks", &SimStats::shadowChecks, false},
-    {"shadow_mismatches", &SimStats::shadowMismatches, false},
-    {"faults_injected", &SimStats::faultsInjected, false},
-    {"reuse_fallbacks", &SimStats::reuseFallbacks, false},
+    {"cycles", &SimStats::cycles, true,
+     "clk.cycles", "cycles", "fig17,fig22,abl_assoc,abl_sched,fig14,fig16",
+     "SM cycles to kernel completion (max over SMs when merged)"},
+    {"sm_cycles_total", &SimStats::smCyclesTotal, false,
+     "clk.sm_cycles_total", "cycles", "fig19,fig14,fig16",
+     "sum of per-SM cycle counts (leakage/time-averaged accounting)"},
+    {"warp_insts_committed", &SimStats::warpInstsCommitted, false,
+     "pipe.committed", "insts", "fig02,fig12,fig21,abl_sched,fig14,fig16",
+     "all committed warp instructions"},
+    {"warp_insts_executed", &SimStats::warpInstsExecuted, false,
+     "pipe.executed", "insts", "fig12",
+     "instructions that went through RF read + functional unit"},
+    {"warp_insts_reused", &SimStats::warpInstsReused, false,
+     "reuse.insts_reused", "insts", "fig21,abl_sched",
+     "instructions that bypassed the backend via a reuse hit"},
+    {"reuse_hits_pending", &SimStats::reuseHitsPending, false,
+     "reuse.pending.hits", "insts", "fig21",
+     "reuse hits served by the pending-retry path"},
+    {"dummy_movs", &SimStats::dummyMovs, false,
+     "pipe.dummy_movs", "insts", "fig12",
+     "injected divergence copy MOVs"},
+    {"divergent_insts", &SimStats::divergentInsts, false,
+     "pipe.divergent", "insts", "",
+     "instructions issued with a partially active mask"},
+    {"fp_insts", &SimStats::fpInsts, false,
+     "pipe.fp", "insts", "fig02",
+     "floating-point instructions committed"},
+    {"sfu_insts", &SimStats::sfuInsts, false,
+     "pipe.sfu", "insts", "",
+     "special-function-unit instructions committed"},
+    {"control_insts", &SimStats::controlInsts, false,
+     "pipe.control", "insts", "",
+     "control-flow instructions committed"},
+    {"load_insts", &SimStats::loadInsts, false,
+     "pipe.loads", "insts", "",
+     "load instructions committed"},
+    {"store_insts", &SimStats::storeInsts, false,
+     "pipe.stores", "insts", "",
+     "store instructions committed"},
+    {"barriers", &SimStats::barriers, false,
+     "pipe.barriers", "insts", "",
+     "CTA barrier instructions committed"},
+    {"sp_activations", &SimStats::spActivations, false,
+     "fu.sp.activations", "events", "fig13,fig14,fig16",
+     "SP (ALU/FPU) backend pipeline activations"},
+    {"sfu_activations", &SimStats::sfuActivations, false,
+     "fu.sfu.activations", "events", "fig13,fig14,fig16",
+     "SFU backend pipeline activations"},
+    {"mem_activations", &SimStats::memActivations, false,
+     "fu.mem.activations", "events", "fig13,fig14,fig16",
+     "LD/ST backend pipeline activations"},
+    {"rf_bank_reads", &SimStats::rfBankReads, false,
+     "rf.bank.reads", "accesses", "fig13,fig14,fig16",
+     "128-bit register-file bank reads"},
+    {"rf_bank_writes", &SimStats::rfBankWrites, false,
+     "rf.bank.writes", "accesses", "fig13,fig18,fig14,fig16",
+     "128-bit register-file bank writes"},
+    {"rf_bank_requests", &SimStats::rfBankRequests, false,
+     "rf.bank.requests", "accesses", "fig18",
+     "warp-level register-file access requests"},
+    {"rf_bank_retries", &SimStats::rfBankRetries, false,
+     "rf.bank.retries", "accesses", "fig18",
+     "register-file access retries due to bank conflicts"},
+    {"verify_reads", &SimStats::verifyReads, false,
+     "verify.reads", "accesses", "fig18",
+     "register writes substituted by verify-reads (Section VI-C)"},
+    {"verify_mismatches", &SimStats::verifyMismatches, false,
+     "verify.mismatches", "events", "",
+     "verify-reads that caught a hash false positive"},
+    {"verify_cache_hits", &SimStats::verifyCacheHits, false,
+     "verify.cache.hits", "accesses", "fig18,fig14,fig16",
+     "verify-cache hits (verify served without an RF read)"},
+    {"verify_cache_misses", &SimStats::verifyCacheMisses, false,
+     "verify.cache.misses", "accesses", "fig14,fig16",
+     "verify-cache misses (verify required an RF bank read)"},
+    {"reuse_buf_lookups", &SimStats::reuseBufLookups, false,
+     "reuse.buffer.lookups", "accesses", "fig14,fig16",
+     "reuse-buffer tag lookups"},
+    {"reuse_buf_hits", &SimStats::reuseBufHits, false,
+     "reuse.buffer.hits", "accesses", "",
+     "reuse-buffer tag hits"},
+    {"load_reuse_lookups", &SimStats::loadReuseLookups, false,
+     "reuse.load.lookups", "accesses", "",
+     "reuse-eligible load lookups"},
+    {"load_reuse_hits", &SimStats::loadReuseHits, false,
+     "reuse.load.hits", "accesses", "",
+     "loads served from a prior load's result"},
+    {"reuse_buf_updates", &SimStats::reuseBufUpdates, false,
+     "reuse.buffer.updates", "accesses", "fig14,fig16",
+     "reuse-buffer entry installs/updates"},
+    {"pending_queue_full", &SimStats::pendingQueueFull, false,
+     "reuse.pending.full", "events", "",
+     "pending-queue-full events (hit downgraded to execute)"},
+    {"vsb_lookups", &SimStats::vsbLookups, false,
+     "vsb.lookups", "accesses", "fig20,abl_assoc,fig14,fig16",
+     "value-signature-buffer lookups"},
+    {"vsb_hash_hits", &SimStats::vsbHashHits, false,
+     "vsb.hash_hits", "events", "",
+     "VSB hash matches (verification still required)"},
+    {"vsb_shares", &SimStats::vsbShares, false,
+     "vsb.shares", "events", "fig20,abl_assoc",
+     "VSB shares (verification succeeded, register shared)"},
+    {"rename_reads", &SimStats::renameReads, false,
+     "rename.reads", "accesses", "fig14,fig16",
+     "rename-table reads"},
+    {"rename_writes", &SimStats::renameWrites, false,
+     "rename.writes", "accesses", "fig14,fig16",
+     "rename-table writes"},
+    {"refcount_ops", &SimStats::refcountOps, false,
+     "rename.refcount_ops", "events", "fig14,fig16",
+     "physical-register refcount increments/decrements"},
+    {"reg_allocs", &SimStats::regAllocs, false,
+     "reg.allocs", "events", "fig14,fig16",
+     "physical-register allocations"},
+    {"reg_frees", &SimStats::regFrees, false,
+     "reg.frees", "events", "fig14,fig16",
+     "physical-register frees"},
+    {"low_reg_mode_cycles", &SimStats::lowRegModeCycles, false,
+     "reg.low_mode.cycles", "cycles", "",
+     "cycles spent in low-register eviction mode"},
+    {"low_reg_evictions", &SimStats::lowRegEvictions, false,
+     "reg.low_mode.evictions", "events", "",
+     "reuse entries evicted to reclaim registers"},
+    {"alloc_stall_cycles", &SimStats::allocStallCycles, false,
+     "reg.alloc_stalls", "cycles", "",
+     "issue stalls waiting for a free physical register"},
+    {"phys_regs_in_use_accum", &SimStats::physRegsInUseAccum, false,
+     "reg.in_use.accum", "reg-cycles", "fig19",
+     "sum over cycles of in-use physical registers"},
+    {"phys_regs_in_use_peak", &SimStats::physRegsInUsePeak, true,
+     "reg.in_use.peak", "regs", "fig19",
+     "peak in-use physical registers (max over SMs when merged)"},
+    {"l1_accesses", &SimStats::l1Accesses, false,
+     "mem.l1.accesses", "accesses", "fig15,fig14,fig16",
+     "L1 data-cache accesses"},
+    {"l1_hits", &SimStats::l1Hits, false,
+     "mem.l1.hits", "accesses", "fig15",
+     "L1 data-cache hits"},
+    {"l1_misses", &SimStats::l1Misses, false,
+     "mem.l1.misses", "accesses", "fig15,fig14,fig16",
+     "L1 data-cache misses"},
+    {"scratch_accesses", &SimStats::scratchAccesses, false,
+     "mem.scratch.accesses", "accesses", "fig14,fig16",
+     "scratchpad (shared-memory) accesses"},
+    {"const_accesses", &SimStats::constAccesses, false,
+     "mem.const.accesses", "accesses", "fig14,fig16",
+     "constant-cache accesses"},
+    {"l2_accesses", &SimStats::l2Accesses, false,
+     "mem.l2.accesses", "accesses", "fig14,fig16",
+     "L2 slice accesses"},
+    {"l2_hits", &SimStats::l2Hits, false,
+     "mem.l2.hits", "accesses", "",
+     "L2 slice hits"},
+    {"l2_misses", &SimStats::l2Misses, false,
+     "mem.l2.misses", "accesses", "",
+     "L2 slice misses"},
+    {"dram_accesses", &SimStats::dramAccesses, false,
+     "mem.dram.accesses", "accesses", "fig14,fig16",
+     "DRAM channel accesses"},
+    {"noc_flits", &SimStats::nocFlits, false,
+     "mem.noc.flits", "flits", "fig14,fig16",
+     "network-on-chip flits between SMs and partitions"},
+    {"affine_executions", &SimStats::affineExecutions, false,
+     "fu.affine.executions", "events", "fig14,fig16",
+     "instructions executed at 1-lane/1-bank affine cost"},
+    {"invariant_audits", &SimStats::invariantAudits, false,
+     "check.audits", "events", "",
+     "invariant auditor passes executed"},
+    {"invariant_violations", &SimStats::invariantViolations, false,
+     "check.violations", "events", "",
+     "invariant violations detected (audit + shadow)"},
+    {"shadow_checks", &SimStats::shadowChecks, false,
+     "check.shadow.checks", "events", "",
+     "reuse hits re-verified lane-by-lane by the shadow oracle"},
+    {"shadow_mismatches", &SimStats::shadowMismatches, false,
+     "check.shadow.mismatches", "events", "",
+     "reuse hits whose cached value was wrong"},
+    {"faults_injected", &SimStats::faultsInjected, false,
+     "check.faults_injected", "events", "",
+     "deliberate corruptions applied by fault injection"},
+    {"reuse_fallbacks", &SimStats::reuseFallbacks, false,
+     "check.fallbacks", "events", "",
+     "SMs quarantined to Base execution after a violation"},
     };
     return fields;
 }

@@ -117,12 +117,21 @@ struct SimStats
     std::string dump() const;
 };
 
-/** One row of the counter schema: name + member + merge rule. */
+/**
+ * One row of the counter schema: the flat serialization name and
+ * merge rule plus the structured metadata the observability layer
+ * (src/obs) publishes it under -- hierarchical metric name, unit,
+ * consuming figure binaries, and a one-line description.
+ */
 struct SimStatsField
 {
-    const char *name;
+    const char *name;      ///< flat serialization name ("l1_hits")
     u64 SimStats::*member;
-    bool mergeMax; ///< merged with max() instead of + (peaks, cycles)
+    bool mergeMax;   ///< merged with max() instead of + (peaks, cycles)
+    const char *metric;    ///< hierarchical metric name ("mem.l1.hits")
+    const char *unit;      ///< "cycles", "insts", "accesses", ...
+    const char *figure;    ///< figure binaries that read it, "" = none
+    const char *help;      ///< one-line description
 };
 
 /** The full counter schema, in a stable serialization order. The

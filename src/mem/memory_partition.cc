@@ -45,6 +45,14 @@ MemoryPartition::access(Addr lineAddr, bool isWrite, Cycle arrival,
         dataReady = dram.request(start + l2Latency, stats);
     }
 
+    if (tracer && tracer->wants(obs::CatMem, start)) {
+        // One span per L2 access covering service through data-ready,
+        // so queueing behind DRAM shows up as span length.
+        tracer->span(obs::CatMem, hit ? "l2.hit" : "l2.miss", start,
+                     std::max<Cycle>(1, dataReady - start), tracePid,
+                     0, "line", lineAddr, "write", isWrite ? 1 : 0);
+    }
+
     if (isWrite) {
         // Write-through completes at L2/DRAM acceptance; the SM does
         // not wait for a reply payload.

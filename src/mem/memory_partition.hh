@@ -11,6 +11,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/noc.hh"
+#include "obs/trace.hh"
 
 namespace wir
 {
@@ -19,6 +20,16 @@ class MemoryPartition
 {
   public:
     explicit MemoryPartition(const MachineConfig &config);
+
+    /** Attach the observability tracer; `pid` is the trace process
+     * id this partition's events post under (kPartitionPidBase + i).
+     * Null detaches. */
+    void
+    attachTracer(obs::Tracer *tracer_, u32 pid)
+    {
+        tracer = tracer_;
+        tracePid = pid;
+    }
 
     /**
      * Service a line request from an SM that missed in L1.
@@ -41,6 +52,8 @@ class MemoryPartition
     NocLink replyLink;
     DramChannel dram;
     Cycle portFree = 0;
+    obs::Tracer *tracer = nullptr;
+    u32 tracePid = 0;
 };
 
 /** Partition index for a line (interleaved by line address). */

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Issue-stream dispatcher: the single observer the GPU hands to its
+ * SMs, fanning each event out to any number of passive clients
+ * (profiler, user-supplied observers) and keeping O(1) GPU-wide
+ * progress counters for the forward-progress watchdog.
+ *
+ * Before this existed, Gpu::run's watchdog re-summed per-SM commit
+ * counters on a stride while the profiler independently hooked the
+ * issue stream; both now ride the same dispatch, so adding an
+ * observer can never change what the watchdog sees and the progress
+ * check is a constant-time comparison every cycle.
+ *
+ * Clients must be passive: they may record, but must not mutate
+ * simulation state. Fan-out order is the order of add() calls and is
+ * not a contract -- a regression test permutes it and asserts
+ * identical simulation stats.
+ */
+
+#ifndef WIR_OBS_DISPATCH_HH
+#define WIR_OBS_DISPATCH_HH
+
+#include <vector>
+
+#include "timing/observer.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+class IssueDispatch : public IssueObserver
+{
+  public:
+    /** Register a client; null is ignored. */
+    void
+    add(IssueObserver *client)
+    {
+        if (client)
+            clients.push_back(client);
+    }
+
+    bool empty() const { return clients.empty(); }
+
+    /** Warp instructions issued GPU-wide (includes control ops). */
+    u64 issued() const { return issueCount; }
+
+    /** Warp instructions committed GPU-wide via retire. */
+    u64 committed() const { return commitCount; }
+
+    /** Monotone progress indicator: advances whenever any SM issues
+     * or retires an instruction. The watchdog compares successive
+     * readings instead of walking the SMs. */
+    u64 progress() const { return issueCount + commitCount; }
+
+    void
+    onIssue(SmId sm, const Instruction &inst, const WarpValue srcs[3],
+            const WarpValue &result, WarpMask active) override
+    {
+        issueCount++;
+        for (IssueObserver *client : clients)
+            client->onIssue(sm, inst, srcs, result, active);
+    }
+
+    void
+    onCommit(SmId sm) override
+    {
+        commitCount++;
+        for (IssueObserver *client : clients)
+            client->onCommit(sm);
+    }
+
+  private:
+    std::vector<IssueObserver *> clients;
+    u64 issueCount = 0;
+    u64 commitCount = 0;
+};
+
+} // namespace obs
+} // namespace wir
+
+#endif // WIR_OBS_DISPATCH_HH

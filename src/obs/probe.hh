@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-SM observability probe: the tiny bundle of pointers an Sm (and
+ * the memory partitions) carry into the hot path.
+ *
+ * The probe decouples the pipeline from the observability session: an
+ * Sm never includes session.hh, it just null-checks these pointers.
+ * Default-constructed (all null) the probe is inert and every hook
+ * collapses to one predictable branch; -DWIR_OBS_MINIMAL removes even
+ * that (see obs::kEnabled).
+ */
+
+#ifndef WIR_OBS_PROBE_HH
+#define WIR_OBS_PROBE_HH
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+struct SmProbe
+{
+    /** Event tracer, shared by all SMs; null when not tracing. */
+    Tracer *tracer = nullptr;
+
+    /** Lines per coalesced global-memory instruction. */
+    Distribution *coalesceLines = nullptr;
+
+    /** Bank-conflict retries per operand-read stage occurrence. */
+    Distribution *bankRetries = nullptr;
+};
+
+/** Memory partitions trace under process ids 1000+partition so they
+ * get their own track group in Perfetto, clear of any SM id. */
+constexpr u32 kPartitionPidBase = 1000;
+
+} // namespace obs
+} // namespace wir
+
+#endif // WIR_OBS_PROBE_HH

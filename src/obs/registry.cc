@@ -1,0 +1,211 @@
+#include "obs/registry.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash_h3.hh"
+#include "common/logging.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+u64
+Metric::read() const
+{
+    switch (kind) {
+      case Kind::Counter:
+        return *value;
+      case Kind::Gauge:
+        return sample();
+      case Kind::Distribution:
+        return dist->count;
+    }
+    return 0;
+}
+
+void
+Registry::add(Metric metric)
+{
+    if (metric.name.empty())
+        fatal("obs: metric registered with an empty name");
+    if (!names.insert(metric.name).second)
+        fatal("obs: duplicate metric name '%s'", metric.name.c_str());
+    entries.push_back(std::move(metric));
+}
+
+u64 &
+Registry::counter(const std::string &name, const char *unit,
+                  const char *help, const char *figure)
+{
+    u64 &slot = ownedCounters.emplace_back(0);
+    Metric m;
+    m.name = name;
+    m.kind = Metric::Kind::Counter;
+    m.unit = unit;
+    m.help = help;
+    m.figure = figure;
+    m.value = &slot;
+    add(std::move(m));
+    return slot;
+}
+
+void
+Registry::adopt(const std::string &name, const u64 *value,
+                const char *unit, const char *help, const char *figure)
+{
+    Metric m;
+    m.name = name;
+    m.kind = Metric::Kind::Counter;
+    m.unit = unit;
+    m.help = help;
+    m.figure = figure;
+    m.value = value;
+    add(std::move(m));
+}
+
+Distribution &
+Registry::distribution(const std::string &name, const char *unit,
+                       const char *help)
+{
+    Distribution &slot = ownedDists.emplace_back();
+    Metric m;
+    m.name = name;
+    m.kind = Metric::Kind::Distribution;
+    m.unit = unit;
+    m.help = help;
+    m.dist = &slot;
+    add(std::move(m));
+    return slot;
+}
+
+void
+Registry::gauge(const std::string &name, const char *unit,
+                const char *help, std::function<u64()> sample)
+{
+    Metric m;
+    m.name = name;
+    m.kind = Metric::Kind::Gauge;
+    m.unit = unit;
+    m.help = help;
+    m.sample = std::move(sample);
+    add(std::move(m));
+}
+
+namespace
+{
+
+/** Append `s` JSON-escaped (metric names are plain identifiers, but
+ * never trust a name to stay that way). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          default:
+            if (u8(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendU64(std::string &out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    out += buf;
+}
+
+} // anonymous namespace
+
+std::string
+Registry::snapshotJson(u64 cycle) const
+{
+    std::string out;
+    out.reserve(64 + entries.size() * 32);
+    out += "{\"cycle\":";
+    appendU64(out, cycle);
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const Metric &m : entries) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, m.name);
+        out += ':';
+        if (m.kind == Metric::Kind::Distribution) {
+            const Distribution &d = *m.dist;
+            out += "{\"count\":";
+            appendU64(out, d.count);
+            out += ",\"sum\":";
+            appendU64(out, d.sum);
+            out += ",\"min\":";
+            appendU64(out, d.count ? d.minValue : 0);
+            out += ",\"max\":";
+            appendU64(out, d.maxValue);
+            out += ",\"mean\":";
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.6g", d.mean());
+            out += buf;
+            out += '}';
+        } else {
+            appendU64(out, m.read());
+        }
+    }
+    out += "}}";
+    return out;
+}
+
+u64
+Registry::schemaHash() const
+{
+    std::string blob;
+    for (const Metric &m : entries) {
+        blob += m.name;
+        blob += ';';
+        blob += char('0' + int(m.kind));
+        blob += m.unit;
+        blob += ';';
+    }
+    return fnv1a64(blob.data(), blob.size());
+}
+
+void
+adoptSimStats(Group group, const SimStats &stats)
+{
+    for (const auto &field : simStatsFields())
+        group.adopt(field.metric, &(stats.*(field.member)), field.unit,
+                    field.help, field.figure);
+}
+
+u64
+metricsSchemaHash()
+{
+    static const u64 hash = [] {
+        std::string blob = "snapshot-v";
+        blob += std::to_string(kSnapshotFormatVersion);
+        blob += '|';
+        for (const auto &field : simStatsFields()) {
+            blob += field.metric;
+            blob += '=';
+            blob += field.unit;
+            blob += ';';
+        }
+        return fnv1a64(blob.data(), blob.size());
+    }();
+    return hash;
+}
+
+} // namespace obs
+} // namespace wir

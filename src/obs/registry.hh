@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Structured stats registry: the single schema for everything the
+ * simulator can report.
+ *
+ * Components register *metrics* -- counters, sampling distributions,
+ * and gauges -- under hierarchical dotted names ("sm0.reuse.buffer.hits").
+ * The registry owns the name space (duplicate registration is a
+ * ConfigError), renders periodic JSONL snapshots for time-series
+ * analysis, and hashes the registered schema so persistent sweep
+ * records can never be decoded against a drifted counter layout.
+ *
+ * The dense SimStats struct remains the hot-path storage: each of its
+ * fields carries hierarchical metric metadata (see SimStatsField) and
+ * is *adopted* by the registry per scope, so incrementing a counter
+ * stays a plain u64 add while the registry provides the structured,
+ * documented view over it. Registration happens once per run, outside
+ * the simulated cycle loop; reads happen only at snapshot time.
+ */
+
+#ifndef WIR_OBS_REGISTRY_HH
+#define WIR_OBS_REGISTRY_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+/** Compile-time master switch: -DWIR_OBS_MINIMAL folds every
+ * observability guard to `false`, compiling the hooks out of the hot
+ * path entirely (the CLI then rejects --trace/--stats-interval). */
+#ifdef WIR_OBS_MINIMAL
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/**
+ * A sampling distribution: count/sum/min/max plus power-of-two
+ * buckets (bucket 0 holds zeros, bucket 1+i holds [2^i, 2^(i+1)),
+ * the last bucket saturates). record() is cheap enough for per-event
+ * hot-path use behind a null-pointer guard.
+ */
+struct Distribution
+{
+    static constexpr unsigned kBuckets = 17;
+
+    u64 count = 0;
+    u64 sum = 0;
+    u64 minValue = ~u64{0};
+    u64 maxValue = 0;
+    std::array<u64, kBuckets> buckets{};
+
+    void
+    record(u64 value)
+    {
+        count++;
+        sum += value;
+        if (value < minValue)
+            minValue = value;
+        if (value > maxValue)
+            maxValue = value;
+        unsigned idx = value == 0
+            ? 0
+            : 1 + std::min(kBuckets - 2u,
+                           unsigned(63 - __builtin_clzll(value)));
+        buckets[idx]++;
+    }
+
+    double
+    mean() const
+    {
+        return count ? double(sum) / double(count) : 0.0;
+    }
+};
+
+/** One registered metric (see Registry). */
+struct Metric
+{
+    enum class Kind : u8
+    {
+        Counter,      ///< monotonic u64 (owned or adopted)
+        Gauge,        ///< sampled on demand via a callback
+        Distribution, ///< count/sum/min/max/buckets
+    };
+
+    std::string name;  ///< full dotted name ("sm0.mem.l1.hits")
+    Kind kind = Kind::Counter;
+    const char *unit = "";
+    const char *help = "";
+    const char *figure = ""; ///< consuming figure binaries, "" = none
+
+    const u64 *value = nullptr;          ///< Counter
+    std::function<u64()> sample;         ///< Gauge
+    const Distribution *dist = nullptr;  ///< Distribution
+
+    /** Current scalar reading (distributions report their count). */
+    u64 read() const;
+};
+
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Register a registry-owned counter; increment the reference. */
+    u64 &counter(const std::string &name, const char *unit,
+                 const char *help, const char *figure = "");
+
+    /** Adopt an external counter (e.g. a SimStats member). The
+     * pointee must outlive every snapshot. */
+    void adopt(const std::string &name, const u64 *value,
+               const char *unit, const char *help,
+               const char *figure = "");
+
+    /** Register a sampling distribution (registry-owned). */
+    Distribution &distribution(const std::string &name,
+                               const char *unit, const char *help);
+
+    /** Register a gauge sampled at snapshot time. */
+    void gauge(const std::string &name, const char *unit,
+               const char *help, std::function<u64()> sample);
+
+    /** Registration order, stable for the registry's lifetime. */
+    const std::deque<Metric> &metrics() const { return entries; }
+
+    size_t size() const { return entries.size(); }
+
+    /**
+     * One JSONL snapshot line (no trailing newline): a flat object of
+     * dotted metric names. Counters/gauges render as integers;
+     * distributions as {"count","sum","min","max","mean"} objects.
+     */
+    std::string snapshotJson(u64 cycle) const;
+
+    /** FNV-1a over (name, kind, unit) of every registered metric, in
+     * order -- the per-run schema fingerprint. */
+    u64 schemaHash() const;
+
+  private:
+    void add(Metric metric);
+
+    std::deque<Metric> entries;   // deque: stable references
+    std::deque<u64> ownedCounters;
+    std::deque<Distribution> ownedDists;
+    std::set<std::string> names;
+};
+
+/**
+ * A name-prefixing view of a registry: Group(reg, "sm0").group("warp3")
+ * registers under "sm0.warp3.<name>". Groups are cheap value types;
+ * the registry owns everything.
+ */
+class Group
+{
+  public:
+    Group(Registry &registry, std::string prefix)
+        : reg(registry), pre(std::move(prefix))
+    {
+    }
+
+    Group group(const std::string &sub) const
+    {
+        return Group(reg, join(sub));
+    }
+
+    u64 &
+    counter(const std::string &name, const char *unit,
+            const char *help, const char *figure = "")
+    {
+        return reg.counter(join(name), unit, help, figure);
+    }
+
+    void
+    adopt(const std::string &name, const u64 *value, const char *unit,
+          const char *help, const char *figure = "")
+    {
+        reg.adopt(join(name), value, unit, help, figure);
+    }
+
+    Distribution &
+    distribution(const std::string &name, const char *unit,
+                 const char *help)
+    {
+        return reg.distribution(join(name), unit, help);
+    }
+
+    void
+    gauge(const std::string &name, const char *unit, const char *help,
+          std::function<u64()> sample)
+    {
+        reg.gauge(join(name), unit, help, std::move(sample));
+    }
+
+    const std::string &prefix() const { return pre; }
+
+  private:
+    std::string join(const std::string &name) const
+    {
+        return pre.empty() ? name : pre + "." + name;
+    }
+
+    Registry &reg;
+    std::string pre;
+};
+
+/**
+ * Adopt every SimStats counter into `group` under its hierarchical
+ * metric name (SimStatsField::metric), e.g. group "sm0" yields
+ * "sm0.reuse.buffer.hits". The stats struct must outlive snapshots.
+ */
+void adoptSimStats(Group group, const SimStats &stats);
+
+/**
+ * Version of the metrics schema: the JSONL snapshot format version
+ * folded with the (metric name, unit) table of every SimStats field.
+ * Part of the persistent sweep cache key, so records written against
+ * an older schema are re-simulated rather than mis-served.
+ */
+u64 metricsSchemaHash();
+
+/** Bump when the JSONL snapshot line format changes shape. */
+inline constexpr unsigned kSnapshotFormatVersion = 1;
+
+/**
+ * The full, human-readable stats-schema reference: a markdown table
+ * of every SimStats counter (metric name, flat counter name, unit,
+ * consuming figures, description) followed by the per-SM instruments
+ * the observability session registers on top (gauges and
+ * distributions). `wirsim stats --describe` prints exactly this;
+ * docs/METRICS.md embeds it and a test keeps the two in sync.
+ */
+std::string describeSchema();
+
+} // namespace obs
+} // namespace wir
+
+#endif // WIR_OBS_REGISTRY_HH

@@ -1,0 +1,209 @@
+#include "obs/session.hh"
+
+#include <cinttypes>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+namespace
+{
+
+/** The instruments a session registers per SM on top of the adopted
+ * SimStats counters. One table feeds both registration and
+ * describeSchema() so the documentation cannot drift. */
+struct SmInstrument
+{
+    const char *suffix; ///< registered as "sm<N>.<suffix>"
+    const char *kind;   ///< "gauge" or "distribution"
+    const char *unit;
+    const char *help;
+};
+
+const SmInstrument kSmInstruments[] = {
+    {"reg.live", "gauge", "regs",
+     "physical registers in use when the snapshot was taken"},
+    {"mem.coalesce.lines", "distribution", "lines",
+     "memory lines per coalesced global-memory instruction"},
+    {"rf.bank.retry_burst", "distribution", "retries",
+     "bank-conflict retries per operand-read stage occurrence"},
+};
+
+std::string
+smName(SmId sm)
+{
+    return "sm" + std::to_string(sm);
+}
+
+} // anonymous namespace
+
+Session::Session(ObsConfig config) : cfg(std::move(config))
+{
+    if (!kEnabled &&
+        (!cfg.trace.path.empty() || cfg.statsInterval))
+        fatal("observability was disabled at compile time "
+              "(WIR_OBS_MINIMAL); rebuild without it to use "
+              "--trace/--stats-interval");
+    if (cfg.statsInterval && cfg.statsPath.empty())
+        fatal("--stats-interval needs an output path "
+              "(--stats-out FILE)");
+    if (cfg.trace.enabled())
+        trc = std::make_unique<Tracer>(cfg.trace);
+    nextSnapshot = cfg.statsInterval;
+}
+
+Session::~Session()
+{
+    if (stream)
+        std::fclose(stream);
+}
+
+const SmProbe &
+Session::smProbe(SmId sm)
+{
+    SmProbe &probe = probes.emplace_back();
+    probe.tracer = tracer();
+    Group group(reg, smName(sm));
+    // Registration order must match kSmInstruments (reg.live is the
+    // gauge added by attachSm).
+    probe.coalesceLines = &group.distribution(
+        "mem.coalesce.lines", kSmInstruments[1].unit,
+        kSmInstruments[1].help);
+    probe.bankRetries = &group.distribution(
+        "rf.bank.retry_burst", kSmInstruments[2].unit,
+        kSmInstruments[2].help);
+    if (trc)
+        trc->processName(sm, "SM " + std::to_string(sm));
+    return probe;
+}
+
+void
+Session::attachSm(SmId sm, const SimStats &stats,
+                  std::function<u64()> liveRegs)
+{
+    Group group(reg, smName(sm));
+    adoptSimStats(group, stats);
+    group.gauge("reg.live", kSmInstruments[0].unit,
+                kSmInstruments[0].help, std::move(liveRegs));
+}
+
+void
+Session::openStream()
+{
+    stream = std::fopen(cfg.statsPath.c_str(), "w");
+    if (!stream)
+        fatal("stats: cannot open '%s' for writing",
+              cfg.statsPath.c_str());
+    // Self-describing header line so consumers can hard-fail on
+    // schema drift instead of misreading counters.
+    std::fprintf(stream,
+                 "{\"schema\":{\"sim_version\":\"%s\","
+                 "\"stats_schema\":\"0x%016" PRIx64 "\","
+                 "\"metrics_schema\":\"0x%016" PRIx64 "\","
+                 "\"snapshot_format\":%u,"
+                 "\"interval\":%llu}}\n",
+                 kSimVersion, simStatsSchemaHash(),
+                 metricsSchemaHash(), kSnapshotFormatVersion,
+                 (unsigned long long)cfg.statsInterval);
+}
+
+void
+Session::snapshot(u64 cycle)
+{
+    wir_assert(!done);
+    if (!stream)
+        openStream();
+    std::string line = reg.snapshotJson(cycle);
+    std::fputs(line.c_str(), stream);
+    std::fputc('\n', stream);
+    snapshotCount++;
+    if (cfg.statsInterval) {
+        while (nextSnapshot <= cycle)
+            nextSnapshot += cfg.statsInterval;
+    }
+}
+
+void
+Session::finishRun(u64 finalCycle)
+{
+    wir_assert(!done);
+    if (cfg.statsInterval)
+        snapshot(finalCycle);
+    if (stream) {
+        if (std::fclose(stream) != 0)
+            fatal("stats: short write to '%s'", cfg.statsPath.c_str());
+        stream = nullptr;
+    }
+    if (trc)
+        trc->write();
+    done = true;
+}
+
+std::string
+describeSchema()
+{
+    std::ostringstream out;
+    char buf[160];
+
+    out << "### Schema identity\n\n";
+    std::snprintf(buf, sizeof buf, "- sim version: `%s`\n",
+                  kSimVersion);
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "- stats schema hash: `0x%016llx`\n",
+                  (unsigned long long)simStatsSchemaHash());
+    out << buf;
+    std::snprintf(buf, sizeof buf,
+                  "- metrics schema hash: `0x%016llx`\n",
+                  (unsigned long long)metricsSchemaHash());
+    out << buf;
+    std::snprintf(buf, sizeof buf, "- snapshot format: `v%u`\n",
+                  kSnapshotFormatVersion);
+    out << buf;
+    std::snprintf(buf, sizeof buf, "- counters: %zu\n",
+                  simStatsFields().size());
+    out << buf;
+
+    out << "\n### Counters\n\n"
+        << "In serialization order (the sweep result store writes"
+           " counters in exactly this order). `merge` is how per-SM"
+           " values aggregate into the GPU-wide total.\n\n"
+        << "| metric | counter | unit | merge | figures |"
+           " description |\n"
+        << "|---|---|---|---|---|---|\n";
+    for (const auto &field : simStatsFields()) {
+        out << "| `" << field.metric << "` | `" << field.name
+            << "` | " << field.unit << " | "
+            << (field.mergeMax ? "max" : "sum") << " | "
+            << (field.figure[0] ? field.figure : "-") << " | "
+            << field.help << " |\n";
+    }
+
+    out << "\n### Per-SM instruments\n\n"
+        << "Registered per run under `sm<N>.` in addition to that"
+           " SM's adopted counters.\n\n"
+        << "| metric | kind | unit | description |\n"
+        << "|---|---|---|---|\n";
+    for (const auto &inst : kSmInstruments) {
+        out << "| `sm<N>." << inst.suffix << "` | " << inst.kind
+            << " | " << inst.unit << " | " << inst.help << " |\n";
+    }
+
+    out << "\n### Snapshot stream (JSONL)\n\n"
+        << "With `--stats-interval N`, one JSON object per line:"
+           " first a `{\"schema\":{...}}` header carrying the hashes"
+           " above, then one `{\"cycle\":C,\"metrics\":{...}}` line"
+           " every N cycles plus a final line at the last cycle."
+           " Counters and gauges are integers; distributions are"
+           " `{\"count\",\"sum\",\"min\",\"max\",\"mean\"}`"
+           " objects.\n";
+    return out.str();
+}
+
+} // namespace obs
+} // namespace wir

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-run observability session: owns the stats registry, the
+ * optional event tracer, and the periodic JSONL snapshot stream for
+ * one simulation.
+ *
+ * A Session is created by the CLI/bench layer when the user asks for
+ * observability (--trace / --stats-interval), handed to the runner,
+ * and wired by Gpu::run: each SM gets an SmProbe (trace hooks +
+ * per-SM distributions) and has its SimStats counters adopted into
+ * the registry under "sm<N>.", so a snapshot line carries every
+ * counter of every SM mid-flight. Sessions are single-run: attach,
+ * run, finishRun, discard.
+ *
+ * Runs with a session attached bypass the sweep result cache -- a
+ * cached result has no issue stream to trace -- but their SimStats
+ * are bit-identical to uninstrumented runs (observers are passive; a
+ * tier-1 test asserts this).
+ */
+
+#ifndef WIR_OBS_SESSION_HH
+#define WIR_OBS_SESSION_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/probe.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+struct ObsConfig
+{
+    TraceConfig trace;
+    u64 statsInterval = 0;   ///< snapshot every N cycles; 0 = off
+    std::string statsPath;   ///< JSONL sink; required when interval > 0
+
+    bool
+    wantsAnything() const
+    {
+        return kEnabled && (trace.enabled() || statsInterval > 0);
+    }
+};
+
+class Session
+{
+  public:
+    explicit Session(ObsConfig config);
+    ~Session();
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    Registry &registry() { return reg; }
+    Tracer *tracer() { return trc ? trc.get() : nullptr; }
+    const ObsConfig &config() const { return cfg; }
+
+    /**
+     * Create the probe an Sm carries into its pipeline: the shared
+     * tracer plus per-SM distributions. Stable for the session's
+     * lifetime. Called once per SM by Gpu::run.
+     */
+    const SmProbe &smProbe(SmId sm);
+
+    /**
+     * Adopt one SM's SimStats counters into the registry under
+     * "sm<N>." and register its live-register gauge. `stats` and
+     * `liveRegs` must stay valid until finishRun().
+     */
+    void attachSm(SmId sm, const SimStats &stats,
+                  std::function<u64()> liveRegs);
+
+    /** Cheap per-cycle check: is a snapshot due at `cycle`? */
+    bool
+    snapshotDue(u64 cycle) const
+    {
+        return cfg.statsInterval && cycle >= nextSnapshot;
+    }
+
+    /** Emit one JSONL snapshot line for `cycle`. */
+    void snapshot(u64 cycle);
+
+    /**
+     * End-of-run: emit the final snapshot, close the stream, and
+     * write the trace file. Gpu::run calls this before its SMs are
+     * destroyed (the registry holds pointers into them).
+     */
+    void finishRun(u64 finalCycle);
+
+    bool finished() const { return done; }
+
+    /** Snapshot lines written (including the final one). */
+    u64 snapshotsWritten() const { return snapshotCount; }
+
+  private:
+    void openStream();
+
+    ObsConfig cfg;
+    Registry reg;
+    std::unique_ptr<Tracer> trc;
+    std::deque<SmProbe> probes;
+    std::FILE *stream = nullptr;
+    u64 nextSnapshot = 0;
+    u64 snapshotCount = 0;
+    bool done = false;
+};
+
+} // namespace obs
+} // namespace wir
+
+#endif // WIR_OBS_SESSION_HH

@@ -1,0 +1,448 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+namespace
+{
+
+struct CatName
+{
+    const char *name;
+    u32 bit;
+};
+
+const CatName kCatNames[] = {
+    {"pipe", CatPipe},   {"reuse", CatReuse}, {"mem", CatMem},
+    {"sched", CatSched}, {"check", CatCheck}, {"occ", CatOcc},
+};
+
+} // anonymous namespace
+
+u32
+parseTraceCats(const std::string &csv)
+{
+    if (csv.empty() || csv == "all")
+        return CatAll;
+    u32 mask = 0;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string token = csv.substr(pos, comma - pos);
+        bool known = false;
+        for (const auto &cat : kCatNames) {
+            if (token == cat.name) {
+                mask |= cat.bit;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            fatal("unknown trace category '%s' (valid: pipe, reuse, "
+                  "mem, sched, check, occ, all)", token.c_str());
+        pos = comma + 1;
+        if (comma == csv.size())
+            break;
+    }
+    return mask;
+}
+
+std::string
+traceCatsToString(u32 cats)
+{
+    if ((cats & CatAll) == CatAll)
+        return "all";
+    std::string out;
+    for (const auto &cat : kCatNames) {
+        if (cats & cat.bit) {
+            if (!out.empty())
+                out += ',';
+            out += cat.name;
+        }
+    }
+    return out;
+}
+
+Tracer::Tracer(TraceConfig config) : cfg(std::move(config))
+{
+    // A generous default reservation avoids growth reallocations in
+    // the common (small-window) case without committing the cap.
+    events.reserve(std::min<u64>(cfg.maxEvents, 1u << 16));
+}
+
+void
+Tracer::post(TraceEvent ev)
+{
+    if (full)
+        return;
+    if (events.size() >= cfg.maxEvents) {
+        full = true;
+        warn("trace: event cap (%llu) reached at cycle %llu -- "
+             "output truncated; narrow the window with --trace-start/"
+             "--trace-end or filter with --trace-cats",
+             (unsigned long long)cfg.maxEvents,
+             (unsigned long long)ev.ts);
+        return;
+    }
+    events.push_back(ev);
+}
+
+void
+Tracer::processName(u32 pid, const std::string &name)
+{
+    nameRows.push_back({pid, 0, false, name});
+}
+
+void
+Tracer::threadName(u32 pid, u32 tid, const std::string &name)
+{
+    nameRows.push_back({pid, tid, true, name});
+}
+
+namespace
+{
+
+void
+appendU64(std::string &out, u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)v);
+    out += buf;
+}
+
+void
+appendCommon(std::string &out, const char *name, char phase, u64 ts,
+             u32 pid, u32 tid)
+{
+    out += "{\"name\":\"";
+    out += name; // event names are literals: no escaping needed
+    out += "\",\"ph\":\"";
+    out += phase;
+    out += "\",\"ts\":";
+    appendU64(out, ts);
+    out += ",\"pid\":";
+    appendU64(out, pid);
+    out += ",\"tid\":";
+    appendU64(out, tid);
+}
+
+} // anonymous namespace
+
+std::string
+Tracer::json() const
+{
+    std::string out;
+    out.reserve(128 + events.size() * 96 + nameRows.size() * 64);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    for (const NameRow &row : nameRows) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":\"";
+        out += row.thread ? "thread_name" : "process_name";
+        out += "\",\"ph\":\"M\",\"ts\":0,\"pid\":";
+        appendU64(out, row.pid);
+        out += ",\"tid\":";
+        appendU64(out, row.tid);
+        out += ",\"args\":{\"name\":\"";
+        out += row.name; // process/thread names are sim-generated
+        out += "\"}}";
+    }
+    for (const TraceEvent &ev : events) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendCommon(out, ev.name, ev.phase, ev.ts, ev.pid, ev.tid);
+        out += ",\"cat\":\"";
+        out += traceCatsToString(ev.cat);
+        out += '"';
+        if (ev.phase == 'X') {
+            out += ",\"dur\":";
+            appendU64(out, ev.dur);
+        }
+        if (ev.phase == 'i')
+            out += ",\"s\":\"t\""; // thread-scoped instant
+        if (ev.key0) {
+            out += ",\"args\":{\"";
+            out += ev.key0;
+            out += "\":";
+            appendU64(out, ev.val0);
+            if (ev.key1) {
+                out += ",\"";
+                out += ev.key1;
+                out += "\":";
+                appendU64(out, ev.val1);
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+Tracer::write() const
+{
+    std::string text = json();
+    std::FILE *fp = std::fopen(cfg.path.c_str(), "w");
+    if (!fp)
+        fatal("trace: cannot open '%s' for writing", cfg.path.c_str());
+    size_t wrote = std::fwrite(text.data(), 1, text.size(), fp);
+    bool ok = wrote == text.size() && std::fclose(fp) == 0;
+    if (!ok)
+        fatal("trace: short write to '%s'", cfg.path.c_str());
+}
+
+/*
+ * Minimal recursive-descent JSON reader, just enough to structurally
+ * validate tracer output (and reject corrupted files) without pulling
+ * in a JSON dependency.
+ */
+namespace
+{
+
+struct JsonReader
+{
+    const char *p;
+    const char *end;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            p++;
+    }
+
+    bool literal(const char *text)
+    {
+        size_t n = std::strlen(text);
+        if (size_t(end - p) < n || std::strncmp(p, text, n) != 0)
+            return fail(std::string("expected '") + text + "'");
+        p += n;
+        return true;
+    }
+
+    bool string(std::string *out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        p++;
+        std::string value;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                p++;
+                if (p >= end)
+                    return fail("dangling escape");
+                switch (*p) {
+                  case '"': value += '"'; break;
+                  case '\\': value += '\\'; break;
+                  case '/': value += '/'; break;
+                  case 'b': case 'f': case 'n': case 'r': case 't':
+                    value += ' ';
+                    break;
+                  case 'u':
+                    if (end - p < 5)
+                        return fail("short \\u escape");
+                    p += 4;
+                    value += '?';
+                    break;
+                  default:
+                    return fail("bad escape");
+                }
+                p++;
+            } else {
+                value += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        p++; // closing quote
+        if (out)
+            *out = std::move(value);
+        return true;
+    }
+
+    bool number()
+    {
+        skipWs();
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            p++;
+        while (p < end && (std::isdigit(u8(*p)) || *p == '.' ||
+                           *p == 'e' || *p == 'E' || *p == '-' ||
+                           *p == '+'))
+            p++;
+        if (p == start)
+            return fail("expected number");
+        return true;
+    }
+
+    /** Parse any value; if `keysOut` is non-null and the value is an
+     * object, collect its top-level key names. */
+    bool value(std::vector<std::string> *keysOut = nullptr)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': return object(keysOut, nullptr);
+          case '[': return array(nullptr);
+          case '"': return string(nullptr);
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    /** Parse an object. Collects key names into `keysOut` and, when
+     * `onMember` is given, dispatches each member's value parse. */
+    bool object(std::vector<std::string> *keysOut,
+                const std::function<bool(JsonReader &,
+                                         const std::string &)> *onMember)
+    {
+        skipWs();
+        if (p >= end || *p != '{')
+            return fail("expected object");
+        p++;
+        skipWs();
+        if (p < end && *p == '}') {
+            p++;
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!string(&key))
+                return false;
+            if (keysOut)
+                keysOut->push_back(key);
+            skipWs();
+            if (p >= end || *p != ':')
+                return fail("expected ':'");
+            p++;
+            bool ok = onMember ? (*onMember)(*this, key) : value();
+            if (!ok)
+                return false;
+            skipWs();
+            if (p < end && *p == ',') {
+                p++;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                p++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    /** Parse an array, calling `onElement` for each element when
+     * given (else generic value parse). */
+    bool array(const std::function<bool(JsonReader &)> *onElement)
+    {
+        skipWs();
+        if (p >= end || *p != '[')
+            return fail("expected array");
+        p++;
+        skipWs();
+        if (p < end && *p == ']') {
+            p++;
+            return true;
+        }
+        while (true) {
+            bool ok = onElement ? (*onElement)(*this) : value();
+            if (!ok)
+                return false;
+            skipWs();
+            if (p < end && *p == ',') {
+                p++;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                p++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // anonymous namespace
+
+bool
+validateTraceJson(const std::string &text, size_t &eventsOut,
+                  std::string &errorOut)
+{
+    JsonReader r{text.data(), text.data() + text.size(), {}};
+    size_t count = 0;
+    bool sawTraceEvents = false;
+
+    std::function<bool(JsonReader &)> onEvent =
+        [&](JsonReader &reader) {
+            std::vector<std::string> keys;
+            if (!reader.object(&keys, nullptr))
+                return false;
+            count++;
+            for (const char *required : {"name", "ph", "ts", "pid"}) {
+                bool found = false;
+                for (const auto &key : keys)
+                    found = found || key == required;
+                if (!found)
+                    return reader.fail(
+                        std::string("event missing required key '") +
+                        required + "'");
+            }
+            return true;
+        };
+
+    std::function<bool(JsonReader &, const std::string &)> onTop =
+        [&](JsonReader &reader, const std::string &key) {
+            if (key == "traceEvents") {
+                sawTraceEvents = true;
+                return reader.array(&onEvent);
+            }
+            return reader.value();
+        };
+
+    if (!r.object(nullptr, &onTop)) {
+        errorOut = r.error.empty() ? "parse error" : r.error;
+        return false;
+    }
+    r.skipWs();
+    if (r.p != r.end) {
+        errorOut = "trailing data after top-level object";
+        return false;
+    }
+    if (!sawTraceEvents) {
+        errorOut = "missing 'traceEvents' array";
+        return false;
+    }
+    eventsOut = count;
+    return true;
+}
+
+} // namespace obs
+} // namespace wir

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Opt-in cycle-level event tracer emitting Chrome trace_event JSON.
+ *
+ * The simulator's pipeline hooks post events -- instruction
+ * lifetimes, reuse hits and fallbacks, bank conflicts, cache
+ * outcomes, occupancy counters -- and the tracer buffers them until
+ * the run finishes, then writes a single JSON object loadable in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+ *
+ * Layout in the viewer: each SM is a process (pid = SM id), each warp
+ * a thread within it (tid = warp id), so per-warp instruction spans
+ * nest naturally; memory partitions are processes at pid 1000+id.
+ * Timestamps are simulated cycles (displayTimeUnit "ns": 1 cycle
+ * renders as 1 ns).
+ *
+ * Every posting site guards with `tracer && tracer->wants(cat, now)`
+ * so a disabled build (-DWIR_OBS_MINIMAL) folds the hook to nothing
+ * and an enabled-but-untraced run pays one null-pointer test.
+ */
+
+#ifndef WIR_OBS_TRACE_HH
+#define WIR_OBS_TRACE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wir
+{
+namespace obs
+{
+
+#ifdef WIR_OBS_MINIMAL
+inline constexpr bool kTraceEnabled = false;
+#else
+inline constexpr bool kTraceEnabled = true;
+#endif
+
+/** Event categories, selectable via --trace-cats. */
+enum TraceCat : u32
+{
+    CatPipe  = 1u << 0, ///< per-instruction pipeline spans
+    CatReuse = 1u << 1, ///< reuse buffer hits/misses/pending
+    CatMem   = 1u << 2, ///< L1/L2/DRAM outcomes, coalescing
+    CatSched = 1u << 3, ///< warp scheduling / CTA launches
+    CatCheck = 1u << 4, ///< audits, faults, quarantines
+    CatOcc   = 1u << 5, ///< occupancy counter tracks
+    CatAll   = 0x3f,
+};
+
+/** "pipe,reuse,mem,sched,check,occ" or "all" -> bitmask;
+ * unknown names are a ConfigError. */
+u32 parseTraceCats(const std::string &csv);
+
+/** Bitmask -> canonical csv (for metadata / --describe output). */
+std::string traceCatsToString(u32 cats);
+
+struct TraceConfig
+{
+    std::string path;         ///< output file; empty = tracing off
+    u32 categories = CatAll;
+    u64 startCycle = 0;       ///< inclusive window start
+    u64 endCycle = ~u64{0};   ///< exclusive window end
+    u64 maxEvents = 4u << 20; ///< hard cap; truncation is recorded
+
+    bool enabled() const { return kTraceEnabled && !path.empty(); }
+};
+
+/**
+ * One buffered trace event. Names and arg keys must be string
+ * literals (or otherwise outlive the tracer): events store pointers,
+ * not copies, to keep posting allocation-free.
+ */
+struct TraceEvent
+{
+    const char *name;
+    char phase;     ///< 'X' complete, 'i' instant, 'C' counter
+    u32 cat;
+    u64 ts;         ///< cycle
+    u64 dur;        ///< 'X' only
+    u32 pid;
+    u32 tid;
+    const char *key0; ///< nullptr = no args
+    u64 val0;
+    const char *key1; ///< nullptr = at most one arg
+    u64 val1;
+};
+
+class Tracer
+{
+  public:
+    explicit Tracer(TraceConfig config);
+
+    /** Fast inline guard: should an event in `cat` at `now` post? */
+    bool
+    wants(u32 cat, u64 now) const
+    {
+        return kTraceEnabled && (cat & cfg.categories) &&
+               now >= cfg.startCycle && now < cfg.endCycle &&
+               !full;
+    }
+
+    /** Instantaneous event ('i'), thread-scoped. */
+    void
+    instant(u32 cat, const char *name, u64 now, u32 pid, u32 tid,
+            const char *key0 = nullptr, u64 val0 = 0,
+            const char *key1 = nullptr, u64 val1 = 0)
+    {
+        post({name, 'i', cat, now, 0, pid, tid, key0, val0, key1, val1});
+    }
+
+    /** Complete event ('X') spanning [start, start+dur). */
+    void
+    span(u32 cat, const char *name, u64 start, u64 dur, u32 pid,
+         u32 tid, const char *key0 = nullptr, u64 val0 = 0,
+         const char *key1 = nullptr, u64 val1 = 0)
+    {
+        post({name, 'X', cat, start, dur, pid, tid, key0, val0,
+              key1, val1});
+    }
+
+    /** Counter track sample ('C'). */
+    void
+    counter(u32 cat, const char *name, u64 now, u32 pid,
+            const char *key, u64 value)
+    {
+        post({name, 'C', cat, now, 0, pid, 0, key, value,
+              nullptr, 0});
+    }
+
+    /** Label a process (SM / memory partition) in the viewer. */
+    void processName(u32 pid, const std::string &name);
+
+    /** Label a thread (warp) in the viewer. */
+    void threadName(u32 pid, u32 tid, const std::string &name);
+
+    size_t eventCount() const { return events.size(); }
+    bool truncated() const { return full; }
+    const TraceConfig &config() const { return cfg; }
+
+    /** Render the complete Chrome trace JSON object. */
+    std::string json() const;
+
+    /** Render and write to cfg.path (fatal on I/O failure). */
+    void write() const;
+
+  private:
+    void post(TraceEvent ev);
+
+    TraceConfig cfg;
+    std::vector<TraceEvent> events;
+    /// (pid, tid, name) metadata rows; tid unused for process names.
+    struct NameRow { u32 pid; u32 tid; bool thread; std::string name; };
+    std::vector<NameRow> nameRows;
+    bool full = false;
+};
+
+/**
+ * Structural validator for Chrome trace JSON (used by tests and
+ * `wirsim trace --check`): parses the document with a small
+ * recursive-descent JSON reader and checks that `traceEvents` is an
+ * array of objects each carrying name/ph/ts/pid (args optional).
+ * Returns true and sets `eventsOut` on success; on failure returns
+ * false with a diagnostic in `errorOut`.
+ */
+bool validateTraceJson(const std::string &text, size_t &eventsOut,
+                       std::string &errorOut);
+
+} // namespace obs
+} // namespace wir
+
+#endif // WIR_OBS_TRACE_HH

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "mem/memory_partition.hh"
+#include "obs/dispatch.hh"
 #include "timing/sm.hh"
 
 namespace wir
@@ -18,22 +19,48 @@ Gpu::Gpu(MachineConfig machine_, DesignConfig design_)
 
 SimStats
 Gpu::run(const Kernel &kernel, MemoryImage &image,
-         IssueObserver *observer)
+         IssueObserver *observer, obs::Session *session)
 {
     kernel.validate();
     image.setConstSegment(kernel.constSegment);
 
+    u64 watchdog = machine.check.watchdogCycles;
+
+    // All observers -- user-supplied and the watchdog's progress
+    // counters -- share one dispatch, so there is a single walk of
+    // the issue stream no matter how many clients attach.
+    obs::IssueDispatch dispatch;
+    dispatch.add(observer);
+    IssueObserver *sink =
+        (!dispatch.empty() || watchdog) ? &dispatch : nullptr;
+
     std::vector<MemoryPartition> partitions;
     partitions.reserve(machine.l2Partitions);
-    for (unsigned p = 0; p < machine.l2Partitions; p++)
+    for (unsigned p = 0; p < machine.l2Partitions; p++) {
         partitions.emplace_back(machine);
+        if (session && session->tracer()) {
+            partitions.back().attachTracer(
+                session->tracer(), obs::kPartitionPidBase + p);
+            session->tracer()->processName(
+                obs::kPartitionPidBase + p,
+                "L2 partition " + std::to_string(p));
+        }
+    }
 
     std::vector<std::unique_ptr<Sm>> sms;
     sms.reserve(machine.numSms);
     for (unsigned s = 0; s < machine.numSms; s++) {
+        obs::SmProbe probe;
+        if (session)
+            probe = session->smProbe(static_cast<SmId>(s));
         sms.push_back(std::make_unique<Sm>(
             static_cast<SmId>(s), machine, design, kernel, image,
-            partitions, observer));
+            partitions, sink, probe));
+        if (session) {
+            Sm *sm = sms.back().get();
+            session->attachSm(static_cast<SmId>(s), sm->smStats(),
+                              [sm] { return sm->livePhysRegs(); });
+        }
     }
 
     // CTA scheduler state: blocks issued in row-major grid order.
@@ -65,19 +92,14 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     u64 maxCycles = machine.maxCycles ? machine.maxCycles
                                       : u64{200} * 1000 * 1000;
 
-    // Forward-progress watchdog: if no instruction commits anywhere
-    // on the GPU for watchdogCycles, the machine is deadlocked (e.g.
-    // a barrier some warp can never reach) -- dump per-warp pipeline
-    // diagnostics instead of spinning to the cycle limit.
-    //
-    // Summing warpInstsCommitted across SMs is O(numSms); doing it
-    // every cycle made the base simulation loop pay for the watchdog
-    // even when it never fires, so the check runs on a stride. A hung
-    // machine is detected within watchdogCycles + kWatchdogStride
-    // cycles, which is noise against the default 2^20-cycle budget.
-    constexpr Cycle kWatchdogStride = 64;
-    u64 watchdog = machine.check.watchdogCycles;
-    u64 lastCommitted = 0;
+    // Forward-progress watchdog: if no instruction issues or commits
+    // anywhere on the GPU for watchdogCycles, the machine is
+    // deadlocked (e.g. a barrier some warp can never reach) -- dump
+    // per-warp pipeline diagnostics instead of spinning to the cycle
+    // limit. The dispatch maintains the GPU-wide progress counter as
+    // events happen, so the check is O(1) and runs every cycle
+    // (previously it re-summed per-SM commit counters on a stride).
+    u64 lastSeen = 0;
     Cycle lastProgress = 0;
 
     while (true) {
@@ -93,12 +115,10 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         if (nextBlock < totalBlocks)
             tryLaunch();
 
-        if (watchdog && anyBusy && now % kWatchdogStride == 0) {
-            u64 committed = 0;
-            for (auto &sm : sms)
-                committed += sm->smStats().warpInstsCommitted;
-            if (committed != lastCommitted) {
-                lastCommitted = committed;
+        if (watchdog && anyBusy) {
+            u64 seen = dispatch.progress();
+            if (seen != lastSeen) {
+                lastSeen = seen;
                 lastProgress = now;
             } else if (now - lastProgress >= watchdog) {
                 for (auto &sm : sms) {
@@ -106,11 +126,14 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
                         warn("%s", sm->progressReport().c_str());
                 }
                 panic("kernel '%s': watchdog fired -- no instruction "
-                      "committed GPU-wide for %llu cycles (deadlock)",
-                      kernel.name.c_str(),
+                      "issued or committed GPU-wide for %llu cycles "
+                      "(deadlock)", kernel.name.c_str(),
                       static_cast<unsigned long long>(watchdog));
             }
         }
+
+        if (session && session->snapshotDue(now))
+            session->snapshot(now);
 
         now++;
         if (now > maxCycles) {
@@ -126,6 +149,8 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         sm->finalize();
         merged += sm->smStats();
     }
+    if (session)
+        session->finishRun(now);
     return merged;
 }
 

@@ -12,6 +12,7 @@
 #include "common/stats.hh"
 #include "func/memory_image.hh"
 #include "isa/kernel.hh"
+#include "obs/session.hh"
 #include "timing/observer.hh"
 
 namespace wir
@@ -25,10 +26,21 @@ class Gpu
     /**
      * Run one kernel to completion against the given memory image
      * (which receives all global-memory side effects).
+     *
+     * `observer` (optional, passive) sees the issue stream; it is
+     * fanned out through one obs::IssueDispatch together with the
+     * forward-progress watchdog, so attaching observers cannot change
+     * what the watchdog sees (or any simulation result).
+     *
+     * `session` (optional) enables structured observability: per-SM
+     * counters adopted into its registry, trace hooks armed, periodic
+     * snapshots streamed, and Session::finishRun() called before the
+     * SMs are torn down.
      * @return merged statistics (cycles = longest SM; counters summed)
      */
     SimStats run(const Kernel &kernel, MemoryImage &image,
-                 IssueObserver *observer = nullptr);
+                 IssueObserver *observer = nullptr,
+                 obs::Session *session = nullptr);
 
     const MachineConfig &machineConfig() const { return machine; }
     const DesignConfig &designConfig() const { return design; }

@@ -23,13 +23,14 @@ failKindName(FailKind kind)
 
 RunResult
 runWorkload(Workload &&workload, const DesignConfig &design,
-            const MachineConfig &machine)
+            const MachineConfig &machine, obs::Session *session)
 {
     Gpu gpu(machine, design);
     RunResult out;
     out.workload = workload.abbr;
     out.design = design.name;
-    out.stats = gpu.run(workload.kernel, workload.image);
+    out.stats = gpu.run(workload.kernel, workload.image, nullptr,
+                        session);
     out.energy = computeEnergy(out.stats);
     out.finalMemory = workload.image.snapshotGlobal();
     out.finalMemoryDigest =
@@ -40,9 +41,9 @@ runWorkload(Workload &&workload, const DesignConfig &design,
 
 RunResult
 runOne(const WorkloadInfo &info, const DesignConfig &design,
-       const MachineConfig &machine)
+       const MachineConfig &machine, obs::Session *session)
 {
-    return runWorkload(info.make(), design, machine);
+    return runWorkload(info.make(), design, machine, session);
 }
 
 RunResult
@@ -63,12 +64,13 @@ runWorkloadSafe(const std::string &abbr, const DesignConfig &design,
 }
 
 ReuseProfiler::Result
-profileWorkload(const WorkloadInfo &info, const MachineConfig &machine)
+profileWorkload(const WorkloadInfo &info, const MachineConfig &machine,
+                obs::Session *session)
 {
     Workload workload = info.make();
     ReuseProfiler profiler(machine.numSms);
     Gpu gpu(machine, designBase());
-    gpu.run(workload.kernel, workload.image, &profiler);
+    gpu.run(workload.kernel, workload.image, &profiler, session);
     return profiler.result();
 }
 

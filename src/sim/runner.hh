@@ -69,13 +69,16 @@ struct RunResult
     }
 };
 
-/** Run one workload instance under one design. */
+/** Run one workload instance under one design. `session` (optional)
+ * attaches the observability layer (tracing/snapshots) to the run. */
 RunResult runOne(const WorkloadInfo &info, const DesignConfig &design,
-                 const MachineConfig &machine = MachineConfig{});
+                 const MachineConfig &machine = MachineConfig{},
+                 obs::Session *session = nullptr);
 
 /** Run an already-built workload (consumes its memory image). */
 RunResult runWorkload(Workload &&workload, const DesignConfig &design,
-                      const MachineConfig &machine = MachineConfig{});
+                      const MachineConfig &machine = MachineConfig{},
+                      obs::Session *session = nullptr);
 
 /**
  * Build and run `abbr`, converting a SimError into a failed
@@ -89,10 +92,12 @@ RunResult runWorkloadSafe(const std::string &abbr,
                           const DesignConfig &design,
                           const MachineConfig &machine);
 
-/** Profile a workload's repeated computations (Fig. 2). */
+/** Profile a workload's repeated computations (Fig. 2). The profiler
+ * rides the same observer dispatch as any attached session. */
 ReuseProfiler::Result profileWorkload(
     const WorkloadInfo &info,
-    const MachineConfig &machine = MachineConfig{});
+    const MachineConfig &machine = MachineConfig{},
+    obs::Session *session = nullptr);
 
 } // namespace wir
 

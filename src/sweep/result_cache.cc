@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/version.hh"
+#include "obs/registry.hh"
 #include "sim/designs.hh"
 #include "sweep/signals.hh"
 
@@ -18,17 +19,21 @@ namespace
 {
 
 /** Shared prefix of every persistent key: simulator version plus
- * schema tripwires, so behavior or layout drift invalidates all
- * stored entries at once. */
+ * schema tripwires (serialization layout, energy record size, and
+ * the observability metrics schema), so behavior or layout drift
+ * invalidates all stored entries at once. */
 std::string
 keyPrefix()
 {
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%s|stats=%016llx|esz=%zu|",
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%s|stats=%016llx|esz=%zu|obs=%016llx|",
                   kSimVersion,
                   static_cast<unsigned long long>(
                       simStatsSchemaHash()),
-                  sizeof(EnergyBreakdown));
+                  sizeof(EnergyBreakdown),
+                  static_cast<unsigned long long>(
+                      obs::metricsSchemaHash()));
     return buf;
 }
 

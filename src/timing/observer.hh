@@ -31,6 +31,14 @@ class IssueObserver
                          const WarpValue srcs[3],
                          const WarpValue &result,
                          WarpMask active) = 0;
+
+    /**
+     * Called once per warp instruction leaving the pipeline through
+     * retire (control ops commit at issue and do not re-report).
+     * Default no-op: most observers only care about the issue stream;
+     * the GPU watchdog counts these for forward-progress detection.
+     */
+    virtual void onCommit(SmId sm) { (void)sm; }
 };
 
 } // namespace wir

@@ -19,9 +19,10 @@ constexpr unsigned l1HitLatency = 30;
 Sm::Sm(SmId id_, const MachineConfig &machine_,
        const DesignConfig &design_, const Kernel &kernel_,
        MemoryImage &image_, std::vector<MemoryPartition> &partitions_,
-       IssueObserver *observer_)
+       IssueObserver *observer_, obs::SmProbe probe_)
     : id(id_), machine(machine_), design(design_), kernel(kernel_),
       image(image_), partitions(partitions_), observer(observer_),
+      probe(probe_),
       warps(machine_.maxWarpsPerSm),
       blocks(machine_.maxBlocksPerSm),
       banks(machine_.regBankGroups),
@@ -139,6 +140,12 @@ Sm::launchBlock(BlockId blockId, u32 ctaX, u32 ctaY)
     }
     activeBlocks++;
 
+    if (probe.tracer && probe.tracer->wants(obs::CatSched, lastCycle)) {
+        probe.tracer->instant(obs::CatSched, "cta.launch", lastCycle,
+                              id, 0, "block", blockId, "warps",
+                              block.warpsTotal);
+    }
+
     if (reuse && design.policy == RegisterPolicy::CappedRegister)
         reuse->setRegCap(kernel.numRegs * activeWarps);
 }
@@ -147,6 +154,14 @@ bool
 Sm::busy() const
 {
     return activeBlocks > 0;
+}
+
+u64
+Sm::livePhysRegs() const
+{
+    if (reuse)
+        return reuse->physRegs().inUse();
+    return u64{activeWarps} * kernel.numRegs;
 }
 
 unsigned
@@ -343,6 +358,13 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
     if (isControl(inst.op)) {
         if (observer)
             observer->onIssue(id, inst, in.src, WarpValue{}, active);
+        if (probe.tracer && probe.tracer->wants(obs::CatSched, now) &&
+            (inst.op == Op::BAR || inst.op == Op::EXIT)) {
+            probe.tracer->instant(
+                obs::CatSched,
+                inst.op == Op::BAR ? "barrier.arrive" : "warp.exit",
+                now, id, warpId, "pc", inst.pc);
+        }
         handleControlAtIssue(warpId, inst, active, in.src[0]);
         stats.warpInstsCommitted++;
         if (reuse)
@@ -482,9 +504,16 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
 
     if (isLoad(fly.inst->op))
         stats.loadReuseLookups++;
+    bool traced = probe.tracer &&
+                  probe.tracer->wants(obs::CatReuse, now);
     auto hit = reuse->lookup(fly.tag, fly.barrierCount, fly.tbid);
     switch (hit.kind) {
       case ReuseBuffer::Lookup::Kind::Hit:
+        if (traced) {
+            probe.tracer->instant(obs::CatReuse, "reuse.hit", now, id,
+                                  fly.warp, "pc", fly.inst->pc,
+                                  "phys", hit.result);
+        }
         fly.isReuseHit = true;
         fly.alloc.phys = hit.result;
         fly.stage = Stage::Retire;
@@ -493,15 +522,29 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
         return;
       case ReuseBuffer::Lookup::Kind::HitPending:
         if (design.enablePendingRetry && pendq.push(handle)) {
+            if (traced) {
+                probe.tracer->instant(obs::CatReuse,
+                                      "reuse.hit_pending", now, id,
+                                      fly.warp, "pc", fly.inst->pc);
+            }
             fly.stage = Stage::PendingWait;
             fly.ready = ~Cycle{0};
             return;
         }
         stats.pendingQueueFull++;
+        if (traced) {
+            probe.tracer->instant(obs::CatReuse, "reuse.pendq_full",
+                                  now, id, fly.warp, "pc",
+                                  fly.inst->pc);
+        }
         fly.stage = Stage::OperandRead;
         fly.ready = now + 1;
         return;
       case ReuseBuffer::Lookup::Kind::Miss:
+        if (traced) {
+            probe.tracer->instant(obs::CatReuse, "reuse.miss", now, id,
+                                  fly.warp, "pc", fly.inst->pc);
+        }
         if (design.enablePendingRetry)
             reuse->reserve(fly.tag, fly.barrierCount, fly.tbid);
         fly.stage = Stage::OperandRead;
@@ -514,6 +557,7 @@ void
 Sm::stageOperandRead(InFlight &fly, Cycle now)
 {
     const auto &tr = traits(fly.inst->op);
+    u64 retriesBefore = stats.rfBankRetries;
     Cycle done = now;
     for (unsigned s = 0; s < tr.numSrcs; s++) {
         if (!fly.inst->srcs[s].isReg())
@@ -522,6 +566,15 @@ Sm::stageOperandRead(InFlight &fly, Cycle now)
         Cycle readDone = banks.read(bankGroupOfSrc(fly, s), now,
                                     affine, stats);
         done = std::max(done, readDone);
+    }
+    if (u64 retries = stats.rfBankRetries - retriesBefore) {
+        if (probe.bankRetries)
+            probe.bankRetries->record(retries);
+        if (probe.tracer && probe.tracer->wants(obs::CatPipe, now)) {
+            probe.tracer->instant(obs::CatPipe, "rf.conflict", now, id,
+                                  fly.warp, "retries", retries, "pc",
+                                  fly.inst->pc);
+        }
     }
     fly.stage = isMemOp(fly.inst->op) ? Stage::Memory : Stage::Execute;
     fly.ready = std::max(done, now + 1);
@@ -628,8 +681,17 @@ Sm::stageMemory(InFlight &fly, Cycle now)
       case MemSpace::Global: {
           auto lines = coalesce(fly.memAddrs, fly.activeMask,
                                 machine.lineBytes);
+          if (probe.coalesceLines)
+              probe.coalesceLines->record(lines.size());
+          u64 missesBefore = stats.l1Misses;
           done = globalMemAccess(lines, isStore(fly.inst->op),
                                  aguDone);
+          if (probe.tracer && probe.tracer->wants(obs::CatMem, now)) {
+              probe.tracer->instant(obs::CatMem, "mem.global", now, id,
+                                    fly.warp, "lines", lines.size(),
+                                    "l1_misses",
+                                    stats.l1Misses - missesBefore);
+          }
           break;
       }
       default:
@@ -662,6 +724,8 @@ Sm::stageRegAlloc(InFlight &fly, Cycle now)
     }
     fly.stallCount = 0;
 
+    u64 retriesBefore = stats.rfBankRetries;
+
     // Hash generation + VSB table access: 2 cycles (Section VII-E).
     Cycle done = now + 2;
 
@@ -685,6 +749,16 @@ Sm::stageRegAlloc(InFlight &fly, Cycle now)
         done = std::max(done,
                         banks.write(bankGroupOfDst(fly), done, false,
                                     stats));
+    }
+
+    if (u64 retries = stats.rfBankRetries - retriesBefore) {
+        if (probe.bankRetries)
+            probe.bankRetries->record(retries);
+        if (probe.tracer && probe.tracer->wants(obs::CatPipe, now)) {
+            probe.tracer->instant(obs::CatPipe, "rf.conflict", now, id,
+                                  fly.warp, "retries", retries, "pc",
+                                  fly.inst->pc);
+        }
     }
 
     fly.stage = Stage::Retire;
@@ -732,6 +806,17 @@ Sm::retire(InFlight &fly, u32 handle, Cycle now)
 
     warp.scoreboard.release(*fly.inst);
     stats.warpInstsCommitted++;
+    if (observer)
+        observer->onCommit(id);
+
+    if (probe.tracer && probe.tracer->wants(obs::CatPipe, now)) {
+        // One span per instruction lifetime, issue through retire;
+        // trait names are string literals, safe to keep by pointer.
+        probe.tracer->span(obs::CatPipe, traits(fly.inst->op).name.data(),
+                           fly.issueCycle, now - fly.issueCycle + 1,
+                           id, fly.warp, "pc", fly.inst->pc, "reused",
+                           fly.isReuseHit ? 1 : 0);
+    }
 
     wir_assert(warp.inflightCount > 0);
     warp.inflightCount--;
@@ -798,6 +883,11 @@ Sm::retryPending(Cycle now)
 
     auto hit = reuse->lookup(fly.tag, fly.barrierCount, fly.tbid);
     if (hit.kind == ReuseBuffer::Lookup::Kind::Hit) {
+        if (probe.tracer && probe.tracer->wants(obs::CatReuse, now)) {
+            probe.tracer->instant(obs::CatReuse, "reuse.pending_hit",
+                                  now, id, fly.warp, "pc",
+                                  fly.inst->pc);
+        }
         fly.isReuseHit = true;
         fly.viaPending = true;
         fly.alloc.phys = hit.result;
@@ -891,6 +981,19 @@ Sm::cycle(Cycle now)
                           u64{activeWarps} * kernel.numRegs);
     }
 
+    // Occupancy counter tracks, sampled on a stride: per-cycle
+    // samples would dominate the trace without adding information at
+    // Perfetto zoom levels.
+    constexpr Cycle kOccStride = 32;
+    if (probe.tracer && now % kOccStride == 0 &&
+        probe.tracer->wants(obs::CatOcc, now)) {
+        probe.tracer->counter(obs::CatOcc, "active_warps", now, id,
+                              "warps", activeWarps);
+        probe.tracer->counter(obs::CatOcc, "inflight", now, id,
+                              "insts",
+                              inflightCapacity - freeHandles.size());
+    }
+
     // Robustness hooks run at cycle end, injection first, so a
     // corruption is audited before any stage can consume it.
     if (injector.due(now))
@@ -939,6 +1042,10 @@ Sm::tryInjectFault(Cycle now)
     if (landed) {
         injector.markApplied();
         stats.faultsInjected++;
+        if (probe.tracer && probe.tracer->wants(obs::CatCheck, now)) {
+            probe.tracer->instant(obs::CatCheck, "fault.injected", now,
+                                  id, 0);
+        }
         warn("SM %u: injected fault '%s' at cycle %llu", id,
              faultClassName(injector.cls()),
              static_cast<unsigned long long>(now));
@@ -949,6 +1056,8 @@ void
 Sm::auditNow(Cycle now)
 {
     stats.invariantAudits++;
+    if (probe.tracer && probe.tracer->wants(obs::CatCheck, now))
+        probe.tracer->instant(obs::CatCheck, "audit", now, id, 0);
 
     // References owned by in-flight instructions: renamed sources,
     // the old destination, and any result register picked up between
@@ -1087,6 +1196,8 @@ Sm::quarantine(const std::string &why, Cycle now)
     wir_assert(reuse && !quarantined);
     quarantined = true;
     stats.reuseFallbacks++;
+    if (probe.tracer && probe.tracer->wants(obs::CatCheck, now))
+        probe.tracer->instant(obs::CatCheck, "quarantine", now, id, 0);
     warn("SM %u: reuse invariant violated at cycle %llu, falling "
          "back to base execution: %s", id,
          static_cast<unsigned long long>(now), why.c_str());

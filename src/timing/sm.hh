@@ -32,6 +32,7 @@
 #include "isa/kernel.hh"
 #include "mem/cache.hh"
 #include "mem/memory_partition.hh"
+#include "obs/probe.hh"
 #include "reuse/pending_queue.hh"
 #include "reuse/reuse_unit.hh"
 #include "timing/fu_pipeline.hh"
@@ -51,7 +52,8 @@ class Sm
     Sm(SmId id, const MachineConfig &machine,
        const DesignConfig &design, const Kernel &kernel,
        MemoryImage &image, std::vector<MemoryPartition> &partitions,
-       IssueObserver *observer = nullptr);
+       IssueObserver *observer = nullptr,
+       obs::SmProbe probe = obs::SmProbe{});
 
     /** Resident blocks a kernel allows per SM (occupancy limits). */
     static unsigned blockLimit(const MachineConfig &machine,
@@ -75,6 +77,10 @@ class Sm
 
     /** Did a detected violation force this SM back to Base mode? */
     bool isQuarantined() const { return quarantined; }
+
+    /** Physical registers currently in use (observability gauge;
+     * Base/Affine designs report their architectural footprint). */
+    u64 livePhysRegs() const;
 
     /** Per-warp/pipeline state dump for the watchdog diagnostics. */
     std::string progressReport() const;
@@ -200,6 +206,7 @@ class Sm
     MemoryImage &image;
     std::vector<MemoryPartition> &partitions;
     IssueObserver *observer;
+    obs::SmProbe probe; ///< inert (all-null) unless a session attached
 
     SimStats stats;
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Link and anchor checker for the repo's markdown documentation.
+
+Validates, using only the standard library (CI installs nothing):
+
+- relative links point at files/directories that exist;
+- intra-document anchors (``#heading``) match a real heading in the
+  target document, using GitHub's slug rules;
+- reference-style links (``[text][ref]``) have a matching
+  ``[ref]: url`` definition;
+- external links are well-formed http(s) URLs (never fetched: CI must
+  not depend on the network).
+
+Usage: tools/check_docs.py [FILE-OR-DIR ...]
+Defaults to README.md, DESIGN.md, EXPERIMENTS.md, and docs/.
+Exits nonzero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_TARGETS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs"]
+
+# [text](target) -- target may carry an anchor; ![alt](img) included.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][ref] (not followed by a parenthesis or colon)
+REF_USE = re.compile(r"\[[^\]]+\]\[([^\]]+)\]")
+# [ref]: url
+REF_DEF = re.compile(r"^\[([^\]]+)\]:\s*(\S+)", re.M)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.M)
+FENCE = re.compile(r"^(```|~~~).*$")
+
+
+def strip_code_blocks(text):
+    """Blank out fenced code blocks and inline code spans so example
+    snippets (shell, JSON) are never parsed as links."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if FENCE.match(line):
+            fenced = not fenced
+            out.append("")
+        elif fenced:
+            out.append("")
+        else:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop
+    everything that is not alphanumeric, dash, or underscore."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = strip_code_blocks(f.read())
+        cache[path] = {github_slug(m.group(2))
+                       for m in HEADING.finditer(text)}
+    return cache[path]
+
+
+def check_file(path, errors):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_code_blocks(raw)
+    base = os.path.dirname(path)
+
+    ref_defs = {m.group(1).lower(): m.group(2)
+                for m in REF_DEF.finditer(text)}
+    targets = [m.group(1) for m in INLINE_LINK.finditer(text)]
+    targets += ref_defs.values()
+    for m in REF_USE.finditer(text):
+        if m.group(1).lower() not in ref_defs:
+            errors.append("%s: undefined link reference [%s]"
+                          % (path, m.group(1)))
+
+    for target in targets:
+        if target.startswith(("http://", "https://")):
+            if not re.match(r"https?://[\w.-]+(/\S*)?$", target):
+                errors.append("%s: malformed URL %s" % (path, target))
+            continue
+        if target.startswith("mailto:"):
+            continue
+        dest, _, anchor = target.partition("#")
+        dest_path = (os.path.normpath(os.path.join(base, dest))
+                     if dest else path)
+        if not os.path.exists(dest_path):
+            errors.append("%s: broken link %s" % (path, target))
+            continue
+        if anchor:
+            if not dest_path.endswith(".md"):
+                continue  # anchors into source files: line refs etc.
+            if github_slug(anchor) not in anchors_of(dest_path):
+                errors.append("%s: missing anchor %s" % (path, target))
+
+
+def main(argv):
+    targets = argv[1:] or DEFAULT_TARGETS
+    files = []
+    for target in targets:
+        if os.path.isdir(target):
+            for root, _, names in os.walk(target):
+                files += [os.path.join(root, n) for n in sorted(names)
+                          if n.endswith(".md")]
+        elif target.endswith(".md"):
+            files.append(target)
+        else:
+            print("check_docs: skipping non-markdown %s" % target,
+                  file=sys.stderr)
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        print("check_docs: no such file: %s" % ", ".join(missing),
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in files:
+        check_file(path, errors)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print("check_docs: %d files, %d broken link(s)"
+          % (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,8 @@
  *   wirsim list
  *   wirsim run <ABBR|all> [options]
  *   wirsim profile <ABBR|all>
+ *   wirsim stats --describe
+ *   wirsim trace --check FILE
  *
  * Options for `run`:
  *   --design NAME   design point (Base, R, RL, RLP, RLPV, RPV,
@@ -34,6 +36,21 @@
  *                   in-process instead of forking (timeouts are then
  *                   unenforceable)
  *
+ * Observability options for `run` and `profile` (see docs/TRACING.md
+ * and docs/METRICS.md). A run with any of these attaches an
+ * obs::Session, executes the single requested workload in-process,
+ * and bypasses the sweep result cache (a cached result has no issue
+ * stream to trace):
+ *   --trace FILE        write a Chrome trace_event JSON timeline
+ *                       (open in https://ui.perfetto.dev)
+ *   --trace-cats CSV    categories: pipe,reuse,mem,sched,check,occ
+ *                       or all (default all)
+ *   --trace-start C     first traced cycle (inclusive, default 0)
+ *   --trace-end C       first untraced cycle (exclusive)
+ *   --trace-max-events N  buffered-event cap (default 4M)
+ *   --stats-interval N  emit a JSONL registry snapshot every N cycles
+ *   --stats-out FILE    snapshot sink (default <ABBR>.stats.jsonl)
+ *
  * Robustness options for `run`:
  *   --audit N       run the reuse invariant auditor every N cycles
  *   --shadow-check  re-verify every reuse hit against the functional
@@ -59,6 +76,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/session.hh"
 #include "sim/designs.hh"
 #include "sim/runner.hh"
 #include "sweep/result_cache.hh"
@@ -69,7 +88,7 @@ using namespace wir;
 namespace
 {
 
-void
+[[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
@@ -86,10 +105,18 @@ usage()
                  "[--cache-dir DIR]\n"
                  "                  [--sandbox|--no-sandbox] "
                  "[--run-timeout S] [--retries N]\n"
+                 "                  [--trace FILE] [--trace-cats CSV] "
+                 "[--trace-start C] [--trace-end C]\n"
+                 "                  [--trace-max-events N] "
+                 "[--stats-interval N] [--stats-out FILE]\n"
                  "       wirsim profile <ABBR|all> [--jobs N] "
                  "[--cache] [--cache-dir DIR]\n"
                  "                  [--sandbox|--no-sandbox] "
-                 "[--run-timeout S] [--retries N]\n");
+                 "[--run-timeout S] [--retries N]\n"
+                 "                  [--trace FILE] [--trace-cats CSV] "
+                 "[--stats-interval N] [--stats-out FILE]\n"
+                 "       wirsim stats --describe\n"
+                 "       wirsim trace --check FILE\n");
     std::exit(2);
 }
 
@@ -205,6 +232,92 @@ struct SweepFlags
     }
 };
 
+/** Observability flags shared by `run` and `profile` (--trace /
+ * --stats-interval and friends). A run with any of these set attaches
+ * an obs::Session, so it must name exactly one workload and bypasses
+ * the sweep result cache -- a cached result has no issue stream to
+ * trace and no mid-run counters to snapshot. */
+struct ObsFlags
+{
+    obs::ObsConfig config;
+
+    /** Consume the argument if it is an observability flag. */
+    bool
+    consume(const std::string &arg,
+            const std::function<const char *()> &next)
+    {
+        if (arg == "--trace") {
+            config.trace.path = next();
+        } else if (arg == "--trace-cats") {
+            config.trace.categories = obs::parseTraceCats(next());
+        } else if (arg == "--trace-start") {
+            config.trace.startCycle =
+                parseNumber("--trace-start", next());
+        } else if (arg == "--trace-end") {
+            config.trace.endCycle = parseNumber("--trace-end", next());
+        } else if (arg == "--trace-max-events") {
+            config.trace.maxEvents =
+                parseNumber("--trace-max-events", next());
+        } else if (arg == "--stats-interval") {
+            config.statsInterval =
+                parseNumber("--stats-interval", next());
+        } else if (arg == "--stats-out") {
+            config.statsPath = next();
+        } else {
+            return false;
+        }
+        return true;
+    }
+
+    /** Raw-flag check (not ObsConfig::wantsAnything, which is false
+     * in -DWIR_OBS_MINIMAL builds): a minimal build must still reach
+     * the Session constructor so the user gets a clear fatal instead
+     * of silently ignored flags. */
+    bool
+    enabled() const
+    {
+        return !config.trace.path.empty() || config.statsInterval > 0;
+    }
+
+    /** Resolve defaults that depend on the target workload and check
+     * constraints shared by `run` and `profile`. */
+    void
+    finalize(const std::vector<std::string> &targets,
+             const SweepFlags &sweepFlags)
+    {
+        if (targets.size() != 1)
+            fatal("--trace/--stats-interval apply to a single "
+                  "workload, not %zu targets (observability runs "
+                  "bypass the sweep cache)", targets.size());
+        if (sweepFlags.jobs || sweepFlags.useDisk ||
+            sweepFlags.isolate)
+            warn("sweep flags are ignored: observability runs "
+                 "execute one workload in-process");
+        if (config.statsInterval && config.statsPath.empty())
+            config.statsPath = targets[0] + ".stats.jsonl";
+    }
+};
+
+/** Post-run observability summary (stderr, like the attempt/repro
+ * notes): where the trace and snapshot stream went. */
+void
+reportSession(obs::Session &session)
+{
+    if (const obs::Tracer *tracer = session.tracer()) {
+        std::fprintf(stderr,
+                     "wirsim: trace: %zu events -> %s%s\n",
+                     tracer->eventCount(),
+                     tracer->config().path.c_str(),
+                     tracer->truncated() ? " (truncated)" : "");
+    }
+    if (session.config().statsInterval)
+        std::fprintf(stderr,
+                     "wirsim: stats: %llu snapshots -> %s\n",
+                     static_cast<unsigned long long>(
+                         session.snapshotsWritten()),
+                     session.config().statsPath.c_str());
+}
+
 int
 cmdRun(int argc, char **argv)
 {
@@ -216,6 +329,7 @@ cmdRun(int argc, char **argv)
     DesignConfig design = designRLPV();
     bool dumpStats = false, dumpEnergy = false;
     SweepFlags sweepFlags;
+    ObsFlags obsFlags;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -268,7 +382,8 @@ cmdRun(int argc, char **argv)
             dumpStats = true;
         } else if (arg == "--energy") {
             dumpEnergy = true;
-        } else if (!sweepFlags.consume(arg, next)) {
+        } else if (!sweepFlags.consume(arg, next) &&
+                   !obsFlags.consume(arg, next)) {
             usage();
         }
     }
@@ -285,19 +400,11 @@ cmdRun(int argc, char **argv)
                 "cycles", "committed", "IPC", "reuse%", "L1miss",
                 "GPU uJ");
 
-    // All runs go through the sweep cache: deduplicated, executed on
-    // --jobs workers, optionally persisted (--cache). Results print
-    // in target order regardless of completion order.
-    sweep::ResultCache cache(sweepFlags.options(machine));
     auto targets = resolveTargets(what);
-    for (const auto &abbr : targets)
-        cache.prefetch(abbr, design);
 
-    int failures = 0;
-    for (const auto &abbr : targets) {
-        const RunResult &result = cache.get(abbr, design);
+    auto printRow = [&](const std::string &abbr,
+                        const RunResult &result) -> bool {
         if (result.failed) {
-            // Keep sweeping the remaining workloads.
             std::printf("%-5s FAILED(%s): %s\n", abbr.c_str(),
                         failKindName(result.failKind),
                         result.error.c_str());
@@ -307,8 +414,7 @@ cmdRun(int argc, char **argv)
             if (!result.repro.empty())
                 std::fprintf(stderr, "wirsim: repro: %s\n",
                              result.repro.c_str());
-            failures++;
-            continue;
+            return false;
         }
         std::printf("%-5s %9llu %10llu %8.2f %7.1f%% %9llu %10.2f\n",
                     abbr.c_str(),
@@ -324,6 +430,42 @@ cmdRun(int argc, char **argv)
             std::printf("%s", result.stats.dump().c_str());
         if (dumpEnergy)
             std::printf("%s", result.energy.describe().c_str());
+        return true;
+    };
+
+    if (obsFlags.enabled()) {
+        // Instrumented run: single workload, in-process, no cache.
+        obsFlags.finalize(targets, sweepFlags);
+        obs::Session session(obsFlags.config);
+        const std::string &abbr = targets[0];
+        RunResult result;
+        try {
+            result = runWorkload(makeWorkload(abbr), design, machine,
+                                 &session);
+        } catch (const SimError &err) {
+            result.workload = abbr;
+            result.failed = true;
+            result.failKind = FailKind::Sim;
+            result.error = err.what();
+        }
+        bool ok = printRow(abbr, result);
+        if (ok)
+            reportSession(session);
+        return ok ? 0 : 1;
+    }
+
+    // All other runs go through the sweep cache: deduplicated,
+    // executed on --jobs workers, optionally persisted (--cache).
+    // Results print in target order regardless of completion order.
+    sweep::ResultCache cache(sweepFlags.options(machine));
+    for (const auto &abbr : targets)
+        cache.prefetch(abbr, design);
+
+    int failures = 0;
+    for (const auto &abbr : targets) {
+        // Keep sweeping the remaining workloads on failure.
+        if (!printRow(abbr, cache.get(abbr, design)))
+            failures++;
     }
     if (sweep::interruptRequested())
         return sweep::interruptExitCode();
@@ -337,6 +479,7 @@ cmdProfile(int argc, char **argv)
         usage();
     MachineConfig machine;
     SweepFlags sweepFlags;
+    ObsFlags obsFlags;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -344,23 +487,89 @@ cmdProfile(int argc, char **argv)
                 usage();
             return argv[++i];
         };
-        if (!sweepFlags.consume(arg, next))
+        if (!sweepFlags.consume(arg, next) &&
+            !obsFlags.consume(arg, next))
             usage();
     }
-
-    sweep::ResultCache cache(sweepFlags.options(machine));
     auto targets = resolveTargets(argv[0]);
-    for (const auto &abbr : targets)
-        cache.prefetchProfile(abbr);
 
     std::printf("%-5s %12s %15s\n", "abbr", "%repeated",
                 "%repeated>10x");
+
+    if (obsFlags.enabled()) {
+        obsFlags.finalize(targets, sweepFlags);
+        const std::string &abbr = targets[0];
+        const WorkloadInfo *found = nullptr;
+        for (const auto &info : workloadRegistry())
+            if (abbr == info.abbr)
+                found = &info;
+        if (!found)
+            fatal("unknown workload '%s' (see `wirsim list`)",
+                  abbr.c_str());
+        obs::Session session(obsFlags.config);
+        auto prof = profileWorkload(*found, machine, &session);
+        std::printf("%-5s %11.1f%% %14.1f%%\n", abbr.c_str(),
+                    100.0 * prof.repeatedFraction,
+                    100.0 * prof.repeated10xFraction);
+        reportSession(session);
+        return 0;
+    }
+
+    sweep::ResultCache cache(sweepFlags.options(machine));
+    for (const auto &abbr : targets)
+        cache.prefetchProfile(abbr);
+
     for (const auto &abbr : targets) {
         const auto &prof = cache.profile(abbr);
         std::printf("%-5s %11.1f%% %14.1f%%\n", abbr.c_str(),
                     100.0 * prof.repeatedFraction,
                     100.0 * prof.repeated10xFraction);
     }
+    return 0;
+}
+
+/** `wirsim stats --describe`: print the metrics schema reference.
+ * docs/METRICS.md embeds this output verbatim and a tier-1 test
+ * asserts they match, so the documentation cannot drift. */
+int
+cmdStats(int argc, char **argv)
+{
+    if (argc != 1 || std::string(argv[0]) != "--describe")
+        usage();
+    std::fputs(obs::describeSchema().c_str(), stdout);
+    return 0;
+}
+
+/** `wirsim trace --check FILE`: structurally validate a trace file
+ * (the same validator the tests run on freshly written traces). */
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc != 2 || std::string(argv[0]) != "--check")
+        usage();
+    const char *path = argv[1];
+    std::FILE *file = std::fopen(path, "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path);
+    std::string text;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    bool readFailed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (readFailed)
+        fatal("error reading trace file '%s'", path);
+
+    size_t events = 0;
+    std::string error;
+    if (!obs::validateTraceJson(text, events, error)) {
+        std::fprintf(stderr, "wirsim: %s: invalid trace: %s\n", path,
+                     error.c_str());
+        return 1;
+    }
+    std::printf("%s: valid Chrome trace JSON, %zu events\n", path,
+                events);
     return 0;
 }
 
@@ -381,6 +590,10 @@ main(int argc, char **argv)
             return cmdRun(argc - 2, argv + 2);
         if (cmd == "profile")
             return cmdProfile(argc - 2, argv + 2);
+        if (cmd == "stats")
+            return cmdStats(argc - 2, argv + 2);
+        if (cmd == "trace")
+            return cmdTrace(argc - 2, argv + 2);
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "wirsim: %s\n", err.what());
         return 2;
