@@ -293,15 +293,11 @@ main(int argc, char **argv)
             } else if (arg == "--resume") {
                 resume = true;
             } else if (arg == "--inject-cell") {
-                std::string spec = next();
-                size_t eq = spec.rfind('=');
-                if (eq == std::string::npos || eq == 0 ||
-                    spec.find('/') == std::string::npos ||
-                    spec.find('/') > eq)
-                    fatal("--inject-cell expects WL/DESIGN=CLASS, "
-                          "got '%s'", spec.c_str());
-                injections[spec.substr(0, eq)] =
-                    faultClassByName(spec.substr(eq + 1));
+                // Fully validated (workload, design, and class) at
+                // parse time: a typo exits 2 here, not mid-sweep.
+                InjectCell cell = parseInjectCellSpec(next());
+                injections[cell.workload + "/" + cell.design] =
+                    cell.fault;
             } else if (arg == "--inject-cycle") {
                 injectCycle = parseUnsigned("--inject-cycle", next(),
                                             0xffffffffUL);

@@ -1,0 +1,23 @@
+#include "check/arch_state.hh"
+
+#include <algorithm>
+
+namespace wir
+{
+
+void
+ArchState::normalize()
+{
+    std::sort(warps.begin(), warps.end(),
+              [](const WarpArchRecord &a, const WarpArchRecord &b) {
+                  if (a.blockId != b.blockId)
+                      return a.blockId < b.blockId;
+                  return a.warpInBlock < b.warpInBlock;
+              });
+    std::sort(blocks.begin(), blocks.end(),
+              [](const BlockArchRecord &a, const BlockArchRecord &b) {
+                  return a.blockId < b.blockId;
+              });
+}
+
+} // namespace wir

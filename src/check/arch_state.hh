@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Architectural end-state capture for differential testing.
+ *
+ * The WIR transparency claim (Section V) is that every reuse design
+ * is invisible to software: base and reuse executions must agree on
+ * all program-visible state, not just the bytes a kernel happens to
+ * store to global memory. ArchState records that state as each warp
+ * drains and each block completes -- final logical-register values,
+ * scratchpad contents, and a SIMT-stack health signal -- keyed by
+ * (blockId, warpInBlock) so captures from different designs (whose
+ * SM placement is identical by construction, but whose warp-slot
+ * assignment within an SM can differ in timing) line up exactly.
+ *
+ * Registers need care: reuse designs share physical registers across
+ * warps, so lanes a warp never wrote may legitimately hold another
+ * warp's values. Each record therefore carries a per-logical-register
+ * defined-lane mask (the union of active masks over all writes) and
+ * values masked down to those lanes; the masks themselves are part of
+ * the comparison.
+ */
+
+#ifndef WIR_CHECK_ARCH_STATE_HH
+#define WIR_CHECK_ARCH_STATE_HH
+
+#include <vector>
+
+#include "common/hash_h3.hh"
+#include "common/types.hh"
+
+namespace wir
+{
+
+/** Final architectural state of one warp, captured at drain time. */
+struct WarpArchRecord
+{
+    u32 blockId = 0;
+    u32 warpInBlock = 0;
+    /** Peak SIMT-stack depth -- identical control flow must produce
+     * identical peak divergence. */
+    u32 maxStackDepth = 0;
+    /** Per-logical-register union of write masks. */
+    std::vector<u32> definedMasks;
+    /** Per-logical-register values, zeroed outside the defined mask. */
+    std::vector<WarpValue> regs;
+};
+
+/** Final scratchpad contents of one block, captured at completion. */
+struct BlockArchRecord
+{
+    u32 blockId = 0;
+    std::vector<u32> scratch;
+};
+
+/** Full program-visible end state of a run (minus global memory,
+ * which RunResult::finalMemory already carries). */
+struct ArchState
+{
+    std::vector<WarpArchRecord> warps;
+    std::vector<BlockArchRecord> blocks;
+
+    /** Sort records by their design-independent keys so states
+     * captured under different designs compare element-wise. */
+    void normalize();
+};
+
+} // namespace wir
+
+#endif // WIR_CHECK_ARCH_STATE_HH

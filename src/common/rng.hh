@@ -8,6 +8,7 @@
 #ifndef WIR_COMMON_RNG_HH
 #define WIR_COMMON_RNG_HH
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace wir
@@ -34,11 +35,30 @@ class Rng
     /** Uniform 32-bit value. */
     u32 nextU32() { return static_cast<u32>(next() >> 32); }
 
-    /** Uniform value in [0, bound). bound must be nonzero. */
+    /** Uniform value in [0, bound). */
     u32
     below(u32 bound)
     {
+        wir_assert(bound != 0);
         return static_cast<u32>((u64{nextU32()} * bound) >> 32);
+    }
+
+    /**
+     * Derive an independent substream without perturbing this
+     * generator. Streams with distinct indices (and the parent
+     * itself) produce uncorrelated sequences, so nested generators
+     * can each take a split without consuming parent draws.
+     */
+    Rng
+    split(u64 stream) const
+    {
+        // SplitMix64 finalizer over (state, stream) decorrelates
+        // even adjacent stream indices.
+        u64 z = state + (stream + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return Rng(z);
     }
 
     /** Uniform float in [0, 1). */

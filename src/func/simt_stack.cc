@@ -11,6 +11,7 @@ SimtStack::reset(WarpMask initialMask)
     entries.clear();
     if (initialMask)
         entries.push_back({0, noReconv, initialMask});
+    peak = entries.size();
 }
 
 Pc
@@ -60,6 +61,8 @@ SimtStack::pushPath(Pc pc, Pc rpc, WarpMask mask)
         return;
     }
     entries.push_back({pc, rpc, mask});
+    if (entries.size() > peak)
+        peak = entries.size();
 }
 
 void

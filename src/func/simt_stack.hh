@@ -47,6 +47,13 @@ class SimtStack
     /** Current depth, exposed for tests. */
     size_t depth() const { return entries.size(); }
 
+    /**
+     * Peak depth since the last reset. A differential-test health
+     * signal: base and reuse designs execute the same functional
+     * control flow, so peak divergence depth must agree.
+     */
+    size_t maxDepth() const { return peak; }
+
   private:
     struct Entry
     {
@@ -62,6 +69,7 @@ class SimtStack
     void pushPath(Pc pc, Pc rpc, WarpMask mask);
 
     std::vector<Entry> entries;
+    size_t peak = 0;
 };
 
 } // namespace wir

@@ -1,0 +1,285 @@
+#include "gen/campaign.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/designs.hh"
+#include "sweep/executor.hh"
+#include "sweep/sandbox.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+namespace
+{
+
+/** Validate everything that can be wrong with a campaign before any
+ * simulation runs (ConfigError, exit 2 at the CLI). */
+void
+validateOptions(const FuzzOptions &opts)
+{
+    if (opts.runs == 0)
+        fatal("fuzz: --runs must be nonzero");
+    for (const auto &name : opts.diff.designs)
+        designByName(name);
+    if (!opts.diff.inject.empty())
+        faultClassByName(opts.diff.inject);
+    if (opts.diff.numSms == 0)
+        fatal("fuzz: --sms must be nonzero");
+}
+
+std::string
+sanitizeSignature(const std::string &signature)
+{
+    std::string out;
+    for (char c : signature) {
+        bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                    || (c >= '0' && c <= '9');
+        out.push_back(keep ? c : '-');
+    }
+    return out;
+}
+
+} // namespace
+
+std::pair<std::string, std::string>
+evaluateSpec(const KernelSpec &spec, const FuzzOptions &opts)
+{
+    sweep::SandboxPolicy policy;
+    policy.enabled = opts.sandbox && sweep::sandboxSupported();
+    policy.timeoutMs = opts.timeoutMs;
+    policy.retries = opts.retries;
+
+    // Payload protocol: first line = signature ("ok" when every
+    // design matched Base), remaining lines = detail.
+    sweep::SandboxTask task;
+    task.key = "fuzz/" + spec.name;
+    task.produce = [&spec, &opts]() {
+        DiffResult result = diffTest(spec, opts.diff);
+        std::string sig = result.signature();
+        return (sig.empty() ? "ok" : sig) + "\n" + result.report();
+    };
+    task.classify = [](const std::string &payload) {
+        size_t eol = payload.find('\n');
+        std::string first = payload.substr(0, eol);
+        return first == "ok" ? "" : first;
+    };
+
+    std::string payload;
+    auto outcome = sweep::runSandboxed(task, policy, payload);
+
+    switch (outcome.status) {
+      case sweep::SandboxStatus::Ok:
+        return {"", ""};
+      case sweep::SandboxStatus::Failure: {
+          size_t eol = payload.find('\n');
+          std::string sig = payload.substr(0, eol);
+          std::string detail =
+              eol == std::string::npos ? "" : payload.substr(eol + 1);
+          return {sig, detail};
+      }
+      case sweep::SandboxStatus::Crash:
+        return {"crash", outcome.signature};
+      case sweep::SandboxStatus::Timeout:
+        return {"timeout", outcome.signature};
+      case sweep::SandboxStatus::Protocol:
+        return {"protocol", outcome.signature};
+      case sweep::SandboxStatus::Interrupted:
+        return {"interrupted", outcome.signature};
+    }
+    return {"protocol", "unreachable"};
+}
+
+std::string
+FuzzReport::text() const
+{
+    std::ostringstream out;
+    out << "fuzz: " << runs << " runs, " << failed << " failed, "
+        << unique.size() << " unique signature"
+        << (unique.size() == 1 ? "" : "s") << "\n";
+    for (const auto &f : unique) {
+        out << "run " << f.runIndex << " seed " << f.genSeed
+            << " FAIL " << f.signature << " (" << f.originalStmts
+            << " -> " << f.shrunkStmts << " stmts";
+        if (f.duplicates)
+            out << ", +" << f.duplicates << " duplicate"
+                << (f.duplicates == 1 ? "" : "s");
+        out << ")\n";
+        if (!f.detail.empty()) {
+            std::istringstream lines(f.detail);
+            std::string line;
+            while (std::getline(lines, line)) {
+                if (!line.empty())
+                    out << "    " << line << "\n";
+            }
+        }
+        if (!f.bundlePath.empty())
+            out << "    bundle: " << f.bundlePath << "\n";
+    }
+    return out.str();
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &opts)
+{
+    validateOptions(opts);
+
+    // Independent, index-keyed seeds: the same run index generates
+    // the same kernel no matter how many jobs drain the queue.
+    Rng master(opts.seed);
+    std::vector<u64> seeds(opts.runs);
+    for (unsigned i = 0; i < opts.runs; i++)
+        seeds[i] = master.split(i).next();
+
+    struct Slot
+    {
+        std::string signature;
+        std::string detail;
+    };
+    std::vector<Slot> slots(opts.runs);
+
+    auto evalRun = [&](unsigned i) {
+        KernelSpec spec = generate(seeds[i], opts.gen);
+        spec.name = "fuzz" + std::to_string(i);
+        auto [sig, detail] = evaluateSpec(spec, opts);
+        slots[i] = {sig, detail};
+    };
+
+    if (opts.jobs == 1) {
+        for (unsigned i = 0; i < opts.runs; i++)
+            evalRun(i);
+    } else {
+        sweep::Executor pool(opts.jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(opts.runs);
+        for (unsigned i = 0; i < opts.runs; i++)
+            futures.push_back(pool.submit([&, i] { evalRun(i); }));
+        for (auto &f : futures)
+            f.get();
+    }
+
+    // Triage in index order: dedup by signature, shrink the first
+    // exemplar of each, write its bundle.
+    FuzzReport report;
+    report.runs = opts.runs;
+    std::vector<std::string> seen;
+    for (unsigned i = 0; i < opts.runs; i++) {
+        const Slot &slot = slots[i];
+        if (slot.signature.empty())
+            continue;
+        report.failed++;
+
+        bool duplicate = false;
+        for (size_t u = 0; u < seen.size(); u++) {
+            if (seen[u] == slot.signature) {
+                report.unique[u].duplicates++;
+                duplicate = true;
+                break;
+            }
+        }
+        if (duplicate)
+            continue;
+        seen.push_back(slot.signature);
+
+        FuzzFailure failure;
+        failure.runIndex = i;
+        failure.genSeed = seeds[i];
+        failure.signature = slot.signature;
+        failure.detail = slot.detail;
+        KernelSpec spec = generate(seeds[i], opts.gen);
+        spec.name = "fuzz" + std::to_string(i);
+        failure.originalStmts = countStmts(spec);
+
+        if (opts.shrinkFailures) {
+            ShrinkStats stats;
+            failure.spec = shrink(
+                spec, slot.signature,
+                [&](const KernelSpec &candidate) {
+                    return evaluateSpec(candidate, opts).first;
+                },
+                opts.shrinkBudget, &stats);
+            failure.shrunkStmts = stats.finalStmts;
+        } else {
+            failure.spec = spec;
+            failure.shrunkStmts = failure.originalStmts;
+        }
+
+        if (!opts.bundleDir.empty()) {
+            SpecFile bundle;
+            bundle.spec = failure.spec;
+            bundle.inject = opts.diff.inject;
+            bundle.injectCycle = opts.diff.injectCycle;
+            bundle.injectSm = opts.diff.injectSm;
+            bundle.designs = opts.diff.designs;
+            bundle.numSms = opts.diff.numSms;
+            bundle.expect = failure.signature;
+
+            std::ostringstream comment;
+            comment << "found by: wirsim fuzz --seed " << opts.seed
+                    << " --runs " << opts.runs << " (run " << i
+                    << ", generator seed " << seeds[i] << ")\n"
+                    << "replay:   wirsim fuzz --replay <this file>";
+
+            std::error_code ec;
+            std::filesystem::create_directories(opts.bundleDir, ec);
+            std::string name = sanitizeSignature(failure.signature) +
+                               "-r" + std::to_string(i) + ".spec";
+            std::string path = opts.bundleDir + "/" + name;
+            std::ofstream out(path, std::ios::trunc);
+            if (out) {
+                out << formatSpecFile(bundle, comment.str());
+                failure.bundlePath = path;
+            } else {
+                warn("fuzz: cannot write bundle %s", path.c_str());
+            }
+        }
+        report.unique.push_back(std::move(failure));
+    }
+    return report;
+}
+
+bool
+replayBundle(const std::string &path, std::string &reportOut)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open bundle '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    SpecFile file = parseSpecFile(text.str());
+    DiffConfig cfg;
+    cfg.designs = file.designs;
+    cfg.numSms = file.numSms;
+    cfg.inject = file.inject;
+    cfg.injectCycle = file.injectCycle;
+    cfg.injectSm = file.injectSm;
+
+    DiffResult result = diffTest(file.spec, cfg);
+    std::string got = result.signature();
+
+    std::ostringstream out;
+    out << "replay " << path << "\n";
+    out << "  signature: " << (got.empty() ? "(clean)" : got) << "\n";
+    out << "  expected:  "
+        << (file.expect.empty() ? "(clean)" : file.expect) << "\n";
+    std::string detail = result.report();
+    if (!detail.empty()) {
+        std::istringstream lines(detail);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (!line.empty())
+                out << "  " << line << "\n";
+        }
+    }
+    reportOut = out.str();
+    return got == file.expect;
+}
+
+} // namespace gen
+} // namespace wir

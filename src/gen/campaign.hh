@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fuzzing campaigns: generate N kernels, run the differential
+ * oracle on each (inside the crash-isolating sweep sandbox, so a
+ * hung or crashing candidate degrades to one failed run rather than
+ * killing the campaign), triage failures by signature, shrink the
+ * first exemplar of each, and emit replayable repro bundles.
+ *
+ * Determinism: run i derives its generator seed from
+ * Rng(seed).split(i), results land in per-index slots, and the
+ * report is assembled in index order -- so the output is
+ * bit-identical across repeated invocations and across --jobs
+ * values.
+ */
+
+#ifndef WIR_GEN_CAMPAIGN_HH
+#define WIR_GEN_CAMPAIGN_HH
+
+#include "gen/generator.hh"
+#include "gen/oracle.hh"
+#include "gen/shrink.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+struct FuzzOptions
+{
+    u64 seed = 1;
+    unsigned runs = 50;
+    unsigned jobs = 1;
+    GenParams gen;
+    DiffConfig diff;
+    /** Directory for repro bundles; "" = do not write any. */
+    std::string bundleDir;
+    bool shrinkFailures = true;
+    unsigned shrinkBudget = 400;
+    /** Fork each candidate into the sweep sandbox (crash/timeout
+     * containment). Ignored where fork is unavailable. */
+    bool sandbox = true;
+    u64 timeoutMs = 30000;
+    unsigned retries = 1;
+};
+
+/** One unique failure (first run that produced its signature). */
+struct FuzzFailure
+{
+    unsigned runIndex = 0;
+    u64 genSeed = 0;
+    std::string signature;
+    std::string detail;      ///< oracle report or sandbox signature
+    KernelSpec spec;         ///< shrunk when shrinking is enabled
+    unsigned originalStmts = 0;
+    unsigned shrunkStmts = 0;
+    unsigned duplicates = 0; ///< further runs with this signature
+    std::string bundlePath;  ///< "" when bundles are disabled
+};
+
+struct FuzzReport
+{
+    unsigned runs = 0;
+    unsigned failed = 0; ///< runs that failed (incl. duplicates)
+    std::vector<FuzzFailure> unique;
+
+    /** Deterministic multi-line summary for the CLI. */
+    std::string text() const;
+};
+
+/** Run a campaign. Throws ConfigError on invalid options before any
+ * simulation runs. */
+FuzzReport runFuzz(const FuzzOptions &opts);
+
+/**
+ * Evaluate one spec the way the campaign does -- through the
+ * sandbox when enabled -- returning (signature, detail); signature
+ * "" means all designs matched Base.
+ */
+std::pair<std::string, std::string>
+evaluateSpec(const KernelSpec &spec, const FuzzOptions &opts);
+
+/** Replay one bundle file: parse, run the oracle with the recorded
+ * directives, and compare against its `expect` signature. Returns
+ * true when the outcome matches (clean for specs without `expect`). */
+bool replayBundle(const std::string &path, std::string &reportOut);
+
+} // namespace gen
+} // namespace wir
+
+#endif // WIR_GEN_CAMPAIGN_HH

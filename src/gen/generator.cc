@@ -1,0 +1,252 @@
+#include "gen/generator.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+Family
+familyByName(const std::string &name)
+{
+    if (name == "mixed")
+        return Family::Mixed;
+    if (name == "branchy")
+        return Family::Branchy;
+    if (name == "loop")
+        return Family::LoopHeavy;
+    if (name == "sparse")
+        return Family::Sparse;
+    if (name == "uniform")
+        return Family::Uniform;
+    fatal("unknown generator family '%s' (expected mixed, branchy, "
+          "loop, sparse, or uniform)", name.c_str());
+}
+
+const char *
+familyName(Family family)
+{
+    switch (family) {
+      case Family::Mixed: return "mixed";
+      case Family::Branchy: return "branchy";
+      case Family::LoopHeavy: return "loop";
+      case Family::Sparse: return "sparse";
+      case Family::Uniform: return "uniform";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Per-family statement-mix weights, scaled by the divergence knob. */
+struct Mix
+{
+    unsigned wIf = 0;
+    unsigned wLoop = 0;
+    unsigned wLoad = 0;
+    unsigned wStore = 0;
+    unsigned wArithF = 0;
+    unsigned wBarrier = 0;
+    unsigned maxDepth = 2;
+    unsigned indirectPct = 25; ///< share of loads that are indirect
+    unsigned perLanePct = 40;  ///< share of loops with per-lane trips
+    unsigned dataCondPct = 40; ///< share of ifs with data-dep conds
+};
+
+Mix
+mixFor(Family family, unsigned divergence)
+{
+    unsigned d = divergence > 4 ? 4 : divergence;
+    Mix m;
+    switch (family) {
+      case Family::Mixed:
+        m = {3u * d, 2u * d, 16, 12, 8, 4, 2 + d / 2, 25, 40, 40};
+        break;
+      case Family::Branchy:
+        m = {8u * d, 1u * d, 10, 8, 4, 2, 2 + (d + 1) / 2, 15, 30, 60};
+        break;
+      case Family::LoopHeavy:
+        m = {2u * d, 7u * d, 10, 8, 4, 2, 2 + d / 2, 15, 75, 40};
+        break;
+      case Family::Sparse:
+        m = {3u * d, 2u * d, 30, 10, 2, 2, 2, 80, 40, 50};
+        break;
+      case Family::Uniform:
+        m = {0, 4, 16, 12, 8, 4, 1, 25, 0, 0};
+        break;
+    }
+    if (d == 0) {
+        // Divergence 0 forces uniform control whatever the family.
+        m.wIf = 0;
+        m.perLanePct = 0;
+    }
+    return m;
+}
+
+class Generator
+{
+  public:
+    Generator(u64 seed, const GenParams &params_)
+        : params(params_), rng(seed ? seed : 1),
+          mix(mixFor(params_.family, params_.divergence))
+    {}
+
+    KernelSpec
+    run()
+    {
+        KernelSpec spec;
+        spec.name = "fuzz";
+        spec.dataSeed = rng.next();
+
+        if (params.blockThreads) {
+            spec.blockThreads = params.blockThreads;
+        } else {
+            // Mostly whole warps; occasionally a partial warp to
+            // stress the permanently-divergent path.
+            const unsigned dims[] = {32, 64, 96, 128, 48};
+            spec.blockThreads = dims[rng.below(5)];
+        }
+        spec.gridBlocks =
+            params.gridBlocks ? params.gridBlocks : 1 + rng.below(3);
+        // Skew toward few levels: whole-warp-identical inputs are
+        // what actually provokes reuse hits.
+        spec.levels = params.levels
+            ? params.levels
+            : (rng.below(2) ? 4 + rng.below(12) : 2 + rng.below(3));
+
+        unsigned statements = params.statements
+            ? params.statements
+            : 24 + rng.below(24);
+        for (unsigned i = 0; i < statements; i++)
+            spec.stmts.push_back(genStmt(rng, 0, spec.blockThreads));
+        return spec;
+    }
+
+  private:
+    GenOperand
+    genOperand(Rng &r)
+    {
+        if (r.below(4) == 0)
+            return GenOperand::imm(r.below(256));
+        return GenOperand::sel(r.below(64));
+    }
+
+    GenStmt
+    genStmt(Rng &r, unsigned depth, unsigned blockThreads)
+    {
+        unsigned wNest = depth < mix.maxDepth ? mix.wIf + mix.wLoop
+                                              : 0;
+        unsigned wBar =
+            depth == 0 && blockThreads % 32 == 0 ? mix.wBarrier : 0;
+        unsigned wArith = 20;
+        unsigned total = wNest + wBar + mix.wLoad + mix.wStore +
+                         mix.wArithF + wArith;
+        unsigned roll = r.below(total);
+
+        GenStmt s;
+        if (roll < wNest && roll < mix.wIf) {
+            s.kind = StmtKind::If;
+            bool dataCond = r.below(100) < mix.dataCondPct;
+            if (dataCond) {
+                s.cond = CondKind::Cmp;
+                s.a = genOperand(r);
+                s.b = genOperand(r);
+            } else {
+                s.cond = CondKind::Lane;
+                // Higher divergence degrees cut warps more unevenly.
+                unsigned spread =
+                    4 + 7 * (params.divergence > 4
+                                 ? 4 : params.divergence);
+                s.limit = static_cast<u8>(1 + r.below(spread));
+            }
+            // Substreams: editing one subtree during shrinking (or
+            // regenerating with different params) cannot shift the
+            // randomness of its siblings.
+            Rng body = r.split(r.next());
+            for (unsigned i = 0, n = 1 + body.below(4); i < n; i++)
+                s.body.push_back(
+                    genStmt(body, depth + 1, blockThreads));
+            if (r.below(2)) {
+                s.hasElse = true;
+                Rng other = r.split(r.next());
+                for (unsigned i = 0, n = 1 + other.below(3); i < n;
+                     i++)
+                    s.orElse.push_back(
+                        genStmt(other, depth + 1, blockThreads));
+            }
+            return s;
+        }
+        if (roll < wNest) {
+            s.kind = StmtKind::Loop;
+            bool perLane = r.below(100) < mix.perLanePct;
+            s.trip = perLane ? TripKind::PerLane : TripKind::Uniform;
+            s.limit = static_cast<u8>(r.below(8));
+            if (perLane)
+                s.a = genOperand(r);
+            Rng body = r.split(r.next());
+            for (unsigned i = 0, n = 1 + body.below(3); i < n; i++)
+                s.body.push_back(
+                    genStmt(body, depth + 1, blockThreads));
+            return s;
+        }
+        roll -= wNest;
+        if (roll < wBar) {
+            s.kind = StmtKind::Barrier;
+            return s;
+        }
+        roll -= wBar;
+        if (roll < mix.wLoad) {
+            s.kind = StmtKind::Load;
+            unsigned shape = r.below(100);
+            if (shape < mix.indirectPct) {
+                s.addr = AddrKind::Indirect;
+                s.a = genOperand(r);
+            } else if (shape < mix.indirectPct +
+                                   (100 - mix.indirectPct) / 2) {
+                s.addr = AddrKind::Direct;
+                s.a = genOperand(r);
+            } else {
+                s.addr = AddrKind::Scratch;
+            }
+            return s;
+        }
+        roll -= mix.wLoad;
+        if (roll < mix.wStore) {
+            s.kind = StmtKind::Store;
+            s.addr = r.below(2) ? AddrKind::Scratch : AddrKind::Direct;
+            s.a = genOperand(r);
+            return s;
+        }
+        roll -= mix.wStore;
+        if (roll < mix.wArithF) {
+            s.kind = StmtKind::ArithF;
+            s.op = static_cast<u8>(r.below(4));
+            s.a = genOperand(r);
+            s.b = genOperand(r);
+            return s;
+        }
+        s.kind = StmtKind::Arith;
+        s.op = static_cast<u8>(r.below(12));
+        s.a = genOperand(r);
+        s.b = genOperand(r);
+        return s;
+    }
+
+    GenParams params;
+    Rng rng;
+    Mix mix;
+};
+
+} // namespace
+
+KernelSpec
+generate(u64 seed, const GenParams &params)
+{
+    return Generator(seed, params).run();
+}
+
+} // namespace gen
+} // namespace wir

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parameterized random-kernel generators.
+ *
+ * Families target the control-flow and memory shapes where
+ * reuse-model bugs hide (reconvergence, loop-carried divergence,
+ * indirect addressing, seeded value redundancy) -- the shapes the 34
+ * hand-written Table I workloads barely exercise. Generation is a
+ * pure function of (seed, params): the same pair always yields the
+ * same spec, and nested bodies draw from Rng::split substreams so a
+ * shrinker-style edit to one subtree never re-randomizes another.
+ */
+
+#ifndef WIR_GEN_GENERATOR_HH
+#define WIR_GEN_GENERATOR_HH
+
+#include "gen/spec.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+enum class Family : u8
+{
+    Mixed,     ///< balanced statement mix (the default)
+    Branchy,   ///< deep nested / data-dependent branching
+    LoopHeavy, ///< loop-carried divergence, per-lane trip counts
+    Sparse,    ///< graph/sparse-style indirect loads
+    Uniform,   ///< divergence-free control (reuse-rate baseline)
+};
+
+/** Parse "mixed", "branchy", "loop", "sparse", "uniform";
+ * ConfigError on anything else. */
+Family familyByName(const std::string &name);
+const char *familyName(Family family);
+
+struct GenParams
+{
+    Family family = Family::Mixed;
+    /** Divergence degree 0..4: scales branch/loop density, nesting
+     * depth, and how unevenly lanes split. 0 = fully uniform. */
+    unsigned divergence = 2;
+    /** Top-level statement budget; 0 = seed-dependent default. */
+    unsigned statements = 0;
+    /** Block threads; 0 = seed-dependent pick (mostly whole warps,
+     * sometimes a partial warp). */
+    unsigned blockThreads = 0;
+    /** Grid blocks; 0 = seed-dependent pick in [1, 3]. */
+    unsigned gridBlocks = 0;
+    /** Input quantization levels; 0 = seed-dependent pick. Lower =
+     * more value redundancy = more reuse traffic. */
+    unsigned levels = 0;
+};
+
+/** Generate one kernel spec. Deterministic in (seed, params). */
+KernelSpec generate(u64 seed, const GenParams &params = {});
+
+} // namespace gen
+} // namespace wir
+
+#endif // WIR_GEN_GENERATOR_HH

@@ -1,0 +1,219 @@
+#include "gen/oracle.hh"
+
+#include <sstream>
+
+#include "check/arch_state.hh"
+#include "common/logging.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+std::string
+DiffResult::signature() const
+{
+    if (baseFailed)
+        return "base:sim";
+    if (mismatches.empty())
+        return "";
+    return mismatches.front().design + ":" + mismatches.front().kind;
+}
+
+std::string
+DiffResult::report() const
+{
+    std::ostringstream out;
+    if (baseFailed) {
+        out << "base run failed: " << baseError << "\n";
+        return out.str();
+    }
+    for (const auto &m : mismatches) {
+        out << m.design << ": " << m.kind << " mismatch -- "
+            << m.detail << "\n";
+    }
+    return out.str();
+}
+
+namespace
+{
+
+std::string
+hex(u32 v)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << v;
+    return out.str();
+}
+
+/** Compare candidate state against the Base reference; returns the
+ * first divergence in a fixed surface order (global memory first:
+ * it is the most stable surface under shrinking, since the epilogue
+ * fold always survives). */
+bool
+compareStates(const RunResult &baseRun, const ArchState &baseArch,
+              const RunResult &run, const ArchState &arch,
+              DiffMismatch &out)
+{
+    // Global memory.
+    if (baseRun.finalMemory.size() != run.finalMemory.size()) {
+        out.kind = "global";
+        out.detail = "memory image size differs";
+        return true;
+    }
+    for (size_t i = 0; i < baseRun.finalMemory.size(); i++) {
+        if (baseRun.finalMemory[i] != run.finalMemory[i]) {
+            out.kind = "global";
+            out.detail = "word " + std::to_string(i) + ": base " +
+                         hex(baseRun.finalMemory[i]) + ", got " +
+                         hex(run.finalMemory[i]);
+            return true;
+        }
+    }
+
+    // Scratchpad, per block.
+    if (baseArch.blocks.size() != arch.blocks.size()) {
+        out.kind = "blocks";
+        out.detail = "block count differs";
+        return true;
+    }
+    for (size_t i = 0; i < baseArch.blocks.size(); i++) {
+        const auto &bb = baseArch.blocks[i];
+        const auto &ob = arch.blocks[i];
+        if (bb.blockId != ob.blockId || bb.scratch.size() !=
+                                            ob.scratch.size()) {
+            out.kind = "blocks";
+            out.detail = "block keys differ at index " +
+                         std::to_string(i);
+            return true;
+        }
+        for (size_t w = 0; w < bb.scratch.size(); w++) {
+            if (bb.scratch[w] != ob.scratch[w]) {
+                out.kind = "scratch";
+                out.detail = "block " + std::to_string(bb.blockId) +
+                             " word " + std::to_string(w) +
+                             ": base " + hex(bb.scratch[w]) +
+                             ", got " + hex(ob.scratch[w]);
+                return true;
+            }
+        }
+    }
+
+    // Registers and SIMT-stack health, per warp.
+    if (baseArch.warps.size() != arch.warps.size()) {
+        out.kind = "warps";
+        out.detail = "warp count differs";
+        return true;
+    }
+    for (size_t i = 0; i < baseArch.warps.size(); i++) {
+        const auto &bw = baseArch.warps[i];
+        const auto &ow = arch.warps[i];
+        std::string where = "block " + std::to_string(bw.blockId) +
+                            " warp " + std::to_string(bw.warpInBlock);
+        if (bw.blockId != ow.blockId ||
+            bw.warpInBlock != ow.warpInBlock) {
+            out.kind = "warps";
+            out.detail = "warp keys differ at index " +
+                         std::to_string(i);
+            return true;
+        }
+        size_t nRegs = std::min(bw.definedMasks.size(),
+                                ow.definedMasks.size());
+        for (size_t r = 0; r < nRegs; r++) {
+            if (bw.definedMasks[r] != ow.definedMasks[r]) {
+                out.kind = "regmask";
+                out.detail = where + " r" + std::to_string(r) +
+                             ": defined mask base " +
+                             hex(bw.definedMasks[r]) + ", got " +
+                             hex(ow.definedMasks[r]);
+                return true;
+            }
+            for (unsigned lane = 0; lane < warpSize; lane++) {
+                if (bw.regs[r][lane] != ow.regs[r][lane]) {
+                    out.kind = "reg";
+                    out.detail = where + " r" + std::to_string(r) +
+                                 " lane " + std::to_string(lane) +
+                                 ": base " + hex(bw.regs[r][lane]) +
+                                 ", got " + hex(ow.regs[r][lane]);
+                    return true;
+                }
+            }
+        }
+        if (bw.maxStackDepth != ow.maxStackDepth) {
+            out.kind = "stack";
+            out.detail = where + ": peak SIMT depth base " +
+                         std::to_string(bw.maxStackDepth) +
+                         ", got " +
+                         std::to_string(ow.maxStackDepth);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+DiffResult
+diffTest(const KernelSpec &spec, const DiffConfig &cfg)
+{
+    // Resolve everything up front so bad config throws ConfigError
+    // before any simulation runs.
+    std::vector<DesignConfig> designs;
+    if (cfg.designs.empty()) {
+        for (const auto &d : allDesigns()) {
+            if (d.name != "Base")
+                designs.push_back(d);
+        }
+    } else {
+        for (const auto &name : cfg.designs)
+            designs.push_back(designByName(name));
+    }
+    FaultClass fault = FaultClass::None;
+    if (!cfg.inject.empty())
+        fault = faultClassByName(cfg.inject);
+
+    MachineConfig machine;
+    machine.numSms = cfg.numSms;
+    if (cfg.maxCycles)
+        machine.maxCycles = cfg.maxCycles;
+
+    DiffResult result;
+
+    ArchState baseArch;
+    RunResult baseRun;
+    try {
+        baseRun = runWorkloadArch(buildWorkload(spec), designBase(),
+                                  machine, baseArch);
+    } catch (const SimError &err) {
+        result.baseFailed = true;
+        result.baseError = err.what();
+        return result;
+    }
+
+    for (const auto &design : designs) {
+        MachineConfig m = machine;
+        m.check.inject = fault;
+        m.check.injectCycle = cfg.injectCycle;
+        m.check.injectSm = cfg.injectSm;
+
+        DiffMismatch mm;
+        mm.design = design.name;
+        ArchState arch;
+        try {
+            RunResult run = runWorkloadArch(buildWorkload(spec),
+                                            design, m, arch);
+            if (compareStates(baseRun, baseArch, run, arch, mm))
+                result.mismatches.push_back(std::move(mm));
+        } catch (const SimError &err) {
+            mm.kind = "sim";
+            mm.detail = err.what();
+            result.mismatches.push_back(std::move(mm));
+        }
+    }
+    return result;
+}
+
+} // namespace gen
+} // namespace wir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Differential oracle: run one spec under Base and under every
+ * candidate design and compare *full* architectural state -- global
+ * memory, per-block scratchpad, per-warp registers (defined lanes
+ * and their values), and SIMT-stack peak depth -- not just the final
+ * memory image the old prototype checked.
+ *
+ * Mismatches carry a compact signature "design:kind" used for triage
+ * dedup and as the invariant the shrinker must preserve.
+ */
+
+#ifndef WIR_GEN_ORACLE_HH
+#define WIR_GEN_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "gen/spec.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+struct DiffConfig
+{
+    /** Designs to compare against Base; empty = all non-Base. */
+    std::vector<std::string> designs;
+    unsigned numSms = 2;
+    /** Optional fault injected into the *candidate* runs only (the
+     * Base reference always runs clean). */
+    std::string inject;
+    u64 injectCycle = 0;
+    unsigned injectSm = 0;
+    /** Cycle budget per run; bounds runaway candidates when the
+     * campaign is not sandboxed. 0 = the Gpu default. */
+    u64 maxCycles = 8u * 1000 * 1000;
+};
+
+/** One divergence between Base and a candidate design. */
+struct DiffMismatch
+{
+    std::string design;
+    /** "global", "scratch", "reg", "regmask", "stack", "warps",
+     * "blocks", or "sim" (the candidate run threw SimError). */
+    std::string kind;
+    std::string detail; ///< first differing location, one line
+};
+
+struct DiffResult
+{
+    /** The clean Base reference itself failed: a generator or
+     * simulator bug, signature "base:sim". */
+    bool baseFailed = false;
+    std::string baseError;
+    std::vector<DiffMismatch> mismatches; ///< at most one per design
+
+    bool clean() const { return !baseFailed && mismatches.empty(); }
+
+    /** Dedup/shrink signature: "" when clean, "base:sim", or the
+     * first mismatch's "design:kind" (paper presentation order, so
+     * deterministic). */
+    std::string signature() const;
+
+    /** Multi-line human-readable report ("" when clean). */
+    std::string report() const;
+};
+
+/** Validate config (unknown design/fault names throw ConfigError)
+ * and run the differential test. SimErrors in candidate runs are
+ * folded into mismatches; only Base failures set baseFailed. */
+DiffResult diffTest(const KernelSpec &spec, const DiffConfig &cfg);
+
+} // namespace gen
+} // namespace wir
+
+#endif // WIR_GEN_ORACLE_HH

@@ -1,0 +1,234 @@
+#include "gen/shrink.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+namespace
+{
+
+/** Walk every statement list in a spec in a stable DFS order and
+ * return a pointer to the k-th one (0 = the top level), or null. */
+std::vector<GenStmt> *
+listAt(std::vector<GenStmt> &list, unsigned &k)
+{
+    if (k == 0)
+        return &list;
+    k--;
+    for (auto &s : list) {
+        if (s.kind != StmtKind::If && s.kind != StmtKind::Loop)
+            continue;
+        if (auto *found = listAt(s.body, k))
+            return found;
+        if (s.hasElse) {
+            if (auto *found = listAt(s.orElse, k))
+                return found;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<GenStmt> *
+nthList(KernelSpec &spec, unsigned index)
+{
+    unsigned k = index;
+    return listAt(spec.stmts, k);
+}
+
+unsigned
+listCount(const KernelSpec &spec)
+{
+    // Count by probing; specs are tiny so the re-walk is free.
+    KernelSpec &mutableSpec = const_cast<KernelSpec &>(spec);
+    unsigned n = 0;
+    while (nthList(mutableSpec, n))
+        n++;
+    return n;
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(const std::string &signature_, const SpecEval &eval_,
+             unsigned maxEvals_, ShrinkStats &stats_)
+        : signature(signature_), eval(eval_), maxEvals(maxEvals_),
+          stats(stats_)
+    {}
+
+    KernelSpec
+    run(KernelSpec spec)
+    {
+        bool progress = true;
+        while (progress && !exhausted()) {
+            progress = false;
+            progress |= removalPass(spec);
+            progress |= unnestPass(spec);
+            progress |= simplifyPass(spec);
+        }
+        return spec;
+    }
+
+  private:
+    bool exhausted() const { return stats.evals >= maxEvals; }
+
+    /** Does `candidate` still fail the same way? */
+    bool
+    stillFails(const KernelSpec &candidate)
+    {
+        if (exhausted())
+            return false;
+        stats.evals++;
+        return eval(candidate) == signature;
+    }
+
+    /** ddmin-style chunk removal over every statement list: try to
+     * delete runs of statements, halving the chunk size as deletions
+     * stop sticking. */
+    bool
+    removalPass(KernelSpec &spec)
+    {
+        bool any = false;
+        for (unsigned li = 0; li < listCount(spec); li++) {
+            size_t len = nthList(spec, li)->size();
+            for (size_t chunk = len; chunk >= 1; chunk /= 2) {
+                size_t start = 0;
+                while (start < nthList(spec, li)->size()) {
+                    if (exhausted())
+                        return any;
+                    KernelSpec candidate = spec;
+                    auto *list = nthList(candidate, li);
+                    size_t n = std::min(chunk, list->size() - start);
+                    list->erase(list->begin() + start,
+                                list->begin() + start + n);
+                    if (stillFails(candidate)) {
+                        spec = std::move(candidate);
+                        any = true;
+                        // Same start now names the next chunk.
+                    } else {
+                        start += chunk;
+                    }
+                }
+                if (chunk == 1)
+                    break;
+            }
+        }
+        return any;
+    }
+
+    /** Replace an If/Loop with its body (and else-body) inline --
+     * removes a nesting level while keeping the statements. */
+    bool
+    unnestPass(KernelSpec &spec)
+    {
+        bool any = false;
+        for (unsigned li = 0; li < listCount(spec); li++) {
+            size_t i = 0;
+            while (i < nthList(spec, li)->size()) {
+                if (exhausted())
+                    return any;
+                GenStmt &s = (*nthList(spec, li))[i];
+                if (s.kind != StmtKind::If &&
+                    s.kind != StmtKind::Loop) {
+                    i++;
+                    continue;
+                }
+                KernelSpec candidate = spec;
+                auto *list = nthList(candidate, li);
+                GenStmt node = std::move((*list)[i]);
+                list->erase(list->begin() + i);
+                list->insert(list->begin() + i,
+                             node.body.begin(), node.body.end());
+                list->insert(list->begin() + i + node.body.size(),
+                             node.orElse.begin(), node.orElse.end());
+                if (stillFails(candidate)) {
+                    spec = std::move(candidate);
+                    any = true;
+                    // Re-examine the inlined statements in place.
+                } else {
+                    i++;
+                }
+            }
+        }
+        return any;
+    }
+
+    /** Shrink scalar parameters: grid, block shape, loop trips,
+     * branch split points. */
+    bool
+    simplifyPass(KernelSpec &spec)
+    {
+        bool any = false;
+
+        auto tryEdit = [&](auto &&edit) {
+            if (exhausted())
+                return;
+            KernelSpec candidate = spec;
+            if (!edit(candidate))
+                return;
+            if (stillFails(candidate)) {
+                spec = std::move(candidate);
+                any = true;
+            }
+        };
+
+        tryEdit([](KernelSpec &c) {
+            if (c.gridBlocks <= 1)
+                return false;
+            c.gridBlocks = 1;
+            return true;
+        });
+        tryEdit([](KernelSpec &c) {
+            if (c.blockThreads <= 32)
+                return false;
+            // Keep whole warps whole: a %32 block only shrinks to
+            // another %32 shape, so barriers stay legal.
+            c.blockThreads = c.blockThreads % 32 == 0 ? 32 : 16;
+            return true;
+        });
+
+        // Loop trips and branch split points, one node at a time.
+        for (unsigned li = 0; li < listCount(spec); li++) {
+            for (size_t i = 0; i < nthList(spec, li)->size(); i++) {
+                tryEdit([&](KernelSpec &c) {
+                    GenStmt &s = (*nthList(c, li))[i];
+                    if (s.kind == StmtKind::Loop && s.limit > 0) {
+                        s.limit = 0; // 1 trip (uniform), minimal mask
+                        s.trip = TripKind::Uniform;
+                        return true;
+                    }
+                    if (s.kind == StmtKind::If && s.hasElse) {
+                        s.hasElse = false;
+                        s.orElse.clear();
+                        return true;
+                    }
+                    return false;
+                });
+            }
+        }
+        return any;
+    }
+
+    const std::string &signature;
+    const SpecEval &eval;
+    unsigned maxEvals;
+    ShrinkStats &stats;
+};
+
+} // namespace
+
+KernelSpec
+shrink(const KernelSpec &spec, const std::string &signature,
+       const SpecEval &eval, unsigned maxEvals, ShrinkStats *stats)
+{
+    ShrinkStats local;
+    ShrinkStats &s = stats ? *stats : local;
+    s.originalStmts = countStmts(spec);
+    Shrinker shrinker(signature, eval, maxEvals, s);
+    KernelSpec out = shrinker.run(spec);
+    s.finalStmts = countStmts(out);
+    return out;
+}
+
+} // namespace gen
+} // namespace wir

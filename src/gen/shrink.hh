@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Delta-debugging shrinker: reduce a failing kernel spec to a
+ * minimal repro that still fails with the same signature.
+ *
+ * Works entirely on the statement AST, so every candidate is
+ * well-formed by construction. Passes, iterated to fixpoint under an
+ * evaluation budget: ddmin-style chunk removal over every statement
+ * list, unnesting If/Loop bodies into their parent, and parameter
+ * simplification (grid -> 1, block -> 32, loop trips -> 1). The
+ * evaluation callback abstracts *how* a candidate runs (the campaign
+ * routes it through the crash-isolating sandbox), so shrinking works
+ * for crashes and timeouts exactly like for oracle mismatches.
+ */
+
+#ifndef WIR_GEN_SHRINK_HH
+#define WIR_GEN_SHRINK_HH
+
+#include <functional>
+
+#include "gen/spec.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+/** Evaluate one candidate: return its failure signature ("" =
+ * passes). Must be deterministic. */
+using SpecEval = std::function<std::string(const KernelSpec &)>;
+
+struct ShrinkStats
+{
+    unsigned evals = 0;         ///< candidate evaluations spent
+    unsigned originalStmts = 0;
+    unsigned finalStmts = 0;
+};
+
+/**
+ * Shrink `spec`, preserving `signature` under `eval`. Returns the
+ * smallest failing spec found within `maxEvals` evaluations (the
+ * original spec if nothing could be removed).
+ */
+KernelSpec shrink(const KernelSpec &spec,
+                  const std::string &signature, const SpecEval &eval,
+                  unsigned maxEvals = 400,
+                  ShrinkStats *stats = nullptr);
+
+} // namespace gen
+} // namespace wir
+
+#endif // WIR_GEN_SHRINK_HH

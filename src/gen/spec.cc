@@ -1,0 +1,730 @@
+#include "gen/spec.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "isa/builder.hh"
+#include "workloads/factories.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+const char *const arithOpNames[12] = {
+    "iadd", "isub", "imul", "iand", "ior",    "ixor",
+    "imin", "imax", "shl",  "shr",  "isetlt", "iseteq",
+};
+
+const char *const arithFOpNames[4] = {"fadd", "fmul", "fmin", "fmax"};
+
+namespace
+{
+
+const Op arithOps[12] = {
+    Op::IADD, Op::ISUB, Op::IMUL, Op::IAND, Op::IOR,    Op::IXOR,
+    Op::IMIN, Op::IMAX, Op::SHL,  Op::SHR,  Op::ISETLT, Op::ISETEQ,
+};
+
+const Op arithFOps[4] = {Op::FADD, Op::FMUL, Op::FMIN, Op::FMAX};
+
+} // namespace
+
+unsigned
+countStmts(const std::vector<GenStmt> &stmts)
+{
+    unsigned n = 0;
+    for (const auto &s : stmts)
+        n += 1 + countStmts(s.body) + countStmts(s.orElse);
+    return n;
+}
+
+unsigned
+countStmts(const KernelSpec &spec)
+{
+    return countStmts(spec.stmts);
+}
+
+// --------------------------------------------------------------------------
+// Serialization
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+formatOperand(const GenOperand &o)
+{
+    return (o.isImm ? "i" : "p") + std::to_string(o.value);
+}
+
+void
+formatStmts(std::ostringstream &out, const std::vector<GenStmt> &stmts,
+            unsigned depth)
+{
+    std::string pad(depth * 2, ' ');
+    for (const auto &s : stmts) {
+        switch (s.kind) {
+          case StmtKind::Arith:
+            out << pad << "arith " << arithOpNames[s.op % 12] << " "
+                << formatOperand(s.a) << " " << formatOperand(s.b)
+                << "\n";
+            break;
+          case StmtKind::ArithF:
+            out << pad << "arithf " << arithFOpNames[s.op % 4] << " "
+                << formatOperand(s.a) << " " << formatOperand(s.b)
+                << "\n";
+            break;
+          case StmtKind::Load:
+            out << pad << "load ";
+            if (s.addr == AddrKind::Direct)
+                out << "direct " << formatOperand(s.a);
+            else if (s.addr == AddrKind::Indirect)
+                out << "indirect " << formatOperand(s.a);
+            else
+                out << "scratch";
+            out << "\n";
+            break;
+          case StmtKind::Store:
+            out << pad
+                << (s.addr == AddrKind::Scratch ? "store scratch "
+                                                : "store global ")
+                << formatOperand(s.a) << "\n";
+            break;
+          case StmtKind::If:
+            if (s.cond == CondKind::Lane) {
+                out << pad << "if lane " << unsigned(s.limit)
+                    << " {\n";
+            } else {
+                out << pad << "if cmp " << formatOperand(s.a) << " "
+                    << formatOperand(s.b) << " {\n";
+            }
+            formatStmts(out, s.body, depth + 1);
+            if (s.hasElse) {
+                out << pad << "} else {\n";
+                formatStmts(out, s.orElse, depth + 1);
+            }
+            out << pad << "}\n";
+            break;
+          case StmtKind::Loop:
+            if (s.trip == TripKind::Uniform) {
+                out << pad << "loop uniform " << unsigned(s.limit)
+                    << " {\n";
+            } else {
+                out << pad << "loop perlane " << unsigned(s.limit)
+                    << " " << formatOperand(s.a) << " {\n";
+            }
+            formatStmts(out, s.body, depth + 1);
+            out << pad << "}\n";
+            break;
+          case StmtKind::Barrier:
+            out << pad << "barrier\n";
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+formatSpec(const KernelSpec &spec)
+{
+    std::ostringstream out;
+    out << "kernel " << spec.name << "\n";
+    out << "block " << spec.blockThreads << "\n";
+    out << "grid " << spec.gridBlocks << "\n";
+    out << "levels " << spec.levels << "\n";
+    out << "seed " << spec.dataSeed << "\n";
+    formatStmts(out, spec.stmts, 0);
+    return out.str();
+}
+
+std::string
+formatSpecFile(const SpecFile &file, const std::string &comment)
+{
+    std::ostringstream out;
+    out << "# wirsim kernel spec\n";
+    if (!comment.empty()) {
+        std::istringstream lines(comment);
+        std::string line;
+        while (std::getline(lines, line))
+            out << "# " << line << "\n";
+    }
+    if (file.numSms != 2)
+        out << "sms " << file.numSms << "\n";
+    if (!file.inject.empty()) {
+        out << "inject " << file.inject << "\n";
+        if (file.injectCycle)
+            out << "inject-cycle " << file.injectCycle << "\n";
+        if (file.injectSm)
+            out << "inject-sm " << file.injectSm << "\n";
+    }
+    for (const auto &d : file.designs)
+        out << "design " << d << "\n";
+    if (!file.expect.empty())
+        out << "expect " << file.expect << "\n";
+    out << formatSpec(file.spec);
+    return out.str();
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+struct Line
+{
+    unsigned number = 0;
+    std::vector<std::string> tokens;
+};
+
+[[noreturn]] void
+parseError(const Line &line, const char *what)
+{
+    fatal("spec parse error at line %u: %s", line.number, what);
+}
+
+u64
+parseU64(const Line &line, const std::string &token)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0')
+        parseError(line, "expected a number");
+    return v;
+}
+
+GenOperand
+parseOperand(const Line &line, const std::string &token)
+{
+    if (token.size() < 2 || (token[0] != 'p' && token[0] != 'i'))
+        parseError(line, "expected an operand (pN or iN)");
+    u64 v = parseU64(line, token.substr(1));
+    return token[0] == 'i' ? GenOperand::imm(static_cast<u32>(v))
+                           : GenOperand::sel(static_cast<u32>(v));
+}
+
+u8
+opIndex(const Line &line, const char *const *names, unsigned count,
+        const std::string &token)
+{
+    for (unsigned i = 0; i < count; i++) {
+        if (token == names[i])
+            return static_cast<u8>(i);
+    }
+    parseError(line, "unknown arithmetic op");
+}
+
+void
+expectTokens(const Line &line, size_t n)
+{
+    if (line.tokens.size() != n)
+        parseError(line, "wrong number of tokens");
+}
+
+/** Parse statements until `}`/`} else {` (returned via *stop) or
+ * end of input. */
+void
+parseStmts(const std::vector<Line> &lines, size_t &pos,
+           std::vector<GenStmt> &out, bool nested, bool *sawElse)
+{
+    while (pos < lines.size()) {
+        const Line &line = lines[pos];
+        const auto &t = line.tokens;
+        const std::string &head = t[0];
+
+        if (head == "}") {
+            if (!nested)
+                parseError(line, "unmatched '}'");
+            if (t.size() == 1) {
+                pos++;
+                if (sawElse)
+                    *sawElse = false;
+                return;
+            }
+            if (t.size() == 3 && t[1] == "else" && t[2] == "{") {
+                pos++;
+                if (!sawElse)
+                    parseError(line, "'else' outside an if");
+                *sawElse = true;
+                return;
+            }
+            parseError(line, "malformed '}' line");
+        }
+
+        GenStmt s;
+        if (head == "arith" || head == "arithf") {
+            expectTokens(line, 4);
+            bool fp = head == "arithf";
+            s.kind = fp ? StmtKind::ArithF : StmtKind::Arith;
+            s.op = fp ? opIndex(line, arithFOpNames, 4, t[1])
+                      : opIndex(line, arithOpNames, 12, t[1]);
+            s.a = parseOperand(line, t[2]);
+            s.b = parseOperand(line, t[3]);
+            pos++;
+        } else if (head == "load") {
+            s.kind = StmtKind::Load;
+            if (t.size() == 2 && t[1] == "scratch") {
+                s.addr = AddrKind::Scratch;
+            } else if (t.size() == 3 && t[1] == "direct") {
+                s.addr = AddrKind::Direct;
+                s.a = parseOperand(line, t[2]);
+            } else if (t.size() == 3 && t[1] == "indirect") {
+                s.addr = AddrKind::Indirect;
+                s.a = parseOperand(line, t[2]);
+            } else {
+                parseError(line, "malformed load");
+            }
+            pos++;
+        } else if (head == "store") {
+            expectTokens(line, 3);
+            s.kind = StmtKind::Store;
+            if (t[1] == "global")
+                s.addr = AddrKind::Direct;
+            else if (t[1] == "scratch")
+                s.addr = AddrKind::Scratch;
+            else
+                parseError(line, "malformed store");
+            s.a = parseOperand(line, t[2]);
+            pos++;
+        } else if (head == "if") {
+            s.kind = StmtKind::If;
+            if (t.size() == 4 && t[1] == "lane" && t[3] == "{") {
+                s.cond = CondKind::Lane;
+                s.limit = static_cast<u8>(parseU64(line, t[2]));
+            } else if (t.size() == 5 && t[1] == "cmp" && t[4] == "{") {
+                s.cond = CondKind::Cmp;
+                s.a = parseOperand(line, t[2]);
+                s.b = parseOperand(line, t[3]);
+            } else {
+                parseError(line, "malformed if");
+            }
+            pos++;
+            bool elseNext = false;
+            parseStmts(lines, pos, s.body, true, &elseNext);
+            if (elseNext) {
+                s.hasElse = true;
+                parseStmts(lines, pos, s.orElse, true, nullptr);
+            }
+        } else if (head == "loop") {
+            s.kind = StmtKind::Loop;
+            if (t.size() == 4 && t[1] == "uniform" && t[3] == "{") {
+                s.trip = TripKind::Uniform;
+                s.limit = static_cast<u8>(parseU64(line, t[2]));
+            } else if (t.size() == 5 && t[1] == "perlane" &&
+                       t[4] == "{") {
+                s.trip = TripKind::PerLane;
+                s.limit = static_cast<u8>(parseU64(line, t[2]));
+                s.a = parseOperand(line, t[3]);
+            } else {
+                parseError(line, "malformed loop");
+            }
+            pos++;
+            parseStmts(lines, pos, s.body, true, nullptr);
+        } else if (head == "barrier") {
+            expectTokens(line, 1);
+            s.kind = StmtKind::Barrier;
+            pos++;
+        } else {
+            parseError(line, "unknown statement");
+        }
+        out.push_back(std::move(s));
+    }
+    if (nested)
+        fatal("spec parse error: unterminated block at end of input");
+}
+
+} // namespace
+
+SpecFile
+parseSpecFile(const std::string &text)
+{
+    // Tokenize, dropping comments and blank lines.
+    std::vector<Line> lines;
+    {
+        std::istringstream in(text);
+        std::string raw;
+        unsigned number = 0;
+        while (std::getline(in, raw)) {
+            number++;
+            Line line;
+            line.number = number;
+            std::istringstream ls(raw);
+            std::string token;
+            while (ls >> token) {
+                if (token[0] == '#')
+                    break;
+                line.tokens.push_back(token);
+            }
+            if (!line.tokens.empty())
+                lines.push_back(std::move(line));
+        }
+    }
+
+    SpecFile file;
+    size_t pos = 0;
+
+    // Header directives come first; the statement list starts at the
+    // first non-directive keyword.
+    while (pos < lines.size()) {
+        const Line &line = lines[pos];
+        const auto &t = line.tokens;
+        const std::string &head = t[0];
+        if (head == "kernel") {
+            expectTokens(line, 2);
+            file.spec.name = t[1];
+        } else if (head == "block") {
+            expectTokens(line, 2);
+            file.spec.blockThreads =
+                static_cast<unsigned>(parseU64(line, t[1]));
+        } else if (head == "grid") {
+            expectTokens(line, 2);
+            file.spec.gridBlocks =
+                static_cast<unsigned>(parseU64(line, t[1]));
+        } else if (head == "levels") {
+            expectTokens(line, 2);
+            file.spec.levels =
+                static_cast<unsigned>(parseU64(line, t[1]));
+        } else if (head == "seed") {
+            expectTokens(line, 2);
+            file.spec.dataSeed = parseU64(line, t[1]);
+        } else if (head == "sms") {
+            expectTokens(line, 2);
+            file.numSms = static_cast<unsigned>(parseU64(line, t[1]));
+        } else if (head == "inject") {
+            expectTokens(line, 2);
+            file.inject = t[1];
+            faultClassByName(file.inject); // validate early
+        } else if (head == "inject-cycle") {
+            expectTokens(line, 2);
+            file.injectCycle = parseU64(line, t[1]);
+        } else if (head == "inject-sm") {
+            expectTokens(line, 2);
+            file.injectSm =
+                static_cast<unsigned>(parseU64(line, t[1]));
+        } else if (head == "design") {
+            expectTokens(line, 2);
+            file.designs.push_back(t[1]);
+        } else if (head == "expect") {
+            expectTokens(line, 2);
+            file.expect = t[1];
+        } else {
+            break; // first statement
+        }
+        pos++;
+    }
+
+    parseStmts(lines, pos, file.spec.stmts, false, nullptr);
+
+    if (file.spec.blockThreads == 0 || file.spec.blockThreads > 1024)
+        fatal("spec: block threads must be in [1, 1024]");
+    if (file.spec.gridBlocks == 0)
+        fatal("spec: grid must be nonzero");
+    if (file.spec.levels == 0)
+        fatal("spec: levels must be nonzero");
+    if (file.numSms == 0)
+        fatal("spec: sms must be nonzero");
+    return file;
+}
+
+// --------------------------------------------------------------------------
+// Lowering
+// --------------------------------------------------------------------------
+
+namespace
+{
+
+class Lowerer
+{
+  public:
+    explicit Lowerer(const KernelSpec &spec_)
+        : spec(spec_),
+          builder(spec_.name,
+                  {spec_.blockThreads, 1}, {spec_.gridBlocks, 1})
+    {
+        builder.setScratchBytes(scratchWords * 4);
+    }
+
+    Workload
+    build()
+    {
+        gid = factories::globalThreadId(builder);
+        lane = builder.s2r(SpecialReg::LaneId);
+        pool.push_back(gid);
+        pool.push_back(builder.s2r(SpecialReg::TidX));
+        pool.push_back(lane);
+        pool.push_back(builder.immReg(
+            static_cast<u32>(spec.dataSeed) & 63));
+        pool.push_back(builder.immReg(
+            static_cast<u32>(spec.dataSeed >> 6) & 63));
+        // FP clamp bounds, so F2I of any ArithF result is in range.
+        fLo = builder.immRegF(-1.0e6f);
+        fHi = builder.immRegF(1.0e6f);
+
+        lower(spec.stmts, 0);
+
+        // Fold the whole pool into one value and store per-thread:
+        // every depth-0 value becomes observable in global memory.
+        Reg acc = pool[0];
+        for (size_t i = 1; i < pool.size(); i++)
+            acc = builder.iadd(use(acc), use(pool[i]));
+        Reg outAddr = builder.imad(use(gid), Operand::imm(4),
+                                   Operand::imm(dataWords * 4));
+        builder.stg(use(outAddr), use(acc));
+
+        Workload w;
+        w.name = spec.name;
+        w.abbr = "FZ";
+        w.kernel = builder.finish();
+        w.image.allocGlobal((dataWords + outWords) * 4);
+        w.image.fillGlobal(0, factories::quantizedInts(
+                                  dataWords, spec.levels,
+                                  spec.dataSeed));
+        w.outputBase = dataWords * 4;
+        w.outputBytes = outWords * 4;
+        return w;
+    }
+
+  private:
+    Reg
+    pick(u32 sel)
+    {
+        return pool[sel % pool.size()];
+    }
+
+    /** Record a produced value in the pool. Beyond poolCap the pool
+     * stops growing and new values replace a rotating slot inside
+     * the current scope's window instead -- this bounds live
+     * register pressure (every pool entry is live until the
+     * epilogue fold) so arbitrarily large specs still fit the
+     * 63-logical-register budget. Only same-scope slots are
+     * replaced: an outer-scope slot overwritten from a divergent
+     * branch would leave partially-defined lanes for the epilogue
+     * to fold. */
+    void
+    define(Reg v)
+    {
+        if (pool.size() < poolCap) {
+            pool.push_back(v);
+            return;
+        }
+        size_t window = pool.size() - scopeMark;
+        if (window == 0)
+            return; // computed but not kept; still executes
+        pool[scopeMark + (poolRot++ % window)] = v;
+    }
+
+    Operand
+    operand(const GenOperand &o)
+    {
+        if (o.isImm)
+            return Operand::imm(o.value & 0xff);
+        return use(pick(o.value));
+    }
+
+    /** Byte address of a bounded word index into the input region. */
+    Reg
+    inputAddr(Operand index)
+    {
+        return factories::boundedWordAddr(builder, index, dataWords,
+                                          0);
+    }
+
+    /** Byte address of the thread's own scratchpad slot. */
+    Reg
+    scratchSlot()
+    {
+        Reg tid = builder.s2r(SpecialReg::TidX);
+        return builder.shl(use(tid), Operand::imm(2));
+    }
+
+    /** Upper bound on the virtual registers a statement's lowering
+     * creates (loop/if count only their own header; bodies are
+     * charged per child statement). */
+    static int
+    vregCost(const GenStmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Arith: return 1;
+          case StmtKind::ArithF: return 6;
+          case StmtKind::Load:
+            return s.addr == AddrKind::Indirect ? 6 : 3;
+          case StmtKind::Store: return 3;
+          case StmtKind::If: return 1;
+          case StmtKind::Loop: return 5;
+          case StmtKind::Barrier: return 0;
+        }
+        return 6;
+    }
+
+    void
+    lowerStmt(const GenStmt &s, unsigned depth)
+    {
+        // The register allocator extends every value touched inside
+        // a loop to the whole loop extent (it may be read again on
+        // the next iteration), so all temporaries in a loop nest
+        // conflict with each other. Budget the vregs per outermost
+        // loop and skip (rather than reject) statements beyond it,
+        // so any spec stays within the 63-logical-register limit.
+        if (loopBudget >= 0) {
+            int cost = vregCost(s);
+            if (cost > loopBudget)
+                return;
+            loopBudget -= cost;
+        }
+        switch (s.kind) {
+          case StmtKind::Arith:
+            define(builder.emit(arithOps[s.op % 12],
+                                operand(s.a), operand(s.b)));
+            break;
+          case StmtKind::ArithF: {
+              Reg fa = builder.emit(Op::I2F, operand(s.a));
+              Reg fb = builder.emit(Op::I2F, operand(s.b));
+              Reg f = builder.emit(arithFOps[s.op % 4], use(fa),
+                                   use(fb));
+              Reg lo = builder.emit(Op::FMIN, use(f), use(fHi));
+              Reg cl = builder.emit(Op::FMAX, use(lo), use(fLo));
+              define(builder.emit(Op::F2I, use(cl)));
+              break;
+          }
+          case StmtKind::Load:
+            switch (s.addr) {
+              case AddrKind::Direct:
+                define(builder.ldg(use(inputAddr(operand(s.a)))));
+                break;
+              case AddrKind::Indirect: {
+                  // Sparse/graph shape: a loaded value becomes the
+                  // index of the next load.
+                  Reg first =
+                      builder.ldg(use(inputAddr(operand(s.a))));
+                  define(builder.ldg(use(inputAddr(use(first)))));
+                  break;
+              }
+              case AddrKind::Scratch:
+                // The thread's own slot, so cross-warp completion
+                // order (which legitimately differs between designs)
+                // is never observable.
+                define(builder.lds(use(scratchSlot())));
+                break;
+            }
+            break;
+          case StmtKind::Store:
+            if (s.addr == AddrKind::Scratch) {
+                builder.sts(use(scratchSlot()), operand(s.a));
+            } else {
+                // Per-thread global slot in the upper half of the
+                // output region (race-free by construction).
+                Reg slot = builder.iand(
+                    use(gid), Operand::imm(outWords / 4 - 1));
+                Reg addr = builder.imad(
+                    use(slot), Operand::imm(8),
+                    Operand::imm(dataWords * 4 + outWords * 2));
+                builder.stg(use(addr), operand(s.a));
+            }
+            break;
+          case StmtKind::If: {
+              Reg pred;
+              if (s.cond == CondKind::Lane) {
+                  pred = builder.emit(
+                      Op::ISETLT, use(lane),
+                      Operand::imm(1 + s.limit % 31));
+              } else {
+                  pred = builder.emit(Op::ISETLT, operand(s.a),
+                                      operand(s.b));
+              }
+              size_t poolMark = pool.size();
+              size_t outerMark = scopeMark;
+              scopeMark = poolMark;
+              builder.iff(use(pred));
+              lower(s.body, depth + 1);
+              pool.resize(poolMark); // branch-defined values die here
+              if (s.hasElse) {
+                  builder.elseBranch();
+                  lower(s.orElse, depth + 1);
+                  pool.resize(poolMark);
+              }
+              builder.endIf();
+              scopeMark = outerMark;
+              break;
+          }
+          case StmtKind::Loop: {
+              bool outermost = loopBudget < 0;
+              if (outermost)
+                  loopBudget = loopTempBudget - vregCost(s);
+              Reg i = builder.immReg(0);
+              Reg limit;
+              if (s.trip == TripKind::Uniform) {
+                  limit = builder.immReg(1 + s.limit % 6);
+              } else {
+                  // Lane-dependent trip counts: classic loop-carried
+                  // divergence (lanes peel off across iterations).
+                  u32 mask = (1u << (1 + s.limit % 3)) - 1;
+                  Reg seedv = builder.iadd(use(lane), operand(s.a));
+                  limit = builder.iand(use(seedv), Operand::imm(mask));
+              }
+              size_t poolMark = pool.size();
+              size_t outerMark = scopeMark;
+              scopeMark = poolMark;
+              builder.loopBegin();
+              Reg more = builder.emit(Op::ISETLT, use(i), use(limit));
+              builder.loopBreakIfZero(use(more));
+              lower(s.body, depth + 1);
+              pool.resize(poolMark);
+              builder.emitInto(i, Op::IADD, use(i), Operand::imm(1));
+              builder.loopEnd();
+              scopeMark = outerMark;
+              if (outermost)
+                  loopBudget = -1;
+              define(i);
+              break;
+          }
+          case StmtKind::Barrier:
+            // Only legal at top level with whole warps; lowering
+            // skips (rather than rejects) so shrinker edits and
+            // hand-written specs stay runnable.
+            if (depth == 0 && spec.blockThreads % 32 == 0)
+                builder.bar();
+            break;
+        }
+    }
+
+    void
+    lower(const std::vector<GenStmt> &stmts, unsigned depth)
+    {
+        for (const auto &s : stmts)
+            lowerStmt(s, depth);
+    }
+
+    /** Live-value budget; keeps worst-case register pressure (pool
+     * + prologue + per-statement temporaries) under the allocator's
+     * 63-logical-register limit. */
+    static constexpr size_t poolCap = 24;
+    /** Vregs allowed per outermost loop nest (all of them conflict
+     * once the allocator widens their ranges to the loop extent). */
+    static constexpr int loopTempBudget = 24;
+
+    const KernelSpec &spec;
+    KernelBuilder builder;
+    Reg gid, lane, fLo, fHi;
+    std::vector<Reg> pool;
+    size_t scopeMark = 0;
+    u32 poolRot = 0;
+    int loopBudget = -1; ///< <0 when not inside any loop
+};
+
+} // namespace
+
+Workload
+buildWorkload(const KernelSpec &spec)
+{
+    return Lowerer(spec).build();
+}
+
+} // namespace gen
+} // namespace wir

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Kernel specs: a small statement AST that random kernels are
+ * generated into, lowered from, serialized as repro bundles, and --
+ * crucially -- shrunk over.
+ *
+ * The old tests/test_fuzz.cc prototype emitted instructions straight
+ * into a KernelBuilder, so a failing kernel existed only as an RNG
+ * seed: impossible to minimize or archive. A KernelSpec is the
+ * missing intermediate form. Every edit the delta-debugging shrinker
+ * performs (drop statements, unnest a branch, shrink dimensions)
+ * keeps the spec well-formed by construction: operands are pool
+ * *selectors* resolved modulo the live-value pool at lowering time,
+ * so removing the statement that produced a value can never leave a
+ * dangling reference.
+ *
+ * Specs serialize to a line-oriented text format (see formatSpec)
+ * used for repro bundles in tests/corpus/ and `wirsim fuzz --replay`.
+ */
+
+#ifndef WIR_GEN_SPEC_HH
+#define WIR_GEN_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace gen
+{
+
+/** Memory layout shared by every generated kernel: a read-only input
+ * region, per-thread output slots, and a per-block scratchpad. */
+constexpr unsigned dataWords = 1024;
+constexpr unsigned outWords = 2048;
+constexpr unsigned scratchWords = 256;
+
+enum class StmtKind : u8
+{
+    Arith,   ///< integer binary op into a fresh pool value
+    ArithF,  ///< int->float->int round trip through an FP op
+    Load,    ///< global (direct or data-dependent) or scratch load
+    Store,   ///< race-free global or scratch store
+    If,      ///< structured if/else, lane-split or data-dependent
+    Loop,    ///< bounded loop, uniform or per-lane trip counts
+    Barrier, ///< block-wide barrier (top level only)
+};
+
+enum class AddrKind : u8
+{
+    Direct,   ///< bounded index into the input region
+    Indirect, ///< sparse/graph style: loaded value indexes a load
+    Scratch,  ///< the thread's own scratchpad slot
+};
+
+enum class CondKind : u8
+{
+    Lane, ///< laneId < k: a clean divergent split inside every warp
+    Cmp,  ///< data-dependent comparison of two pool values
+};
+
+enum class TripKind : u8
+{
+    Uniform, ///< same trip count for every lane
+    PerLane, ///< lane-dependent trip counts (loop-carried divergence)
+};
+
+/** Integer ops a Stmt::Arith may select (index = GenStmt::op). */
+extern const char *const arithOpNames[12];
+/** FP ops a Stmt::ArithF may select (index = GenStmt::op). */
+extern const char *const arithFOpNames[4];
+
+/**
+ * One operand: either a small immediate or a selector into the pool
+ * of live values. Selectors resolve as pool[sel % pool.size()] so
+ * any u32 is valid against any pool.
+ */
+struct GenOperand
+{
+    bool isImm = false;
+    u32 value = 0; ///< immediate bits (low 8 used) or pool selector
+
+    static GenOperand imm(u32 v) { return {true, v}; }
+    static GenOperand sel(u32 v) { return {false, v}; }
+};
+
+struct GenStmt
+{
+    StmtKind kind = StmtKind::Arith;
+    u8 op = 0;     ///< arithOpNames / arithFOpNames index
+    GenOperand a;  ///< first operand / stored value / cond lhs
+    GenOperand b;  ///< second operand / cond rhs
+    AddrKind addr = AddrKind::Direct; ///< Load/Store addressing
+    CondKind cond = CondKind::Lane;   ///< If predicate shape
+    TripKind trip = TripKind::Uniform;
+    u8 limit = 1;  ///< loop trip seed / If-Lane split point
+    bool hasElse = false;
+    std::vector<GenStmt> body;
+    std::vector<GenStmt> orElse;
+};
+
+struct KernelSpec
+{
+    std::string name = "fuzz";
+    unsigned blockThreads = 32;
+    unsigned gridBlocks = 1;
+    /** Input quantization levels; fewer levels = more value
+     * redundancy = more reuse hits to stress. */
+    unsigned levels = 16;
+    u64 dataSeed = 1;
+    std::vector<GenStmt> stmts;
+};
+
+/** Total statement count, counting If/Loop nodes and their bodies
+ * (the shrinker's size metric). */
+unsigned countStmts(const std::vector<GenStmt> &stmts);
+unsigned countStmts(const KernelSpec &spec);
+
+/** Render the spec in the bundle text format. */
+std::string formatSpec(const KernelSpec &spec);
+
+/**
+ * Lower a spec to a runnable Workload: prologue pool (gid, tid,
+ * lane, two seeded immediates), the statement list, then an epilogue
+ * that folds every live pool value into one store so all depth-0
+ * results are observable through global memory. Deterministic: the
+ * same spec always produces the same kernel and input image.
+ */
+Workload buildWorkload(const KernelSpec &spec);
+
+/**
+ * A spec file: the kernel plus optional replay directives recorded
+ * by the fuzzer so a bundle reproduces the exact differential run
+ * (fault injection, design set, SM count) that failed.
+ */
+struct SpecFile
+{
+    KernelSpec spec;
+    std::string inject;       ///< fault class name, "" = none
+    u64 injectCycle = 0;
+    unsigned injectSm = 0;
+    std::vector<std::string> designs; ///< empty = all non-Base
+    unsigned numSms = 2;
+    std::string expect;       ///< expected replay signature, "" = clean
+};
+
+/** Render a complete bundle (directives + spec + `#` comments). */
+std::string formatSpecFile(const SpecFile &file,
+                           const std::string &comment = "");
+
+/** Parse a bundle; throws ConfigError with a line number on any
+ * malformed input. Comment lines (`#`) and blank lines are ignored. */
+SpecFile parseSpecFile(const std::string &text);
+
+} // namespace gen
+} // namespace wir
+
+#endif // WIR_GEN_SPEC_HH

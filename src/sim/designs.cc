@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "workloads/workloads.hh"
 
 namespace wir
 {
@@ -112,6 +113,32 @@ allDesigns()
     return {designBase(), designR(), designRL(), designRLP(),
             designRLPV(), designRPV(), designRLPVc(), designNoVSB(),
             designAffine(), designAffineRLPV()};
+}
+
+InjectCell
+parseInjectCellSpec(const std::string &spec)
+{
+    size_t eq = spec.rfind('=');
+    size_t slash = spec.find('/');
+    if (eq == std::string::npos || slash == std::string::npos ||
+        slash == 0 || slash + 1 >= eq || eq + 1 >= spec.size()) {
+        fatal("--inject-cell expects WL/DESIGN=CLASS, got '%s'",
+              spec.c_str());
+    }
+
+    InjectCell cell;
+    cell.workload = spec.substr(0, slash);
+    cell.design = spec.substr(slash + 1, eq - slash - 1);
+    cell.fault = faultClassByName(spec.substr(eq + 1));
+
+    bool known = false;
+    for (const auto &info : workloadRegistry())
+        known = known || cell.workload == info.abbr;
+    if (!known)
+        fatal("--inject-cell: unknown workload '%s'",
+              cell.workload.c_str());
+    cell.design = designByName(cell.design).name;
+    return cell;
 }
 
 // Declared in common/config.hh; lives here because it consults the

@@ -31,6 +31,22 @@ DesignConfig designByName(const std::string &name);
 /** Every design, in the paper's presentation order. */
 std::vector<DesignConfig> allDesigns();
 
+/** A parsed `--inject-cell WL/DESIGN=CLASS` argument. */
+struct InjectCell
+{
+    std::string workload; ///< registry abbreviation, e.g. "SF"
+    std::string design;   ///< canonical design name, e.g. "RLPV"
+    FaultClass fault;
+};
+
+/**
+ * Parse and fully validate a WL/DESIGN=CLASS cell spec. Throws
+ * ConfigError (exit 2 at the CLI) when the shape is wrong or the
+ * workload, design, or fault class does not exist -- so a typo
+ * fails at argument-parse time, not hours into a sweep.
+ */
+InjectCell parseInjectCellSpec(const std::string &spec);
+
 } // namespace wir
 
 #endif // WIR_SIM_DESIGNS_HH

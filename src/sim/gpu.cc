@@ -19,7 +19,8 @@ Gpu::Gpu(MachineConfig machine_, DesignConfig design_)
 
 SimStats
 Gpu::run(const Kernel &kernel, MemoryImage &image,
-         IssueObserver *observer, obs::Session *session)
+         IssueObserver *observer, obs::Session *session,
+         ArchState *arch)
 {
     kernel.validate();
     image.setConstSegment(kernel.constSegment);
@@ -56,6 +57,8 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         sms.push_back(std::make_unique<Sm>(
             static_cast<SmId>(s), machine, design, kernel, image,
             partitions, sink, probe));
+        if (arch)
+            sms.back()->captureArchTo(arch);
         if (session) {
             Sm *sm = sms.back().get();
             session->attachSm(static_cast<SmId>(s), sm->smStats(),
@@ -149,6 +152,8 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         sm->finalize();
         merged += sm->smStats();
     }
+    if (arch)
+        arch->normalize();
     if (session)
         session->finishRun(now);
     return merged;

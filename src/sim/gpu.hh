@@ -8,6 +8,7 @@
 #ifndef WIR_SIM_GPU_HH
 #define WIR_SIM_GPU_HH
 
+#include "check/arch_state.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "func/memory_image.hh"
@@ -36,11 +37,16 @@ class Gpu
      * counters adopted into its registry, trace hooks armed, periodic
      * snapshots streamed, and Session::finishRun() called before the
      * SMs are torn down.
+     *
+     * `arch` (optional) collects the final architectural state of
+     * every warp and block for the differential-testing oracle; it is
+     * normalized (sorted by design-independent keys) before return.
      * @return merged statistics (cycles = longest SM; counters summed)
      */
     SimStats run(const Kernel &kernel, MemoryImage &image,
                  IssueObserver *observer = nullptr,
-                 obs::Session *session = nullptr);
+                 obs::Session *session = nullptr,
+                 ArchState *arch = nullptr);
 
     const MachineConfig &machineConfig() const { return machine; }
     const DesignConfig &designConfig() const { return design; }

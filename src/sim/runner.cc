@@ -40,6 +40,24 @@ runWorkload(Workload &&workload, const DesignConfig &design,
 }
 
 RunResult
+runWorkloadArch(Workload &&workload, const DesignConfig &design,
+                const MachineConfig &machine, ArchState &arch)
+{
+    Gpu gpu(machine, design);
+    RunResult out;
+    out.workload = workload.abbr;
+    out.design = design.name;
+    out.stats = gpu.run(workload.kernel, workload.image, nullptr,
+                        nullptr, &arch);
+    out.energy = computeEnergy(out.stats);
+    out.finalMemory = workload.image.snapshotGlobal();
+    out.finalMemoryDigest =
+        fnv1a64(out.finalMemory.data(),
+                out.finalMemory.size() * sizeof(u32));
+    return out;
+}
+
+RunResult
 runOne(const WorkloadInfo &info, const DesignConfig &design,
        const MachineConfig &machine, obs::Session *session)
 {

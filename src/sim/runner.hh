@@ -81,6 +81,17 @@ RunResult runWorkload(Workload &&workload, const DesignConfig &design,
                       obs::Session *session = nullptr);
 
 /**
+ * Run an already-built workload and additionally capture the full
+ * architectural end state (registers, scratchpad, SIMT-stack peak
+ * depth) into `arch`. Differential-test entry point: the fuzzing
+ * oracle compares this state, not just finalMemory, between designs.
+ */
+RunResult runWorkloadArch(Workload &&workload,
+                          const DesignConfig &design,
+                          const MachineConfig &machine,
+                          ArchState &arch);
+
+/**
  * Build and run `abbr`, converting a SimError into a failed
  * RunResult (failKind=Sim) instead of propagating it. This is the
  * entry point the sandbox child uses: nothing a simulation can throw

@@ -38,6 +38,8 @@ Sm::Sm(SmId id_, const MachineConfig &machine_,
         baseRegs.assign(machine.maxWarpsPerSm *
                         machine.logicalRegsPerWarp, WarpValue{});
     }
+    definedMasks.assign(machine.maxWarpsPerSm *
+                        machine.logicalRegsPerWarp, 0);
 
     // Two schedulers, each owning one contiguous half of the warps.
     unsigned half = machine.maxWarpsPerSm / machine.schedulersPerSm;
@@ -133,6 +135,10 @@ Sm::launchBlock(BlockId blockId, u32 ctaX, u32 ctaY)
         WarpMask mask = lanes == warpSize
             ? fullMask : ((1u << lanes) - 1);
         warp.stack.reset(mask);
+        if (archCapture) {
+            for (unsigned r = 0; r < machine.logicalRegsPerWarp; r++)
+                definedMasks[baseRegIndex(slotId, r)] = 0;
+        }
         if (reuse)
             reuse->initWarp(slotId);
         block.warps.push_back(slotId);
@@ -432,6 +438,9 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
     } else {
         fly.result = evaluate(inst.op, in);
     }
+
+    if (archCapture && inst.hasDst())
+        definedMasks[baseRegIndex(warpId, inst.dst)] |= active;
 
     // Merge inactive lanes for the Base design (writes only touch
     // active lanes); the reuse design handles merging in the register
@@ -834,6 +843,10 @@ Sm::warpDrained(WarpId warpId)
     wir_assert(warp.active && warp.exited);
     BlockSlot &block = blocks[warp.blockSlot];
 
+    // Registers must be read before finishWarp tears down the
+    // warp's rename table.
+    if (archCapture)
+        captureWarpArch(warpId);
     if (reuse)
         reuse->finishWarp(warpId);
     warp.active = false;
@@ -853,10 +866,53 @@ Sm::warpDrained(WarpId warpId)
 }
 
 void
+Sm::captureWarpArch(WarpId warpId)
+{
+    WarpSlot &warp = warps[warpId];
+    BlockSlot &block = blocks[warp.blockSlot];
+
+    WarpArchRecord rec;
+    rec.blockId = block.blockId;
+    rec.warpInBlock = warp.ctx.warpInBlock;
+    rec.maxStackDepth = static_cast<u32>(warp.stack.maxDepth());
+
+    unsigned nRegs = machine.logicalRegsPerWarp;
+    rec.definedMasks.resize(nRegs, 0);
+    rec.regs.resize(nRegs, WarpValue{});
+    for (unsigned r = 0; r < nRegs; r++) {
+        WarpMask defined = definedMasks[baseRegIndex(warpId, r)];
+        rec.definedMasks[r] = defined;
+        if (!defined)
+            continue;
+        // A quarantined SM has rebuilt baseRegs and dropped its
+        // ReuseUnit, so dispatch on the live pointer, not the design.
+        WarpValue value{};
+        if (reuse) {
+            const auto &map = reuse->mapping(warpId, r);
+            if (map.valid && reuse->physValid(map.phys))
+                value = reuse->physValue(map.phys);
+        } else {
+            value = baseRegs[baseRegIndex(warpId, r)];
+        }
+        for (unsigned lane = 0; lane < warpSize; lane++) {
+            if (defined & (1u << lane))
+                rec.regs[r][lane] = value[lane];
+        }
+    }
+    archCapture->warps.push_back(std::move(rec));
+}
+
+void
 Sm::blockCompleted(u8 slot)
 {
     BlockSlot &block = blocks[slot];
     wir_assert(block.active);
+    if (archCapture) {
+        BlockArchRecord rec;
+        rec.blockId = block.blockId;
+        rec.scratch = block.scratch;
+        archCapture->blocks.push_back(std::move(rec));
+    }
     if (reuse)
         reuse->finishBlockSlot(slot);
     block.active = false;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "check/arch_state.hh"
 #include "check/fault_injector.hh"
 #include "check/invariant_auditor.hh"
 #include "common/config.hh"
@@ -84,6 +85,14 @@ class Sm
 
     /** Per-warp/pipeline state dump for the watchdog diagnostics. */
     std::string progressReport() const;
+
+    /**
+     * Capture final architectural state into `arch` as warps drain
+     * and blocks complete (differential-testing oracle). Must be set
+     * before the first cycle; pass nullptr to disable (the default --
+     * capture adds per-issue defined-mask bookkeeping).
+     */
+    void captureArchTo(ArchState *arch) { archCapture = arch; }
 
   private:
     // ---- Internal records ------------------------------------------------
@@ -188,6 +197,7 @@ class Sm
     void warpDrained(WarpId warp);
     void blockCompleted(u8 slot);
     u32 allocInflight();
+    void captureWarpArch(WarpId warp);
 
     // ---- Robustness (src/check) -------------------------------------------
 
@@ -212,6 +222,13 @@ class Sm
 
     std::unique_ptr<ReuseUnit> reuse; ///< null for Base/Affine designs
     std::vector<WarpValue> baseRegs;  ///< Base-design register values
+
+    ArchState *archCapture = nullptr; ///< differential-test sink
+    /** Per-(warp, logical reg) union of write masks; maintained only
+     * while archCapture is set. Lanes outside this mask are not
+     * program-visible (reuse designs may share physical registers
+     * across warps), so the oracle compares only defined lanes. */
+    std::vector<WarpMask> definedMasks;
 
     std::vector<WarpSlot> warps;
     std::vector<BlockSlot> blocks;

@@ -118,6 +118,20 @@ wordAddr(KernelBuilder &b, Reg index, u32 base)
     return b.imad(use(index), Operand::imm(4), Operand::imm(base));
 }
 
+/**
+ * Byte address of (index % words) into a region at `base`, for
+ * `words` a power of two. The mask-then-scale idiom keeps any
+ * data-dependent or generated index (sparse/graph kernels, fuzzer
+ * specs) inside its region without a branch.
+ */
+inline Reg
+boundedWordAddr(KernelBuilder &b, Operand index, unsigned words,
+                u32 base)
+{
+    Reg idx = b.iand(index, Operand::imm(words - 1));
+    return b.imad(use(idx), Operand::imm(4), Operand::imm(base));
+}
+
 /** Byte address base + index*4 with a register base. */
 inline Reg
 wordAddr(KernelBuilder &b, Reg index, Reg base)

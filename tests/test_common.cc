@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/config.hh"
@@ -95,6 +96,45 @@ TEST(Rng, BelowRespectsBound)
     Rng rng(123);
     for (int i = 0; i < 1000; i++)
         EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, SplitGivesIndependentDeterministicStreams)
+{
+    // Same parent state + same stream id => identical substream;
+    // different stream ids => different substreams. Splitting must
+    // not advance the parent.
+    Rng parent(42);
+    Rng a = parent.split(0);
+    Rng b = parent.split(0);
+    Rng c = parent.split(1);
+    EXPECT_EQ(a.next(), b.next());
+    Rng a2 = parent.split(0);
+    EXPECT_NE(a2.next(), c.next());
+    EXPECT_EQ(parent.next(), Rng(42).next())
+        << "split must leave the parent untouched";
+
+    // Stream ids that differ only in high bits still separate.
+    Rng hi = parent.split(1ull << 40);
+    Rng lo = parent.split(0);
+    EXPECT_NE(hi.next(), lo.next());
+}
+
+TEST(Rng, SplitStreamsDoNotCollideAcrossIndices)
+{
+    Rng parent(7);
+    std::vector<u64> firsts;
+    for (u64 i = 0; i < 256; i++)
+        firsts.push_back(parent.split(i).next());
+    std::sort(firsts.begin(), firsts.end());
+    EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()),
+              firsts.end())
+        << "first draws of 256 substreams must all differ";
+}
+
+TEST(Rng, BelowZeroBoundAsserts)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.below(0), SimError);
 }
 
 TEST(Rng, FloatInUnitInterval)

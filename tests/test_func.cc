@@ -252,6 +252,115 @@ TEST(SimtStack, DivergentLoopKeepsBoundedDepth)
     EXPECT_EQ(stack.depth(), 1u);
 }
 
+TEST(SimtStack, EmptyTakenAndNotTakenMasks)
+{
+    // A branch nobody takes and a branch everybody takes must not
+    // split the stack, even from a partial active mask.
+    SimtStack stack;
+    stack.reset(0x00010001u);
+    Instruction bra;
+    bra.op = Op::BRA;
+    bra.pc = 0;
+    bra.takenPc = 7;
+    bra.reconvPc = 9;
+
+    stack.branch(bra, 0); // empty taken mask: plain fall-through
+    EXPECT_EQ(stack.pc(), 1u);
+    EXPECT_EQ(stack.mask(), 0x00010001u);
+    EXPECT_EQ(stack.depth(), 1u);
+
+    bra.pc = 1;
+    stack.branch(bra, stack.mask()); // empty not-taken mask: jump
+    EXPECT_EQ(stack.pc(), 7u);
+    EXPECT_EQ(stack.mask(), 0x00010001u);
+    EXPECT_EQ(stack.depth(), 1u);
+    EXPECT_EQ(stack.maxDepth(), 1u) << "no divergence, no growth";
+}
+
+TEST(SimtStack, DeepNestingTracksPeakDepth)
+{
+    // Eight nested divergent ifs, each peeling one lane off to its
+    // else-block: the stack must keep every pending path and report
+    // the peak depth.
+    SimtStack stack;
+    stack.reset(fullMask);
+
+    WarpMask active = fullMask;
+    for (unsigned level = 0; level < 8; level++) {
+        ASSERT_EQ(stack.pc(), Pc{level});
+        ASSERT_EQ(stack.mask(), active);
+        Instruction bra;
+        bra.op = Op::BRA;
+        bra.pc = level;
+        bra.takenPc = 60 + level;   // else-block, never executed here
+        bra.reconvPc = 100 - level; // inner reconverges first
+        // The top remaining lane takes the branch, the rest stay.
+        WarpMask taken = 1u << (31 - level);
+        stack.branch(bra, taken);
+        active &= ~taken;
+    }
+    EXPECT_EQ(stack.mask(), 0x00ffffffu)
+        << "8 peels leave the low 24 lanes";
+    EXPECT_GE(stack.maxDepth(), 8u);
+    EXPECT_GE(stack.depth(), 8u);
+
+    // reset() must clear the peak along with the entries.
+    stack.reset(fullMask);
+    EXPECT_EQ(stack.maxDepth(), 1u);
+}
+
+TEST(SimtStack, PerLaneTripCountsReconverge)
+{
+    // Loop-carried divergence: lane L runs the body (L % 4) + 1
+    // times. Lanes peel off at the break over successive iterations;
+    // every lane must execute exactly its own trip count and the
+    // warp must reconverge with the full mask.
+    SimtStack stack;
+    stack.reset(fullMask);
+
+    Instruction breakBra;
+    breakBra.op = Op::BRA;
+    breakBra.pc = 0;
+    breakBra.takenPc = 3;
+    breakBra.reconvPc = 3;
+
+    Instruction backEdge;
+    backEdge.op = Op::BRA;
+    backEdge.pc = 2;
+    backEdge.takenPc = 0;
+    backEdge.reconvPc = 3;
+
+    unsigned trips[32], bodyRuns[32] = {};
+    for (unsigned lane = 0; lane < 32; lane++)
+        trips[lane] = lane % 4 + 1;
+
+    unsigned iter = 0;
+    while (true) {
+        ASSERT_EQ(stack.pc(), 0u);
+        WarpMask leaving = 0;
+        for (unsigned lane = 0; lane < 32; lane++) {
+            if ((stack.mask() >> lane & 1) && trips[lane] == iter)
+                leaving |= 1u << lane;
+        }
+        stack.branch(breakBra, leaving);
+        if (stack.pc() == 3)
+            break;
+        ASSERT_EQ(stack.pc(), 1u);
+        for (unsigned lane = 0; lane < 32; lane++)
+            bodyRuns[lane] += stack.mask() >> lane & 1;
+        stack.advance();
+        stack.branch(backEdge, stack.mask());
+        ASSERT_LE(stack.depth(), 4u);
+        iter++;
+        ASSERT_LE(iter, 5u) << "loop failed to terminate";
+    }
+    for (unsigned lane = 0; lane < 32; lane++)
+        EXPECT_EQ(bodyRuns[lane], trips[lane]) << "lane " << lane;
+    EXPECT_EQ(stack.mask(), fullMask);
+    EXPECT_EQ(stack.depth(), 1u);
+    EXPECT_GE(stack.maxDepth(), 2u) << "divergence must register";
+}
+
 TEST(MemoryImage, ReadWriteRoundTrip)
 {
     MemoryImage image(64);

@@ -1,258 +1,66 @@
 /**
  * @file
- * Randomized structured-kernel fuzzing.
+ * Randomized structured-kernel fuzzing -- thin wrapper over the
+ * src/gen subsystem (see tests/test_gen.cc for the generator,
+ * shrinker, and campaign unit tests; `wirsim fuzz` for campaigns).
  *
- * Generates random (but well-formed) kernels -- arithmetic chains,
- * nested if/else, bounded loops, barriers, global/scratchpad loads
- * and stores -- and asserts the central invariant: final global
- * memory is bit-identical between the Base design and every reuse
- * design. This hammers renaming, VSB sharing, verify-read recovery,
- * pin bits, dummy MOVs, the load-reuse hazard rules and the register
- * policies with shapes no hand-written workload covers.
+ * Each case generates divergence-heavy kernels and asserts the
+ * central invariant via the differential oracle: final global
+ * memory, scratchpad, architectural registers (defined lanes), and
+ * SIMT-stack health are identical between the Base design and every
+ * reuse design. This hammers renaming, VSB sharing, verify-read
+ * recovery, pin bits, dummy MOVs, the load-reuse hazard rules and
+ * the register policies with shapes no hand-written workload covers.
  */
 
 #include <gtest/gtest.h>
 
-#include "common/rng.hh"
-#include "isa/builder.hh"
-#include "sim/designs.hh"
-#include "sim/runner.hh"
-#include "workloads/factories.hh"
+#include "gen/generator.hh"
+#include "gen/oracle.hh"
 
 namespace wir
 {
 namespace
 {
 
-constexpr unsigned dataWords = 1024; // global input region
-constexpr unsigned outWords = 2048;  // per-thread output slots
-constexpr unsigned scratchWords = 256;
-
-class KernelFuzzer
+void
+expectAllDesignsMatch(u64 seed, gen::Family family, unsigned divergence)
 {
-  public:
-    explicit KernelFuzzer(u64 seed)
-        : rng(seed),
-          blockThreads(pickBlockDim()),
-          builder("fuzz", {blockThreads, 1}, {1 + rng.below(3), 1})
-    {
-        builder.setScratchBytes(scratchWords * 4);
-    }
+    gen::GenParams params;
+    params.family = family;
+    params.divergence = divergence;
+    gen::KernelSpec spec = gen::generate(seed, params);
+    spec.name = "fuzz" + std::to_string(seed);
 
-    Workload
-    generate()
-    {
-        gid = factories::globalThreadId(builder);
-        pool.push_back(gid);
-        pool.push_back(builder.s2r(SpecialReg::TidX));
-        pool.push_back(builder.s2r(SpecialReg::LaneId));
-        pool.push_back(builder.immReg(rng.below(64)));
-        pool.push_back(builder.immReg(rng.below(64)));
-
-        unsigned statements = 24 + rng.below(24);
-        for (unsigned i = 0; i < statements; i++)
-            emitStatement(/*depth=*/0);
-
-        // Fold the whole pool into one value and store per-thread.
-        Reg acc = pool[0];
-        for (size_t i = 1; i < pool.size(); i++)
-            acc = builder.iadd(use(acc), use(pool[i]));
-        Reg outAddr = builder.imad(
-            use(gid), Operand::imm(4),
-            Operand::imm(dataWords * 4));
-        builder.stg(use(outAddr), use(acc));
-
-        Workload w;
-        w.name = "fuzz";
-        w.abbr = "FZ";
-        w.kernel = builder.finish();
-        Addr base = w.image.allocGlobal((dataWords + outWords) * 4);
-        (void)base;
-        w.image.fillGlobal(
-            0, factories::quantizedInts(dataWords, 16, seedFor()));
-        w.outputBase = dataWords * 4;
-        w.outputBytes = outWords * 4;
-        return w;
-    }
-
-  private:
-    u64 seedFor() { return rng.next(); }
-
-    unsigned
-    pickBlockDim()
-    {
-        // Mostly full warps; occasionally a partial warp to stress
-        // the permanently-divergent path.
-        const unsigned dims[] = {32, 64, 96, 128, 48};
-        return dims[rng.below(5)];
-    }
-
-    Reg pick() { return pool[rng.below((u32)pool.size())]; }
-
-    Operand
-    pickOperand()
-    {
-        if (rng.below(4) == 0)
-            return Operand::imm(rng.below(256));
-        return use(pick());
-    }
-
-    void
-    emitArith()
-    {
-        static const Op ops[] = {Op::IADD, Op::ISUB, Op::IMUL,
-                                 Op::IAND, Op::IOR, Op::IXOR,
-                                 Op::IMIN, Op::IMAX, Op::SHL,
-                                 Op::SHR, Op::ISETLT, Op::ISETEQ};
-        Op op = ops[rng.below(std::size(ops))];
-        Reg r = builder.emit(op, pickOperand(), pickOperand());
-        pool.push_back(r);
-    }
-
-    Reg
-    boundedAddr(unsigned words, unsigned byteBase)
-    {
-        Reg idx = builder.iand(use(pick()),
-                               Operand::imm(words - 1));
-        return builder.imad(use(idx), Operand::imm(4),
-                            Operand::imm(byteBase));
-    }
-
-    void
-    emitLoad()
-    {
-        Reg value;
-        if (rng.below(2) == 0) {
-            // Global loads range over the read-only input region.
-            value = builder.ldg(use(boundedAddr(dataWords, 0)));
-        } else {
-            // Scratchpad loads read the thread's own slot so that
-            // cross-warp order (which differs between designs by
-            // construction) is never observable.
-            Reg tid = builder.s2r(SpecialReg::TidX);
-            Reg addr = builder.shl(use(tid), Operand::imm(2));
-            value = builder.lds(use(addr));
-        }
-        pool.push_back(value);
-    }
-
-    void
-    emitStore()
-    {
-        // Global stores go to per-thread slots (race-free); scratch
-        // stores to per-thread slots within the block.
-        if (rng.below(2) == 0) {
-            Reg slot = builder.iand(use(gid),
-                                    Operand::imm(outWords / 4 - 1));
-            Reg addr = builder.imad(
-                use(slot), Operand::imm(8),
-                Operand::imm(dataWords * 4 + outWords * 2));
-            builder.stg(use(addr), use(pick()));
-        } else {
-            // Per-thread scratchpad slot (blockDim <= 128 < 256
-            // words, so slots never alias across threads).
-            Reg tid = builder.s2r(SpecialReg::TidX);
-            Reg addr = builder.shl(use(tid), Operand::imm(2));
-            builder.sts(use(addr), use(pick()));
-        }
-    }
-
-    void
-    emitIf(unsigned depth)
-    {
-        Reg pred = builder.emit(Op::ISETLT, pickOperand(),
-                                pickOperand());
-        size_t poolMark = pool.size();
-        builder.iff(use(pred));
-        for (unsigned i = 0, n = 1 + rng.below(4); i < n; i++)
-            emitStatement(depth + 1);
-        pool.resize(poolMark); // then-defined values die at endIf
-        if (rng.below(2)) {
-            builder.elseBranch();
-            for (unsigned i = 0, n = 1 + rng.below(3); i < n; i++)
-                emitStatement(depth + 1);
-            pool.resize(poolMark);
-        }
-        builder.endIf();
-    }
-
-    void
-    emitLoop(unsigned depth)
-    {
-        Reg i = builder.immReg(0);
-        Reg limit = builder.immReg(1 + rng.below(6));
-        size_t poolMark = pool.size();
-        builder.loopBegin();
-        Reg more = builder.emit(Op::ISETLT, use(i), use(limit));
-        builder.loopBreakIfZero(use(more));
-        for (unsigned s = 0, n = 1 + rng.below(3); s < n; s++)
-            emitStatement(depth + 1);
-        pool.resize(poolMark);
-        builder.emitInto(i, Op::IADD, use(i), Operand::imm(1));
-        builder.loopEnd();
-        pool.push_back(i);
-    }
-
-    void
-    emitStatement(unsigned depth)
-    {
-        unsigned roll = rng.below(100);
-        if (depth == 0 && roll < 4 && blockThreads % 32 == 0) {
-            builder.bar();
-            return;
-        }
-        if (depth < 2 && roll < 12) {
-            emitIf(depth);
-            return;
-        }
-        if (depth < 2 && roll < 18) {
-            emitLoop(depth);
-            return;
-        }
-        if (roll < 34) {
-            emitLoad();
-            return;
-        }
-        if (roll < 46) {
-            emitStore();
-            return;
-        }
-        emitArith();
-    }
-
-    Rng rng;
-    unsigned blockThreads;
-    KernelBuilder builder;
-    Reg gid;
-    std::vector<Reg> pool;
-};
-
-class FuzzEquivalence : public ::testing::TestWithParam<u64>
-{
-};
-
-TEST_P(FuzzEquivalence, AllDesignsMatchBase)
-{
-    u64 seed = GetParam();
-    MachineConfig machine;
-    machine.numSms = 2;
-
-    auto makeFresh = [&]() {
-        return KernelFuzzer(seed).generate();
-    };
-
-    auto base = runWorkload(makeFresh(), designBase(), machine);
-    for (const auto &design : allDesigns()) {
-        if (design.name == "Base")
-            continue;
-        auto other = runWorkload(makeFresh(), design, machine);
-        ASSERT_EQ(base.finalMemory, other.finalMemory)
-            << "seed " << seed << " diverges under " << design.name;
-    }
+    gen::DiffConfig cfg; // all non-Base designs, 2 SMs
+    gen::DiffResult result = gen::diffTest(spec, cfg);
+    EXPECT_TRUE(result.clean())
+        << "seed " << seed << ": " << result.report();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
-                         ::testing::Range<u64>(1, 25));
+TEST(Fuzz, MixedKernelsMatchBaseOnAllDesigns)
+{
+    for (u64 seed = 1; seed <= 12; seed++)
+        expectAllDesignsMatch(seed, gen::Family::Mixed, 2);
+}
+
+TEST(Fuzz, BranchyHighDivergenceKernelsMatchBase)
+{
+    for (u64 seed = 13; seed <= 18; seed++)
+        expectAllDesignsMatch(seed, gen::Family::Branchy, 4);
+}
+
+TEST(Fuzz, LoopCarriedDivergenceKernelsMatchBase)
+{
+    for (u64 seed = 19; seed <= 24; seed++)
+        expectAllDesignsMatch(seed, gen::Family::LoopHeavy, 3);
+}
+
+TEST(Fuzz, SparseIndirectKernelsMatchBase)
+{
+    for (u64 seed = 25; seed <= 30; seed++)
+        expectAllDesignsMatch(seed, gen::Family::Sparse, 3);
+}
 
 } // namespace
 } // namespace wir

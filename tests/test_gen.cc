@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for the src/gen fuzzing subsystem: spec serialization
+ * round-trips, parse-error handling, generator determinism, the
+ * differential oracle's fault sensitivity, the delta-debugging
+ * shrinker, campaign determinism across job counts, and replay of
+ * the checked-in corpus bundles under tests/corpus/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gen/campaign.hh"
+#include "gen/generator.hh"
+#include "gen/oracle.hh"
+#include "gen/shrink.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+
+namespace wir
+{
+namespace
+{
+
+gen::KernelSpec
+sampleSpec(u64 seed, gen::Family family = gen::Family::Mixed,
+           unsigned divergence = 3)
+{
+    gen::GenParams params;
+    params.family = family;
+    params.divergence = divergence;
+    return gen::generate(seed, params);
+}
+
+TEST(GenSpec, FormatParseRoundTrip)
+{
+    for (u64 seed = 1; seed <= 8; seed++) {
+        gen::SpecFile file;
+        file.spec = sampleSpec(seed);
+        file.inject = "rb-value-flip";
+        file.injectCycle = 17;
+        file.injectSm = 1;
+        file.designs = {"RLPV", "R"};
+        file.numSms = 3;
+        file.expect = "RLPV:global";
+
+        std::string once = gen::formatSpecFile(file, "round trip");
+        gen::SpecFile parsed = gen::parseSpecFile(once);
+        std::string twice = gen::formatSpecFile(parsed, "round trip");
+        EXPECT_EQ(once, twice) << "seed " << seed;
+        EXPECT_EQ(parsed.inject, "rb-value-flip");
+        EXPECT_EQ(parsed.injectCycle, 17u);
+        EXPECT_EQ(parsed.injectSm, 1u);
+        EXPECT_EQ(parsed.numSms, 3u);
+        EXPECT_EQ(parsed.expect, "RLPV:global");
+        EXPECT_EQ(parsed.designs, file.designs);
+        EXPECT_EQ(gen::countStmts(parsed.spec),
+                  gen::countStmts(file.spec));
+    }
+}
+
+TEST(GenSpec, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(gen::parseSpecFile("arith iadd p1"), ConfigError);
+    EXPECT_THROW(gen::parseSpecFile("arith bogusop p1 p2"),
+                 ConfigError);
+    EXPECT_THROW(gen::parseSpecFile("if lane 3 {\n"), ConfigError)
+        << "unclosed block";
+    EXPECT_THROW(gen::parseSpecFile("}\n"), ConfigError)
+        << "unmatched close";
+    EXPECT_THROW(gen::parseSpecFile("block 0\n"), ConfigError);
+    EXPECT_THROW(gen::parseSpecFile("block 2048\n"), ConfigError);
+    EXPECT_THROW(gen::parseSpecFile("inject not-a-fault\n"),
+                 ConfigError);
+    EXPECT_THROW(gen::parseSpecFile("loop uniform {\n}\n"),
+                 ConfigError);
+}
+
+TEST(GenSpec, EveryStatementKindSurvivesRoundTrip)
+{
+    const char *text =
+        "kernel k\n"
+        "block 64\n"
+        "grid 2\n"
+        "levels 4\n"
+        "seed 9\n"
+        "arith iadd p1 i7\n"
+        "arithf fmul p2 p3\n"
+        "load direct i5\n"
+        "load indirect p4\n"
+        "load scratch\n"
+        "store global p1\n"
+        "store scratch i3\n"
+        "barrier\n"
+        "if lane 5 {\n"
+        "  arith ixor p1 p2\n"
+        "} else {\n"
+        "  arith ior p1 p2\n"
+        "}\n"
+        "if cmp p1 p2 {\n"
+        "  load direct p1\n"
+        "}\n"
+        "loop uniform 3 {\n"
+        "  arith iadd p1 i1\n"
+        "}\n"
+        "loop perlane 2 p3 {\n"
+        "  store scratch p1\n"
+        "}\n";
+    gen::SpecFile parsed = gen::parseSpecFile(text);
+    EXPECT_EQ(parsed.spec.blockThreads, 64u);
+    EXPECT_EQ(parsed.spec.gridBlocks, 2u);
+    std::string formatted = gen::formatSpecFile(parsed);
+    gen::SpecFile again = gen::parseSpecFile(formatted);
+    EXPECT_EQ(formatted, gen::formatSpecFile(again));
+    // And the spec must lower to a runnable workload.
+    Workload w = gen::buildWorkload(parsed.spec);
+    EXPECT_FALSE(w.kernel.insts.empty());
+}
+
+TEST(GenGenerator, DeterministicAcrossCalls)
+{
+    for (auto family : {gen::Family::Mixed, gen::Family::Branchy,
+                        gen::Family::LoopHeavy, gen::Family::Sparse,
+                        gen::Family::Uniform}) {
+        gen::GenParams params;
+        params.family = family;
+        params.divergence = 3;
+        gen::KernelSpec a = gen::generate(42, params);
+        gen::KernelSpec b = gen::generate(42, params);
+        EXPECT_EQ(gen::formatSpec(a), gen::formatSpec(b));
+        gen::KernelSpec c = gen::generate(43, params);
+        EXPECT_NE(gen::formatSpec(a), gen::formatSpec(c))
+            << "family " << gen::familyName(family);
+    }
+}
+
+TEST(GenGenerator, DivergenceZeroHasNoIfs)
+{
+    gen::GenParams params;
+    params.family = gen::Family::Branchy;
+    params.divergence = 0;
+    for (u64 seed = 1; seed <= 6; seed++) {
+        std::string text = gen::formatSpec(gen::generate(seed, params));
+        EXPECT_EQ(text.find("if "), std::string::npos)
+            << "seed " << seed;
+        EXPECT_EQ(text.find("perlane"), std::string::npos)
+            << "seed " << seed;
+    }
+}
+
+TEST(GenGenerator, LargeSpecsStillLower)
+{
+    // Register pressure must stay bounded no matter the statement
+    // budget (the lowering caps the pool and loop-nest temporaries).
+    gen::GenParams params;
+    params.statements = 160;
+    params.divergence = 4;
+    for (u64 seed = 1; seed <= 4; seed++) {
+        Workload w = gen::buildWorkload(gen::generate(seed, params));
+        EXPECT_LE(w.kernel.numRegs, 63u);
+    }
+}
+
+TEST(GenOracle, CleanOnIdenticalDesigns)
+{
+    gen::DiffConfig cfg;
+    cfg.designs = {"RLPV"};
+    gen::DiffResult result = gen::diffTest(sampleSpec(5), cfg);
+    EXPECT_TRUE(result.clean()) << result.report();
+    EXPECT_EQ(result.signature(), "");
+}
+
+TEST(GenOracle, DetectsSilentValueCorruption)
+{
+    // rb-value-flip with fallback enabled and no shadow check is the
+    // nastiest case: the design keeps running and silently corrupts
+    // architectural state. The full-state oracle must still catch it.
+    gen::DiffConfig cfg;
+    cfg.designs = {"RLPV"};
+    cfg.inject = "rb-value-flip";
+    gen::DiffResult result = gen::diffTest(sampleSpec(1), cfg);
+    EXPECT_FALSE(result.clean());
+    EXPECT_EQ(result.signature().substr(0, 5), "RLPV:");
+}
+
+TEST(GenOracle, RejectsUnknownDesignBeforeRunning)
+{
+    gen::DiffConfig cfg;
+    cfg.designs = {"NotADesign"};
+    EXPECT_THROW(gen::diffTest(sampleSpec(1), cfg), ConfigError);
+    gen::DiffConfig bad;
+    bad.inject = "not-a-fault";
+    EXPECT_THROW(gen::diffTest(sampleSpec(1), bad), ConfigError);
+}
+
+TEST(GenShrink, ReducesInjectedFaultRepro)
+{
+    // The acceptance scenario: a seeded rb-value-flip failure must
+    // shrink to a small fraction of the original kernel while
+    // keeping the exact failure signature.
+    gen::DiffConfig cfg;
+    cfg.designs = {"RLPV"};
+    cfg.inject = "rb-value-flip";
+
+    gen::KernelSpec spec = sampleSpec(1);
+    std::string signature = gen::diffTest(spec, cfg).signature();
+    ASSERT_FALSE(signature.empty());
+
+    gen::ShrinkStats stats;
+    gen::KernelSpec small = gen::shrink(
+        spec, signature,
+        [&](const gen::KernelSpec &candidate) {
+            return gen::diffTest(candidate, cfg).signature();
+        },
+        400, &stats);
+
+    EXPECT_EQ(gen::diffTest(small, cfg).signature(), signature);
+    EXPECT_GT(stats.originalStmts, 0u);
+    EXPECT_LE(stats.finalStmts * 4, stats.originalStmts)
+        << "shrinker must reach <= 25% of the original statements "
+        << "(got " << stats.finalStmts << "/" << stats.originalStmts
+        << ")";
+    EXPECT_LE(stats.evals, 400u);
+}
+
+TEST(GenShrink, PreservesSyntheticSignature)
+{
+    // Shrinking against a synthetic oracle: "fails" whenever the
+    // spec still contains a scratch store. The minimum is exactly
+    // one statement.
+    gen::KernelSpec spec = sampleSpec(7);
+    gen::GenStmt marker;
+    marker.kind = gen::StmtKind::Store;
+    marker.addr = gen::AddrKind::Scratch;
+    marker.a = gen::GenOperand::sel(3);
+    spec.stmts.insert(spec.stmts.begin() + spec.stmts.size() / 2,
+                      marker);
+
+    std::function<bool(const std::vector<gen::GenStmt> &)> hasMarker =
+        [&](const std::vector<gen::GenStmt> &stmts) {
+            for (const auto &s : stmts) {
+                if (s.kind == gen::StmtKind::Store &&
+                    s.addr == gen::AddrKind::Scratch)
+                    return true;
+                if (hasMarker(s.body) || hasMarker(s.orElse))
+                    return true;
+            }
+            return false;
+        };
+
+    gen::ShrinkStats stats;
+    gen::KernelSpec small = gen::shrink(
+        spec, "marker",
+        [&](const gen::KernelSpec &candidate) {
+            return hasMarker(candidate.stmts) ? "marker" : "";
+        },
+        600, &stats);
+    EXPECT_EQ(gen::countStmts(small), 1u);
+    EXPECT_TRUE(hasMarker(small.stmts));
+}
+
+gen::FuzzOptions
+smallCampaign(unsigned jobs)
+{
+    gen::FuzzOptions opts;
+    opts.seed = 77;
+    opts.runs = 8;
+    opts.jobs = jobs;
+    opts.diff.designs = {"RLPV"};
+    opts.diff.inject = "rb-value-flip";
+    opts.sandbox = false;  // in-process: runs everywhere, fast
+    opts.shrinkBudget = 60;
+    return opts;
+}
+
+TEST(GenCampaign, DeterministicAcrossJobCounts)
+{
+    gen::FuzzReport one = gen::runFuzz(smallCampaign(1));
+    gen::FuzzReport four = gen::runFuzz(smallCampaign(4));
+    EXPECT_EQ(one.text(), four.text());
+    EXPECT_EQ(one.runs, 8u);
+    EXPECT_GT(one.failed, 0u) << "injected fault must surface";
+    ASSERT_FALSE(one.unique.empty());
+    for (size_t i = 0; i < one.unique.size(); i++) {
+        EXPECT_EQ(gen::formatSpec(one.unique[i].spec),
+                  gen::formatSpec(four.unique[i].spec));
+    }
+}
+
+TEST(GenCampaign, CleanCampaignReportsNoFailures)
+{
+    gen::FuzzOptions opts;
+    opts.seed = 5;
+    opts.runs = 4;
+    opts.sandbox = false;
+    gen::FuzzReport report = gen::runFuzz(opts);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_TRUE(report.unique.empty());
+}
+
+TEST(GenCampaign, RejectsBadOptionsUpFront)
+{
+    gen::FuzzOptions opts;
+    opts.runs = 0;
+    EXPECT_THROW(gen::runFuzz(opts), ConfigError);
+    gen::FuzzOptions bad;
+    bad.diff.designs = {"NotADesign"};
+    EXPECT_THROW(gen::runFuzz(bad), ConfigError);
+}
+
+TEST(GenCampaign, BundleWriteAndReplay)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "wir_gen_bundle_test";
+    fs::remove_all(dir);
+
+    gen::FuzzOptions opts = smallCampaign(1);
+    opts.bundleDir = dir.string();
+    gen::FuzzReport report = gen::runFuzz(opts);
+    ASSERT_FALSE(report.unique.empty());
+    ASSERT_FALSE(report.unique[0].bundlePath.empty());
+
+    std::string out;
+    EXPECT_TRUE(gen::replayBundle(report.unique[0].bundlePath, out))
+        << out;
+    fs::remove_all(dir);
+}
+
+TEST(GenCorpus, CheckedInReprosReplayGreen)
+{
+    // Every shrunk repro bundle in tests/corpus/ must reproduce its
+    // recorded signature (or run clean if it records none).
+    namespace fs = std::filesystem;
+    fs::path corpus = fs::path(WIR_SOURCE_DIR) / "tests" / "corpus";
+    ASSERT_TRUE(fs::exists(corpus)) << corpus;
+
+    unsigned replayed = 0;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(corpus)) {
+        if (entry.path().extension() == ".spec")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        std::string out;
+        EXPECT_TRUE(gen::replayBundle(path.string(), out))
+            << path << "\n" << out;
+        replayed++;
+    }
+    EXPECT_GT(replayed, 0u) << "corpus must not be empty";
+}
+
+} // namespace
+} // namespace wir

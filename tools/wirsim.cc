@@ -5,8 +5,33 @@
  *   wirsim list
  *   wirsim run <ABBR|all> [options]
  *   wirsim profile <ABBR|all>
+ *   wirsim fuzz [options]
+ *   wirsim gen [options]
  *   wirsim stats --describe
  *   wirsim trace --check FILE
+ *
+ * Differential fuzzing (`fuzz`) runs generated kernels under Base
+ * and every reuse design and compares full architectural state;
+ * `gen` emits one generated kernel spec for inspection:
+ *   --seed S        campaign / generator seed (default 1)
+ *   --runs N        kernels to test (default 50)
+ *   --jobs N        parallel workers (results are order-independent)
+ *   --family F      mixed | branchy | loop | sparse | uniform
+ *   --divergence D  divergence degree 0..4 (default 2)
+ *   --statements N  top-level statement budget (0 = seeded pick)
+ *   --block N / --grid N / --levels N  shape overrides
+ *   --design NAME   compare only this design (repeatable)
+ *   --sms N         SMs per run (default 2)
+ *   --inject CLASS  inject a fault into the candidate runs only
+ *   --inject-cycle C / --inject-sm S  fault placement
+ *   --bundle-dir D  write shrunk repro bundles into D
+ *   --no-shrink     keep failing kernels at full size
+ *   --shrink-budget N  max candidate evaluations per shrink
+ *   --run-timeout S / --retries N / --no-sandbox  containment
+ *   --replay FILE   re-run a repro bundle and check its signature
+ *   --divergence-sweep  reuse rate vs divergence degree table
+ *   --out FILE      (`gen`) write the spec here instead of stdout
+ *   --disasm        (`gen`) also print the lowered kernel
  *
  * Options for `run`:
  *   --design NAME   design point (Base, R, RL, RLP, RLPV, RPV,
@@ -76,6 +101,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "gen/campaign.hh"
+#include "isa/disasm.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
 #include "sim/designs.hh"
@@ -115,6 +143,20 @@ usage()
                  "[--run-timeout S] [--retries N]\n"
                  "                  [--trace FILE] [--trace-cats CSV] "
                  "[--stats-interval N] [--stats-out FILE]\n"
+                 "       wirsim fuzz [--seed S] [--runs N] "
+                 "[--jobs N] [--family F] [--divergence D]\n"
+                 "                  [--design NAME]... [--sms N] "
+                 "[--inject CLASS] [--inject-cycle C]\n"
+                 "                  [--inject-sm S] [--bundle-dir D] "
+                 "[--no-shrink] [--shrink-budget N]\n"
+                 "                  [--run-timeout S] [--retries N] "
+                 "[--no-sandbox]\n"
+                 "                  [--replay FILE] "
+                 "[--divergence-sweep]\n"
+                 "       wirsim gen [--seed S] [--family F] "
+                 "[--divergence D] [--statements N]\n"
+                 "                  [--block N] [--grid N] "
+                 "[--levels N] [--out FILE] [--disasm]\n"
                  "       wirsim stats --describe\n"
                  "       wirsim trace --check FILE\n");
     std::exit(2);
@@ -528,6 +570,208 @@ cmdProfile(int argc, char **argv)
     return 0;
 }
 
+/** Generator-shape flags shared by `fuzz` and `gen`. */
+bool
+consumeGenFlag(gen::GenParams &params, const std::string &arg,
+               const std::function<const char *()> &next)
+{
+    if (arg == "--family") {
+        params.family = gen::familyByName(next());
+    } else if (arg == "--divergence") {
+        params.divergence = parseUnsigned("--divergence", next());
+        if (params.divergence > 4)
+            fatal("--divergence expects a degree in [0, 4]");
+    } else if (arg == "--statements") {
+        params.statements = parseUnsigned("--statements", next());
+    } else if (arg == "--block") {
+        params.blockThreads = parseUnsigned("--block", next());
+    } else if (arg == "--grid") {
+        params.gridBlocks = parseUnsigned("--grid", next());
+    } else if (arg == "--levels") {
+        params.levels = parseUnsigned("--levels", next());
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Reuse-hit-rate vs divergence-degree table (EXPERIMENTS.md): same
+ * seeds and family at every degree, so the only variable is how
+ * divergent the generated control flow is. */
+int
+divergenceSweep(u64 seed, gen::GenParams params,
+                const std::string &designName, unsigned numSms)
+{
+    DesignConfig design = designByName(
+        designName.empty() ? "RLPV" : designName);
+    MachineConfig machine;
+    machine.numSms = numSms;
+    machine.maxCycles = 8u * 1000 * 1000;
+    constexpr unsigned kernels = 5;
+
+    std::printf("divergence sweep: design %s, %u kernels/degree, "
+                "family %s\n", design.name.c_str(), kernels,
+                gen::familyName(params.family));
+    std::printf("%-10s %10s %12s\n", "degree", "reuse%",
+                "divergent%");
+
+    Rng master(seed);
+    for (unsigned d = 0; d <= 4; d++) {
+        params.divergence = d;
+        double reuse = 0, divergent = 0;
+        for (unsigned k = 0; k < kernels; k++) {
+            // Same per-index substream at every degree.
+            u64 kernelSeed = master.split(k).next();
+            gen::KernelSpec spec = gen::generate(kernelSeed, params);
+            auto result = runWorkload(gen::buildWorkload(spec),
+                                      design, machine);
+            reuse += result.reuseRate();
+            u64 total = result.stats.warpInstsCommitted;
+            divergent += total
+                ? double(result.stats.divergentInsts) / double(total)
+                : 0.0;
+        }
+        std::printf("%-10u %9.1f%% %11.1f%%\n", d,
+                    100.0 * reuse / kernels,
+                    100.0 * divergent / kernels);
+    }
+    return 0;
+}
+
+int
+cmdFuzz(int argc, char **argv)
+{
+    gen::FuzzOptions opts;
+    opts.jobs = 1;
+    std::string replayPath;
+    std::string sweepDesign;
+    bool doSweep = false;
+
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opts.seed = parseNumber("--seed", next());
+        } else if (arg == "--runs") {
+            opts.runs = parseUnsigned("--runs", next());
+        } else if (arg == "--jobs") {
+            opts.jobs = parseUnsigned("--jobs", next());
+            if (opts.jobs == 0)
+                fatal("--jobs expects a positive job count");
+        } else if (arg == "--design") {
+            sweepDesign = next();
+            opts.diff.designs.push_back(sweepDesign);
+        } else if (arg == "--sms") {
+            opts.diff.numSms = parseUnsigned("--sms", next());
+        } else if (arg == "--inject") {
+            opts.diff.inject = next();
+        } else if (arg == "--inject-cycle") {
+            opts.diff.injectCycle =
+                parseNumber("--inject-cycle", next());
+        } else if (arg == "--inject-sm") {
+            opts.diff.injectSm = parseUnsigned("--inject-sm", next());
+        } else if (arg == "--bundle-dir") {
+            opts.bundleDir = next();
+        } else if (arg == "--no-shrink") {
+            opts.shrinkFailures = false;
+        } else if (arg == "--shrink-budget") {
+            opts.shrinkBudget =
+                parseUnsigned("--shrink-budget", next());
+        } else if (arg == "--run-timeout") {
+            opts.timeoutMs =
+                u64(parseUnsigned("--run-timeout", next())) * 1000;
+        } else if (arg == "--retries") {
+            opts.retries = parseUnsigned("--retries", next());
+        } else if (arg == "--no-sandbox") {
+            opts.sandbox = false;
+        } else if (arg == "--replay") {
+            replayPath = next();
+        } else if (arg == "--divergence-sweep") {
+            doSweep = true;
+        } else if (!consumeGenFlag(opts.gen, arg, next)) {
+            usage();
+        }
+    }
+
+    if (!replayPath.empty()) {
+        std::string report;
+        bool ok = gen::replayBundle(replayPath, report);
+        std::fputs(report.c_str(), stdout);
+        std::printf(ok ? "replay OK\n" : "replay MISMATCH\n");
+        return ok ? 0 : 1;
+    }
+    if (doSweep) {
+        return divergenceSweep(opts.seed, opts.gen, sweepDesign,
+                               opts.diff.numSms);
+    }
+
+    std::printf("fuzz: seed %llu, %u runs, family %s, divergence "
+                "%u\n",
+                static_cast<unsigned long long>(opts.seed),
+                opts.runs, gen::familyName(opts.gen.family),
+                opts.gen.divergence);
+    gen::FuzzReport report = gen::runFuzz(opts);
+    std::fputs(report.text().c_str(), stdout);
+    if (sweep::interruptRequested())
+        return sweep::interruptExitCode();
+    return report.unique.empty() ? 0 : 1;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    u64 seed = 1;
+    gen::GenParams params;
+    std::string outPath;
+    bool disasm = false;
+
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = parseNumber("--seed", next());
+        } else if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (!consumeGenFlag(params, arg, next)) {
+            usage();
+        }
+    }
+
+    gen::SpecFile file;
+    file.spec = gen::generate(seed, params);
+    std::string comment = "generated: wirsim gen --seed " +
+                          std::to_string(seed) + " --family " +
+                          gen::familyName(params.family);
+    std::string text = gen::formatSpecFile(file, comment);
+
+    if (outPath.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::FILE *out = std::fopen(outPath.c_str(), "w");
+        if (!out)
+            fatal("cannot write '%s'", outPath.c_str());
+        std::fputs(text.c_str(), out);
+        std::fclose(out);
+        std::printf("wrote %s (%u statements)\n", outPath.c_str(),
+                    gen::countStmts(file.spec));
+    }
+    if (disasm) {
+        Workload w = gen::buildWorkload(file.spec);
+        std::fputs(disassemble(w.kernel).c_str(), stdout);
+    }
+    return 0;
+}
+
 /** `wirsim stats --describe`: print the metrics schema reference.
  * docs/METRICS.md embeds this output verbatim and a tier-1 test
  * asserts they match, so the documentation cannot drift. */
@@ -590,6 +834,10 @@ main(int argc, char **argv)
             return cmdRun(argc - 2, argv + 2);
         if (cmd == "profile")
             return cmdProfile(argc - 2, argv + 2);
+        if (cmd == "fuzz")
+            return cmdFuzz(argc - 2, argv + 2);
+        if (cmd == "gen")
+            return cmdGen(argc - 2, argv + 2);
         if (cmd == "stats")
             return cmdStats(argc - 2, argv + 2);
         if (cmd == "trace")
