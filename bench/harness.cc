@@ -204,8 +204,7 @@ reportFailures(const std::vector<sweep::FailedCell> &cells,
 std::vector<std::string>
 selectedAbbrs()
 {
-    return {"SF", "BT", "GA", "BO", "S2", "KM", "SG", "MC", "HS",
-            "SN", "BF", "LK", "BS", "HW"};
+    return quickWorkloadAbbrs();
 }
 
 std::vector<std::string>

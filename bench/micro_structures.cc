@@ -4,14 +4,25 @@
  * software models: H3 hashing, VSB lookups, reuse-buffer lookups,
  * rename-table access. These bound the simulator-side cost of the
  * added stages (the hardware costs are Table III).
+ *
+ * Also covers the simulator hot-path primitives from the
+ * data-oriented overhaul (docs/BENCH.md): the scheduler pick loop in
+ * its std::function and dense-bitmask forms, and the skip-ahead
+ * next-event scan over the in-flight ready array.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <bit>
+#include <vector>
+
 #include "common/hash_h3.hh"
+#include "common/rng.hh"
 #include "reuse/rename_table.hh"
 #include "reuse/reuse_buffer.hh"
 #include "reuse/vsb.hh"
+#include "timing/scheduler.hh"
 
 namespace wir
 {
@@ -85,6 +96,88 @@ BM_RenameTableAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RenameTableAccess);
+
+// ---- Hot-path primitives (data-oriented overhaul) --------------------------
+
+/** One scheduler half: 24 warp slots, random ready mask per pick. */
+std::vector<WarpId>
+schedulerSlots()
+{
+    std::vector<WarpId> slots;
+    for (WarpId w = 0; w < 24; w++)
+        slots.push_back(w);
+    return slots;
+}
+
+void
+BM_SchedulerPickLegacy(benchmark::State &state)
+{
+    GtoScheduler sched(schedulerSlots());
+    Rng rng(42);
+    std::array<u64, 24> ages{};
+    for (unsigned w = 0; w < 24; w++)
+        ages[w] = rng.next();
+    u64 mask = 0;
+    for (auto _ : state) {
+        mask = rng.next() & ((u64{1} << 24) - 1);
+        auto ready = [&](WarpId w) { return (mask >> w & 1) != 0; };
+        auto age = [&](WarpId w) { return ages[w]; };
+        benchmark::DoNotOptimize(sched.pick(ready, age));
+    }
+}
+BENCHMARK(BM_SchedulerPickLegacy);
+
+void
+BM_SchedulerPickDense(benchmark::State &state)
+{
+    GtoScheduler sched(schedulerSlots());
+    Rng rng(42);
+    std::array<u64, 24> ages{};
+    for (unsigned w = 0; w < 24; w++)
+        ages[w] = rng.next();
+    for (auto _ : state) {
+        u64 mask = rng.next() & ((u64{1} << 24) - 1);
+        benchmark::DoNotOptimize(sched.pickDense(
+            mask, [](WarpId) { return true; },
+            [&](WarpId w) { return ages[w]; }));
+    }
+}
+BENCHMARK(BM_SchedulerPickDense);
+
+/**
+ * The skip-ahead decision scan (Sm::nextEventCycle): minimum over the
+ * ready cycles of live in-flight handles, iterated word-at-a-time
+ * with countr_zero over the liveness bitmask. Sized like a full SM:
+ * 192 handles, ~1/4 live.
+ */
+void
+BM_SkipAheadEventScan(benchmark::State &state)
+{
+    constexpr unsigned handles = 192;
+    std::array<u64, (handles + 63) / 64> live{};
+    std::vector<u64> ready(handles, 0);
+    Rng rng(7);
+    for (unsigned h = 0; h < handles; h++) {
+        if (rng.below(4) == 0) {
+            live[h / 64] |= u64{1} << (h % 64);
+            ready[h] = 1000 + rng.below(64);
+        }
+    }
+    for (auto _ : state) {
+        u64 next = ~u64{0};
+        for (unsigned wi = 0; wi < live.size(); wi++) {
+            u64 word = live[wi];
+            while (word) {
+                unsigned h = wi * 64 + std::countr_zero(word);
+                word &= word - 1;
+                if (ready[h] < next)
+                    next = ready[h];
+            }
+        }
+        benchmark::DoNotOptimize(next);
+    }
+}
+BENCHMARK(BM_SkipAheadEventScan);
 
 } // namespace
 } // namespace wir

@@ -35,6 +35,20 @@ class FaultInjector
                target == plan.injectSm && now >= plan.injectCycle;
     }
 
+    /** Will this SM (ever) still try to apply a fault? Used by the
+     * cycle skip-ahead logic: a pending injection pins the SM to
+     * cycle-by-cycle execution from dueCycle() on, since landing
+     * conditions are retried every cycle. */
+    bool
+    pending() const
+    {
+        return plan.inject != FaultClass::None && !done &&
+               target == plan.injectSm;
+    }
+
+    /** Earliest cycle the fault may apply. */
+    Cycle dueCycle() const { return plan.injectCycle; }
+
     /** The fault landed; stop retrying. */
     void markApplied() { done = true; }
 

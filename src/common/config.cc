@@ -51,6 +51,11 @@ validateConfig(const MachineConfig &machine)
               machine.lineBytes);
     if (machine.l2Partitions == 0)
         fatal("machine needs at least one L2 partition");
+    if (machine.check.warpStallLimit == 0) {
+        fatal("--warp-stall-limit must be positive (it bounds how "
+              "long one instruction may retry register allocation "
+              "before the run aborts as livelocked)");
+    }
 }
 
 void
@@ -95,6 +100,9 @@ canonicalKey(const MachineConfig &m)
     // add a MachineConfig/CheckConfig field, list it here; the
     // sizeof() terms catch forgetting to (on a given build, a new
     // field changes the struct size and thus every cache key).
+    // PerfConfig is the one deliberate exception: its knobs select
+    // execution strategy (skip-ahead, stats buffering) and are
+    // bit-identical by contract, so they must map to the same key.
     std::ostringstream out;
     out << "machine{sz=" << sizeof(MachineConfig)
         << ",csz=" << sizeof(CheckConfig)
@@ -128,6 +136,7 @@ canonicalKey(const MachineConfig &m)
         << ",wdog=" << m.check.watchdogCycles
         << ",inject=" << faultClassName(m.check.inject)
         << "@" << m.check.injectCycle << "/sm" << m.check.injectSm
+        << ",wsl=" << m.check.warpStallLimit
         << "}";
     return out.str();
 }

@@ -75,6 +75,32 @@ struct CheckConfig
     FaultClass inject = FaultClass::None;
     Cycle injectCycle = 0;
     unsigned injectSm = 0;
+
+    /** Abort when one instruction retries register allocation for
+     * this many consecutive cycles (low-register-mode livelock
+     * guard, --warp-stall-limit). Must be nonzero. */
+    u32 warpStallLimit = 200000;
+};
+
+/**
+ * Result-neutral execution-strategy knobs (see docs/BENCH.md).
+ * These change how fast the simulator runs, never what it computes:
+ * results are bit-identical under any combination, which is why
+ * canonicalKey() deliberately leaves them out -- toggling them must
+ * hit the same sweep-cache entries. Tests assert both halves of that
+ * contract (key equality and stats equality).
+ */
+struct PerfConfig
+{
+    /** Jump the GPU clock over cycles where no SM can issue or
+     * complete anything (all resident warps blocked on in-flight
+     * completions). */
+    bool skipAhead = true;
+
+    /** Accumulate hot-path SimStats increments in a per-SM buffer,
+     * flushed on a cycle stride and before every external read
+     * point, so the inner loop touches one small struct. */
+    bool bufferedStats = true;
 };
 
 /** Baseline GPU parameters (Table II). */
@@ -117,6 +143,9 @@ struct MachineConfig
 
     // Robustness subsystem knobs (auditing, watchdog, injection).
     CheckConfig check;
+
+    // Execution-strategy knobs (excluded from canonicalKey).
+    PerfConfig perf;
 };
 
 /** Reuse design point (Section VII-A machine models). */

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "reuse/phys_regfile.hh"
 #include "reuse/refcount.hh"
@@ -132,6 +133,36 @@ class ReuseUnit
 
     /** Per-cycle housekeeping (utilization sampling). */
     void cycleTick();
+
+    /**
+     * Account `n` provably idle cycles in one step (cycle
+     * skip-ahead). Exactly equivalent to `n` cycleTick() calls while
+     * perCycleWorkPending() is false: utilization is constant between
+     * pipeline events (registers allocate and free only in processed
+     * cycles), so the sample sum is just n x inUse().
+     */
+    void
+    idleTick(u64 n)
+    {
+        wir_assert(!perCycleWorkPending());
+        stats.physRegsInUseAccum += n * regs.inUse();
+    }
+
+    /**
+     * Does cycleTick() have per-cycle side effects beyond utilization
+     * sampling right now? True in low register mode (stateful
+     * one-eviction-per-cycle draining) or when the capped policy is
+     * tight enough that the next tick would enter it. While true, the
+     * SM must be stepped every cycle.
+     */
+    bool
+    perCycleWorkPending() const
+    {
+        if (lowRegMode)
+            return true;
+        return design.policy == RegisterPolicy::CappedRegister &&
+               regs.inUse() + 8 >= regCap;
+    }
 
     // ---- Value access ----------------------------------------------------
 

@@ -1,0 +1,286 @@
+#include "sim/bench.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/version.hh"
+#include "obs/registry.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-notation double with enough digits for wall times. */
+std::string
+jsonDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    return buf;
+}
+
+double
+safeDiv(double num, double den)
+{
+    return den > 0 ? num / den : 0.0;
+}
+
+} // namespace
+
+double
+BenchCell::kcyclesPerSec() const
+{
+    return safeDiv(double(cycles) / 1e3, wallSeconds);
+}
+
+double
+BenchCell::instrsPerSec() const
+{
+    return safeDiv(double(instrs), wallSeconds);
+}
+
+u64
+BenchReport::totalCycles() const
+{
+    u64 total = 0;
+    for (const auto &cell : cells)
+        total += cell.failed ? 0 : cell.cycles;
+    return total;
+}
+
+u64
+BenchReport::totalInstrs() const
+{
+    u64 total = 0;
+    for (const auto &cell : cells)
+        total += cell.failed ? 0 : cell.instrs;
+    return total;
+}
+
+double
+BenchReport::totalWallSeconds() const
+{
+    double total = 0;
+    for (const auto &cell : cells)
+        total += cell.failed ? 0 : cell.wallSeconds;
+    return total;
+}
+
+double
+BenchReport::aggregateKcyclesPerSec() const
+{
+    return safeDiv(double(totalCycles()) / 1e3, totalWallSeconds());
+}
+
+double
+BenchReport::aggregateInstrsPerSec() const
+{
+    return safeDiv(double(totalInstrs()), totalWallSeconds());
+}
+
+size_t
+BenchReport::failedCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells)
+        n += cell.failed;
+    return n;
+}
+
+BenchReport
+runBench(const BenchOptions &opts, bool progress)
+{
+    BenchReport report;
+    report.opts = opts;
+
+    std::vector<std::string> workloads = opts.workloads;
+    if (workloads.empty()) {
+        for (const auto &info : workloadRegistry())
+            workloads.push_back(info.abbr);
+    }
+    std::vector<std::string> designNames = opts.designs;
+    if (designNames.empty())
+        designNames = {"Base", "RLPV"};
+
+    // Resolve everything up front so a typo fails before the first
+    // (possibly long) simulation, not after it.
+    std::vector<DesignConfig> designs;
+    for (const auto &name : designNames)
+        designs.push_back(designByName(name));
+    for (const auto &abbr : workloads)
+        makeWorkload(abbr); // validates the abbreviation
+
+    unsigned reps = std::max(1u, opts.reps);
+    using clock = std::chrono::steady_clock;
+
+    for (const auto &abbr : workloads) {
+        for (const auto &design : designs) {
+            BenchCell cell;
+            cell.workload = abbr;
+            cell.design = design.name;
+            for (unsigned rep = 0; rep < reps && !cell.failed;
+                 rep++) {
+                Workload workload = makeWorkload(abbr);
+                auto start = clock::now();
+                RunResult result;
+                try {
+                    result = runWorkload(std::move(workload), design,
+                                         opts.machine);
+                } catch (const SimError &err) {
+                    result.failed = true;
+                    result.error = err.what();
+                }
+                double wall =
+                    std::chrono::duration<double>(clock::now() -
+                                                  start)
+                        .count();
+                if (result.failed) {
+                    cell.failed = true;
+                    cell.error = result.error;
+                    break;
+                }
+                cell.cycles = result.stats.cycles;
+                cell.instrs = result.stats.warpInstsCommitted;
+                if (rep == 0 || wall < cell.wallSeconds)
+                    cell.wallSeconds = wall;
+            }
+            if (progress) {
+                if (cell.failed) {
+                    std::fprintf(stderr, "bench: %-5s %-12s FAILED: "
+                                 "%s\n", cell.workload.c_str(),
+                                 cell.design.c_str(),
+                                 cell.error.c_str());
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "bench: %-5s %-12s %9llu Kcyc %8.0f "
+                        "Kcyc/s %8.2f ms\n", cell.workload.c_str(),
+                        cell.design.c_str(),
+                        static_cast<unsigned long long>(cell.cycles /
+                                                        1000),
+                        cell.kcyclesPerSec(),
+                        cell.wallSeconds * 1e3);
+                }
+            }
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    return report;
+}
+
+std::string
+benchReportJson(const BenchReport &report)
+{
+    std::ostringstream out;
+    char buf[160];
+
+    out << "{\n";
+    // Schema identity block, same shape as run_all --json: enough to
+    // detect that two reports measured different simulators or
+    // incompatible stats schemas (bench_compare refuses those).
+    out << "  \"bench_schema\": 1,\n";
+    out << "  \"sim_version\": \"" << kSimVersion << "\",\n";
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(
+                      simStatsSchemaHash()));
+    out << "  \"stats_schema\": \"" << buf << "\",\n";
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(
+                      obs::metricsSchemaHash()));
+    out << "  \"metrics_schema\": \"" << buf << "\",\n";
+    out << "  \"snapshot_format\": " << obs::kSnapshotFormatVersion
+        << ",\n";
+    out << "  \"label\": \"" << jsonEscape(report.opts.label)
+        << "\",\n";
+    out << "  \"quick\": "
+        << (report.opts.quick ? "true" : "false") << ",\n";
+    out << "  \"reps\": " << std::max(1u, report.opts.reps) << ",\n";
+    out << "  \"machine\": \""
+        << jsonEscape(canonicalKey(report.opts.machine)) << "\",\n";
+
+    out << "  \"cells\": [\n";
+    for (size_t i = 0; i < report.cells.size(); i++) {
+        const BenchCell &cell = report.cells[i];
+        out << "    {\"workload\": \"" << jsonEscape(cell.workload)
+            << "\", \"design\": \"" << jsonEscape(cell.design)
+            << "\", ";
+        if (cell.failed) {
+            out << "\"failed\": true, \"error\": \""
+                << jsonEscape(cell.error) << "\"}";
+        } else {
+            out << "\"cycles\": " << cell.cycles
+                << ", \"instrs\": " << cell.instrs
+                << ", \"wall_seconds\": "
+                << jsonDouble(cell.wallSeconds)
+                << ", \"kcycles_per_sec\": "
+                << jsonDouble(cell.kcyclesPerSec())
+                << ", \"sim_instrs_per_sec\": "
+                << jsonDouble(cell.instrsPerSec()) << "}";
+        }
+        out << (i + 1 < report.cells.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+
+    out << "  \"aggregate\": {\n";
+    out << "    \"cells\": " << report.cells.size() << ",\n";
+    out << "    \"failed\": " << report.failedCells() << ",\n";
+    out << "    \"sim_cycles\": " << report.totalCycles() << ",\n";
+    out << "    \"sim_instrs\": " << report.totalInstrs() << ",\n";
+    out << "    \"wall_seconds\": "
+        << jsonDouble(report.totalWallSeconds()) << ",\n";
+    out << "    \"kcycles_per_sec\": "
+        << jsonDouble(report.aggregateKcyclesPerSec()) << ",\n";
+    out << "    \"sim_instrs_per_sec\": "
+        << jsonDouble(report.aggregateInstrsPerSec()) << "\n";
+    out << "  }\n";
+    out << "}\n";
+    return out.str();
+}
+
+void
+writeBenchReport(const BenchReport &report, const std::string &path)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    std::string text = benchReportJson(report);
+    bool ok = std::fwrite(text.data(), 1, text.size(), out) ==
+              text.size();
+    ok = std::fclose(out) == 0 && ok;
+    if (!ok)
+        fatal("error writing '%s'", path.c_str());
+}
+
+} // namespace wir

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulator performance benchmarking (`wirsim bench`).
+ *
+ * Runs a grid of (workload, design) cells serially in-process,
+ * measuring simulated cycles, committed warp instructions, and wall
+ * time per cell, and renders the result as a machine-readable
+ * `BENCH_<n>.json` report (schema documented in docs/BENCH.md).
+ * The schema identity block ties every report to the simulator
+ * version and the stats/metrics schemas from the src/obs registry,
+ * so `tools/bench_compare.py` can refuse to compare incompatible
+ * reports. Cell ordering is deterministic: workloads in the order
+ * given (registry order by default), designs in the order given.
+ */
+
+#ifndef WIR_SIM_BENCH_HH
+#define WIR_SIM_BENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace wir
+{
+
+struct BenchOptions
+{
+    /** Workload abbreviations; empty = full registry. */
+    std::vector<std::string> workloads;
+    /** Design names; empty = {Base, RLPV}. */
+    std::vector<std::string> designs;
+    MachineConfig machine;
+    /** Wall-time repetitions per cell; the best (minimum) wall time
+     * is reported, damping scheduler noise. Simulated cycles and
+     * instruction counts are identical across reps by construction. */
+    unsigned reps = 1;
+    /** Free-form annotation recorded in the report ("pre-optimization
+     * baseline", a git describe, ...). */
+    std::string label;
+    /** True when the quick subset was selected (recorded so compares
+     * against a full baseline intersect knowingly). */
+    bool quick = false;
+};
+
+/** One measured (workload, design) cell. */
+struct BenchCell
+{
+    std::string workload;
+    std::string design;
+    u64 cycles = 0;   ///< simulated GPU cycles (SimStats::cycles)
+    u64 instrs = 0;   ///< committed warp instructions
+    double wallSeconds = 0; ///< best-of-reps wall time of the run
+    bool failed = false;
+    std::string error;
+
+    double kcyclesPerSec() const;
+    double instrsPerSec() const;
+};
+
+struct BenchReport
+{
+    BenchOptions opts;
+    std::vector<BenchCell> cells;
+
+    /** Aggregates over the successful cells (throughput is computed
+     * over summed cycles and summed wall time, so long cells weigh
+     * in proportion to the time they actually cost). */
+    u64 totalCycles() const;
+    u64 totalInstrs() const;
+    double totalWallSeconds() const;
+    double aggregateKcyclesPerSec() const;
+    double aggregateInstrsPerSec() const;
+    size_t failedCells() const;
+};
+
+/**
+ * Run the benchmark grid. Cells run serially on the calling thread --
+ * a benchmark wants clean per-cell wall times, not sweep throughput.
+ * A SimError in one cell marks that cell failed and continues.
+ * `progress`: print one line per cell to stderr as it completes.
+ */
+BenchReport runBench(const BenchOptions &opts, bool progress);
+
+/** Render the report as pretty-printed JSON (docs/BENCH.md). */
+std::string benchReportJson(const BenchReport &report);
+
+/** Write benchReportJson to `path`; fatal (ConfigError) on I/O
+ * failure. */
+void writeBenchReport(const BenchReport &report,
+                      const std::string &path);
+
+} // namespace wir
+
+#endif // WIR_SIM_BENCH_HH

@@ -1,5 +1,6 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hh"
@@ -57,6 +58,11 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         sms.push_back(std::make_unique<Sm>(
             static_cast<SmId>(s), machine, design, kernel, image,
             partitions, sink, probe));
+        // A live observability session holds references into the
+        // per-SM stats blocks and reads them mid-run, so batching
+        // must be off for its view to be current.
+        sms.back()->setStatsBuffered(machine.perf.bufferedStats &&
+                                     !session);
         if (arch)
             sms.back()->captureArchTo(arch);
         if (session) {
@@ -105,6 +111,11 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     u64 lastSeen = 0;
     Cycle lastProgress = 0;
 
+    // Cycle skip-ahead is disabled under an observability session:
+    // snapshots and tracing sample state at configured cycles, which
+    // skipping would miss.
+    bool allowSkip = machine.perf.skipAhead && !session;
+
     while (true) {
         bool anyBusy = false;
         for (auto &sm : sms) {
@@ -138,7 +149,35 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
         if (session && session->snapshotDue(now))
             session->snapshot(now);
 
-        now++;
+        // Cycle skip-ahead: when every busy SM proves no
+        // architectural event can land before some future cycle,
+        // jump the clock straight there. Bit-identical to stepping:
+        // stepped cycles in the gap would find nothing ready, issue
+        // nothing, and launch nothing (tryLaunch already drained all
+        // placeable blocks above, and acceptance only changes at
+        // retire events). The jump target is clamped so the watchdog
+        // and cycle-limit checks still fire on their exact cycles;
+        // only idle utilization sampling needs explicit back-fill.
+        Cycle next = now + 1;
+        if (allowSkip && anyBusy) {
+            Cycle target = ~Cycle{0};
+            for (auto &sm : sms) {
+                if (sm->busy())
+                    target = std::min(target, sm->nextEventCycle(now));
+            }
+            if (watchdog)
+                target = std::min(target, lastProgress + watchdog);
+            target = std::min(target, Cycle{maxCycles + 1});
+            if (target > next) {
+                u64 gap = target - next;
+                for (auto &sm : sms) {
+                    if (sm->busy())
+                        sm->accountIdleCycles(gap);
+                }
+                next = target;
+            }
+        }
+        now = next;
         if (now > maxCycles) {
             panic("kernel '%s' exceeded the cycle limit (%llu); "
                   "likely an infinite loop or a barrier deadlock",

@@ -21,9 +21,12 @@ namespace wir
 class Scoreboard
 {
   public:
-    /** Is any register this instruction touches write-pending? */
-    bool
-    hazard(const Instruction &inst) const
+    /** Bitmask of every register this instruction touches (sources
+     * and destination). The SM precomputes this per warp when it
+     * refills its instruction-buffer cache, so the scheduler's hazard
+     * check is a single AND against the pending mask. */
+    static u64
+    usedMask(const Instruction &inst)
     {
         u64 used = 0;
         const auto &tr = traits(inst.op);
@@ -33,7 +36,21 @@ class Scoreboard
         }
         if (inst.hasDst())
             used |= u64{1} << inst.dst;
-        return (pending & used) != 0;
+        return used;
+    }
+
+    /** Bitmask of the destination register, or 0 for none. */
+    static u64
+    dstMask(const Instruction &inst)
+    {
+        return inst.hasDst() ? u64{1} << inst.dst : 0;
+    }
+
+    /** Is any register this instruction touches write-pending? */
+    bool
+    hazard(const Instruction &inst) const
+    {
+        return (pending & usedMask(inst)) != 0;
     }
 
     /** Register the destination at issue. */

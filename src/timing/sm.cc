@@ -1,6 +1,7 @@
 #include "timing/sm.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "affine/affine.hh"
@@ -32,6 +33,16 @@ Sm::Sm(SmId id_, const MachineConfig &machine_,
       inflight(inflightCapacity),
       injector(machine_.check, id_)
 {
+    // The eligibility set is a single word; the configured warp
+    // count must fit.
+    wir_assert(machine.maxWarpsPerSm <= 64);
+    sbPending.assign(machine.maxWarpsPerSm, 0);
+    ibuf.assign(machine.maxWarpsPerSm, IbufEntry{});
+    warpIssueReady.assign(machine.maxWarpsPerSm, 0);
+    warpAge.assign(machine.maxWarpsPerSm, 0);
+    flyActiveWords.assign((inflightCapacity + 63) / 64, 0);
+    flyReady.assign(inflightCapacity, 0);
+    statsBuffered = machine.perf.bufferedStats;
     if (design.enableReuse) {
         reuse = std::make_unique<ReuseUnit>(machine, design, stats);
     } else {
@@ -127,7 +138,9 @@ Sm::launchBlock(BlockId blockId, u32 ctaX, u32 ctaY)
         warp = WarpSlot{};
         warp.active = true;
         warp.blockSlot = slot;
-        warp.age = block.launchSeq * 64 + w;
+        warpAge[slotId] = block.launchSeq * 64 + w;
+        warpIssueReady[slotId] = 0;
+        sbPending[slotId] = 0;
         warp.ctx = {ctaX, ctaY, kernel.gridDim.x, kernel.gridDim.y,
                     kernel.blockDim.x, kernel.blockDim.y, w};
         unsigned firstThread = w * warpSize;
@@ -141,6 +154,9 @@ Sm::launchBlock(BlockId blockId, u32 ctaX, u32 ctaY)
         }
         if (reuse)
             reuse->initWarp(slotId);
+        // Batched ibuffer refill: decode the whole block's first
+        // instructions while their kernel text is hot.
+        refillIbuf(slotId);
         block.warps.push_back(slotId);
         activeWarps++;
     }
@@ -214,7 +230,8 @@ Sm::allocInflight()
     u32 handle = freeHandles.back();
     freeHandles.pop_back();
     inflight[handle] = InFlight{};
-    inflight[handle].active = true;
+    flySetActive(handle);
+    flyReady[handle] = 0;
     return handle;
 }
 
@@ -222,31 +239,56 @@ Sm::allocInflight()
 // Issue
 // --------------------------------------------------------------------------
 
+void
+Sm::updateEligibility(WarpId warpId)
+{
+    const WarpSlot &warp = warps[warpId];
+    bool eligible = warp.active && !warp.exited && !warp.atBarrier &&
+                    warpId != stalledWarp &&
+                    ibuf[warpId].inst != nullptr;
+    eligibleWarps = (eligibleWarps & ~(u64{1} << warpId)) |
+                    (u64{eligible} << warpId);
+}
+
+void
+Sm::refillIbuf(WarpId warpId)
+{
+    const WarpSlot &warp = warps[warpId];
+    IbufEntry &entry = ibuf[warpId];
+    if (!warp.active || warp.stack.done()) {
+        entry = IbufEntry{};
+        updateEligibility(warpId);
+        return;
+    }
+    const Instruction &inst = kernel.insts[warp.stack.pc()];
+    entry.inst = &inst;
+    entry.usedMask = Scoreboard::usedMask(inst);
+    entry.isControl = isControl(inst.op);
+    if (!entry.isControl) {
+        unsigned sched = warpId / (machine.maxWarpsPerSm /
+                                   machine.schedulersPerSm);
+        entry.fu = static_cast<u8>(fuFor(inst.op, sched));
+    }
+    updateEligibility(warpId);
+}
+
 bool
 Sm::warpReady(WarpId warpId, Cycle now) const
 {
-    const WarpSlot &warp = warps[warpId];
-    if (warpId == stalledWarp)
-        return false; // WarpStall fault injection
-    if (!warp.active || warp.exited || warp.atBarrier ||
-        warp.issueReady > now || warp.stack.done()) {
+    // Eligibility (active, not exited/at-barrier/stalled, stream not
+    // done) is pre-filtered by the caller's bitmask; only the
+    // time-varying conditions remain.
+    if (warpIssueReady[warpId] > now)
         return false;
-    }
     if (freeHandles.empty())
         return false;
-
-    const Instruction &inst = kernel.insts[warp.stack.pc()];
-    if (warp.scoreboard.hazard(inst))
+    const IbufEntry &entry = ibuf[warpId];
+    if (sbPending[warpId] & entry.usedMask)
         return false;
-
     // Structural backpressure: target FU must accept this cycle.
-    if (!isControl(inst.op)) {
-        unsigned sched = warpId / (machine.maxWarpsPerSm /
-                                   machine.schedulersPerSm);
-        const FuPipeline &fu =
-            fus[static_cast<unsigned>(fuFor(inst.op, sched))];
-        if (!fu.available(now))
-            return false;
+    if (!entry.isControl &&
+        !fus[entry.fu].available(now)) {
+        return false;
     }
     return true;
 }
@@ -266,7 +308,7 @@ Sm::handleControlAtIssue(WarpId warpId, const Instruction &inst,
         warp.stack.branch(inst, branchTakenMask(pred, active));
         break;
       case Op::BAR:
-        stats.barriers++;
+        batch.barriers++;
         warp.stack.advance();
         warp.atBarrier = true;
         block.warpsAtBarrier++;
@@ -317,6 +359,7 @@ Sm::releaseBarrier(BlockSlot &block)
             warps[w].atBarrier = false;
             warps[w].storeFlagShared = false;
             warps[w].storeFlagGlobal = false;
+            updateEligibility(w);
         }
     }
 }
@@ -331,7 +374,7 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
     WarpMask active = warp.stack.mask();
     bool divergent = active != fullMask;
 
-    warp.issueReady = now + 1;
+    warpIssueReady[warpId] = now + 1;
 
     // Rename bookkeeping happens here (the 1-cycle rename stage is
     // charged in the pipeline timing); the scoreboard guarantees the
@@ -349,17 +392,17 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
 
     // Instruction-class statistics.
     if (tr.isFp)
-        stats.fpInsts++;
+        batch.fpInsts++;
     if (pipelineOf(inst.op) == Pipeline::SFU)
-        stats.sfuInsts++;
+        batch.sfuInsts++;
     if (tr.isControl)
-        stats.controlInsts++;
+        batch.controlInsts++;
     if (tr.isLoad)
-        stats.loadInsts++;
+        batch.loadInsts++;
     if (tr.isStore)
-        stats.storeInsts++;
+        batch.storeInsts++;
     if (divergent)
-        stats.divergentInsts++;
+        batch.divergentInsts++;
 
     if (isControl(inst.op)) {
         if (observer)
@@ -372,7 +415,8 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
                 now, id, warpId, "pc", inst.pc);
         }
         handleControlAtIssue(warpId, inst, active, in.src[0]);
-        stats.warpInstsCommitted++;
+        refillIbuf(warpId);
+        batch.warpInstsCommitted++;
         if (reuse)
             reuse->releaseInflight(ren);
         return;
@@ -490,11 +534,12 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
 
     // Advance the warp and reserve the destination.
     warp.stack.advance();
-    warp.scoreboard.reserve(inst);
+    sbPending[warpId] |= Scoreboard::dstMask(inst);
     warp.inflightCount++;
+    refillIbuf(warpId);
 
     fly.stage = reuse ? Stage::Rename : Stage::OperandRead;
-    fly.ready = now + 1;
+    flyReady[handle] = now + 1;
 }
 
 // --------------------------------------------------------------------------
@@ -507,12 +552,12 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
     reuseStageUsed = true;
     if (!fly.eligible) {
         fly.stage = Stage::OperandRead;
-        fly.ready = now + 1;
+        flyReady[handle] = now + 1;
         return;
     }
 
     if (isLoad(fly.inst->op))
-        stats.loadReuseLookups++;
+        batch.loadReuseLookups++;
     bool traced = probe.tracer &&
                   probe.tracer->wants(obs::CatReuse, now);
     auto hit = reuse->lookup(fly.tag, fly.barrierCount, fly.tbid);
@@ -526,8 +571,8 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
         fly.isReuseHit = true;
         fly.alloc.phys = hit.result;
         fly.stage = Stage::Retire;
-        fly.ready = std::max<Cycle>(now + 1, fly.issueCycle +
-                                    design.extraBackendDelay);
+        flyReady[handle] = std::max<Cycle>(
+            now + 1, fly.issueCycle + design.extraBackendDelay);
         return;
       case ReuseBuffer::Lookup::Kind::HitPending:
         if (design.enablePendingRetry && pendq.push(handle)) {
@@ -537,7 +582,7 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
                                       fly.warp, "pc", fly.inst->pc);
             }
             fly.stage = Stage::PendingWait;
-            fly.ready = ~Cycle{0};
+            flyReady[handle] = ~Cycle{0};
             return;
         }
         stats.pendingQueueFull++;
@@ -547,7 +592,7 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
                                   fly.inst->pc);
         }
         fly.stage = Stage::OperandRead;
-        fly.ready = now + 1;
+        flyReady[handle] = now + 1;
         return;
       case ReuseBuffer::Lookup::Kind::Miss:
         if (traced) {
@@ -557,13 +602,13 @@ Sm::stageReuse(InFlight &fly, u32 handle, Cycle now)
         if (design.enablePendingRetry)
             reuse->reserve(fly.tag, fly.barrierCount, fly.tbid);
         fly.stage = Stage::OperandRead;
-        fly.ready = now + 1;
+        flyReady[handle] = now + 1;
         return;
     }
 }
 
 void
-Sm::stageOperandRead(InFlight &fly, Cycle now)
+Sm::stageOperandRead(InFlight &fly, u32 handle, Cycle now)
 {
     const auto &tr = traits(fly.inst->op);
     u64 retriesBefore = stats.rfBankRetries;
@@ -586,31 +631,31 @@ Sm::stageOperandRead(InFlight &fly, Cycle now)
         }
     }
     fly.stage = isMemOp(fly.inst->op) ? Stage::Memory : Stage::Execute;
-    fly.ready = std::max(done, now + 1);
+    flyReady[handle] = std::max(done, now + 1);
 }
 
 void
-Sm::stageExecute(InFlight &fly, Cycle now)
+Sm::stageExecute(InFlight &fly, u32 handle, Cycle now)
 {
     Op op = fly.inst->op;
     FuPipeline &fu =
         fus[static_cast<unsigned>(fuFor(op, fly.schedulerId))];
     Cycle completion = fu.dispatch(now, fuLatency(op, machine));
 
-    stats.warpInstsExecuted++;
+    batch.warpInstsExecuted++;
     if (pipelineOf(op) == Pipeline::SFU)
-        stats.sfuActivations++;
+        batch.sfuActivations++;
     else
-        stats.spActivations++;
+        batch.spActivations++;
     if (fly.affineOk)
-        stats.affineExecutions++;
+        batch.affineExecutions++;
 
     if (fly.inst->hasDst()) {
         fly.stage = reuse ? Stage::RegAlloc : Stage::WritebackBase;
     } else {
         fly.stage = Stage::Retire;
     }
-    fly.ready = completion;
+    flyReady[handle] = completion;
 }
 
 Cycle
@@ -666,25 +711,25 @@ Sm::globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
 }
 
 void
-Sm::stageMemory(InFlight &fly, Cycle now)
+Sm::stageMemory(InFlight &fly, u32 handle, Cycle now)
 {
     FuPipeline &fu = fus[static_cast<unsigned>(FuKind::MEM)];
     Cycle aguDone = fu.dispatch(now, fuLatency(fly.inst->op, machine));
 
-    stats.warpInstsExecuted++;
-    stats.memActivations++;
+    batch.warpInstsExecuted++;
+    batch.memActivations++;
 
     Cycle done = aguDone;
     switch (fly.inst->space) {
       case MemSpace::Shared: {
           unsigned degree = scratchConflictDegree(fly.memAddrs,
                                                   fly.activeMask);
-          stats.scratchAccesses += degree;
+          batch.scratchAccesses += degree;
           done = aguDone + machine.scratchpadLatency + degree - 1;
           break;
       }
       case MemSpace::Const:
-        stats.constAccesses++;
+        batch.constAccesses++;
         done = aguDone + machine.constLatency;
         break;
       case MemSpace::Global: {
@@ -712,23 +757,23 @@ Sm::stageMemory(InFlight &fly, Cycle now)
     } else {
         fly.stage = Stage::Retire;
     }
-    fly.ready = std::max(done, now + 1);
+    flyReady[handle] = std::max(done, now + 1);
 }
 
 void
-Sm::stageRegAlloc(InFlight &fly, Cycle now)
+Sm::stageRegAlloc(InFlight &fly, u32 handle, Cycle now)
 {
     fly.alloc = reuse->allocate(*fly.inst, fly.ren, fly.result,
                                 fly.activeMask, fly.divergent);
     if (fly.alloc.stalled) {
         // Low-register mode: retry next cycle while evictions free
         // registers back to the pool.
-        if (++fly.stallCount > 200000) {
+        if (++fly.stallCount > machine.check.warpStallLimit) {
             panic("SM %u: register allocation livelocked at pc %u "
                   "of kernel '%s'", id, fly.inst->pc,
                   kernel.name.c_str());
         }
-        fly.ready = now + 1;
+        flyReady[handle] = now + 1;
         return;
     }
     fly.stallCount = 0;
@@ -771,16 +816,16 @@ Sm::stageRegAlloc(InFlight &fly, Cycle now)
     }
 
     fly.stage = Stage::Retire;
-    fly.ready = done;
+    flyReady[handle] = done;
 }
 
 void
-Sm::stageWritebackBase(InFlight &fly, Cycle now)
+Sm::stageWritebackBase(InFlight &fly, u32 handle, Cycle now)
 {
     bool affine = design.enableAffine && fly.dstAffine;
     Cycle done = banks.write(bankGroupOfDst(fly), now, affine, stats);
     fly.stage = Stage::Retire;
-    fly.ready = done;
+    flyReady[handle] = done;
 }
 
 void
@@ -796,11 +841,11 @@ Sm::retire(InFlight &fly, u32 handle, Cycle now)
 
     if (reuse) {
         if (fly.isReuseHit) {
-            stats.warpInstsReused++;
+            batch.warpInstsReused++;
             if (fly.viaPending)
-                stats.reuseHitsPending++;
+                batch.reuseHitsPending++;
             if (isLoad(fly.inst->op))
-                stats.loadReuseHits++;
+                batch.loadReuseHits++;
             reuse->commitReuseHit(fly.warp, *fly.inst, fly.ren,
                                   fly.alloc.phys);
         } else if (fly.inst->hasDst()) {
@@ -813,8 +858,8 @@ Sm::retire(InFlight &fly, u32 handle, Cycle now)
         }
     }
 
-    warp.scoreboard.release(*fly.inst);
-    stats.warpInstsCommitted++;
+    sbPending[fly.warp] &= ~Scoreboard::dstMask(*fly.inst);
+    batch.warpInstsCommitted++;
     if (observer)
         observer->onCommit(id);
 
@@ -832,7 +877,7 @@ Sm::retire(InFlight &fly, u32 handle, Cycle now)
     if (warp.exited && warp.inflightCount == 0)
         warpDrained(fly.warp);
 
-    fly.active = false;
+    flyClearActive(handle);
     freeHandles.push_back(handle);
 }
 
@@ -850,6 +895,7 @@ Sm::warpDrained(WarpId warpId)
     if (reuse)
         reuse->finishWarp(warpId);
     warp.active = false;
+    updateEligibility(warpId);
     activeWarps--;
 
     wir_assert(block.warpsLeft > 0);
@@ -929,7 +975,7 @@ Sm::retryPending(Cycle now)
 
     u32 handle = pendq.pop();
     InFlight &fly = inflight[handle];
-    wir_assert(fly.active && fly.stage == Stage::PendingWait);
+    wir_assert(flyIsActive(handle) && fly.stage == Stage::PendingWait);
 
     if (reuse->pendingMatches(fly.tag)) {
         // Result still pending: re-queue at the tail.
@@ -948,19 +994,19 @@ Sm::retryPending(Cycle now)
         fly.viaPending = true;
         fly.alloc.phys = hit.result;
         fly.stage = Stage::Retire;
-        fly.ready = now + 1;
+        flyReady[handle] = now + 1;
         return;
     }
     // The reservation was replaced: fall back to execution.
     fly.stage = Stage::OperandRead;
-    fly.ready = now + 1;
+    flyReady[handle] = now + 1;
 }
 
 void
 Sm::process(u32 handle, Cycle now)
 {
     InFlight &fly = inflight[handle];
-    if (!fly.active || fly.ready > now)
+    if (!flyIsActive(handle) || flyReady[handle] > now)
         return;
 
     switch (fly.stage) {
@@ -971,7 +1017,7 @@ Sm::process(u32 handle, Cycle now)
         // (rename + reuse + 2-cycle register allocation) adds the
         // configured backend delay (Fig. 22 sweeps it).
         fly.stage = Stage::Reuse;
-        fly.ready = std::max<Cycle>(
+        flyReady[handle] = std::max<Cycle>(
             now + 1,
             fly.issueCycle +
                 std::max(2u, design.extraBackendDelay) - 2);
@@ -982,19 +1028,19 @@ Sm::process(u32 handle, Cycle now)
       case Stage::PendingWait:
         break; // woken by retryPending()
       case Stage::OperandRead:
-        stageOperandRead(fly, now);
+        stageOperandRead(fly, handle, now);
         break;
       case Stage::Execute:
-        stageExecute(fly, now);
+        stageExecute(fly, handle, now);
         break;
       case Stage::Memory:
-        stageMemory(fly, now);
+        stageMemory(fly, handle, now);
         break;
       case Stage::RegAlloc:
-        stageRegAlloc(fly, now);
+        stageRegAlloc(fly, handle, now);
         break;
       case Stage::WritebackBase:
-        stageWritebackBase(fly, now);
+        stageWritebackBase(fly, handle, now);
         break;
       case Stage::Retire:
         retire(fly, handle, now);
@@ -1008,20 +1054,33 @@ Sm::cycle(Cycle now)
     lastCycle = now;
     reuseStageUsed = false;
 
-    // Advance in-flight instructions.
-    for (u32 handle = 0; handle < inflightCapacity; handle++)
-        process(handle, now);
+    // Advance in-flight instructions, in handle order (FU dispatch
+    // and bank arbitration are order-sensitive). The liveness words
+    // are snapshotted per 64-handle block: entries allocated this
+    // cycle (by the issue step below) are not in flight yet, and no
+    // stage can make another handle ready in the past.
+    for (u32 word = 0; word < flyActiveWords.size(); word++) {
+        u64 bits = flyActiveWords[word];
+        while (bits) {
+            u32 handle = word * 64 +
+                         static_cast<u32>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (flyReady[handle] <= now)
+                process(handle, now);
+        }
+    }
 
     // Pending-retry gets the reuse-buffer port when rename delivered
     // no new instruction this cycle.
     if (reuse && design.enablePendingRetry)
         retryPending(now);
 
-    // Dual GTO schedulers.
+    // Dual GTO schedulers over the dense eligibility mask.
     auto readyFn = [this, now](WarpId w) { return warpReady(w, now); };
-    auto ageFn = [this](WarpId w) { return warps[w].age; };
+    auto ageFn = [this](WarpId w) { return warpAge[w]; };
     for (unsigned s = 0; s < schedulers.size(); s++) {
-        if (auto pick = schedulers[s].pick(readyFn, ageFn))
+        if (auto pick = schedulers[s].pickDense(eligibleWarps, readyFn,
+                                                ageFn))
             issueFrom(*pick, s, now);
     }
 
@@ -1057,11 +1116,112 @@ Sm::cycle(Cycle now)
     unsigned interval = machine.check.auditInterval;
     if (reuse && interval && now % interval == 0)
         auditNow(now);
+
+    // Fold the hot-counter batch into SimStats on a stride; with
+    // buffering off the fold happens every cycle (same code path, so
+    // the two modes cannot drift).
+    constexpr Cycle kStatsFlushMask = 1023;
+    if (!statsBuffered || (now & kStatsFlushMask) == 0)
+        flushStats();
+}
+
+void
+Sm::flushStats()
+{
+    stats.fpInsts += batch.fpInsts;
+    stats.sfuInsts += batch.sfuInsts;
+    stats.controlInsts += batch.controlInsts;
+    stats.loadInsts += batch.loadInsts;
+    stats.storeInsts += batch.storeInsts;
+    stats.divergentInsts += batch.divergentInsts;
+    stats.barriers += batch.barriers;
+    stats.warpInstsCommitted += batch.warpInstsCommitted;
+    stats.warpInstsExecuted += batch.warpInstsExecuted;
+    stats.spActivations += batch.spActivations;
+    stats.sfuActivations += batch.sfuActivations;
+    stats.memActivations += batch.memActivations;
+    stats.affineExecutions += batch.affineExecutions;
+    stats.loadReuseLookups += batch.loadReuseLookups;
+    stats.loadReuseHits += batch.loadReuseHits;
+    stats.warpInstsReused += batch.warpInstsReused;
+    stats.reuseHitsPending += batch.reuseHitsPending;
+    stats.scratchAccesses += batch.scratchAccesses;
+    stats.constAccesses += batch.constAccesses;
+    batch = StatsBatch{};
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    // States with per-cycle side effects pin the SM to stepping:
+    // tracing (occupancy counters sample on a cycle stride),
+    // low-register-mode eviction, the pending-retry queue, and a
+    // fault injection that is due but has not landed yet.
+    if (probe.tracer)
+        return now + 1;
+    if (reuse && reuse->perCycleWorkPending())
+        return now + 1;
+    if (!pendq.empty())
+        return now + 1;
+    if (injector.pending() && injector.dueCycle() <= now)
+        return now + 1;
+
+    Cycle next = ~Cycle{0};
+    if (injector.pending())
+        next = std::min(next, injector.dueCycle());
+    if (reuse && machine.check.auditInterval) {
+        Cycle interval = machine.check.auditInterval;
+        next = std::min(next, now + interval - now % interval);
+    }
+
+    // In-flight wake-ups (PendingWait entries sit at ~0, but a
+    // non-empty pendq already bailed above).
+    for (u32 word = 0; word < flyActiveWords.size(); word++) {
+        u64 bits = flyActiveWords[word];
+        while (bits) {
+            u32 handle = word * 64 +
+                         static_cast<u32>(std::countr_zero(bits));
+            bits &= bits - 1;
+            next = std::min(next, flyReady[handle]);
+        }
+    }
+
+    // Issue: a hazard-free eligible warp can issue as soon as the
+    // next cycle (warpIssueReady is never set past now + 1, and FU
+    // backpressure clears on its own short schedule), so its mere
+    // existence forces a step. Hazard-blocked warps wake at retires
+    // and barrier-blocked warps at issues/retires -- both in-flight
+    // events already accounted above.
+    if (!freeHandles.empty()) {
+        u64 mask = eligibleWarps;
+        while (mask) {
+            WarpId w = static_cast<WarpId>(std::countr_zero(mask));
+            mask &= mask - 1;
+            if (!(sbPending[w] & ibuf[w].usedMask))
+                return now + 1;
+        }
+    }
+
+    return std::max(next, now + 1);
+}
+
+void
+Sm::accountIdleCycles(u64 gap)
+{
+    // Exactly what cycle() would have accumulated over `gap`
+    // quiescent cycles: utilization samples of a constant in-use
+    // count (the peak was already taken at the event cycle).
+    if (reuse)
+        reuse->idleTick(gap);
+    else
+        stats.physRegsInUseAccum +=
+            gap * u64{activeWarps} * kernel.numRegs;
 }
 
 void
 Sm::finalize()
 {
+    flushStats();
     stats.cycles = lastCycle + 1;
     stats.smCyclesTotal = lastCycle + 1;
     if (reuse) {
@@ -1088,6 +1248,7 @@ Sm::tryInjectFault(Cycle now)
         for (WarpId w = 0; w < warps.size(); w++) {
             if (warps[w].active && !warps[w].exited) {
                 stalledWarp = w;
+                updateEligibility(w);
                 landed = true;
                 break;
             }
@@ -1124,9 +1285,10 @@ Sm::auditNow(Cycle now)
         if (reg != invalidReg && reg < inflightRefs.size())
             inflightRefs[reg]++;
     };
-    for (const auto &fly : inflight) {
-        if (!fly.active)
+    for (u32 h = 0; h < inflight.size(); h++) {
+        if (!flyIsActive(h))
             continue;
+        const InFlight &fly = inflight[h];
         warpInflight[fly.warp]++;
         for (PhysReg src : fly.ren.srcPhys)
             holdRef(src);
@@ -1153,13 +1315,14 @@ Sm::auditNow(Cycle now)
     // destination must still hold its write-pending bit (released
     // only at retire).
     unsigned pendingStage = 0;
-    for (const auto &fly : inflight) {
-        if (!fly.active)
+    for (u32 h = 0; h < inflight.size(); h++) {
+        if (!flyIsActive(h))
             continue;
+        const InFlight &fly = inflight[h];
         if (fly.stage == Stage::PendingWait)
             pendingStage++;
         if (fly.inst->hasDst() &&
-            !warps[fly.warp].scoreboard.isPending(fly.inst->dst)) {
+            !(sbPending[fly.warp] >> fly.inst->dst & 1)) {
             char buf[96];
             std::snprintf(buf, sizeof buf,
                           "warp %u pc %u in flight but r%u not "
@@ -1173,7 +1336,7 @@ Sm::auditNow(Cycle now)
     // Pending-queue consistency: queued handles must be live
     // PendingWait instructions and vice versa.
     for (u32 handle : pendq.contents()) {
-        if (handle >= inflight.size() || !inflight[handle].active ||
+        if (handle >= inflight.size() || !flyIsActive(handle) ||
             inflight[handle].stage != Stage::PendingWait) {
             char buf[96];
             std::snprintf(buf, sizeof buf,
@@ -1277,9 +1440,10 @@ Sm::quarantine(const std::string &why, Cycle now)
     // ...then overlay in-flight results (their mappings only commit
     // at retire). The scoreboard allows at most one in-flight writer
     // per logical register, so the merge order does not matter.
-    for (auto &fly : inflight) {
-        if (!fly.active)
+    for (u32 h = 0; h < inflight.size(); h++) {
+        if (!flyIsActive(h))
             continue;
+        InFlight &fly = inflight[h];
         // Note: fly.result is trustworthy even for reuse hits -- it
         // was computed functionally at issue, independently of the
         // (possibly corrupted) buffered value.
@@ -1298,11 +1462,11 @@ Sm::quarantine(const std::string &why, Cycle now)
           case Stage::Reuse:
           case Stage::PendingWait:
             fly.stage = Stage::OperandRead;
-            fly.ready = now + 1;
+            flyReady[h] = now + 1;
             break;
           case Stage::RegAlloc:
             fly.stage = Stage::WritebackBase;
-            fly.ready = now + 1;
+            flyReady[h] = now + 1;
             break;
           default:
             break; // OperandRead/Execute/Memory/WritebackBase/Retire
@@ -1341,8 +1505,8 @@ Sm::progressReport() const
                       warp.atBarrier ? " atBarrier" : "",
                       w == stalledWarp ? " STALLED(injected)" : "",
                       warp.inflightCount,
-                      static_cast<unsigned long long>(warp.issueReady),
-                      warp.scoreboard.clean() ? "clean" : "pending");
+                      static_cast<unsigned long long>(warpIssueReady[w]),
+                      sbPending[w] == 0 ? "clean" : "pending");
         out += buf;
     }
     if (!pendq.empty()) {

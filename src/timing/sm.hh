@@ -70,11 +70,53 @@ class Sm
     /** Advance one cycle. */
     void cycle(Cycle now);
 
+    /**
+     * Earliest cycle after `now` at which this SM's state can change:
+     * an in-flight instruction wakes, an eligible hazard-free warp
+     * could issue, an audit or fault injection comes due. Between
+     * cycle(now) and the returned cycle the SM is provably inert, so
+     * the Gpu loop may jump straight there (after accountIdleCycles).
+     * Conservatively returns now + 1 whenever any per-cycle side
+     * effect is live (tracing, low-register-mode eviction, pending
+     * retry queue, an unlanded fault injection).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account `gap` skipped cycles of idle time (utilization
+     * sampling that cycle() would have performed). Results are
+     * bit-identical to stepping the SM through `gap` quiescent
+     * cycles.
+     */
+    void accountIdleCycles(u64 gap);
+
     /** End-of-kernel teardown and internal consistency checks. */
     void finalize();
 
-    SimStats &smStats() { return stats; }
-    const SimStats &smStats() const { return stats; }
+    /**
+     * Buffer hot SimStats counters in a per-SM batch, flushed on a
+     * stride (and at finalize/accessor boundaries) instead of every
+     * cycle. On by default per MachineConfig::perf; the Gpu turns it
+     * off when an observability session holds a live reference to
+     * the stats block.
+     */
+    void setStatsBuffered(bool on) { statsBuffered = on; }
+
+    // The accessors flush the stats batch so callers always observe
+    // up-to-date counters; flushing is logically non-mutating (it
+    // moves already-earned counts into place), hence the const_cast.
+    SimStats &
+    smStats()
+    {
+        flushStats();
+        return stats;
+    }
+    const SimStats &
+    smStats() const
+    {
+        const_cast<Sm *>(this)->flushStats();
+        return stats;
+    }
 
     /** Did a detected violation force this SM back to Base mode? */
     bool isQuarantined() const { return quarantined; }
@@ -113,20 +155,42 @@ class Sm
         std::vector<WarpId> warps;
     };
 
+    /**
+     * Cold per-warp state. The fields the scheduler scans every cycle
+     * (eligibility, scoreboard pending mask, decoded next
+     * instruction, age, issue readiness) live in dense side arrays --
+     * see the "Hot per-warp state" block below -- so a scheduling
+     * pass touches a few contiguous cache lines instead of striding
+     * through these records.
+     */
     struct WarpSlot
     {
         bool active = false;
         bool exited = false;
         bool atBarrier = false;
         u8 blockSlot = 0;
-        u64 age = 0;
         SimtStack stack;
-        Scoreboard scoreboard;
         WarpCtx ctx;
         bool storeFlagShared = false;
         bool storeFlagGlobal = false;
         unsigned inflightCount = 0;
-        Cycle issueReady = 0;
+    };
+
+    /**
+     * Per-warp instruction-buffer cache: the decoded front of the
+     * warp's instruction stream, refilled whenever the warp's pc
+     * changes (issue, branch, launch). Caches exactly what the
+     * scheduler's ready check needs so warpReady() is branch-light:
+     * the scoreboard mask the instruction touches and its target FU.
+     */
+    struct IbufEntry
+    {
+        /** Next instruction, or null when the warp has no stream
+         * (inactive, exited, or SIMT stack done). */
+        const Instruction *inst = nullptr;
+        u64 usedMask = 0; ///< Scoreboard::usedMask(*inst)
+        u8 fu = 0;        ///< FuKind index; meaningless for control
+        bool isControl = false;
     };
 
     enum class Stage : u8
@@ -135,9 +199,14 @@ class Sm
         RegAlloc, WritebackBase, Retire,
     };
 
+    /**
+     * One in-flight instruction. Liveness and wake-up cycles are NOT
+     * stored here: they live in the dense flyActiveWords /
+     * flyReady side arrays, so the per-cycle scan over 192 slots
+     * reads a few hundred bytes instead of touching every record.
+     */
     struct InFlight
     {
-        bool active = false;
         WarpId warp = 0;
         const Instruction *inst = nullptr;
         unsigned schedulerId = 0;
@@ -159,7 +228,6 @@ class Sm
         std::array<WarpValue, 3> shadowSrc{};
         bool affineOk = false;
         Stage stage = Stage::Retire;
-        Cycle ready = 0;
         Cycle issueCycle = 0;
         u32 stallCount = 0;
         ReuseUnit::AllocResult alloc;
@@ -167,23 +235,50 @@ class Sm
 
     // ---- Issue path -------------------------------------------------------
 
+    /** Full per-candidate readiness check. The caller has already
+     * filtered on the eligibility bitmask, so this only checks the
+     * time-varying conditions (issue slot, handles, hazards, FU). */
     bool warpReady(WarpId warp, Cycle now) const;
     void issueFrom(WarpId warp, unsigned schedulerId, Cycle now);
     void handleControlAtIssue(WarpId warp, const Instruction &inst,
                               WarpMask active, const WarpValue &pred);
     void releaseBarrier(BlockSlot &block);
 
+    /** Re-decode ibuf[warp] from the warp's current pc and refresh
+     * its eligibility bit. Call after every pc change. */
+    void refillIbuf(WarpId warp);
+    /** Recompute the warp's bit in eligibleWarps. */
+    void updateEligibility(WarpId warp);
+
     // ---- Pipeline stages --------------------------------------------------
 
     void process(u32 handle, Cycle now);
     void stageReuse(InFlight &fly, u32 handle, Cycle now);
-    void stageOperandRead(InFlight &fly, Cycle now);
-    void stageExecute(InFlight &fly, Cycle now);
-    void stageMemory(InFlight &fly, Cycle now);
-    void stageRegAlloc(InFlight &fly, Cycle now);
-    void stageWritebackBase(InFlight &fly, Cycle now);
+    void stageOperandRead(InFlight &fly, u32 handle, Cycle now);
+    void stageExecute(InFlight &fly, u32 handle, Cycle now);
+    void stageMemory(InFlight &fly, u32 handle, Cycle now);
+    void stageRegAlloc(InFlight &fly, u32 handle, Cycle now);
+    void stageWritebackBase(InFlight &fly, u32 handle, Cycle now);
     void retire(InFlight &fly, u32 handle, Cycle now);
     void retryPending(Cycle now);
+
+    // ---- In-flight liveness (dense bitmask) --------------------------------
+
+    bool
+    flyIsActive(u32 handle) const
+    {
+        return flyActiveWords[handle >> 6] >> (handle & 63) & 1;
+    }
+    void
+    flySetActive(u32 handle)
+    {
+        flyActiveWords[handle >> 6] |= u64{1} << (handle & 63);
+    }
+    void
+    flyClearActive(u32 handle)
+    {
+        flyActiveWords[handle >> 6] &= ~(u64{1} << (handle & 63));
+    }
 
     // ---- Helpers ----------------------------------------------------------
 
@@ -236,6 +331,18 @@ class Sm
     RegFileBanks banks;
     std::array<FuPipeline, 4> fus;
 
+    // ---- Hot per-warp state (structure-of-arrays) -------------------------
+    // Everything the per-cycle scheduling scan touches, kept dense
+    // and contiguous. Invariant: bit w of eligibleWarps is set iff
+    // warps[w] is active, not exited, not at a barrier, not the
+    // injected stall target, and ibuf[w].inst != null.
+
+    u64 eligibleWarps = 0;
+    std::vector<u64> sbPending;       ///< scoreboard pending masks
+    std::vector<IbufEntry> ibuf;      ///< decoded next instruction
+    std::vector<Cycle> warpIssueReady; ///< earliest next issue cycle
+    std::vector<u64> warpAge;         ///< GTO age (launch order)
+
     TagArray l1Tags;
     Mshr l1Mshr;
     Cycle l1PortFree = 0;
@@ -243,7 +350,45 @@ class Sm
     PendingQueue pendq;
 
     std::vector<InFlight> inflight;
+    // Liveness bitmask + wake-up cycles for `inflight`, scanned every
+    // cycle in handle order (the InFlight records themselves are only
+    // touched when an entry actually fires).
+    std::vector<u64> flyActiveWords;
+    std::vector<Cycle> flyReady;
     std::vector<u32> freeHandles;
+
+    // ---- Buffered statistics ---------------------------------------------
+    // Counters bumped on the issue/execute/retire hot paths
+    // accumulate here and fold into `stats` on a stride (single code
+    // path: with buffering off the flush happens every cycle).
+    // Counters that are delta-read mid-run (rfBankRetries, the L1/L2
+    // hierarchy counters) are excluded and always write straight to
+    // `stats`.
+    struct StatsBatch
+    {
+        u64 fpInsts = 0;
+        u64 sfuInsts = 0;
+        u64 controlInsts = 0;
+        u64 loadInsts = 0;
+        u64 storeInsts = 0;
+        u64 divergentInsts = 0;
+        u64 barriers = 0;
+        u64 warpInstsCommitted = 0;
+        u64 warpInstsExecuted = 0;
+        u64 spActivations = 0;
+        u64 sfuActivations = 0;
+        u64 memActivations = 0;
+        u64 affineExecutions = 0;
+        u64 loadReuseLookups = 0;
+        u64 loadReuseHits = 0;
+        u64 warpInstsReused = 0;
+        u64 reuseHitsPending = 0;
+        u64 scratchAccesses = 0;
+        u64 constAccesses = 0;
+    };
+    StatsBatch batch;
+    bool statsBuffered;
+    void flushStats();
 
     unsigned activeBlocks = 0;
     unsigned activeWarps = 0;

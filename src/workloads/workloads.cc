@@ -62,6 +62,16 @@ makeWorkload(const std::string &abbr)
     fatal("unknown workload '%s'", abbr.c_str());
 }
 
+const std::vector<std::string> &
+quickWorkloadAbbrs()
+{
+    static const std::vector<std::string> quick = {
+        "SF", "BT", "GA", "BO", "S2", "KM", "SG", "MC", "HS",
+        "SN", "BF", "LK", "BS", "HW",
+    };
+    return quick;
+}
+
 namespace factories
 {
 

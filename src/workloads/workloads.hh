@@ -51,6 +51,11 @@ const std::vector<WorkloadInfo> &workloadRegistry();
 /** Build a fresh instance by abbreviation (e.g. "SF"). */
 Workload makeWorkload(const std::string &abbr);
 
+/** The reduced "quick" suite -- a representative spread of Fig. 2
+ * reusability ranks. Shared by the figure harness (WIR_BENCH_QUICK)
+ * and `wirsim bench --quick` so both mean the same subset. */
+const std::vector<std::string> &quickWorkloadAbbrs();
+
 } // namespace wir
 
 #endif // WIR_WORKLOADS_WORKLOADS_HH

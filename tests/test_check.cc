@@ -232,6 +232,33 @@ TEST(ConfigValidation, RejectsZeroSms)
     EXPECT_THROW(Gpu(machine, designBase()), ConfigError);
 }
 
+TEST(ConfigValidation, RejectsZeroWarpStallLimit)
+{
+    MachineConfig machine;
+    machine.check.warpStallLimit = 0;
+    EXPECT_THROW(validateConfig(machine), ConfigError);
+
+    machine.check.warpStallLimit = 1;
+    EXPECT_NO_THROW(validateConfig(machine));
+}
+
+TEST(ConfigValidation, WarpStallLimitIsKeyedButPerfKnobsAreNot)
+{
+    // The stall limit changes observable behavior (when the guard
+    // trips), so it must contribute to the canonical key; the perf
+    // knobs are result-neutral and must not (toggling them has to
+    // hit the same sweep-cache entries).
+    MachineConfig a;
+    MachineConfig b;
+    b.check.warpStallLimit = 12345;
+    EXPECT_NE(canonicalKey(a), canonicalKey(b));
+
+    MachineConfig c;
+    c.perf.skipAhead = false;
+    c.perf.bufferedStats = false;
+    EXPECT_EQ(canonicalKey(a), canonicalKey(c));
+}
+
 TEST(ConfigValidation, RejectsNonPowerOfTwoTables)
 {
     DesignConfig design = designRLPV();

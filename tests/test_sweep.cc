@@ -28,6 +28,8 @@
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "sim/designs.hh"
+#include "sim/runner.hh"
+#include "workloads/factories.hh"
 #include "sweep/disk_store.hh"
 #include "sweep/executor.hh"
 #include "sweep/journal.hh"
@@ -168,6 +170,49 @@ TEST(ResultCache, BitIdenticalAcrossJobCounts)
     }
     EXPECT_EQ(serial.sweepStats().simulated,
               parallel.sweepStats().simulated);
+}
+
+// The perf knobs (cycle skip-ahead, buffered stats) are contractually
+// result-neutral: every stat and the final memory image must come out
+// bit-identical with them on or off, end to end through real runs.
+TEST(PerfKnobs, RunsAreBitIdenticalWithOptimizationsOnOrOff)
+{
+    MachineConfig fast = testMachine();
+    fast.perf.skipAhead = true;
+    fast.perf.bufferedStats = true;
+
+    MachineConfig slow = testMachine();
+    slow.perf.skipAhead = false;
+    slow.perf.bufferedStats = false;
+
+    for (const auto &design : {designBase(), designRLPV()}) {
+        for (const char *abbr : {"SF", "LK"}) {
+            auto a = runWorkload(makeWorkload(abbr), design, fast);
+            auto b = runWorkload(makeWorkload(abbr), design, slow);
+            EXPECT_EQ(a.stats.items(), b.stats.items())
+                << abbr << "/" << design.name;
+            EXPECT_EQ(a.finalMemory, b.finalMemory)
+                << abbr << "/" << design.name;
+        }
+    }
+}
+
+// Because the results are identical, the perf knobs must not reach
+// the persistent cache key: a sweep run with optimizations off has to
+// hit entries produced with them on.
+TEST(PerfKnobs, DoNotChangeSweepCacheKeys)
+{
+    Options fastOpts = testOptions(1);
+    Options slowOpts = testOptions(8);
+    slowOpts.machine.perf.skipAhead = false;
+    slowOpts.machine.perf.bufferedStats = false;
+
+    ResultCache fast(fastOpts);
+    ResultCache slow(slowOpts);
+    EXPECT_EQ(fast.runKey(designRLPV(), "SF"),
+              slow.runKey(designRLPV(), "SF"));
+    EXPECT_EQ(fast.runKey(designBase(), "HW"),
+              slow.runKey(designBase(), "HW"));
 }
 
 TEST(ResultCache, DeduplicatesRenamedParameterTwins)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare two `wirsim bench` reports and gate on the ratio.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json
+        [--max-regression PCT]   fail if candidate aggregate
+                                 Kcycles/sec drops more than PCT%
+                                 below baseline
+        [--min-speedup X]        fail if candidate/baseline aggregate
+                                 Kcycles/sec ratio is below X
+
+The aggregate ratio is recomputed over the intersection of cells
+(matched on workload and design), so a --quick candidate compares
+fairly against a full baseline. Reports must come from the same
+simulator version and stats schema -- a mismatch means the two runs
+did not simulate the same thing, and the compare refuses (exit 2).
+
+Exit codes: 0 pass, 1 gate failed, 2 bad input / incompatible
+reports.  stdlib only; see docs/BENCH.md for the report schema.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot load {path}: {err}")
+    for key in ("bench_schema", "sim_version", "stats_schema",
+                "cells"):
+        if key not in report:
+            sys.exit(f"bench_compare: {path}: missing '{key}' "
+                     "(not a wirsim bench report?)")
+    if report["bench_schema"] != 1:
+        sys.exit(f"bench_compare: {path}: unsupported bench_schema "
+                 f"{report['bench_schema']}")
+    return report
+
+
+def check_compatible(base, cand, base_path, cand_path):
+    for key in ("sim_version", "stats_schema"):
+        if base[key] != cand[key]:
+            sys.exit(
+                f"bench_compare: incompatible reports: {key} is "
+                f"{base[key]} in {base_path} but {cand[key]} in "
+                f"{cand_path}; the two runs measured different "
+                "simulators")
+
+
+def cell_map(report, path):
+    cells = {}
+    for cell in report["cells"]:
+        if cell.get("failed"):
+            continue
+        key = (cell["workload"], cell["design"])
+        if key in cells:
+            sys.exit(f"bench_compare: {path}: duplicate cell "
+                     f"{key[0]}/{key[1]}")
+        cells[key] = cell
+    return cells
+
+
+def aggregate(cells, keys):
+    cycles = sum(cells[k]["cycles"] for k in keys)
+    wall = sum(cells[k]["wall_seconds"] for k in keys)
+    return (cycles / 1e3) / wall if wall > 0 else 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two wirsim bench reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regression", type=float, metavar="PCT",
+                        help="fail if candidate is more than PCT%% "
+                        "slower than baseline")
+    parser.add_argument("--min-speedup", type=float, metavar="X",
+                        help="fail if candidate/baseline ratio is "
+                        "below X")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    check_compatible(base, cand, args.baseline, args.candidate)
+
+    base_cells = cell_map(base, args.baseline)
+    cand_cells = cell_map(cand, args.candidate)
+    common = sorted(set(base_cells) & set(cand_cells))
+    if not common:
+        sys.exit("bench_compare: no common successful cells to "
+                 "compare")
+    only_base = len(base_cells) - len(common)
+    only_cand = len(cand_cells) - len(common)
+
+    print(f"{'workload':<8} {'design':<12} {'base Kc/s':>10} "
+          f"{'cand Kc/s':>10} {'ratio':>7}")
+    for key in common:
+        b = base_cells[key]["kcycles_per_sec"]
+        c = cand_cells[key]["kcycles_per_sec"]
+        ratio = c / b if b > 0 else float("inf")
+        if base_cells[key]["cycles"] != cand_cells[key]["cycles"]:
+            print(f"{key[0]:<8} {key[1]:<12} -- simulated cycle "
+                  f"count differs ({base_cells[key]['cycles']} vs "
+                  f"{cand_cells[key]['cycles']}); results are not "
+                  "comparable", file=sys.stderr)
+        print(f"{key[0]:<8} {key[1]:<12} {b:>10.1f} {c:>10.1f} "
+              f"{ratio:>6.2f}x")
+
+    base_agg = aggregate(base_cells, common)
+    cand_agg = aggregate(cand_cells, common)
+    ratio = cand_agg / base_agg if base_agg > 0 else float("inf")
+    print(f"\naggregate over {len(common)} common cells "
+          f"({only_base} baseline-only, {only_cand} candidate-only "
+          "dropped):")
+    print(f"  baseline  {base_agg:10.1f} Kcycles/sec "
+          f"({base.get('label', '')})")
+    print(f"  candidate {cand_agg:10.1f} Kcycles/sec "
+          f"({cand.get('label', '')})")
+    print(f"  ratio     {ratio:10.3f}x")
+
+    failed = False
+    if args.max_regression is not None:
+        floor = 1.0 - args.max_regression / 100.0
+        if ratio < floor:
+            print(f"FAIL: ratio {ratio:.3f} is below the "
+                  f"--max-regression floor {floor:.3f} "
+                  f"({args.max_regression:.0f}% regression budget)")
+            failed = True
+        else:
+            print(f"pass: ratio {ratio:.3f} >= regression floor "
+                  f"{floor:.3f}")
+    if args.min_speedup is not None:
+        if ratio < args.min_speedup:
+            print(f"FAIL: ratio {ratio:.3f} is below the "
+                  f"--min-speedup target {args.min_speedup:.2f}")
+            failed = True
+        else:
+            print(f"pass: ratio {ratio:.3f} >= speedup target "
+                  f"{args.min_speedup:.2f}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,27 @@
  *   wirsim list
  *   wirsim run <ABBR|all> [options]
  *   wirsim profile <ABBR|all>
+ *   wirsim bench [options]
  *   wirsim fuzz [options]
  *   wirsim gen [options]
  *   wirsim stats --describe
  *   wirsim trace --check FILE
+ *
+ * Simulator benchmarking (`bench`, see docs/BENCH.md): measure
+ * simulation throughput (Kcycles/sec, sim-instrs/sec, wall time) per
+ * (workload, design) cell and write a BENCH_<n>.json report:
+ *   --quick         quick workload subset (same set WIR_BENCH_QUICK
+ *                   selects for the figure suite)
+ *   --workload A    benchmark only this workload (repeatable)
+ *   --design NAME   benchmark under this design (repeatable;
+ *                   default Base and RLPV)
+ *   --reps N        wall-time repetitions per cell, best-of (def. 1)
+ *   --out FILE      write the JSON report here (default stdout)
+ *   --label STR     free-form annotation recorded in the report
+ *   --sms N         SMs per run (default 15)
+ *   --no-skip-ahead / --no-buffered-stats  disable hot-path
+ *                   optimizations (results are bit-identical either
+ *                   way; this measures their speed contribution)
  *
  * Differential fuzzing (`fuzz`) runs generated kernels under Base
  * and every reuse design and compares full architectural state;
@@ -87,6 +104,16 @@
  *                   stale-rename | warp-stall | rb-value-flip
  *   --inject-cycle C  earliest cycle to apply the fault (default 0)
  *   --inject-sm S   SM to corrupt (default 0)
+ *   --warp-stall-limit N  abort after one instruction retries
+ *                   register allocation N consecutive cycles
+ *                   (livelock guard, default 200000; must be > 0)
+ *
+ * Performance-strategy options for `run` and `bench` (results are
+ * bit-identical with or without them -- see docs/BENCH.md):
+ *   --no-skip-ahead     step every cycle instead of jumping over
+ *                       provably idle stretches
+ *   --no-buffered-stats increment SimStats counters directly instead
+ *                       of through the per-SM batch buffer
  *
  * Exit codes: 0 success, 1 simulation failure (SimError), 2 bad
  * usage or configuration (ConfigError), 128+sig when interrupted by
@@ -106,8 +133,10 @@
 #include "isa/disasm.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
+#include "sim/bench.hh"
 #include "sim/designs.hh"
 #include "sim/runner.hh"
+#include "workloads/workloads.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/signals.hh"
 
@@ -143,6 +172,12 @@ usage()
                  "[--run-timeout S] [--retries N]\n"
                  "                  [--trace FILE] [--trace-cats CSV] "
                  "[--stats-interval N] [--stats-out FILE]\n"
+                 "       wirsim bench [--quick] [--workload A]... "
+                 "[--design NAME]... [--reps N]\n"
+                 "                  [--out FILE] [--label STR] "
+                 "[--sms N]\n"
+                 "                  [--no-skip-ahead] "
+                 "[--no-buffered-stats]\n"
                  "       wirsim fuzz [--seed S] [--runs N] "
                  "[--jobs N] [--family F] [--divergence D]\n"
                  "                  [--design NAME]... [--sms N] "
@@ -420,6 +455,13 @@ cmdRun(int argc, char **argv)
         } else if (arg == "--inject-sm") {
             machine.check.injectSm =
                 parseUnsigned("--inject-sm", next());
+        } else if (arg == "--warp-stall-limit") {
+            machine.check.warpStallLimit =
+                parseUnsigned("--warp-stall-limit", next());
+        } else if (arg == "--no-skip-ahead") {
+            machine.perf.skipAhead = false;
+        } else if (arg == "--no-buffered-stats") {
+            machine.perf.bufferedStats = false;
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--energy") {
@@ -512,6 +554,68 @@ cmdRun(int argc, char **argv)
     if (sweep::interruptRequested())
         return sweep::interruptExitCode();
     return failures ? 1 : 0;
+}
+
+/** `wirsim bench`: measure simulator throughput over a grid of
+ * (workload, design) cells and emit a BENCH_<n>.json-style report
+ * (schema in docs/BENCH.md). Unlike `run`, cells execute serially
+ * in-process with no cache so the wall times are clean. */
+int
+cmdBench(int argc, char **argv)
+{
+    BenchOptions opts;
+    std::string outPath;
+
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--workload") {
+            opts.workloads.push_back(next());
+        } else if (arg == "--design") {
+            opts.designs.push_back(next());
+        } else if (arg == "--reps") {
+            opts.reps = parseUnsigned("--reps", next());
+            if (opts.reps == 0)
+                fatal("--reps must be positive");
+        } else if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--label") {
+            opts.label = next();
+        } else if (arg == "--sms") {
+            opts.machine.numSms = parseUnsigned("--sms", next());
+        } else if (arg == "--no-skip-ahead") {
+            opts.machine.perf.skipAhead = false;
+        } else if (arg == "--no-buffered-stats") {
+            opts.machine.perf.bufferedStats = false;
+        } else {
+            usage();
+        }
+    }
+    if (opts.quick) {
+        if (!opts.workloads.empty())
+            fatal("--quick and --workload are mutually exclusive");
+        opts.workloads = quickWorkloadAbbrs();
+    }
+    validateConfig(opts.machine);
+
+    BenchReport report = runBench(opts, /*progress=*/true);
+    std::fprintf(stderr,
+                 "bench: aggregate %8.0f Kcyc/s over %zu cells "
+                 "(%zu failed), %.2f s wall\n",
+                 report.aggregateKcyclesPerSec(),
+                 report.cells.size(), report.failedCells(),
+                 report.totalWallSeconds());
+    if (outPath.empty())
+        std::fputs(benchReportJson(report).c_str(), stdout);
+    else
+        writeBenchReport(report, outPath);
+    return report.failedCells() ? 1 : 0;
 }
 
 int
@@ -834,6 +938,8 @@ main(int argc, char **argv)
             return cmdRun(argc - 2, argv + 2);
         if (cmd == "profile")
             return cmdProfile(argc - 2, argv + 2);
+        if (cmd == "bench")
+            return cmdBench(argc - 2, argv + 2);
         if (cmd == "fuzz")
             return cmdFuzz(argc - 2, argv + 2);
         if (cmd == "gen")
