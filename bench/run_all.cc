@@ -415,8 +415,10 @@ main(int argc, char **argv)
             planFigures(caches, selected);
 
             for (const FigureInfo *figure : selected) {
-                if (sweep::interruptRequested())
+                if (sweep::interruptRequested()) {
+                    sweep::announceInterrupt();
                     break;
+                }
                 figureMetrics.emplace_back(figure->id,
                                            std::map<std::string,
                                                     double>{});

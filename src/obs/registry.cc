@@ -130,12 +130,14 @@ appendU64(std::string &out, u64 v)
 } // anonymous namespace
 
 std::string
-Registry::snapshotJson(u64 cycle) const
+Registry::snapshotJson(u64 tick, const char *tickName) const
 {
     std::string out;
     out.reserve(64 + entries.size() * 32);
-    out += "{\"cycle\":";
-    appendU64(out, cycle);
+    out += "{\"";
+    out += tickName;
+    out += "\":";
+    appendU64(out, tick);
     out += ",\"metrics\":{";
     bool first = true;
     for (const Metric &m : entries) {

@@ -141,8 +141,12 @@ class Registry
      * One JSONL snapshot line (no trailing newline): a flat object of
      * dotted metric names. Counters/gauges render as integers;
      * distributions as {"count","sum","min","max","mean"} objects.
+     * `tickName` labels the leading tick field: "cycle" for
+     * simulation snapshots, e.g. "uptime_ms" for the wirsimd /stats
+     * endpoint, whose registry ticks in wall time, not cycles.
      */
-    std::string snapshotJson(u64 cycle) const;
+    std::string snapshotJson(u64 tick,
+                             const char *tickName = "cycle") const;
 
     /** FNV-1a over (name, kind, unit) of every registered metric, in
      * order -- the per-run schema fingerprint. */

@@ -1,0 +1,215 @@
+#include "serve/client.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+namespace
+{
+
+u64
+monoMs()
+{
+    return u64(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+                   .count());
+}
+
+int
+connectTo(const std::string &socketPath)
+{
+    sockaddr_un addr = {};
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        fatal("submit: socket path '%s' is too long",
+              socketPath.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("submit: socket: %s", std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("submit: cannot connect to '%s': %s (is wirsimd "
+              "running?)",
+              socketPath.c_str(), std::strerror(err));
+    }
+    return fd;
+}
+
+void
+sendAll(int fd, const std::string &data, const char *what)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            off += size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        int err = errno;
+        ::close(fd);
+        fatal("submit: %s: %s", what, std::strerror(err));
+    }
+}
+
+/** Read until `lines` newline-terminated lines arrived or the
+ * deadline passes. Appends decoded lines to `out`. */
+void
+readLines(int fd, size_t lines, u64 deadlineMs,
+          std::vector<std::string> &out)
+{
+    std::string buf;
+    while (out.size() < lines) {
+        u64 now = monoMs();
+        if (now >= deadlineMs) {
+            ::close(fd);
+            fatal("submit: timed out waiting for %zu more "
+                  "response(s)",
+                  lines - out.size());
+        }
+        pollfd p = {fd, POLLIN, 0};
+        int rc = ::poll(&p, 1, int(deadlineMs - now));
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc <= 0)
+            continue;
+        char chunk[4096];
+        ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n == 0) {
+            ::close(fd);
+            fatal("submit: daemon closed the connection with %zu "
+                  "response(s) outstanding",
+                  lines - out.size());
+        }
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            int err = errno;
+            ::close(fd);
+            fatal("submit: read: %s", std::strerror(err));
+        }
+        buf.append(chunk, size_t(n));
+        size_t start = 0;
+        while (true) {
+            size_t nl = buf.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buf.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty())
+                out.push_back(std::move(line));
+        }
+        buf.erase(0, start);
+    }
+}
+
+} // namespace
+
+std::vector<SubmitOutcome>
+submitCells(const SubmitOptions &options,
+            const std::vector<SubmitCell> &cells)
+{
+    if (cells.empty())
+        return {};
+    int fd = connectTo(options.socketPath);
+
+    // All requests in one send: also how the tests provoke
+    // queue_full deterministically (the daemon reads the whole
+    // batch in one loop tick).
+    std::string batch;
+    for (size_t i = 0; i < cells.size(); i++) {
+        JsonWriter w;
+        w.field("op", "submit");
+        w.field("id", u64(i));
+        w.field("client", options.client);
+        w.field("workload", cells[i].workload);
+        w.field("design", cells[i].design);
+        if (options.deadlineMs)
+            w.field("deadline_ms", options.deadlineMs);
+        if (options.sms > 0)
+            w.field("sms", options.sms);
+        if (!options.sched.empty())
+            w.field("sched", options.sched);
+        if (options.watchdog >= 0)
+            w.field("watchdog", options.watchdog);
+        if (!options.inject.empty())
+            w.field("inject", options.inject);
+        if (options.injectCycle >= 0)
+            w.field("inject_cycle", options.injectCycle);
+        if (options.injectSm >= 0)
+            w.field("inject_sm", options.injectSm);
+        batch += w.finish();
+        batch += '\n';
+    }
+    sendAll(fd, batch, "send");
+
+    std::vector<std::string> lines;
+    readLines(fd, cells.size(), monoMs() + options.timeoutMs, lines);
+    ::close(fd);
+
+    // Responses can arrive in any order; place by echoed id.
+    std::vector<SubmitOutcome> outcomes(cells.size());
+    std::map<std::string, size_t> byId;
+    for (size_t i = 0; i < cells.size(); i++)
+        byId[std::to_string(i)] = i;
+    size_t next = 0;
+    for (std::string &line : lines) {
+        SubmitOutcome outcome;
+        outcome.raw = line;
+        JsonObject obj;
+        std::string error;
+        if (parseFlatJson(line, obj, error)) {
+            outcome.id = obj.str("id");
+            outcome.status = obj.str("status");
+            outcome.row = obj.str("row");
+            outcome.reason = obj.str("reason");
+            if (outcome.reason.empty())
+                outcome.reason = obj.str("error");
+            outcome.retryAfterMs = obj.num("retry_after_ms");
+        } else {
+            outcome.status = "error";
+            outcome.reason = "unparseable response: " + error;
+        }
+        auto it = byId.find(outcome.id);
+        size_t slot =
+            it != byId.end() ? it->second : next % outcomes.size();
+        outcomes[slot] = std::move(outcome);
+        next++;
+    }
+    return outcomes;
+}
+
+std::string
+requestLine(const std::string &socketPath, const std::string &line,
+            u64 timeoutMs)
+{
+    int fd = connectTo(socketPath);
+    sendAll(fd, line + "\n", "send");
+    std::vector<std::string> lines;
+    readLines(fd, 1, monoMs() + timeoutMs, lines);
+    ::close(fd);
+    return lines.empty() ? std::string() : lines.front();
+}
+
+} // namespace serve
+} // namespace wir

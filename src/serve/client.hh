@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Line-protocol client for wirsimd: the `wirsim submit` command and
+ * the building block the serve tests and the serve-chaos CI job use
+ * to talk to a daemon.
+ */
+
+#ifndef WIR_SERVE_CLIENT_HH
+#define WIR_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "serve/protocol.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+/** One (workload, design) cell to submit. */
+struct SubmitCell
+{
+    std::string workload;
+    std::string design = "RLPV";
+};
+
+struct SubmitOptions
+{
+    std::string socketPath;
+    std::string client = "wirsim"; ///< quota identity
+    u64 deadlineMs = 0;            ///< per-job deadline (0 = none)
+    /** Overall client-side wait for all responses. */
+    u64 timeoutMs = 120000;
+
+    /** Machine overrides forwarded verbatim on every submit
+     * (empty/absent fields are not sent). */
+    i64 sms = 0;
+    std::string sched;
+    i64 watchdog = -1; ///< -1 = not sent (0 is a valid override)
+    std::string inject;
+    i64 injectCycle = -1;
+    i64 injectSm = -1;
+};
+
+/** One response line, decoded. */
+struct SubmitOutcome
+{
+    std::string id;
+    std::string status; ///< ok | failed | rejected | error
+    std::string row;    ///< the `wirsim run` result row, when present
+    std::string reason; ///< failure/rejection reason
+    i64 retryAfterMs = 0;
+    std::string raw; ///< the full response line
+};
+
+/**
+ * Connect to `socketPath`, submit every cell, and wait for all
+ * responses (out-of-order completion is handled by id matching).
+ * Outcomes are returned in submission order. Throws ConfigError when
+ * the daemon cannot be reached or the connection dies mid-wait.
+ */
+std::vector<SubmitOutcome> submitCells(
+    const SubmitOptions &options,
+    const std::vector<SubmitCell> &cells);
+
+/** Send one raw request line ("stats"/"healthz" ops) and return the
+ * raw response line. Throws ConfigError on connect/IO failure. */
+std::string requestLine(const std::string &socketPath,
+                        const std::string &line, u64 timeoutMs);
+
+} // namespace serve
+} // namespace wir
+
+#endif // WIR_SERVE_CLIENT_HH

@@ -1,0 +1,384 @@
+#include "serve/protocol.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wir
+{
+namespace serve
+{
+
+std::string
+JsonObject::str(const std::string &key, const std::string &dflt) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return dflt;
+    const JsonValue &v = it->second;
+    switch (v.kind) {
+      case JsonValue::Kind::String: return v.str;
+      case JsonValue::Kind::Number: {
+        if (!v.str.empty())
+            return v.str; // exact text (fractional fields keep it)
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v.num));
+        return buf;
+      }
+      case JsonValue::Kind::Bool: return v.boolean ? "true" : "false";
+    }
+    return dflt;
+}
+
+i64
+JsonObject::num(const std::string &key, i64 dflt) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return dflt;
+    const JsonValue &v = it->second;
+    if (v.kind == JsonValue::Kind::Number)
+        return v.num;
+    if (v.kind == JsonValue::Kind::String) {
+        // Coerce "42": hand-written clients quote numbers all the
+        // time and rejecting that buys nothing.
+        char *end = nullptr;
+        long long parsed = std::strtoll(v.str.c_str(), &end, 10);
+        if (end && *end == '\0' && end != v.str.c_str())
+            return parsed;
+    }
+    return dflt;
+}
+
+bool
+JsonObject::boolean(const std::string &key, bool dflt) const
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        return dflt;
+    const JsonValue &v = it->second;
+    if (v.kind == JsonValue::Kind::Bool)
+        return v.boolean;
+    if (v.kind == JsonValue::Kind::Number)
+        return v.num != 0;
+    if (v.kind == JsonValue::Kind::String)
+        return v.str == "true" || v.str == "1";
+    return dflt;
+}
+
+namespace
+{
+
+/** Cursor over one line; every helper leaves `pos` after what it
+ * consumed or reports false without guaranteeing `pos`. */
+struct Cursor
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            pos++;
+    }
+    bool eat(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            pos++;
+            return true;
+        }
+        return false;
+    }
+    bool peekIs(char c)
+    {
+        skipWs();
+        return pos < text.size() && text[pos] == c;
+    }
+};
+
+bool
+parseString(Cursor &cur, std::string &out, std::string &error)
+{
+    if (!cur.eat('"')) {
+        error = "expected string";
+        return false;
+    }
+    out.clear();
+    while (cur.pos < cur.text.size()) {
+        char c = cur.text[cur.pos++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (cur.pos >= cur.text.size())
+            break;
+        char esc = cur.text[cur.pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // Flat protocol fields are workload/design/client names
+            // and counts; non-ASCII escapes decode to '?' rather
+            // than growing a UTF-16 decoder here.
+            if (cur.text.size() - cur.pos < 4) {
+                error = "truncated \\u escape";
+                return false;
+            }
+            cur.pos += 4;
+            out.push_back('?');
+            break;
+          }
+          default:
+            error = "bad escape";
+            return false;
+        }
+    }
+    error = "unterminated string";
+    return false;
+}
+
+bool
+parseValue(Cursor &cur, JsonValue &out, std::string &error)
+{
+    cur.skipWs();
+    if (cur.pos >= cur.text.size()) {
+        error = "truncated value";
+        return false;
+    }
+    char c = cur.text[cur.pos];
+    if (c == '"') {
+        out.kind = JsonValue::Kind::String;
+        return parseString(cur, out.str, error);
+    }
+    if (c == '{' || c == '[') {
+        error = "nested objects/arrays are not part of the flat "
+                "protocol";
+        return false;
+    }
+    if (cur.text.compare(cur.pos, 4, "true") == 0) {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        cur.pos += 4;
+        return true;
+    }
+    if (cur.text.compare(cur.pos, 5, "false") == 0) {
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        cur.pos += 5;
+        return true;
+    }
+    if (cur.text.compare(cur.pos, 4, "null") == 0) {
+        out.kind = JsonValue::Kind::String;
+        out.str.clear();
+        cur.pos += 4;
+        return true;
+    }
+    // Number: optional sign, digits, optional fraction/exponent.
+    // Every *request* field is integral; result responses carry
+    // fractional fields (ipc, reuse_pct), so the client-side parser
+    // keeps the exact text in `str` and the truncated integer part
+    // in `num`.
+    size_t start = cur.pos;
+    if (c == '-')
+        cur.pos++;
+    size_t digits = 0;
+    while (cur.pos < cur.text.size() &&
+           std::isdigit(static_cast<unsigned char>(cur.text[cur.pos]))) {
+        cur.pos++;
+        digits++;
+    }
+    if (digits == 0) {
+        error = "unrecognized value";
+        return false;
+    }
+    if (cur.pos < cur.text.size() && cur.text[cur.pos] == '.') {
+        cur.pos++;
+        size_t frac = 0;
+        while (cur.pos < cur.text.size() &&
+               std::isdigit(
+                   static_cast<unsigned char>(cur.text[cur.pos]))) {
+            cur.pos++;
+            frac++;
+        }
+        if (frac == 0) {
+            error = "digits must follow a decimal point";
+            return false;
+        }
+    }
+    if (cur.pos < cur.text.size() &&
+        (cur.text[cur.pos] == 'e' || cur.text[cur.pos] == 'E')) {
+        cur.pos++;
+        if (cur.pos < cur.text.size() && (cur.text[cur.pos] == '+' ||
+                                          cur.text[cur.pos] == '-'))
+            cur.pos++;
+        size_t exp = 0;
+        while (cur.pos < cur.text.size() &&
+               std::isdigit(
+                   static_cast<unsigned char>(cur.text[cur.pos]))) {
+            cur.pos++;
+            exp++;
+        }
+        if (exp == 0) {
+            error = "digits must follow an exponent";
+            return false;
+        }
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.str = cur.text.substr(start, cur.pos - start);
+    out.num = i64(std::strtod(out.str.c_str(), nullptr));
+    return true;
+}
+
+} // namespace
+
+bool
+parseFlatJson(const std::string &line, JsonObject &out,
+              std::string &error)
+{
+    out.fields.clear();
+    Cursor cur{line};
+    if (!cur.eat('{')) {
+        error = "expected '{'";
+        return false;
+    }
+    if (cur.eat('}'))
+        ; // empty object
+    else {
+        while (true) {
+            std::string key;
+            if (!parseString(cur, key, error))
+                return false;
+            if (!cur.eat(':')) {
+                error = "expected ':' after key";
+                return false;
+            }
+            JsonValue value;
+            if (!parseValue(cur, value, error))
+                return false;
+            out.fields[key] = std::move(value);
+            if (cur.eat(','))
+                continue;
+            if (cur.eat('}'))
+                break;
+            error = "expected ',' or '}'";
+            return false;
+        }
+    }
+    cur.skipWs();
+    if (cur.pos != line.size()) {
+        error = "trailing bytes after object";
+        return false;
+    }
+    return true;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    if (!first)
+        out += ',';
+    first = false;
+    appendJsonEscaped(out, name);
+    out += ':';
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &value)
+{
+    key(k);
+    appendJsonEscaped(out, value);
+}
+
+void
+JsonWriter::field(const std::string &k, const char *value)
+{
+    field(k, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string &k, i64 value)
+{
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+    out += buf;
+}
+
+void
+JsonWriter::field(const std::string &k, u64 value)
+{
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+JsonWriter::field(const std::string &k, double value)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    out += buf;
+}
+
+void
+JsonWriter::field(const std::string &k, bool value)
+{
+    key(k);
+    out += value ? "true" : "false";
+}
+
+void
+JsonWriter::raw(const std::string &k, const std::string &json)
+{
+    key(k);
+    out += json;
+}
+
+std::string
+JsonWriter::finish()
+{
+    out += '}';
+    return std::move(out);
+}
+
+} // namespace serve
+} // namespace wir

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Line-framed JSON protocol for the wirsimd simulation service.
+ *
+ * One request per line, one response per line, over a Unix-domain
+ * stream socket. Objects are flat: string, number, and boolean
+ * values only -- no nesting, no arrays -- which keeps the hand-rolled
+ * codec small, allocation-light, and impossible to confuse with a
+ * general JSON implementation. Request fields are all integral;
+ * fractional response fields (ipc, reuse_pct) parse with the exact
+ * text available via str() and the truncated integer part via num(). (The /stats response embeds one
+ * pre-rendered nested object via JsonWriter::raw; the *parser* never
+ * needs to read it back.)
+ *
+ * Requests (`op` selects):
+ *   submit  -- run one (workload, design) cell:
+ *              {"op":"submit","id":"7","client":"ci",
+ *               "workload":"SF","design":"RLPV",
+ *               "deadline_ms":30000, ...machine overrides}
+ *   stats   -- obs-registry snapshot of the service counters
+ *   healthz -- liveness summary (queue depth, drain state)
+ *
+ * Responses echo `id` and carry `status`:
+ *   ok       -- result fields (cycles, committed, ipc, ...) plus
+ *               `row`, the exact `wirsim run` result row
+ *   failed   -- the simulation failed: kind/reason/repro (+breaker
+ *               flag when served from the circuit breaker)
+ *   rejected -- load shed: reason quota|queue_full|draining and
+ *               `retry_after_ms`
+ *   error    -- malformed request; the connection stays usable
+ *
+ * Full field tables live in docs/SERVING.md.
+ */
+
+#ifndef WIR_SERVE_PROTOCOL_HH
+#define WIR_SERVE_PROTOCOL_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+/** One decoded flat-JSON value. */
+struct JsonValue
+{
+    enum class Kind { String, Number, Bool };
+    Kind kind = Kind::String;
+    std::string str;
+    i64 num = 0;
+    bool boolean = false;
+};
+
+/**
+ * A parsed flat JSON object (one request line). Accessors return
+ * defaults for absent keys; numeric accessors coerce a quoted
+ * number ("42") so hand-written clients are forgiving to use.
+ */
+class JsonObject
+{
+  public:
+    bool has(const std::string &key) const
+    {
+        return fields.count(key) != 0;
+    }
+    std::string str(const std::string &key,
+                    const std::string &dflt = "") const;
+    i64 num(const std::string &key, i64 dflt = 0) const;
+    bool boolean(const std::string &key, bool dflt = false) const;
+
+    std::map<std::string, JsonValue> fields;
+};
+
+/**
+ * Parse one line as a flat JSON object. False (with `error` set) on
+ * malformed input, nesting, or arrays -- the server answers those
+ * with a status=error response instead of dying.
+ */
+bool parseFlatJson(const std::string &line, JsonObject &out,
+                   std::string &error);
+
+/** Append-only writer for one response line (no trailing newline). */
+class JsonWriter
+{
+  public:
+    JsonWriter() { out += '{'; }
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, i64 value);
+    void field(const std::string &key, u64 value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, bool value);
+    /** Embed pre-rendered JSON (the /stats registry snapshot). */
+    void raw(const std::string &key, const std::string &json);
+
+    /** Finish and return the line (writer is then spent). */
+    std::string finish();
+
+  private:
+    void key(const std::string &name);
+
+    std::string out;
+    bool first = true;
+};
+
+/** JSON string escaping (shared with the writer; exposed for
+ * tests). */
+void appendJsonEscaped(std::string &out, const std::string &text);
+
+} // namespace serve
+} // namespace wir
+
+#endif // WIR_SERVE_PROTOCOL_HH

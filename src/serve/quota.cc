@@ -1,0 +1,70 @@
+#include "serve/quota.hh"
+
+#include <cmath>
+
+namespace wir
+{
+namespace serve
+{
+
+void
+TokenBucket::refill(u64 nowMs)
+{
+    if (nowMs <= lastMs)
+        return;
+    tokens += rate * double(nowMs - lastMs) / 1000.0;
+    if (tokens > cap)
+        tokens = cap;
+    lastMs = nowMs;
+}
+
+QuotaDecision
+TokenBucket::tryAcquire(u64 nowMs)
+{
+    QuotaDecision out;
+    refill(nowMs);
+    if (tokens >= 1.0) {
+        tokens -= 1.0;
+        return out;
+    }
+    out.admitted = false;
+    if (rate > 0) {
+        double deficit = 1.0 - tokens;
+        out.retryAfterMs =
+            u64(std::ceil(deficit * 1000.0 / rate));
+    } else {
+        out.retryAfterMs = 1000; // rate 0 + empty bucket: degenerate
+    }
+    if (out.retryAfterMs == 0)
+        out.retryAfterMs = 1;
+    return out;
+}
+
+QuotaDecision
+ClientQuotas::acquire(const std::string &client, u64 nowMs)
+{
+    if (!enabled())
+        return QuotaDecision{};
+    auto it = buckets.find(client);
+    if (it == buckets.end()) {
+        if (buckets.size() >= limit) {
+            // Evict the longest-idle bucket. Eviction can only ever
+            // hand a returning client a fresh burst, never deny one.
+            auto oldest = buckets.begin();
+            for (auto cand = buckets.begin(); cand != buckets.end();
+                 ++cand) {
+                if (cand->second.lastUsedMs() <
+                    oldest->second.lastUsedMs())
+                    oldest = cand;
+            }
+            buckets.erase(oldest);
+        }
+        it = buckets
+                 .emplace(client, TokenBucket(rate, cap, nowMs))
+                 .first;
+    }
+    return it->second.tryAcquire(nowMs);
+}
+
+} // namespace serve
+} // namespace wir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-client token-bucket admission quotas for wirsimd.
+ *
+ * Each client name owns a bucket that refills at `ratePerSec` tokens
+ * per second up to `burst`; a submit costs one token. A drained
+ * bucket rejects with the time until the next token, which the
+ * server returns as `retry_after_ms` -- so a greedy client backs off
+ * instead of starving everyone else, and a polite one never notices.
+ *
+ * Time is injected (milliseconds) so tests drive the refill clock
+ * deterministically. The client table is bounded: when full, the
+ * longest-idle bucket is evicted, which at worst *refills* a
+ * returning client early -- quota is fairness machinery, not a
+ * security boundary.
+ */
+
+#ifndef WIR_SERVE_QUOTA_HH
+#define WIR_SERVE_QUOTA_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+/** Outcome of one admission attempt. */
+struct QuotaDecision
+{
+    bool admitted = true;
+    u64 retryAfterMs = 0; ///< when rejected: time to the next token
+};
+
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+    TokenBucket(double ratePerSec, double burst, u64 nowMs)
+        : rate(ratePerSec), cap(burst), tokens(burst), lastMs(nowMs)
+    {
+    }
+
+    QuotaDecision tryAcquire(u64 nowMs);
+
+    u64 lastUsedMs() const { return lastMs; }
+
+  private:
+    void refill(u64 nowMs);
+
+    double rate = 0; ///< tokens per second (0 = unlimited)
+    double cap = 1;
+    double tokens = 1;
+    u64 lastMs = 0;
+};
+
+class ClientQuotas
+{
+  public:
+    /** ratePerSec == 0 disables quotas: every acquire admits. */
+    ClientQuotas(double ratePerSec, double burst, size_t maxClients)
+        : rate(ratePerSec), cap(burst < 1 ? 1 : burst),
+          limit(maxClients ? maxClients : 1)
+    {
+    }
+
+    QuotaDecision acquire(const std::string &client, u64 nowMs);
+
+    size_t clients() const { return buckets.size(); }
+    bool enabled() const { return rate > 0; }
+
+  private:
+    double rate;
+    double cap;
+    size_t limit;
+    std::map<std::string, TokenBucket> buckets;
+};
+
+} // namespace serve
+} // namespace wir
+
+#endif // WIR_SERVE_QUOTA_HH

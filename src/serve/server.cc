@@ -1,0 +1,996 @@
+#include "serve/server.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+#include "sweep/sandbox.hh"
+#include "sweep/signals.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+namespace
+{
+
+/** The exact `wirsim run` result row for a finished cell, so client
+ * output is byte-comparable with a cold `wirsim run` of the same
+ * cells (the serve-chaos CI job depends on this). */
+std::string
+formatRunRow(const std::string &abbr, const RunResult &result)
+{
+    char line[256];
+    if (result.failed) {
+        std::snprintf(line, sizeof line, "%-5s FAILED(%s): %s",
+                      abbr.c_str(), failKindName(result.failKind),
+                      result.error.c_str());
+        return line;
+    }
+    std::snprintf(line, sizeof line,
+                  "%-5s %9llu %10llu %8.2f %7.1f%% %9llu %10.2f",
+                  abbr.c_str(),
+                  static_cast<unsigned long long>(
+                      result.stats.cycles),
+                  static_cast<unsigned long long>(
+                      result.stats.warpInstsCommitted),
+                  result.ipc(), 100.0 * result.reuseRate(),
+                  static_cast<unsigned long long>(
+                      result.stats.l1Misses),
+                  result.energy.gpuTotal() / 1e6);
+    return line;
+}
+
+bool
+knownWorkload(const std::string &abbr)
+{
+    for (const auto &info : workloadRegistry()) {
+        if (abbr == info.abbr)
+            return true;
+    }
+    return false;
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+constexpr char kDeterministicPrefix[] = "deterministic: ";
+
+} // namespace
+
+Server::Server(ServerOptions options_)
+    : options(std::move(options_)),
+      quotas(options.quotaRate, options.quotaBurst,
+             options.quotaClients)
+{
+    if (options.socketPath.empty())
+        fatal("serve: --socket is required");
+    validateConfig(options.machine);
+
+    // Journal first: its flock is the single-instance guard, so a
+    // second daemon fails fast before touching the socket file.
+    setupJournal();
+
+    sweep::Options base;
+    base.machine = options.machine;
+    base.jobs = options.jobs;
+    base.useDiskCache = options.useDisk;
+    base.cacheDir = options.cacheDir;
+    base.progress = false;
+    base.isolate = true;
+    base.sandbox = options.sandbox;
+    base.sandbox.enabled =
+        !options.noSandbox && sweep::sandboxSupported();
+    base.journal = journalPtr;
+    // Client deadlines reach the forked child's wall-clock budget
+    // through this hook: tightest wins, never looser than the
+    // server-wide default.
+    base.cellPolicyHook = [this](const std::string &key,
+                                 sweep::SandboxPolicy &policy) {
+        u64 deadline = 0;
+        {
+            std::lock_guard<std::mutex> lock(policyMutex);
+            auto it = keyDeadlineMs.find(key);
+            if (it != keyDeadlineMs.end())
+                deadline = it->second;
+        }
+        if (!deadline)
+            return;
+        u64 now = nowMs();
+        u64 remaining = deadline > now ? deadline - now : 1;
+        if (policy.timeoutMs == 0 || remaining < policy.timeoutMs)
+            policy.timeoutMs = remaining;
+    };
+    cache = std::make_unique<ShardedCache>(std::move(base),
+                                           options.shards);
+    if (options.maxInflight == 0)
+        options.maxInflight = 2 * cache->executor()->jobs();
+
+    setupMetrics();
+    setupSocket();
+    startMs = nowMs();
+    if (options.resume)
+        replayJournal();
+}
+
+Server::~Server()
+{
+    for (auto &[fd, conn] : conns)
+        ::close(fd);
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        ::unlink(options.socketPath.c_str());
+    }
+}
+
+u64
+Server::nowMs() const
+{
+    return u64(std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+                   .count());
+}
+
+void
+Server::setupJournal()
+{
+    std::string path = options.journalPath;
+    if (path.empty()) {
+        std::string dir = options.cacheDir.empty()
+                              ? sweep::defaultCacheDir()
+                              : options.cacheDir;
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        path = dir + "/serve.journal";
+    }
+    journalPtr = std::make_shared<sweep::Journal>();
+    std::string error;
+    // Always preserve: the daemon is crash-only, so records from a
+    // previous life are evidence, not garbage. A non-resume start
+    // still appends to them (replay simply is not performed).
+    if (!journalPtr->open(path, /*preserve=*/true, &error))
+        fatal("serve: %s", error.c_str());
+    sweep::setInterruptJournalFd(journalPtr->rawFd());
+}
+
+void
+Server::setupSocket()
+{
+    sockaddr_un addr = {};
+    if (options.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("serve: socket path '%s' is too long (max %zu bytes)",
+              options.socketPath.c_str(),
+              sizeof(addr.sun_path) - 1);
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("serve: socket: %s", std::strerror(errno));
+    setNonBlocking(listenFd);
+    // The journal lock (held) proves no other daemon is alive, so a
+    // leftover socket file is from a crashed predecessor.
+    ::unlink(options.socketPath.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        fatal("serve: bind '%s': %s", options.socketPath.c_str(),
+              std::strerror(errno));
+    if (::listen(listenFd, 64) != 0)
+        fatal("serve: listen: %s", std::strerror(errno));
+}
+
+void
+Server::setupMetrics()
+{
+    obs::Group g(registry, "serve");
+    acceptedC = &g.counter("accepted", "jobs",
+                           "submits admitted to the queue");
+    completedC = &g.counter("completed", "jobs",
+                            "jobs answered with a result");
+    failedC = &g.counter("failed", "jobs",
+                         "jobs answered with a failed result");
+    shedQueueFullC = &g.counter("shed.queue_full", "jobs",
+                                "submits rejected: queue full");
+    shedQuotaC = &g.counter("shed.quota", "jobs",
+                            "submits rejected: client quota");
+    shedDrainC = &g.counter("shed.draining", "jobs",
+                            "submits rejected while draining");
+    breakerHitsC = &g.counter(
+        "breaker.hits", "jobs",
+        "submits short-circuited by the circuit breaker");
+    deadlineExpiredC = &g.counter(
+        "deadline.expired", "jobs",
+        "jobs cancelled: deadline passed while queued");
+    disconnectCancelledC = &g.counter(
+        "disconnect.cancelled", "jobs",
+        "queued jobs dropped when their client disconnected");
+    writeTimeoutsC = &g.counter(
+        "write_timeouts", "connections",
+        "connections dropped for not draining their responses");
+    resumedJobsC = &g.counter(
+        "resumed", "jobs",
+        "jobs re-queued from the journal at startup");
+    protocolErrorsC = &g.counter("protocol_errors", "requests",
+                                 "malformed request lines");
+    g.gauge("queue_depth", "jobs", "admitted, waiting to dispatch",
+            [this] { return u64(queue.size()); });
+    g.gauge("inflight", "jobs", "dispatched, still simulating",
+            [this] { return u64(inflight.size()); });
+    g.gauge("connections", "connections", "live client connections",
+            [this] { return u64(conns.size()); });
+    g.gauge("warm_hits", "jobs",
+            "cells served from memory or the disk store", [this] {
+                sweep::SweepStats s = cache->totalStats();
+                return s.memoryHits + s.diskHits;
+            });
+    g.gauge("simulated", "jobs", "cells actually simulated",
+            [this] { return cache->totalStats().simulated; });
+}
+
+void
+Server::replayJournal()
+{
+    sweep::Journal::Replay rep =
+        sweep::Journal::replay(journalPtr->path());
+
+    // Deterministic failures from previous lives arm the breaker.
+    for (const auto &key : rep.blocklisted) {
+        BreakerEntry entry;
+        auto it = rep.failedDetail.find(key);
+        entry.reason = it != rep.failedDetail.end()
+                           ? it->second
+                           : "failed deterministically in a "
+                             "previous run";
+        if (entry.reason.rfind(kDeterministicPrefix, 0) == 0)
+            entry.reason =
+                entry.reason.substr(sizeof kDeterministicPrefix - 1);
+        breaker.emplace(key, std::move(entry));
+    }
+
+    // Accepted-but-unfinished jobs (queued-only or started) are
+    // re-queued from their journaled spec, ownerless: they complete
+    // and journal `done` even though no client is waiting.
+    std::set<std::string> unfinished = rep.inFlight;
+    unfinished.insert(rep.queuedOnly.begin(), rep.queuedOnly.end());
+    u64 requeued = 0;
+    for (const auto &key : unfinished) {
+        auto it = rep.queuedDetail.find(key);
+        if (it == rep.queuedDetail.end())
+            continue;
+        JsonObject spec;
+        std::string error;
+        if (!parseFlatJson(it->second, spec, error)) {
+            // A sweep-driver label ("SF RLPV"), not a daemon spec:
+            // that journal belongs to run_all, leave its cells to it.
+            std::fprintf(stderr,
+                         "[serve] resume: skipping non-spec queued "
+                         "record for %s\n",
+                         it->second.c_str());
+            continue;
+        }
+        Job job;
+        job.seq = nextSeq++;
+        job.connFd = -1;
+        job.abbr = spec.str("workload");
+        try {
+            job.design = designByName(spec.str("design"));
+            job.machine = options.machine;
+            if (spec.has("sms"))
+                job.machine.numSms = unsigned(spec.num("sms"));
+            if (spec.has("sched"))
+                job.machine.schedPolicy =
+                    spec.str("sched") == "lrr"
+                        ? WarpSchedPolicy::Lrr
+                        : WarpSchedPolicy::Gto;
+            if (spec.has("watchdog"))
+                job.machine.check.watchdogCycles =
+                    u64(spec.num("watchdog"));
+            if (spec.has("inject"))
+                job.machine.check.inject =
+                    faultClassByName(spec.str("inject"));
+            if (spec.has("inject_cycle"))
+                job.machine.check.injectCycle =
+                    u64(spec.num("inject_cycle"));
+            if (spec.has("inject_sm"))
+                job.machine.check.injectSm =
+                    unsigned(spec.num("inject_sm"));
+            validateConfig(job.machine);
+            if (!knownWorkload(job.abbr))
+                throw ConfigError("unknown workload " + job.abbr);
+        } catch (const ConfigError &err) {
+            std::fprintf(stderr,
+                         "[serve] resume: bad spec for key: %s\n",
+                         err.what());
+            continue;
+        }
+        job.key = sweep::persistentRunKey(job.machine, job.design,
+                                          job.abbr);
+        job.spec = it->second;
+        // Journal it again so a crash during *this* life still sees
+        // the job as unfinished.
+        journalPtr->queued(job.key, job.spec);
+        queue.push_back(std::move(job));
+        requeued++;
+        (*resumedJobsC)++;
+    }
+    journalPtr->resumed(rep.done.size(), requeued,
+                        rep.blocklisted.size());
+    std::fprintf(stderr,
+                 "[serve] resume: %zu cells done, %llu re-queued, "
+                 "%zu blocklisted\n",
+                 rep.done.size(),
+                 static_cast<unsigned long long>(requeued),
+                 rep.blocklisted.size());
+}
+
+int
+Server::run()
+{
+    std::fprintf(stderr,
+                 "[serve] wirsimd listening on %s (%u workers, %u "
+                 "shards, queue limit %u)\n",
+                 options.socketPath.c_str(),
+                 cache->executor()->jobs(), cache->shards(),
+                 options.queueLimit);
+
+    while (true) {
+        u64 now = nowMs();
+        if (!draining &&
+            (stopFlag.load() || sweep::interruptRequested()))
+            beginDrain();
+        if (draining && queue.empty() && inflight.empty()) {
+            bool flushed = true;
+            for (auto &[fd, conn] : conns)
+                flushed = flushed && conn.outBuf.empty();
+            if (flushed)
+                break;
+        }
+        if (draining && options.drainTimeoutMs &&
+            now - drainStartedMs > options.drainTimeoutMs) {
+            std::fprintf(stderr,
+                         "[serve] drain timed out; %zu jobs stay "
+                         "resumable in the journal\n",
+                         queue.size() + inflight.size());
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        if (!draining && conns.size() < options.maxConnections)
+            fds.push_back({listenFd, POLLIN, 0});
+        int wakeFd = sweep::interruptWakeFd();
+        if (wakeFd >= 0)
+            fds.push_back({wakeFd, POLLIN, 0});
+        for (auto &[fd, conn] : conns) {
+            short events = POLLIN;
+            if (!conn.outBuf.empty())
+                events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+        }
+
+        // Tick fast while work is outstanding (completion polling),
+        // slow when idle; the self-pipe wakes us instantly on
+        // SIGTERM either way.
+        bool busy = !queue.empty() || !inflight.empty();
+        int timeout = int(busy ? options.pollMs : 200);
+        ::poll(fds.data(), nfds_t(fds.size()), timeout);
+        sweep::drainInterruptPipe();
+
+        now = nowMs();
+        for (const pollfd &p : fds) {
+            if (p.fd == listenFd && (p.revents & POLLIN))
+                acceptClients(now);
+            auto it = conns.find(p.fd);
+            if (it == conns.end())
+                continue;
+            if (p.revents & (POLLERR | POLLHUP))
+                it->second.dead = true;
+            else if (p.revents & POLLIN)
+                readConnection(it->second, now);
+        }
+
+        expireQueuedDeadlines(now);
+        dispatchJobs(now);
+        pollCompletions(now);
+        drainFailuresToBreaker();
+        flushWrites(now);
+        reapConnections(now);
+    }
+
+    // Clean drain: everything accepted has been finished and
+    // journaled; mark the journal complete and flush it to disk so
+    // a restart with resume is a warm no-op.
+    size_t dropped = cache->cancelPending();
+    if (dropped)
+        std::fprintf(stderr,
+                     "[serve] drain: %zu undispatched pool tasks "
+                     "dropped\n",
+                     dropped);
+    if (queue.empty() && inflight.empty())
+        journalPtr->completed();
+    journalPtr->sync();
+    ::close(listenFd);
+    ::unlink(options.socketPath.c_str());
+    listenFd = -1;
+    std::fprintf(stderr, "[serve] drained cleanly, exiting 0\n");
+    return 0;
+}
+
+void
+Server::beginDrain()
+{
+    draining = true;
+    drainStartedMs = nowMs();
+    sweep::announceInterruptOnce(); // claim the once-notice
+    std::fprintf(stderr,
+                 "[serve] drain: admissions stopped, finishing %zu "
+                 "queued + %zu in-flight jobs\n",
+                 queue.size(), inflight.size());
+    // Queued-but-not-dispatched jobs are *not* silently dropped:
+    // each client gets a rejected response and the journal records
+    // the shed so the cell replays as cancelled, not lost.
+    for (Job &job : queue) {
+        journalPtr->failed(job.key, false, "shed: draining");
+        (*shedDrainC)++;
+        JsonWriter w;
+        w.field("id", job.reqId);
+        w.field("status", "rejected");
+        w.field("reason", "draining");
+        w.field("retry_after_ms", u64(1000));
+        respond(job.connFd, w.finish());
+    }
+    queue.clear();
+}
+
+void
+Server::acceptClients(u64 now)
+{
+    while (conns.size() < options.maxConnections) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            break;
+        setNonBlocking(fd);
+        Connection conn;
+        conn.fd = fd;
+        conn.lastProgressMs = now;
+        conns.emplace(fd, std::move(conn));
+    }
+}
+
+void
+Server::readConnection(Connection &conn, u64 now)
+{
+    char buf[4096];
+    while (true) {
+        ssize_t n = ::read(conn.fd, buf, sizeof buf);
+        if (n > 0) {
+            conn.inBuf.append(buf, size_t(n));
+            if (conn.inBuf.size() > options.maxLineBytes * 4) {
+                // A client streaming garbage without newlines.
+                conn.dead = true;
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            conn.dead = true;
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        conn.dead = true;
+        return;
+    }
+    size_t start = 0;
+    while (true) {
+        size_t nl = conn.inBuf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = conn.inBuf.substr(start, nl - start);
+        start = nl + 1;
+        if (line.size() > options.maxLineBytes) {
+            (*protocolErrorsC)++;
+            JsonWriter w;
+            w.field("status", "error");
+            w.field("error", "request line too long");
+            respond(conn.fd, w.finish());
+            continue;
+        }
+        if (!line.empty())
+            processLine(conn, line, now);
+    }
+    conn.inBuf.erase(0, start);
+}
+
+void
+Server::processLine(Connection &conn, const std::string &line,
+                    u64 now)
+{
+    JsonObject req;
+    std::string error;
+    if (!parseFlatJson(line, req, error)) {
+        (*protocolErrorsC)++;
+        JsonWriter w;
+        w.field("status", "error");
+        w.field("error", "bad request: " + error);
+        respond(conn.fd, w.finish());
+        return;
+    }
+    std::string op = req.str("op");
+    if (!req.str("client").empty())
+        conn.client = req.str("client");
+
+    if (op == "submit") {
+        handleSubmit(conn, req, now);
+    } else if (op == "stats") {
+        JsonWriter w;
+        w.field("id", req.str("id"));
+        w.field("status", "ok");
+        w.raw("stats", statsJson(now));
+        respond(conn.fd, w.finish());
+    } else if (op == "healthz") {
+        respond(conn.fd, healthzJson(now));
+    } else {
+        (*protocolErrorsC)++;
+        JsonWriter w;
+        w.field("id", req.str("id"));
+        w.field("status", "error");
+        w.field("error", "unknown op '" + op + "'");
+        respond(conn.fd, w.finish());
+    }
+}
+
+void
+Server::handleSubmit(Connection &conn, const JsonObject &req, u64 now)
+{
+    std::string id = req.str("id");
+    auto reject = [&](const char *reason, u64 retryAfterMs,
+                      u64 *counter) {
+        (*counter)++;
+        JsonWriter w;
+        w.field("id", id);
+        w.field("status", "rejected");
+        w.field("reason", reason);
+        w.field("retry_after_ms", retryAfterMs);
+        respond(conn.fd, w.finish());
+    };
+    auto usageError = [&](const std::string &message) {
+        (*protocolErrorsC)++;
+        JsonWriter w;
+        w.field("id", id);
+        w.field("status", "error");
+        w.field("error", message);
+        respond(conn.fd, w.finish());
+    };
+
+    if (draining) {
+        reject("draining", 1000, shedDrainC);
+        return;
+    }
+
+    Job job;
+    job.reqId = id;
+    job.connFd = conn.fd;
+    job.abbr = req.str("workload");
+    if (!knownWorkload(job.abbr)) {
+        usageError("unknown workload '" + job.abbr + "'");
+        return;
+    }
+    try {
+        job.design = designByName(req.str("design", "RLPV"));
+        job.machine = options.machine;
+        if (req.has("sms"))
+            job.machine.numSms = unsigned(req.num("sms"));
+        if (req.has("sched")) {
+            std::string sched = req.str("sched");
+            if (sched != "gto" && sched != "lrr")
+                throw ConfigError("sched must be gto or lrr");
+            job.machine.schedPolicy = sched == "lrr"
+                                          ? WarpSchedPolicy::Lrr
+                                          : WarpSchedPolicy::Gto;
+        }
+        if (req.has("watchdog"))
+            job.machine.check.watchdogCycles =
+                u64(req.num("watchdog"));
+        if (req.has("inject"))
+            job.machine.check.inject =
+                faultClassByName(req.str("inject"));
+        if (req.has("inject_cycle"))
+            job.machine.check.injectCycle =
+                u64(req.num("inject_cycle"));
+        if (req.has("inject_sm"))
+            job.machine.check.injectSm =
+                unsigned(req.num("inject_sm"));
+        validateConfig(job.machine);
+        validateConfig(job.design);
+    } catch (const ConfigError &err) {
+        usageError(err.what());
+        return;
+    }
+
+    job.key = sweep::persistentRunKey(job.machine, job.design,
+                                      job.abbr);
+
+    // Circuit breaker: a known-deterministic failure is answered
+    // from the cached signature and repro bundle, never re-run.
+    auto broken = breaker.find(job.key);
+    if (broken != breaker.end()) {
+        (*breakerHitsC)++;
+        (*failedC)++;
+        RunResult result;
+        result.workload = job.abbr;
+        result.design = job.design.name;
+        result.failed = true;
+        result.failKind = FailKind::Blocklisted;
+        result.error = "breaker: " + broken->second.reason;
+        result.repro = broken->second.repro.empty()
+                           ? reproCommand(job.machine, job.design,
+                                          job.abbr)
+                           : broken->second.repro;
+        JsonWriter w;
+        w.field("id", id);
+        w.field("status", "failed");
+        w.field("workload", job.abbr);
+        w.field("design", job.design.name);
+        w.field("kind", failKindName(result.failKind));
+        w.field("reason", result.error);
+        w.field("repro", result.repro);
+        w.field("breaker", true);
+        w.field("row", formatRunRow(job.abbr, result));
+        respond(conn.fd, w.finish());
+        return;
+    }
+
+    std::string client =
+        conn.client.empty() ? "anonymous" : conn.client;
+    QuotaDecision quota = quotas.acquire(client, now);
+    if (!quota.admitted) {
+        reject("quota", quota.retryAfterMs, shedQuotaC);
+        return;
+    }
+
+    if (queue.size() >= options.queueLimit) {
+        // Bounded admission: estimate a full queue-drain time from
+        // the dispatch cap so clients back off proportionally.
+        u64 retry = 100 + 50 * (u64(queue.size()) /
+                                (options.maxInflight + 1));
+        reject("queue_full", retry, shedQueueFullC);
+        return;
+    }
+
+    if (i64 deadline = req.num("deadline_ms"); deadline > 0)
+        job.deadlineMs = now + u64(deadline);
+
+    // Re-submittable spec (no id/client/deadline: resumed jobs are
+    // ownerless and deadline bases died with the client).
+    JsonWriter spec;
+    spec.field("workload", job.abbr);
+    spec.field("design", job.design.name);
+    if (req.has("sms"))
+        spec.field("sms", u64(job.machine.numSms));
+    if (req.has("sched"))
+        spec.field("sched", req.str("sched"));
+    if (req.has("watchdog"))
+        spec.field("watchdog", job.machine.check.watchdogCycles);
+    if (req.has("inject"))
+        spec.field("inject", req.str("inject"));
+    if (req.has("inject_cycle"))
+        spec.field("inject_cycle",
+                   u64(job.machine.check.injectCycle));
+    if (req.has("inject_sm"))
+        spec.field("inject_sm", u64(job.machine.check.injectSm));
+    job.spec = spec.finish();
+
+    enqueueJob(std::move(job), now);
+}
+
+void
+Server::enqueueJob(Job job, u64 now)
+{
+    (void)now;
+    job.seq = nextSeq++;
+    // Journal before queue: a crash after this append re-queues the
+    // job at resume; a crash before it means the client never got an
+    // acceptance and re-submits. Either way, exactly-once.
+    journalPtr->queued(job.key, job.spec);
+    (*acceptedC)++;
+    queue.push_back(std::move(job));
+}
+
+void
+Server::expireQueuedDeadlines(u64 now)
+{
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (it->deadlineMs == 0 || now < it->deadlineMs) {
+            ++it;
+            continue;
+        }
+        (*deadlineExpiredC)++;
+        (*failedC)++;
+        journalPtr->failed(it->key, false,
+                           "deadline expired in queue");
+        JsonWriter w;
+        w.field("id", it->reqId);
+        w.field("status", "failed");
+        w.field("workload", it->abbr);
+        w.field("design", it->design.name);
+        w.field("kind", "timeout");
+        w.field("reason", "deadline expired while queued");
+        respond(it->connFd, w.finish());
+        it = queue.erase(it);
+    }
+}
+
+void
+Server::dispatchJobs(u64 now)
+{
+    while (!queue.empty() &&
+           inflight.size() < options.maxInflight) {
+        Job job = std::move(queue.front());
+        queue.pop_front();
+        if (job.deadlineMs) {
+            std::lock_guard<std::mutex> lock(policyMutex);
+            auto [it, inserted] =
+                keyDeadlineMs.emplace(job.key, job.deadlineMs);
+            // Same cell queued twice with different deadlines: the
+            // sandbox budget honors the tighter one.
+            if (!inserted && job.deadlineMs < it->second)
+                it->second = job.deadlineMs;
+        }
+        sweep::ResultCache &shard =
+            cache->cacheFor(job.key, job.machine);
+        try {
+            shard.prefetch(job.abbr, job.design);
+        } catch (const ConfigError &err) {
+            // Validated at submit, so this is effectively
+            // unreachable -- but a dispatch must never kill the
+            // daemon.
+            failJob(job, "crash",
+                    std::string("dispatch: ") + err.what(), "",
+                    false);
+            continue;
+        }
+        inflight.push_back(std::move(job));
+    }
+    (void)now;
+}
+
+void
+Server::pollCompletions(u64 now)
+{
+    (void)now;
+    for (auto it = inflight.begin(); it != inflight.end();) {
+        sweep::ResultCache &shard =
+            cache->cacheFor(it->key, it->machine);
+        const RunResult *result = nullptr;
+        bool broken = false;
+        std::string brokenWhy;
+        try {
+            result = shard.tryGet(it->abbr, it->design);
+        } catch (const std::exception &err) {
+            broken = true;
+            brokenWhy = err.what();
+        }
+        if (!result && !broken) {
+            ++it;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(policyMutex);
+            keyDeadlineMs.erase(it->key);
+        }
+        if (broken) {
+            failJob(*it, "crash", "internal: " + brokenWhy, "",
+                    false);
+        } else {
+            finishJob(*it, *result);
+        }
+        it = inflight.erase(it);
+    }
+}
+
+void
+Server::finishJob(const Job &job, const RunResult &result)
+{
+    JsonWriter w;
+    w.field("id", job.reqId);
+    w.field("workload", job.abbr);
+    w.field("design", job.design.name);
+    if (result.failed) {
+        (*failedC)++;
+        w.field("status", "failed");
+        w.field("kind", failKindName(result.failKind));
+        w.field("reason", result.error);
+        w.field("repro", result.repro);
+        w.field("attempts", u64(result.attempts));
+    } else {
+        (*completedC)++;
+        w.field("status", "ok");
+        w.field("cycles", result.stats.cycles);
+        w.field("committed", result.stats.warpInstsCommitted);
+        w.field("ipc", result.ipc());
+        w.field("reuse_pct", 100.0 * result.reuseRate());
+        w.field("l1_misses", result.stats.l1Misses);
+        w.field("gpu_uj", result.energy.gpuTotal() / 1e6);
+        w.field("attempts", u64(result.attempts));
+    }
+    w.field("row", formatRunRow(job.abbr, result));
+    respond(job.connFd, w.finish());
+}
+
+void
+Server::failJob(const Job &job, const char *kind,
+                const std::string &reason, const std::string &repro,
+                bool breakerHit)
+{
+    (*failedC)++;
+    JsonWriter w;
+    w.field("id", job.reqId);
+    w.field("status", "failed");
+    w.field("workload", job.abbr);
+    w.field("design", job.design.name);
+    w.field("kind", kind);
+    w.field("reason", reason);
+    if (!repro.empty())
+        w.field("repro", repro);
+    if (breakerHit)
+        w.field("breaker", true);
+    respond(job.connFd, w.finish());
+}
+
+void
+Server::drainFailuresToBreaker()
+{
+    for (const sweep::FailedCell &cell : cache->drainNewFailures()) {
+        if (!cell.deterministic)
+            continue;
+        BreakerEntry entry;
+        entry.reason = cell.reason;
+        entry.repro = cell.repro;
+        breaker.emplace(cell.key, std::move(entry));
+    }
+}
+
+void
+Server::respond(int connFd, const std::string &line)
+{
+    if (connFd < 0)
+        return; // ownerless (resumed) job: journal is the receipt
+    auto it = conns.find(connFd);
+    if (it == conns.end() || it->second.dead)
+        return;
+    Connection &conn = it->second;
+    if (conn.outBuf.empty())
+        conn.lastProgressMs = nowMs();
+    conn.outBuf += line;
+    conn.outBuf += '\n';
+    if (conn.outBuf.size() > options.maxOutBytes) {
+        // A reader this far behind is as good as gone; dropping it
+        // bounds daemon memory.
+        (*writeTimeoutsC)++;
+        conn.dead = true;
+    }
+}
+
+void
+Server::flushWrites(u64 now)
+{
+    for (auto &[fd, conn] : conns) {
+        if (conn.dead || conn.outBuf.empty())
+            continue;
+        size_t off = 0;
+        while (off < conn.outBuf.size()) {
+            ssize_t n = ::send(fd, conn.outBuf.data() + off,
+                               conn.outBuf.size() - off,
+                               MSG_NOSIGNAL);
+            if (n > 0) {
+                off += size_t(n);
+                conn.lastProgressMs = now;
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            if (n < 0 && errno == EINTR)
+                continue;
+            conn.dead = true;
+            break;
+        }
+        conn.outBuf.erase(0, off);
+        if (!conn.outBuf.empty() && !conn.dead &&
+            now - conn.lastProgressMs > options.writeTimeoutMs) {
+            // Slow-client containment: the accept loop must never
+            // wait on one reader's socket buffer.
+            (*writeTimeoutsC)++;
+            conn.dead = true;
+        }
+    }
+}
+
+void
+Server::reapConnections(u64 now)
+{
+    (void)now;
+    for (auto it = conns.begin(); it != conns.end();) {
+        if (!it->second.dead) {
+            ++it;
+            continue;
+        }
+        int fd = it->first;
+        // The disconnecting client's queued work is cancelled (it
+        // has no recipient); dispatched cells finish and stay
+        // cached -- the executor queue is shared with other
+        // clients, so per-client cancellation happens here at the
+        // admission queue, not via pool-wide cancelPending.
+        for (auto job = queue.begin(); job != queue.end();) {
+            if (job->connFd == fd) {
+                (*disconnectCancelledC)++;
+                journalPtr->failed(job->key, false,
+                                   "client disconnected");
+                job = queue.erase(job);
+            } else {
+                ++job;
+            }
+        }
+        for (Job &job : inflight) {
+            if (job.connFd == fd)
+                job.connFd = -1; // orphan: completes into the cache
+        }
+        ::close(fd);
+        it = conns.erase(it);
+    }
+}
+
+std::string
+Server::statsJson(u64 now)
+{
+    return registry.snapshotJson(now - startMs, "uptime_ms");
+}
+
+std::string
+Server::healthzJson(u64 now)
+{
+    sweep::SweepStats stats = cache->totalStats();
+    u64 warm = stats.memoryHits + stats.diskHits;
+    u64 served = *completedC + *failedC;
+    JsonWriter w;
+    w.field("status", "ok");
+    w.field("healthy", true);
+    w.field("draining", draining);
+    w.field("uptime_ms", now - startMs);
+    w.field("queue_depth", u64(queue.size()));
+    w.field("inflight", u64(inflight.size()));
+    w.field("connections", u64(conns.size()));
+    w.field("accepted", *acceptedC);
+    w.field("completed", *completedC);
+    w.field("failed", *failedC);
+    w.field("shed", *shedQueueFullC + *shedQuotaC + *shedDrainC);
+    w.field("breaker_hits", *breakerHitsC);
+    w.field("warm_hits", warm);
+    w.field("warm_hit_rate_pct",
+            served ? 100.0 * double(warm) / double(served) : 0.0);
+    return w.finish();
+}
+
+} // namespace serve
+} // namespace wir

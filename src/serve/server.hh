@@ -1,0 +1,233 @@
+/**
+ * @file
+ * wirsimd: a long-lived, fault-tolerant simulation service over a
+ * Unix-domain socket (see docs/SERVING.md for the full protocol and
+ * failure-semantics reference).
+ *
+ * One single-threaded poll() loop owns every socket and all service
+ * state; simulations run on the shared sweep executor, each cache
+ * miss inside the forked sandbox. The loop never blocks on a
+ * simulation (completions are polled with ResultCache::tryGet) and
+ * never blocks on a client (non-blocking sockets, bounded write
+ * buffers, per-connection write timeout), so one stuck cell or one
+ * stalled reader cannot stop admissions.
+ *
+ * Robustness mechanisms, each first-class and individually tested:
+ *  - admission control: a bounded queue plus per-client token-bucket
+ *    quotas; overload answers `rejected` + retry_after_ms instead of
+ *    queueing unboundedly.
+ *  - deadlines end-to-end: a submit's deadline_ms bounds queue wait
+ *    (expired jobs are cancelled before they run) and propagates
+ *    into the sandboxed child's wall-clock timeout.
+ *  - circuit breaking: deterministically-failing cells (sandbox
+ *    signature classification, PR 3) short-circuit re-submissions
+ *    with the cached repro bundle instead of re-simulating.
+ *  - crash-only operation: every accepted job is journaled before it
+ *    is queued; kill -9 + restart with resume re-queues unfinished
+ *    jobs from their journaled spec and serves finished ones from
+ *    the disk store -- no lost and no duplicated work.
+ *  - graceful drain: SIGTERM (or requestStop) stops admissions,
+ *    finishes in-flight cells, flushes the journal, exits 0.
+ */
+
+#ifndef WIR_SERVE_SERVER_HH
+#define WIR_SERVE_SERVER_HH
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/registry.hh"
+#include "serve/protocol.hh"
+#include "serve/quota.hh"
+#include "serve/shard.hh"
+#include "sweep/journal.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path (required; <= ~100 bytes). */
+    std::string socketPath;
+
+    /** Base machine; submits may override a whitelisted subset
+     * (sms, sched, watchdog, inject*). */
+    MachineConfig machine;
+
+    unsigned jobs = 0;   ///< executor workers (0 = env/hw default)
+    unsigned shards = 8; ///< cache shards (key-hash)
+
+    /** Admission-queue bound: accepted-but-not-dispatched jobs.
+     * Submits beyond it are answered `rejected` (queue_full). */
+    unsigned queueLimit = 64;
+    /** Dispatched-cell cap; 0 = 2x executor jobs. */
+    unsigned maxInflight = 0;
+
+    /** Per-client token bucket: tokens/sec (0 = quotas off). */
+    double quotaRate = 0;
+    double quotaBurst = 8;
+    size_t quotaClients = 1024; ///< bucket-table bound
+
+    bool useDisk = true;
+    std::string cacheDir; ///< empty = defaultCacheDir()
+    /** Journal path; empty = <cacheDir>/serve.journal. The journal
+     * flock is also the single-instance guard. */
+    std::string journalPath;
+    /** Replay the journal at startup: re-queue unfinished jobs, seed
+     * the breaker from deterministic failures. */
+    bool resume = false;
+
+    /** Sandbox/retry policy for cache misses. `timeoutMs` is the
+     * default per-cell budget; a tighter client deadline lowers it
+     * per cell. */
+    sweep::SandboxPolicy sandbox;
+    bool noSandbox = false; ///< in-process attempts (tests/CI only)
+
+    /** Kill a connection whose write buffer made no progress for
+     * this long (slow/stuck reader). */
+    u64 writeTimeoutMs = 5000;
+    /** Completion-poll tick while work is outstanding. */
+    u64 pollMs = 20;
+    /** Give up on a drain after this long (0 = wait forever);
+     * undelivered jobs stay resumable in the journal. */
+    u64 drainTimeoutMs = 0;
+
+    size_t maxLineBytes = 64 * 1024;
+    size_t maxOutBytes = 1024 * 1024;
+    unsigned maxConnections = 64;
+};
+
+class Server
+{
+  public:
+    /** Binds the socket, opens (and optionally replays) the journal.
+     * Throws ConfigError when the socket cannot be bound or another
+     * live daemon holds the journal lock. */
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Serve until a drain completes. Returns the process exit code
+     * (0 = clean drain). */
+    int run();
+
+    /** Trigger the SIGTERM drain path from another thread
+     * (tests). */
+    void requestStop() { stopFlag.store(true); }
+
+    const std::string &socketPath() const
+    {
+        return options.socketPath;
+    }
+    const std::shared_ptr<sweep::Journal> &journal() const
+    {
+        return journalPtr;
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::string inBuf;
+        std::string outBuf;
+        std::string client; ///< last client name seen on this conn
+        u64 lastProgressMs = 0;
+        bool dead = false;
+    };
+
+    struct Job
+    {
+        u64 seq = 0;
+        std::string reqId;  ///< client-chosen id, echoed back
+        int connFd = -1;    ///< -1 = ownerless (resumed)
+        std::string abbr;
+        DesignConfig design;
+        MachineConfig machine;
+        std::string key;  ///< persistent run key
+        std::string spec; ///< re-submittable request JSON
+        u64 deadlineMs = 0; ///< absolute monotonic ms (0 = none)
+    };
+
+    struct BreakerEntry
+    {
+        std::string reason;
+        std::string repro;
+    };
+
+    u64 nowMs() const;
+    void setupSocket();
+    void setupJournal();
+    void setupMetrics();
+    void replayJournal();
+
+    void beginDrain();
+    void acceptClients(u64 now);
+    void readConnection(Connection &conn, u64 now);
+    void processLine(Connection &conn, const std::string &line,
+                     u64 now);
+    void handleSubmit(Connection &conn, const JsonObject &req,
+                      u64 now);
+    void enqueueJob(Job job, u64 now);
+    void expireQueuedDeadlines(u64 now);
+    void dispatchJobs(u64 now);
+    void pollCompletions(u64 now);
+    void drainFailuresToBreaker();
+    void respond(int connFd, const std::string &line);
+    void finishJob(const Job &job, const RunResult &result);
+    void failJob(const Job &job, const char *kind,
+                 const std::string &reason, const std::string &repro,
+                 bool breakerHit);
+    void flushWrites(u64 now);
+    void reapConnections(u64 now);
+    std::string statsJson(u64 now);
+    std::string healthzJson(u64 now);
+
+    ServerOptions options;
+    int listenFd = -1;
+    bool draining = false;
+    u64 drainStartedMs = 0;
+    std::atomic<bool> stopFlag{false};
+    u64 startMs = 0;
+    u64 nextSeq = 1;
+
+    std::shared_ptr<sweep::Journal> journalPtr;
+    std::unique_ptr<ShardedCache> cache;
+    ClientQuotas quotas;
+
+    std::map<int, Connection> conns;
+    std::deque<Job> queue;     ///< admitted, not yet dispatched
+    std::deque<Job> inflight;  ///< dispatched onto the executor
+    std::map<std::string, BreakerEntry> breaker;
+
+    /** Per-key sandbox-timeout overrides (absolute deadline ms),
+     * read by the cellPolicyHook on worker threads. */
+    std::mutex policyMutex;
+    std::map<std::string, u64> keyDeadlineMs;
+
+    obs::Registry registry;
+    u64 *acceptedC = nullptr;
+    u64 *completedC = nullptr;
+    u64 *failedC = nullptr;
+    u64 *shedQueueFullC = nullptr;
+    u64 *shedQuotaC = nullptr;
+    u64 *shedDrainC = nullptr;
+    u64 *breakerHitsC = nullptr;
+    u64 *deadlineExpiredC = nullptr;
+    u64 *disconnectCancelledC = nullptr;
+    u64 *writeTimeoutsC = nullptr;
+    u64 *resumedJobsC = nullptr;
+    u64 *protocolErrorsC = nullptr;
+};
+
+} // namespace serve
+} // namespace wir
+
+#endif // WIR_SERVE_SERVER_HH

@@ -1,0 +1,81 @@
+#include "serve/shard.hh"
+
+#include <iterator>
+
+#include "common/hash_h3.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+ShardedCache::ShardedCache(sweep::Options base_, unsigned shards)
+    : base(std::move(base_))
+{
+    if (shards == 0)
+        shards = 1;
+    if (!base.executor)
+        base.executor = std::make_shared<sweep::Executor>(base.jobs);
+    if (!base.disk && base.useDiskCache) {
+        std::string dir = base.cacheDir.empty()
+                              ? sweep::defaultCacheDir()
+                              : base.cacheDir;
+        base.disk =
+            std::make_shared<sweep::DiskStore>(std::move(dir));
+    }
+    pools.reserve(shards);
+    for (unsigned i = 0; i < shards; i++)
+        pools.push_back(
+            std::make_unique<sweep::CachePool>(base));
+}
+
+unsigned
+ShardedCache::shardOf(const std::string &key) const
+{
+    return unsigned(fnv1a64(key.data(), key.size()) % pools.size());
+}
+
+sweep::ResultCache &
+ShardedCache::cacheFor(const std::string &key,
+                       const MachineConfig &machine)
+{
+    return pools[shardOf(key)]->forMachine(machine);
+}
+
+std::vector<sweep::FailedCell>
+ShardedCache::drainNewFailures()
+{
+    std::vector<sweep::FailedCell> out;
+    for (auto &pool : pools) {
+        auto cells = pool->drainNewFailures();
+        out.insert(out.end(),
+                   std::make_move_iterator(cells.begin()),
+                   std::make_move_iterator(cells.end()));
+    }
+    return out;
+}
+
+sweep::SweepStats
+ShardedCache::totalStats() const
+{
+    sweep::SweepStats out;
+    for (auto &pool : pools)
+        out += pool->totalStats();
+    // Disk counters are store-wide; CachePool::totalStats already
+    // overwrites (not accumulates) them, but summing N pools
+    // multiplies them back -- restore the store-wide values.
+    if (base.disk) {
+        out.diskPoisoned = base.disk->poisoned();
+        out.diskStores = base.disk->stores();
+    }
+    return out;
+}
+
+size_t
+ShardedCache::cancelPending()
+{
+    return base.executor->cancelPending();
+}
+
+} // namespace serve
+} // namespace wir

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Key-hash sharding over the sweep result cache for wirsimd.
+ *
+ * The daemon's memo state is split into N shards, each a CachePool
+ * (per-machine ResultCaches), selected by FNV-1a over the persistent
+ * run key. Every shard shares ONE executor, ONE disk store, and ONE
+ * journal -- sharding splits the memo maps and their mutexes (the
+ * contended daemon-side state), not the worker pool or the
+ * durability layer. A request's shard is a pure function of its key,
+ * so a cell can never be simulated twice by landing in two shards.
+ */
+
+#ifndef WIR_SERVE_SHARD_HH
+#define WIR_SERVE_SHARD_HH
+
+#include <memory>
+#include <vector>
+
+#include "sweep/result_cache.hh"
+
+namespace wir
+{
+namespace serve
+{
+
+class ShardedCache
+{
+  public:
+    /** `base.executor/disk/journal` are created here when unset
+     * (and enabled), then shared by every shard. */
+    ShardedCache(sweep::Options base, unsigned shards);
+
+    unsigned shards() const { return unsigned(pools.size()); }
+    /** Shard index for a persistent run key (stable). */
+    unsigned shardOf(const std::string &key) const;
+
+    /** The per-machine cache that owns `key`'s cell. */
+    sweep::ResultCache &cacheFor(const std::string &key,
+                                 const MachineConfig &machine);
+
+    /** Failed cells finalized since the last drain, across every
+     * shard (feeds the circuit breaker). */
+    std::vector<sweep::FailedCell> drainNewFailures();
+
+    /** Aggregate cache statistics across shards (disk counters
+     * counted once). */
+    sweep::SweepStats totalStats() const;
+
+    /** Drop every not-yet-started task on the shared executor
+     * (shutdown only: this is pool-wide, not per-shard). */
+    size_t cancelPending();
+
+    const std::shared_ptr<sweep::Executor> &executor() const
+    {
+        return base.executor;
+    }
+    const std::shared_ptr<sweep::DiskStore> &diskStore() const
+    {
+        return base.disk;
+    }
+
+  private:
+    sweep::Options base;
+    std::vector<std::unique_ptr<sweep::CachePool>> pools;
+};
+
+} // namespace serve
+} // namespace wir
+
+#endif // WIR_SERVE_SHARD_HH

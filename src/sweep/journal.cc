@@ -179,6 +179,13 @@ Journal::interrupted(int sig)
     append("interrupted", "", detail);
 }
 
+void
+Journal::sync()
+{
+    if (fd >= 0)
+        ::fsync(fd);
+}
+
 Journal::Replay
 Journal::replay(const std::string &path)
 {
@@ -205,6 +212,10 @@ Journal::replay(const std::string &path)
         out.records++;
         if (status == "queued") {
             out.queued++;
+            // First record wins: the serving daemon journals a
+            // re-submittable spec before the cache layer appends its
+            // own human-readable label for the same key.
+            out.queuedDetail.emplace(key, detail);
         } else if (status == "started") {
             state[key] = State::InFlight;
         } else if (status == "done") {
@@ -213,6 +224,7 @@ Journal::replay(const std::string &path)
             state[key] = detail.rfind(kDeterministicPrefix, 0) == 0
                              ? State::Blocklisted
                              : State::Transient;
+            out.failedDetail[key] = detail;
         } else if (status == "complete") {
             out.completed = true;
         } else if (status == "interrupted") {
@@ -231,6 +243,12 @@ Journal::replay(const std::string &path)
           case State::InFlight: out.inFlight.insert(key); break;
           case State::Transient: break; // re-simulated on resume
         }
+    }
+    // Accepted-but-never-started cells: a crash between the queued
+    // append and the started append must not lose the job.
+    for (const auto &[key, detail] : out.queuedDetail) {
+        if (!state.count(key))
+            out.queuedOnly.insert(key);
     }
     return out;
 }

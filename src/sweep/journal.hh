@@ -26,6 +26,7 @@
 #ifndef WIR_SWEEP_JOURNAL_HH
 #define WIR_SWEEP_JOURNAL_HH
 
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -75,6 +76,10 @@ class Journal
     /** The driver is exiting on SIGINT/SIGTERM. */
     void interrupted(int sig);
 
+    /** Flush appended records to stable storage (fsync). The drain
+     * path calls this before reporting a clean exit. */
+    void sync();
+
     /** What a journal says about a previous (possibly crashed)
      * sweep. */
     struct Replay
@@ -82,6 +87,17 @@ class Journal
         std::set<std::string> done;        ///< finished cells
         std::set<std::string> blocklisted; ///< deterministic failures
         std::set<std::string> inFlight; ///< started, never finished
+        /** Accepted (queued) but never started nor finished -- the
+         * crash window the serving daemon must re-queue from. */
+        std::set<std::string> queuedOnly;
+        /** First queued-record detail per key (first wins: the
+         * serving daemon appends a re-submittable job spec before
+         * the cache layer's label record), so queuedOnly/inFlight
+         * cells can be reconstructed without the original client. */
+        std::map<std::string, std::string> queuedDetail;
+        /** Last failed-record detail per key ("deterministic: ..."
+         * or "transient: ..."), for breaker/diagnostic seeding. */
+        std::map<std::string, std::string> failedDetail;
         u64 queued = 0;                 ///< queued records seen
         u64 records = 0;                ///< well-formed lines
         bool completed = false;         ///< clean end-of-sweep marker

@@ -114,12 +114,20 @@ ResultCache::~ResultCache()
 }
 
 std::string
+persistentRunKey(const MachineConfig &machine,
+                 const DesignConfig &design,
+                 const std::string &abbr)
+{
+    return keyPrefix() + canonicalKey(machine) + "|" +
+           canonicalKey(design) + "|wl=" + abbr;
+}
+
+std::string
 ResultCache::runKeyFor(const MachineConfig &machine,
                        const DesignConfig &design,
                        const std::string &abbr) const
 {
-    return keyPrefix() + canonicalKey(machine) + "|" +
-           canonicalKey(design) + "|wl=" + abbr;
+    return persistentRunKey(machine, design, abbr);
 }
 
 std::string
@@ -139,6 +147,24 @@ ResultCache::profileKey(const std::string &abbr) const
            "|window=1024";
 }
 
+ResultCache::CellIdent
+ResultCache::cellIdent(const std::string &abbr,
+                       const DesignConfig &design) const
+{
+    CellIdent ident;
+    ident.machine = options.machine;
+    ident.hooked =
+        options.cellMachineHook &&
+        options.cellMachineHook(abbr, design, ident.machine);
+    ident.mapKey = canonicalKey(design) + "\x1f" + abbr;
+    // A hooked cell runs under a different machine: it must never
+    // share a memo entry (or a persistent key -- runKeyFor covers
+    // the machine) with the clean cell of the same (design, abbr).
+    if (ident.hooked)
+        ident.mapKey += "\x1f" + canonicalKey(ident.machine);
+    return ident;
+}
+
 ResultCache::Entry<RunResult> &
 ResultCache::ensureRun(const std::string &abbr,
                        const DesignConfig &design)
@@ -152,27 +178,19 @@ ResultCache::ensureRun(const std::string &abbr,
     if (!known)
         fatal("unknown workload '%s'", abbr.c_str());
 
-    MachineConfig machine = options.machine;
-    bool hooked = options.cellMachineHook &&
-                  options.cellMachineHook(abbr, design, machine);
-    if (hooked)
-        validateConfig(machine);
-
-    std::string mapKey = canonicalKey(design) + "\x1f" + abbr;
-    // A hooked cell runs under a different machine: it must never
-    // share a memo entry (or a persistent key -- runKeyFor covers
-    // the machine) with the clean cell of the same (design, abbr).
-    if (hooked)
-        mapKey += "\x1f" + canonicalKey(machine);
+    CellIdent ident = cellIdent(abbr, design);
+    if (ident.hooked)
+        validateConfig(ident.machine);
+    const MachineConfig &machine = ident.machine;
 
     std::lock_guard<std::mutex> lock(mutex);
-    auto it = runs.find(mapKey);
+    auto it = runs.find(ident.mapKey);
     if (it != runs.end()) {
         memoryHits++;
         return it->second;
     }
 
-    Entry<RunResult> &entry = runs[mapKey];
+    Entry<RunResult> &entry = runs[ident.mapKey];
     // Labels come from the first requester, never from the disk
     // payload; with serial enqueue (all our drivers) this is
     // deterministic even though parameter-equal designs share entry.
@@ -185,17 +203,57 @@ ResultCache::ensureRun(const std::string &abbr,
     entry.done =
         options.executor
             ->submit([this, &entry, key, abbr, design, machine] {
-                runTask(entry, key, abbr, design, machine);
+                // Task-boundary containment: a non-ConfigError
+                // exception from a pooled worker must become a
+                // failed cell, never a poisoned future rethrown
+                // into whichever driver thread happens to get()
+                // first (or std::terminate for the unobserved).
+                // ConfigError still propagates: it is a usage
+                // error the driver must see.
+                try {
+                    runTask(entry, key, abbr, design, machine);
+                } catch (const ConfigError &) {
+                    throw;
+                } catch (const std::exception &err) {
+                    taskFault(entry, key, abbr, design, machine,
+                              err.what());
+                } catch (...) {
+                    taskFault(entry, key, abbr, design, machine,
+                              "unknown exception");
+                }
             })
             .share();
     return entry;
+}
+
+const RunResult *
+ResultCache::tryGet(const std::string &abbr,
+                    const DesignConfig &design)
+{
+    CellIdent ident = cellIdent(abbr, design);
+    std::shared_future<void> done;
+    const RunResult *result = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = runs.find(ident.mapKey);
+        if (it == runs.end())
+            return nullptr;
+        done = it->second.done;
+        result = &it->second.result; // node-stable (std::map)
+    }
+    if (!done.valid() ||
+        done.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+        return nullptr;
+    done.get(); // rethrows ConfigError / broken_promise
+    return result;
 }
 
 void
 ResultCache::noteFailure(const std::string &abbr,
                          const std::string &designName,
                          const std::string &key,
-                         const RunResult &result)
+                         const RunResult &result, bool deterministic)
 {
     FailedCell cell;
     cell.workload = abbr;
@@ -204,8 +262,33 @@ ResultCache::noteFailure(const std::string &abbr,
     cell.kind = result.failKind;
     cell.reason = result.error;
     cell.repro = result.repro;
+    cell.deterministic = deterministic;
     std::lock_guard<std::mutex> lock(mutex);
     failedCells.push_back(std::move(cell));
+}
+
+void
+ResultCache::taskFault(Entry<RunResult> &entry,
+                       const std::string &key,
+                       const std::string &abbr,
+                       const DesignConfig &design,
+                       const MachineConfig &machine, const char *what)
+{
+    warn("%s/%s worker exception: %s", abbr.c_str(),
+         design.name.c_str(), what);
+    entry.result.failed = true;
+    entry.result.failKind = FailKind::Crash;
+    entry.result.error = std::string("worker exception: ") + what;
+    if (entry.result.attempts == 0)
+        entry.result.attempts = 1;
+    entry.result.repro = reproCommand(machine, design, abbr);
+    crashed++;
+    failures++;
+    // Transient by classification: a one-off worker exception has no
+    // repeated-signature evidence, so a resume retries the cell.
+    if (options.journal)
+        options.journal->failed(key, false, entry.result.error);
+    noteFailure(abbr, design.name, key, entry.result, false);
 }
 
 void
@@ -228,10 +311,13 @@ ResultCache::runTask(Entry<RunResult> &entry, const std::string &key,
         if (options.journal)
             options.journal->failed(key, true,
                                     "blocklisted (replayed)");
-        noteFailure(abbr, design.name, key, entry.result);
+        noteFailure(abbr, design.name, key, entry.result, true);
         return;
     }
+    if (options.taskFaultHook)
+        options.taskFaultHook(abbr, design.name);
     if (interruptRequested()) {
+        announceInterrupt();
         // Don't journal anything: the cell stays `queued`, so a
         // --resume re-queues it.
         entry.result.failed = true;
@@ -289,7 +375,8 @@ ResultCache::runTask(Entry<RunResult> &entry, const std::string &key,
         failures++;
         if (entry.result.repro.empty())
             entry.result.repro = reproCommand(machine, design, abbr);
-        noteFailure(abbr, design.name, key, entry.result);
+        noteFailure(abbr, design.name, key, entry.result,
+                    deterministic);
     }
     // Failures are never persisted: they are cheap to reproduce and
     // keeping them out of the store means a fixed simulator heals
@@ -332,9 +419,12 @@ ResultCache::runIsolated(Entry<RunResult> &entry,
         return "";
     };
 
+    SandboxPolicy policy = options.sandbox;
+    if (options.cellPolicyHook)
+        options.cellPolicyHook(key, policy);
+
     std::string payload;
-    SandboxOutcome outcome =
-        runSandboxed(task, options.sandbox, payload);
+    SandboxOutcome outcome = runSandboxed(task, policy, payload);
     if (outcome.attempts > 1)
         retriedAttempts += outcome.attempts - 1;
     entry.result.attempts = outcome.attempts ? outcome.attempts : 1;

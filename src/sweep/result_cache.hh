@@ -48,6 +48,16 @@ namespace wir
 namespace sweep
 {
 
+/**
+ * Persistent run key for (machine, design, abbr) without a cache
+ * instance -- the serving layer computes shard, breaker, and journal
+ * keys before any ResultCache is chosen. Identical to
+ * ResultCache::runKey under the same machine.
+ */
+std::string persistentRunKey(const MachineConfig &machine,
+                             const DesignConfig &design,
+                             const std::string &abbr);
+
 /** Aggregate accounting for one sweep (see run_all --json). */
 struct SweepStats
 {
@@ -80,6 +90,10 @@ struct FailedCell
     FailKind kind = FailKind::Sim;
     std::string reason;
     std::string repro; ///< one-line wirsim replay command
+    /** Classified deterministic (same failure signature repeats):
+     * callers like the serve-layer circuit breaker short-circuit
+     * re-submissions of these instead of re-simulating. */
+    bool deterministic = false;
 };
 
 struct Options
@@ -130,6 +144,26 @@ struct Options
     std::function<bool(const std::string &abbr,
                        const DesignConfig &design,
                        MachineConfig &machine)> cellMachineHook;
+
+    /**
+     * Per-cell sandbox-policy override, keyed by the persistent run
+     * key. Called (under the isolate path) with a copy of `sandbox`
+     * just before each cell executes; mutate it to impose e.g. a
+     * tighter per-cell timeout (how client deadlines propagate into
+     * the forked child's --run-timeout in the serving daemon).
+     */
+    std::function<void(const std::string &key,
+                       SandboxPolicy &policy)> cellPolicyHook;
+
+    /**
+     * Test seam: invoked at the top of every run-cell task body, on
+     * the worker thread. A throw from here exercises the
+     * worker-exception containment path (the task boundary converts
+     * any non-ConfigError exception into a failed cell instead of
+     * letting it escape to std::terminate / a poisoned future).
+     */
+    std::function<void(const std::string &abbr,
+                       const std::string &design)> taskFaultHook;
 };
 
 class ResultCache
@@ -154,6 +188,20 @@ class ResultCache
      */
     const RunResult &get(const std::string &abbr,
                          const DesignConfig &design);
+
+    /**
+     * Non-blocking probe: the finished result for (workload, design)
+     * if its entry exists and its task has completed, else nullptr
+     * (not requested yet, or still in flight). Never enqueues work
+     * -- pair with prefetch() and poll. Rethrows a ready task's
+     * ConfigError like get(); a cancelled task (cancelPending)
+     * surfaces as std::future_error. The poll-loop counterpart of
+     * get() for drivers that must never block a worker, e.g. the
+     * wirsimd completion loop. Note: re-invokes cellMachineHook per
+     * call, like get().
+     */
+    const RunResult *tryGet(const std::string &abbr,
+                            const DesignConfig &design);
 
     /** Fig. 2 repeated-computation profile (Base design), same
      * caching/parallelism/persistence as get(). */
@@ -210,6 +258,18 @@ class ResultCache
     Entry<ReuseProfiler::Result> &
     ensureProfile(const std::string &abbr);
 
+    /** Memo-map key plus effective machine for one cell (applies
+     * cellMachineHook); shared by ensureRun and tryGet so the two
+     * can never diverge on entry identity. */
+    struct CellIdent
+    {
+        std::string mapKey;
+        MachineConfig machine;
+        bool hooked = false;
+    };
+    CellIdent cellIdent(const std::string &abbr,
+                        const DesignConfig &design) const;
+
     /** runKey under an explicit (possibly hooked) machine. */
     std::string runKeyFor(const MachineConfig &machine,
                           const DesignConfig &design,
@@ -232,7 +292,14 @@ class ResultCache
                          const WorkloadInfo *info);
     void noteFailure(const std::string &abbr,
                      const std::string &designName,
-                     const std::string &key, const RunResult &result);
+                     const std::string &key, const RunResult &result,
+                     bool deterministic);
+    /** Task-boundary containment: finalize `entry` as a crashed
+     * cell after a worker threw a non-ConfigError exception. */
+    void taskFault(Entry<RunResult> &entry, const std::string &key,
+                   const std::string &abbr,
+                   const DesignConfig &design,
+                   const MachineConfig &machine, const char *what);
 
     Options options;
     std::atomic<bool> planMode{false};

@@ -149,6 +149,7 @@ attemptForked(const SandboxTask &task, u64 timeoutMs)
     char buf[1 << 16];
     while (true) {
         if (interruptRequested()) {
+            announceInterrupt();
             a.interrupted = true;
             break;
         }
@@ -278,6 +279,7 @@ runSandboxed(const SandboxTask &task, const SandboxPolicy &policy,
     for (unsigned attempt = 1; attempt <= policy.retries + 1;
          attempt++) {
         if (interruptRequested()) {
+            announceInterrupt();
             out.status = SandboxStatus::Interrupted;
             out.signature = "interrupted";
             break;

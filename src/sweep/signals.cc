@@ -1,7 +1,12 @@
 #include "sweep/signals.hh"
 
-#include <csignal>
+#include <fcntl.h>
 #include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
 
 namespace wir
 {
@@ -14,32 +19,39 @@ namespace
 volatile sig_atomic_t g_signal = 0;
 volatile sig_atomic_t g_count = 0;
 volatile sig_atomic_t g_journalFd = -1;
+// Self-pipe ends; written by the handler, polled/drained by loops.
+// Plain ints are fine: both are set once, before handlers can fire.
+int g_wakeRead = -1;
+int g_wakeWrite = -1;
+
+std::atomic<bool> g_announced{false};
 
 extern "C" void
 interruptHandler(int sig)
 {
+    // Async-signal-safe work only: flags, one self-pipe poke, and on
+    // the second signal a single raw O_APPEND write plus _exit. No
+    // locks, no stdio, no allocation -- a signal taken while the
+    // main loop holds the journal mutex must never deadlock here.
     g_signal = sig;
     g_count = g_count + 1;
-    if (g_count == 1) {
-        // Everything here must be async-signal-safe: write() only.
-        static const char note[] =
-            "\n[sweep] interrupt: finishing in-flight work and "
-            "flushing the journal; signal again to exit now\n";
-        ssize_t ignored =
-            ::write(STDERR_FILENO, note, sizeof note - 1);
-        (void)ignored;
-        return;
+    if (g_wakeWrite >= 0) {
+        char byte = 1;
+        ssize_t ignored = ::write(g_wakeWrite, &byte, 1);
+        (void)ignored; // pipe full = a wake-up is already pending
     }
-    // Second signal: the graceful path is itself stuck. Leave an
-    // "interrupted" record (a single atomic append) and die.
-    int fd = g_journalFd;
-    if (fd >= 0) {
-        static const char line[] =
-            "interrupted\t\tsecond signal, forced exit\n";
-        ssize_t ignored = ::write(fd, line, sizeof line - 1);
-        (void)ignored;
+    if (g_count >= 2) {
+        // Second signal: the graceful path is itself stuck. Leave an
+        // "interrupted" record (a single atomic append) and die.
+        int fd = g_journalFd;
+        if (fd >= 0) {
+            static const char line[] =
+                "interrupted\t\tsecond signal, forced exit\n";
+            ssize_t ignored = ::write(fd, line, sizeof line - 1);
+            (void)ignored;
+        }
+        _exit(128 + sig);
     }
-    _exit(128 + sig);
 }
 
 } // namespace
@@ -47,6 +59,20 @@ interruptHandler(int sig)
 void
 installInterruptHandlers()
 {
+    if (g_wakeRead < 0) {
+        int fds[2];
+        if (::pipe(fds) == 0) {
+            for (int fd : fds) {
+                ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+                ::fcntl(fd, F_SETFL,
+                        ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+            }
+            g_wakeRead = fds[0];
+            g_wakeWrite = fds[1];
+        }
+        // Pipe creation failure degrades to flag-only operation:
+        // poll loops fall back to their timeout granularity.
+    }
     struct sigaction sa = {};
     sa.sa_handler = interruptHandler;
     sigemptyset(&sa.sa_mask);
@@ -79,6 +105,40 @@ int
 interruptExitCode()
 {
     return g_signal ? 128 + g_signal : 0;
+}
+
+int
+interruptWakeFd()
+{
+    return g_wakeRead;
+}
+
+void
+drainInterruptPipe()
+{
+    if (g_wakeRead < 0)
+        return;
+    char buf[64];
+    while (::read(g_wakeRead, buf, sizeof buf) > 0) {
+    }
+}
+
+bool
+announceInterruptOnce()
+{
+    if (!interruptRequested())
+        return false;
+    return !g_announced.exchange(true);
+}
+
+void
+announceInterrupt()
+{
+    if (!announceInterruptOnce())
+        return;
+    std::fputs("\n[sweep] interrupt: finishing in-flight work and "
+               "flushing the journal; signal again to exit now\n",
+               stderr);
 }
 
 } // namespace sweep

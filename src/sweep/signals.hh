@@ -1,14 +1,21 @@
 /**
  * @file
- * Cooperative SIGINT/SIGTERM handling for the sweep drivers.
+ * Cooperative SIGINT/SIGTERM handling for the sweep drivers and the
+ * wirsimd serving daemon, built on the self-pipe/flag pattern.
  *
- * The first signal only raises a flag: workers abandon retries, the
- * driver stops scheduling figures, cancels the pending queue, flushes
- * the journal and partial stats, and exits with 128+signal -- instead
- * of dying mid-write. A second signal force-exits immediately (after
- * appending an "interrupted" journal record with a single
- * async-signal-safe write), for the case where the remaining work is
- * itself hung.
+ * The handler itself does the absolute minimum that is
+ * async-signal-safe: it sets a `volatile sig_atomic_t` flag and
+ * writes one byte into a non-blocking self-pipe so any poll()-based
+ * loop (the daemon's accept loop, the sandbox reader) wakes
+ * immediately. Everything else -- the "finishing in-flight work"
+ * notice, journal flushing, queue cancellation -- happens on the
+ * main loop after it observes the flag, so a signal taken mid-flush
+ * can never deadlock on a lock the handler would need.
+ *
+ * A second signal force-exits immediately: the graceful path is
+ * itself assumed stuck, so the handler appends one pre-formatted
+ * "interrupted" journal record with a single write() on the
+ * registered raw fd (O_APPEND, no locks) and calls _exit(128+sig).
  */
 
 #ifndef WIR_SWEEP_SIGNALS_HH
@@ -19,12 +26,13 @@ namespace wir
 namespace sweep
 {
 
-/** Install the handlers (idempotent). Call once from the driver's
- * main() before any sweep work starts. */
+/** Install the handlers and create the self-pipe (idempotent). Call
+ * once from the driver's main() before any sweep work starts. */
 void installInterruptHandlers();
 
-/** Journal fd the force-exit path appends its "interrupted" record
- * to (-1 = none). The fd must stay open for the process lifetime. */
+/** Journal fd the force-exit (second-signal) path appends its
+ * "interrupted" record to (-1 = none). The fd must stay open for the
+ * process lifetime. */
 void setInterruptJournalFd(int fd);
 
 /** Has SIGINT/SIGTERM been received? Sweep loops poll this. */
@@ -35,6 +43,32 @@ int interruptSignal();
 
 /** Conventional exit code for the received signal (128 + sig). */
 int interruptExitCode();
+
+/**
+ * Read end of the self-pipe (-1 before installInterruptHandlers()).
+ * poll()/select() loops include it so a signal wakes them instantly
+ * instead of waiting out the current timeout. Level-triggered until
+ * drained: call drainInterruptPipe() after waking.
+ */
+int interruptWakeFd();
+
+/** Consume any bytes buffered in the self-pipe (non-blocking). */
+void drainInterruptPipe();
+
+/**
+ * First-observation announcement, performed by the main loop rather
+ * than the handler: returns true exactly once after an interrupt has
+ * been requested, so the observing driver can print its "finishing
+ * in-flight work; signal again to exit now" notice from a context
+ * where stdio is safe. Thread-safe.
+ */
+bool announceInterruptOnce();
+
+/** Convenience over announceInterruptOnce(): print the canonical
+ * "[sweep] interrupt: finishing in-flight work..." stderr notice the
+ * first time any observer calls this after an interrupt; no-op
+ * otherwise. Call from loop context, never from a handler. */
+void announceInterrupt();
 
 } // namespace sweep
 } // namespace wir

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py robustness (stdlib only).
+
+The contract under test: exit 0 = gate passed, 1 = gate failed,
+2 = bad input / incompatible reports -- and malformed or truncated
+BENCH_*.json must always land in the exit-2 bucket with a one-line
+diagnostic, never a traceback (CI gates on "1 means perf regression").
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                 "tools"))
+import bench_compare  # noqa: E402
+
+
+def make_report(cells, sim_version="v1", stats_schema=7,
+                **overrides):
+    report = {
+        "bench_schema": 1,
+        "sim_version": sim_version,
+        "stats_schema": stats_schema,
+        "cells": cells,
+    }
+    report.update(overrides)
+    return report
+
+
+def make_cell(workload="SF", design="RLPV", cycles=1000,
+              wall_seconds=2.0, **overrides):
+    cell = {
+        "workload": workload,
+        "design": design,
+        "cycles": cycles,
+        "wall_seconds": wall_seconds,
+        "kcycles_per_sec": (cycles / 1e3) / wall_seconds
+        if wall_seconds else 0.0,
+    }
+    cell.update(overrides)
+    return cell
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.n = 0
+
+    def write(self, content):
+        """Write `content` (dict -> JSON, str -> verbatim) to a fresh
+        temp file and return its path."""
+        self.n += 1
+        path = os.path.join(self.tmp.name, f"report{self.n}.json")
+        with open(path, "w") as fh:
+            if isinstance(content, str):
+                fh.write(content)
+            else:
+                json.dump(content, fh)
+        return path
+
+    def run_compare(self, *argv):
+        """Run main() capturing output; returns (exit, out, err)."""
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = bench_compare.main(list(argv))
+        return code, out.getvalue(), err.getvalue()
+
+    # ---- the happy path still works ----
+
+    def test_identical_reports_pass(self):
+        path = self.write(make_report([make_cell()]))
+        code, out, err = self.run_compare(path, path,
+                                          "--max-regression", "5")
+        self.assertEqual(code, 0, err)
+        self.assertIn("ratio", out)
+
+    def test_regression_gate_fails_with_exit_1(self):
+        base = self.write(make_report([make_cell(wall_seconds=1.0)]))
+        cand = self.write(make_report([make_cell(wall_seconds=2.0)]))
+        code, out, _ = self.run_compare(base, cand,
+                                        "--max-regression", "5")
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+
+    def test_intersection_ignores_extra_cells(self):
+        base = self.write(make_report(
+            [make_cell(), make_cell(workload="MM")]))
+        cand = self.write(make_report([make_cell()]))
+        code, out, err = self.run_compare(base, cand)
+        self.assertEqual(code, 0, err)
+        self.assertIn("1 baseline-only", out)
+
+    # ---- malformed input: always exit 2, never a traceback ----
+
+    def assert_exit2(self, base, cand, fragment):
+        code, _, err = self.run_compare(base, cand)
+        self.assertEqual(code, 2, err)
+        self.assertIn("bench_compare:", err)
+        self.assertIn(fragment, err)
+
+    def test_missing_file(self):
+        path = self.write(make_report([make_cell()]))
+        self.assert_exit2(os.path.join(self.tmp.name, "absent.json"),
+                          path, "cannot load")
+
+    def test_truncated_json(self):
+        good = self.write(make_report([make_cell()]))
+        torn = self.write('{"bench_schema": 1, "cells": [{"work')
+        self.assert_exit2(torn, good, "cannot load")
+
+    def test_top_level_not_object(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write("[1, 2, 3]")
+        self.assert_exit2(bad, good, "top level")
+
+    def test_missing_report_key(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write({"bench_schema": 1, "cells": []})
+        self.assert_exit2(bad, good, "missing 'sim_version'")
+
+    def test_unsupported_schema(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([make_cell()], bench_schema=99))
+        self.assert_exit2(bad, good, "unsupported bench_schema")
+
+    def test_cells_not_a_list(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([]))
+        with open(bad, "w") as fh:
+            json.dump(make_report("oops"), fh)
+        self.assert_exit2(bad, good, "'cells'")
+
+    def test_cell_not_a_dict(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([make_cell(), 42]))
+        self.assert_exit2(bad, good, "cells[1]")
+
+    def test_cell_missing_workload(self):
+        good = self.write(make_report([make_cell()]))
+        cell = make_cell()
+        del cell["workload"]
+        bad = self.write(make_report([cell]))
+        self.assert_exit2(bad, good, "non-string 'workload'")
+
+    def test_cell_missing_numeric_field(self):
+        good = self.write(make_report([make_cell()]))
+        cell = make_cell()
+        del cell["wall_seconds"]
+        bad = self.write(make_report([cell]))
+        self.assert_exit2(bad, good, "non-numeric 'wall_seconds'")
+
+    def test_cell_bool_masquerading_as_number(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([make_cell(cycles=True)]))
+        self.assert_exit2(bad, good, "non-numeric 'cycles'")
+
+    def test_cell_negative_wall(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(
+            make_report([make_cell(wall_seconds=-1.0)]))
+        self.assert_exit2(bad, good, "negative 'wall_seconds'")
+
+    def test_incompatible_sim_version(self):
+        base = self.write(make_report([make_cell()]))
+        cand = self.write(
+            make_report([make_cell()], sim_version="v2"))
+        self.assert_exit2(base, cand, "incompatible")
+
+    def test_no_common_cells(self):
+        base = self.write(make_report([make_cell(workload="SF")]))
+        cand = self.write(make_report([make_cell(workload="MM")]))
+        self.assert_exit2(base, cand, "no common")
+
+    def test_duplicate_cell(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([make_cell(), make_cell()]))
+        self.assert_exit2(bad, good, "duplicate cell")
+
+    def test_all_zero_wall_times_refused(self):
+        # Degenerate reports must not "pass" on a 0/0 ratio.
+        report = make_report(
+            [make_cell(cycles=0, wall_seconds=0.0)])
+        base = self.write(report)
+        cand = self.write(report)
+        self.assert_exit2(base, cand, "degenerate")
+
+    def test_failed_cells_are_skipped_not_validated(self):
+        # A failed cell legitimately lacks timing fields.
+        failed = {"workload": "SF", "design": "RLPV", "failed": True}
+        base = self.write(
+            make_report([failed, make_cell(workload="MM")]))
+        cand = self.write(make_report([make_cell(workload="MM")]))
+        code, _, err = self.run_compare(base, cand)
+        self.assertEqual(code, 0, err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -23,6 +24,7 @@
 #include <fstream>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -806,4 +808,218 @@ TEST(ResultCache, ResumeServesJournaledDoneCellsFromDisk)
     EXPECT_EQ(warm.sweepStats().simulated, 0u)
         << "resume must serve journaled-done cells from disk";
     EXPECT_EQ(warm.sweepStats().diskHits, 1u);
+}
+
+TEST(Journal, HealedTornTailAcceptsCleanAppends)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, false, &error)) << error;
+        j.queued("cell-a", "SF RLPV");
+        j.started("cell-a");
+    }
+    {
+        // SIGKILL mid-append: the final line has no newline.
+        std::ofstream torn(path, std::ios::app | std::ios::binary);
+        torn << "done\tcell-a";
+    }
+
+    // A preserve-mode reopen must close the torn line, so records
+    // appended by the resumed life land on their own lines instead
+    // of gluing onto the torn one (which would lose both).
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, true, &error)) << error;
+        j.done("cell-a", "sim");
+        j.queued("cell-b", "BO RLPV");
+        j.started("cell-b");
+    }
+
+    Journal::Replay replay = Journal::replay(path);
+    EXPECT_EQ(replay.done.count("cell-a"), 1u)
+        << "the post-heal done record must replay";
+    EXPECT_EQ(replay.inFlight.count("cell-b"), 1u)
+        << "appends after healing must stay intact";
+    EXPECT_EQ(replay.queued, 2u);
+}
+
+TEST(Journal, SecondProcessFailsFastWhileParentHoldsLock)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    Journal held;
+    std::string error;
+    ASSERT_TRUE(held.open(path, false, &error)) << error;
+
+    // flock is advisory per open-file description, so the in-process
+    // SecondWriterFailsFast test above does not prove cross-process
+    // exclusion -- a forked child does.
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        Journal second;
+        std::string childError;
+        bool opened = second.open(path, true, &childError);
+        _exit(opened ? 1 : 0); // 0 = correctly refused
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << "a second process must not acquire the journal lock";
+}
+
+TEST(Journal, LaterLifecycleRecordsWinForTheSameKey)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, false, &error)) << error;
+        // Life 1 finished the cell; life 2 (a daemon re-queueing a
+        // duplicate submit, or a re-run after the store was wiped)
+        // started it again and crashed.
+        j.queued("cell", "SF RLPV");
+        j.started("cell");
+        j.done("cell", "sim");
+        j.queued("cell", "SF RLPV");
+        j.started("cell");
+    }
+    Journal::Replay replay = Journal::replay(path);
+    EXPECT_EQ(replay.inFlight.count("cell"), 1u)
+        << "the newest lifecycle record decides the state";
+    EXPECT_EQ(replay.done.count("cell"), 0u);
+}
+
+TEST(Journal, QueuedDetailKeepsFirstAndFailedDetailKeepsLast)
+{
+    TempDir dir;
+    std::string path = dir.path + "/sweep.journal";
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(path, false, &error)) << error;
+        // The serving daemon appends its re-submittable spec first;
+        // the cache layer then appends its human-readable label for
+        // the same key. Resume must reconstruct from the spec.
+        j.queued("cell", "{\"workload\":\"SF\"}");
+        j.queued("cell", "SF RLPV");
+        j.failed("cell", false, "signal 9 (Killed)");
+        j.failed("cell", true, "SimError: watchdog");
+        j.queued("cell-only", "{\"workload\":\"BO\"}");
+    }
+    Journal::Replay replay = Journal::replay(path);
+    EXPECT_EQ(replay.queuedDetail.at("cell"),
+              "{\"workload\":\"SF\"}");
+    EXPECT_EQ(replay.failedDetail.at("cell"),
+              "deterministic: SimError: watchdog");
+    EXPECT_EQ(replay.blocklisted.count("cell"), 1u);
+    // Accepted but never started: the daemon crash window.
+    EXPECT_EQ(replay.queuedOnly.count("cell-only"), 1u);
+    EXPECT_EQ(replay.queuedOnly.count("cell"), 0u);
+}
+
+TEST(ResultCache, WorkerExceptionBecomesFailedCellNotTerminate)
+{
+    Options opts = testOptions(2);
+    opts.taskFaultHook = [](const std::string &abbr,
+                            const std::string &) {
+        if (abbr == "SF")
+            throw std::runtime_error("injected worker fault");
+    };
+    ResultCache cache(opts);
+
+    const RunResult &broken = cache.get("SF", designRLPV());
+    EXPECT_TRUE(broken.failed);
+    EXPECT_EQ(broken.failKind, FailKind::Crash);
+    EXPECT_NE(broken.error.find("worker exception"),
+              std::string::npos);
+    EXPECT_NE(broken.error.find("injected worker fault"),
+              std::string::npos);
+    EXPECT_FALSE(broken.repro.empty());
+
+    // The pool survives: other cells still simulate normally.
+    const RunResult &healthy = cache.get("BO", designRLPV());
+    EXPECT_FALSE(healthy.failed);
+
+    // The contained fault is classified transient (no repeated
+    // signature evidence), so a resume would retry it.
+    auto failures = cache.drainNewFailures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].workload, "SF");
+    EXPECT_FALSE(failures[0].deterministic);
+}
+
+TEST(ResultCache, TryGetPollsWithoutBlocking)
+{
+    ResultCache cache(testOptions(2));
+
+    // Never enqueues: an unrequested cell stays null forever.
+    EXPECT_EQ(cache.tryGet("SF", designRLPV()), nullptr);
+    EXPECT_EQ(cache.tryGet("SF", designRLPV()), nullptr);
+
+    cache.prefetch("SF", designRLPV());
+    const RunResult *polled = nullptr;
+    for (int i = 0; i < 600 && !polled; i++) {
+        polled = cache.tryGet("SF", designRLPV());
+        if (!polled)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_NE(polled, nullptr) << "prefetched cell never finished";
+    EXPECT_FALSE(polled->failed);
+    // Same entry the blocking path returns.
+    EXPECT_EQ(polled, &cache.get("SF", designRLPV()));
+}
+
+TEST(ResultCache, CellPolicyHookSeesThePersistentKey)
+{
+    std::mutex seenMutex;
+    std::vector<std::string> seenKeys;
+
+    Options opts = testOptions(1);
+    opts.isolate = true;
+    opts.sandbox.enabled = false; // in-process attempts
+    opts.cellPolicyHook = [&](const std::string &key,
+                              SandboxPolicy &) {
+        std::lock_guard<std::mutex> lock(seenMutex);
+        seenKeys.push_back(key);
+    };
+    ResultCache cache(opts);
+    cache.get("SF", designRLPV());
+
+    ASSERT_EQ(seenKeys.size(), 1u);
+    EXPECT_EQ(seenKeys[0],
+              persistentRunKey(testMachine(), designRLPV(), "SF"))
+        << "per-cell policy (daemon deadlines) is keyed by the "
+           "persistent run key";
+}
+
+TEST(ResultCache, JournalKeysMatchPersistentRunKey)
+{
+    TempDir dir;
+    std::string journalPath = dir.path + "/sweep.journal";
+    Options opts = testOptions(1);
+    opts.journal = std::make_shared<Journal>();
+    std::string error;
+    ASSERT_TRUE(opts.journal->open(journalPath, false, &error))
+        << error;
+    {
+        ResultCache cache(opts);
+        cache.get("SF", designRLPV());
+    }
+    opts.journal.reset(); // release the flock
+
+    // The serving layer computes shard/breaker/journal keys with
+    // persistentRunKey before any ResultCache exists; resume breaks
+    // silently if the cache journals under a different key.
+    Journal::Replay replay = Journal::replay(journalPath);
+    EXPECT_EQ(replay.done.count(persistentRunKey(
+                  testMachine(), designRLPV(), "SF")),
+              1u);
 }

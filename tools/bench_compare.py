@@ -15,6 +15,12 @@ fairly against a full baseline. Reports must come from the same
 simulator version and stats schema -- a mismatch means the two runs
 did not simulate the same thing, and the compare refuses (exit 2).
 
+Malformed input -- truncated JSON, a non-report object, cells that
+are not dicts or are missing/non-numeric fields -- is always exit 2
+with a one-line diagnostic naming the file (and cell), never a
+traceback: CI lanes gate on "1 means the perf gate failed", so a
+broken artifact must not masquerade as a regression.
+
 Exit codes: 0 pass, 1 gate failed, 2 bad input / incompatible
 reports.  stdlib only; see docs/BENCH.md for the report schema.
 """
@@ -24,42 +30,77 @@ import json
 import sys
 
 
+class CompareError(Exception):
+    """Bad input or incompatible reports (exit 2)."""
+
+
+def fail(message):
+    raise CompareError(f"bench_compare: {message}")
+
+
 def load_report(path):
     try:
         with open(path) as fh:
             report = json.load(fh)
     except (OSError, ValueError) as err:
-        sys.exit(f"bench_compare: cannot load {path}: {err}")
+        fail(f"cannot load {path}: {err}")
+    if not isinstance(report, dict):
+        fail(f"{path}: top level is {type(report).__name__}, "
+             "expected an object (not a wirsim bench report?)")
     for key in ("bench_schema", "sim_version", "stats_schema",
                 "cells"):
         if key not in report:
-            sys.exit(f"bench_compare: {path}: missing '{key}' "
-                     "(not a wirsim bench report?)")
+            fail(f"{path}: missing '{key}' "
+                 "(not a wirsim bench report?)")
     if report["bench_schema"] != 1:
-        sys.exit(f"bench_compare: {path}: unsupported bench_schema "
-                 f"{report['bench_schema']}")
+        fail(f"{path}: unsupported bench_schema "
+             f"{report['bench_schema']!r}")
+    if not isinstance(report["cells"], list):
+        fail(f"{path}: 'cells' is "
+             f"{type(report['cells']).__name__}, expected a list")
     return report
 
 
 def check_compatible(base, cand, base_path, cand_path):
     for key in ("sim_version", "stats_schema"):
         if base[key] != cand[key]:
-            sys.exit(
-                f"bench_compare: incompatible reports: {key} is "
-                f"{base[key]} in {base_path} but {cand[key]} in "
-                f"{cand_path}; the two runs measured different "
-                "simulators")
+            fail(f"incompatible reports: {key} is "
+                 f"{base[key]!r} in {base_path} but {cand[key]!r} "
+                 f"in {cand_path}; the two runs measured different "
+                 "simulators")
+
+
+def checked_cell(cell, index, path):
+    """Validate one successful cell's shape; exit 2 on anything a
+    truncated or hand-edited report could contain."""
+    where = f"{path}: cells[{index}]"
+    if not isinstance(cell, dict):
+        fail(f"{where} is {type(cell).__name__}, expected an object")
+    for key in ("workload", "design"):
+        if not isinstance(cell.get(key), str) or not cell[key]:
+            fail(f"{where}: missing or non-string '{key}'")
+    where = f"{path}: cell {cell['workload']}/{cell['design']}"
+    for key in ("cycles", "wall_seconds", "kcycles_per_sec"):
+        value = cell.get(key)
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            fail(f"{where}: missing or non-numeric '{key}'")
+        if value != value or value in (float("inf"), float("-inf")):
+            fail(f"{where}: non-finite '{key}'")
+        if value < 0:
+            fail(f"{where}: negative '{key}' ({value})")
+    return cell
 
 
 def cell_map(report, path):
     cells = {}
-    for cell in report["cells"]:
-        if cell.get("failed"):
+    for index, cell in enumerate(report["cells"]):
+        if isinstance(cell, dict) and cell.get("failed"):
             continue
+        cell = checked_cell(cell, index, path)
         key = (cell["workload"], cell["design"])
         if key in cells:
-            sys.exit(f"bench_compare: {path}: duplicate cell "
-                     f"{key[0]}/{key[1]}")
+            fail(f"{path}: duplicate cell {key[0]}/{key[1]}")
         cells[key] = cell
     return cells
 
@@ -70,19 +111,7 @@ def aggregate(cells, keys):
     return (cycles / 1e3) / wall if wall > 0 else 0.0
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Compare two wirsim bench reports")
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--max-regression", type=float, metavar="PCT",
-                        help="fail if candidate is more than PCT%% "
-                        "slower than baseline")
-    parser.add_argument("--min-speedup", type=float, metavar="X",
-                        help="fail if candidate/baseline ratio is "
-                        "below X")
-    args = parser.parse_args()
-
+def run(args):
     base = load_report(args.baseline)
     cand = load_report(args.candidate)
     check_compatible(base, cand, args.baseline, args.candidate)
@@ -91,8 +120,7 @@ def main():
     cand_cells = cell_map(cand, args.candidate)
     common = sorted(set(base_cells) & set(cand_cells))
     if not common:
-        sys.exit("bench_compare: no common successful cells to "
-                 "compare")
+        fail("no common successful cells to compare")
     only_base = len(base_cells) - len(common)
     only_cand = len(cand_cells) - len(common)
 
@@ -112,7 +140,13 @@ def main():
 
     base_agg = aggregate(base_cells, common)
     cand_agg = aggregate(cand_cells, common)
-    ratio = cand_agg / base_agg if base_agg > 0 else float("inf")
+    if base_agg <= 0 or cand_agg <= 0:
+        # All-zero wall times / cycle counts: the reports carry no
+        # usable signal, so refuse rather than "pass" on inf or 0.
+        fail(f"degenerate aggregate (baseline {base_agg:.1f}, "
+             f"candidate {cand_agg:.1f} Kcycles/sec over "
+             f"{len(common)} cells); cannot gate on these reports")
+    ratio = cand_agg / base_agg
     print(f"\naggregate over {len(common)} common cells "
           f"({only_base} baseline-only, {only_cand} candidate-only "
           "dropped):")
@@ -142,6 +176,25 @@ def main():
             print(f"pass: ratio {ratio:.3f} >= speedup target "
                   f"{args.min_speedup:.2f}")
     return 1 if failed else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare two wirsim bench reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regression", type=float, metavar="PCT",
+                        help="fail if candidate is more than PCT%% "
+                        "slower than baseline")
+    parser.add_argument("--min-speedup", type=float, metavar="X",
+                        help="fail if candidate/baseline ratio is "
+                        "below X")
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except CompareError as err:
+        print(err, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

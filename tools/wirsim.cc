@@ -10,6 +10,16 @@
  *   wirsim gen [options]
  *   wirsim stats --describe
  *   wirsim trace --check FILE
+ *   wirsim serve [options]      (also installed as `wirsimd`)
+ *   wirsim submit [options] WL[/DESIGN]...
+ *
+ * Serving (`serve`/`wirsimd` and the `submit` client, see
+ * docs/SERVING.md): a long-lived daemon that accepts simulation jobs
+ * over a Unix-domain socket, serves warm results from the sweep
+ * cache/disk store, batches misses onto the shared executor with
+ * every miss in the forked sandbox, and survives kill -9 via a
+ * crash-only journal (`--resume` completes every accepted job
+ * exactly once). SIGTERM drains gracefully and exits 0.
  *
  * Simulator benchmarking (`bench`, see docs/BENCH.md): measure
  * simulation throughput (Kcycles/sec, sim-instrs/sec, wall time) per
@@ -133,6 +143,8 @@
 #include "isa/disasm.hh"
 #include "obs/registry.hh"
 #include "obs/session.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/bench.hh"
 #include "sim/designs.hh"
 #include "sim/runner.hh"
@@ -193,7 +205,26 @@ usage()
                  "                  [--block N] [--grid N] "
                  "[--levels N] [--out FILE] [--disasm]\n"
                  "       wirsim stats --describe\n"
-                 "       wirsim trace --check FILE\n");
+                 "       wirsim trace --check FILE\n"
+                 "       wirsim serve --socket PATH [--jobs N] "
+                 "[--shards N] [--queue-limit N]\n"
+                 "                  [--max-inflight N] "
+                 "[--quota-rate R] [--quota-burst B]\n"
+                 "                  [--run-timeout S] [--retries N] "
+                 "[--no-sandbox] [--no-cache]\n"
+                 "                  [--cache-dir DIR] "
+                 "[--journal FILE] [--resume]\n"
+                 "                  [--write-timeout S] "
+                 "[--drain-timeout S] [--sms N] [--sched P]\n"
+                 "                  (also as `wirsimd`)\n"
+                 "       wirsim submit --socket PATH [--client NAME] "
+                 "[--deadline MS]\n"
+                 "                  [--timeout S] [--design NAME] "
+                 "[--sms N] [--sched P]\n"
+                 "                  [--watchdog K] [--inject CLASS] "
+                 "[--inject-cycle C]\n"
+                 "                  [--inject-sm S] "
+                 "[--stats|--healthz] WL[/DESIGN]...\n");
     std::exit(2);
 }
 
@@ -921,6 +952,176 @@ cmdTrace(int argc, char **argv)
     return 0;
 }
 
+/** `wirsim serve` / `wirsimd`: the long-lived simulation daemon
+ * (docs/SERVING.md). Exits 0 on a clean SIGTERM drain, 2 on
+ * configuration errors (bad socket, journal locked by a live
+ * daemon). */
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--jobs") {
+            opts.jobs = parseUnsigned("--jobs", next());
+        } else if (arg == "--shards") {
+            opts.shards = parseUnsigned("--shards", next());
+        } else if (arg == "--queue-limit") {
+            opts.queueLimit = parseUnsigned("--queue-limit", next());
+        } else if (arg == "--max-inflight") {
+            opts.maxInflight =
+                parseUnsigned("--max-inflight", next());
+        } else if (arg == "--quota-rate") {
+            opts.quotaRate =
+                double(parseUnsigned("--quota-rate", next()));
+        } else if (arg == "--quota-burst") {
+            opts.quotaBurst =
+                double(parseUnsigned("--quota-burst", next()));
+        } else if (arg == "--run-timeout") {
+            opts.sandbox.timeoutMs =
+                u64(parseUnsigned("--run-timeout", next())) * 1000;
+        } else if (arg == "--retries") {
+            opts.sandbox.retries = parseUnsigned("--retries", next());
+        } else if (arg == "--no-sandbox") {
+            opts.noSandbox = true;
+        } else if (arg == "--no-cache") {
+            opts.useDisk = false;
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next();
+        } else if (arg == "--journal") {
+            opts.journalPath = next();
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--write-timeout") {
+            opts.writeTimeoutMs =
+                u64(parseUnsigned("--write-timeout", next())) * 1000;
+        } else if (arg == "--drain-timeout") {
+            opts.drainTimeoutMs =
+                u64(parseUnsigned("--drain-timeout", next())) * 1000;
+        } else if (arg == "--sms") {
+            opts.machine.numSms = parseUnsigned("--sms", next());
+        } else if (arg == "--sched") {
+            std::string p = next();
+            if (p != "gto" && p != "lrr")
+                fatal("--sched expects 'gto' or 'lrr', got '%s'",
+                      p.c_str());
+            opts.machine.schedPolicy = p == "lrr"
+                                           ? WarpSchedPolicy::Lrr
+                                           : WarpSchedPolicy::Gto;
+        } else if (arg == "--watchdog") {
+            opts.machine.check.watchdogCycles =
+                parseNumber("--watchdog", next());
+        } else {
+            usage();
+        }
+    }
+    if (opts.socketPath.empty())
+        fatal("serve: --socket PATH is required");
+    serve::Server server(std::move(opts));
+    return server.run();
+}
+
+/** `wirsim submit`: submit cells to a running wirsimd and print
+ * their result rows in submission order. Exit 0 when every cell
+ * succeeded, 1 when any failed or was rejected, 2 on usage/connect
+ * errors. */
+int
+cmdSubmit(int argc, char **argv)
+{
+    serve::SubmitOptions opts;
+    std::vector<serve::SubmitCell> cells;
+    std::string op = "submit";
+    std::string design = "RLPV";
+
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--client") {
+            opts.client = next();
+        } else if (arg == "--deadline") {
+            opts.deadlineMs = parseNumber("--deadline", next());
+        } else if (arg == "--timeout") {
+            opts.timeoutMs =
+                u64(parseUnsigned("--timeout", next())) * 1000;
+        } else if (arg == "--design") {
+            design = next();
+        } else if (arg == "--sms") {
+            opts.sms = i64(parseUnsigned("--sms", next()));
+        } else if (arg == "--sched") {
+            opts.sched = next();
+        } else if (arg == "--watchdog") {
+            opts.watchdog = i64(parseNumber("--watchdog", next()));
+        } else if (arg == "--inject") {
+            opts.inject = next();
+        } else if (arg == "--inject-cycle") {
+            opts.injectCycle =
+                i64(parseNumber("--inject-cycle", next()));
+        } else if (arg == "--inject-sm") {
+            opts.injectSm = i64(parseUnsigned("--inject-sm", next()));
+        } else if (arg == "--stats") {
+            op = "stats";
+        } else if (arg == "--healthz") {
+            op = "healthz";
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            // WL or WL/DESIGN; "all" expands to the full registry.
+            serve::SubmitCell cell;
+            size_t slash = arg.find('/');
+            cell.workload = arg.substr(0, slash);
+            cell.design = slash == std::string::npos
+                              ? design
+                              : arg.substr(slash + 1);
+            if (cell.workload == "all") {
+                for (const auto &info : workloadRegistry())
+                    cells.push_back({info.abbr, cell.design});
+            } else {
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    if (opts.socketPath.empty())
+        fatal("submit: --socket PATH is required");
+
+    if (op != "submit") {
+        std::string line =
+            "{\"op\":\"" + op + "\",\"id\":\"0\"}";
+        std::string reply = serve::requestLine(opts.socketPath, line,
+                                               opts.timeoutMs);
+        std::printf("%s\n", reply.c_str());
+        return 0;
+    }
+    if (cells.empty())
+        fatal("submit: no cells given (WL or WL/DESIGN arguments)");
+
+    auto outcomes = serve::submitCells(opts, cells);
+    int failures = 0;
+    for (const auto &outcome : outcomes) {
+        if (!outcome.row.empty()) {
+            std::printf("%s\n", outcome.row.c_str());
+        } else {
+            std::printf("%s: %s\n", outcome.status.c_str(),
+                        outcome.reason.c_str());
+        }
+        if (outcome.status != "ok")
+            failures++;
+    }
+    return failures ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -928,6 +1129,25 @@ main(int argc, char **argv)
 {
     setInformEnabled(false);
     sweep::installInterruptHandlers();
+
+    // Invoked as `wirsimd` (the tools/ symlink): pure daemon mode,
+    // every argument is a serve flag.
+    std::string self = argv[0];
+    size_t slash = self.find_last_of('/');
+    if (slash != std::string::npos)
+        self = self.substr(slash + 1);
+    if (self == "wirsimd") {
+        try {
+            return cmdServe(argc - 1, argv + 1);
+        } catch (const ConfigError &err) {
+            std::fprintf(stderr, "wirsimd: %s\n", err.what());
+            return 2;
+        } catch (const SimError &err) {
+            std::fprintf(stderr, "wirsimd: %s\n", err.what());
+            return 1;
+        }
+    }
+
     if (argc < 2)
         usage();
     std::string cmd = argv[1];
@@ -948,6 +1168,10 @@ main(int argc, char **argv)
             return cmdStats(argc - 2, argv + 2);
         if (cmd == "trace")
             return cmdTrace(argc - 2, argv + 2);
+        if (cmd == "serve")
+            return cmdServe(argc - 2, argv + 2);
+        if (cmd == "submit")
+            return cmdSubmit(argc - 2, argv + 2);
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "wirsim: %s\n", err.what());
         return 2;
