@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -55,6 +56,9 @@ usage(std::FILE *to)
         "usage: run_all [options]\n"
         "  --jobs N                 worker threads (default: "
         "WIR_BENCH_JOBS or hardware concurrency)\n"
+        "  --sim-threads N          SM worker threads inside each "
+        "simulation (default 1; results stay bit-identical, see "
+        "docs/PARALLEL.md)\n"
         "  --figures a,b,c          run only these registry ids\n"
         "  --list                   list registry ids and exit\n"
         "  --json PATH              write per-figure metrics + sweep "
@@ -262,6 +266,12 @@ main(int argc, char **argv)
                 opts.jobs = parseUnsigned("--jobs", next(), 4096);
                 if (opts.jobs == 0)
                     fatal("--jobs expects a positive job count");
+            } else if (arg == "--sim-threads") {
+                opts.machine.perf.simThreads =
+                    parseUnsigned("--sim-threads", next(), 4096);
+                if (opts.machine.perf.simThreads == 0)
+                    fatal("--sim-threads expects a positive thread "
+                          "count (1 = sequential)");
             } else if (arg == "--figures") {
                 only = splitCommas(next());
             } else if (arg == "--list") {
@@ -401,7 +411,21 @@ main(int argc, char **argv)
         }
 
         auto start = std::chrono::steady_clock::now();
+        unsigned simThreads = opts.machine.perf.simThreads;
         CachePool caches(std::move(opts));
+
+        // Sweep jobs multiply with per-simulation SM threads; the
+        // per-cycle barrier spins before yielding, so oversubscribing
+        // the machine wastes cores on backoff (docs/BENCH.md).
+        unsigned hw = std::thread::hardware_concurrency();
+        if (simThreads > 1 && hw > 0 &&
+            u64(caches.jobs()) * simThreads > hw) {
+            std::fprintf(stderr,
+                         "[sweep] warning: --jobs %u x --sim-threads "
+                         "%u oversubscribes %u hardware threads; "
+                         "prefer raising --jobs first\n",
+                         caches.jobs(), simThreads, hw);
+        }
 
         std::vector<std::pair<std::string,
                               std::map<std::string, double>>>

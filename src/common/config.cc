@@ -56,6 +56,8 @@ validateConfig(const MachineConfig &machine)
               "long one instruction may retry register allocation "
               "before the run aborts as livelocked)");
     }
+    if (machine.perf.simThreads == 0)
+        fatal("--sim-threads must be positive (1 = sequential)");
 }
 
 void
@@ -101,8 +103,9 @@ canonicalKey(const MachineConfig &m)
     // sizeof() terms catch forgetting to (on a given build, a new
     // field changes the struct size and thus every cache key).
     // PerfConfig is the one deliberate exception: its knobs select
-    // execution strategy (skip-ahead, stats buffering) and are
-    // bit-identical by contract, so they must map to the same key.
+    // execution strategy (skip-ahead, stats buffering, SM worker
+    // threads) and are bit-identical by contract, so they must map
+    // to the same key.
     std::ostringstream out;
     out << "machine{sz=" << sizeof(MachineConfig)
         << ",csz=" << sizeof(CheckConfig)

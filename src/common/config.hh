@@ -101,6 +101,14 @@ struct PerfConfig
      * flushed on a cycle stride and before every external read
      * point, so the inner loop touches one small struct. */
     bool bufferedStats = true;
+
+    /** Advance SMs on this many worker threads inside one simulation
+     * (--sim-threads). Cross-SM memory traffic is serialized in SM-id
+     * order behind a per-cycle barrier, so results stay bit-identical
+     * at every thread count; see docs/PARALLEL.md. Clamped to the SM
+     * count; obs sessions, profilers, and arch capture force the
+     * single-thread path. Must be nonzero. */
+    unsigned simThreads = 1;
 };
 
 /** Baseline GPU parameters (Table II). */

@@ -2,19 +2,31 @@
  * @file
  * Issue-stream dispatcher: the single observer the GPU hands to its
  * SMs, fanning each event out to any number of passive clients
- * (profiler, user-supplied observers) and keeping O(1) GPU-wide
+ * (profiler, user-supplied observers) and keeping cheap GPU-wide
  * progress counters for the forward-progress watchdog.
  *
  * Before this existed, Gpu::run's watchdog re-summed per-SM commit
  * counters on a stride while the profiler independently hooked the
  * issue stream; both now ride the same dispatch, so adding an
  * observer can never change what the watchdog sees and the progress
- * check is a constant-time comparison every cycle.
+ * check is an O(numSms) sum every active round.
  *
  * Clients must be passive: they may record, but must not mutate
  * simulation state. Fan-out order is the order of add() calls and is
  * not a contract -- a regression test permutes it and asserts
  * identical simulation stats.
+ *
+ * The progress counters are plain (non-atomic) u64s, one cache line
+ * per SM: each slot has exactly one writer (the thread advancing that
+ * SM), and the watchdog only sums them in the serial coordinator
+ * phase, after the cycle barrier (--sim-threads, docs/PARALLEL.md)
+ * has ordered every SM's increments, so the read is race-free and
+ * the value is identical to the sequential schedule's. Per-slot
+ * plain increments keep the issue/commit hot path free of locked
+ * read-modify-write instructions, which cost several percent of
+ * end-to-end throughput when a shared atomic sat here. Client
+ * fan-out is NOT thread-safe -- the GPU degrades to the
+ * single-thread path whenever a client is registered.
  */
 
 #ifndef WIR_OBS_DISPATCH_HH
@@ -32,6 +44,8 @@ namespace obs
 class IssueDispatch : public IssueObserver
 {
   public:
+    explicit IssueDispatch(unsigned numSms) : perSm(numSms) {}
+
     /** Register a client; null is ignored. */
     void
     add(IssueObserver *client)
@@ -43,21 +57,35 @@ class IssueDispatch : public IssueObserver
     bool empty() const { return clients.empty(); }
 
     /** Warp instructions issued GPU-wide (includes control ops). */
-    u64 issued() const { return issueCount; }
+    u64
+    issued() const
+    {
+        u64 total = 0;
+        for (const auto &slot : perSm)
+            total += slot.issued;
+        return total;
+    }
 
     /** Warp instructions committed GPU-wide via retire. */
-    u64 committed() const { return commitCount; }
+    u64
+    committed() const
+    {
+        u64 total = 0;
+        for (const auto &slot : perSm)
+            total += slot.committed;
+        return total;
+    }
 
     /** Monotone progress indicator: advances whenever any SM issues
      * or retires an instruction. The watchdog compares successive
-     * readings instead of walking the SMs. */
-    u64 progress() const { return issueCount + commitCount; }
+     * readings instead of walking the SMs' stats blocks. */
+    u64 progress() const { return issued() + committed(); }
 
     void
     onIssue(SmId sm, const Instruction &inst, const WarpValue srcs[3],
             const WarpValue &result, WarpMask active) override
     {
-        issueCount++;
+        perSm[sm].issued++;
         for (IssueObserver *client : clients)
             client->onIssue(sm, inst, srcs, result, active);
     }
@@ -65,15 +93,21 @@ class IssueDispatch : public IssueObserver
     void
     onCommit(SmId sm) override
     {
-        commitCount++;
+        perSm[sm].committed++;
         for (IssueObserver *client : clients)
             client->onCommit(sm);
     }
 
   private:
+    /** One line per SM so concurrent owners never false-share. */
+    struct alignas(64) Counters
+    {
+        u64 issued = 0;
+        u64 committed = 0;
+    };
+
     std::vector<IssueObserver *> clients;
-    u64 issueCount = 0;
-    u64 commitCount = 0;
+    std::vector<Counters> perSm;
 };
 
 } // namespace obs

@@ -71,6 +71,12 @@ BenchCell::instrsPerSec() const
     return safeDiv(double(instrs), wallSeconds);
 }
 
+double
+BenchThreadPoint::kcyclesPerSec() const
+{
+    return safeDiv(double(cycles) / 1e3, wallSeconds);
+}
+
 u64
 BenchReport::totalCycles() const
 {
@@ -145,57 +151,110 @@ runBench(const BenchOptions &opts, bool progress)
     unsigned reps = std::max(1u, opts.reps);
     using clock = std::chrono::steady_clock;
 
-    for (const auto &abbr : workloads) {
-        for (const auto &design : designs) {
-            BenchCell cell;
-            cell.workload = abbr;
-            cell.design = design.name;
-            for (unsigned rep = 0; rep < reps && !cell.failed;
-                 rep++) {
-                Workload workload = makeWorkload(abbr);
-                auto start = clock::now();
-                RunResult result;
-                try {
-                    result = runWorkload(std::move(workload), design,
-                                         opts.machine);
-                } catch (const SimError &err) {
-                    result.failed = true;
-                    result.error = err.what();
+    std::vector<unsigned> threadCounts = opts.threadSweep;
+    if (threadCounts.empty())
+        threadCounts.push_back(
+            std::max(1u, opts.machine.perf.simThreads));
+
+    // One full grid pass per thread count. The first count is the
+    // primary: only its cells land in the report (cell-level compares
+    // must not see duplicate (workload, design) keys); every count
+    // contributes a whole-grid aggregate to the scaling curve.
+    for (size_t tc = 0; tc < threadCounts.size(); tc++) {
+        MachineConfig machine = opts.machine;
+        machine.perf.simThreads = threadCounts[tc];
+        bool primary = tc == 0;
+
+        BenchThreadPoint point;
+        point.simThreads = threadCounts[tc];
+
+        for (const auto &abbr : workloads) {
+            for (const auto &design : designs) {
+                BenchCell cell;
+                cell.workload = abbr;
+                cell.design = design.name;
+                for (unsigned rep = 0; rep < reps && !cell.failed;
+                     rep++) {
+                    Workload workload = makeWorkload(abbr);
+                    auto start = clock::now();
+                    RunResult result;
+                    try {
+                        result = runWorkload(std::move(workload),
+                                             design, machine);
+                    } catch (const SimError &err) {
+                        result.failed = true;
+                        result.error = err.what();
+                    }
+                    double wall =
+                        std::chrono::duration<double>(clock::now() -
+                                                      start)
+                            .count();
+                    if (result.failed) {
+                        cell.failed = true;
+                        cell.error = result.error;
+                        break;
+                    }
+                    cell.cycles = result.stats.cycles;
+                    cell.instrs = result.stats.warpInstsCommitted;
+                    if (rep == 0 || wall < cell.wallSeconds)
+                        cell.wallSeconds = wall;
                 }
-                double wall =
-                    std::chrono::duration<double>(clock::now() -
-                                                  start)
-                        .count();
-                if (result.failed) {
-                    cell.failed = true;
-                    cell.error = result.error;
-                    break;
-                }
-                cell.cycles = result.stats.cycles;
-                cell.instrs = result.stats.warpInstsCommitted;
-                if (rep == 0 || wall < cell.wallSeconds)
-                    cell.wallSeconds = wall;
-            }
-            if (progress) {
                 if (cell.failed) {
-                    std::fprintf(stderr, "bench: %-5s %-12s FAILED: "
-                                 "%s\n", cell.workload.c_str(),
-                                 cell.design.c_str(),
-                                 cell.error.c_str());
+                    point.failed++;
                 } else {
-                    std::fprintf(
-                        stderr,
-                        "bench: %-5s %-12s %9llu Kcyc %8.0f "
-                        "Kcyc/s %8.2f ms\n", cell.workload.c_str(),
-                        cell.design.c_str(),
-                        static_cast<unsigned long long>(cell.cycles /
-                                                        1000),
-                        cell.kcyclesPerSec(),
-                        cell.wallSeconds * 1e3);
+                    point.cycles += cell.cycles;
+                    point.instrs += cell.instrs;
+                    point.wallSeconds += cell.wallSeconds;
                 }
+                if (progress && primary) {
+                    if (cell.failed) {
+                        std::fprintf(stderr,
+                                     "bench: %-5s %-12s FAILED: "
+                                     "%s\n", cell.workload.c_str(),
+                                     cell.design.c_str(),
+                                     cell.error.c_str());
+                    } else {
+                        std::fprintf(
+                            stderr,
+                            "bench: %-5s %-12s %9llu Kcyc %8.0f "
+                            "Kcyc/s %8.2f ms\n",
+                            cell.workload.c_str(),
+                            cell.design.c_str(),
+                            static_cast<unsigned long long>(
+                                cell.cycles / 1000),
+                            cell.kcyclesPerSec(),
+                            cell.wallSeconds * 1e3);
+                    }
+                }
+                if (primary)
+                    report.cells.push_back(std::move(cell));
             }
-            report.cells.push_back(std::move(cell));
         }
+
+        // The knob is result-neutral by contract; a cycle-count
+        // drift across thread counts means that contract broke, so
+        // say it loudly rather than publish a silently-wrong curve.
+        if (!report.scaling.empty() &&
+            (point.cycles != report.scaling.front().cycles ||
+             point.failed != report.scaling.front().failed)) {
+            warn("bench: --sim-threads %u simulated %llu cycles but "
+                 "--sim-threads %u simulated %llu -- thread count "
+                 "changed results (determinism bug)",
+                 point.simThreads,
+                 static_cast<unsigned long long>(point.cycles),
+                 report.scaling.front().simThreads,
+                 static_cast<unsigned long long>(
+                     report.scaling.front().cycles));
+        }
+        if (progress && threadCounts.size() > 1) {
+            std::fprintf(stderr,
+                         "bench: --sim-threads %-2u aggregate "
+                         "%8.0f Kcyc/s over %.2f s wall"
+                         " (%zu failed)\n",
+                         point.simThreads, point.kcyclesPerSec(),
+                         point.wallSeconds, point.failed);
+        }
+        report.scaling.push_back(point);
     }
     return report;
 }
@@ -229,6 +288,28 @@ benchReportJson(const BenchReport &report)
     out << "  \"reps\": " << std::max(1u, report.opts.reps) << ",\n";
     out << "  \"machine\": \""
         << jsonEscape(canonicalKey(report.opts.machine)) << "\",\n";
+    // Per-simulation worker threads the cells were measured at, plus
+    // one whole-grid aggregate per measured count (docs/PARALLEL.md).
+    // Additive keys: bench_compare.py ignores them and gates on the
+    // cells, which always come from the first count.
+    if (!report.scaling.empty()) {
+        out << "  \"sim_threads\": "
+            << report.scaling.front().simThreads << ",\n";
+        out << "  \"thread_scaling\": [\n";
+        for (size_t i = 0; i < report.scaling.size(); i++) {
+            const BenchThreadPoint &point = report.scaling[i];
+            out << "    {\"sim_threads\": " << point.simThreads
+                << ", \"sim_cycles\": " << point.cycles
+                << ", \"sim_instrs\": " << point.instrs
+                << ", \"wall_seconds\": "
+                << jsonDouble(point.wallSeconds)
+                << ", \"kcycles_per_sec\": "
+                << jsonDouble(point.kcyclesPerSec())
+                << ", \"failed\": " << point.failed << "}"
+                << (i + 1 < report.scaling.size() ? ",\n" : "\n");
+        }
+        out << "  ],\n";
+    }
 
     out << "  \"cells\": [\n";
     for (size_t i = 0; i < report.cells.size(); i++) {

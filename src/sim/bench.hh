@@ -41,6 +41,12 @@ struct BenchOptions
     /** True when the quick subset was selected (recorded so compares
      * against a full baseline intersect knowingly). */
     bool quick = false;
+    /** Per-simulation thread counts to measure (--sim-threads 1,2,4):
+     * the whole grid is re-timed once per count and each pass is
+     * summarized in the report's "thread_scaling" array. Per-cell
+     * results (and so every cell-level compare) always come from the
+     * FIRST count. Empty = just machine.perf.simThreads. */
+    std::vector<unsigned> threadSweep;
 };
 
 /** One measured (workload, design) cell. */
@@ -58,10 +64,27 @@ struct BenchCell
     double instrsPerSec() const;
 };
 
+/** Whole-grid aggregate for one --sim-threads count (the scaling
+ * curve docs/PARALLEL.md plots). Simulated cycles are bit-identical
+ * across counts by contract; wall time is what varies. */
+struct BenchThreadPoint
+{
+    unsigned simThreads = 1;
+    u64 cycles = 0;
+    u64 instrs = 0;
+    double wallSeconds = 0;
+    size_t failed = 0;
+
+    double kcyclesPerSec() const;
+};
+
 struct BenchReport
 {
     BenchOptions opts;
     std::vector<BenchCell> cells;
+    /** One entry per measured thread count, first = the count the
+     * cells above were recorded at. */
+    std::vector<BenchThreadPoint> scaling;
 
     /** Aggregates over the successful cells (throughput is computed
      * over summed cycles and summed wall time, so long cells weigh

@@ -1,11 +1,16 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "common/logging.hh"
 #include "mem/memory_partition.hh"
 #include "obs/dispatch.hh"
+#include "sim/parallel.hh"
 #include "timing/sm.hh"
 
 namespace wir
@@ -31,7 +36,7 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     // All observers -- user-supplied and the watchdog's progress
     // counters -- share one dispatch, so there is a single walk of
     // the issue stream no matter how many clients attach.
-    obs::IssueDispatch dispatch;
+    obs::IssueDispatch dispatch(machine.numSms);
     dispatch.add(observer);
     IssueObserver *sink =
         (!dispatch.empty() || watchdog) ? &dispatch : nullptr;
@@ -116,48 +121,37 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     // skipping would miss.
     bool allowSkip = machine.perf.skipAhead && !session;
 
-    while (true) {
-        bool anyBusy = false;
-        for (auto &sm : sms) {
-            if (sm->busy()) {
-                sm->cycle(now);
-                anyBusy = true;
+    auto checkWatchdog = [&](bool anyBusy) {
+        if (!watchdog || !anyBusy)
+            return;
+        u64 seen = dispatch.progress();
+        if (seen != lastSeen) {
+            lastSeen = seen;
+            lastProgress = now;
+        } else if (now - lastProgress >= watchdog) {
+            for (auto &sm : sms) {
+                if (sm->busy())
+                    warn("%s", sm->progressReport().c_str());
             }
+            panic("kernel '%s': watchdog fired -- no instruction "
+                  "issued or committed GPU-wide for %llu cycles "
+                  "(deadlock)", kernel.name.c_str(),
+                  static_cast<unsigned long long>(watchdog));
         }
-        if (!anyBusy && nextBlock >= totalBlocks)
-            break;
-        if (nextBlock < totalBlocks)
-            tryLaunch();
+    };
 
-        if (watchdog && anyBusy) {
-            u64 seen = dispatch.progress();
-            if (seen != lastSeen) {
-                lastSeen = seen;
-                lastProgress = now;
-            } else if (now - lastProgress >= watchdog) {
-                for (auto &sm : sms) {
-                    if (sm->busy())
-                        warn("%s", sm->progressReport().c_str());
-                }
-                panic("kernel '%s': watchdog fired -- no instruction "
-                      "issued or committed GPU-wide for %llu cycles "
-                      "(deadlock)", kernel.name.c_str(),
-                      static_cast<unsigned long long>(watchdog));
-            }
-        }
-
-        if (session && session->snapshotDue(now))
-            session->snapshot(now);
-
-        // Cycle skip-ahead: when every busy SM proves no
-        // architectural event can land before some future cycle,
-        // jump the clock straight there. Bit-identical to stepping:
-        // stepped cycles in the gap would find nothing ready, issue
-        // nothing, and launch nothing (tryLaunch already drained all
-        // placeable blocks above, and acceptance only changes at
-        // retire events). The jump target is clamped so the watchdog
-        // and cycle-limit checks still fire on their exact cycles;
-        // only idle utilization sampling needs explicit back-fill.
+    // Cycle skip-ahead: when every busy SM proves no architectural
+    // event can land before some future cycle, jump the clock
+    // straight there. Bit-identical to stepping: stepped cycles in
+    // the gap would find nothing ready, issue nothing, and launch
+    // nothing (tryLaunch already drained all placeable blocks, and
+    // acceptance only changes at retire events). The jump target is
+    // clamped so the watchdog and cycle-limit checks still fire on
+    // their exact cycles; only idle utilization sampling needs
+    // explicit back-fill. In a threaded run this fold happens in the
+    // serial coordinator phase, so it doubles as the epoch-length
+    // pick: every worker advances straight to the chosen cycle.
+    auto advanceClock = [&](bool anyBusy) {
         Cycle next = now + 1;
         if (allowSkip && anyBusy) {
             Cycle target = ~Cycle{0};
@@ -183,6 +177,140 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
                   "likely an infinite loop or a barrier deadlock",
                   kernel.name.c_str(),
                   static_cast<unsigned long long>(maxCycles));
+        }
+    };
+
+    // Threaded execution degrades to the sequential path whenever
+    // anything outside the SMs watches the run mid-cycle: an obs
+    // session (snapshots, tracers, live stat refs), a user observer
+    // (fan-out is not thread-safe), or arch capture (shared oracle
+    // sink). Same policy as skip-ahead / buffered stats: the knob is
+    // result-neutral, the degrade just keeps it that way cheaply.
+    unsigned simThreads =
+        std::min<unsigned>(machine.perf.simThreads, machine.numSms);
+    bool threaded =
+        simThreads > 1 && !session && !observer && !arch;
+
+    if (threaded) {
+        // One round per active cycle: a serial coordinator phase on
+        // this thread (launch, watchdog, skip-ahead fold) between two
+        // barrier crossings of a parallel phase where every thread
+        // advances its statically-owned SMs (sm % simThreads) in
+        // increasing-id order. The SmOrderGate serializes cross-SM
+        // memory traffic inside the parallel phase in SM-id order,
+        // making every round bit-identical to the sequential
+        // schedule; see src/sim/parallel.hh and docs/PARALLEL.md.
+        CycleBarrier barrier(simThreads);
+        SmOrderGate gate(machine.numSms);
+        for (auto &sm : sms)
+            sm->setSharedGate(&gate);
+
+        std::vector<u8> busyRound(machine.numSms, 0);
+        std::atomic<bool> exiting{false};
+        std::mutex errorMutex;
+        struct WorkerError
+        {
+            unsigned smId;
+            std::exception_ptr error;
+        };
+        std::vector<WorkerError> errors;
+
+        auto runOwned = [&](unsigned t) {
+            for (unsigned i = t; i < sms.size(); i += simThreads) {
+                if (busyRound[i]) {
+                    try {
+                        sms[i]->cycle(now);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMutex);
+                        errors.push_back({i, std::current_exception()});
+                    }
+                }
+                // Mark idle SMs done too, so no waiter ever blocks
+                // on an SM that has nothing to run; a throwing SM is
+                // also marked, keeping the gates deadlock-free.
+                gate.markDone(i, now);
+            }
+        };
+
+        std::vector<std::thread> workers;
+        workers.reserve(simThreads - 1);
+        for (unsigned t = 1; t < simThreads; t++) {
+            workers.emplace_back([&, t] {
+                while (true) {
+                    barrier.arriveAndWait(); // round opens
+                    if (exiting.load(std::memory_order_acquire))
+                        return;
+                    runOwned(t);
+                    barrier.arriveAndWait(); // round closes
+                }
+            });
+        }
+        // Workers only ever block on the round-open barrier between
+        // rounds, so shutdown -- normal or exceptional -- is: raise
+        // the flag, cross that barrier once to release them, join.
+        auto shutdownWorkers = [&]() {
+            exiting.store(true, std::memory_order_release);
+            barrier.arriveAndWait();
+            for (auto &worker : workers)
+                worker.join();
+        };
+
+        try {
+            while (true) {
+                bool anyBusy = false;
+                for (unsigned i = 0; i < sms.size(); i++) {
+                    busyRound[i] = sms[i]->busy() ? 1 : 0;
+                    anyBusy |= busyRound[i] != 0;
+                }
+                if (anyBusy) {
+                    barrier.arriveAndWait();
+                    runOwned(0); // coordinator doubles as thread 0
+                    barrier.arriveAndWait();
+                    if (!errors.empty()) {
+                        // Rethrow the lowest-id failure: within a
+                        // cycle, SM i's inputs are independent of any
+                        // SM j > i, so this is exactly the error the
+                        // sequential schedule reports first.
+                        auto first = std::min_element(
+                            errors.begin(), errors.end(),
+                            [](const WorkerError &a,
+                               const WorkerError &b) {
+                                return a.smId < b.smId;
+                            });
+                        std::rethrow_exception(first->error);
+                    }
+                }
+                if (!anyBusy && nextBlock >= totalBlocks)
+                    break;
+                if (nextBlock < totalBlocks)
+                    tryLaunch();
+                checkWatchdog(anyBusy);
+                advanceClock(anyBusy);
+            }
+        } catch (...) {
+            shutdownWorkers();
+            throw;
+        }
+        shutdownWorkers();
+        for (auto &sm : sms)
+            sm->setSharedGate(nullptr);
+    } else {
+        while (true) {
+            bool anyBusy = false;
+            for (auto &sm : sms) {
+                if (sm->busy()) {
+                    sm->cycle(now);
+                    anyBusy = true;
+                }
+            }
+            if (!anyBusy && nextBlock >= totalBlocks)
+                break;
+            if (nextBlock < totalBlocks)
+                tryLaunch();
+            checkWatchdog(anyBusy);
+            if (session && session->snapshotDue(now))
+                session->snapshot(now);
+            advanceClock(anyBusy);
         }
     }
 

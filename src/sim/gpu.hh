@@ -41,6 +41,12 @@ class Gpu
      * `arch` (optional) collects the final architectural state of
      * every warp and block for the differential-testing oracle; it is
      * normalized (sorted by design-independent keys) before return.
+     *
+     * With MachineConfig::perf.simThreads > 1 the SMs advance on a
+     * worker-thread pool behind a deterministic cycle barrier
+     * (src/sim/parallel.hh, docs/PARALLEL.md); results are
+     * bit-identical to the single-thread schedule. Runs with a
+     * session, observer, or arch sink degrade to one thread.
      * @return merged statistics (cycles = longest SM; counters summed)
      */
     SimStats run(const Kernel &kernel, MemoryImage &image,

@@ -1,0 +1,33 @@
+#include "sim/parallel.hh"
+
+#include <thread>
+
+namespace wir
+{
+
+void
+parallelBackoff(unsigned &spins)
+{
+    // ~64 relaxed polls cover the common case where the predecessor
+    // SM finishes within the same scheduling quantum; after that,
+    // yield so an oversubscribed run (threads > cores) keeps making
+    // progress instead of burning the peer's timeslice.
+    if (++spins >= 64)
+        std::this_thread::yield();
+}
+
+void
+CycleBarrier::arriveAndWait()
+{
+    bool flag = !sense.load(std::memory_order_relaxed);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        arrived.store(0, std::memory_order_relaxed);
+        sense.store(flag, std::memory_order_release);
+        return;
+    }
+    unsigned spins = 0;
+    while (sense.load(std::memory_order_acquire) != flag)
+        parallelBackoff(spins);
+}
+
+} // namespace wir

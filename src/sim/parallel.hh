@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic parallel-SM execution engine (--sim-threads).
+ *
+ * `Gpu::run` can advance its SMs on a pool of worker threads, one
+ * bounded epoch (= one active cycle) at a time. Each round has three
+ * parts:
+ *
+ *   1. a serial coordinator phase on the calling thread (block
+ *      launch, watchdog, skip-ahead fold over Sm::nextEventCycle,
+ *      which picks the epoch length exactly as the sequential loop
+ *      does),
+ *   2. a barrier release, after which every thread advances its
+ *      statically-owned SMs (sm % threads == thread) through
+ *      Sm::cycle(now) in increasing SM-id order,
+ *   3. a closing barrier, after which the coordinator phase of the
+ *      next round begins.
+ *
+ * Cross-SM memory traffic (the global image, the NoC/L2 partitions)
+ * is serialized inside the parallel part by SmOrderGate: SM i's
+ * first shared access in a cycle waits until every SM j < i has
+ * finished the cycle, reproducing the sequential SM-id order of all
+ * shared-state accesses bit for bit -- which is why results are
+ * identical at every thread count (see docs/PARALLEL.md for the full
+ * argument and the "adding shared state" checklist).
+ *
+ * Both synchronization primitives spin briefly and then yield: the
+ * simulator must degrade gracefully when threads exceed cores (CI
+ * runners, sweep --jobs oversubscription).
+ */
+
+#ifndef WIR_SIM_PARALLEL_HH
+#define WIR_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing/sm.hh"
+
+namespace wir
+{
+
+/** Spin briefly, then yield the core (oversubscription-friendly). */
+void parallelBackoff(unsigned &spins);
+
+/**
+ * Centralized sense-reversing barrier for a fixed set of threads.
+ * Two arrivals per simulated round: one to release the workers into
+ * the cycle, one to close it.
+ */
+class CycleBarrier
+{
+  public:
+    explicit CycleBarrier(unsigned threadCount) : count(threadCount) {}
+
+    /** Block until all `count` threads have arrived. */
+    void arriveAndWait();
+
+  private:
+    const unsigned count;
+    std::atomic<unsigned> arrived{0};
+    std::atomic<bool> sense{false};
+};
+
+/**
+ * SM-id-ordered gate over the shared memory system (SharedAccessGate
+ * impl). done[i] holds one past the last cycle SM i completed; SM i
+ * may touch shared state in cycle c once done[j] > c for all j < i.
+ * Workers mark their owned SMs done in increasing-id order, busy or
+ * not, so waiters never block on an idle SM.
+ */
+class SmOrderGate : public SharedAccessGate
+{
+  public:
+    explicit SmOrderGate(unsigned numSms) : done(numSms) {}
+
+    void
+    awaitTurn(SmId id, Cycle now) override
+    {
+        for (unsigned j = 0; j < static_cast<unsigned>(id); j++) {
+            unsigned spins = 0;
+            while (done[j].load(std::memory_order_acquire) <= now)
+                parallelBackoff(spins);
+        }
+    }
+
+    /** SM `sm` has fully completed `now` (or was idle for it). */
+    void
+    markDone(unsigned sm, Cycle now)
+    {
+        done[sm].store(now + 1, std::memory_order_release);
+    }
+
+  private:
+    std::vector<std::atomic<Cycle>> done;
+};
+
+} // namespace wir
+
+#endif // WIR_SIM_PARALLEL_HH

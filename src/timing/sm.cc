@@ -444,6 +444,10 @@ Sm::issueFrom(WarpId warpId, unsigned schedulerId, Cycle now)
     // Functional execution.
     if (isMemOp(inst.op)) {
         fly.memAddrs = in.src[0];
+        // The global image is shared across SMs; readConst and the
+        // per-block scratchpad are not.
+        if (inst.space == MemSpace::Global)
+            openSharedGate();
         for (unsigned lane = 0; lane < warpSize; lane++) {
             if (!(active & (1u << lane)))
                 continue;
@@ -662,6 +666,9 @@ Cycle
 Sm::globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
                     Cycle start)
 {
+    // The L2 partitions behind the NoC are shared across SMs; under
+    // threaded simulation, wait for our SM-id-ordered turn first.
+    openSharedGate();
     Cycle done = start;
     for (Addr line : lines) {
         // One line per cycle through the L1 port.
@@ -1053,6 +1060,7 @@ Sm::cycle(Cycle now)
 {
     lastCycle = now;
     reuseStageUsed = false;
+    gateOpened = false;
 
     // Advance in-flight instructions, in handle order (FU dispatch
     // and bank arbitration are order-sensitive). The liveness words

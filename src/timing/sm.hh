@@ -47,6 +47,27 @@ namespace wir
 
 constexpr WarpId invalidWarp = std::numeric_limits<WarpId>::max();
 
+/**
+ * Cross-SM ordering gate for threaded simulation (--sim-threads; the
+ * implementation lives in src/sim/parallel.hh, the model in
+ * docs/PARALLEL.md). When SMs advance the same cycle on concurrent
+ * worker threads, all state outside the SM -- the global memory
+ * image, the L2/NoC partitions -- is shared, and the sequential
+ * schedule touches it in SM-id order. Before its first shared access
+ * in a cycle, an SM calls awaitTurn(), which blocks until every
+ * lower-id SM has finished that cycle; from then on the SM owns the
+ * shared state until it finishes the cycle itself. Waits only ever
+ * point at lower ids, so the wait graph is acyclic and deadlock-free.
+ */
+class SharedAccessGate
+{
+  public:
+    virtual ~SharedAccessGate() = default;
+
+    /** Block until every SM with id < `id` has completed `now`. */
+    virtual void awaitTurn(SmId id, Cycle now) = 0;
+};
+
 class Sm
 {
   public:
@@ -135,6 +156,14 @@ class Sm
      * capture adds per-issue defined-mask bookkeeping).
      */
     void captureArchTo(ArchState *arch) { archCapture = arch; }
+
+    /**
+     * Serialize this SM's shared-state accesses (global image, L2
+     * partitions) behind `gate` while worker threads advance SMs
+     * concurrently. Null (the default) means the SM runs alone on
+     * the cycle and accesses shared state directly.
+     */
+    void setSharedGate(SharedAccessGate *g) { gate = g; }
 
   private:
     // ---- Internal records ------------------------------------------------
@@ -296,6 +325,18 @@ class Sm
 
     // ---- Robustness (src/check) -------------------------------------------
 
+    /** First-shared-access hook: wait for every lower-id SM to
+     * finish the current cycle, once per cycle (see SharedAccessGate
+     * above). No-op when no gate is set. */
+    void
+    openSharedGate()
+    {
+        if (gate && !gateOpened) {
+            gate->awaitTurn(id, lastCycle);
+            gateOpened = true;
+        }
+    }
+
     void tryInjectFault(Cycle now);
     void auditNow(Cycle now);
     void shadowCheckHit(InFlight &fly, Cycle now);
@@ -395,6 +436,9 @@ class Sm
     u64 launchSeq = 0;
     bool reuseStageUsed = false;
     Cycle lastCycle = 0;
+
+    SharedAccessGate *gate = nullptr; ///< threaded runs only
+    bool gateOpened = false;          ///< awaitTurn done this cycle?
 
     InvariantAuditor auditor;
     FaultInjector injector;

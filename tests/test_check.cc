@@ -256,7 +256,18 @@ TEST(ConfigValidation, WarpStallLimitIsKeyedButPerfKnobsAreNot)
     MachineConfig c;
     c.perf.skipAhead = false;
     c.perf.bufferedStats = false;
+    c.perf.simThreads = 7;
     EXPECT_EQ(canonicalKey(a), canonicalKey(c));
+}
+
+TEST(ConfigValidation, RejectsZeroSimThreads)
+{
+    MachineConfig machine;
+    machine.perf.simThreads = 0;
+    EXPECT_THROW(validateConfig(machine), ConfigError);
+
+    machine.perf.simThreads = 1;
+    EXPECT_NO_THROW(validateConfig(machine));
 }
 
 TEST(ConfigValidation, RejectsNonPowerOfTwoTables)

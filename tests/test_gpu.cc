@@ -7,9 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
 #include "common/logging.hh"
 
 #include "isa/builder.hh"
+#include "obs/session.hh"
 #include "sim/designs.hh"
 #include "sim/gpu.hh"
 #include "sim/runner.hh"
@@ -199,6 +205,166 @@ TEST(MultiSm, MoreSmsNeverSlower)
     auto r4 = runWorkload(makeWorkload("SD"), designBase(), four);
     EXPECT_LT(r4.stats.cycles, r1.stats.cycles);
     EXPECT_EQ(r1.finalMemory, r4.finalMemory);
+}
+
+// ---- Parallel SM execution (--sim-threads; docs/PARALLEL.md) ---------------
+
+TEST(ParallelSm, EarlyFinishingSmsStayBitIdentical)
+{
+    // 5 one-warp blocks over 4 SMs: SM0 carries two blocks while the
+    // rest drain early, so the threaded rounds run with a shrinking
+    // busy set (idle SMs must keep unblocking the ordering gate).
+    constexpr unsigned blocks = 5;
+    auto makeUneven = []() {
+        Workload w;
+        w.name = "uneven";
+        w.abbr = "UV";
+        w.image.allocGlobal(blocks * 32 * 4);
+        w.outputBase = 0;
+        w.outputBytes = blocks * 32 * 4;
+        w.kernel = trivialKernel({32, 1}, {blocks, 1});
+        return w;
+    };
+
+    MachineConfig sequential;
+    sequential.numSms = 4;
+    auto a = runWorkload(makeUneven(), designRLPV(), sequential);
+
+    for (unsigned threads : {2u, 3u, 7u}) {
+        MachineConfig threaded = sequential;
+        threaded.perf.simThreads = threads;
+        auto b = runWorkload(makeUneven(), designRLPV(), threaded);
+        EXPECT_EQ(a.stats.items(), b.stats.items())
+            << threads << " threads";
+        EXPECT_EQ(a.finalMemory, b.finalMemory)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelSm, WatchdogFiresIdenticallyUnderThreads)
+{
+    // Stall the only warp of SM1's block: the other SMs drain, GPU
+    // progress stops, and the watchdog must panic from the threaded
+    // coordinator exactly as it does sequentially.
+    auto runStalled = [](unsigned threads) {
+        Workload w;
+        w.name = "stall";
+        w.abbr = "SL";
+        w.image.allocGlobal(4 * 32 * 4);
+        w.outputBase = 0;
+        w.outputBytes = 4 * 32 * 4;
+        w.kernel = trivialKernel({32, 1}, {4, 1});
+
+        MachineConfig machine;
+        machine.numSms = 4;
+        machine.perf.simThreads = threads;
+        machine.check.inject = FaultClass::WarpStall;
+        machine.check.injectSm = 1;
+        machine.check.watchdogCycles = 2000;
+        try {
+            runWorkload(std::move(w), designRLPV(), machine);
+        } catch (const SimError &err) {
+            return std::string(err.what());
+        }
+        return std::string("no error");
+    };
+
+    std::string sequential = runStalled(1);
+    EXPECT_NE(sequential.find("watchdog fired"), std::string::npos)
+        << sequential;
+    EXPECT_EQ(sequential, runStalled(3));
+}
+
+TEST(ParallelSm, FaultQuarantineOnWorkerThreadMatchesSequential)
+{
+    // Inject a reuse-buffer fault into SM1: with two threads, SM1
+    // lives on worker thread 1, whose quarantine (warn + flush +
+    // Base fallback) must leave results identical to the sequential
+    // run of the same faulted machine.
+    MachineConfig machine;
+    machine.numSms = 4;
+    machine.check.auditInterval = 64;
+    machine.check.inject = FaultClass::RbTagFlip;
+    machine.check.injectCycle = 100;
+    machine.check.injectSm = 1;
+
+    auto a = runWorkload(makeWorkload("SF"), designRLPV(), machine);
+    EXPECT_GE(a.stats.faultsInjected, 1u);
+    EXPECT_GE(a.stats.reuseFallbacks, 1u);
+
+    MachineConfig threaded = machine;
+    threaded.perf.simThreads = 2;
+    auto b = runWorkload(makeWorkload("SF"), designRLPV(), threaded);
+    EXPECT_EQ(a.stats.items(), b.stats.items());
+    EXPECT_EQ(a.finalMemory, b.finalMemory);
+}
+
+TEST(ParallelSm, ObsSessionDegradesToSingleThreadAndTracesCorrectly)
+{
+    // Observability runs force the single-thread path (like
+    // skip-ahead, which sessions also disable): a traced run with
+    // --sim-threads 4 must produce the same results and a healthy
+    // trace, not a torn one.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+                   ("wir-gpu-obs-" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    auto traced = [&](unsigned threads) {
+        obs::ObsConfig cfg;
+        cfg.trace.path =
+            (dir / ("trace" + std::to_string(threads) + ".json"))
+                .string();
+        obs::Session session(cfg);
+        MachineConfig machine;
+        machine.numSms = 4;
+        machine.perf.simThreads = threads;
+        auto result = runWorkload(makeWorkload("SF"), designRLPV(),
+                                  machine, &session);
+        EXPECT_TRUE(session.finished()) << threads << " threads";
+        EXPECT_NE(session.tracer(), nullptr);
+        EXPECT_GT(session.tracer()->eventCount(), 0u)
+            << threads << " threads";
+        return result;
+    };
+
+    auto a = traced(1);
+    auto b = traced(4);
+    EXPECT_EQ(a.stats.items(), b.stats.items());
+    EXPECT_EQ(a.finalMemory, b.finalMemory);
+
+    MachineConfig plain;
+    plain.numSms = 4;
+    auto c = runWorkload(makeWorkload("SF"), designRLPV(), plain);
+    EXPECT_EQ(a.stats.items(), c.stats.items());
+    EXPECT_EQ(a.finalMemory, c.finalMemory);
+
+    fs::remove_all(dir);
+}
+
+TEST(ParallelSm, ObserverStillSeesEveryInstructionUnderThreads)
+{
+    // A user observer is not thread-safe fan-out, so the GPU must
+    // degrade to one thread and keep the full issue stream intact.
+    struct Counter : IssueObserver
+    {
+        u64 count = 0;
+        void
+        onIssue(SmId, const Instruction &, const WarpValue[3],
+                const WarpValue &, WarpMask) override
+        {
+            count++;
+        }
+    };
+
+    Workload w = makeWorkload("PF");
+    Counter counter;
+    MachineConfig machine;
+    machine.numSms = 4;
+    machine.perf.simThreads = 4;
+    Gpu gpu(machine, designBase());
+    SimStats stats = gpu.run(w.kernel, w.image, &counter);
+    EXPECT_EQ(counter.count, stats.warpInstsCommitted);
 }
 
 } // namespace

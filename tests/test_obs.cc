@@ -423,7 +423,7 @@ TEST(ObsEnd2End, ObserverOrderDoesNotChangeStats)
     auto runWith = [](std::vector<IssueObserver *> clients,
                       u64 &digest) {
         Workload workload = makeWorkload("PF");
-        obs::IssueDispatch dispatch;
+        obs::IssueDispatch dispatch(testMachine().numSms);
         for (IssueObserver *client : clients)
             dispatch.add(client);
         Gpu gpu(testMachine(), designRLPV());

@@ -174,9 +174,10 @@ TEST(ResultCache, BitIdenticalAcrossJobCounts)
               parallel.sweepStats().simulated);
 }
 
-// The perf knobs (cycle skip-ahead, buffered stats) are contractually
-// result-neutral: every stat and the final memory image must come out
-// bit-identical with them on or off, end to end through real runs.
+// The perf knobs (cycle skip-ahead, buffered stats, SM worker
+// threads) are contractually result-neutral: every stat and the
+// final memory image must come out bit-identical under any knob
+// combination, end to end through real runs.
 TEST(PerfKnobs, RunsAreBitIdenticalWithOptimizationsOnOrOff)
 {
     MachineConfig fast = testMachine();
@@ -195,6 +196,33 @@ TEST(PerfKnobs, RunsAreBitIdenticalWithOptimizationsOnOrOff)
                 << abbr << "/" << design.name;
             EXPECT_EQ(a.finalMemory, b.finalMemory)
                 << abbr << "/" << design.name;
+
+            // Threaded execution must match the sequential baseline
+            // at every thread count, including counts above the SM
+            // count (clamped) and with the other knobs off.
+            for (unsigned threads : {2u, 4u, 7u}) {
+                MachineConfig threaded = fast;
+                threaded.perf.simThreads = threads;
+                auto c = runWorkload(makeWorkload(abbr), design,
+                                     threaded);
+                EXPECT_EQ(a.stats.items(), c.stats.items())
+                    << abbr << "/" << design.name << " @ "
+                    << threads << " threads";
+                EXPECT_EQ(a.finalMemory, c.finalMemory)
+                    << abbr << "/" << design.name << " @ "
+                    << threads << " threads";
+
+                MachineConfig threadedSlow = slow;
+                threadedSlow.perf.simThreads = threads;
+                auto d = runWorkload(makeWorkload(abbr), design,
+                                     threadedSlow);
+                EXPECT_EQ(a.stats.items(), d.stats.items())
+                    << abbr << "/" << design.name << " @ "
+                    << threads << " threads, no skip-ahead";
+                EXPECT_EQ(a.finalMemory, d.finalMemory)
+                    << abbr << "/" << design.name << " @ "
+                    << threads << " threads, no skip-ahead";
+            }
         }
     }
 }
@@ -215,6 +243,45 @@ TEST(PerfKnobs, DoNotChangeSweepCacheKeys)
               slow.runKey(designRLPV(), "SF"));
     EXPECT_EQ(fast.runKey(designBase(), "HW"),
               slow.runKey(designBase(), "HW"));
+
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        Options threadedOpts = testOptions(2);
+        threadedOpts.machine.perf.simThreads = threads;
+        ResultCache threaded(threadedOpts);
+        EXPECT_EQ(fast.runKey(designRLPV(), "SF"),
+                  threaded.runKey(designRLPV(), "SF"))
+            << threads << " threads";
+        EXPECT_EQ(fast.runKey(designBase(), "HW"),
+                  threaded.runKey(designBase(), "HW"))
+            << threads << " threads";
+    }
+}
+
+// A threaded sweep (--jobs and --sim-threads composed) must produce
+// the same results and cache entries as the serial single-thread
+// sweep -- the determinism contract both layers advertise.
+TEST(PerfKnobs, ThreadedSweepMatchesSerialSweep)
+{
+    Options serialOpts = testOptions(1);
+    Options threadedOpts = testOptions(4);
+    threadedOpts.machine.perf.simThreads = 2;
+
+    ResultCache serial(serialOpts);
+    ResultCache threaded(threadedOpts);
+    for (const auto &design : {designBase(), designRLPV()}) {
+        for (const char *abbr : {"SF", "LK"}) {
+            const RunResult &a = serial.get(abbr, design);
+            const RunResult &b = threaded.get(abbr, design);
+            ASSERT_FALSE(a.failed);
+            ASSERT_FALSE(b.failed);
+            EXPECT_EQ(a.stats.items(), b.stats.items())
+                << abbr << "/" << design.name;
+            EXPECT_EQ(a.finalMemory, b.finalMemory)
+                << abbr << "/" << design.name;
+            EXPECT_EQ(a.finalMemoryDigest, b.finalMemoryDigest)
+                << abbr << "/" << design.name;
+        }
+    }
 }
 
 TEST(ResultCache, DeduplicatesRenamedParameterTwins)
@@ -475,6 +542,11 @@ TEST(Sandbox, CrashRetriedOnceThenClassifiedDeterministic)
     SandboxTask task;
     task.key = "crash-task";
     task.produce = []() -> std::string {
+        // ASan/UBSan intercept SIGSEGV and turn it into a report +
+        // exit, which the sandbox would classify as an exit-code
+        // failure; restore the default disposition so the child
+        // really dies by signal under sanitizers too.
+        ::signal(SIGSEGV, SIG_DFL);
         ::raise(SIGSEGV);
         return "unreachable";
     };

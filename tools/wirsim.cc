@@ -36,6 +36,10 @@
  *   --no-skip-ahead / --no-buffered-stats  disable hot-path
  *                   optimizations (results are bit-identical either
  *                   way; this measures their speed contribution)
+ *   --sim-threads LIST  comma-separated per-simulation thread counts
+ *                   ("1,2,4"): the grid is re-timed per count and the
+ *                   report gains a "thread_scaling" array; cells are
+ *                   recorded at the first count (docs/PARALLEL.md)
  *
  * Differential fuzzing (`fuzz`) runs generated kernels under Base
  * and every reuse design and compares full architectural state;
@@ -124,17 +128,23 @@
  *                       provably idle stretches
  *   --no-buffered-stats increment SimStats counters directly instead
  *                       of through the per-SM batch buffer
+ *   --sim-threads N     advance SMs on N worker threads behind a
+ *                       deterministic cycle barrier (default 1; for
+ *                       `bench` a comma list measures a scaling
+ *                       curve -- see docs/PARALLEL.md)
  *
  * Exit codes: 0 success, 1 simulation failure (SimError), 2 bad
  * usage or configuration (ConfigError), 128+sig when interrupted by
  * SIGINT/SIGTERM.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -149,6 +159,7 @@
 #include "sim/designs.hh"
 #include "sim/runner.hh"
 #include "workloads/workloads.hh"
+#include "sweep/executor.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/signals.hh"
 
@@ -171,7 +182,7 @@ usage()
                  "                  [--inject CLASS] "
                  "[--inject-cycle C] [--inject-sm S]\n"
                  "                  [--jobs N] [--cache] "
-                 "[--cache-dir DIR]\n"
+                 "[--cache-dir DIR] [--sim-threads N]\n"
                  "                  [--sandbox|--no-sandbox] "
                  "[--run-timeout S] [--retries N]\n"
                  "                  [--trace FILE] [--trace-cats CSV] "
@@ -189,7 +200,7 @@ usage()
                  "                  [--out FILE] [--label STR] "
                  "[--sms N]\n"
                  "                  [--no-skip-ahead] "
-                 "[--no-buffered-stats]\n"
+                 "[--no-buffered-stats] [--sim-threads LIST]\n"
                  "       wirsim fuzz [--seed S] [--runs N] "
                  "[--jobs N] [--family F] [--divergence D]\n"
                  "                  [--design NAME]... [--sms N] "
@@ -248,6 +259,44 @@ parseUnsigned(const char *flag, const char *text)
     if (value > 0xffffffffull)
         fatal("%s value %s is out of range", flag, text);
     return static_cast<unsigned>(value);
+}
+
+/** Comma-separated positive thread counts ("1,2,4"). */
+std::vector<unsigned>
+parseThreadList(const char *flag, const std::string &text)
+{
+    std::vector<unsigned> counts;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string item =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos : comma - pos);
+        unsigned value = parseUnsigned(flag, item.c_str());
+        if (value == 0)
+            fatal("%s expects positive thread counts, got '%s'",
+                  flag, text.c_str());
+        counts.push_back(value);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return counts;
+}
+
+/** Sweep-level --jobs and sim-level --sim-threads multiply; flag the
+ * combination once when it exceeds the hardware (docs/BENCH.md). */
+void
+warnOversubscribed(unsigned jobs, unsigned simThreads)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw && simThreads > 1 && jobs * simThreads > hw) {
+        warn("%u concurrent simulation(s) x %u SM threads each wants "
+             "%u runnable threads but the machine has %u; expect no "
+             "extra speedup, only scheduling overhead (docs/BENCH.md "
+             "explains how --jobs and --sim-threads compose)",
+             jobs, simThreads, jobs * simThreads, hw);
+    }
 }
 
 int
@@ -493,6 +542,9 @@ cmdRun(int argc, char **argv)
             machine.perf.skipAhead = false;
         } else if (arg == "--no-buffered-stats") {
             machine.perf.bufferedStats = false;
+        } else if (arg == "--sim-threads") {
+            machine.perf.simThreads =
+                parseUnsigned("--sim-threads", next());
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--energy") {
@@ -572,6 +624,8 @@ cmdRun(int argc, char **argv)
     // All other runs go through the sweep cache: deduplicated,
     // executed on --jobs workers, optionally persisted (--cache).
     // Results print in target order regardless of completion order.
+    warnOversubscribed(sweep::resolveJobs(sweepFlags.jobs),
+                       machine.perf.simThreads);
     sweep::ResultCache cache(sweepFlags.options(machine));
     for (const auto &abbr : targets)
         cache.prefetch(abbr, design);
@@ -624,6 +678,10 @@ cmdBench(int argc, char **argv)
             opts.machine.perf.skipAhead = false;
         } else if (arg == "--no-buffered-stats") {
             opts.machine.perf.bufferedStats = false;
+        } else if (arg == "--sim-threads") {
+            opts.threadSweep = parseThreadList("--sim-threads",
+                                               next());
+            opts.machine.perf.simThreads = opts.threadSweep.front();
         } else {
             usage();
         }
@@ -634,6 +692,10 @@ cmdBench(int argc, char **argv)
         opts.workloads = quickWorkloadAbbrs();
     }
     validateConfig(opts.machine);
+    unsigned maxThreads = 0;
+    for (unsigned count : opts.threadSweep)
+        maxThreads = std::max(maxThreads, count);
+    warnOversubscribed(1, maxThreads);
 
     BenchReport report = runBench(opts, /*progress=*/true);
     std::fprintf(stderr,
