@@ -59,6 +59,8 @@ usage(std::FILE *to)
         "  --sim-threads N          SM worker threads inside each "
         "simulation (default 1; results stay bit-identical, see "
         "docs/PARALLEL.md)\n"
+        "  --mem-backend NAME       memory timing model: fixed | "
+        "detailed (default fixed, see docs/MEMORY.md)\n"
         "  --figures a,b,c          run only these registry ids\n"
         "  --list                   list registry ids and exit\n"
         "  --json PATH              write per-figure metrics + sweep "
@@ -272,6 +274,8 @@ main(int argc, char **argv)
                 if (opts.machine.perf.simThreads == 0)
                     fatal("--sim-threads expects a positive thread "
                           "count (1 = sequential)");
+            } else if (arg == "--mem-backend") {
+                opts.machine.memBackend = memBackendByName(next());
             } else if (arg == "--figures") {
                 only = splitCommas(next());
             } else if (arg == "--list") {

@@ -51,6 +51,28 @@ validateConfig(const MachineConfig &machine)
               machine.lineBytes);
     if (machine.l2Partitions == 0)
         fatal("machine needs at least one L2 partition");
+    if (machine.l2Mshrs == 0) {
+        fatal("machine needs at least one L2 MSHR per partition "
+              "(--l2-mshrs 0 given?)");
+    }
+    if (machine.memBackend == MemBackendKind::Detailed) {
+        if (!isPowerOfTwo(machine.dramBanks))
+            fatal("DRAM bank count %u is not a power of two",
+                  machine.dramBanks);
+        if (!isPowerOfTwo(machine.dramRowBytes) ||
+            machine.dramRowBytes < machine.lineBytes) {
+            fatal("DRAM row size %u B must be a power of two >= the "
+                  "%u B line size", machine.dramRowBytes,
+                  machine.lineBytes);
+        }
+        if (!isPowerOfTwo(machine.l1SectorBytes) ||
+            machine.l1SectorBytes < 4 ||
+            machine.l1SectorBytes > machine.lineBytes) {
+            fatal("L1 sector size %u B must be a power of two in "
+                  "4..%u (the line size)", machine.l1SectorBytes,
+                  machine.lineBytes);
+        }
+    }
     if (machine.check.warpStallLimit == 0) {
         fatal("--warp-stall-limit must be positive (it bounds how "
               "long one instruction may retry register allocation "
@@ -132,6 +154,13 @@ canonicalKey(const MachineConfig &m)
         << "/" << m.l2Ways << "@" << m.l2Latency
         << ",dram=" << m.dramLatency << "/" << m.dramQueueEntries
         << ",noc=" << m.nocBytesPerCycle
+        << ",mbe=" << memBackendName(m.memBackend)
+        << ",l2mshr=" << m.l2Mshrs
+        << ",dbanks=" << m.dramBanks << "x" << m.dramRowBytes
+        << ",drow=" << m.dramRowHitLatency << "/"
+        << m.dramRowMissLatency << "/" << m.dramRowConflictLatency
+        << "@" << m.dramBankBusyCycles
+        << ",l1sec=" << m.l1SectorBytes
         << ",maxcyc=" << m.maxCycles
         << ",audit=" << m.check.auditInterval
         << ",shadow=" << m.check.shadowCheck
@@ -164,6 +193,27 @@ canonicalKey(const DesignConfig &d)
         << ",delay=" << d.extraBackendDelay
         << "}";
     return out.str();
+}
+
+MemBackendKind
+memBackendByName(const std::string &name)
+{
+    if (name == "fixed")
+        return MemBackendKind::Fixed;
+    if (name == "detailed")
+        return MemBackendKind::Detailed;
+    fatal("unknown memory backend '%s' (expected fixed or detailed)",
+          name.c_str());
+}
+
+const char *
+memBackendName(MemBackendKind kind)
+{
+    switch (kind) {
+      case MemBackendKind::Fixed: return "fixed";
+      case MemBackendKind::Detailed: return "detailed";
+    }
+    return "?";
 }
 
 FaultClass
@@ -231,6 +281,19 @@ describeMachine(const MachineConfig &config)
     out << "DRAM                   : " << config.dramQueueEntries
         << " entry scheduling queue, "
         << config.dramLatency << " cycles latency\n";
+    out << "Memory backend         : "
+        << memBackendName(config.memBackend) << ", "
+        << config.l2Mshrs << " L2 MSHRs/partition";
+    if (config.memBackend == MemBackendKind::Detailed) {
+        out << ", " << config.dramBanks << " banks x "
+            << config.dramRowBytes << " B rows ("
+            << config.dramRowHitLatency << "/"
+            << config.dramRowMissLatency << "/"
+            << config.dramRowConflictLatency
+            << " cycles hit/miss/conflict), "
+            << config.l1SectorBytes << " B L1 sectors";
+    }
+    out << "\n";
     return out.str();
 }
 

@@ -24,6 +24,18 @@ enum class WarpSchedPolicy : u8
     Lrr, ///< loose round-robin (ablation)
 };
 
+/** Memory-system timing model behind the MemBackend interface
+ * (src/mem/backend.hh, docs/MEMORY.md). */
+enum class MemBackendKind : u8
+{
+    /** Today's shape: fixed-latency DRAM channel per L2 partition,
+     * line-interleaved partition modulo, whole-line L1 fills. */
+    Fixed,
+    /** Banked DRAM with row-buffer hit/conflict timing, an
+     * XOR-swizzled partition hash, and sectored L1 fills. */
+    Detailed,
+};
+
 /** Physical-register management policy (Section V-E). */
 enum class RegisterPolicy
 {
@@ -146,6 +158,20 @@ struct MachineConfig
     unsigned dramQueueEntries = 32;
     unsigned nocBytesPerCycle = 32;
 
+    // Memory-system backend selection and its knobs (docs/MEMORY.md).
+    // l2Mshrs bounds outstanding L2 fills for both backends; the
+    // dram* row/bank fields and l1SectorBytes only shape the detailed
+    // backend. All of them feed canonicalKey().
+    MemBackendKind memBackend = MemBackendKind::Fixed;
+    unsigned l2Mshrs = 32;            ///< outstanding fills/partition
+    unsigned dramBanks = 8;           ///< banks per channel
+    unsigned dramRowBytes = 2048;     ///< row-buffer size
+    unsigned dramRowHitLatency = 220; ///< open-row access
+    unsigned dramRowMissLatency = 440;///< closed-row access
+    unsigned dramRowConflictLatency = 560; ///< precharge + activate
+    unsigned dramBankBusyCycles = 40; ///< bank occupancy floor/access
+    unsigned l1SectorBytes = 32;      ///< L1 fill granularity
+
     // Safety valve for runaway kernels (0 = unlimited).
     u64 maxCycles = 0;
 
@@ -231,6 +257,13 @@ std::string canonicalKey(const DesignConfig &design);
 std::string reproCommand(const MachineConfig &machine,
                          const DesignConfig &design,
                          const std::string &abbr);
+
+/** Parse a memory backend name ("fixed", "detailed"); ConfigError on
+ * anything else. */
+MemBackendKind memBackendByName(const std::string &name);
+
+/** Inverse of memBackendByName (for keys and reports). */
+const char *memBackendName(MemBackendKind kind);
 
 /** Parse a fault class name ("rb-tag-flip", "refcount-drop",
  * "stale-rename", "warp-stall", "rb-value-flip"); ConfigError on

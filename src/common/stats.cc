@@ -176,6 +176,18 @@ simStatsFields()
     {"dram_accesses", &SimStats::dramAccesses, false,
      "mem.dram.accesses", "accesses", "fig14,fig16",
      "DRAM channel accesses"},
+    {"dram_row_hits", &SimStats::dramRowHits, false,
+     "mem.dram.row_hit", "accesses", "",
+     "DRAM accesses that hit the open row (detailed backend)"},
+    {"dram_row_conflicts", &SimStats::dramRowConflicts, false,
+     "mem.dram.row_conflict", "accesses", "",
+     "DRAM accesses that forced precharge+activate (detailed backend)"},
+    {"dram_bank_busy", &SimStats::dramBankBusyCycles, false,
+     "mem.dram.bank_busy", "cycles", "",
+     "cycles DRAM banks spent occupied (detailed backend)"},
+    {"l2_hit_under_miss", &SimStats::l2HitUnderMiss, false,
+     "mem.l2.hit_under_miss", "accesses", "",
+     "L2 tag hits held for an in-flight DRAM fill (MSHR merge)"},
     {"noc_flits", &SimStats::nocFlits, false,
      "mem.noc.flits", "flits", "fig14,fig16",
      "network-on-chip flits between SMs and partitions"},

@@ -94,6 +94,10 @@ struct SimStats
     u64 l2Hits = 0;
     u64 l2Misses = 0;
     u64 dramAccesses = 0;
+    u64 dramRowHits = 0;         ///< accesses hitting the open row
+    u64 dramRowConflicts = 0;    ///< accesses forcing precharge+activate
+    u64 dramBankBusyCycles = 0;  ///< cycles banks spent occupied
+    u64 l2HitUnderMiss = 0;      ///< L2 hits held for in-flight fills
     u64 nocFlits = 0;
 
     // Affine execution (Fig. 13/16 baselines).

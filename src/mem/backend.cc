@@ -1,0 +1,62 @@
+#include "mem/backend.hh"
+
+#include "common/logging.hh"
+#include "mem/detailed_backend.hh"
+
+namespace wir
+{
+
+FixedBackend::FixedBackend(const MachineConfig &config)
+    : lineBytes(config.lineBytes)
+{
+    parts.reserve(config.l2Partitions);
+    for (unsigned i = 0; i < config.l2Partitions; i++)
+        parts.emplace_back(config);
+}
+
+Cycle
+FixedBackend::access(Addr addr, bool isWrite, Cycle arrival,
+                     SimStats &stats)
+{
+    unsigned part = partitionFor(addr, lineBytes,
+                                 static_cast<unsigned>(parts.size()));
+    return parts[part].access(addr, isWrite, arrival, stats);
+}
+
+void
+FixedBackend::reset()
+{
+    for (auto &part : parts)
+        part.reset();
+}
+
+void
+FixedBackend::attachTracer(obs::Tracer *tracer, u32 pidBase)
+{
+    for (unsigned i = 0; i < parts.size(); i++)
+        parts[i].attachTracer(tracer, pidBase + i);
+}
+
+unsigned
+swizzledPartitionFor(Addr lineAddr, unsigned lineBytes,
+                     unsigned numPartitions)
+{
+    Addr idx = lineAddr / lineBytes;
+    idx ^= (idx >> 7) ^ (idx >> 13);
+    return static_cast<unsigned>(idx % numPartitions);
+}
+
+std::unique_ptr<MemBackend>
+makeMemBackend(const MachineConfig &config)
+{
+    switch (config.memBackend) {
+      case MemBackendKind::Fixed:
+        return std::make_unique<FixedBackend>(config);
+      case MemBackendKind::Detailed:
+        return std::make_unique<DetailedBackend>(config);
+    }
+    fatal("unknown memory backend kind %u",
+          static_cast<unsigned>(config.memBackend));
+}
+
+} // namespace wir

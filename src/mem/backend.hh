@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Pluggable memory-system timing backend. An SM hands every L1 miss
+ * (and write-through store) to a MemBackend and gets back the cycle
+ * the reply reaches it; everything below the L1 -- NoC, L2, DRAM --
+ * lives behind this interface. Selected per-machine via
+ * MachineConfig::memBackend (see docs/MEMORY.md).
+ *
+ * Determinism note: backends keep mutable state (tag arrays, MSHRs,
+ * DRAM queues) with no locking of their own. Cross-SM calls are
+ * already serialized in SM-id order by the SmOrderGate -- Sm opens
+ * the shared gate before its first global access each cycle -- so a
+ * backend sees the same call sequence at every --sim-threads count.
+ */
+
+#ifndef WIR_MEM_BACKEND_HH
+#define WIR_MEM_BACKEND_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/memory_partition.hh"
+
+namespace wir
+{
+
+class MemBackend
+{
+  public:
+    virtual ~MemBackend() = default;
+
+    /**
+     * Service a request from an SM that missed in L1.
+     * @param addr address aligned to l1FetchBytes()
+     * @param isWrite stores write through L2
+     * @param arrival cycle the request leaves the SM
+     * @param stats counters (L2/NoC/DRAM events)
+     * @return cycle the reply reaches the SM
+     */
+    virtual Cycle access(Addr addr, bool isWrite, Cycle arrival,
+                         SimStats &stats) = 0;
+
+    /** Granularity the SM fetches into L1 at: the L1 tag arrays and
+     * per-instruction coalescer both operate on this many bytes. */
+    virtual unsigned l1FetchBytes() const = 0;
+
+    /** Number of L2 partitions (trace process-name registration). */
+    virtual unsigned partitions() const = 0;
+
+    /** Reset all state between kernel launches. */
+    virtual void reset() = 0;
+
+    /** Attach the observability tracer; partition i posts events
+     * under process id pidBase + i. Null detaches. */
+    virtual void attachTracer(obs::Tracer *tracer, u32 pidBase) = 0;
+};
+
+/**
+ * Today's model, unchanged shape: one fixed-latency DRAM channel per
+ * L2 partition, line-index-modulo partition interleave, whole-line L1
+ * fills. The default backend.
+ */
+class FixedBackend final : public MemBackend
+{
+  public:
+    explicit FixedBackend(const MachineConfig &config);
+
+    Cycle access(Addr addr, bool isWrite, Cycle arrival,
+                 SimStats &stats) override;
+    unsigned l1FetchBytes() const override { return lineBytes; }
+    unsigned partitions() const override
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+    void reset() override;
+    void attachTracer(obs::Tracer *tracer, u32 pidBase) override;
+
+  private:
+    unsigned lineBytes;
+    std::vector<MemoryPartition> parts;
+};
+
+/** Partition index with the line-index bits folded down by XOR before
+ * the modulo, so power-of-two strides do not camp on one partition
+ * (detailed backend; the fixed backend keeps the plain modulo). */
+unsigned swizzledPartitionFor(Addr lineAddr, unsigned lineBytes,
+                              unsigned numPartitions);
+
+/** Instantiate the backend MachineConfig::memBackend selects. */
+std::unique_ptr<MemBackend> makeMemBackend(const MachineConfig &config);
+
+} // namespace wir
+
+#endif // WIR_MEM_BACKEND_HH

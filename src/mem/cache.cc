@@ -99,6 +99,10 @@ Mshr::expire(Cycle now)
         if (it != pending.end() && it->second <= now)
             pending.erase(it);
     }
+    // Every pending entry's current ready cycle has a heap node (add
+    // always pushes one); the heap may additionally hold stale nodes
+    // from superseded entries, never fewer.
+    wir_assert(heap.size() >= pending.size());
 }
 
 std::optional<Cycle>
@@ -113,8 +117,22 @@ Mshr::lookup(Addr lineAddr) const
 Cycle
 Mshr::earliestReady() const
 {
-    wir_assert(!heap.empty());
-    return heap.top().first;
+    // A superseded entry (a second add() to a line already pending)
+    // leaves its old node in the heap; reporting that node's cycle
+    // would name a completion that no longer exists, so a caller
+    // stalling "until the earliest fill returns" would wake too
+    // early -- possibly at a cycle already in the past. Lazily drop
+    // nodes whose (line, ready) pair is no longer what the pending
+    // map carries.
+    wir_assert(!pending.empty());
+    while (true) {
+        wir_assert(!heap.empty());
+        auto [ready, line] = heap.top();
+        auto it = pending.find(line);
+        if (it != pending.end() && it->second == ready)
+            return ready;
+        heap.pop();
+    }
 }
 
 void
@@ -122,6 +140,13 @@ Mshr::add(Addr lineAddr, Cycle readyCycle)
 {
     pending[lineAddr] = readyCycle;
     heap.emplace(readyCycle, lineAddr);
+}
+
+void
+Mshr::reset()
+{
+    pending.clear();
+    heap = {};
 }
 
 } // namespace wir

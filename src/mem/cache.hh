@@ -79,7 +79,9 @@ class Mshr
     bool full() const { return pending.size() >= entries; }
 
     /** Earliest completion among outstanding misses (for stalls).
-     * Only valid when !pending.empty(). */
+     * Only valid when !pending.empty(). Skips heap nodes left behind
+     * by superseded entries, so the result always names a fill that
+     * is genuinely still outstanding. */
     Cycle earliestReady() const;
 
     /** Track a new outstanding miss completing at readyCycle. */
@@ -87,13 +89,17 @@ class Mshr
 
     size_t outstanding() const { return pending.size(); }
 
+    /** Drop all outstanding entries (kernel boundary). */
+    void reset();
+
   private:
     unsigned entries;
     std::unordered_map<Addr, Cycle> pending;
-    // Min-heap of (ready, line) for expiry.
+    // Min-heap of (ready, line) for expiry. Mutable so the logically
+    // const earliestReady() can drop stale nodes as it finds them.
     using HeapItem = std::pair<Cycle, Addr>;
-    std::priority_queue<HeapItem, std::vector<HeapItem>,
-                        std::greater<>> heap;
+    mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
+                                std::greater<>> heap;
 };
 
 } // namespace wir

@@ -1,0 +1,204 @@
+#include "mem/detailed_backend.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wir
+{
+
+namespace
+{
+// Same NoC hop and DRAM bus occupancy as the fixed backend
+// (mem/memory_partition.cc), so backend comparisons isolate the
+// banking/row-buffer/sectoring differences.
+constexpr unsigned nocHopLatency = 8;
+constexpr unsigned dramServiceCycles = 6;
+} // namespace
+
+BankedDram::BankedDram(const MachineConfig &config,
+                       unsigned serviceCycles_)
+    : queueEntries(config.dramQueueEntries),
+      rowBytes(config.dramRowBytes),
+      rowHitLatency(config.dramRowHitLatency),
+      rowMissLatency(config.dramRowMissLatency),
+      rowConflictLatency(config.dramRowConflictLatency),
+      bankBusyCycles(config.dramBankBusyCycles),
+      serviceCycles(serviceCycles_)
+{
+    wir_assert(config.dramBanks >= 1);
+    banks.resize(config.dramBanks);
+}
+
+Cycle
+BankedDram::request(Addr lineAddr, Cycle arrival, SimStats &stats)
+{
+    stats.dramAccesses++;
+
+    // Drain completed requests, then apply full-queue backpressure
+    // the same way DramChannel::request does: advancing the
+    // acceptance time drains everything that completed by then.
+    while (!inFlight.empty() && inFlight.top() <= arrival)
+        inFlight.pop();
+    Cycle accepted = arrival;
+    while (inFlight.size() >= queueEntries) {
+        accepted = std::max(accepted, inFlight.top());
+        inFlight.pop();
+        while (!inFlight.empty() && inFlight.top() <= accepted)
+            inFlight.pop();
+    }
+
+    // A row lives entirely in one bank (its columns), so streaming
+    // through a row produces row-buffer hits after the opening
+    // access. Rows interleave across banks with a permutation-based
+    // XOR of the higher row bits, so power-of-two row strides still
+    // spread instead of camping on one bank.
+    u64 row = lineAddr / rowBytes;
+    Bank &bank = banks[(row ^ (row / banks.size())) % banks.size()];
+
+    unsigned latency;
+    if (bank.rowValid && bank.openRow == row) {
+        stats.dramRowHits++;
+        latency = rowHitLatency;
+    } else if (!bank.rowValid) {
+        latency = rowMissLatency;
+    } else {
+        stats.dramRowConflicts++;
+        latency = rowConflictLatency;
+    }
+
+    // Bank-level parallelism is the FR-FCFS dividend this model
+    // keeps: a request only waits for ITS bank (and the shared bus),
+    // so a row hit to an idle bank overtakes an earlier conflict
+    // parked on a busy one.
+    Cycle start = std::max({accepted, busFree, bank.freeAt});
+    busFree = start + serviceCycles;
+    Cycle done = start + latency;
+
+    // The bank stays occupied for the row-cycle portion of the
+    // access (everything except the fixed column-access tail that
+    // rowHitLatency models) plus a per-access occupancy floor.
+    unsigned rowCycle = latency > rowHitLatency
+                            ? latency - rowHitLatency : 0;
+    bank.freeAt = start + rowCycle + bankBusyCycles;
+    stats.dramBankBusyCycles += bank.freeAt - start;
+    bank.openRow = row;
+    bank.rowValid = true;
+
+    inFlight.push(done);
+    return done;
+}
+
+void
+BankedDram::reset()
+{
+    busFree = 0;
+    for (auto &bank : banks)
+        bank = Bank{};
+    while (!inFlight.empty())
+        inFlight.pop();
+}
+
+DetailedBackend::Partition::Partition(const MachineConfig &config,
+                                      unsigned serviceCycles)
+    : tags(config.l2BytesPerPartition, config.l2Ways,
+           config.lineBytes),
+      mshr(config.l2Mshrs),
+      requestLink(config.nocBytesPerCycle, nocHopLatency),
+      replyLink(config.nocBytesPerCycle, nocHopLatency),
+      dram(config, serviceCycles)
+{
+}
+
+DetailedBackend::DetailedBackend(const MachineConfig &config)
+    : lineBytes(config.lineBytes),
+      sectorBytes(config.l1SectorBytes),
+      l2Latency(config.l2Latency)
+{
+    parts.reserve(config.l2Partitions);
+    for (unsigned i = 0; i < config.l2Partitions; i++)
+        parts.emplace_back(config, dramServiceCycles);
+}
+
+Cycle
+DetailedBackend::access(Addr addr, bool isWrite, Cycle arrival,
+                        SimStats &stats)
+{
+    // The SM requests a sector; L2 and DRAM operate on its line, so
+    // all sectors of one line share a partition, a tag and an MSHR
+    // entry (the second sector of an in-flight line is a
+    // hit-under-miss merge, not a second DRAM trip).
+    Addr lineAddr = addr & ~static_cast<Addr>(lineBytes - 1);
+    Partition &p = parts[swizzledPartitionFor(
+        lineAddr, lineBytes, static_cast<unsigned>(parts.size()))];
+
+    // Request flit: header only for loads, header + sector for
+    // stores.
+    unsigned requestBytes = isWrite ? 8 + sectorBytes : 8;
+    Cycle atPartition = p.requestLink.transfer(arrival, requestBytes,
+                                               stats);
+
+    // L2 tag port is a serialized resource.
+    Cycle start = std::max(atPartition, p.portFree);
+    p.portFree = start + 1;
+
+    p.mshr.expire(start);
+    stats.l2Accesses++;
+    bool hit = p.tags.access(lineAddr);
+    Cycle dataReady;
+    if (hit) {
+        stats.l2Hits++;
+        dataReady = start + l2Latency;
+        if (auto fill = p.mshr.lookup(lineAddr)) {
+            stats.l2HitUnderMiss++;
+            dataReady = std::max(dataReady, *fill);
+        }
+    } else {
+        stats.l2Misses++;
+        Cycle sendAt = start + l2Latency;
+        if (p.mshr.full()) {
+            sendAt = std::max(sendAt, p.mshr.earliestReady());
+            p.mshr.expire(sendAt);
+        }
+        dataReady = p.dram.request(lineAddr, sendAt, stats);
+        p.mshr.add(lineAddr, dataReady);
+    }
+
+    if (tracer && tracer->wants(obs::CatMem, start)) {
+        u32 pid = tracePidBase +
+                  static_cast<u32>(&p - parts.data());
+        tracer->span(obs::CatMem, hit ? "l2.hit" : "l2.miss", start,
+                     std::max<Cycle>(1, dataReady - start), pid, 0,
+                     "line", lineAddr, "write", isWrite ? 1 : 0);
+    }
+
+    if (isWrite) {
+        // Write-through completes at L2/DRAM acceptance; the SM does
+        // not wait for a reply payload.
+        return dataReady;
+    }
+    unsigned replyBytes = 8 + sectorBytes;
+    return p.replyLink.transfer(dataReady, replyBytes, stats);
+}
+
+void
+DetailedBackend::reset()
+{
+    for (auto &p : parts) {
+        p.tags.flush();
+        p.mshr.reset();
+        p.requestLink.reset();
+        p.replyLink.reset();
+        p.dram.reset();
+        p.portFree = 0;
+    }
+}
+
+void
+DetailedBackend::attachTracer(obs::Tracer *tracer_, u32 pidBase)
+{
+    tracer = tracer_;
+    tracePidBase = pidBase;
+}
+
+} // namespace wir

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Detailed memory backend: banked DRAM with row-buffer timing behind
+ * each L2 partition, an XOR-swizzled partition hash, and sectored L1
+ * fills. Same latency-based discipline as the fixed backend -- the
+ * reply cycle is computed at request time -- with bank-level
+ * parallelism and open-row state approximating what an FR-FCFS
+ * scheduler achieves (see docs/MEMORY.md for what that approximation
+ * does and does not capture).
+ */
+
+#ifndef WIR_MEM_DETAILED_BACKEND_HH
+#define WIR_MEM_DETAILED_BACKEND_HH
+
+#include <queue>
+#include <vector>
+
+#include "mem/backend.hh"
+#include "mem/cache.hh"
+#include "mem/noc.hh"
+
+namespace wir
+{
+
+/**
+ * One DRAM channel with per-bank open-row state. Each access is
+ * classified against its bank's row buffer -- hit (row open), miss
+ * (bank idle, plain activate) or conflict (other row open: precharge
+ * then activate) -- and charged the corresponding latency. Banks
+ * serve independent requests concurrently; the shared data bus
+ * serializes at `serviceCycles` per transfer, and the bounded
+ * scheduling queue applies the same accepted-time backpressure as
+ * the fixed channel.
+ */
+class BankedDram
+{
+  public:
+    BankedDram(const MachineConfig &config, unsigned serviceCycles);
+
+    /** Request the line at `lineAddr` arriving at `arrival`; returns
+     * the cycle the data is available at the L2 partition. */
+    Cycle request(Addr lineAddr, Cycle arrival, SimStats &stats);
+
+    /** Reset between kernel launches. */
+    void reset();
+
+    /** Scheduling-queue entries still considered in flight (tests). */
+    size_t queued() const { return inFlight.size(); }
+
+  private:
+    struct Bank
+    {
+        u64 openRow = 0;
+        bool rowValid = false;
+        Cycle freeAt = 0;
+    };
+
+    unsigned queueEntries;
+    unsigned rowBytes;
+    unsigned rowHitLatency;
+    unsigned rowMissLatency;
+    unsigned rowConflictLatency;
+    unsigned bankBusyCycles;
+    unsigned serviceCycles;
+
+    Cycle busFree = 0;
+    std::vector<Bank> banks;
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<>> inFlight;
+};
+
+/**
+ * The detailed backend: per-partition L2 slice (tag array + MSHRs +
+ * NoC links, mirroring MemoryPartition's timing) in front of a
+ * BankedDram channel. Differences from the fixed backend: partition
+ * selection is XOR-swizzled, the SM fetches l1SectorBytes at a time
+ * (NoC payloads shrink to a sector), and DRAM timing depends on
+ * row-buffer locality. L2 stays line-granular: a sector request is
+ * aligned down to its line for tags, MSHRs and DRAM.
+ */
+class DetailedBackend final : public MemBackend
+{
+  public:
+    explicit DetailedBackend(const MachineConfig &config);
+
+    Cycle access(Addr addr, bool isWrite, Cycle arrival,
+                 SimStats &stats) override;
+    unsigned l1FetchBytes() const override { return sectorBytes; }
+    unsigned partitions() const override
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+    void reset() override;
+    void attachTracer(obs::Tracer *tracer_, u32 pidBase) override;
+
+  private:
+    struct Partition
+    {
+        Partition(const MachineConfig &config, unsigned serviceCycles);
+
+        TagArray tags;
+        Mshr mshr;
+        NocLink requestLink;
+        NocLink replyLink;
+        BankedDram dram;
+        Cycle portFree = 0;
+    };
+
+    unsigned lineBytes;
+    unsigned sectorBytes;
+    unsigned l2Latency;
+    std::vector<Partition> parts;
+    obs::Tracer *tracer = nullptr;
+    u32 tracePidBase = 0;
+};
+
+} // namespace wir
+
+#endif // WIR_MEM_DETAILED_BACKEND_HH

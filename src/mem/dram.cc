@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <algorithm>
+
 namespace wir
 {
 
@@ -19,11 +21,18 @@ DramChannel::request(Cycle arrival, SimStats &stats)
     while (!inFlight.empty() && inFlight.top() <= arrival)
         inFlight.pop();
 
-    // A full scheduling queue delays acceptance.
+    // A full scheduling queue delays acceptance until an older
+    // request completes. Moving the acceptance time forward can carry
+    // it past further completions, and those entries have left the
+    // queue too by then -- drain everything that finished at or
+    // before `accepted`, not just the single popped entry, or
+    // phantom occupants delay later arrivals.
     Cycle accepted = arrival;
     while (inFlight.size() >= queueEntries) {
-        accepted = inFlight.top();
+        accepted = std::max(accepted, inFlight.top());
         inFlight.pop();
+        while (!inFlight.empty() && inFlight.top() <= accepted)
+            inFlight.pop();
     }
 
     Cycle start = std::max(accepted, channelFree);

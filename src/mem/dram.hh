@@ -33,6 +33,9 @@ class DramChannel
     /** Reset between kernel launches. */
     void reset();
 
+    /** Scheduling-queue entries still considered in flight (tests). */
+    size_t queued() const { return inFlight.size(); }
+
   private:
     unsigned queueEntries;
     unsigned latency;

@@ -14,6 +14,7 @@ MemoryPartition::MemoryPartition(const MachineConfig &config)
       l2Latency(config.l2Latency),
       tags(config.l2BytesPerPartition, config.l2Ways,
            config.lineBytes),
+      mshr(config.l2Mshrs),
       requestLink(config.nocBytesPerCycle, nocHopLatency),
       replyLink(config.nocBytesPerCycle, nocHopLatency),
       dram(config.dramQueueEntries, config.dramLatency,
@@ -34,15 +35,31 @@ MemoryPartition::access(Addr lineAddr, bool isWrite, Cycle arrival,
     Cycle start = std::max(atPartition, portFree);
     portFree = start + 1;
 
+    mshr.expire(start);
     stats.l2Accesses++;
+    // Tags fill at access time, so a second access to a line whose
+    // DRAM fill is still in flight "hits" in the tag array. Without
+    // the MSHR check it would be served at L2-hit latency -- observing
+    // the line ~a full DRAM latency before the data exists. Hold such
+    // hits until the outstanding fill lands (hit-under-miss merge).
     bool hit = tags.access(lineAddr);
     Cycle dataReady;
     if (hit) {
         stats.l2Hits++;
         dataReady = start + l2Latency;
+        if (auto fill = mshr.lookup(lineAddr)) {
+            stats.l2HitUnderMiss++;
+            dataReady = std::max(dataReady, *fill);
+        }
     } else {
         stats.l2Misses++;
-        dataReady = dram.request(start + l2Latency, stats);
+        Cycle sendAt = start + l2Latency;
+        if (mshr.full()) {
+            sendAt = std::max(sendAt, mshr.earliestReady());
+            mshr.expire(sendAt);
+        }
+        dataReady = dram.request(sendAt, stats);
+        mshr.add(lineAddr, dataReady);
     }
 
     if (tracer && tracer->wants(obs::CatMem, start)) {
@@ -66,6 +83,7 @@ void
 MemoryPartition::reset()
 {
     tags.flush();
+    mshr.reset();
     requestLink.reset();
     replyLink.reset();
     dram.reset();

@@ -48,6 +48,7 @@ class MemoryPartition
     unsigned lineBytes;
     unsigned l2Latency;
     TagArray tags;
+    Mshr mshr;
     NocLink requestLink;
     NocLink replyLink;
     DramChannel dram;

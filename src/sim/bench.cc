@@ -148,6 +148,10 @@ runBench(const BenchOptions &opts, bool progress)
     for (const auto &abbr : workloads)
         makeWorkload(abbr); // validates the abbreviation
 
+    std::vector<MemBackendKind> backends = opts.backends;
+    if (backends.empty())
+        backends.push_back(opts.machine.memBackend);
+
     unsigned reps = std::max(1u, opts.reps);
     using clock = std::chrono::steady_clock;
 
@@ -170,9 +174,13 @@ runBench(const BenchOptions &opts, bool progress)
 
         for (const auto &abbr : workloads) {
             for (const auto &design : designs) {
+              for (MemBackendKind backend : backends) {
+                MachineConfig cellMachine = machine;
+                cellMachine.memBackend = backend;
                 BenchCell cell;
                 cell.workload = abbr;
                 cell.design = design.name;
+                cell.memBackend = memBackendName(backend);
                 for (unsigned rep = 0; rep < reps && !cell.failed;
                      rep++) {
                     Workload workload = makeWorkload(abbr);
@@ -180,7 +188,7 @@ runBench(const BenchOptions &opts, bool progress)
                     RunResult result;
                     try {
                         result = runWorkload(std::move(workload),
-                                             design, machine);
+                                             design, cellMachine);
                     } catch (const SimError &err) {
                         result.failed = true;
                         result.error = err.what();
@@ -209,17 +217,19 @@ runBench(const BenchOptions &opts, bool progress)
                 if (progress && primary) {
                     if (cell.failed) {
                         std::fprintf(stderr,
-                                     "bench: %-5s %-12s FAILED: "
+                                     "bench: %-5s %-12s %-8s FAILED: "
                                      "%s\n", cell.workload.c_str(),
                                      cell.design.c_str(),
+                                     cell.memBackend.c_str(),
                                      cell.error.c_str());
                     } else {
                         std::fprintf(
                             stderr,
-                            "bench: %-5s %-12s %9llu Kcyc %8.0f "
-                            "Kcyc/s %8.2f ms\n",
+                            "bench: %-5s %-12s %-8s %9llu Kcyc "
+                            "%8.0f Kcyc/s %8.2f ms\n",
                             cell.workload.c_str(),
                             cell.design.c_str(),
+                            cell.memBackend.c_str(),
                             static_cast<unsigned long long>(
                                 cell.cycles / 1000),
                             cell.kcyclesPerSec(),
@@ -228,6 +238,7 @@ runBench(const BenchOptions &opts, bool progress)
                 }
                 if (primary)
                     report.cells.push_back(std::move(cell));
+              }
             }
         }
 
@@ -316,7 +327,8 @@ benchReportJson(const BenchReport &report)
         const BenchCell &cell = report.cells[i];
         out << "    {\"workload\": \"" << jsonEscape(cell.workload)
             << "\", \"design\": \"" << jsonEscape(cell.design)
-            << "\", ";
+            << "\", \"mem_backend\": \""
+            << jsonEscape(cell.memBackend) << "\", ";
         if (cell.failed) {
             out << "\"failed\": true, \"error\": \""
                 << jsonEscape(cell.error) << "\"}";

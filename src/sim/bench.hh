@@ -2,7 +2,8 @@
  * @file
  * Simulator performance benchmarking (`wirsim bench`).
  *
- * Runs a grid of (workload, design) cells serially in-process,
+ * Runs a grid of (workload, design, memory backend) cells serially
+ * in-process,
  * measuring simulated cycles, committed warp instructions, and wall
  * time per cell, and renders the result as a machine-readable
  * `BENCH_<n>.json` report (schema documented in docs/BENCH.md).
@@ -30,6 +31,10 @@ struct BenchOptions
     std::vector<std::string> workloads;
     /** Design names; empty = {Base, RLPV}. */
     std::vector<std::string> designs;
+    /** Memory backends to measure (--mem-backends fixed,detailed);
+     * each one re-times the whole grid with machine.memBackend
+     * overridden. Empty = just machine.memBackend. */
+    std::vector<MemBackendKind> backends;
     MachineConfig machine;
     /** Wall-time repetitions per cell; the best (minimum) wall time
      * is reported, damping scheduler noise. Simulated cycles and
@@ -49,11 +54,12 @@ struct BenchOptions
     std::vector<unsigned> threadSweep;
 };
 
-/** One measured (workload, design) cell. */
+/** One measured (workload, design, backend) cell. */
 struct BenchCell
 {
     std::string workload;
     std::string design;
+    std::string memBackend; ///< memBackendName() of the cell's backend
     u64 cycles = 0;   ///< simulated GPU cycles (SimStats::cycles)
     u64 instrs = 0;   ///< committed warp instructions
     double wallSeconds = 0; ///< best-of-reps wall time of the run

@@ -214,11 +214,14 @@ reproCommand(const MachineConfig &machine, const DesignConfig &design,
         if (machine.check.injectSm)
             out << " --inject-sm " << machine.check.injectSm;
     }
+    if (machine.memBackend != def.memBackend)
+        out << " --mem-backend " << memBackendName(machine.memBackend);
 
     MachineConfig mcheck = def;
     mcheck.numSms = machine.numSms;
     mcheck.schedPolicy = machine.schedPolicy;
     mcheck.check = machine.check;
+    mcheck.memBackend = machine.memBackend;
     if (canonicalKey(mcheck) != canonicalKey(machine))
         notes.push_back("machine deltas not expressible as flags; "
                         "see the machine key in the bundle");

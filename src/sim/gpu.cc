@@ -8,7 +8,7 @@
 #include <thread>
 
 #include "common/logging.hh"
-#include "mem/memory_partition.hh"
+#include "mem/backend.hh"
 #include "obs/dispatch.hh"
 #include "sim/parallel.hh"
 #include "timing/sm.hh"
@@ -41,13 +41,11 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
     IssueObserver *sink =
         (!dispatch.empty() || watchdog) ? &dispatch : nullptr;
 
-    std::vector<MemoryPartition> partitions;
-    partitions.reserve(machine.l2Partitions);
-    for (unsigned p = 0; p < machine.l2Partitions; p++) {
-        partitions.emplace_back(machine);
-        if (session && session->tracer()) {
-            partitions.back().attachTracer(
-                session->tracer(), obs::kPartitionPidBase + p);
+    std::unique_ptr<MemBackend> membackend = makeMemBackend(machine);
+    if (session && session->tracer()) {
+        membackend->attachTracer(session->tracer(),
+                                 obs::kPartitionPidBase);
+        for (unsigned p = 0; p < membackend->partitions(); p++) {
             session->tracer()->processName(
                 obs::kPartitionPidBase + p,
                 "L2 partition " + std::to_string(p));
@@ -62,7 +60,7 @@ Gpu::run(const Kernel &kernel, MemoryImage &image,
             probe = session->smProbe(static_cast<SmId>(s));
         sms.push_back(std::make_unique<Sm>(
             static_cast<SmId>(s), machine, design, kernel, image,
-            partitions, sink, probe));
+            *membackend, sink, probe));
         // A live observability session holds references into the
         // per-SM stats blocks and reads them mid-run, so batching
         // must be off for its view to be current.

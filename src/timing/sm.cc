@@ -19,15 +19,16 @@ constexpr unsigned l1HitLatency = 30;
 
 Sm::Sm(SmId id_, const MachineConfig &machine_,
        const DesignConfig &design_, const Kernel &kernel_,
-       MemoryImage &image_, std::vector<MemoryPartition> &partitions_,
+       MemoryImage &image_, MemBackend &membackend_,
        IssueObserver *observer_, obs::SmProbe probe_)
     : id(id_), machine(machine_), design(design_), kernel(kernel_),
-      image(image_), partitions(partitions_), observer(observer_),
+      image(image_), membackend(membackend_),
+      l1FetchBytes(membackend_.l1FetchBytes()), observer(observer_),
       probe(probe_),
       warps(machine_.maxWarpsPerSm),
       blocks(machine_.maxBlocksPerSm),
       banks(machine_.regBankGroups),
-      l1Tags(machine_.l1dBytes, machine_.l1dWays, machine_.lineBytes),
+      l1Tags(machine_.l1dBytes, machine_.l1dWays, l1FetchBytes),
       l1Mshr(machine_.l1dMshrs),
       pendq(design_.pendingQueueEntries),
       inflight(inflightCapacity),
@@ -679,11 +680,9 @@ Sm::globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
         stats.l1Accesses++;
 
         if (isWrite) {
-            // Write-evict L1, write-through to the partition.
+            // Write-evict L1, write-through to the backend.
             l1Tags.invalidate(line);
-            unsigned part = partitionFor(line, machine.lineBytes,
-                                         partitions.size());
-            partitions[part].access(line, true, grant, stats);
+            membackend.access(line, true, grant, stats);
             // Stores complete at L1-port acceptance.
             done = std::max(done, grant + 1);
             continue;
@@ -707,10 +706,7 @@ Sm::globalMemAccess(const std::vector<Addr> &lines, bool isWrite,
             sendAt = std::max(sendAt, l1Mshr.earliestReady());
             l1Mshr.expire(sendAt);
         }
-        unsigned part = partitionFor(line, machine.lineBytes,
-                                     partitions.size());
-        Cycle ready = partitions[part].access(line, false, sendAt,
-                                              stats);
+        Cycle ready = membackend.access(line, false, sendAt, stats);
         l1Mshr.add(line, ready);
         done = std::max(done, ready);
     }
@@ -741,7 +737,7 @@ Sm::stageMemory(InFlight &fly, u32 handle, Cycle now)
         break;
       case MemSpace::Global: {
           auto lines = coalesce(fly.memAddrs, fly.activeMask,
-                                machine.lineBytes);
+                                l1FetchBytes);
           if (probe.coalesceLines)
               probe.coalesceLines->record(lines.size());
           u64 missesBefore = stats.l1Misses;

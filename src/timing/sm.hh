@@ -31,8 +31,8 @@
 #include "func/memory_image.hh"
 #include "func/simt_stack.hh"
 #include "isa/kernel.hh"
+#include "mem/backend.hh"
 #include "mem/cache.hh"
-#include "mem/memory_partition.hh"
 #include "obs/probe.hh"
 #include "reuse/pending_queue.hh"
 #include "reuse/reuse_unit.hh"
@@ -73,7 +73,7 @@ class Sm
   public:
     Sm(SmId id, const MachineConfig &machine,
        const DesignConfig &design, const Kernel &kernel,
-       MemoryImage &image, std::vector<MemoryPartition> &partitions,
+       MemoryImage &image, MemBackend &membackend,
        IssueObserver *observer = nullptr,
        obs::SmProbe probe = obs::SmProbe{});
 
@@ -350,7 +350,11 @@ class Sm
     const DesignConfig &design;
     const Kernel &kernel;
     MemoryImage &image;
-    std::vector<MemoryPartition> &partitions;
+    MemBackend &membackend;
+    /** Cached membackend.l1FetchBytes(): L1 tag/coalesce granularity
+     * (the line size under the fixed backend, a sector under the
+     * detailed one). */
+    unsigned l1FetchBytes;
     IssueObserver *observer;
     obs::SmProbe probe; ///< inert (all-null) unless a session attached
 

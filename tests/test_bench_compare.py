@@ -202,6 +202,42 @@ class BenchCompareTest(unittest.TestCase):
         code, _, err = self.run_compare(base, cand)
         self.assertEqual(code, 0, err)
 
+    # ---- memory-backend gating ----
+
+    def test_detailed_cells_are_skipped(self):
+        # The gate is fixed-vs-fixed: detailed-backend cells simulate
+        # different timing and must not enter the ratio (their cycle
+        # counts would also trip the comparability warning).
+        mixed = [make_cell(mem_backend="fixed"),
+                 make_cell(cycles=5000, wall_seconds=1.0,
+                           mem_backend="detailed")]
+        base = self.write(make_report(mixed))
+        cand = self.write(make_report(mixed))
+        code, out, err = self.run_compare(base, cand)
+        self.assertEqual(code, 0, err)
+        self.assertIn("skipped 1 baseline and 1 candidate", err)
+        self.assertIn("aggregate over 1 common cells", out)
+
+    def test_missing_mem_backend_means_fixed(self):
+        # Pre-backend baselines have no mem_backend key; they compare
+        # against a new report's explicit fixed cells.
+        base = self.write(make_report([make_cell()]))
+        cand = self.write(
+            make_report([make_cell(mem_backend="fixed")]))
+        code, _, err = self.run_compare(base, cand)
+        self.assertEqual(code, 0, err)
+
+    def test_all_cells_detailed_refused(self):
+        report = make_report([make_cell(mem_backend="detailed")])
+        base = self.write(report)
+        cand = self.write(report)
+        self.assert_exit2(base, cand, "no common")
+
+    def test_non_string_mem_backend(self):
+        good = self.write(make_report([make_cell()]))
+        bad = self.write(make_report([make_cell(mem_backend=3)]))
+        self.assert_exit2(bad, good, "mem_backend")
+
 
 if __name__ == "__main__":
     unittest.main()

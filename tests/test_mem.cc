@@ -1,14 +1,20 @@
 /**
  * @file
  * Unit tests for src/mem: tag arrays, MSHRs, coalescer, DRAM queue,
- * NoC link, memory partition.
+ * NoC link, memory partition, and the detailed backend's banked DRAM
+ * and partition swizzle (backend-level tests: test_mem_backend.cc).
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "common/config.hh"
+#include "mem/backend.hh"
 #include "mem/cache.hh"
 #include "mem/coalescer.hh"
+#include "mem/detailed_backend.hh"
 #include "mem/dram.hh"
 #include "mem/memory_partition.hh"
 #include "mem/noc.hh"
@@ -75,6 +81,41 @@ TEST(Mshr, SupersededEntryNotDroppedEarly)
     mshr.expire(200);
     EXPECT_TRUE(mshr.lookup(0).has_value());
     mshr.expire(301);
+    EXPECT_FALSE(mshr.lookup(0).has_value());
+}
+
+TEST(Mshr, EarliestReadySkipsSupersededNodes)
+{
+    Mshr mshr(4);
+    mshr.add(0, 100);
+    mshr.add(0, 300); // supersede: the 100 heap node is now stale
+    EXPECT_EQ(mshr.earliestReady(), 300u);
+    mshr.add(128, 250);
+    EXPECT_EQ(mshr.earliestReady(), 250u);
+    mshr.expire(260); // drops line 128; line 0 still outstanding
+    EXPECT_EQ(mshr.earliestReady(), 300u);
+}
+
+TEST(Mshr, SupersedeThenExpireNeverYieldsPastReady)
+{
+    Mshr mshr(2);
+    mshr.add(0, 100);
+    mshr.add(0, 300);
+    mshr.expire(200); // line 0 survives (ready at 300)
+    ASSERT_TRUE(mshr.lookup(0).has_value());
+    // A stale node would report 100 here -- a cycle already in the
+    // past at now=200, so a caller stalling "until the earliest fill
+    // returns" would not advance at all.
+    EXPECT_EQ(mshr.earliestReady(), 300u);
+}
+
+TEST(Mshr, SupersedeToEarlierCycle)
+{
+    Mshr mshr(2);
+    mshr.add(0, 500);
+    mshr.add(0, 400);
+    EXPECT_EQ(mshr.earliestReady(), 400u);
+    mshr.expire(450);
     EXPECT_FALSE(mshr.lookup(0).has_value());
 }
 
@@ -150,6 +191,22 @@ TEST(Dram, QueueBackpressure)
     EXPECT_EQ(last, 230u);
 }
 
+TEST(Dram, AcceptanceDrainsAllCompletedEntries)
+{
+    SimStats stats;
+    // Zero bus occupancy so two requests complete at the same cycle.
+    DramChannel dram(2, 100, 0);
+    EXPECT_EQ(dram.request(0, stats), 100u);
+    EXPECT_EQ(dram.request(0, stats), 100u);
+    EXPECT_EQ(dram.queued(), 2u);
+    // Full queue: acceptance advances to t=100, where BOTH earlier
+    // requests have completed. Draining only the popped entry would
+    // leave a phantom occupant that mis-reports occupancy and can
+    // delay later arrivals.
+    EXPECT_EQ(dram.request(0, stats), 200u);
+    EXPECT_EQ(dram.queued(), 1u);
+}
+
 TEST(Noc, BandwidthAndLatency)
 {
     SimStats stats;
@@ -181,6 +238,126 @@ TEST(MemoryPartition, PartitionInterleaving)
     EXPECT_EQ(partitionFor(0, 128, 6), 0u);
     EXPECT_EQ(partitionFor(128, 128, 6), 1u);
     EXPECT_EQ(partitionFor(6 * 128, 128, 6), 0u);
+}
+
+TEST(MemoryPartition, HitUnderMissWaitsForFill)
+{
+    MachineConfig config;
+    SimStats stats;
+    MemoryPartition part(config);
+    Cycle first = part.access(0, false, 0, stats);
+    // Back-to-back access to the same line while the DRAM fill is in
+    // flight: the fill-at-access tag array says "hit", but the data
+    // does not exist yet. Both accesses must observe at least the
+    // DRAM round trip. Before the MSHR merge, that only held by
+    // accident of the FIFO reply link (the held hit's reply queued
+    // behind the fill's); the merge pins it at the L2 itself, where
+    // it survives NoC model changes.
+    Cycle second = part.access(0, false, 1, stats);
+    EXPECT_EQ(stats.l2Hits, 1u);
+    EXPECT_EQ(stats.l2Misses, 1u);
+    EXPECT_EQ(stats.l2HitUnderMiss, 1u);
+    EXPECT_EQ(stats.dramAccesses, 1u); // merged, no second DRAM trip
+    EXPECT_GE(second, config.dramLatency);
+    EXPECT_GE(second, first); // its reply queues behind the first
+}
+
+TEST(MemoryPartition, HitAfterFillLandsIsCheapAgain)
+{
+    MachineConfig config;
+    SimStats stats;
+    MemoryPartition part(config);
+    Cycle first = part.access(0, false, 0, stats);
+    // Once the fill has landed, a hit is a plain L2 hit again.
+    Cycle second = part.access(0, false, first, stats);
+    EXPECT_EQ(stats.l2HitUnderMiss, 0u);
+    EXPECT_LT(second - first, config.dramLatency);
+}
+
+// ---- Detailed backend ----------------------------------------------
+
+TEST(BankedDram, RowHitFasterThanConflict)
+{
+    MachineConfig config;
+    SimStats stats;
+    BankedDram dram(config, /*serviceCycles=*/0);
+    // Cold bank: plain activate (row miss).
+    EXPECT_EQ(dram.request(0, 0, stats), Cycle{config.dramRowMissLatency});
+    // Same row, after the bank frees: open-row hit.
+    Cycle second = dram.request(64, 500, stats);
+    EXPECT_EQ(second - 500, Cycle{config.dramRowHitLatency});
+    // Same bank, different row (the permuted interleave maps row 9
+    // back to bank 0: (9 ^ 9/8) % 8 == 0): precharge + activate
+    // conflict.
+    Cycle third = dram.request(9 * 2048, 2000, stats);
+    EXPECT_EQ(third - 2000, Cycle{config.dramRowConflictLatency});
+    EXPECT_EQ(stats.dramRowHits, 1u);
+    EXPECT_EQ(stats.dramRowConflicts, 1u);
+    EXPECT_EQ(stats.dramAccesses, 3u);
+    EXPECT_GT(stats.dramBankBusyCycles, 0u);
+}
+
+TEST(BankedDram, IdleBankOvertakesBusyBank)
+{
+    MachineConfig config;
+    SimStats stats;
+    BankedDram dram(config, /*serviceCycles=*/0);
+    dram.request(0, 0, stats);                         // opens bank 0
+    Cycle conflict = dram.request(9 * 2048, 0, stats); // bank 0 again
+    // A LATER arrival to an idle bank completes before the earlier
+    // same-bank conflict: the bank-level parallelism an FR-FCFS
+    // scheduler exploits, kept by the per-bank busy tracking.
+    Cycle other = dram.request(2048, 1, stats);  // row 1 -> bank 1
+    EXPECT_LT(other, conflict);
+}
+
+TEST(BankedDram, QueueFullAcceptanceDrainsCompleted)
+{
+    MachineConfig config;
+    config.dramQueueEntries = 2;
+    config.dramBanks = 1;
+    config.dramRowHitLatency = 100;
+    config.dramRowMissLatency = 100;
+    config.dramBankBusyCycles = 0;
+    SimStats stats;
+    BankedDram dram(config, 0);
+    EXPECT_EQ(dram.request(0, 0, stats), 100u);
+    EXPECT_EQ(dram.request(64, 0, stats), 100u);
+    EXPECT_EQ(dram.queued(), 2u);
+    // Same accepted-time drain contract as DramChannel: advancing
+    // acceptance to t=100 retires both completed entries.
+    EXPECT_EQ(dram.request(128, 0, stats), 200u);
+    EXPECT_EQ(dram.queued(), 1u);
+}
+
+TEST(BankedDram, DeterministicAcrossReset)
+{
+    MachineConfig config;
+    SimStats stats;
+    BankedDram dram(config, 6);
+    auto sequence = [&] {
+        std::vector<Cycle> done;
+        for (unsigned i = 0; i < 64; i++) {
+            Addr addr = Addr{(i * 13) % 7} * 2048 + Addr{i} * 128;
+            done.push_back(dram.request(addr, i * 3, stats));
+        }
+        return done;
+    };
+    auto first = sequence();
+    dram.reset();
+    auto second = sequence();
+    EXPECT_EQ(first, second);
+}
+
+TEST(DetailedBackend, SwizzleSpreadsPowerOfTwoStrides)
+{
+    // An 8-line stride camps on partitions {0, 2, 4} under the plain
+    // modulo-6 interleave; the XOR fold must reach all six.
+    std::array<unsigned, 6> counts{};
+    for (unsigned i = 0; i < 600; i++)
+        counts[swizzledPartitionFor(Addr{i} * 8 * 128, 128, 6)]++;
+    for (unsigned part = 0; part < counts.size(); part++)
+        EXPECT_GT(counts[part], 0u) << "partition " << part;
 }
 
 } // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Memory-backend fidelity tests (`ctest -L memfid`): the MemBackend
+ * indirection is result-neutral for the fixed backend, the detailed
+ * backend stays bit-identical at every --sim-threads count, and the
+ * backend selection feeds the sweep-cache canonical key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "mem/backend.hh"
+#include "sim/designs.hh"
+#include "sim/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace wir
+{
+namespace
+{
+
+TEST(MemBackend, FixedMatchesDirectPartitions)
+{
+    // The FixedBackend must be pure indirection: the same access
+    // sequence against a hand-rolled partition vector (the pre-
+    // backend wiring) yields the same cycles and the same counters.
+    MachineConfig config;
+    auto backend = makeMemBackend(config);
+    ASSERT_EQ(backend->l1FetchBytes(), config.lineBytes);
+    ASSERT_EQ(backend->partitions(), config.l2Partitions);
+
+    std::vector<MemoryPartition> direct;
+    for (unsigned p = 0; p < config.l2Partitions; p++)
+        direct.emplace_back(config);
+
+    SimStats viaBackend, viaDirect;
+    for (unsigned i = 0; i < 400; i++) {
+        Addr line = Addr{(i * 37) % 64} * config.lineBytes;
+        bool isWrite = i % 5 == 0;
+        Cycle arrival = i * 2;
+        Cycle a = backend->access(line, isWrite, arrival, viaBackend);
+        unsigned part = partitionFor(line, config.lineBytes,
+                                     config.l2Partitions);
+        Cycle b = direct[part].access(line, isWrite, arrival,
+                                      viaDirect);
+        ASSERT_EQ(a, b) << "access " << i;
+    }
+    EXPECT_EQ(viaBackend.items(), viaDirect.items());
+}
+
+TEST(MemBackend, FactorySelectsByConfig)
+{
+    MachineConfig config;
+    EXPECT_EQ(makeMemBackend(config)->l1FetchBytes(),
+              config.lineBytes);
+    config.memBackend = MemBackendKind::Detailed;
+    EXPECT_EQ(makeMemBackend(config)->l1FetchBytes(),
+              config.l1SectorBytes);
+}
+
+TEST(MemBackend, BackendNamesRoundTrip)
+{
+    EXPECT_EQ(memBackendByName("fixed"), MemBackendKind::Fixed);
+    EXPECT_EQ(memBackendByName("detailed"), MemBackendKind::Detailed);
+    EXPECT_STREQ(memBackendName(MemBackendKind::Fixed), "fixed");
+    EXPECT_STREQ(memBackendName(MemBackendKind::Detailed), "detailed");
+    EXPECT_THROW(memBackendByName("fancy"), ConfigError);
+}
+
+TEST(MemBackend, CanonicalKeySeparatesBackends)
+{
+    // Backend selection and every detailed-timing knob must land in
+    // the sweep-cache key, or a --mem-backend=detailed run would hit
+    // a fixed-backend cache entry.
+    MachineConfig fixed;
+    MachineConfig detailed;
+    detailed.memBackend = MemBackendKind::Detailed;
+    EXPECT_NE(canonicalKey(fixed), canonicalKey(detailed));
+
+    MachineConfig tweaked = detailed;
+    tweaked.dramRowHitLatency = 100;
+    EXPECT_NE(canonicalKey(detailed), canonicalKey(tweaked));
+    tweaked = detailed;
+    tweaked.l2Mshrs = 8;
+    EXPECT_NE(canonicalKey(detailed), canonicalKey(tweaked));
+    tweaked = detailed;
+    tweaked.l1SectorBytes = 64;
+    EXPECT_NE(canonicalKey(detailed), canonicalKey(tweaked));
+}
+
+TEST(MemBackend, ValidateRejectsBadDetailedKnobs)
+{
+    MachineConfig config;
+    config.memBackend = MemBackendKind::Detailed;
+    config.dramBanks = 6; // not a power of two
+    EXPECT_THROW(validateConfig(config), ConfigError);
+
+    config = MachineConfig{};
+    config.memBackend = MemBackendKind::Detailed;
+    config.l1SectorBytes = 256; // larger than the line
+    EXPECT_THROW(validateConfig(config), ConfigError);
+
+    config = MachineConfig{};
+    config.l2Mshrs = 0;
+    EXPECT_THROW(validateConfig(config), ConfigError);
+}
+
+TEST(MemBackend, DetailedRunRecordsRowBufferActivity)
+{
+    MachineConfig machine;
+    machine.numSms = 4;
+    machine.memBackend = MemBackendKind::Detailed;
+    auto result = runWorkload(makeWorkload("SF"), designRLPV(),
+                              machine);
+    ASSERT_FALSE(result.failed) << result.error;
+    EXPECT_GT(result.stats.dramAccesses, 0u);
+    // A streaming workload has row locality: some accesses must hit
+    // the open row, and the banks must accumulate busy time.
+    EXPECT_GT(result.stats.dramRowHits, 0u);
+    EXPECT_GT(result.stats.dramBankBusyCycles, 0u);
+}
+
+TEST(MemBackend, FixedRunKeepsDetailedCountersZero)
+{
+    MachineConfig machine;
+    machine.numSms = 4;
+    auto result = runWorkload(makeWorkload("SF"), designRLPV(),
+                              machine);
+    ASSERT_FALSE(result.failed) << result.error;
+    EXPECT_EQ(result.stats.dramRowHits, 0u);
+    EXPECT_EQ(result.stats.dramRowConflicts, 0u);
+    EXPECT_EQ(result.stats.dramBankBusyCycles, 0u);
+}
+
+TEST(MemBackend, DetailedBitIdenticalAcrossSimThreads)
+{
+    // The detailed backend adds shared mutable state (bank row
+    // buffers, per-partition MSHRs) behind the SmOrderGate; results
+    // must not depend on how many worker threads advance the SMs.
+    for (const char *abbr : {"SF", "SD"}) {
+        MachineConfig sequential;
+        sequential.numSms = 4;
+        sequential.memBackend = MemBackendKind::Detailed;
+        auto a = runWorkload(makeWorkload(abbr), designRLPV(),
+                             sequential);
+        ASSERT_FALSE(a.failed) << a.error;
+        for (unsigned threads : {2u, 4u, 7u}) {
+            MachineConfig threaded = sequential;
+            threaded.perf.simThreads = threads;
+            auto b = runWorkload(makeWorkload(abbr), designRLPV(),
+                                 threaded);
+            ASSERT_FALSE(b.failed) << b.error;
+            EXPECT_EQ(a.stats.items(), b.stats.items())
+                << abbr << " at " << threads << " threads";
+            EXPECT_EQ(a.finalMemory, b.finalMemory)
+                << abbr << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(MemBackend, DetailedChangesTimingNotResults)
+{
+    // Same program, different memory model: architectural outputs
+    // are identical, cycle counts differ.
+    MachineConfig fixed;
+    fixed.numSms = 4;
+    MachineConfig detailed = fixed;
+    detailed.memBackend = MemBackendKind::Detailed;
+    auto a = runWorkload(makeWorkload("SF"), designRLPV(), fixed);
+    auto b = runWorkload(makeWorkload("SF"), designRLPV(), detailed);
+    ASSERT_FALSE(a.failed) << a.error;
+    ASSERT_FALSE(b.failed) << b.error;
+    EXPECT_EQ(a.finalMemory, b.finalMemory);
+    EXPECT_NE(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace
+} // namespace wir

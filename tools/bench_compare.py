@@ -15,6 +15,13 @@ fairly against a full baseline. Reports must come from the same
 simulator version and stats schema -- a mismatch means the two runs
 did not simulate the same thing, and the compare refuses (exit 2).
 
+Only cells measured under the fixed memory backend participate: a
+`--mem-backends fixed,detailed` report carries cells for both, but
+the detailed cells simulate different timing and would poison the
+fixed-vs-fixed ratio. Non-fixed cells are counted and reported as
+skipped. Reports from before the mem_backend key existed are all
+fixed-backend by construction.
+
 Malformed input -- truncated JSON, a non-report object, cells that
 are not dicts or are missing/non-numeric fields -- is always exit 2
 with a one-line diagnostic naming the file (and cell), never a
@@ -93,16 +100,28 @@ def checked_cell(cell, index, path):
 
 
 def cell_map(report, path):
+    """Map (workload, design) -> cell, fixed-backend cells only.
+
+    Returns (cells, skipped) where skipped counts successful cells
+    measured under another memory backend."""
     cells = {}
+    skipped = 0
     for index, cell in enumerate(report["cells"]):
         if isinstance(cell, dict) and cell.get("failed"):
             continue
         cell = checked_cell(cell, index, path)
+        backend = cell.get("mem_backend", "fixed")
+        if not isinstance(backend, str) or not backend:
+            fail(f"{path}: cell {cell['workload']}/{cell['design']}: "
+                 "non-string 'mem_backend'")
+        if backend != "fixed":
+            skipped += 1
+            continue
         key = (cell["workload"], cell["design"])
         if key in cells:
             fail(f"{path}: duplicate cell {key[0]}/{key[1]}")
         cells[key] = cell
-    return cells
+    return cells, skipped
 
 
 def aggregate(cells, keys):
@@ -116,11 +135,15 @@ def run(args):
     cand = load_report(args.candidate)
     check_compatible(base, cand, args.baseline, args.candidate)
 
-    base_cells = cell_map(base, args.baseline)
-    cand_cells = cell_map(cand, args.candidate)
+    base_cells, base_skipped = cell_map(base, args.baseline)
+    cand_cells, cand_skipped = cell_map(cand, args.candidate)
+    if base_skipped or cand_skipped:
+        print(f"note: skipped {base_skipped} baseline and "
+              f"{cand_skipped} candidate non-fixed-backend cells "
+              "(the gate compares fixed vs fixed)", file=sys.stderr)
     common = sorted(set(base_cells) & set(cand_cells))
     if not common:
-        fail("no common successful cells to compare")
+        fail("no common successful fixed-backend cells to compare")
     only_base = len(base_cells) - len(common)
     only_cand = len(cand_cells) - len(common)
 

@@ -40,6 +40,10 @@
  *                   ("1,2,4"): the grid is re-timed per count and the
  *                   report gains a "thread_scaling" array; cells are
  *                   recorded at the first count (docs/PARALLEL.md)
+ *   --mem-backends LIST  comma-separated memory backends
+ *                   ("fixed,detailed"): the grid gains one cell per
+ *                   backend; bench_compare.py gates on the fixed
+ *                   cells only (docs/MEMORY.md)
  *
  * Differential fuzzing (`fuzz`) runs generated kernels under Base
  * and every reuse design and compares full architectural state;
@@ -73,6 +77,8 @@
  *   --vsb N         value-signature-buffer entries (power of two)
  *   --assoc N       ways per set for both tables (default 1)
  *   --delay N       extra backend delay in cycles (default 4)
+ *   --mem-backend B memory timing model: fixed | detailed
+ *                   (default fixed; see docs/MEMORY.md)
  *   --stats         dump every raw counter
  *   --energy        print the energy breakdown
  *
@@ -183,6 +189,7 @@ usage()
                  "[--inject-cycle C] [--inject-sm S]\n"
                  "                  [--jobs N] [--cache] "
                  "[--cache-dir DIR] [--sim-threads N]\n"
+                 "                  [--mem-backend fixed|detailed]\n"
                  "                  [--sandbox|--no-sandbox] "
                  "[--run-timeout S] [--retries N]\n"
                  "                  [--trace FILE] [--trace-cats CSV] "
@@ -201,6 +208,7 @@ usage()
                  "[--sms N]\n"
                  "                  [--no-skip-ahead] "
                  "[--no-buffered-stats] [--sim-threads LIST]\n"
+                 "                  [--mem-backends LIST]\n"
                  "       wirsim fuzz [--seed S] [--runs N] "
                  "[--jobs N] [--family F] [--divergence D]\n"
                  "                  [--design NAME]... [--sms N] "
@@ -545,6 +553,8 @@ cmdRun(int argc, char **argv)
         } else if (arg == "--sim-threads") {
             machine.perf.simThreads =
                 parseUnsigned("--sim-threads", next());
+        } else if (arg == "--mem-backend") {
+            machine.memBackend = memBackendByName(next());
         } else if (arg == "--stats") {
             dumpStats = true;
         } else if (arg == "--energy") {
@@ -682,6 +692,17 @@ cmdBench(int argc, char **argv)
             opts.threadSweep = parseThreadList("--sim-threads",
                                                next());
             opts.machine.perf.simThreads = opts.threadSweep.front();
+        } else if (arg == "--mem-backends") {
+            std::string list = next();
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                opts.backends.push_back(memBackendByName(
+                    list.substr(pos, comma - pos)));
+                pos = comma + 1;
+            }
         } else {
             usage();
         }
